@@ -1,0 +1,45 @@
+//! Criterion bench: full platform end-to-end invocations (container +
+//! proxy + strategy pipeline) for a representative function per runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gh_faas::{Container, Request};
+use gh_functions::catalog::by_name;
+use gh_isolation::StrategyKind;
+use groundhog_core::GroundhogConfig;
+
+fn bench_e2e(c: &mut Criterion) {
+    for (name, kinds) in [
+        ("trisolv (c)", &[StrategyKind::Base, StrategyKind::Gh, StrategyKind::Fork][..]),
+        ("md2html (p)", &[StrategyKind::Base, StrategyKind::Gh][..]),
+        ("get-time (n)", &[StrategyKind::Base, StrategyKind::Gh][..]),
+    ] {
+        let spec = by_name(name).unwrap();
+        let mut group = c.benchmark_group(format!("e2e {name}"));
+        group.sample_size(10);
+        for &kind in kinds {
+            let mut container =
+                Container::cold_start(&spec, kind, GroundhogConfig::gh(), 99).unwrap();
+            let mut req = 0u64;
+            group.bench_with_input(
+                BenchmarkId::from_parameter(kind.label()),
+                &kind,
+                |b, _| {
+                    b.iter(|| {
+                        req += 1;
+                        black_box(
+                            container
+                                .invoke(&Request::new(req, "bench", spec.input_kb))
+                                .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench: one §5.2 microbenchmark request cycle per isolation
+//! mode (implementation-level cost of the full pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gh_bench::micro_harness::{MicroMode, MicroRig};
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_request_cycle");
+    group.sample_size(10);
+    for mode in [MicroMode::Base, MicroMode::GhNop, MicroMode::Gh, MicroMode::Fork] {
+        let mut rig = MicroRig::build(16_384, mode);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.label()),
+            &mode,
+            |b, _| b.iter(|| black_box(rig.request(0.2))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion bench: restore cost versus write-set size and address-space
+//! size (the mechanics behind Fig. 3 and Table 3).
+//!
+//! These measure *implementation* (host) time of the simulated restore
+//! engine; the virtual-time results live in the `fig*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gh_mem::{Perms, RequestId, Taint, Touch, VmaKind};
+use gh_proc::Kernel;
+use groundhog_core::{GroundhogConfig, Manager};
+
+fn build_manager(pages: u64) -> (Kernel, Manager) {
+    let mut kernel = Kernel::boot();
+    let pid = kernel.spawn("bench");
+    kernel
+        .run_charged(pid, |p, frames| {
+            let r = p.mem.mmap(pages, Perms::RW, VmaKind::Anon).unwrap();
+            for vpn in r.iter() {
+                p.mem.touch(vpn, Touch::WriteWord(1), Taint::Clean, frames).unwrap();
+            }
+        })
+        .unwrap();
+    let mut mgr = Manager::new(pid, GroundhogConfig::gh());
+    mgr.snapshot_now(&mut kernel).unwrap();
+    (kernel, mgr)
+}
+
+fn dirty_and_restore(kernel: &mut Kernel, mgr: &mut Manager, dirty: u64, req: u64) {
+    let pid = mgr.pid();
+    mgr.begin_request(kernel, "bench").unwrap();
+    let first = kernel.process(pid).unwrap().mem.pagemap().next().unwrap().0;
+    kernel
+        .run_charged(pid, |p, frames| {
+            for i in 0..dirty {
+                let vpn = gh_mem::Vpn(first.0 + i * 2);
+                let _ = p.mem.touch(
+                    vpn,
+                    Touch::WriteWord(req ^ i),
+                    Taint::One(RequestId(req)),
+                    frames,
+                );
+            }
+        })
+        .unwrap();
+    mgr.end_request(kernel).unwrap();
+}
+
+fn bench_restore_vs_dirty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restore_vs_dirty_pages");
+    group.sample_size(10);
+    for dirty in [64u64, 512, 2048] {
+        let (mut kernel, mut mgr) = build_manager(8192);
+        let mut req = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(dirty), &dirty, |b, &d| {
+            b.iter(|| {
+                req += 1;
+                dirty_and_restore(black_box(&mut kernel), &mut mgr, d, req);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_restore_vs_space(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restore_vs_address_space");
+    group.sample_size(10);
+    for pages in [2_048u64, 16_384, 65_536] {
+        let (mut kernel, mut mgr) = build_manager(pages);
+        let mut req = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(pages), &pages, |b, _| {
+            b.iter(|| {
+                req += 1;
+                dirty_and_restore(black_box(&mut kernel), &mut mgr, 256, req);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_restore_vs_dirty, bench_restore_vs_space);
+criterion_main!(benches);

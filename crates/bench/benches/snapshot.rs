@@ -1,0 +1,46 @@
+//! Criterion bench: snapshot cost versus process footprint (§5.5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gh_mem::{Perms, Taint, Touch, VmaKind};
+use gh_proc::Kernel;
+use groundhog_core::snapshot::Snapshotter;
+use groundhog_core::track::make_tracker;
+use groundhog_core::TrackerKind;
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_vs_footprint");
+    group.sample_size(10);
+    for pages in [1_024u64, 8_192, 65_536] {
+        group.bench_with_input(BenchmarkId::from_parameter(pages), &pages, |b, &pages| {
+            b.iter_with_setup(
+                || {
+                    let mut kernel = Kernel::boot();
+                    let pid = kernel.spawn("snap");
+                    kernel
+                        .run_charged(pid, |p, frames| {
+                            let r = p.mem.mmap(pages, Perms::RW, VmaKind::Anon).unwrap();
+                            for vpn in r.iter() {
+                                p.mem
+                                    .touch(vpn, Touch::WriteWord(7), Taint::Clean, frames)
+                                    .unwrap();
+                            }
+                        })
+                        .unwrap();
+                    (kernel, pid)
+                },
+                |(mut kernel, pid)| {
+                    let mut tracker = make_tracker(TrackerKind::SoftDirty);
+                    black_box(
+                        Snapshotter::take(&mut kernel, pid, tracker.as_mut()).unwrap(),
+                    )
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion bench: soft-dirty vs userfaultfd tracking backends (§4.3)
+//! at the implementation level — arm + dirty + collect cycles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gh_mem::{Perms, Taint, Touch, VmaKind, Vpn};
+use gh_proc::{Kernel, Pid, PtraceSession};
+use groundhog_core::track::{make_tracker, MemoryTracker};
+use groundhog_core::TrackerKind;
+
+const PAGES: u64 = 16_384;
+
+fn build() -> (Kernel, Pid, Vpn) {
+    let mut kernel = Kernel::boot();
+    let pid = kernel.spawn("tracked");
+    let start = kernel
+        .run_charged(pid, |p, frames| {
+            let r = p.mem.mmap(PAGES, Perms::RW, VmaKind::Anon).unwrap();
+            for vpn in r.iter() {
+                p.mem.touch(vpn, Touch::WriteWord(1), Taint::Clean, frames).unwrap();
+            }
+            r.start
+        })
+        .unwrap()
+        .0;
+    (kernel, pid, start)
+}
+
+fn cycle(
+    kernel: &mut Kernel,
+    pid: Pid,
+    start: Vpn,
+    tracker: &mut dyn MemoryTracker,
+    dirty: u64,
+) -> usize {
+    {
+        let mut s = PtraceSession::attach(kernel, pid).unwrap();
+        s.interrupt_all().unwrap();
+        tracker.arm(&mut s).unwrap();
+        s.detach().unwrap();
+    }
+    kernel
+        .run_charged(pid, |p, frames| {
+            for i in 0..dirty {
+                let _ = p.mem.touch(
+                    Vpn(start.0 + i * 3 % PAGES),
+                    Touch::WriteWord(i),
+                    Taint::Clean,
+                    frames,
+                );
+            }
+        })
+        .unwrap();
+    let mut s = PtraceSession::attach(kernel, pid).unwrap();
+    s.interrupt_all().unwrap();
+    let report = tracker.collect(&mut s).unwrap();
+    s.detach().unwrap();
+    report.dirty.len()
+}
+
+fn bench_backends(c: &mut Criterion) {
+    for kind in [TrackerKind::SoftDirty, TrackerKind::Uffd] {
+        let mut group = c.benchmark_group(format!("{kind:?}"));
+        group.sample_size(10);
+        for dirty in [16u64, 1024] {
+            let (mut kernel, pid, start) = build();
+            let mut tracker = make_tracker(kind);
+            group.bench_with_input(BenchmarkId::from_parameter(dirty), &dirty, |b, &d| {
+                b.iter(|| {
+                    black_box(cycle(&mut kernel, pid, start, tracker.as_mut(), d))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Fig. 3 — microbenchmark latency.
+//!
+//! Left: latency vs. percentage of dirtied pages (100K mapped pages).
+//! Right: latency vs. address-space size (1K dirtied pages fixed).
+//! Solid lines = in-function overhead only (low load); dashed lines =
+//! including restoration (high load, back-to-back requests).
+//!
+//! ```text
+//! cargo run --release -p gh-bench --bin fig3
+//! ```
+//! Env: `GH_MICRO_PAGES` (default 100000), `GH_MICRO_REQS` (default 4).
+
+use gh_bench::micro_harness::{micro_latency, MicroMode};
+use gh_bench::{fmt_ms, write_csv};
+use gh_sim::report::{AsciiPlot, TextTable};
+
+const MODES: [MicroMode; 4] =
+    [MicroMode::Base, MicroMode::GhNop, MicroMode::Gh, MicroMode::Fork];
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let pages = env_u64("GH_MICRO_PAGES", 100_000);
+    let reqs = env_u64("GH_MICRO_REQS", 4) as usize;
+
+    println!("== Fig. 3 (left): latency vs dirtied pages ({pages} mapped pages) ==\n");
+    let fractions: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let mut table = TextTable::new(&[
+        "dirtied %",
+        "base", "GH-NOP", "GH", "fork",
+        "base+rest", "GH-NOP+rest", "GH+rest", "fork+rest",
+    ]);
+    let mut solid: Vec<(MicroMode, Vec<(f64, f64)>)> =
+        MODES.iter().map(|m| (*m, Vec::new())).collect();
+    let mut dashed = solid.clone();
+    for &frac in &fractions {
+        let mut row = vec![format!("{:.0}", frac * 100.0)];
+        let mut cycle_cells = Vec::new();
+        for (i, mode) in MODES.iter().enumerate() {
+            let lat = micro_latency(pages, frac, *mode, reqs);
+            row.push(fmt_ms(lat.exec_ms));
+            cycle_cells.push(fmt_ms(lat.cycle_ms));
+            solid[i].1.push((frac * 100.0, lat.exec_ms));
+            dashed[i].1.push((frac * 100.0, lat.cycle_ms));
+        }
+        row.extend(cycle_cells);
+        table.row_owned(row);
+    }
+    println!("{}", table.render());
+    write_csv("fig3_left", &table);
+
+    let plot = AsciiPlot::new(72, 18);
+    let series: Vec<(&str, Vec<(f64, f64)>)> = dashed
+        .iter()
+        .map(|(m, pts)| (m.label(), pts.clone()))
+        .collect();
+    println!("latency+restoration (ms) vs dirtied pages (%):\n{}", plot.render(&series));
+
+    println!("== Fig. 3 (right): latency vs address space size (1K pages dirtied) ==\n");
+    let sizes: Vec<u64> = vec![1_000, 5_000, 10_000, 25_000, 50_000, 75_000, 100_000];
+    let mut table = TextTable::new(&[
+        "Kpages",
+        "base", "GH-NOP", "GH", "fork",
+        "base+rest", "GH-NOP+rest", "GH+rest", "fork+rest",
+    ]);
+    let mut dashed_r: Vec<(MicroMode, Vec<(f64, f64)>)> =
+        MODES.iter().map(|m| (*m, Vec::new())).collect();
+    for &size in &sizes {
+        let frac = (1_000.0 / size as f64).min(1.0);
+        let mut row = vec![format!("{}", size / 1000)];
+        let mut cycle_cells = Vec::new();
+        for (i, mode) in MODES.iter().enumerate() {
+            let lat = micro_latency(size, frac, *mode, reqs);
+            row.push(fmt_ms(lat.exec_ms));
+            cycle_cells.push(fmt_ms(lat.cycle_ms));
+            dashed_r[i].1.push((size as f64 / 1000.0, lat.cycle_ms));
+        }
+        row.extend(cycle_cells);
+        table.row_owned(row);
+    }
+    println!("{}", table.render());
+    write_csv("fig3_right", &table);
+
+    let plot = AsciiPlot::new(72, 18);
+    let series: Vec<(&str, Vec<(f64, f64)>)> = dashed_r
+        .iter()
+        .map(|(m, pts)| (m.label(), pts.clone()))
+        .collect();
+    println!("latency+restoration (ms) vs address space (Kpages):\n{}", plot.render(&series));
+
+    println!(
+        "Expected shapes (paper §5.2): GH-NOP ≈ base; GH grows with dirtied pages \
+         (in-function) and with address-space size (restoration scan); fork is dearest \
+         (CoW copies + dTLB-cold accesses grow with address-space size)."
+    );
+}

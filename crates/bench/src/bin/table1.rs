@@ -1,0 +1,46 @@
+//! Table 1 — absolute latency and throughput for all 58 benchmarks under
+//! BASE, GH, GHNOP, FORK and FAASM.
+//!
+//! ```text
+//! cargo run --release -p gh-bench --bin table1
+//! ```
+
+use gh_bench::{fmt_ms, latency_requests, run_latency, run_throughput, write_csv, xput_requests};
+use gh_functions::catalog::catalog;
+use gh_isolation::StrategyKind;
+use gh_sim::report::TextTable;
+
+fn main() {
+    let n = latency_requests();
+    let reqs = xput_requests();
+    println!("== Table 1 — absolute measurements (mean over {n} requests) ==\n");
+    let mut table = TextTable::new(&[
+        "benchmark", "config", "E2E ms", "±σ", "inv ms", "±σ", "xput r/s",
+    ]);
+    let kinds = [
+        StrategyKind::Base,
+        StrategyKind::Gh,
+        StrategyKind::GhNop,
+        StrategyKind::Fork,
+        StrategyKind::Faasm,
+    ];
+    for spec in catalog() {
+        for kind in kinds {
+            let Some(lat) = run_latency(&spec, kind, n, 10) else { continue };
+            let xput = run_throughput(&spec, kind, reqs, 10).unwrap_or(0.0);
+            let e2e = lat.e2e.summary_ms();
+            let inv = lat.invoker.summary_ms();
+            table.row_owned(vec![
+                spec.name.to_string(),
+                kind.label().to_string(),
+                fmt_ms(e2e.mean),
+                fmt_ms(e2e.std_dev),
+                fmt_ms(inv.mean),
+                fmt_ms(inv.std_dev),
+                format!("{xput:.2}"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    write_csv("table1", &table);
+}

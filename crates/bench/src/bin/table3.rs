@@ -1,0 +1,90 @@
+//! Table 3 — restoration statistics per benchmark (sorted by restore
+//! time), next to the paper's reported values.
+//!
+//! ```text
+//! cargo run --release -p gh-bench --bin table3
+//! ```
+
+use gh_bench::{fmt_ms, latency_requests, write_csv};
+use gh_faas::{Container, Request};
+use gh_functions::catalog::catalog;
+use gh_isolation::StrategyKind;
+use gh_sim::report::TextTable;
+use groundhog_core::GroundhogConfig;
+
+struct Row {
+    name: String,
+    base_inv_ms: f64,
+    gh_inv_ms: f64,
+    restore_ms: f64,
+    pages_k: f64,
+    faults_k: f64,
+    restored_k: f64,
+    paper_restore_ms: f64,
+    paper_pages_k: f64,
+    paper_restored_k: f64,
+}
+
+fn main() {
+    let n = latency_requests().min(8);
+    println!("== Table 3 — restoration statistics (sorted by restore time) ==\n");
+    let mut rows = Vec::new();
+    for spec in catalog() {
+        // Base invoker latency from a short latency run.
+        let base = gh_bench::run_latency(&spec, StrategyKind::Base, n, 30).expect("base");
+        // GH detail from a driven container.
+        let mut c = Container::cold_start(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 30)
+            .expect("gh container");
+        let mut inv_ms = 0.0;
+        let mut restore_ms = 0.0;
+        let mut faults = 0u64;
+        let mut restored = 0u64;
+        for i in 0..n as u64 {
+            let out = c.invoke(&Request::new(i + 1, "client", spec.input_kb)).unwrap();
+            inv_ms += out.invoker_latency.as_millis_f64();
+            restore_ms += out.off_path.as_millis_f64();
+            faults += out.exec.faults.total_faults();
+            let rep = c.stats.last_post.as_ref().unwrap().restore.as_ref().unwrap();
+            restored += rep.pages_restored;
+        }
+        let mapped = c.kernel.process(c.fproc.pid).unwrap().mem.mapped_pages();
+        rows.push(Row {
+            name: spec.name.to_string(),
+            base_inv_ms: base.invoker_mean_ms(),
+            gh_inv_ms: inv_ms / n as f64,
+            restore_ms: restore_ms / n as f64,
+            pages_k: mapped as f64 / 1000.0,
+            faults_k: faults as f64 / n as f64 / 1000.0,
+            restored_k: restored as f64 / n as f64 / 1000.0,
+            paper_restore_ms: spec.paper_restore_ms,
+            paper_pages_k: spec.total_kpages,
+            paper_restored_k: spec.written_kpages,
+        });
+    }
+    rows.sort_by(|a, b| a.restore_ms.partial_cmp(&b.restore_ms).unwrap());
+
+    let mut table = TextTable::new(&[
+        "benchmark", "base inv ms", "GH inv ms", "restore ms", "pages K", "faults K",
+        "restored K", "paper restore", "paper pages", "paper restored",
+    ]);
+    for r in &rows {
+        table.row_owned(vec![
+            r.name.clone(),
+            fmt_ms(r.base_inv_ms),
+            fmt_ms(r.gh_inv_ms),
+            format!("{:.2}", r.restore_ms),
+            format!("{:.2}", r.pages_k),
+            format!("{:.2}", r.faults_k),
+            format!("{:.2}", r.restored_k),
+            format!("{:.2}", r.paper_restore_ms),
+            format!("{:.2}", r.paper_pages_k),
+            format!("{:.2}", r.paper_restored_k),
+        ]);
+    }
+    println!("{}", table.render());
+    write_csv("table3", &table);
+    println!(
+        "Expected shape: restore time ordered by (restored pages, address-space size); \
+         C benchmarks sub-millisecond, Python a few ms, Node.js 12–160 ms."
+    );
+}

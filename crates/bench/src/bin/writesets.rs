@@ -1,0 +1,80 @@
+//! §3.1 / §3 aggregate statistics:
+//!
+//! - write-set sizes: "mean: 8.5% of the mapped address space is
+//!   modified, median: 3.3%, 90p: 17%";
+//! - restore-time distribution: "a median of 3.7 ms (10p: 0.7 ms,
+//!   25p: 1 ms, 75p: 5.4 ms, 90p: 13 ms)" and §2's 95p: 16.1 ms;
+//! - headline overheads (abstract): latency median 1.5% / 95p 7%;
+//!   throughput median 2.5% / 95p 49.6%.
+//!
+//! ```text
+//! cargo run --release -p gh-bench --bin writesets
+//! ```
+
+use gh_bench::{latency_requests, run_latency, run_throughput, write_csv, xput_requests};
+use gh_functions::catalog::catalog;
+use gh_isolation::StrategyKind;
+use gh_sim::report::TextTable;
+use gh_sim::stats::{median, overhead_percent, percentile};
+
+fn print_dist(name: &str, xs: &[f64], unit: &str) {
+    println!(
+        "{name}: mean {:.2}{unit}  10p {:.2}  25p {:.2}  median {:.2}  75p {:.2}  90p {:.2}  95p {:.2}",
+        xs.iter().sum::<f64>() / xs.len() as f64,
+        percentile(xs, 10.0),
+        percentile(xs, 25.0),
+        median(xs),
+        percentile(xs, 75.0),
+        percentile(xs, 90.0),
+        percentile(xs, 95.0),
+    );
+}
+
+fn main() {
+    let n = latency_requests();
+    let reqs = xput_requests();
+    let mut table = TextTable::new(&[
+        "benchmark", "writeset_pct", "restore_ms", "e2e_overhead_pct", "xput_drop_pct",
+    ]);
+
+    let mut writesets = Vec::new();
+    let mut restores = Vec::new();
+    let mut lat_over = Vec::new();
+    let mut xput_drop = Vec::new();
+    for spec in catalog() {
+        let base = run_latency(&spec, StrategyKind::Base, n, 40).expect("base");
+        let gh = run_latency(&spec, StrategyKind::Gh, n, 40).expect("gh");
+        let bx = run_throughput(&spec, StrategyKind::Base, reqs, 40).expect("base x");
+        let gx = run_throughput(&spec, StrategyKind::Gh, reqs, 40).expect("gh x");
+        let ws = 100.0 * spec.write_set_fraction();
+        let rt = gh.restore_mean_ms();
+        let lo = overhead_percent(base.e2e_mean_ms(), gh.e2e_mean_ms());
+        let xd = -overhead_percent(bx, gx);
+        writesets.push(ws);
+        restores.push(rt);
+        lat_over.push(lo);
+        xput_drop.push(xd);
+        table.row_owned(vec![
+            spec.name.to_string(),
+            format!("{ws:.2}"),
+            format!("{rt:.2}"),
+            format!("{lo:+.2}"),
+            format!("{xd:+.2}"),
+        ]);
+    }
+    println!("== §3.1 write-set sizes (% of mapped address space modified) ==");
+    print_dist("write sets", &writesets, "%");
+    println!("   paper: mean 8.5%, median 3.3%, 90p 17%\n");
+
+    println!("== §3 restore-time distribution across the 58 benchmarks ==");
+    print_dist("restore time", &restores, "ms");
+    println!("   paper: median 3.7ms, 10p 0.7, 25p 1, 75p 5.4, 90p 13, 95p 16.1\n");
+
+    println!("== headline overheads (abstract) ==");
+    print_dist("E2E latency overhead", &lat_over, "%");
+    println!("   paper: median 1.5%, 95p 7%");
+    print_dist("throughput reduction", &xput_drop, "%");
+    println!("   paper: median 2.5%, 95p 49.6%\n");
+
+    write_csv("writesets", &table);
+}

@@ -1,0 +1,223 @@
+//! Harness for the §5.2 microbenchmark under each isolation mode.
+
+use gh_functions::micro::MicroFunction;
+use gh_mem::RequestId;
+use gh_proc::{Kernel, Pid};
+use gh_sim::Nanos;
+use groundhog_core::{GroundhogConfig, Manager};
+
+/// Isolation modes of the microbenchmark experiments (Fig. 3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MicroMode {
+    /// Insecure reuse.
+    Base,
+    /// Tracking armed once, never restored.
+    GhNop,
+    /// Full Groundhog.
+    Gh,
+    /// Fork per request.
+    Fork,
+}
+
+impl MicroMode {
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MicroMode::Base => "base",
+            MicroMode::GhNop => "GH-NOP",
+            MicroMode::Gh => "GH",
+            MicroMode::Fork => "fork",
+        }
+    }
+}
+
+/// Mean latencies of one micro configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MicroLatency {
+    /// In-function latency (low-load workload; solid lines).
+    pub exec_ms: f64,
+    /// Full request cycle incl. off-path work (high-load workload;
+    /// dashed lines — back-to-back requests wait for restoration).
+    pub cycle_ms: f64,
+}
+
+/// A built microbenchmark instance under one mode.
+pub struct MicroRig {
+    kernel: Kernel,
+    micro: MicroFunction,
+    mode: MicroMode,
+    manager: Option<Manager>,
+    parent: Pid,
+    req: u64,
+}
+
+impl MicroRig {
+    /// Builds the rig: allocates the region, pages it in via the dummy
+    /// pass, snapshots under GH/GHNOP.
+    pub fn build(mapped_pages: u64, mode: MicroMode) -> MicroRig {
+        let cfg = if mode == MicroMode::GhNop {
+            GroundhogConfig::ghnop()
+        } else {
+            GroundhogConfig::gh()
+        };
+        Self::build_cfg(mapped_pages, mode, cfg)
+    }
+
+    /// Builds the rig with an explicit Groundhog configuration (for the
+    /// ablation experiments: coalescing off, UFFD tracking, ...).
+    pub fn build_cfg(mapped_pages: u64, mode: MicroMode, cfg: GroundhogConfig) -> MicroRig {
+        let mut kernel = Kernel::boot();
+        let micro = MicroFunction::build(&mut kernel, mapped_pages);
+        let parent = micro.pid;
+        let manager = match mode {
+            MicroMode::Gh | MicroMode::GhNop => {
+                let mut m = Manager::new(parent, cfg);
+                m.snapshot_now(&mut kernel).expect("snapshot");
+                Some(m)
+            }
+            _ => None,
+        };
+        MicroRig { kernel, micro, mode, manager, parent, req: 0 }
+    }
+
+    /// Snapshot cost: (duration ms, manager memory MiB). Zero for modes
+    /// without a snapshot.
+    pub fn snapshot_stats(&self) -> (f64, f64) {
+        match self.manager.as_ref() {
+            Some(m) => {
+                let ms = m
+                    .stats
+                    .snapshot
+                    .map(|r| r.duration.as_millis_f64())
+                    .unwrap_or(0.0);
+                let mib = m
+                    .snapshot()
+                    .map(|s| s.memory_bytes() as f64 / (1024.0 * 1024.0))
+                    .unwrap_or(0.0);
+                (ms, mib)
+            }
+            None => (0.0, 0.0),
+        }
+    }
+
+    /// Restores performed so far (GH mode).
+    pub fn restores(&self) -> u64 {
+        self.manager.as_ref().map_or(0, |m| m.stats.restores)
+    }
+
+    /// Restores skipped via the same-principal optimization.
+    pub fn skipped_restores(&self) -> u64 {
+        self.manager.as_ref().map_or(0, |m| m.stats.skipped_restores)
+    }
+
+    /// Runs one request, returning (exec, cycle) durations.
+    pub fn request(&mut self, dirty_fraction: f64) -> (Nanos, Nanos) {
+        self.req += 1;
+        let rid = RequestId(self.req);
+        let t0 = self.kernel.clock.now();
+        match self.mode {
+            MicroMode::Base | MicroMode::GhNop => {
+                if let Some(m) = self.manager.as_mut() {
+                    m.begin_request(&mut self.kernel, "client").expect("admit");
+                }
+                let r = self.micro.invoke(&mut self.kernel, dirty_fraction, rid);
+                let _ = r;
+                let exec = self.kernel.clock.now() - t0;
+                if let Some(m) = self.manager.as_mut() {
+                    m.end_request(&mut self.kernel).expect("conclude");
+                }
+                (exec, self.kernel.clock.now() - t0)
+            }
+            MicroMode::Gh => {
+                let m = self.manager.as_mut().expect("gh manager");
+                m.begin_request(&mut self.kernel, "client").expect("admit");
+                self.micro.invoke(&mut self.kernel, dirty_fraction, rid);
+                let exec = self.kernel.clock.now() - t0;
+                m.end_request(&mut self.kernel).expect("restore");
+                (exec, self.kernel.clock.now() - t0)
+            }
+            MicroMode::Fork => {
+                let child = self.kernel.fork(self.parent).expect("fork");
+                let view = MicroFunction { pid: child, region: self.micro.region };
+                view.invoke(&mut self.kernel, dirty_fraction, rid);
+                let exec = self.kernel.clock.now() - t0;
+                self.kernel.exit(child).expect("reap child");
+                (exec, self.kernel.clock.now() - t0)
+            }
+        }
+    }
+
+    /// Mean latencies over `n` requests at a fixed dirty fraction.
+    pub fn measure(&mut self, dirty_fraction: f64, n: usize) -> MicroLatency {
+        let mut exec_total = Nanos::ZERO;
+        let mut cycle_total = Nanos::ZERO;
+        // One warm-up request (not measured).
+        self.request(dirty_fraction);
+        for _ in 0..n {
+            let (e, c) = self.request(dirty_fraction);
+            exec_total += e;
+            cycle_total += c;
+        }
+        MicroLatency {
+            exec_ms: exec_total.as_millis_f64() / n as f64,
+            cycle_ms: cycle_total.as_millis_f64() / n as f64,
+        }
+    }
+}
+
+/// Convenience: build + measure in one call.
+pub fn micro_latency(
+    mapped_pages: u64,
+    dirty_fraction: f64,
+    mode: MicroMode,
+    requests: usize,
+) -> MicroLatency {
+    MicroRig::build(mapped_pages, mode).measure(dirty_fraction, requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGES: u64 = 4_000;
+
+    #[test]
+    fn ghnop_tracks_close_to_base() {
+        // §5.2.1: "GHNOP has negligible overhead relative to BASE since
+        // the SD-bits set in the first run are not reset".
+        let base = micro_latency(PAGES, 0.5, MicroMode::Base, 4);
+        let nop = micro_latency(PAGES, 0.5, MicroMode::GhNop, 4);
+        let rel = nop.exec_ms / base.exec_ms;
+        assert!((0.95..1.1).contains(&rel), "GHNOP/base = {rel:.3}");
+    }
+
+    #[test]
+    fn gh_in_function_overhead_scales_with_dirty_pages() {
+        let lo = micro_latency(PAGES, 0.1, MicroMode::Gh, 4);
+        let hi = micro_latency(PAGES, 0.9, MicroMode::Gh, 4);
+        let base_lo = micro_latency(PAGES, 0.1, MicroMode::Base, 4);
+        let base_hi = micro_latency(PAGES, 0.9, MicroMode::Base, 4);
+        let overhead_lo = lo.exec_ms - base_lo.exec_ms;
+        let overhead_hi = hi.exec_ms - base_hi.exec_ms;
+        assert!(
+            overhead_hi > overhead_lo * 4.0,
+            "SD-fault overhead proportional to dirtied pages: {overhead_lo:.3} vs {overhead_hi:.3}"
+        );
+    }
+
+    #[test]
+    fn fork_exec_dearer_than_gh() {
+        // §5.2.3: fork's CoW faults are dearer than GH's SD faults.
+        let gh = micro_latency(PAGES, 0.5, MicroMode::Gh, 4);
+        let fork = micro_latency(PAGES, 0.5, MicroMode::Fork, 4);
+        assert!(fork.exec_ms > gh.exec_ms, "fork {0:.3} !> gh {1:.3}", fork.exec_ms, gh.exec_ms);
+    }
+
+    #[test]
+    fn restoration_shows_only_in_cycle_time() {
+        let gh = micro_latency(PAGES, 0.5, MicroMode::Gh, 4);
+        assert!(gh.cycle_ms > gh.exec_ms, "restore is off the critical path");
+        let base = micro_latency(PAGES, 0.5, MicroMode::Base, 4);
+        assert!((base.cycle_ms - base.exec_ms).abs() < 1e-6);
+    }
+}

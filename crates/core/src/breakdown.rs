@@ -1,0 +1,183 @@
+//! The thirteen restore phases of Fig. 8 and their timing breakdown.
+
+use gh_sim::Nanos;
+
+/// One phase of the restore sequence, in execution order. The labels are
+/// exactly Fig. 8's legend.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum RestorePhase {
+    /// Interrupting the function process.
+    Interrupting = 0,
+    /// Reading the process' memory mapped regions.
+    ReadingMaps,
+    /// Scanning all mapped pages to identify which are dirtied.
+    ScanningPageMetadata,
+    /// Diffing the memory layout to identify how it has changed.
+    DiffingMemoryLayouts,
+    /// Injected `brk`.
+    Brk,
+    /// Injected `mmap`s.
+    Mmap,
+    /// Injected `munmap`s.
+    Munmap,
+    /// Injected `madvise`s.
+    Madvise,
+    /// Injected `mprotect`s.
+    Mprotect,
+    /// Restoring the contents of modified and removed pages.
+    RestoringMemory,
+    /// Resetting the soft-dirty bits of all modified pages.
+    ClearingSoftDirtyBits,
+    /// Restoring registers.
+    RestoringRegisters,
+    /// Detaching from the process.
+    Detaching,
+}
+
+/// Number of phases.
+pub const NUM_PHASES: usize = 13;
+
+/// All phases in execution order.
+pub const ALL_PHASES: [RestorePhase; NUM_PHASES] = [
+    RestorePhase::Interrupting,
+    RestorePhase::ReadingMaps,
+    RestorePhase::ScanningPageMetadata,
+    RestorePhase::DiffingMemoryLayouts,
+    RestorePhase::Brk,
+    RestorePhase::Mmap,
+    RestorePhase::Munmap,
+    RestorePhase::Madvise,
+    RestorePhase::Mprotect,
+    RestorePhase::RestoringMemory,
+    RestorePhase::ClearingSoftDirtyBits,
+    RestorePhase::RestoringRegisters,
+    RestorePhase::Detaching,
+];
+
+impl RestorePhase {
+    /// The Fig. 8 legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RestorePhase::Interrupting => "interrupting",
+            RestorePhase::ReadingMaps => "reading maps",
+            RestorePhase::ScanningPageMetadata => "scanning page metadata",
+            RestorePhase::DiffingMemoryLayouts => "diffing memory layouts",
+            RestorePhase::Brk => "brk()",
+            RestorePhase::Mmap => "mmap()",
+            RestorePhase::Munmap => "munmap()",
+            RestorePhase::Madvise => "madvise()",
+            RestorePhase::Mprotect => "mprotect()",
+            RestorePhase::RestoringMemory => "restoring memory",
+            RestorePhase::ClearingSoftDirtyBits => "clearing soft-dirty bits",
+            RestorePhase::RestoringRegisters => "restoring registers",
+            RestorePhase::Detaching => "detaching",
+        }
+    }
+}
+
+/// Per-phase durations of one restore.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    phases: [Nanos; NUM_PHASES],
+}
+
+impl Breakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `dt` to a phase.
+    pub fn add(&mut self, phase: RestorePhase, dt: Nanos) {
+        self.phases[phase as usize] += dt;
+    }
+
+    /// Duration of one phase.
+    pub fn get(&self, phase: RestorePhase) -> Nanos {
+        self.phases[phase as usize]
+    }
+
+    /// Total restore duration.
+    pub fn total(&self) -> Nanos {
+        self.phases.iter().copied().sum()
+    }
+
+    /// Phase fractions of the total (sums to ~1.0); zero total yields
+    /// all-zero fractions.
+    pub fn fractions(&self) -> [f64; NUM_PHASES] {
+        let total = self.total().as_nanos() as f64;
+        let mut out = [0.0; NUM_PHASES];
+        if total > 0.0 {
+            for (i, p) in self.phases.iter().enumerate() {
+                out[i] = p.as_nanos() as f64 / total;
+            }
+        }
+        out
+    }
+
+    /// Merges another breakdown into this one (for averaging).
+    pub fn absorb(&mut self, other: &Breakdown) {
+        for i in 0..NUM_PHASES {
+            self.phases[i] += other.phases[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_cover_fig8_legend() {
+        let labels: Vec<&str> = ALL_PHASES.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 13);
+        assert!(labels.contains(&"interrupting"));
+        assert!(labels.contains(&"restoring memory"));
+        assert!(labels.contains(&"clearing soft-dirty bits"));
+        assert!(labels.contains(&"detaching"));
+        // Order: interrupt first, detach last (§4.4).
+        assert_eq!(labels[0], "interrupting");
+        assert_eq!(labels[12], "detaching");
+    }
+
+    #[test]
+    fn accumulation_and_total() {
+        let mut b = Breakdown::new();
+        b.add(RestorePhase::Interrupting, Nanos::from_micros(100));
+        b.add(RestorePhase::RestoringMemory, Nanos::from_micros(300));
+        b.add(RestorePhase::RestoringMemory, Nanos::from_micros(100));
+        assert_eq!(b.get(RestorePhase::RestoringMemory), Nanos::from_micros(400));
+        assert_eq!(b.total(), Nanos::from_micros(500));
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut b = Breakdown::new();
+        b.add(RestorePhase::Interrupting, Nanos::from_micros(1));
+        b.add(RestorePhase::Detaching, Nanos::from_micros(3));
+        let f = b.fractions();
+        let sum: f64 = f.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((f[RestorePhase::Detaching as usize] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_breakdown_fractions_are_zero() {
+        let b = Breakdown::new();
+        assert!(b.fractions().iter().all(|&x| x == 0.0));
+        assert_eq!(b.total(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = Breakdown::new();
+        a.add(RestorePhase::Brk, Nanos::from_nanos(10));
+        let mut b = Breakdown::new();
+        b.add(RestorePhase::Brk, Nanos::from_nanos(5));
+        b.add(RestorePhase::Mmap, Nanos::from_nanos(7));
+        a.absorb(&b);
+        assert_eq!(a.get(RestorePhase::Brk), Nanos::from_nanos(15));
+        assert_eq!(a.get(RestorePhase::Mmap), Nanos::from_nanos(7));
+    }
+}

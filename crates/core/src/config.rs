@@ -1,0 +1,104 @@
+//! Groundhog configuration knobs.
+//!
+//! Defaults correspond to the paper's `GH` configuration; individual
+//! fields are the ablation axes of DESIGN.md §7.
+
+/// Which memory-tracking backend to use (§4.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TrackerKind {
+    /// Soft-dirty bits: cheap per-fault, restore scans the full pagemap.
+    #[default]
+    SoftDirty,
+    /// Userfaultfd write-protection: expensive per-fault notifications,
+    /// no scan at restore. "Faster ... only when the number of dirtied
+    /// pages was close to zero."
+    Uffd,
+}
+
+/// Configuration of a Groundhog manager instance.
+#[derive(Clone, Debug)]
+pub struct GroundhogConfig {
+    /// Tracking backend.
+    pub tracker: TrackerKind,
+    /// Restore dirtied pages at all. `false` is the paper's `GHNOP`
+    /// configuration: tracking armed once, no rollback — an optimization
+    /// for consecutive same-trust requests, *not* an isolation mode.
+    pub restore_enabled: bool,
+    /// Coalesce contiguous dirty pages into single copy operations
+    /// (§5.2.2's slope change at ~60% dirtied).
+    pub coalesce: bool,
+    /// Skip rollback when consecutive requests share a principal (§4.4's
+    /// "mutually trusting callers" optimization). Defers the restore to
+    /// the next request's arrival, when the principal is known.
+    pub skip_same_principal: bool,
+    /// Issue a deployer-provided dummy request before snapshotting (§4.1)
+    /// to trigger lazy paging / class loading.
+    pub dummy_warm: bool,
+    /// Zero the stack during restore (§4.4).
+    pub zero_stack: bool,
+    /// `madvise(DONTNEED)` pages that became resident since the snapshot
+    /// (§4.4 "madvises newly paged pages").
+    pub madvise_new: bool,
+    /// Store the snapshot as copy-on-write frame references instead of
+    /// eager page copies — §5.5's proposed optimization: "memory overhead
+    /// could easily be reduced to be proportional to the number of dirtied
+    /// pages at the cost of a one-time on-critical-path copy-on-write per
+    /// unique modified page in the function's life-cycle".
+    pub cow_snapshot: bool,
+    /// Virtualize time across restores (§5.3.1's proposed fix for
+    /// time-driven GC: "the process restoration resets the time to the
+    /// original time of the snapshot"): the platform re-bases the
+    /// runtime's in-memory clock after each rollback so collectors do not
+    /// observe the rewind.
+    pub virtualize_time: bool,
+}
+
+impl Default for GroundhogConfig {
+    fn default() -> Self {
+        GroundhogConfig {
+            tracker: TrackerKind::SoftDirty,
+            restore_enabled: true,
+            coalesce: true,
+            skip_same_principal: false,
+            dummy_warm: true,
+            zero_stack: true,
+            madvise_new: true,
+            cow_snapshot: false,
+            virtualize_time: false,
+        }
+    }
+}
+
+impl GroundhogConfig {
+    /// The paper's `GH` configuration.
+    pub fn gh() -> Self {
+        Self::default()
+    }
+
+    /// The paper's `GHNOP` configuration: track but never restore.
+    pub fn ghnop() -> Self {
+        GroundhogConfig { restore_enabled: false, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gh_defaults() {
+        let c = GroundhogConfig::gh();
+        assert!(c.restore_enabled);
+        assert!(c.coalesce);
+        assert!(!c.skip_same_principal);
+        assert!(c.dummy_warm);
+        assert_eq!(c.tracker, TrackerKind::SoftDirty);
+    }
+
+    #[test]
+    fn ghnop_disables_restore_only() {
+        let c = GroundhogConfig::ghnop();
+        assert!(!c.restore_enabled);
+        assert!(c.dummy_warm, "GHNOP still snapshots and warms");
+    }
+}

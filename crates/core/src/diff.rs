@@ -1,0 +1,353 @@
+//! Diffing memory layouts between snapshot and post-activation state
+//! (§4.4: "identifies all changes to the memory layout by consulting
+//! /proc/pid/maps and pagemap (e.g. grown, shrunk, merged, split,
+//! deleted, new memory regions)").
+//!
+//! The diff is computed with a boundary sweep over the two VMA lists and
+//! compiled into the syscall plan the restorer injects via ptrace.
+
+use gh_mem::{PageRange, Perms, Vma, VmaKind, Vpn};
+use gh_proc::Syscall;
+
+/// A region to re-create, with its snapshot-time attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RemapRegion {
+    /// Pages to map.
+    pub range: PageRange,
+    /// Snapshot-time permissions.
+    pub perms: Perms,
+    /// Snapshot-time backing.
+    pub kind: VmaKind,
+}
+
+/// The layout delta between snapshot and current state.
+#[derive(Clone, Debug, Default)]
+pub struct LayoutDiff {
+    /// Regions mapped now but absent from the snapshot → `munmap`.
+    pub to_munmap: Vec<PageRange>,
+    /// Regions in the snapshot but unmapped now → `mmap(MAP_FIXED)`.
+    pub to_remap: Vec<RemapRegion>,
+    /// Regions whose permissions changed → `mprotect` back.
+    pub to_mprotect: Vec<(PageRange, Perms)>,
+    /// `(current, snapshot)` program break, when they differ → `brk`.
+    pub brk: Option<(Vpn, Vpn)>,
+}
+
+/// One side's attributes over an elementary interval.
+type Attrs = (Perms, VmaKind);
+
+/// Flattens a VMA list (minus the heap, which `brk` owns) into sorted
+/// disjoint `(range, attrs)` segments.
+fn segments(vmas: &[Vma]) -> Vec<(PageRange, Attrs)> {
+    let mut v: Vec<(PageRange, Attrs)> = vmas
+        .iter()
+        .filter(|m| !matches!(m.kind, VmaKind::Heap))
+        .map(|m| (m.range, (m.perms, m.kind.clone())))
+        .collect();
+    v.sort_by_key(|(r, _)| r.start.0);
+    v
+}
+
+/// Attribute lookup at a point, advancing a cursor over sorted segments.
+fn attrs_at(segs: &[(PageRange, Attrs)], cursor: &mut usize, page: Vpn) -> Option<Attrs> {
+    while *cursor < segs.len() && segs[*cursor].0.end.0 <= page.0 {
+        *cursor += 1;
+    }
+    segs.get(*cursor)
+        .filter(|(r, _)| r.contains(page))
+        .map(|(_, a)| a.clone())
+}
+
+impl LayoutDiff {
+    /// Computes the delta from `current` back to the snapshot layout.
+    pub fn compute(
+        snap_vmas: &[Vma],
+        snap_brk: Vpn,
+        cur_vmas: &[Vma],
+        cur_brk: Vpn,
+    ) -> LayoutDiff {
+        let snap = segments(snap_vmas);
+        let cur = segments(cur_vmas);
+
+        // Boundary sweep.
+        let mut bounds: Vec<u64> = snap
+            .iter()
+            .chain(cur.iter())
+            .flat_map(|(r, _)| [r.start.0, r.end.0])
+            .collect();
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        let mut diff = LayoutDiff::default();
+        let (mut ci, mut si) = (0usize, 0usize);
+        for w in bounds.windows(2) {
+            let range = PageRange::new(Vpn(w[0]), Vpn(w[1]));
+            if range.is_empty() {
+                continue;
+            }
+            let s = attrs_at(&snap, &mut si, range.start);
+            let c = attrs_at(&cur, &mut ci, range.start);
+            match (s, c) {
+                (None, None) => {}
+                (None, Some(_)) => push_coalesced(&mut diff.to_munmap, range),
+                (Some((perms, kind)), None) => {
+                    push_remap(&mut diff.to_remap, RemapRegion { range, perms, kind })
+                }
+                (Some((sp, _)), Some((cp, _))) => {
+                    if sp != cp {
+                        push_protect(&mut diff.to_mprotect, range, sp);
+                    }
+                }
+            }
+        }
+
+        if snap_brk != cur_brk {
+            diff.brk = Some((cur_brk, snap_brk));
+        }
+        diff
+    }
+
+    /// True when the layout is unchanged.
+    pub fn is_empty(&self) -> bool {
+        self.to_munmap.is_empty()
+            && self.to_remap.is_empty()
+            && self.to_mprotect.is_empty()
+            && self.brk.is_none()
+    }
+
+    /// Compiles the delta into the syscall injection plan, in the §4.4
+    /// order: restore `brk`, remove added regions, remap removed regions,
+    /// restore protections.
+    pub fn plan(&self) -> Vec<Syscall> {
+        let mut plan = Vec::new();
+        if let Some((_cur, snap)) = self.brk {
+            plan.push(Syscall::Brk(snap));
+        }
+        for r in &self.to_munmap {
+            plan.push(Syscall::Munmap(*r));
+        }
+        for r in &self.to_remap {
+            let file = match &r.kind {
+                VmaKind::File(name) => Some(name.clone()),
+                _ => None,
+            };
+            plan.push(Syscall::MmapFixed { range: r.range, perms: r.perms, file });
+        }
+        for (range, perms) in &self.to_mprotect {
+            plan.push(Syscall::Mprotect(*range, *perms));
+        }
+        plan
+    }
+
+    /// Total number of syscalls the plan will inject.
+    pub fn syscall_count(&self) -> usize {
+        self.to_munmap.len()
+            + self.to_remap.len()
+            + self.to_mprotect.len()
+            + usize::from(self.brk.is_some())
+    }
+}
+
+fn push_coalesced(v: &mut Vec<PageRange>, r: PageRange) {
+    if let Some(last) = v.last_mut() {
+        if last.end == r.start {
+            last.end = r.end;
+            return;
+        }
+    }
+    v.push(r);
+}
+
+fn push_remap(v: &mut Vec<RemapRegion>, r: RemapRegion) {
+    if let Some(last) = v.last_mut() {
+        if last.range.end == r.range.start && last.perms == r.perms && last.kind == r.kind {
+            last.range.end = r.range.end;
+            return;
+        }
+    }
+    v.push(r);
+}
+
+fn push_protect(v: &mut Vec<(PageRange, Perms)>, r: PageRange, p: Perms) {
+    if let Some((last, lp)) = v.last_mut() {
+        if last.end == r.start && *lp == p {
+            last.end = r.end;
+            return;
+        }
+    }
+    v.push((r, p));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vma(start: u64, len: u64, perms: Perms, kind: VmaKind) -> Vma {
+        Vma::new(PageRange::at(Vpn(start), len), perms, kind)
+    }
+
+    fn anon(start: u64, len: u64) -> Vma {
+        vma(start, len, Perms::RW, VmaKind::Anon)
+    }
+
+    #[test]
+    fn identical_layouts_diff_empty() {
+        let vs = vec![anon(100, 10), vma(200, 5, Perms::RX, VmaKind::File("x".into()))];
+        let d = LayoutDiff::compute(&vs, Vpn(50), &vs, Vpn(50));
+        assert!(d.is_empty());
+        assert!(d.plan().is_empty());
+        assert_eq!(d.syscall_count(), 0);
+    }
+
+    #[test]
+    fn added_region_is_munmapped() {
+        let snap = vec![anon(100, 10)];
+        let cur = vec![anon(100, 10), anon(300, 4)];
+        let d = LayoutDiff::compute(&snap, Vpn(50), &cur, Vpn(50));
+        assert_eq!(d.to_munmap, vec![PageRange::at(Vpn(300), 4)]);
+        assert!(d.to_remap.is_empty());
+        assert_eq!(d.plan(), vec![Syscall::Munmap(PageRange::at(Vpn(300), 4))]);
+    }
+
+    #[test]
+    fn removed_region_is_remapped_with_attrs() {
+        let snap = vec![anon(100, 10), vma(200, 6, Perms::RX, VmaKind::File("lib".into()))];
+        let cur = vec![anon(100, 10)];
+        let d = LayoutDiff::compute(&snap, Vpn(50), &cur, Vpn(50));
+        assert_eq!(d.to_remap.len(), 1);
+        let r = &d.to_remap[0];
+        assert_eq!(r.range, PageRange::at(Vpn(200), 6));
+        assert_eq!(r.perms, Perms::RX);
+        assert_eq!(r.kind, VmaKind::File("lib".into()));
+        match &d.plan()[0] {
+            Syscall::MmapFixed { range, perms, file } => {
+                assert_eq!(*range, PageRange::at(Vpn(200), 6));
+                assert_eq!(*perms, Perms::RX);
+                assert_eq!(file.as_deref(), Some("lib"));
+            }
+            other => panic!("expected mmap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grown_region_unmaps_only_the_growth() {
+        let snap = vec![anon(100, 10)];
+        let cur = vec![anon(100, 16)]; // grew by 6 pages
+        let d = LayoutDiff::compute(&snap, Vpn(50), &cur, Vpn(50));
+        assert_eq!(d.to_munmap, vec![PageRange::at(Vpn(110), 6)]);
+        assert!(d.to_remap.is_empty());
+    }
+
+    #[test]
+    fn shrunk_region_remaps_only_the_loss() {
+        let snap = vec![anon(100, 16)];
+        let cur = vec![anon(100, 10)];
+        let d = LayoutDiff::compute(&snap, Vpn(50), &cur, Vpn(50));
+        assert_eq!(d.to_remap.len(), 1);
+        assert_eq!(d.to_remap[0].range, PageRange::at(Vpn(110), 6));
+    }
+
+    #[test]
+    fn split_region_remaps_the_hole() {
+        let snap = vec![anon(100, 10)];
+        // Middle two pages were munmapped by the function.
+        let cur = vec![anon(100, 4), anon(106, 4)];
+        let d = LayoutDiff::compute(&snap, Vpn(50), &cur, Vpn(50));
+        assert_eq!(d.to_remap.len(), 1);
+        assert_eq!(d.to_remap[0].range, PageRange::at(Vpn(104), 2));
+        assert!(d.to_munmap.is_empty());
+    }
+
+    #[test]
+    fn merged_regions_are_equivalent_not_diffed() {
+        // Two adjacent anon VMAs merging into one is not a semantic change.
+        let snap = vec![anon(100, 4), anon(104, 4)];
+        let cur = vec![anon(100, 8)];
+        let d = LayoutDiff::compute(&snap, Vpn(50), &cur, Vpn(50));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn perm_change_restores_protection() {
+        let snap = vec![anon(100, 8)];
+        let mut cur_vma = anon(100, 8);
+        cur_vma.perms = Perms::R;
+        let d = LayoutDiff::compute(&snap, Vpn(50), &[cur_vma], Vpn(50));
+        assert_eq!(d.to_mprotect, vec![(PageRange::at(Vpn(100), 8), Perms::RW)]);
+        assert_eq!(d.plan(), vec![Syscall::Mprotect(PageRange::at(Vpn(100), 8), Perms::RW)]);
+    }
+
+    #[test]
+    fn partial_perm_change_is_ranged() {
+        let snap = vec![anon(100, 8)];
+        let cur = vec![
+            anon(100, 2),
+            vma(102, 3, Perms::R, VmaKind::Anon),
+            anon(105, 3),
+        ];
+        let d = LayoutDiff::compute(&snap, Vpn(50), &cur, Vpn(50));
+        assert_eq!(d.to_mprotect, vec![(PageRange::at(Vpn(102), 3), Perms::RW)]);
+    }
+
+    #[test]
+    fn brk_restored_first() {
+        let snap = vec![anon(100, 4)];
+        let cur = vec![anon(100, 4), anon(300, 2)];
+        let d = LayoutDiff::compute(&snap, Vpn(60), &cur, Vpn(80));
+        assert_eq!(d.brk, Some((Vpn(80), Vpn(60))));
+        let plan = d.plan();
+        assert_eq!(plan[0], Syscall::Brk(Vpn(60)));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(d.syscall_count(), 2);
+    }
+
+    #[test]
+    fn heap_vmas_are_excluded_from_mapping_plan() {
+        // The heap is restored via brk, not munmap/mmap.
+        let snap = vec![vma(50, 10, Perms::RW, VmaKind::Heap)];
+        let cur = vec![vma(50, 30, Perms::RW, VmaKind::Heap)];
+        let d = LayoutDiff::compute(&snap, Vpn(60), &cur, Vpn(80));
+        assert!(d.to_munmap.is_empty());
+        assert!(d.to_remap.is_empty());
+        assert_eq!(d.brk, Some((Vpn(80), Vpn(60))));
+    }
+
+    #[test]
+    fn adjacent_changes_coalesce_into_single_syscalls() {
+        let snap = vec![anon(100, 4)];
+        // Two adjacent added regions with different kinds cannot merge in
+        // the VMA list but coalesce into one munmap range.
+        let cur = vec![
+            anon(100, 4),
+            anon(200, 4),
+            vma(204, 4, Perms::R, VmaKind::Anon),
+        ];
+        let d = LayoutDiff::compute(&snap, Vpn(50), &cur, Vpn(50));
+        assert_eq!(d.to_munmap, vec![PageRange::at(Vpn(200), 8)]);
+    }
+
+    #[test]
+    fn complex_churn_round_trips() {
+        // Snapshot: three regions. Current: one grew, one vanished, a new
+        // one appeared, perms flipped on part of the third.
+        let snap = vec![
+            anon(100, 10),
+            vma(200, 8, Perms::RX, VmaKind::File("lib".into())),
+            anon(400, 6),
+        ];
+        let cur = vec![
+            anon(100, 14),                         // grew
+            vma(400, 3, Perms::R, VmaKind::Anon),  // shrank + perms changed
+            anon(600, 5),                          // new
+        ];
+        let d = LayoutDiff::compute(&snap, Vpn(50), &cur, Vpn(50));
+        // Growth + new region unmapped.
+        assert!(d.to_munmap.contains(&PageRange::at(Vpn(110), 4)));
+        assert!(d.to_munmap.contains(&PageRange::at(Vpn(600), 5)));
+        // Vanished file region + shrunk tail remapped.
+        assert!(d.to_remap.iter().any(|r| r.range == PageRange::at(Vpn(200), 8)));
+        assert!(d.to_remap.iter().any(|r| r.range == PageRange::at(Vpn(403), 3)));
+        // Perms restored on the surviving overlap.
+        assert_eq!(d.to_mprotect, vec![(PageRange::at(Vpn(400), 3), Perms::RW)]);
+    }
+}

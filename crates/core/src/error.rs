@@ -1,0 +1,62 @@
+//! Error types for the snapshot/restore engine.
+
+use gh_proc::kernel::ProcError;
+use gh_proc::PtraceError;
+
+/// Errors surfaced by Groundhog operations.
+#[derive(Debug)]
+pub enum GhError {
+    /// ptrace-level failure.
+    Ptrace(PtraceError),
+    /// Process-table failure.
+    Proc(ProcError),
+    /// Operation requires a snapshot but none was taken.
+    NoSnapshot,
+    /// Manager was driven through an invalid state transition.
+    BadState {
+        /// State the manager was in.
+        state: &'static str,
+        /// Operation attempted.
+        op: &'static str,
+    },
+}
+
+impl From<PtraceError> for GhError {
+    fn from(e: PtraceError) -> Self {
+        GhError::Ptrace(e)
+    }
+}
+
+impl From<ProcError> for GhError {
+    fn from(e: ProcError) -> Self {
+        GhError::Proc(e)
+    }
+}
+
+impl core::fmt::Display for GhError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GhError::Ptrace(e) => write!(f, "ptrace: {e}"),
+            GhError::Proc(e) => write!(f, "process: {e}"),
+            GhError::NoSnapshot => write!(f, "no snapshot taken"),
+            GhError::BadState { state, op } => {
+                write!(f, "invalid manager transition: {op} while {state}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GhError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(GhError::NoSnapshot.to_string(), "no snapshot taken");
+        let e = GhError::BadState { state: "Executing", op: "begin_request" };
+        assert!(e.to_string().contains("Executing"));
+        assert!(e.to_string().contains("begin_request"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Groundhog's primary contribution: a language- and runtime-independent,
+//! in-memory, lightweight process snapshot/restore mechanism for
+//! sequential request isolation in FaaS (Alzayat et al., EuroSys 2023).
+//!
+//! The design goals of §4 map onto the modules here:
+//!
+//! - **Generality** — everything operates on a generic multi-threaded
+//!   process through ptrace + `/proc` ([`snapshot`], [`restore`]); no
+//!   assumption about the function inside.
+//! - **Restore cost proportional to modified pages** — soft-dirty-bit
+//!   tracking ([`track::SoftDirtyTracker`]), with a userfaultfd
+//!   alternative ([`track::UffdTracker`]) kept for the §4.3 comparison.
+//! - **Restore off the critical path** — the [`manager::Manager`] restores
+//!   *between* activations and buffers incoming requests until the process
+//!   is provably clean, never using copy-on-write during execution.
+//!
+//! The restore sequence follows §4.4 exactly and is timed phase-by-phase
+//! ([`breakdown::RestorePhase`]) so the Fig. 8 decomposition can be
+//! regenerated: interrupt, read maps, scan page metadata, diff layouts,
+//! inject `brk`/`mmap`/`munmap`/`madvise`/`mprotect`, restore memory
+//! (with contiguous-run coalescing), clear soft-dirty bits, restore
+//! registers, detach.
+
+pub mod breakdown;
+pub mod config;
+pub mod diff;
+pub mod error;
+pub mod manager;
+pub mod restore;
+pub mod snapshot;
+pub mod track;
+
+pub use breakdown::{Breakdown, RestorePhase};
+pub use config::{GroundhogConfig, TrackerKind};
+pub use diff::LayoutDiff;
+pub use error::GhError;
+pub use manager::{Manager, ManagerState, ManagerStats};
+pub use restore::{RestoreReport, Restorer};
+pub use snapshot::{Snapshot, SnapshotReport, Snapshotter};
+pub use track::{DirtyReport, MemoryTracker, SoftDirtyTracker, UffdTracker};

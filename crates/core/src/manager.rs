@@ -1,0 +1,360 @@
+//! The Groundhog manager: lifecycle orchestration and request gating.
+//!
+//! The manager process "interposes between the FaaS platform and the
+//! process executing the function" (§4.1). Its job here:
+//!
+//! - drive the container through Fig. 1's life cycle (initialize → dummy
+//!   warm-up → snapshot → serve/restore loop);
+//! - **enforce** request isolation (§4.5): a request may only reach the
+//!   function process when the manager has proof the process is clean —
+//!   [`Manager::begin_request`] refuses otherwise, and the platform layer
+//!   buffers requests until [`Manager::is_ready`];
+//! - restore *between* activations, off the request critical path (§4.4);
+//! - optionally skip rollback between consecutive requests of the same
+//!   principal (§4.4's mutually-trusting-callers optimization), which
+//!   defers the restore decision to the next request's arrival.
+
+use gh_proc::{Kernel, Pid};
+use gh_sim::Nanos;
+
+use crate::config::GroundhogConfig;
+use crate::error::GhError;
+use crate::restore::{RestoreReport, Restorer};
+use crate::snapshot::{Snapshot, SnapshotReport, Snapshotter};
+use crate::track::{make_tracker, MemoryTracker};
+
+/// Manager lifecycle states.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ManagerState {
+    /// Process spawned; runtime initializing; no snapshot yet.
+    Initializing,
+    /// Snapshot taken; process clean; a request may start.
+    Ready,
+    /// A request is executing in the function process.
+    Executing,
+    /// Request finished; rollback pending (only reachable with
+    /// `skip_same_principal`, which defers restores).
+    NeedsRestore,
+}
+
+impl ManagerState {
+    fn name(self) -> &'static str {
+        match self {
+            ManagerState::Initializing => "Initializing",
+            ManagerState::Ready => "Ready",
+            ManagerState::Executing => "Executing",
+            ManagerState::NeedsRestore => "NeedsRestore",
+        }
+    }
+}
+
+/// Counters the manager keeps across its lifetime.
+#[derive(Clone, Debug, Default)]
+pub struct ManagerStats {
+    /// Requests admitted.
+    pub requests: u64,
+    /// Restores performed.
+    pub restores: u64,
+    /// Restores skipped via the same-principal optimization.
+    pub skipped_restores: u64,
+    /// Sum of restore durations (off-critical-path time).
+    pub total_restore_time: Nanos,
+    /// The snapshot report, once taken.
+    pub snapshot: Option<SnapshotReport>,
+    /// Most recent restore report.
+    pub last_restore: Option<RestoreReport>,
+}
+
+/// What `begin_request` did before admitting the request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Admission {
+    /// Process was already clean.
+    Clean,
+    /// A deferred rollback ran first (on the critical path).
+    RestoredFirst,
+    /// Rollback was skipped: same principal as the previous request.
+    SkippedSamePrincipal,
+}
+
+/// The per-container Groundhog manager.
+pub struct Manager {
+    cfg: GroundhogConfig,
+    pid: Pid,
+    state: ManagerState,
+    snapshot: Option<Snapshot>,
+    tracker: Box<dyn MemoryTracker>,
+    last_principal: Option<String>,
+    /// Lifetime counters.
+    pub stats: ManagerStats,
+}
+
+impl Manager {
+    /// Creates a manager for the function process `pid`.
+    pub fn new(pid: Pid, cfg: GroundhogConfig) -> Manager {
+        let tracker = make_tracker(cfg.tracker);
+        Manager {
+            cfg,
+            pid,
+            state: ManagerState::Initializing,
+            snapshot: None,
+            tracker,
+            last_principal: None,
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// The managed pid.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ManagerState {
+        self.state
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &GroundhogConfig {
+        &self.cfg
+    }
+
+    /// The snapshot, once taken.
+    pub fn snapshot(&self) -> Option<&Snapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// True when a request may be forwarded to the function process
+    /// without violating isolation. (`NeedsRestore` is also admissible —
+    /// the manager will roll back or skip during admission.)
+    pub fn is_ready(&self) -> bool {
+        matches!(self.state, ManagerState::Ready | ManagerState::NeedsRestore)
+    }
+
+    /// Takes the clean-state snapshot (§4.2). The caller must have driven
+    /// initialization and the dummy warm-up request (§4.1) first.
+    pub fn snapshot_now(&mut self, kernel: &mut Kernel) -> Result<SnapshotReport, GhError> {
+        if self.state != ManagerState::Initializing {
+            return Err(GhError::BadState { state: self.state.name(), op: "snapshot_now" });
+        }
+        let (snapshot, report) = Snapshotter::take_with(
+            kernel,
+            self.pid,
+            self.tracker.as_mut(),
+            self.cfg.cow_snapshot,
+        )?;
+        self.snapshot = Some(snapshot);
+        self.stats.snapshot = Some(report);
+        self.state = ManagerState::Ready;
+        Ok(report)
+    }
+
+    /// Admits a request from `principal`, enforcing isolation. With
+    /// deferred restores pending, either rolls back now (different
+    /// principal → critical-path restore) or skips (same principal).
+    pub fn begin_request(
+        &mut self,
+        kernel: &mut Kernel,
+        principal: &str,
+    ) -> Result<Admission, GhError> {
+        let admission = match self.state {
+            ManagerState::Ready => Admission::Clean,
+            ManagerState::NeedsRestore => {
+                if self.cfg.skip_same_principal
+                    && self.last_principal.as_deref() == Some(principal)
+                {
+                    self.stats.skipped_restores += 1;
+                    Admission::SkippedSamePrincipal
+                } else {
+                    self.restore_now(kernel)?;
+                    Admission::RestoredFirst
+                }
+            }
+            s => return Err(GhError::BadState { state: s.name(), op: "begin_request" }),
+        };
+        self.state = ManagerState::Executing;
+        self.last_principal = Some(principal.to_string());
+        self.stats.requests += 1;
+        Ok(admission)
+    }
+
+    /// Marks the request finished (response already forwarded) and
+    /// performs the off-critical-path rollback. Returns the restore
+    /// report, or `None` when restoration is disabled (GHNOP) or deferred
+    /// (same-principal skip mode).
+    pub fn end_request(
+        &mut self,
+        kernel: &mut Kernel,
+    ) -> Result<Option<RestoreReport>, GhError> {
+        if self.state != ManagerState::Executing {
+            return Err(GhError::BadState { state: self.state.name(), op: "end_request" });
+        }
+        if !self.cfg.restore_enabled {
+            // GHNOP: no rollback ever; container stays "ready" (insecure
+            // against cross-principal flows by design).
+            self.state = ManagerState::Ready;
+            return Ok(None);
+        }
+        if self.cfg.skip_same_principal {
+            // Defer: the next request's principal decides.
+            self.state = ManagerState::NeedsRestore;
+            return Ok(None);
+        }
+        let report = self.restore_now(kernel)?;
+        Ok(Some(report))
+    }
+
+    fn restore_now(&mut self, kernel: &mut Kernel) -> Result<RestoreReport, GhError> {
+        let snapshot = self.snapshot.as_ref().ok_or(GhError::NoSnapshot)?;
+        let report =
+            Restorer::restore(kernel, self.pid, snapshot, self.tracker.as_mut(), &self.cfg)?;
+        self.stats.restores += 1;
+        self.stats.total_restore_time += report.total;
+        self.stats.last_restore = Some(report.clone());
+        self.state = ManagerState::Ready;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gh_mem::{PageRange, Perms, RequestId, Taint, Touch, VmaKind, Vpn};
+    use gh_proc::Kernel;
+
+    struct Rig {
+        kernel: Kernel,
+        mgr: Manager,
+        region: PageRange,
+    }
+
+    fn rig_cfg(cfg: GroundhogConfig) -> Rig {
+        let mut kernel = Kernel::boot();
+        let pid = kernel.spawn("f");
+        let region = kernel
+            .run_charged(pid, |p, frames| {
+                let r = p.mem.mmap(16, Perms::RW, VmaKind::Anon).unwrap();
+                for vpn in r.iter() {
+                    p.mem.touch(vpn, Touch::WriteWord(7), Taint::Clean, frames).unwrap();
+                }
+                r
+            })
+            .unwrap()
+            .0;
+        let mut mgr = Manager::new(pid, cfg);
+        mgr.snapshot_now(&mut kernel).unwrap();
+        Rig { kernel, mgr, region }
+    }
+
+    fn rig() -> Rig {
+        rig_cfg(GroundhogConfig::gh())
+    }
+
+    fn run_request(r: &mut Rig, principal: &str, req: u64) -> Admission {
+        let adm = r.mgr.begin_request(&mut r.kernel, principal).unwrap();
+        let region = r.region;
+        r.kernel
+            .run_charged(r.mgr.pid(), |p, frames| {
+                p.mem
+                    .touch(
+                        Vpn(region.start.0 + (req % 16)),
+                        Touch::WriteWord(0x1000 + req),
+                        Taint::One(RequestId(req)),
+                        frames,
+                    )
+                    .unwrap();
+            })
+            .unwrap();
+        r.mgr.end_request(&mut r.kernel).unwrap();
+        adm
+    }
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let mut r = rig();
+        assert_eq!(r.mgr.state(), ManagerState::Ready);
+        assert!(r.mgr.is_ready());
+        let adm = run_request(&mut r, "alice", 1);
+        assert_eq!(adm, Admission::Clean);
+        assert_eq!(r.mgr.state(), ManagerState::Ready, "eager restore after request");
+        assert_eq!(r.mgr.stats.requests, 1);
+        assert_eq!(r.mgr.stats.restores, 1);
+        // No taint from request 1 survives.
+        let proc = r.kernel.process(r.mgr.pid()).unwrap();
+        assert!(proc.mem.tainted_pages(RequestId(1), r.kernel.frames()).is_empty());
+    }
+
+    #[test]
+    fn snapshot_requires_initializing_state() {
+        let mut r = rig();
+        let err = r.mgr.snapshot_now(&mut r.kernel).unwrap_err();
+        assert!(matches!(err, GhError::BadState { .. }));
+    }
+
+    #[test]
+    fn begin_twice_is_rejected() {
+        let mut r = rig();
+        r.mgr.begin_request(&mut r.kernel, "alice").unwrap();
+        let err = r.mgr.begin_request(&mut r.kernel, "bob").unwrap_err();
+        assert!(matches!(err, GhError::BadState { .. }));
+    }
+
+    #[test]
+    fn end_without_begin_is_rejected() {
+        let mut r = rig();
+        let err = r.mgr.end_request(&mut r.kernel).unwrap_err();
+        assert!(matches!(err, GhError::BadState { .. }));
+    }
+
+    #[test]
+    fn ghnop_never_restores() {
+        let mut r = rig_cfg(GroundhogConfig::ghnop());
+        for i in 0..3 {
+            run_request(&mut r, "alice", i);
+        }
+        assert_eq!(r.mgr.stats.restores, 0);
+        // Taint persists — GHNOP is not an isolation mode.
+        let proc = r.kernel.process(r.mgr.pid()).unwrap();
+        assert!(!proc.mem.tainted_pages(RequestId(0), r.kernel.frames()).is_empty());
+    }
+
+    #[test]
+    fn skip_same_principal_defers_and_skips() {
+        let cfg = GroundhogConfig { skip_same_principal: true, ..GroundhogConfig::gh() };
+        let mut r = rig_cfg(cfg);
+        let a1 = run_request(&mut r, "alice", 1);
+        assert_eq!(a1, Admission::Clean);
+        assert_eq!(r.mgr.state(), ManagerState::NeedsRestore, "restore deferred");
+        let a2 = run_request(&mut r, "alice", 2);
+        assert_eq!(a2, Admission::SkippedSamePrincipal);
+        assert_eq!(r.mgr.stats.skipped_restores, 1);
+        assert_eq!(r.mgr.stats.restores, 0);
+        // A different principal forces the rollback before admission.
+        let a3 = run_request(&mut r, "bob", 3);
+        assert_eq!(a3, Admission::RestoredFirst);
+        assert_eq!(r.mgr.stats.restores, 1);
+        // After the forced restore, nothing of alice's remains.
+        let proc = r.kernel.process(r.mgr.pid()).unwrap();
+        assert!(proc.mem.tainted_pages(RequestId(1), r.kernel.frames()).is_empty());
+        assert!(proc.mem.tainted_pages(RequestId(2), r.kernel.frames()).is_empty());
+    }
+
+    #[test]
+    fn restore_time_accumulates_off_critical_path() {
+        let mut r = rig();
+        run_request(&mut r, "a", 1);
+        run_request(&mut r, "b", 2);
+        assert_eq!(r.mgr.stats.restores, 2);
+        assert!(r.mgr.stats.total_restore_time > Nanos::ZERO);
+        let last = r.mgr.stats.last_restore.as_ref().unwrap();
+        assert!(last.total > Nanos::ZERO);
+    }
+
+    #[test]
+    fn stats_snapshot_populated() {
+        let r = rig();
+        let snap = r.mgr.stats.snapshot.unwrap();
+        assert!(snap.present_pages >= 16);
+        assert!(snap.duration > Nanos::ZERO);
+        assert!(r.mgr.snapshot().is_some());
+    }
+}

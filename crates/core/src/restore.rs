@@ -1,0 +1,584 @@
+//! Restoring the function process to its snapshot (§4.4).
+//!
+//! "The manager identifies all changes to the memory layout by consulting
+//! /proc/pid/maps and pagemap; these changes are later reversed by
+//! injecting syscalls using ptrace. The manager restores brk, removes
+//! added memory regions, remaps removed memory regions, zeroes the stack,
+//! restores memory contents of pages that have their SD-bit set, restores
+//! registers of all threads, madvises newly paged pages, and finally
+//! resets SD-bits."
+//!
+//! Every phase is timed against the virtual clock into the Fig. 8
+//! [`Breakdown`].
+
+use std::collections::BTreeSet;
+
+use gh_mem::{PageRange, Taint, Vpn};
+use gh_proc::{Kernel, Pid, PtraceSession};
+use gh_sim::clock::Stopwatch;
+use gh_sim::Nanos;
+
+use crate::breakdown::{Breakdown, RestorePhase};
+use crate::config::GroundhogConfig;
+use crate::error::GhError;
+use crate::snapshot::Snapshot;
+use crate::track::MemoryTracker;
+
+/// Outcome of one restore operation.
+#[derive(Clone, Debug)]
+pub struct RestoreReport {
+    /// Per-phase timing (Fig. 8).
+    pub breakdown: Breakdown,
+    /// Total restore duration.
+    pub total: Nanos,
+    /// Dirty pages the tracker reported.
+    pub dirty_pages: u64,
+    /// Pages whose contents were written back from the snapshot.
+    pub pages_restored: u64,
+    /// Contiguous runs those pages formed (coalescing units).
+    pub runs: u64,
+    /// Pages evicted because they became resident after the snapshot.
+    pub newly_paged: u64,
+    /// Stack pages zeroed.
+    pub stack_zeroed: u64,
+    /// Syscalls injected for layout restoration.
+    pub syscalls_injected: usize,
+}
+
+/// Counts maximal runs of consecutive integers in a sorted slice.
+fn count_runs(sorted: &[u64]) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    1 + sorted.windows(2).filter(|w| w[1] != w[0] + 1).count() as u64
+}
+
+/// Groups a sorted page list into contiguous [`PageRange`]s.
+fn group_ranges(sorted: &[u64]) -> Vec<PageRange> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let start = sorted[i];
+        let mut end = start + 1;
+        i += 1;
+        while i < sorted.len() && sorted[i] == end {
+            end += 1;
+            i += 1;
+        }
+        out.push(PageRange::new(Vpn(start), Vpn(end)));
+    }
+    out
+}
+
+/// The restore engine.
+pub struct Restorer;
+
+impl Restorer {
+    /// Rolls `pid` back to `snapshot`, leaving tracking armed for the next
+    /// request. Runs entirely *between* activations (the caller — the
+    /// manager — guarantees no request is executing).
+    pub fn restore(
+        kernel: &mut Kernel,
+        pid: Pid,
+        snapshot: &Snapshot,
+        tracker: &mut dyn MemoryTracker,
+        cfg: &GroundhogConfig,
+    ) -> Result<RestoreReport, GhError> {
+        let mut bd = Breakdown::new();
+        let mut sw = Stopwatch::start(&kernel.clock);
+        let mut s = PtraceSession::attach(kernel, pid)?;
+
+        // Phase 1: interrupt all threads.
+        s.interrupt_all()?;
+        bd.add(RestorePhase::Interrupting, sw.lap());
+
+        // Phase 2: read /proc/pid/maps.
+        let cur_maps = s.read_maps()?;
+        bd.add(RestorePhase::ReadingMaps, sw.lap());
+
+        // Phase 3: scan page metadata (tracker-dependent).
+        let dirty_report = tracker.collect(&mut s)?;
+        bd.add(RestorePhase::ScanningPageMetadata, sw.lap());
+
+        // Phase 4: diff memory layouts.
+        let cur_brk = s.kernel().process(pid)?.mem.brk();
+        let diff = crate::diff::LayoutDiff::compute(
+            &snapshot.vmas,
+            snapshot.brk,
+            &cur_maps,
+            cur_brk,
+        );
+        let diff_cost = s.kernel().cost.diff_cost(cur_maps.len() + snapshot.vmas.len());
+        s.kernel().charge(diff_cost);
+        bd.add(RestorePhase::DiffingMemoryLayouts, sw.lap());
+
+        // Phases 5–9: inject layout syscalls, attributing time per class.
+        let plan = diff.plan();
+        let syscalls_injected = plan.len();
+        for sc in plan {
+            let phase = match sc.mnemonic() {
+                "brk" => RestorePhase::Brk,
+                "mmap" => RestorePhase::Mmap,
+                "munmap" => RestorePhase::Munmap,
+                "madvise" => RestorePhase::Madvise,
+                _ => RestorePhase::Mprotect,
+            };
+            s.inject(sc)?;
+            bd.add(phase, sw.lap());
+        }
+
+        // Present-page bookkeeping from the scan (when the backend saw the
+        // pagemap): remove pages our munmaps just dropped.
+        let stack_ranges = snapshot.stack_ranges();
+        let in_stack =
+            |vpn: u64| stack_ranges.iter().any(|r| r.contains(Vpn(vpn)));
+        let in_ranges = |ranges: &[PageRange], vpn: u64| {
+            ranges.iter().any(|r| r.contains(Vpn(vpn)))
+        };
+
+        let mut newly_paged = 0u64;
+        let mut stack_zeroed = 0u64;
+        let mut present_after: Option<BTreeSet<u64>> = None;
+        if let Some(entries) = &dirty_report.present {
+            let mut present: BTreeSet<u64> = entries
+                .iter()
+                .map(|e| e.vpn.0)
+                .filter(|&v| !in_ranges(&diff.to_munmap, v))
+                .collect();
+
+            // Phase 8 (continued) + stack zeroing: handle pages that became
+            // resident after the snapshot.
+            let fresh: Vec<u64> =
+                present.iter().copied().filter(|&v| !snapshot.has_page(Vpn(v))).collect();
+            let mut evicted: Vec<u64> = Vec::new();
+            for &v in &fresh {
+                if in_stack(v) {
+                    if cfg.zero_stack {
+                        s.zero_page(Vpn(v))?;
+                        stack_zeroed += 1;
+                    }
+                } else if cfg.madvise_new {
+                    s.evict_page(Vpn(v))?;
+                    evicted.push(v);
+                }
+            }
+            newly_paged = evicted.len() as u64;
+            let evict_runs = group_ranges(&evicted).len() as u64;
+            let madvise_cost = s.kernel().cost.syscall_inject * evict_runs
+                + s.kernel().cost.madvise_new_page * newly_paged;
+            s.kernel().charge(madvise_cost);
+            for v in &evicted {
+                present.remove(v);
+            }
+            bd.add(RestorePhase::Madvise, sw.lap());
+
+            // Stack zeroing is charged into the memory-restoration phase.
+            let zero_cost = s.kernel().cost.zero_stack_page * stack_zeroed;
+            s.kernel().charge(zero_cost);
+            present_after = Some(present);
+        }
+
+        // Phase 10: restore memory contents. The restore set is
+        //   (dirty ∩ snapshot) ∪ (snapshot \ currently-present),
+        // the second term covering pages dropped by madvise/munmap+remap
+        // churn. Without a pagemap view (UFFD), the second term is limited
+        // to the regions we know we remapped.
+        let mut restore_set: BTreeSet<u64> = dirty_report
+            .dirty
+            .iter()
+            .map(|v| v.0)
+            .filter(|&v| snapshot.has_page(Vpn(v)))
+            .collect();
+        match &present_after {
+            Some(present) => {
+                for v in snapshot.page_vpns() {
+                    if !present.contains(&v) {
+                        restore_set.insert(v);
+                    }
+                }
+            }
+            None => {
+                let remapped: Vec<PageRange> =
+                    diff.to_remap.iter().map(|r| r.range).collect();
+                for v in snapshot.page_vpns() {
+                    if in_ranges(&remapped, v) {
+                        restore_set.insert(v);
+                    }
+                }
+            }
+        }
+        let sorted: Vec<u64> = restore_set.iter().copied().collect();
+        let runs = count_runs(&sorted);
+        let pages_restored = sorted.len() as u64;
+        for &v in &sorted {
+            let data = snapshot
+                .page_data(Vpn(v), s.kernel().frames())
+                .expect("restore set ⊆ snapshot");
+            s.write_page(Vpn(v), &data, Taint::Clean)?;
+        }
+        let copy_cost = if cfg.coalesce {
+            s.kernel().cost.restore_pages_cost(pages_restored, runs)
+        } else {
+            s.kernel().cost.restore_pages_cost_uncoalesced(pages_restored)
+        };
+        s.kernel().charge(copy_cost);
+        bd.add(RestorePhase::RestoringMemory, sw.lap());
+
+        // Phase 11: reset soft-dirty bits / re-arm tracking.
+        tracker.arm(&mut s)?;
+        bd.add(RestorePhase::ClearingSoftDirtyBits, sw.lap());
+
+        // Phase 12: restore registers of all threads.
+        s.restore_regs_all(&snapshot.regs)?;
+        bd.add(RestorePhase::RestoringRegisters, sw.lap());
+
+        // Phase 13: detach (resumes the process).
+        s.detach()?;
+        bd.add(RestorePhase::Detaching, sw.lap());
+
+        let total = bd.total();
+        Ok(RestoreReport {
+            breakdown: bd,
+            total,
+            dirty_pages: dirty_report.dirty.len() as u64,
+            pages_restored,
+            runs,
+            newly_paged,
+            stack_zeroed,
+            syscalls_injected,
+        })
+    }
+}
+
+/// Verifies (for tests and debugging) that a process state matches a
+/// snapshot bit-exactly: layout, brk, page contents, registers.
+pub fn verify_matches_snapshot(
+    kernel: &Kernel,
+    pid: Pid,
+    snapshot: &Snapshot,
+) -> Result<(), String> {
+    let proc = kernel.process(pid).map_err(|e| e.to_string())?;
+    // Layout.
+    let cur = proc.mem.maps();
+    let d = crate::diff::LayoutDiff::compute(&snapshot.vmas, snapshot.brk, &cur, proc.mem.brk());
+    if !d.is_empty() {
+        return Err(format!("layout differs: {d:?}"));
+    }
+    // Registers.
+    for (tid, regs) in &snapshot.regs {
+        let t = proc.thread(*tid).ok_or_else(|| format!("thread {tid:?} missing"))?;
+        if &t.regs != regs {
+            return Err(format!("registers of {tid:?} differ"));
+        }
+    }
+    // Page contents: every snapshot page must be present-or-restorable
+    // with identical logical contents; pages absent from the snapshot must
+    // not be resident (modulo the stack, which is zeroed instead).
+    let stacks = snapshot.stack_ranges();
+    for (vpn, pte) in proc.mem.pagemap() {
+        let data = kernel.frames().data(pte.frame);
+        match snapshot.page_data(vpn, kernel.frames()) {
+            Some(saved) => {
+                if !saved.logical_eq(data) {
+                    return Err(format!("contents of {vpn:?} differ from snapshot"));
+                }
+            }
+            None => {
+                let zero = gh_mem::FrameData::Zero;
+                if stacks.iter().any(|r| r.contains(vpn)) {
+                    if !data.logical_eq(&zero) {
+                        return Err(format!("stack page {vpn:?} not zeroed"));
+                    }
+                } else {
+                    return Err(format!("page {vpn:?} resident but not in snapshot"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrackerKind;
+    use crate::snapshot::Snapshotter;
+    use crate::track::make_tracker;
+    use gh_mem::{Perms, RequestId, Touch, VmaKind};
+
+    struct Rig {
+        kernel: Kernel,
+        pid: Pid,
+        snapshot: Snapshot,
+        tracker: Box<dyn MemoryTracker>,
+        region: PageRange,
+        cfg: GroundhogConfig,
+    }
+
+    fn rig_with(kind: TrackerKind, pages: u64) -> Rig {
+        let mut kernel = Kernel::boot();
+        let pid = kernel.spawn("f");
+        let region = kernel
+            .run_charged(pid, |p, frames| {
+                let r = p.mem.mmap(pages, Perms::RW, VmaKind::Anon).unwrap();
+                for vpn in r.iter() {
+                    p.mem.touch(vpn, Touch::WriteWord(0x5EED), Taint::Clean, frames).unwrap();
+                }
+                r
+            })
+            .unwrap()
+            .0;
+        let mut tracker = make_tracker(kind);
+        let (snapshot, _) = Snapshotter::take(&mut kernel, pid, tracker.as_mut()).unwrap();
+        Rig { kernel, pid, snapshot, tracker, region, cfg: GroundhogConfig::gh() }
+    }
+
+    fn rig() -> Rig {
+        rig_with(TrackerKind::SoftDirty, 32)
+    }
+
+    fn taint_writes(rig: &mut Rig, offsets: &[u64], req: u64) {
+        let region = rig.region;
+        rig.kernel
+            .run_charged(rig.pid, |p, frames| {
+                for &off in offsets {
+                    p.mem
+                        .touch(
+                            Vpn(region.start.0 + off),
+                            Touch::WriteWord(0xDEAD_0000 | off),
+                            Taint::One(RequestId(req)),
+                            frames,
+                        )
+                        .unwrap();
+                }
+            })
+            .unwrap();
+    }
+
+    fn restore(rig: &mut Rig) -> RestoreReport {
+        Restorer::restore(
+            &mut rig.kernel,
+            rig.pid,
+            &rig.snapshot,
+            rig.tracker.as_mut(),
+            &rig.cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn restore_reverts_contents_exactly() {
+        let mut r = rig();
+        taint_writes(&mut r, &[1, 5, 9], 1);
+        let report = restore(&mut r);
+        assert_eq!(report.dirty_pages, 3);
+        assert_eq!(report.pages_restored, 3);
+        verify_matches_snapshot(&r.kernel, r.pid, &r.snapshot).unwrap();
+        // No taint survives.
+        let proc = r.kernel.process(r.pid).unwrap();
+        assert!(proc.mem.tainted_pages(RequestId(1), r.kernel.frames()).is_empty());
+    }
+
+    #[test]
+    fn restore_is_idempotent() {
+        let mut r = rig();
+        taint_writes(&mut r, &[0, 2], 1);
+        restore(&mut r);
+        let second = restore(&mut r);
+        assert_eq!(second.dirty_pages, 0);
+        assert_eq!(second.pages_restored, 0);
+        verify_matches_snapshot(&r.kernel, r.pid, &r.snapshot).unwrap();
+    }
+
+    #[test]
+    fn repeated_request_restore_cycles() {
+        let mut r = rig();
+        for round in 0..5u64 {
+            taint_writes(&mut r, &[round, round + 7, round + 13], round);
+            let report = restore(&mut r);
+            assert_eq!(report.dirty_pages, 3, "round {round}");
+            verify_matches_snapshot(&r.kernel, r.pid, &r.snapshot).unwrap();
+        }
+    }
+
+    #[test]
+    fn registers_are_restored() {
+        let mut r = rig();
+        r.kernel
+            .process_mut(r.pid)
+            .unwrap()
+            .main_thread_mut()
+            .regs
+            .scramble(1234, Taint::One(RequestId(8)));
+        restore(&mut r);
+        verify_matches_snapshot(&r.kernel, r.pid, &r.snapshot).unwrap();
+        let regs = &r.kernel.process(r.pid).unwrap().main_thread().regs;
+        assert_eq!(regs.taint, Taint::Clean);
+    }
+
+    #[test]
+    fn layout_churn_is_reversed() {
+        let mut r = rig();
+        // Function mmaps two regions, munmaps part of the original, moves brk.
+        let heap_base = r.kernel.process(r.pid).unwrap().mem.config().heap_base;
+        let region = r.region;
+        r.kernel
+            .run_charged(r.pid, |p, frames| {
+                let a = p.mem.mmap(8, Perms::RW, VmaKind::Anon).unwrap();
+                p.mem.touch(a.start, Touch::WriteWord(1), Taint::One(RequestId(1)), frames).unwrap();
+                p.mem.munmap(PageRange::at(Vpn(region.start.0 + 4), 2), frames).unwrap();
+                p.mem.set_brk(Vpn(heap_base.0 + 40), frames).unwrap();
+                p.mem
+                    .touch(Vpn(heap_base.0 + 10), Touch::WriteWord(2), Taint::One(RequestId(1)), frames)
+                    .unwrap();
+            })
+            .unwrap();
+        let report = restore(&mut r);
+        assert!(report.syscalls_injected >= 3, "brk + munmap + mmap at least");
+        verify_matches_snapshot(&r.kernel, r.pid, &r.snapshot).unwrap();
+        assert!(r
+            .kernel
+            .process(r.pid)
+            .unwrap()
+            .mem
+            .tainted_pages(RequestId(1), r.kernel.frames())
+            .is_empty());
+    }
+
+    #[test]
+    fn madvised_pages_are_rewritten() {
+        // A function that drops snapshot pages (madvise) must get the
+        // snapshot contents back, even though those pages are not dirty.
+        let mut r = rig();
+        let region = r.region;
+        r.kernel
+            .run_charged(r.pid, |p, frames| {
+                p.mem
+                    .madvise_dontneed(PageRange::at(Vpn(region.start.0 + 3), 2), frames)
+                    .unwrap();
+            })
+            .unwrap();
+        let report = restore(&mut r);
+        assert!(report.pages_restored >= 2, "dropped pages rewritten");
+        verify_matches_snapshot(&r.kernel, r.pid, &r.snapshot).unwrap();
+    }
+
+    #[test]
+    fn newly_paged_pages_are_madvised_away() {
+        let mut r = rig();
+        // Map extra space before snapshot? No: make the *function* read
+        // pages of a region that existed but was never resident.
+        let extra = r
+            .kernel
+            .run_charged(r.pid, |p, _| p.mem.mmap(16, Perms::RW, VmaKind::Anon).unwrap())
+            .unwrap()
+            .0;
+        // Re-snapshot with the new layout but nothing resident there.
+        let mut tracker = make_tracker(TrackerKind::SoftDirty);
+        let (snapshot, _) = Snapshotter::take(&mut r.kernel, r.pid, tracker.as_mut()).unwrap();
+        r.snapshot = snapshot;
+        r.tracker = tracker;
+        // Function reads (pages in) some of the extra region.
+        r.kernel
+            .run_charged(r.pid, |p, frames| {
+                for vpn in extra.iter().take(5) {
+                    p.mem.touch(vpn, Touch::Read, Taint::Clean, frames).unwrap();
+                }
+            })
+            .unwrap();
+        let report = restore(&mut r);
+        assert_eq!(report.newly_paged, 5);
+        verify_matches_snapshot(&r.kernel, r.pid, &r.snapshot).unwrap();
+        // The pages are genuinely non-resident again.
+        let present = r.kernel.process(r.pid).unwrap().mem.present_pages();
+        assert_eq!(present, r.snapshot.present_pages() + 0);
+    }
+
+    #[test]
+    fn stack_pages_are_zeroed() {
+        let mut r = rig();
+        let stack = r.snapshot.stack_ranges()[0];
+        // Dirty a stack page that was not resident at snapshot time.
+        r.kernel
+            .run_charged(r.pid, |p, frames| {
+                p.mem
+                    .touch(stack.start, Touch::WriteWord(0x5EC2E7), Taint::One(RequestId(2)), frames)
+                    .unwrap();
+            })
+            .unwrap();
+        let report = restore(&mut r);
+        assert_eq!(report.stack_zeroed, 1);
+        verify_matches_snapshot(&r.kernel, r.pid, &r.snapshot).unwrap();
+        let proc = r.kernel.process(r.pid).unwrap();
+        assert!(proc.mem.tainted_pages(RequestId(2), r.kernel.frames()).is_empty());
+    }
+
+    #[test]
+    fn uffd_backend_restores_too() {
+        let mut r = rig_with(TrackerKind::Uffd, 32);
+        taint_writes(&mut r, &[2, 4, 6], 5);
+        let report = restore(&mut r);
+        assert_eq!(report.dirty_pages, 3);
+        // UFFD cannot see newly-paged pages, but contents must match for
+        // everything it can see.
+        let proc = r.kernel.process(r.pid).unwrap();
+        assert!(proc.mem.tainted_pages(RequestId(5), r.kernel.frames()).is_empty());
+    }
+
+    #[test]
+    fn coalescing_reduces_charged_time() {
+        // Dense contiguous write set: coalesced restore must be cheaper
+        // than the uncoalesced ablation.
+        let offsets: Vec<u64> = (0..24).collect();
+
+        let mut a = rig();
+        taint_writes(&mut a, &offsets, 1);
+        let t = restore(&mut a);
+        assert_eq!(t.runs, 1, "contiguous set is one run");
+
+        let mut b = rig();
+        b.cfg.coalesce = false;
+        taint_writes(&mut b, &offsets, 1);
+        let u = restore(&mut b);
+
+        let coalesced = t.breakdown.get(RestorePhase::RestoringMemory);
+        let scattered = u.breakdown.get(RestorePhase::RestoringMemory);
+        assert!(
+            coalesced < scattered,
+            "coalesced {coalesced} !< uncoalesced {scattered}"
+        );
+    }
+
+    #[test]
+    fn breakdown_phases_are_populated() {
+        let mut r = rig();
+        taint_writes(&mut r, &[1, 3], 1);
+        let report = restore(&mut r);
+        let bd = &report.breakdown;
+        assert!(bd.get(RestorePhase::Interrupting) > Nanos::ZERO);
+        assert!(bd.get(RestorePhase::ReadingMaps) > Nanos::ZERO);
+        assert!(bd.get(RestorePhase::ScanningPageMetadata) > Nanos::ZERO);
+        assert!(bd.get(RestorePhase::RestoringMemory) > Nanos::ZERO);
+        assert!(bd.get(RestorePhase::ClearingSoftDirtyBits) > Nanos::ZERO);
+        assert!(bd.get(RestorePhase::RestoringRegisters) > Nanos::ZERO);
+        assert!(bd.get(RestorePhase::Detaching) > Nanos::ZERO);
+        assert_eq!(report.total, bd.total());
+    }
+
+    #[test]
+    fn run_counting() {
+        assert_eq!(count_runs(&[]), 0);
+        assert_eq!(count_runs(&[5]), 1);
+        assert_eq!(count_runs(&[1, 2, 3]), 1);
+        assert_eq!(count_runs(&[1, 3, 5]), 3);
+        assert_eq!(count_runs(&[1, 2, 4, 5, 9]), 3);
+        assert_eq!(
+            group_ranges(&[1, 2, 4, 5, 9]),
+            vec![
+                PageRange::at(Vpn(1), 2),
+                PageRange::at(Vpn(4), 2),
+                PageRange::at(Vpn(9), 1)
+            ]
+        );
+    }
+}

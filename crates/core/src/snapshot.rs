@@ -1,0 +1,308 @@
+//! Taking the clean-state snapshot (§4.2).
+//!
+//! The snapshot is taken once per container, after initialization and the
+//! deployer-provided dummy request (§4.1), and *before* the first real
+//! (secret-carrying) request — so its contents are guaranteed free of
+//! request data. It stores, in the manager's memory: per-thread CPU state,
+//! the memory layout, and the contents of every present page.
+
+use std::collections::BTreeMap;
+
+use gh_mem::{FrameData, FrameId, FrameTable, Vma, VmaKind, Vpn};
+use gh_proc::{Kernel, Pid, PtraceSession, Tid};
+use gh_sim::clock::Stopwatch;
+use gh_sim::Nanos;
+
+use crate::error::GhError;
+use crate::track::MemoryTracker;
+
+/// How page contents are held in the manager's memory.
+#[derive(Clone, Debug)]
+pub enum SnapshotPages {
+    /// Full copies of every present page (the paper's implementation).
+    Eager(BTreeMap<u64, FrameData>),
+    /// Copy-on-write references into the frame table — §5.5's proposed
+    /// optimization: manager memory stays proportional to the pages the
+    /// function *modifies* over its lifetime, at the cost of one
+    /// on-critical-path CoW fault per unique modified page.
+    Cow(BTreeMap<u64, FrameId>),
+}
+
+/// A clean-state process snapshot held in the manager's memory.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Virtual time the snapshot was completed.
+    pub taken_at: Nanos,
+    /// Per-thread register files.
+    pub regs: Vec<(Tid, gh_proc::RegisterSet)>,
+    /// The memory layout at snapshot time.
+    pub vmas: Vec<Vma>,
+    /// The program break at snapshot time.
+    pub brk: Vpn,
+    /// Contents of every present page, keyed by vpn.
+    pub pages: SnapshotPages,
+}
+
+impl Snapshot {
+    /// Present pages captured.
+    pub fn present_pages(&self) -> u64 {
+        match &self.pages {
+            SnapshotPages::Eager(m) => m.len() as u64,
+            SnapshotPages::Cow(m) => m.len() as u64,
+        }
+    }
+
+    /// Mapped pages at snapshot time.
+    pub fn mapped_pages(&self) -> u64 {
+        self.vmas.iter().map(|v| v.range.len()).sum()
+    }
+
+    /// True if `vpn` was present (and thus has saved contents).
+    pub fn has_page(&self, vpn: Vpn) -> bool {
+        match &self.pages {
+            SnapshotPages::Eager(m) => m.contains_key(&vpn.0),
+            SnapshotPages::Cow(m) => m.contains_key(&vpn.0),
+        }
+    }
+
+    /// Saved page numbers, ascending.
+    pub fn page_vpns(&self) -> Vec<u64> {
+        match &self.pages {
+            SnapshotPages::Eager(m) => m.keys().copied().collect(),
+            SnapshotPages::Cow(m) => m.keys().copied().collect(),
+        }
+    }
+
+    /// Saved contents of `vpn` (cloned; CoW snapshots resolve through the
+    /// frame table).
+    pub fn page_data(&self, vpn: Vpn, frames: &FrameTable) -> Option<FrameData> {
+        match &self.pages {
+            SnapshotPages::Eager(m) => m.get(&vpn.0).cloned(),
+            SnapshotPages::Cow(m) => m.get(&vpn.0).map(|id| frames.data(*id).clone()),
+        }
+    }
+
+    /// The stack VMAs at snapshot time (restored by zeroing, §4.4).
+    pub fn stack_ranges(&self) -> Vec<gh_mem::PageRange> {
+        self.vmas
+            .iter()
+            .filter(|v| matches!(v.kind, VmaKind::Stack))
+            .map(|v| v.range)
+            .collect()
+    }
+
+    /// Approximate bytes of manager memory the snapshot occupies (§5.5).
+    /// Eager snapshots pay a full page per present page; CoW snapshots
+    /// only pay the reference table.
+    pub fn memory_bytes(&self) -> u64 {
+        let meta = self.vmas.len() as u64 * 64;
+        match &self.pages {
+            SnapshotPages::Eager(m) => m.len() as u64 * gh_mem::PAGE_SIZE + meta,
+            SnapshotPages::Cow(m) => m.len() as u64 * 16 + meta,
+        }
+    }
+
+    /// Releases a CoW snapshot's frame references (no-op for eager
+    /// snapshots). Must be called before dropping the snapshot if the
+    /// frame table is to be reused leak-free.
+    ///
+    /// Cloning a snapshot does **not** duplicate frame ownership: clones
+    /// share the same references and exactly one holder may release them.
+    pub fn release(&mut self, frames: &mut FrameTable) {
+        if let SnapshotPages::Cow(m) = &mut self.pages {
+            for (_, id) in std::mem::take(m) {
+                frames.decref(id);
+            }
+        }
+    }
+}
+
+/// Timing/size record of one snapshot operation.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotReport {
+    /// Total virtual time the snapshot took (the "Snapshot (ms)" column of
+    /// Fig. 8).
+    pub duration: Nanos,
+    /// Present pages copied.
+    pub present_pages: u64,
+    /// Mapped pages walked.
+    pub mapped_pages: u64,
+    /// VMAs recorded.
+    pub vmas: usize,
+    /// Threads whose registers were saved.
+    pub threads: usize,
+}
+
+/// Takes snapshots.
+pub struct Snapshotter;
+
+impl Snapshotter {
+    /// Takes an eager (full-copy) snapshot of `pid` (§4.2 steps a–d):
+    /// save CPU state of all threads, collect memory layout + page
+    /// contents into the manager's memory, arm the tracker, and resume
+    /// the process.
+    pub fn take(
+        kernel: &mut Kernel,
+        pid: Pid,
+        tracker: &mut dyn MemoryTracker,
+    ) -> Result<(Snapshot, SnapshotReport), GhError> {
+        Self::take_with(kernel, pid, tracker, false)
+    }
+
+    /// Takes a snapshot; `cow` selects §5.5's copy-on-write variant,
+    /// which shares frames with the process instead of copying them and
+    /// write-protects the process so the first modification of each page
+    /// takes a CoW fault on the critical path.
+    pub fn take_with(
+        kernel: &mut Kernel,
+        pid: Pid,
+        tracker: &mut dyn MemoryTracker,
+        cow: bool,
+    ) -> Result<(Snapshot, SnapshotReport), GhError> {
+        let mut sw = Stopwatch::start(&kernel.clock);
+        let mut s = PtraceSession::attach(kernel, pid)?;
+        // (a) Interrupt and store the CPU state of all threads.
+        s.interrupt_all()?;
+        let regs = s.save_regs_all()?;
+        // (b) Scan /proc: memory-mapped regions and page metadata.
+        let vmas = s.read_maps()?;
+        let entries = s.pagemap_scan()?;
+        // (c) Capture the contents of all present pages in the manager's
+        // memory: full copies (eager) or shared CoW references.
+        let mapped_pages: u64 = vmas.iter().map(|v| v.range.len()).sum();
+        let (pages, present_pages, copy_cost) = if cow {
+            let (proc, frames) = s.kernel().mem_ctx(pid)?;
+            let mut refs = BTreeMap::new();
+            for e in &entries {
+                if let Some(pte) = proc.mem.pte(e.vpn) {
+                    frames.incref(pte.frame);
+                    refs.insert(e.vpn.0, pte.frame);
+                }
+            }
+            proc.mem.mark_all_cow();
+            let present = refs.len() as u64;
+            let m = &s.kernel().cost;
+            let cost = m.snapshot_base
+                + m.snapshot_cow_ref * present
+                + m.snapshot_per_mapped_page * mapped_pages;
+            (SnapshotPages::Cow(refs), present, cost)
+        } else {
+            let mut copies = BTreeMap::new();
+            for e in &entries {
+                if let Some(data) = s.read_page(e.vpn)? {
+                    copies.insert(e.vpn.0, data);
+                }
+            }
+            let present = copies.len() as u64;
+            let m = &s.kernel().cost;
+            let cost = m.snapshot_base
+                + m.snapshot_per_present_page * present
+                + m.snapshot_per_mapped_page * mapped_pages;
+            (SnapshotPages::Eager(copies), present, cost)
+        };
+        s.kernel().charge(copy_cost);
+        let brk = s.kernel().process(pid)?.mem.brk();
+        // (d) Reset memory tracking for the first request.
+        tracker.arm(&mut s)?;
+        let threads = regs.len();
+        let vma_count = vmas.len();
+        s.detach()?;
+
+        let duration = sw.lap();
+        let snapshot = Snapshot { taken_at: kernel.clock.now(), regs, vmas, brk, pages };
+        let report = SnapshotReport {
+            duration,
+            present_pages,
+            mapped_pages,
+            vmas: vma_count,
+            threads,
+        };
+        Ok((snapshot, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrackerKind;
+    use crate::track::make_tracker;
+    use gh_mem::{Perms, Taint, Touch, VmaKind};
+    use gh_proc::Kernel;
+
+    fn machine(pages: u64) -> (Kernel, Pid) {
+        let mut k = Kernel::boot();
+        let pid = k.spawn("f");
+        k.run_charged(pid, |p, frames| {
+            let r = p.mem.mmap(pages, Perms::RW, VmaKind::Anon).unwrap();
+            for vpn in r.iter() {
+                p.mem.touch(vpn, Touch::WriteWord(0xFEED), Taint::Clean, frames).unwrap();
+            }
+        })
+        .unwrap();
+        (k, pid)
+    }
+
+    #[test]
+    fn snapshot_captures_full_state() {
+        let (mut k, pid) = machine(32);
+        let mut tracker = make_tracker(TrackerKind::SoftDirty);
+        let (snap, report) = Snapshotter::take(&mut k, pid, tracker.as_mut()).unwrap();
+        assert_eq!(report.present_pages, 32);
+        assert_eq!(snap.present_pages(), 32);
+        assert_eq!(report.threads, 1);
+        assert!(report.vmas >= 2, "stack + anon");
+        assert_eq!(snap.vmas.len(), report.vmas);
+        // Contents captured.
+        let (vpn, _) = k.process(pid).unwrap().mem.pagemap().next().unwrap();
+        assert_eq!(snap.page_data(vpn, k.frames()).unwrap().read_word(1), 0xFEED);
+        assert!(snap.has_page(vpn));
+        // Tracking armed: no page is soft-dirty anymore.
+        assert!(k.process(pid).unwrap().mem.soft_dirty_pages().is_empty());
+        // Process resumed.
+        assert!(k.process(pid).unwrap().is_runnable());
+    }
+
+    #[test]
+    fn snapshot_duration_scales_with_pages() {
+        let (mut k1, p1) = machine(16);
+        let (mut k2, p2) = machine(256);
+        let mut t1 = make_tracker(TrackerKind::SoftDirty);
+        let mut t2 = make_tracker(TrackerKind::SoftDirty);
+        let (_, r1) = Snapshotter::take(&mut k1, p1, t1.as_mut()).unwrap();
+        let (_, r2) = Snapshotter::take(&mut k2, p2, t2.as_mut()).unwrap();
+        assert!(r2.duration > r1.duration);
+        assert!(r2.present_pages > r1.present_pages);
+    }
+
+    #[test]
+    fn snapshot_is_a_deep_copy() {
+        let (mut k, pid) = machine(4);
+        let mut tracker = make_tracker(TrackerKind::SoftDirty);
+        let (snap, _) = Snapshotter::take(&mut k, pid, tracker.as_mut()).unwrap();
+        let (vpn, _) = k.process(pid).unwrap().mem.pagemap().next().unwrap();
+        // Mutate the live process: the snapshot must be unaffected.
+        k.run_charged(pid, |p, frames| {
+            p.mem.touch(vpn, Touch::WriteWord(0xBAD), Taint::Clean, frames).unwrap();
+        })
+        .unwrap();
+        assert_eq!(snap.page_data(vpn, k.frames()).unwrap().read_word(1), 0xFEED);
+    }
+
+    #[test]
+    fn memory_bytes_reports_full_pages() {
+        let (mut k, pid) = machine(8);
+        let mut tracker = make_tracker(TrackerKind::SoftDirty);
+        let (snap, _) = Snapshotter::take(&mut k, pid, tracker.as_mut()).unwrap();
+        assert!(snap.memory_bytes() >= 8 * gh_mem::PAGE_SIZE);
+    }
+
+    #[test]
+    fn stack_ranges_found() {
+        let (mut k, pid) = machine(4);
+        let mut tracker = make_tracker(TrackerKind::SoftDirty);
+        let (snap, _) = Snapshotter::take(&mut k, pid, tracker.as_mut()).unwrap();
+        let stacks = snap.stack_ranges();
+        assert_eq!(stacks.len(), 1);
+        assert_eq!(stacks[0].len(), k.process(pid).unwrap().mem.config().stack_pages);
+    }
+}

@@ -1,0 +1,228 @@
+//! Memory-modification tracking backends (§4.3).
+//!
+//! Groundhog needs to know which pages an activation dirtied. The paper
+//! ships soft-dirty bits and reports a prototyped userfaultfd alternative
+//! that loses except when the write set is nearly empty; both are
+//! implemented here behind [`MemoryTracker`].
+
+use gh_mem::Vpn;
+use gh_proc::ptrace::PagemapEntry;
+use gh_proc::PtraceSession;
+use gh_sim::Nanos;
+
+use crate::config::TrackerKind;
+use crate::error::GhError;
+
+/// What a tracker learned at collection time.
+#[derive(Clone, Debug)]
+pub struct DirtyReport {
+    /// Pages written since the tracker was armed, ascending.
+    pub dirty: Vec<Vpn>,
+    /// Present pages observed, ascending — only available when the
+    /// backend's collection mechanism walks the pagemap anyway (soft-dirty
+    /// does; userfaultfd does not).
+    pub present: Option<Vec<PagemapEntry>>,
+    /// Virtual time the collection consumed.
+    pub cost: Nanos,
+}
+
+/// A tracking backend: arm after snapshot/restore, collect before restore.
+pub trait MemoryTracker {
+    /// Which backend this is.
+    fn kind(&self) -> TrackerKind;
+
+    /// Arms tracking for the next activation (clears soft-dirty bits /
+    /// write-protects pages). Returns the virtual time consumed.
+    fn arm(&mut self, s: &mut PtraceSession<'_>) -> Result<Nanos, GhError>;
+
+    /// Collects the pages dirtied since [`MemoryTracker::arm`].
+    fn collect(&mut self, s: &mut PtraceSession<'_>) -> Result<DirtyReport, GhError>;
+}
+
+/// Builds the tracker for a [`TrackerKind`].
+pub fn make_tracker(kind: TrackerKind) -> Box<dyn MemoryTracker> {
+    match kind {
+        TrackerKind::SoftDirty => Box::new(SoftDirtyTracker),
+        TrackerKind::Uffd => Box::new(UffdTracker),
+    }
+}
+
+/// Soft-dirty-bit tracking: `clear_refs` to arm, full pagemap scan to
+/// collect. Per-write cost is one cheap write-protect fault; collection
+/// cost scales with the *mapped address space* (Fig. 3 right, dashed).
+pub struct SoftDirtyTracker;
+
+impl MemoryTracker for SoftDirtyTracker {
+    fn kind(&self) -> TrackerKind {
+        TrackerKind::SoftDirty
+    }
+
+    fn arm(&mut self, s: &mut PtraceSession<'_>) -> Result<Nanos, GhError> {
+        Ok(s.clear_soft_dirty()?)
+    }
+
+    fn collect(&mut self, s: &mut PtraceSession<'_>) -> Result<DirtyReport, GhError> {
+        let t0 = s.kernel().clock.now();
+        let entries = s.pagemap_scan()?;
+        let dirty: Vec<Vpn> =
+            entries.iter().filter(|e| e.soft_dirty).map(|e| e.vpn).collect();
+        let cost = s.kernel().clock.now() - t0;
+        Ok(DirtyReport { dirty, present: Some(entries), cost })
+    }
+}
+
+/// Userfaultfd write-protect tracking: every write notifies user space
+/// (expensive, §4.3: "frequent context switches"), but collection just
+/// drains the event log — no scan.
+pub struct UffdTracker;
+
+impl MemoryTracker for UffdTracker {
+    fn kind(&self) -> TrackerKind {
+        TrackerKind::Uffd
+    }
+
+    fn arm(&mut self, s: &mut PtraceSession<'_>) -> Result<Nanos, GhError> {
+        let t0 = s.kernel().clock.now();
+        s.arm_uffd()?;
+        Ok(s.kernel().clock.now() - t0)
+    }
+
+    fn collect(&mut self, s: &mut PtraceSession<'_>) -> Result<DirtyReport, GhError> {
+        let t0 = s.kernel().clock.now();
+        let mut dirty = s.disarm_uffd()?;
+        dirty.sort_unstable_by_key(|v| v.0);
+        dirty.dedup();
+        let cost = s.kernel().clock.now() - t0;
+        Ok(DirtyReport { dirty, present: None, cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gh_mem::{Perms, Taint, Touch, VmaKind};
+    use gh_proc::{Kernel, Pid};
+
+    fn machine() -> (Kernel, Pid, Vec<Vpn>) {
+        let mut k = Kernel::boot();
+        let pid = k.spawn("f");
+        let mut vpns = Vec::new();
+        k.run_charged(pid, |p, frames| {
+            let r = p.mem.mmap(16, Perms::RW, VmaKind::Anon).unwrap();
+            for vpn in r.iter() {
+                p.mem.touch(vpn, Touch::WriteWord(1), Taint::Clean, frames).unwrap();
+                vpns.push(vpn);
+            }
+        })
+        .unwrap();
+        (k, pid, vpns)
+    }
+
+    fn write_pages(k: &mut Kernel, pid: Pid, pages: &[Vpn]) {
+        k.run_charged(pid, |p, frames| {
+            for &vpn in pages {
+                p.mem.touch(vpn, Touch::WriteWord(2), Taint::Clean, frames).unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    fn roundtrip(kind: TrackerKind) -> (DirtyReport, Vec<Vpn>) {
+        let (mut k, pid, vpns) = machine();
+        let mut tracker = make_tracker(kind);
+        {
+            let mut s = PtraceSession::attach(&mut k, pid).unwrap();
+            s.interrupt_all().unwrap();
+            tracker.arm(&mut s).unwrap();
+            s.detach().unwrap();
+        }
+        let written = vec![vpns[3], vpns[7], vpns[8]];
+        write_pages(&mut k, pid, &written);
+        let mut s = PtraceSession::attach(&mut k, pid).unwrap();
+        s.interrupt_all().unwrap();
+        let report = tracker.collect(&mut s).unwrap();
+        s.detach().unwrap();
+        (report, written)
+    }
+
+    #[test]
+    fn soft_dirty_collects_exactly_the_writes() {
+        let (report, mut written) = roundtrip(TrackerKind::SoftDirty);
+        written.sort_unstable_by_key(|v| v.0);
+        assert_eq!(report.dirty, written);
+        assert!(report.present.is_some(), "SD scan sees the pagemap");
+        assert!(report.present.unwrap().len() >= 16);
+    }
+
+    #[test]
+    fn uffd_collects_exactly_the_writes() {
+        let (report, mut written) = roundtrip(TrackerKind::Uffd);
+        written.sort_unstable_by_key(|v| v.0);
+        assert_eq!(report.dirty, written);
+        assert!(report.present.is_none(), "UFFD has no pagemap view");
+    }
+
+    #[test]
+    fn backends_agree_on_dirty_sets() {
+        let (sd, _) = roundtrip(TrackerKind::SoftDirty);
+        let (uffd, _) = roundtrip(TrackerKind::Uffd);
+        assert_eq!(sd.dirty, uffd.dirty);
+    }
+
+    #[test]
+    fn sd_collection_cost_scales_with_address_space_not_writes() {
+        // The defining §4.3 trade-off: SD pays a full scan even for one
+        // dirty page; UFFD pays per event.
+        let (mut k, pid, vpns) = machine();
+        let mut sd = SoftDirtyTracker;
+        let mut s = PtraceSession::attach(&mut k, pid).unwrap();
+        s.interrupt_all().unwrap();
+        sd.arm(&mut s).unwrap();
+        s.detach().unwrap();
+        write_pages(&mut k, pid, &vpns[..1]);
+        let mut s = PtraceSession::attach(&mut k, pid).unwrap();
+        s.interrupt_all().unwrap();
+        let sd_report = sd.collect(&mut s).unwrap();
+        s.detach().unwrap();
+
+        let (mut k2, pid2, vpns2) = machine();
+        let mut uffd = UffdTracker;
+        let mut s = PtraceSession::attach(&mut k2, pid2).unwrap();
+        s.interrupt_all().unwrap();
+        uffd.arm(&mut s).unwrap();
+        s.detach().unwrap();
+        write_pages(&mut k2, pid2, &vpns2[..1]);
+        let mut s = PtraceSession::attach(&mut k2, pid2).unwrap();
+        s.interrupt_all().unwrap();
+        let uffd_report = uffd.collect(&mut s).unwrap();
+        s.detach().unwrap();
+
+        assert!(
+            uffd_report.cost < sd_report.cost,
+            "with ~0 dirty pages UFFD collection must be cheaper: {} vs {}",
+            uffd_report.cost,
+            sd_report.cost
+        );
+    }
+
+    #[test]
+    fn rearming_resets_state() {
+        let (mut k, pid, vpns) = machine();
+        let mut tracker = make_tracker(TrackerKind::SoftDirty);
+        for round in 0..3 {
+            {
+                let mut s = PtraceSession::attach(&mut k, pid).unwrap();
+                s.interrupt_all().unwrap();
+                tracker.arm(&mut s).unwrap();
+                s.detach().unwrap();
+            }
+            let page = vpns[round];
+            write_pages(&mut k, pid, &[page]);
+            let mut s = PtraceSession::attach(&mut k, pid).unwrap();
+            s.interrupt_all().unwrap();
+            let report = tracker.collect(&mut s).unwrap();
+            s.detach().unwrap();
+            assert_eq!(report.dirty, vec![page], "round {round}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! §5.5's copy-on-write snapshot variant: manager memory proportional to
+//! the modified working set, one extra on-critical-path CoW fault per
+//! unique modified page, identical restore correctness.
+
+use gh_mem::{Perms, RequestId, Taint, Touch, VmaKind, Vpn};
+use gh_proc::Kernel;
+use groundhog_core::restore::verify_matches_snapshot;
+use groundhog_core::{GroundhogConfig, Manager};
+
+const PAGES: u64 = 64;
+
+fn rig(cow: bool) -> (Kernel, Manager, Vpn) {
+    let mut kernel = Kernel::boot();
+    let pid = kernel.spawn("f");
+    let start = kernel
+        .run_charged(pid, |p, frames| {
+            let r = p.mem.mmap(PAGES, Perms::RW, VmaKind::Anon).unwrap();
+            for vpn in r.iter() {
+                p.mem.touch(vpn, Touch::WriteWord(0xC0C0), Taint::Clean, frames).unwrap();
+            }
+            r.start
+        })
+        .unwrap()
+        .0;
+    let cfg = GroundhogConfig { cow_snapshot: cow, ..GroundhogConfig::gh() };
+    let mut mgr = Manager::new(pid, cfg);
+    mgr.snapshot_now(&mut kernel).unwrap();
+    (kernel, mgr, start)
+}
+
+fn run_request(kernel: &mut Kernel, mgr: &mut Manager, start: Vpn, req: u64, writes: u64) {
+    mgr.begin_request(kernel, "caller").unwrap();
+    let pid = mgr.pid();
+    kernel
+        .run_charged(pid, |p, frames| {
+            for i in 0..writes {
+                p.mem
+                    .touch(
+                        Vpn(start.0 + i),
+                        Touch::WriteWord(req * 1000 + i),
+                        Taint::One(RequestId(req)),
+                        frames,
+                    )
+                    .unwrap();
+            }
+        })
+        .unwrap();
+    mgr.end_request(kernel).unwrap();
+}
+
+#[test]
+fn cow_snapshot_memory_is_proportional_to_references_not_pages() {
+    let (_, eager, _) = rig(false);
+    let (_, cow, _) = rig(true);
+    let eager_bytes = eager.snapshot().unwrap().memory_bytes();
+    let cow_bytes = cow.snapshot().unwrap().memory_bytes();
+    assert!(eager_bytes >= PAGES * 4096);
+    assert!(
+        cow_bytes < eager_bytes / 50,
+        "CoW snapshot {cow_bytes}B vs eager {eager_bytes}B"
+    );
+}
+
+#[test]
+fn cow_snapshot_is_cheaper_to_take() {
+    let (_, eager, _) = rig(false);
+    let (_, cow, _) = rig(true);
+    let e = eager.stats.snapshot.unwrap().duration;
+    let c = cow.stats.snapshot.unwrap().duration;
+    assert!(c < e, "CoW snapshot {c} must beat eager {e}");
+}
+
+#[test]
+fn cow_snapshot_restores_bit_exactly() {
+    let (mut kernel, mut mgr, start) = rig(true);
+    let snapshot = mgr.snapshot().unwrap().clone();
+    for req in 1..=4 {
+        run_request(&mut kernel, &mut mgr, start, req, 16);
+        verify_matches_snapshot(&kernel, mgr.pid(), &snapshot)
+            .unwrap_or_else(|e| panic!("request {req}: {e}"));
+        let proc = kernel.process(mgr.pid()).unwrap();
+        assert!(proc.mem.tainted_pages(RequestId(req), kernel.frames()).is_empty());
+    }
+}
+
+#[test]
+fn cow_faults_fire_once_per_unique_page() {
+    // §5.5: "a one-time on-critical-path copy-on-write per unique
+    // modified page in the function's life-cycle".
+    let (mut kernel, mut mgr, start) = rig(true);
+    kernel.take_fault_accum();
+    run_request(&mut kernel, &mut mgr, start, 1, 16);
+    let first = kernel.take_fault_accum();
+    assert_eq!(first.cow, 16, "first touches CoW-copy");
+
+    // The same pages again: the process's frames are already private
+    // (restore rewrote them in place), so no further CoW faults.
+    run_request(&mut kernel, &mut mgr, start, 2, 16);
+    let second = kernel.take_fault_accum();
+    assert_eq!(second.cow, 0, "one-time cost only");
+    assert_eq!(second.sd_wp, 16, "normal tracking faults remain");
+}
+
+#[test]
+fn eager_snapshot_never_cow_faults() {
+    let (mut kernel, mut mgr, start) = rig(false);
+    kernel.take_fault_accum();
+    run_request(&mut kernel, &mut mgr, start, 1, 16);
+    let faults = kernel.take_fault_accum();
+    assert_eq!(faults.cow, 0);
+    assert_eq!(faults.sd_wp, 16);
+}
+
+#[test]
+fn cow_snapshot_release_frees_references() {
+    let (mut kernel, mut mgr, start) = rig(true);
+    run_request(&mut kernel, &mut mgr, start, 1, 8);
+    let pid = mgr.pid();
+    // Clones of a CoW snapshot share the same (non-owning) references;
+    // exactly one holder may release them.
+    let mut snapshot = mgr.snapshot().unwrap().clone();
+    // Kill the process: its own frames go away...
+    let (proc, frames) = kernel.mem_ctx(pid).unwrap();
+    proc.mem.release_all(frames);
+    assert!(
+        kernel.frames().live() > 0,
+        "the manager's CoW snapshot still pins the clean-state frames"
+    );
+    // ...and releasing the snapshot references frees the rest.
+    {
+        let (_, frames) = kernel.mem_ctx(pid).unwrap();
+        snapshot.release(frames);
+    }
+    assert_eq!(kernel.frames().live(), 0, "no frame leaks after release");
+}

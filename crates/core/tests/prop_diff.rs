@@ -1,0 +1,115 @@
+//! Property test: the layout differ's plan is a fixpoint operator.
+//!
+//! For any snapshot layout and any sequence of layout-churning syscalls,
+//! injecting the diff's plan must bring the layout back to (an
+//! equivalent of) the snapshot layout — and re-diffing must be empty.
+
+use proptest::prelude::*;
+
+use gh_mem::{PageRange, Perms, Vpn};
+use gh_proc::{Kernel, Pid, PtraceSession};
+use groundhog_core::diff::LayoutDiff;
+
+#[derive(Clone, Debug)]
+enum Churn {
+    Mmap(u64),
+    MunmapAt(u64, u64),
+    MprotectRo(u64, u64),
+    BrkGrow(u64),
+    BrkShrink(u64),
+}
+
+fn churn_strategy() -> impl Strategy<Value = Churn> {
+    prop_oneof![
+        (1u64..24).prop_map(Churn::Mmap),
+        (0u64..64, 1u64..8).prop_map(|(o, l)| Churn::MunmapAt(o, l)),
+        (0u64..64, 1u64..6).prop_map(|(o, l)| Churn::MprotectRo(o, l)),
+        (1u64..32).prop_map(Churn::BrkGrow),
+        (1u64..32).prop_map(Churn::BrkShrink),
+    ]
+}
+
+fn build_process(region_lens: &[u64]) -> (Kernel, Pid, Vec<PageRange>) {
+    let mut kernel = Kernel::boot();
+    let pid = kernel.spawn("diff-fuzz");
+    let heap_base = kernel.process(pid).unwrap().mem.config().heap_base;
+    let mut regions = Vec::new();
+    kernel
+        .run_charged(pid, |p, frames| {
+            p.mem.set_brk(Vpn(heap_base.0 + 20), frames).unwrap();
+            for &len in region_lens {
+                regions.push(p.mem.mmap(len, Perms::RW, gh_mem::VmaKind::Anon).unwrap());
+            }
+        })
+        .unwrap();
+    (kernel, pid, regions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plan_restores_any_churned_layout(
+        region_lens in prop::collection::vec(2u64..32, 1..6),
+        churn in prop::collection::vec(churn_strategy(), 0..24),
+    ) {
+        let (mut kernel, pid, regions) = build_process(&region_lens);
+        let heap_base = kernel.process(pid).unwrap().mem.config().heap_base;
+        let snap_vmas = kernel.process(pid).unwrap().mem.maps();
+        let snap_brk = kernel.process(pid).unwrap().mem.brk();
+
+        // Churn the layout arbitrarily (function-side syscalls).
+        kernel.run_charged(pid, |p, frames| {
+            for c in &churn {
+                match c {
+                    Churn::Mmap(len) => {
+                        let _ = p.mem.mmap(*len, Perms::RW, gh_mem::VmaKind::Anon);
+                    }
+                    Churn::MunmapAt(off, len) => {
+                        if let Some(r) = regions.first() {
+                            let start = Vpn(r.start.0 + off % r.len());
+                            let _ = p.mem.munmap(PageRange::at(start, *len), frames);
+                        }
+                    }
+                    Churn::MprotectRo(off, len) => {
+                        if let Some(r) = regions.last() {
+                            let start = Vpn(r.start.0 + off % r.len());
+                            let _ = p.mem.mprotect(PageRange::at(start, *len), Perms::R);
+                        }
+                    }
+                    Churn::BrkGrow(d) => {
+                        let cur = p.mem.brk();
+                        let _ = p.mem.set_brk(Vpn(cur.0 + d), frames);
+                    }
+                    Churn::BrkShrink(d) => {
+                        let cur = p.mem.brk();
+                        let new = cur.0.saturating_sub(*d).max(heap_base.0);
+                        let _ = p.mem.set_brk(Vpn(new), frames);
+                    }
+                }
+            }
+        }).unwrap();
+
+        // Diff and inject the plan, exactly as the restorer does.
+        let cur_vmas = kernel.process(pid).unwrap().mem.maps();
+        let cur_brk = kernel.process(pid).unwrap().mem.brk();
+        let diff = LayoutDiff::compute(&snap_vmas, snap_brk, &cur_vmas, cur_brk);
+        let plan = diff.plan();
+        prop_assert_eq!(plan.len(), diff.syscall_count());
+        {
+            let mut s = PtraceSession::attach(&mut kernel, pid).unwrap();
+            s.interrupt_all().unwrap();
+            for sc in plan {
+                s.inject(sc).unwrap();
+            }
+            s.detach().unwrap();
+        }
+
+        // The layout must now be equivalent to the snapshot: an empty
+        // re-diff (merging-equivalent layouts diff to nothing).
+        let proc = kernel.process(pid).unwrap();
+        proc.mem.check_invariants().unwrap();
+        let re = LayoutDiff::compute(&snap_vmas, snap_brk, &proc.mem.maps(), proc.mem.brk());
+        prop_assert!(re.is_empty(), "re-diff not empty: {re:?}");
+    }
+}

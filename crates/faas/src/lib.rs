@@ -1,0 +1,34 @@
+//! An OpenWhisk-model FaaS platform.
+//!
+//! §5.1 describes the deployment this crate models: a distributed
+//! OpenWhisk where the *invoker* hosts function containers (one core
+//! each) and Groundhog interposes on the actionloop proxy's stdin/stdout
+//! between the platform and the function process. The pieces:
+//!
+//! - [`container::Container`]: one function container driven through
+//!   Fig. 1's life cycle — environment instantiation, runtime
+//!   initialization, data initialization (the dummy warm-up request of
+//!   §4.1), strategy preparation (GH snapshot), then the serve/restore
+//!   loop. Requests are buffered until the manager reports the process
+//!   clean (§4.5).
+//! - [`proxy`]: the interposition costs of the actionloop design — the
+//!   manager's extra pipe hop, per-KiB payload copying, and the
+//!   refactored Node.js wrapper penalty (§5.3.1).
+//! - [`platform::Platform`]: a facade wiring controller-side delays
+//!   (E2E − invoker, calibrated per benchmark from the paper's BASE
+//!   columns) around containers.
+//! - [`client`]: the two workloads of §5.2/§5.3 — a closed-loop low-load
+//!   client (latency; restores complete between requests) and a
+//!   saturating client (throughput; restores eat into capacity) — plus
+//!   the multi-core scaling harness of §5.3.4.
+
+pub mod client;
+pub mod container;
+pub mod openloop;
+pub mod platform;
+pub mod proxy;
+pub mod request;
+
+pub use container::{Container, InvokeOutcome};
+pub use platform::{Platform, PlatformConfig};
+pub use request::{Request, Response};

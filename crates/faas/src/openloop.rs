@@ -1,0 +1,135 @@
+//! Open-loop (Poisson) arrivals against one container.
+//!
+//! §4's design goal: "Groundhog restores state *between* activations of a
+//! function, and therefore does not contribute to a function's activation
+//! latency under low to medium server load." The closed-loop harness
+//! can't show that claim's limit — this open-loop client can: requests
+//! arrive whether or not the container is ready, and queue behind both
+//! execution *and* restoration. At low utilization restores hide in idle
+//! gaps; as offered load approaches the (restore-reduced) capacity,
+//! queueing explodes earlier under GH than under BASE.
+
+use gh_functions::FunctionSpec;
+use gh_isolation::{StrategyError, StrategyKind};
+use gh_sim::stats::{percentile, throughput_rps};
+use gh_sim::{DetRng, Nanos};
+use groundhog_core::GroundhogConfig;
+
+use crate::container::Container;
+use crate::request::Request;
+
+/// Outcome of one open-loop run.
+#[derive(Clone, Debug)]
+pub struct OpenLoopResult {
+    /// Offered arrival rate (requests/second).
+    pub offered_rps: f64,
+    /// Completed requests.
+    pub completed: usize,
+    /// Achieved goodput (completions per second of busy span).
+    pub goodput_rps: f64,
+    /// Mean sojourn time (arrival → response), ms. Queueing included.
+    pub mean_ms: f64,
+    /// 99th-percentile sojourn time, ms.
+    pub p99_ms: f64,
+    /// Server utilization over the run (busy time / span).
+    pub utilization: f64,
+}
+
+/// Runs `requests` Poisson arrivals at `offered_rps` against a fresh
+/// container of `spec` under `kind`.
+pub fn open_loop_run(
+    spec: &FunctionSpec,
+    kind: StrategyKind,
+    gh: GroundhogConfig,
+    offered_rps: f64,
+    requests: usize,
+    seed: u64,
+) -> Result<OpenLoopResult, StrategyError> {
+    assert!(offered_rps > 0.0, "offered load must be positive");
+    let mut container = Container::cold_start(spec, kind, gh, seed)?;
+    let mut rng = DetRng::new(seed ^ 0x09E4_100D);
+    let t0 = container.now();
+    let mut arrival = t0;
+    let mut busy = Nanos::ZERO;
+    let mut sojourns_ms = Vec::with_capacity(requests);
+    for i in 0..requests {
+        // Poisson arrivals: exponential inter-arrival times.
+        let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+        let gap_s = -u.ln() / offered_rps;
+        arrival += Nanos::from_millis_f64(gap_s * 1e3);
+        // The request waits until the container is clean and idle
+        // (§4.5: inputs are buffered until restoration completes).
+        container.kernel.clock.advance_to(arrival);
+        let start = container.now();
+        let out = container.invoke(&Request::new(i as u64 + 1, "client", spec.input_kb))?;
+        busy += out.invoker_latency + out.off_path;
+        let sojourn = (start - arrival) + out.invoker_latency;
+        sojourns_ms.push(sojourn.as_millis_f64());
+    }
+    let span = container.now() - t0;
+    let mean_ms = sojourns_ms.iter().sum::<f64>() / sojourns_ms.len().max(1) as f64;
+    Ok(OpenLoopResult {
+        offered_rps,
+        completed: requests,
+        goodput_rps: throughput_rps(requests, span),
+        mean_ms,
+        p99_ms: percentile(&sojourns_ms, 99.0),
+        utilization: (busy.as_secs_f64() / span.as_secs_f64()).min(1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gh_functions::catalog::by_name;
+
+    fn run(kind: StrategyKind, rps: f64) -> OpenLoopResult {
+        let spec = by_name("fannkuch (p)").unwrap();
+        open_loop_run(&spec, kind, GroundhogConfig::gh(), rps, 120, 5).unwrap()
+    }
+
+    #[test]
+    fn low_load_hides_restoration() {
+        // fannkuch: exec ≈ 4.6ms, restore ≈ 2ms. At 20 r/s (≈10%
+        // utilization) the restore must be invisible in sojourn times.
+        let base = run(StrategyKind::Base, 20.0);
+        let gh = run(StrategyKind::Gh, 20.0);
+        assert!(gh.utilization < 0.35, "low load: {:.2}", gh.utilization);
+        let rel = gh.mean_ms / base.mean_ms;
+        assert!(
+            rel < 1.45,
+            "restore hidden at low load: gh {:.2}ms vs base {:.2}ms",
+            gh.mean_ms,
+            base.mean_ms
+        );
+    }
+
+    #[test]
+    fn high_load_exposes_restoration_as_queueing() {
+        // Offered near BASE's capacity: GH's reduced capacity makes the
+        // queue explode.
+        let base = run(StrategyKind::Base, 130.0);
+        let gh = run(StrategyKind::Gh, 130.0);
+        assert!(
+            gh.mean_ms > base.mean_ms * 1.8,
+            "queueing should blow up first under GH: gh {:.1}ms base {:.1}ms",
+            gh.mean_ms,
+            base.mean_ms
+        );
+    }
+
+    #[test]
+    fn utilization_grows_with_offered_load() {
+        let lo = run(StrategyKind::Gh, 10.0);
+        let hi = run(StrategyKind::Gh, 100.0);
+        assert!(hi.utilization > lo.utilization * 2.0);
+        assert!(lo.p99_ms >= lo.mean_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_load_rejected() {
+        let spec = by_name("fannkuch (p)").unwrap();
+        let _ = open_loop_run(&spec, StrategyKind::Base, GroundhogConfig::gh(), 0.0, 1, 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Actionloop-proxy interposition costs (§4.5, §5.1, §5.3.1).
+//!
+//! OpenWhisk's actionloop runtimes already pipe requests through a proxy
+//! process; Groundhog inserts its manager between the proxy and the
+//! runtime, "intercepting the stdin and stdout and forward\[ing\] the stdin
+//! only when the function's process is restored to a clean state". That
+//! interception costs:
+//!
+//! - a **handshake** per request (pipe hop + wake-up, and blocking until
+//!   the restore-complete signal) — paid by configurations that actually
+//!   gate on a rollback (GH, FORK);
+//! - a **payload copy** per KiB in+out — paid by every interposing
+//!   configuration (GH, GHNOP, FORK);
+//! - the **refactored Node.js wrapper** multiplier (§5.3.1): Node's
+//!   runtime was restructured into the actionloop shape to host the
+//!   manager, making its proxying disproportionately expensive.
+
+use gh_isolation::StrategyKind;
+use gh_runtime::RuntimeKind;
+use gh_sim::{CostModel, Nanos};
+
+/// Per-request interposition cost for a strategy.
+pub fn interposition_cost(
+    cost: &CostModel,
+    kind: StrategyKind,
+    runtime: RuntimeKind,
+    payload_kb: u64,
+) -> Nanos {
+    let refactored = runtime == RuntimeKind::NodeJs;
+    let mult = if refactored { cost.nodejs_refactor_mult } else { 1.0 };
+    match kind {
+        // No manager in the path.
+        StrategyKind::Base | StrategyKind::Faasm | StrategyKind::Fresh => Nanos::ZERO,
+        // Manager splices the pipes through without gating on a rollback:
+        // near-zero (Table 1 shows GHNOP invoker within ~0.2ms of BASE
+        // even for 200KB payloads).
+        StrategyKind::GhNop => Nanos::from_micros(30).scale(mult),
+        // Full interception: handshake + payload copies while the input is
+        // held until the restore-complete signal.
+        StrategyKind::Gh | StrategyKind::Fork => cost.gh_proxy_cost(payload_kb, refactored),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_is_free() {
+        let m = CostModel::default();
+        assert_eq!(
+            interposition_cost(&m, StrategyKind::Base, RuntimeKind::Python, 200),
+            Nanos::ZERO
+        );
+        assert_eq!(
+            interposition_cost(&m, StrategyKind::Faasm, RuntimeKind::NativeC, 10),
+            Nanos::ZERO
+        );
+    }
+
+    #[test]
+    fn gh_pays_handshake_plus_payload() {
+        let m = CostModel::default();
+        let small = interposition_cost(&m, StrategyKind::Gh, RuntimeKind::Python, 1);
+        let large = interposition_cost(&m, StrategyKind::Gh, RuntimeKind::Python, 200);
+        assert!(small >= m.gh_proxy_base);
+        assert!(large > small, "payload size matters (§5.3.1 json overhead)");
+    }
+
+    #[test]
+    fn ghnop_pays_only_payload() {
+        let m = CostModel::default();
+        let nop = interposition_cost(&m, StrategyKind::GhNop, RuntimeKind::Python, 1);
+        let gh = interposition_cost(&m, StrategyKind::Gh, RuntimeKind::Python, 1);
+        assert!(nop < gh, "GHNOP has negligible overhead on small payloads");
+        assert!(nop < Nanos::from_micros(50));
+    }
+
+    #[test]
+    fn node_refactor_is_dearer() {
+        let m = CostModel::default();
+        let py = interposition_cost(&m, StrategyKind::Gh, RuntimeKind::Python, 200);
+        let node = interposition_cost(&m, StrategyKind::Gh, RuntimeKind::NodeJs, 200);
+        assert!(node.as_nanos() as f64 >= py.as_nanos() as f64 * 1.5);
+    }
+
+    #[test]
+    fn fork_interposes_like_gh() {
+        let m = CostModel::default();
+        assert_eq!(
+            interposition_cost(&m, StrategyKind::Fork, RuntimeKind::NativeC, 4),
+            interposition_cost(&m, StrategyKind::Gh, RuntimeKind::NativeC, 4),
+        );
+    }
+}

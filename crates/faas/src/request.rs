@@ -1,0 +1,47 @@
+//! Requests and responses at the platform boundary.
+
+use gh_sim::Nanos;
+
+/// A function invocation request as received by the controller.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Globally unique request id (also the taint label).
+    pub id: u64,
+    /// The authenticated caller (§2's per-caller credentials).
+    pub principal: String,
+    /// Input payload size, KiB.
+    pub input_kb: u64,
+}
+
+impl Request {
+    /// Creates a request.
+    pub fn new(id: u64, principal: &str, input_kb: u64) -> Request {
+        Request { id, principal: principal.to_string(), input_kb }
+    }
+}
+
+/// The response returned to the end client.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Request this answers.
+    pub request_id: u64,
+    /// Whether execution succeeded.
+    pub ok: bool,
+    /// Output payload size, KiB.
+    pub output_kb: u64,
+    /// Virtual time the response left the platform.
+    pub completed_at: Nanos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_construction() {
+        let r = Request::new(7, "alice", 200);
+        assert_eq!(r.id, 7);
+        assert_eq!(r.principal, "alice");
+        assert_eq!(r.input_kb, 200);
+    }
+}

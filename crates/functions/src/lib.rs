@@ -1,0 +1,27 @@
+//! The paper's benchmark functions and their execution behaviours.
+//!
+//! §5 evaluates Groundhog on 58 functions: 22 Python functions from
+//! pyperformance, 23 C functions from PolyBench, and 13 functions
+//! (6 Python, 7 Node.js) from FaaSProfiler. The experiments do not depend
+//! on *what* those functions compute — only on their measured properties:
+//! invoker latency, address-space size, write-set size, layout churn, and
+//! two anomalies the paper calls out (the logging(p) memory leak and
+//! img-resize(n)'s time-driven GC sensitivity).
+//!
+//! [`catalog`] transcribes those properties per benchmark from Table 3
+//! (with Table 1/2 reference columns kept for validation), and
+//! [`behavior`] executes a synthetic workload with exactly those
+//! properties against a simulated process: the same number of pages
+//! written, spread over the managed regions; the same footprint; the same
+//! churn. [`micro`] is the §5.2 microbenchmark (pre-allocate N pages;
+//! each invocation dirties a fraction and reads every mapped page).
+
+pub mod behavior;
+pub mod catalog;
+pub mod leaky;
+pub mod micro;
+pub mod spec;
+
+pub use behavior::{ExecReport, Executor};
+pub use micro::MicroFunction;
+pub use spec::{BehaviorFlags, FaasmRef, FunctionSpec, Suite};

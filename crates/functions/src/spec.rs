@@ -1,0 +1,180 @@
+//! Benchmark specifications: measured properties + paper reference values.
+
+use gh_runtime::RuntimeKind;
+
+/// Which benchmark suite a function comes from (§5.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Suite {
+    /// pyperformance \[48\] — 22 Python functions.
+    PyPerformance,
+    /// PolyBench/C \[30\] — 23 C functions.
+    PolyBench,
+    /// FaaSProfiler \[38\] — 6 Python + 7 Node.js functions.
+    FaaSProfiler,
+}
+
+impl Suite {
+    /// Display name as used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::PyPerformance => "pyperformance",
+            Suite::PolyBench => "PolyBench",
+            Suite::FaaSProfiler => "FaaSProfiler",
+        }
+    }
+}
+
+/// Paper-measured FAASM reference values (Table 1, faasm columns). Only
+/// pyperformance and PolyBench compile to WebAssembly (§5.3.3).
+#[derive(Clone, Copy, Debug)]
+pub struct FaasmRef {
+    /// End-to-end latency (ms).
+    pub e2e_ms: f64,
+    /// Invoker latency (ms).
+    pub invoker_ms: f64,
+    /// Peak throughput (req/s).
+    pub xput: f64,
+}
+
+/// Behavioural anomalies the paper calls out.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BehaviorFlags {
+    /// logging(p): leaks memory every invocation, slowing down under
+    /// container reuse; Groundhog's rollback removes the leak (§5.3.1,
+    /// the "GH faster than BASE" anomaly).
+    pub leak: bool,
+    /// img-resize(n): time-driven V8 GC state is rewound by restoration,
+    /// so post-restore invocations re-trigger collection (§5.3.1).
+    pub gc_sensitive: bool,
+}
+
+/// One benchmark function: measured properties (used to drive the
+/// simulation) plus the paper's reported results (used only for
+/// validation and EXPERIMENTS.md comparisons — never fed back into the
+/// mechanism).
+#[derive(Clone, Debug)]
+pub struct FunctionSpec {
+    /// Paper name including the language suffix, e.g. `"chaos (p)"`.
+    pub name: &'static str,
+    /// Source suite.
+    pub suite: Suite,
+    /// Language runtime.
+    pub runtime: RuntimeKind,
+    /// Baseline invoker latency, ms (Table 3).
+    pub base_invoker_ms: f64,
+    /// Baseline end-to-end latency, ms (Table 1).
+    pub base_e2e_ms: f64,
+    /// Baseline peak throughput at 4 cores, req/s (Table 3).
+    pub base_xput: f64,
+    /// Mapped address space, thousands of pages (Table 3 `#pages`).
+    pub total_kpages: f64,
+    /// Pages written per activation, thousands (Table 3 `#restored`).
+    pub written_kpages: f64,
+    /// Request payload, KiB (§5.3.1 gives json=200 KiB, img-resize=76 KiB).
+    pub input_kb: u64,
+    /// Response payload, KiB.
+    pub output_kb: u64,
+    /// Paper: GH invoker latency, ms (Table 3) — validation only.
+    pub paper_gh_invoker_ms: f64,
+    /// Paper: GH restore time, ms (Table 3) — validation only.
+    pub paper_restore_ms: f64,
+    /// Paper: GH peak throughput, req/s (Table 3) — validation only.
+    pub paper_gh_xput: f64,
+    /// Paper: in-function faults, thousands (Table 3 `#faults`).
+    pub paper_faults_k: f64,
+    /// Paper: FAASM measurements, when the function compiles to wasm.
+    pub faasm: Option<FaasmRef>,
+    /// Anomaly flags.
+    pub behavior: BehaviorFlags,
+}
+
+impl FunctionSpec {
+    /// Pages written per activation (absolute).
+    pub fn written_pages(&self) -> u64 {
+        (self.written_kpages * 1000.0).round() as u64
+    }
+
+    /// Mapped pages (absolute).
+    pub fn total_pages(&self) -> u64 {
+        (self.total_kpages * 1000.0).round() as u64
+    }
+
+    /// Baseline platform delay (E2E minus invoker): the FaaS platform
+    /// components Groundhog does not touch (§5.3.1: "significant platform
+    /// overheads ... are the same in the baseline and Groundhog").
+    pub fn platform_delay_ms(&self) -> f64 {
+        (self.base_e2e_ms - self.base_invoker_ms).max(0.0)
+    }
+
+    /// Baseline per-request saturation overhead implied by Table 3:
+    /// with 4 containers on 4 cores, `xput = 4 / (invoker + overhead)`.
+    pub fn saturation_overhead_ms(&self, cores: u32) -> f64 {
+        if self.base_xput <= 0.0 {
+            // logging(p) degrades to zero throughput at saturation; its
+            // clean-state overhead is like its suite siblings'.
+            return 3.0;
+        }
+        (cores as f64 * 1000.0 / self.base_xput - self.base_invoker_ms).max(0.0)
+    }
+
+    /// The fraction of the mapped address space written per activation
+    /// (§3.1's "small write sets" statistic).
+    pub fn write_set_fraction(&self) -> f64 {
+        if self.total_kpages <= 0.0 {
+            0.0
+        } else {
+            self.written_kpages / self.total_kpages
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FunctionSpec {
+        FunctionSpec {
+            name: "test (p)",
+            suite: Suite::PyPerformance,
+            runtime: RuntimeKind::Python,
+            base_invoker_ms: 10.0,
+            base_e2e_ms: 36.0,
+            base_xput: 100.0,
+            total_kpages: 6.0,
+            written_kpages: 0.3,
+            input_kb: 1,
+            output_kb: 1,
+            paper_gh_invoker_ms: 10.5,
+            paper_restore_ms: 4.0,
+            paper_gh_xput: 95.0,
+            paper_faults_k: 0.3,
+            faasm: None,
+            behavior: BehaviorFlags::default(),
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let s = spec();
+        assert_eq!(s.written_pages(), 300);
+        assert_eq!(s.total_pages(), 6000);
+        assert!((s.platform_delay_ms() - 26.0).abs() < 1e-9);
+        assert!((s.write_set_fraction() - 0.05).abs() < 1e-9);
+        // 4 cores, 100 r/s → 40 ms/request budget → 30 ms overhead.
+        assert!((s.saturation_overhead_ms(4) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_xput_overhead_fallback() {
+        let mut s = spec();
+        s.base_xput = 0.0;
+        assert!(s.saturation_overhead_ms(4) > 0.0);
+    }
+
+    #[test]
+    fn suite_labels() {
+        assert_eq!(Suite::PyPerformance.label(), "pyperformance");
+        assert_eq!(Suite::PolyBench.label(), "PolyBench");
+        assert_eq!(Suite::FaaSProfiler.label(), "FaaSProfiler");
+    }
+}

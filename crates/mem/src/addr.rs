@@ -1,0 +1,211 @@
+//! Virtual addresses, page numbers and page ranges.
+
+use core::fmt;
+
+/// Bytes per page; fixed at the Linux default of 4 KiB.
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A virtual byte address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// The virtual page containing this address.
+    #[inline]
+    pub const fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Rounds down to the page boundary.
+    #[inline]
+    pub const fn page_align_down(self) -> VirtAddr {
+        VirtAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Rounds up to the next page boundary (saturating).
+    #[inline]
+    pub const fn page_align_up(self) -> VirtAddr {
+        VirtAddr(self.0.saturating_add(PAGE_SIZE - 1) & !(PAGE_SIZE - 1))
+    }
+
+    /// Address arithmetic.
+    #[inline]
+    pub const fn add(self, bytes: u64) -> VirtAddr {
+        VirtAddr(self.0.saturating_add(bytes))
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:012x}", self.0)
+    }
+}
+
+/// A virtual page number (address >> 12).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u64);
+
+impl Vpn {
+    /// First byte address of the page.
+    #[inline]
+    pub const fn addr(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The next page.
+    #[inline]
+    pub const fn next(self) -> Vpn {
+        Vpn(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+/// A half-open range of virtual pages `[start, end)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageRange {
+    /// First page in the range.
+    pub start: Vpn,
+    /// One past the last page.
+    pub end: Vpn,
+}
+
+impl PageRange {
+    /// Creates a range; `end < start` is normalized to the empty range at
+    /// `start`.
+    #[inline]
+    pub fn new(start: Vpn, end: Vpn) -> PageRange {
+        if end.0 < start.0 {
+            PageRange { start, end: start }
+        } else {
+            PageRange { start, end }
+        }
+    }
+
+    /// Range of `len` pages starting at `start`.
+    #[inline]
+    pub fn at(start: Vpn, len: u64) -> PageRange {
+        PageRange { start, end: Vpn(start.0 + len) }
+    }
+
+    /// Number of pages.
+    #[inline]
+    pub const fn len(self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// True if the range contains no pages.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.start.0 >= self.end.0
+    }
+
+    /// True if `vpn` lies inside the range.
+    #[inline]
+    pub const fn contains(self, vpn: Vpn) -> bool {
+        self.start.0 <= vpn.0 && vpn.0 < self.end.0
+    }
+
+    /// True if `other` lies fully inside this range.
+    #[inline]
+    pub const fn contains_range(self, other: PageRange) -> bool {
+        self.start.0 <= other.start.0 && other.end.0 <= self.end.0
+    }
+
+    /// The intersection of two ranges (possibly empty).
+    #[inline]
+    pub fn intersect(self, other: PageRange) -> PageRange {
+        let start = Vpn(self.start.0.max(other.start.0));
+        let end = Vpn(self.end.0.min(other.end.0));
+        PageRange::new(start, end)
+    }
+
+    /// True if the ranges share at least one page.
+    #[inline]
+    pub fn overlaps(self, other: PageRange) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Iterates the pages in order.
+    pub fn iter(self) -> impl Iterator<Item = Vpn> {
+        (self.start.0..self.end.0).map(Vpn)
+    }
+
+    /// Size of the range in bytes.
+    #[inline]
+    pub const fn byte_len(self) -> u64 {
+        self.len() * PAGE_SIZE
+    }
+}
+
+impl fmt::Debug for PageRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x},{:#x})", self.start.0, self.end.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_page_math() {
+        let a = VirtAddr(0x1234);
+        assert_eq!(a.vpn(), Vpn(1));
+        assert_eq!(a.page_offset(), 0x234);
+        assert_eq!(a.page_align_down(), VirtAddr(0x1000));
+        assert_eq!(a.page_align_up(), VirtAddr(0x2000));
+        assert_eq!(VirtAddr(0x2000).page_align_up(), VirtAddr(0x2000));
+        assert_eq!(Vpn(3).addr(), VirtAddr(0x3000));
+    }
+
+    #[test]
+    fn range_basics() {
+        let r = PageRange::at(Vpn(10), 5);
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+        assert!(r.contains(Vpn(10)));
+        assert!(r.contains(Vpn(14)));
+        assert!(!r.contains(Vpn(15)));
+        assert_eq!(r.byte_len(), 5 * PAGE_SIZE);
+        assert_eq!(r.iter().count(), 5);
+    }
+
+    #[test]
+    fn inverted_range_normalizes_empty() {
+        let r = PageRange::new(Vpn(5), Vpn(3));
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn intersect_and_overlap() {
+        let a = PageRange::at(Vpn(0), 10);
+        let b = PageRange::at(Vpn(5), 10);
+        let c = PageRange::at(Vpn(20), 5);
+        assert_eq!(a.intersect(b), PageRange::at(Vpn(5), 5));
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c));
+        assert!(a.intersect(c).is_empty());
+        assert!(a.contains_range(PageRange::at(Vpn(2), 3)));
+        assert!(!a.contains_range(b));
+    }
+}

@@ -1,0 +1,493 @@
+//! Physical frames: compact page contents with reference counting.
+//!
+//! A [`FrameTable`] owns all frames of the simulated machine; address
+//! spaces reference frames by [`FrameId`]. Reference counts implement
+//! genuine copy-on-write sharing across `fork` and snapshots: a snapshot
+//! holds cloned [`FrameData`], so restores are bit-exact by construction
+//! and the tests verify it by logical content comparison.
+//!
+//! Contents are stored compactly so processes mapping hundreds of
+//! thousands of pages stay cheap: most pages are [`FrameData::Zero`] or a
+//! deterministic [`FrameData::Pattern`]; a page that received a few word
+//! writes is [`FrameData::Patched`]; only pages written with bulk data
+//! materialize a full 4 KiB [`FrameData::Literal`].
+
+use crate::addr::PAGE_SIZE;
+use crate::taint::Taint;
+
+/// Maximum number of word patches before a page is materialized.
+const MAX_PATCHES: usize = 16;
+
+/// Identifier of a frame in a [`FrameTable`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FrameId(pub u64);
+
+/// Logical contents of one 4 KiB page, stored compactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameData {
+    /// All zeroes.
+    Zero,
+    /// A page filled with a deterministic pattern derived from `seed`
+    /// (used for runtime/library images).
+    Pattern(u64),
+    /// A base page plus up to 16 sparse 8-byte aligned word patches,
+    /// kept sorted by offset.
+    Patched {
+        /// Seed of the underlying pattern; `None` means a zero base.
+        base: Option<u64>,
+        /// Sorted `(byte_offset, value)` pairs; offsets are 8-byte aligned.
+        patches: Vec<(u16, u64)>,
+    },
+    /// Fully materialized page bytes.
+    Literal(Box<[u8; PAGE_SIZE as usize]>),
+}
+
+/// Deterministic pattern word for page `seed` at word index `i`.
+#[inline]
+fn pattern_word(seed: u64, i: usize) -> u64 {
+    // SplitMix-style mix; cheap and well distributed.
+    let mut z = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const WORDS_PER_PAGE: usize = (PAGE_SIZE as usize) / 8;
+
+impl FrameData {
+    /// Reads the aligned 8-byte word at `word_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_index >= 512`.
+    pub fn read_word(&self, word_index: usize) -> u64 {
+        assert!(word_index < WORDS_PER_PAGE, "word index out of page");
+        match self {
+            FrameData::Zero => 0,
+            FrameData::Pattern(seed) => pattern_word(*seed, word_index),
+            FrameData::Patched { base, patches } => {
+                let off = (word_index * 8) as u16;
+                match patches.binary_search_by_key(&off, |&(o, _)| o) {
+                    Ok(i) => patches[i].1,
+                    Err(_) => base.map_or(0, |s| pattern_word(s, word_index)),
+                }
+            }
+            FrameData::Literal(bytes) => {
+                let off = word_index * 8;
+                u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8-byte slice"))
+            }
+        }
+    }
+
+    /// Writes the aligned 8-byte word at `word_index`, promoting the
+    /// representation as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_index >= 512`.
+    pub fn write_word(&mut self, word_index: usize, value: u64) {
+        assert!(word_index < WORDS_PER_PAGE, "word index out of page");
+        let off = (word_index * 8) as u16;
+        match self {
+            FrameData::Zero => {
+                if value != 0 {
+                    *self = FrameData::Patched { base: None, patches: vec![(off, value)] };
+                }
+            }
+            FrameData::Pattern(seed) => {
+                let seed = *seed;
+                if pattern_word(seed, word_index) != value {
+                    *self =
+                        FrameData::Patched { base: Some(seed), patches: vec![(off, value)] };
+                }
+            }
+            FrameData::Patched { patches, .. } => {
+                match patches.binary_search_by_key(&off, |&(o, _)| o) {
+                    Ok(i) => patches[i].1 = value,
+                    Err(i) => {
+                        patches.insert(i, (off, value));
+                        if patches.len() > MAX_PATCHES {
+                            *self = FrameData::Literal(self.materialize());
+                        }
+                    }
+                }
+            }
+            FrameData::Literal(bytes) => {
+                let off = word_index * 8;
+                bytes[off..off + 8].copy_from_slice(&value.to_le_bytes());
+            }
+        }
+    }
+
+    /// Reads `buf.len()` bytes starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read crosses the page end.
+    pub fn read_bytes(&self, offset: usize, buf: &mut [u8]) {
+        assert!(offset + buf.len() <= PAGE_SIZE as usize, "read crosses page end");
+        match self {
+            FrameData::Literal(bytes) => {
+                buf.copy_from_slice(&bytes[offset..offset + buf.len()]);
+            }
+            _ => {
+                for (i, b) in buf.iter_mut().enumerate() {
+                    let pos = offset + i;
+                    let w = self.read_word(pos / 8);
+                    *b = w.to_le_bytes()[pos % 8];
+                }
+            }
+        }
+    }
+
+    /// Writes `data` starting at `offset`, materializing the page unless
+    /// the write is a single aligned word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write crosses the page end.
+    pub fn write_bytes(&mut self, offset: usize, data: &[u8]) {
+        assert!(offset + data.len() <= PAGE_SIZE as usize, "write crosses page end");
+        if data.len() == 8 && offset.is_multiple_of(8) {
+            let v = u64::from_le_bytes(data.try_into().expect("8 bytes"));
+            self.write_word(offset / 8, v);
+            return;
+        }
+        let mut bytes = self.materialize();
+        bytes[offset..offset + data.len()].copy_from_slice(data);
+        *self = FrameData::Literal(bytes);
+    }
+
+    /// Produces the full 4 KiB byte image of the page.
+    pub fn materialize(&self) -> Box<[u8; PAGE_SIZE as usize]> {
+        let mut bytes = Box::new([0u8; PAGE_SIZE as usize]);
+        match self {
+            FrameData::Zero => {}
+            FrameData::Pattern(seed) => {
+                for w in 0..WORDS_PER_PAGE {
+                    bytes[w * 8..w * 8 + 8]
+                        .copy_from_slice(&pattern_word(*seed, w).to_le_bytes());
+                }
+            }
+            FrameData::Patched { base, patches } => {
+                if let Some(seed) = base {
+                    for w in 0..WORDS_PER_PAGE {
+                        bytes[w * 8..w * 8 + 8]
+                            .copy_from_slice(&pattern_word(*seed, w).to_le_bytes());
+                    }
+                }
+                for &(off, val) in patches {
+                    let off = off as usize;
+                    bytes[off..off + 8].copy_from_slice(&val.to_le_bytes());
+                }
+            }
+            FrameData::Literal(b) => bytes.copy_from_slice(&b[..]),
+        }
+        bytes
+    }
+
+    /// Compares logical contents (independent of representation).
+    pub fn logical_eq(&self, other: &FrameData) -> bool {
+        // Fast path: identical representations.
+        if self == other {
+            return true;
+        }
+        (0..WORDS_PER_PAGE).all(|w| self.read_word(w) == other.read_word(w))
+    }
+}
+
+/// One frame: page contents plus taint plus a reference count.
+#[derive(Clone, Debug)]
+struct Frame {
+    data: FrameData,
+    taint: Taint,
+    refs: u32,
+}
+
+/// The machine-wide frame store.
+///
+/// Frames are allocated by address spaces; `fork` and snapshotting take
+/// additional references. A frame with `refs > 1` must be copied before
+/// mutation (enforced by [`AddressSpace`](crate::space::AddressSpace)'s CoW
+/// fault path).
+#[derive(Default, Debug)]
+pub struct FrameTable {
+    frames: Vec<Option<Frame>>,
+    free: Vec<u64>,
+    allocated: u64,
+}
+
+impl FrameTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a frame with the given contents and taint.
+    pub fn alloc(&mut self, data: FrameData, taint: Taint) -> FrameId {
+        self.allocated += 1;
+        let frame = Frame { data, taint, refs: 1 };
+        if let Some(idx) = self.free.pop() {
+            self.frames[idx as usize] = Some(frame);
+            FrameId(idx)
+        } else {
+            self.frames.push(Some(frame));
+            FrameId(self.frames.len() as u64 - 1)
+        }
+    }
+
+    fn get(&self, id: FrameId) -> &Frame {
+        self.frames
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .unwrap_or_else(|| panic!("dangling frame id {id:?}"))
+    }
+
+    fn get_mut(&mut self, id: FrameId) -> &mut Frame {
+        self.frames
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .unwrap_or_else(|| panic!("dangling frame id {id:?}"))
+    }
+
+    /// Increments the reference count (fork / snapshot sharing).
+    pub fn incref(&mut self, id: FrameId) {
+        self.get_mut(id).refs += 1;
+    }
+
+    /// Decrements the reference count, freeing the frame at zero.
+    pub fn decref(&mut self, id: FrameId) {
+        let frame = self.get_mut(id);
+        frame.refs -= 1;
+        if frame.refs == 0 {
+            self.frames[id.0 as usize] = None;
+            self.free.push(id.0);
+        }
+    }
+
+    /// Current reference count.
+    pub fn refcount(&self, id: FrameId) -> u32 {
+        self.get(id).refs
+    }
+
+    /// True if the frame is shared (CoW must copy before writing).
+    pub fn is_shared(&self, id: FrameId) -> bool {
+        self.get(id).refs > 1
+    }
+
+    /// Clones a shared frame into a private copy (the CoW copy), returning
+    /// the new frame. The old frame's refcount is decremented.
+    pub fn cow_copy(&mut self, id: FrameId) -> FrameId {
+        let (data, taint) = {
+            let f = self.get(id);
+            (f.data.clone(), f.taint)
+        };
+        self.decref(id);
+        self.alloc(data, taint)
+    }
+
+    /// Immutable view of a frame's contents.
+    pub fn data(&self, id: FrameId) -> &FrameData {
+        &self.get(id).data
+    }
+
+    /// Taint of a frame.
+    pub fn taint(&self, id: FrameId) -> Taint {
+        self.get(id).taint
+    }
+
+    /// Mutable access to contents + taint.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the frame is shared: callers must run the
+    /// CoW fault path first.
+    pub fn data_mut(&mut self, id: FrameId) -> (&mut FrameData, &mut Taint) {
+        let f = self.get_mut(id);
+        debug_assert_eq!(f.refs, 1, "mutating a shared frame without CoW copy");
+        (&mut f.data, &mut f.taint)
+    }
+
+    /// Overwrites contents + taint wholesale (used by the restorer, which
+    /// writes via ptrace and therefore bypasses the fault path).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the frame is shared.
+    pub fn overwrite(&mut self, id: FrameId, data: FrameData, taint: Taint) {
+        let f = self.get_mut(id);
+        debug_assert_eq!(f.refs, 1, "overwriting a shared frame");
+        f.data = data;
+        f.taint = taint;
+    }
+
+    /// Number of live frames.
+    pub fn live(&self) -> usize {
+        self.frames.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Total allocations performed (monotonic).
+    pub fn total_allocated(&self) -> u64 {
+        self.allocated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taint::RequestId;
+
+    #[test]
+    fn zero_page_reads_zero() {
+        let f = FrameData::Zero;
+        assert_eq!(f.read_word(0), 0);
+        assert_eq!(f.read_word(511), 0);
+        let mut buf = [1u8; 16];
+        f.read_bytes(100, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn pattern_deterministic_and_nonzero() {
+        let a = FrameData::Pattern(42);
+        let b = FrameData::Pattern(42);
+        let c = FrameData::Pattern(43);
+        assert_eq!(a.read_word(7), b.read_word(7));
+        assert_ne!(a.read_word(7), c.read_word(7));
+        assert!(a.logical_eq(&b));
+        assert!(!a.logical_eq(&c));
+    }
+
+    #[test]
+    fn word_write_promotes_to_patched() {
+        let mut f = FrameData::Zero;
+        f.write_word(3, 0xDEAD);
+        assert!(matches!(f, FrameData::Patched { .. }));
+        assert_eq!(f.read_word(3), 0xDEAD);
+        assert_eq!(f.read_word(4), 0);
+        // Overwrite the same word in place.
+        f.write_word(3, 0xBEEF);
+        assert_eq!(f.read_word(3), 0xBEEF);
+    }
+
+    #[test]
+    fn writing_zero_to_zero_page_stays_zero() {
+        let mut f = FrameData::Zero;
+        f.write_word(0, 0);
+        assert_eq!(f, FrameData::Zero);
+    }
+
+    #[test]
+    fn writing_pattern_value_to_pattern_page_is_noop() {
+        let mut f = FrameData::Pattern(9);
+        let v = f.read_word(5);
+        f.write_word(5, v);
+        assert_eq!(f, FrameData::Pattern(9));
+    }
+
+    #[test]
+    fn too_many_patches_materializes() {
+        let mut f = FrameData::Zero;
+        for i in 0..=MAX_PATCHES {
+            f.write_word(i, i as u64 + 1);
+        }
+        assert!(matches!(f, FrameData::Literal(_)));
+        for i in 0..=MAX_PATCHES {
+            assert_eq!(f.read_word(i), i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn patched_pattern_roundtrip() {
+        let mut f = FrameData::Pattern(7);
+        f.write_word(100, 0x1234);
+        assert_eq!(f.read_word(100), 0x1234);
+        assert_eq!(f.read_word(99), FrameData::Pattern(7).read_word(99));
+        let lit = FrameData::Literal(f.materialize());
+        assert!(f.logical_eq(&lit));
+    }
+
+    #[test]
+    fn unaligned_byte_write_materializes() {
+        let mut f = FrameData::Pattern(3);
+        f.write_bytes(13, b"hello");
+        assert!(matches!(f, FrameData::Literal(_)));
+        let mut buf = [0u8; 5];
+        f.read_bytes(13, &mut buf);
+        assert_eq!(&buf, b"hello");
+        // Neighbouring pattern bytes preserved.
+        assert_eq!(f.read_word(0), FrameData::Pattern(3).read_word(0));
+    }
+
+    #[test]
+    fn aligned_word_byte_write_stays_compact() {
+        let mut f = FrameData::Zero;
+        f.write_bytes(16, &0xABu64.to_le_bytes());
+        assert!(matches!(f, FrameData::Patched { .. }));
+        assert_eq!(f.read_word(2), 0xAB);
+    }
+
+    #[test]
+    #[should_panic(expected = "word index out of page")]
+    fn out_of_page_word_panics() {
+        FrameData::Zero.read_word(512);
+    }
+
+    #[test]
+    fn logical_eq_across_representations() {
+        let lit = FrameData::Literal(FrameData::Zero.materialize());
+        assert!(lit.logical_eq(&FrameData::Zero));
+        let mut patched = FrameData::Zero;
+        patched.write_word(0, 5);
+        patched.write_word(0, 0); // back to zero... but stored as patch
+        assert!(patched.logical_eq(&FrameData::Zero));
+    }
+
+    #[test]
+    fn frame_table_refcounting() {
+        let mut t = FrameTable::new();
+        let id = t.alloc(FrameData::Zero, Taint::Clean);
+        assert_eq!(t.refcount(id), 1);
+        assert!(!t.is_shared(id));
+        t.incref(id);
+        assert!(t.is_shared(id));
+        t.decref(id);
+        assert_eq!(t.refcount(id), 1);
+        t.decref(id);
+        assert_eq!(t.live(), 0);
+    }
+
+    #[test]
+    fn frame_slot_reuse() {
+        let mut t = FrameTable::new();
+        let a = t.alloc(FrameData::Zero, Taint::Clean);
+        t.decref(a);
+        let b = t.alloc(FrameData::Pattern(1), Taint::Clean);
+        assert_eq!(a, b, "slot should be recycled");
+        assert_eq!(t.live(), 1);
+        assert_eq!(t.total_allocated(), 2);
+    }
+
+    #[test]
+    fn cow_copy_preserves_contents_and_taint() {
+        let mut t = FrameTable::new();
+        let taint = Taint::One(RequestId(5));
+        let a = t.alloc(FrameData::Pattern(11), taint);
+        t.incref(a); // shared between two page tables
+        let b = t.cow_copy(a);
+        assert_ne!(a, b);
+        assert_eq!(t.refcount(a), 1);
+        assert_eq!(t.refcount(b), 1);
+        assert!(t.data(a).logical_eq(t.data(b)));
+        assert_eq!(t.taint(b), taint);
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling frame id")]
+    fn dangling_frame_panics() {
+        let mut t = FrameTable::new();
+        let id = t.alloc(FrameData::Zero, Taint::Clean);
+        t.decref(id);
+        let _ = t.data(id);
+    }
+}

@@ -1,0 +1,173 @@
+//! Page table entries and their flags.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitOrAssign, Not};
+
+use crate::frame::FrameId;
+
+/// Per-PTE flag bits.
+///
+/// The flags mirror the kernel state Groundhog depends on:
+///
+/// - [`PteFlags::SOFT_DIRTY`]: the page was written since the last
+///   `clear_refs` (exposed in `/proc/pid/pagemap` bit 55).
+/// - [`PteFlags::SD_WP`]: soft-dirty write protection is armed; set by
+///   `clear_refs`, the next write takes a minor fault that sets
+///   `SOFT_DIRTY` and clears this bit (§5.2.1's in-function overhead).
+/// - [`PteFlags::COW`]: the frame is shared copy-on-write (after `fork`);
+///   a write copies the frame first.
+/// - [`PteFlags::UFFD_WP`]: userfaultfd write protection (§4.3's
+///   alternative tracking backend).
+/// - [`PteFlags::TLB_COLD`]: no TLB entry / lazily created PTE; the first
+///   access after `fork` pays extra (§5.2.3's dTLB-miss effect).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct PteFlags(pub u8);
+
+impl PteFlags {
+    /// Page has a frame mapped.
+    pub const PRESENT: PteFlags = PteFlags(1 << 0);
+    /// Written since the last soft-dirty clear.
+    pub const SOFT_DIRTY: PteFlags = PteFlags(1 << 1);
+    /// Soft-dirty write-protection armed (next write faults).
+    pub const SD_WP: PteFlags = PteFlags(1 << 2);
+    /// Frame shared copy-on-write.
+    pub const COW: PteFlags = PteFlags(1 << 3);
+    /// Userfaultfd write-protection armed.
+    pub const UFFD_WP: PteFlags = PteFlags(1 << 4);
+    /// First post-fork access pays a dTLB / lazy-PTE cost.
+    pub const TLB_COLD: PteFlags = PteFlags(1 << 5);
+
+    /// The empty flag set.
+    pub const fn empty() -> PteFlags {
+        PteFlags(0)
+    }
+
+    /// True if every bit of `other` is set in `self`.
+    #[inline]
+    pub const fn contains(self, other: PteFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if any bit of `other` is set in `self`.
+    #[inline]
+    pub const fn intersects(self, other: PteFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Returns `self` with the bits of `other` set.
+    #[inline]
+    #[must_use]
+    pub const fn with(self, other: PteFlags) -> PteFlags {
+        PteFlags(self.0 | other.0)
+    }
+
+    /// Returns `self` with the bits of `other` cleared.
+    #[inline]
+    #[must_use]
+    pub const fn without(self, other: PteFlags) -> PteFlags {
+        PteFlags(self.0 & !other.0)
+    }
+}
+
+impl BitOr for PteFlags {
+    type Output = PteFlags;
+    fn bitor(self, rhs: PteFlags) -> PteFlags {
+        PteFlags(self.0 | rhs.0)
+    }
+}
+impl BitOrAssign for PteFlags {
+    fn bitor_assign(&mut self, rhs: PteFlags) {
+        self.0 |= rhs.0;
+    }
+}
+impl BitAnd for PteFlags {
+    type Output = PteFlags;
+    fn bitand(self, rhs: PteFlags) -> PteFlags {
+        PteFlags(self.0 & rhs.0)
+    }
+}
+impl Not for PteFlags {
+    type Output = PteFlags;
+    fn not(self) -> PteFlags {
+        PteFlags(!self.0)
+    }
+}
+
+impl fmt::Debug for PteFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.contains(PteFlags::PRESENT) {
+            parts.push("P");
+        }
+        if self.contains(PteFlags::SOFT_DIRTY) {
+            parts.push("SD");
+        }
+        if self.contains(PteFlags::SD_WP) {
+            parts.push("SDWP");
+        }
+        if self.contains(PteFlags::COW) {
+            parts.push("COW");
+        }
+        if self.contains(PteFlags::UFFD_WP) {
+            parts.push("UFFDWP");
+        }
+        if self.contains(PteFlags::TLB_COLD) {
+            parts.push("COLD");
+        }
+        write!(f, "PteFlags[{}]", parts.join("|"))
+    }
+}
+
+/// One page table entry: a frame reference plus flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pte {
+    /// The mapped frame.
+    pub frame: FrameId,
+    /// Flag bits.
+    pub flags: PteFlags,
+}
+
+impl Pte {
+    /// A present entry with the given extra flags.
+    pub fn present(frame: FrameId, extra: PteFlags) -> Pte {
+        Pte { frame, flags: PteFlags::PRESENT.with(extra) }
+    }
+
+    /// Whether the soft-dirty bit is set.
+    pub fn soft_dirty(&self) -> bool {
+        self.flags.contains(PteFlags::SOFT_DIRTY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_set_operations() {
+        let f = PteFlags::PRESENT | PteFlags::SOFT_DIRTY;
+        assert!(f.contains(PteFlags::PRESENT));
+        assert!(f.contains(PteFlags::SOFT_DIRTY));
+        assert!(!f.contains(PteFlags::COW));
+        assert!(f.intersects(PteFlags::SOFT_DIRTY | PteFlags::COW));
+        assert!(!f.intersects(PteFlags::COW | PteFlags::UFFD_WP));
+        assert_eq!(f.without(PteFlags::SOFT_DIRTY), PteFlags::PRESENT);
+        assert_eq!(PteFlags::empty().with(PteFlags::COW), PteFlags::COW);
+    }
+
+    #[test]
+    fn pte_constructor() {
+        let p = Pte::present(FrameId(3), PteFlags::SOFT_DIRTY);
+        assert!(p.flags.contains(PteFlags::PRESENT));
+        assert!(p.soft_dirty());
+        assert_eq!(p.frame, FrameId(3));
+    }
+
+    #[test]
+    fn debug_formatting() {
+        let f = PteFlags::PRESENT | PteFlags::COW;
+        let s = format!("{f:?}");
+        assert!(s.contains('P'));
+        assert!(s.contains("COW"));
+    }
+}

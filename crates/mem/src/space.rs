@@ -1,0 +1,1322 @@
+//! The per-process address space: VMAs, page table, fault paths.
+//!
+//! [`AddressSpace`] implements the kernel-side semantics Groundhog's
+//! manager drives from user space:
+//!
+//! - `mmap` / `munmap` / `mprotect` / `brk` / `madvise(DONTNEED)` with VMA
+//!   splitting and merging;
+//! - demand paging with a shared zero frame, copy-on-write after `fork`,
+//!   soft-dirty tracking with write-protect arming (`clear_refs`), and an
+//!   optional userfaultfd write-protect mode;
+//! - fault accounting for the cost model ([`FaultCounters`]);
+//! - `/proc`-style introspection: `maps()` and `pagemap()` iteration.
+//!
+//! The address space does not own frames; all frame operations go through
+//! the machine-wide [`FrameTable`], so `fork` children and snapshots share
+//! frames exactly as processes share physical memory.
+
+use std::collections::BTreeMap;
+
+use crate::addr::{PageRange, VirtAddr, Vpn, PAGE_SIZE};
+use crate::frame::{FrameData, FrameTable};
+use crate::pte::{Pte, PteFlags};
+use crate::taint::Taint;
+use crate::vma::{Perms, Vma, VmaKind};
+
+/// Address space geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct SpaceConfig {
+    /// First page of the `brk` heap.
+    pub heap_base: Vpn,
+    /// Pages are allocated top-down for `mmap` starting below this page.
+    pub mmap_top: Vpn,
+    /// Highest stack page + 1 (stack grows down from here).
+    pub stack_top: Vpn,
+    /// Initial stack size in pages.
+    pub stack_pages: u64,
+}
+
+impl Default for SpaceConfig {
+    fn default() -> Self {
+        // A 47-bit-ish layout, page numbers (not bytes).
+        Self {
+            heap_base: Vpn(0x0010_0000),
+            mmap_top: Vpn(0x7000_0000),
+            stack_top: Vpn(0x7fff_f000),
+            // The stack VMA starts small and grows on demand; Linux maps
+            // ~132 KiB up front. Table 3's C benchmarks map <1K pages in
+            // total, so the initial stack must not dominate.
+            stack_pages: 34,
+        }
+    }
+}
+
+/// Counts of fault events taken since the last [`FaultCounters::take`].
+///
+/// These are the quantities the cost model converts into in-function
+/// latency: each counter maps 1:1 to a `CostModel` constant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// First-touch minor faults (zero page / file page-in).
+    pub minor: u64,
+    /// Soft-dirty write-protect faults (tracking overhead, §5.2.1).
+    pub sd_wp: u64,
+    /// Copy-on-write faults (fork-based isolation, §5.2.3).
+    pub cow: u64,
+    /// Userfaultfd write-protect notifications (§4.3).
+    pub uffd_wp: u64,
+    /// First post-fork accesses (dTLB miss + lazy PTE, §5.2.3).
+    pub tlb_cold: u64,
+    /// Warm page touches (no fault; baseline work).
+    pub warm: u64,
+}
+
+impl FaultCounters {
+    /// Total faults excluding warm touches.
+    pub fn total_faults(&self) -> u64 {
+        self.minor + self.sd_wp + self.cow + self.uffd_wp + self.tlb_cold
+    }
+
+    /// Adds `other` into `self`.
+    pub fn absorb(&mut self, other: FaultCounters) {
+        self.minor += other.minor;
+        self.sd_wp += other.sd_wp;
+        self.cow += other.cow;
+        self.uffd_wp += other.uffd_wp;
+        self.tlb_cold += other.tlb_cold;
+        self.warm += other.warm;
+    }
+
+    /// Returns the current counts and resets them to zero.
+    pub fn take(&mut self) -> FaultCounters {
+        std::mem::take(self)
+    }
+}
+
+/// Errors from memory accesses and mapping syscalls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessError {
+    /// No VMA covers the page.
+    Unmapped(Vpn),
+    /// The VMA's permissions forbid the access.
+    PermissionDenied(Vpn),
+    /// A mapping call was given an invalid or conflicting range.
+    BadRange,
+}
+
+impl core::fmt::Display for AccessError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AccessError::Unmapped(v) => write!(f, "segfault: unmapped page {v:?}"),
+            AccessError::PermissionDenied(v) => {
+                write!(f, "segfault: permission denied at {v:?}")
+            }
+            AccessError::BadRange => write!(f, "invalid range"),
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+/// Kind of page touch performed by function code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Touch {
+    /// Read one word from the page.
+    Read,
+    /// Write the given word into the page (at word index 1).
+    WriteWord(u64),
+}
+
+/// A process's virtual address space.
+#[derive(Debug)]
+pub struct AddressSpace {
+    cfg: SpaceConfig,
+    /// VMAs keyed by start vpn; invariant: non-overlapping, each non-empty.
+    vmas: BTreeMap<u64, Vma>,
+    /// Page table keyed by vpn; invariant: every present page lies in a VMA.
+    pages: BTreeMap<u64, Pte>,
+    /// Current program break (one past the last heap page).
+    brk: Vpn,
+    /// Fault accounting.
+    counters: FaultCounters,
+    /// Userfaultfd write-protect mode armed space-wide.
+    uffd_armed: bool,
+    /// Pages reported by userfaultfd since arming.
+    uffd_log: Vec<Vpn>,
+}
+
+impl AddressSpace {
+    /// Creates an address space with an empty heap and an initial stack.
+    pub fn new(cfg: SpaceConfig, frames: &mut FrameTable) -> AddressSpace {
+        let _ = frames; // reserved for future eager mappings
+        let mut vmas = BTreeMap::new();
+        let stack_range =
+            PageRange::new(Vpn(cfg.stack_top.0 - cfg.stack_pages), cfg.stack_top);
+        vmas.insert(
+            stack_range.start.0,
+            Vma::new(stack_range, Perms::RW, VmaKind::Stack),
+        );
+        AddressSpace {
+            cfg,
+            vmas,
+            pages: BTreeMap::new(),
+            brk: cfg.heap_base,
+            counters: FaultCounters::default(),
+            uffd_armed: false,
+            uffd_log: Vec::new(),
+        }
+    }
+
+    /// The geometry this space was created with.
+    pub fn config(&self) -> SpaceConfig {
+        self.cfg
+    }
+
+    // ---------------------------------------------------------------
+    // VMA queries
+    // ---------------------------------------------------------------
+
+    /// The VMA containing `vpn`, if any.
+    pub fn vma_at(&self, vpn: Vpn) -> Option<&Vma> {
+        self.vmas
+            .range(..=vpn.0)
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.range.contains(vpn))
+    }
+
+    /// All VMAs in address order (a `/proc/pid/maps` read).
+    pub fn maps(&self) -> Vec<Vma> {
+        self.vmas.values().cloned().collect()
+    }
+
+    /// Renders `/proc/pid/maps`.
+    pub fn render_maps(&self) -> String {
+        let mut s = String::new();
+        for v in self.vmas.values() {
+            s.push_str(&v.render());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Number of VMAs.
+    pub fn vma_count(&self) -> usize {
+        self.vmas.len()
+    }
+
+    /// Total pages covered by VMAs.
+    pub fn mapped_pages(&self) -> u64 {
+        self.vmas.values().map(|v| v.range.len()).sum()
+    }
+
+    /// Pages with a present PTE (the RSS).
+    pub fn present_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Current program break page.
+    pub fn brk(&self) -> Vpn {
+        self.brk
+    }
+
+    /// Fault counters (mutable so callers can `take()` deltas).
+    pub fn counters_mut(&mut self) -> &mut FaultCounters {
+        &mut self.counters
+    }
+
+    /// Fault counters, read-only.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    // ---------------------------------------------------------------
+    // Mapping syscalls
+    // ---------------------------------------------------------------
+
+    /// Finds a free region of `len` pages below `mmap_top`, top-down.
+    fn find_free(&self, len: u64) -> Option<PageRange> {
+        if len == 0 {
+            return None;
+        }
+        let mut ceiling = self.cfg.mmap_top.0;
+        // Walk VMAs downward from mmap_top.
+        for (_, vma) in self.vmas.range(..self.cfg.mmap_top.0).rev() {
+            let gap_start = vma.range.end.0;
+            if gap_start < ceiling && ceiling - gap_start >= len {
+                return Some(PageRange::new(Vpn(ceiling - len), Vpn(ceiling)));
+            }
+            ceiling = ceiling.min(vma.range.start.0);
+        }
+        if ceiling >= len {
+            Some(PageRange::new(Vpn(ceiling - len), Vpn(ceiling)))
+        } else {
+            None
+        }
+    }
+
+    /// `mmap(NULL, len, ...)`: maps `len` pages at a kernel-chosen address.
+    pub fn mmap(&mut self, len: u64, perms: Perms, kind: VmaKind) -> Result<PageRange, AccessError> {
+        let range = self.find_free(len).ok_or(AccessError::BadRange)?;
+        self.insert_vma(Vma::new(range, perms, kind));
+        Ok(range)
+    }
+
+    /// `mmap(addr, len, ..., MAP_FIXED)`: maps exactly `range`, failing on
+    /// any overlap with an existing mapping.
+    pub fn mmap_fixed(
+        &mut self,
+        range: PageRange,
+        perms: Perms,
+        kind: VmaKind,
+    ) -> Result<(), AccessError> {
+        if range.is_empty() {
+            return Err(AccessError::BadRange);
+        }
+        if self.overlaps_any(range) {
+            return Err(AccessError::BadRange);
+        }
+        self.insert_vma(Vma::new(range, perms, kind));
+        Ok(())
+    }
+
+    fn overlaps_any(&self, range: PageRange) -> bool {
+        self.vmas
+            .range(..range.end.0)
+            .next_back()
+            .is_some_and(|(_, v)| v.range.overlaps(range))
+            || self
+                .vmas
+                .range(range.start.0..range.end.0)
+                .next()
+                .is_some()
+    }
+
+    /// Inserts a VMA, merging with adjacent compatible anonymous VMAs.
+    fn insert_vma(&mut self, mut vma: Vma) {
+        // Merge with predecessor.
+        if let Some((&start, prev)) = self.vmas.range(..vma.range.start.0).next_back() {
+            if prev.range.end == vma.range.start && prev.can_merge_with(&vma) {
+                vma.range.start = prev.range.start;
+                self.vmas.remove(&start);
+            }
+        }
+        // Merge with successor.
+        if let Some((&start, next)) = self.vmas.range(vma.range.end.0..).next() {
+            if next.range.start == vma.range.end && vma.can_merge_with(next) {
+                vma.range.end = next.range.end;
+                self.vmas.remove(&start);
+            }
+        }
+        self.vmas.insert(vma.range.start.0, vma);
+    }
+
+    /// `munmap(range)`: removes all mappings in `range`, splitting VMAs
+    /// that straddle the boundary and releasing frames of present pages.
+    pub fn munmap(&mut self, range: PageRange, frames: &mut FrameTable) -> Result<(), AccessError> {
+        if range.is_empty() {
+            return Err(AccessError::BadRange);
+        }
+        // Collect affected VMAs.
+        let affected: Vec<u64> = self
+            .vmas
+            .range(..range.end.0)
+            .filter(|(_, v)| v.range.overlaps(range))
+            .map(|(&s, _)| s)
+            .collect();
+        for start in affected {
+            let vma = self.vmas.remove(&start).expect("collected key");
+            let cut = vma.range.intersect(range);
+            // Left remainder.
+            if vma.range.start.0 < cut.start.0 {
+                let left = Vma::new(
+                    PageRange::new(vma.range.start, cut.start),
+                    vma.perms,
+                    vma.kind.clone(),
+                );
+                self.vmas.insert(left.range.start.0, left);
+            }
+            // Right remainder.
+            if cut.end.0 < vma.range.end.0 {
+                let right =
+                    Vma::new(PageRange::new(cut.end, vma.range.end), vma.perms, vma.kind);
+                self.vmas.insert(right.range.start.0, right);
+            }
+        }
+        self.drop_pages_in(range, frames);
+        Ok(())
+    }
+
+    /// `mprotect(range, perms)`: changes permissions, splitting VMAs.
+    pub fn mprotect(&mut self, range: PageRange, perms: Perms) -> Result<(), AccessError> {
+        if range.is_empty() {
+            return Err(AccessError::BadRange);
+        }
+        // Every page of the range must be mapped (POSIX ENOMEM otherwise).
+        let mut cursor = range.start;
+        while cursor.0 < range.end.0 {
+            let vma = self.vma_at(cursor).ok_or(AccessError::Unmapped(cursor))?;
+            cursor = vma.range.end;
+        }
+        let affected: Vec<u64> = self
+            .vmas
+            .range(..range.end.0)
+            .filter(|(_, v)| v.range.overlaps(range))
+            .map(|(&s, _)| s)
+            .collect();
+        // Remove every affected VMA before inserting pieces: `insert_vma`
+        // may merge a piece with an adjacent affected VMA, which would
+        // invalidate keys still pending in the loop.
+        let removed: Vec<Vma> = affected
+            .iter()
+            .map(|s| self.vmas.remove(s).expect("collected key"))
+            .collect();
+        for vma in removed {
+            let cut = vma.range.intersect(range);
+            if vma.range.start.0 < cut.start.0 {
+                self.vmas.insert(
+                    vma.range.start.0,
+                    Vma::new(
+                        PageRange::new(vma.range.start, cut.start),
+                        vma.perms,
+                        vma.kind.clone(),
+                    ),
+                );
+            }
+            self.insert_vma(Vma::new(cut, perms, vma.kind.clone()));
+            if cut.end.0 < vma.range.end.0 {
+                self.vmas.insert(
+                    cut.end.0,
+                    Vma::new(PageRange::new(cut.end, vma.range.end), vma.perms, vma.kind),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// `brk(new_brk)`: grows or shrinks the heap. Returns the new break.
+    pub fn set_brk(&mut self, new_brk: Vpn, frames: &mut FrameTable) -> Result<Vpn, AccessError> {
+        if new_brk.0 < self.cfg.heap_base.0 {
+            return Err(AccessError::BadRange);
+        }
+        let old = self.brk;
+        if new_brk.0 > old.0 {
+            // Grow: extend or create the heap VMA.
+            let grow = PageRange::new(old, new_brk);
+            if self.overlaps_any(grow) {
+                return Err(AccessError::BadRange);
+            }
+            // Find existing heap VMA ending at `old`.
+            let existing = self
+                .vmas
+                .iter()
+                .find(|(_, v)| matches!(v.kind, VmaKind::Heap) && v.range.end == old)
+                .map(|(&s, _)| s);
+            if let Some(s) = existing {
+                let mut v = self.vmas.remove(&s).expect("heap vma");
+                v.range.end = new_brk;
+                self.vmas.insert(v.range.start.0, v);
+            } else {
+                self.vmas.insert(
+                    grow.start.0,
+                    Vma::new(grow, Perms::RW, VmaKind::Heap),
+                );
+            }
+        } else if new_brk.0 < old.0 {
+            let shrink = PageRange::new(new_brk, old);
+            // Heap VMA must cover the released range.
+            let existing = self
+                .vmas
+                .iter()
+                .find(|(_, v)| matches!(v.kind, VmaKind::Heap) && v.range.end == old)
+                .map(|(&s, _)| s);
+            let Some(s) = existing else {
+                return Err(AccessError::BadRange);
+            };
+            let mut v = self.vmas.remove(&s).expect("heap vma");
+            if new_brk.0 <= v.range.start.0 {
+                // Whole heap VMA released.
+            } else {
+                v.range.end = new_brk;
+                self.vmas.insert(v.range.start.0, v);
+            }
+            self.drop_pages_in(shrink, frames);
+        }
+        self.brk = new_brk;
+        Ok(self.brk)
+    }
+
+    /// `madvise(range, MADV_DONTNEED)`: releases frames; contents are lost
+    /// and the next touch takes a fresh minor fault.
+    pub fn madvise_dontneed(
+        &mut self,
+        range: PageRange,
+        frames: &mut FrameTable,
+    ) -> Result<(), AccessError> {
+        if range.is_empty() {
+            return Err(AccessError::BadRange);
+        }
+        self.drop_pages_in(range, frames);
+        Ok(())
+    }
+
+    fn drop_pages_in(&mut self, range: PageRange, frames: &mut FrameTable) {
+        let vpns: Vec<u64> = self
+            .pages
+            .range(range.start.0..range.end.0)
+            .map(|(&v, _)| v)
+            .collect();
+        for v in vpns {
+            let pte = self.pages.remove(&v).expect("collected key");
+            frames.decref(pte.frame);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Fault paths
+    // ---------------------------------------------------------------
+
+    /// Initial contents of a fresh page in `vma`.
+    fn fresh_data(vma: &Vma, vpn: Vpn) -> FrameData {
+        match &vma.kind {
+            VmaKind::File(name) => {
+                // Deterministic per (file, page) pattern standing in for
+                // file contents.
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in name.bytes() {
+                    h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                FrameData::Pattern(h ^ vpn.0)
+            }
+            _ => FrameData::Zero,
+        }
+    }
+
+    /// Ensures `vpn` is present for a read; takes faults as needed.
+    fn page_read_access(&mut self, vpn: Vpn, frames: &mut FrameTable) -> Result<(), AccessError> {
+        let vma = self.vma_at(vpn).ok_or(AccessError::Unmapped(vpn))?;
+        if !vma.perms.r {
+            return Err(AccessError::PermissionDenied(vpn));
+        }
+        let fresh = Self::fresh_data(vma, vpn);
+        match self.pages.get_mut(&vpn.0) {
+            None => {
+                // Minor fault. Linux marks every newly installed PTE
+                // soft-dirty (Documentation/admin-guide/mm/soft-dirty.rst:
+                // "the kernel always marks new memory regions ... as soft
+                // dirty") so that unmap/remap churn cannot hide changes —
+                // Groundhog's restore correctness depends on this.
+                self.counters.minor += 1;
+                let frame = frames.alloc(fresh, Taint::Clean);
+                self.pages.insert(vpn.0, Pte::present(frame, PteFlags::SOFT_DIRTY));
+            }
+            Some(pte) => {
+                if pte.flags.contains(PteFlags::TLB_COLD) {
+                    self.counters.tlb_cold += 1;
+                    pte.flags = pte.flags.without(PteFlags::TLB_COLD);
+                } else {
+                    self.counters.warm += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Ensures `vpn` is present and privately writable; takes faults as
+    /// needed and maintains soft-dirty state.
+    fn page_write_access(&mut self, vpn: Vpn, frames: &mut FrameTable) -> Result<(), AccessError> {
+        let vma = self.vma_at(vpn).ok_or(AccessError::Unmapped(vpn))?;
+        if !vma.perms.w {
+            return Err(AccessError::PermissionDenied(vpn));
+        }
+        let fresh = Self::fresh_data(vma, vpn);
+        match self.pages.get_mut(&vpn.0) {
+            None => {
+                // Write minor fault: page born soft-dirty.
+                self.counters.minor += 1;
+                let frame = frames.alloc(fresh, Taint::Clean);
+                self.pages
+                    .insert(vpn.0, Pte::present(frame, PteFlags::SOFT_DIRTY));
+            }
+            Some(pte) => {
+                let mut faulted = false;
+                if pte.flags.contains(PteFlags::TLB_COLD) {
+                    self.counters.tlb_cold += 1;
+                    pte.flags = pte.flags.without(PteFlags::TLB_COLD);
+                    faulted = true;
+                }
+                if pte.flags.contains(PteFlags::COW) {
+                    self.counters.cow += 1;
+                    if frames.is_shared(pte.frame) {
+                        pte.frame = frames.cow_copy(pte.frame);
+                    }
+                    pte.flags = pte.flags.without(PteFlags::COW);
+                    faulted = true;
+                }
+                if pte.flags.contains(PteFlags::UFFD_WP) {
+                    self.counters.uffd_wp += 1;
+                    self.uffd_log.push(vpn);
+                    pte.flags =
+                        pte.flags.without(PteFlags::UFFD_WP).with(PteFlags::SOFT_DIRTY);
+                    faulted = true;
+                } else if pte.flags.contains(PteFlags::SD_WP) {
+                    // One hardware #PF resolves CoW and soft-dirty arming
+                    // together: don't double-count when a CoW fault
+                    // already fired for this write.
+                    if !faulted {
+                        self.counters.sd_wp += 1;
+                    }
+                    pte.flags =
+                        pte.flags.without(PteFlags::SD_WP).with(PteFlags::SOFT_DIRTY);
+                    faulted = true;
+                } else {
+                    pte.flags |= PteFlags::SOFT_DIRTY;
+                }
+                if !faulted {
+                    self.counters.warm += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Performs a page-granular touch (the unit of work function
+    /// behaviours are built from).
+    pub fn touch(
+        &mut self,
+        vpn: Vpn,
+        touch: Touch,
+        taint: Taint,
+        frames: &mut FrameTable,
+    ) -> Result<(), AccessError> {
+        match touch {
+            Touch::Read => self.page_read_access(vpn, frames),
+            Touch::WriteWord(val) => {
+                self.page_write_access(vpn, frames)?;
+                let pte = self.pages.get(&vpn.0).expect("just faulted in");
+                // The fault path guarantees a private frame for writes.
+                let (data, t) = frames.data_mut(pte.frame);
+                data.write_word(1, val);
+                *t = t.merge(taint);
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads `buf.len()` bytes at `addr`, crossing pages as needed.
+    pub fn read_bytes(
+        &mut self,
+        addr: VirtAddr,
+        buf: &mut [u8],
+        frames: &mut FrameTable,
+    ) -> Result<(), AccessError> {
+        let mut pos = 0usize;
+        let mut cur = addr;
+        while pos < buf.len() {
+            let vpn = cur.vpn();
+            self.page_read_access(vpn, frames)?;
+            let off = cur.page_offset() as usize;
+            let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
+            let pte = self.pages.get(&vpn.0).expect("present after access");
+            frames.data(pte.frame).read_bytes(off, &mut buf[pos..pos + n]);
+            pos += n;
+            cur = cur.add(n as u64);
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at `addr` with taint, crossing pages as needed.
+    pub fn write_bytes(
+        &mut self,
+        addr: VirtAddr,
+        data: &[u8],
+        taint: Taint,
+        frames: &mut FrameTable,
+    ) -> Result<(), AccessError> {
+        let mut pos = 0usize;
+        let mut cur = addr;
+        while pos < data.len() {
+            let vpn = cur.vpn();
+            self.page_write_access(vpn, frames)?;
+            let off = cur.page_offset() as usize;
+            let n = ((PAGE_SIZE as usize) - off).min(data.len() - pos);
+            let pte = self.pages.get(&vpn.0).expect("present after access");
+            let (fd, t) = frames.data_mut(pte.frame);
+            fd.write_bytes(off, &data[pos..pos + n]);
+            *t = t.merge(taint);
+            pos += n;
+            cur = cur.add(n as u64);
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Tracking: soft-dirty and userfaultfd
+    // ---------------------------------------------------------------
+
+    /// Marks every present page copy-on-write (a CoW snapshot sharing
+    /// frames with an observer; the next write to each page copies it).
+    /// The caller is responsible for holding references to the frames.
+    pub fn mark_all_cow(&mut self) {
+        for pte in self.pages.values_mut() {
+            pte.flags |= PteFlags::COW;
+        }
+    }
+
+    /// `echo 4 > /proc/pid/clear_refs`: clears all soft-dirty bits and
+    /// write-protects present pages so the next write faults.
+    pub fn clear_soft_dirty(&mut self) {
+        for pte in self.pages.values_mut() {
+            pte.flags = pte.flags.without(PteFlags::SOFT_DIRTY).with(PteFlags::SD_WP);
+        }
+    }
+
+    /// Arms userfaultfd write-protection on all present pages and starts a
+    /// fresh event log (the UFFD tracking backend of §4.3).
+    pub fn arm_uffd_wp(&mut self) {
+        self.uffd_armed = true;
+        self.uffd_log.clear();
+        for pte in self.pages.values_mut() {
+            pte.flags = pte.flags.with(PteFlags::UFFD_WP).without(PteFlags::SOFT_DIRTY);
+        }
+    }
+
+    /// Disarms userfaultfd mode, returning the logged dirty pages.
+    pub fn disarm_uffd(&mut self) -> Vec<Vpn> {
+        self.uffd_armed = false;
+        for pte in self.pages.values_mut() {
+            pte.flags = pte.flags.without(PteFlags::UFFD_WP);
+        }
+        std::mem::take(&mut self.uffd_log)
+    }
+
+    /// True if userfaultfd mode is armed.
+    pub fn uffd_armed(&self) -> bool {
+        self.uffd_armed
+    }
+
+    /// Scans the page table (a `/proc/pid/pagemap` walk) and returns the
+    /// soft-dirty pages in ascending order.
+    pub fn soft_dirty_pages(&self) -> Vec<Vpn> {
+        self.pages
+            .iter()
+            .filter(|(_, pte)| pte.soft_dirty())
+            .map(|(&v, _)| Vpn(v))
+            .collect()
+    }
+
+    /// Iterates `(vpn, pte)` over present pages in ascending order.
+    pub fn pagemap(&self) -> impl Iterator<Item = (Vpn, &Pte)> + '_ {
+        self.pages.iter().map(|(&v, pte)| (Vpn(v), pte))
+    }
+
+    /// Looks up the PTE of `vpn`.
+    pub fn pte(&self, vpn: Vpn) -> Option<&Pte> {
+        self.pages.get(&vpn.0)
+    }
+
+    // ---------------------------------------------------------------
+    // Privileged operations (manager via ptrace / kernel)
+    // ---------------------------------------------------------------
+
+    /// Reads one word from a present page without fault accounting (the
+    /// manager reading memory via `process_vm_readv`/ptrace).
+    pub fn peek_word(&self, vpn: Vpn, word_index: usize, frames: &FrameTable) -> Option<u64> {
+        self.pages
+            .get(&vpn.0)
+            .map(|pte| frames.data(pte.frame).read_word(word_index))
+    }
+
+    /// Overwrites a whole page with `data`, bypassing fault accounting
+    /// (the restorer writing via ptrace). Creates the PTE if necessary.
+    ///
+    /// Returns an error if the page is outside any VMA.
+    pub fn restore_page(
+        &mut self,
+        vpn: Vpn,
+        data: &FrameData,
+        taint: Taint,
+        frames: &mut FrameTable,
+    ) -> Result<(), AccessError> {
+        if self.vma_at(vpn).is_none() {
+            return Err(AccessError::Unmapped(vpn));
+        }
+        match self.pages.get_mut(&vpn.0) {
+            Some(pte) => {
+                if frames.is_shared(pte.frame) {
+                    pte.frame = frames.cow_copy(pte.frame);
+                    pte.flags = pte.flags.without(PteFlags::COW);
+                }
+                frames.overwrite(pte.frame, data.clone(), taint);
+            }
+            None => {
+                let frame = frames.alloc(data.clone(), taint);
+                self.pages.insert(vpn.0, Pte::present(frame, PteFlags::empty()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes the PTE of `vpn`, releasing its frame (restorer dropping a
+    /// newly paged page via `madvise`).
+    pub fn evict_page(&mut self, vpn: Vpn, frames: &mut FrameTable) {
+        if let Some(pte) = self.pages.remove(&vpn.0) {
+            frames.decref(pte.frame);
+        }
+    }
+
+    /// Zeroes a page in place (stack zeroing during restore).
+    pub fn zero_page(&mut self, vpn: Vpn, frames: &mut FrameTable) -> Result<(), AccessError> {
+        self.restore_page(vpn, &FrameData::Zero, Taint::Clean, frames)
+    }
+
+    /// Releases every frame (process teardown). The space is unusable
+    /// afterwards.
+    pub fn release_all(&mut self, frames: &mut FrameTable) {
+        for (_, pte) in std::mem::take(&mut self.pages) {
+            frames.decref(pte.frame);
+        }
+        self.vmas.clear();
+    }
+
+    // ---------------------------------------------------------------
+    // fork
+    // ---------------------------------------------------------------
+
+    /// Duplicates the address space for `fork`: VMAs are copied, present
+    /// pages become shared CoW in **both** parent and child, and the child
+    /// is fully TLB-cold.
+    pub fn fork(&mut self, frames: &mut FrameTable) -> AddressSpace {
+        let mut child_pages = BTreeMap::new();
+        for (&vpn, pte) in self.pages.iter_mut() {
+            frames.incref(pte.frame);
+            // Writable private pages become CoW on both sides. (Read-only
+            // pages can stay shared without COW, but marking them is
+            // harmless: the write path checks VMA perms first.)
+            pte.flags |= PteFlags::COW;
+            let child_flags = pte.flags.with(PteFlags::TLB_COLD);
+            child_pages.insert(vpn, Pte { frame: pte.frame, flags: child_flags });
+        }
+        AddressSpace {
+            cfg: self.cfg,
+            vmas: self.vmas.clone(),
+            pages: child_pages,
+            brk: self.brk,
+            counters: FaultCounters::default(),
+            uffd_armed: false,
+            uffd_log: Vec::new(),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Taint scanning (test support)
+    // ---------------------------------------------------------------
+
+    /// Scans all present frames and returns pages whose taint may contain
+    /// `req`.
+    pub fn tainted_pages(&self, req: crate::taint::RequestId, frames: &FrameTable) -> Vec<Vpn> {
+        self.pages
+            .iter()
+            .filter(|(_, pte)| frames.taint(pte.frame).may_contain(req))
+            .map(|(&v, _)| Vpn(v))
+            .collect()
+    }
+
+    /// Debug invariant check: VMAs are sorted, non-overlapping and
+    /// non-empty, and every present page lies in some VMA.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev_end = 0u64;
+        for (&start, vma) in &self.vmas {
+            if start != vma.range.start.0 {
+                return Err(format!("vma key {start:#x} != range start {:?}", vma.range));
+            }
+            if vma.range.is_empty() {
+                return Err(format!("empty vma at {start:#x}"));
+            }
+            if vma.range.start.0 < prev_end {
+                return Err(format!("overlapping vmas at {start:#x}"));
+            }
+            prev_end = vma.range.end.0;
+        }
+        for &vpn in self.pages.keys() {
+            if self.vma_at(Vpn(vpn)).is_none() {
+                return Err(format!("present page {vpn:#x} outside any vma"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taint::RequestId;
+
+    fn setup() -> (AddressSpace, FrameTable) {
+        let mut frames = FrameTable::new();
+        let space = AddressSpace::new(SpaceConfig::default(), &mut frames);
+        (space, frames)
+    }
+
+    #[test]
+    fn new_space_has_stack_only() {
+        let (s, _) = setup();
+        assert_eq!(s.vma_count(), 1);
+        assert_eq!(s.mapped_pages(), SpaceConfig::default().stack_pages);
+        assert_eq!(s.present_pages(), 0);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mmap_allocates_top_down_and_munmap_releases() {
+        let (mut s, mut f) = setup();
+        let a = s.mmap(10, Perms::RW, VmaKind::Anon).unwrap();
+        let b = s.mmap(5, Perms::RW, VmaKind::Anon).unwrap();
+        assert!(b.end.0 <= a.start.0, "second mapping below first");
+        // Merging: adjacent same-perm anon mappings coalesce.
+        assert_eq!(s.vma_count(), 2, "stack + merged anon block");
+        s.munmap(a, &mut f).unwrap();
+        assert_eq!(s.vma_count(), 2);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mmap_fixed_rejects_overlap() {
+        let (mut s, _) = setup();
+        let r = s.mmap(4, Perms::RW, VmaKind::Anon).unwrap();
+        let err = s.mmap_fixed(r, Perms::RW, VmaKind::Anon);
+        assert_eq!(err, Err(AccessError::BadRange));
+    }
+
+    #[test]
+    fn munmap_splits_vma() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(10, Perms::RW, VmaKind::Anon).unwrap();
+        // Unmap the middle 2 pages.
+        let mid = PageRange::at(Vpn(r.start.0 + 4), 2);
+        s.munmap(mid, &mut f).unwrap();
+        assert_eq!(s.vma_count(), 3, "stack + two fragments");
+        assert!(s.vma_at(Vpn(r.start.0 + 4)).is_none());
+        assert!(s.vma_at(Vpn(r.start.0 + 3)).is_some());
+        assert!(s.vma_at(Vpn(r.start.0 + 6)).is_some());
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn munmap_drops_frames() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(4, Perms::RW, VmaKind::Anon).unwrap();
+        for vpn in r.iter() {
+            s.touch(vpn, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
+        }
+        assert_eq!(f.live(), 4);
+        s.munmap(r, &mut f).unwrap();
+        assert_eq!(f.live(), 0);
+        assert_eq!(s.present_pages(), 0);
+    }
+
+    #[test]
+    fn mprotect_splits_and_denies() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(6, Perms::RW, VmaKind::Anon).unwrap();
+        let ro = PageRange::at(Vpn(r.start.0 + 2), 2);
+        s.mprotect(ro, Perms::R).unwrap();
+        assert_eq!(s.vma_count(), 4, "stack + 3 fragments");
+        let err = s.touch(ro.start, Touch::WriteWord(1), Taint::Clean, &mut f);
+        assert_eq!(err, Err(AccessError::PermissionDenied(ro.start)));
+        s.touch(ro.start, Touch::Read, Taint::Clean, &mut f).unwrap();
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mprotect_unmapped_fails() {
+        let (mut s, _) = setup();
+        let err = s.mprotect(PageRange::at(Vpn(0x500), 1), Perms::R);
+        assert!(matches!(err, Err(AccessError::Unmapped(_))));
+    }
+
+    #[test]
+    fn brk_grow_and_shrink() {
+        let (mut s, mut f) = setup();
+        let base = s.config().heap_base;
+        s.set_brk(Vpn(base.0 + 100), &mut f).unwrap();
+        assert_eq!(s.brk(), Vpn(base.0 + 100));
+        assert!(s.vma_at(Vpn(base.0 + 50)).is_some());
+        // Touch a heap page then shrink past it: frame released.
+        s.touch(Vpn(base.0 + 80), Touch::WriteWord(7), Taint::Clean, &mut f).unwrap();
+        assert_eq!(f.live(), 1);
+        s.set_brk(Vpn(base.0 + 50), &mut f).unwrap();
+        assert_eq!(f.live(), 0);
+        assert!(s.vma_at(Vpn(base.0 + 80)).is_none());
+        // Shrink to zero-size heap removes the VMA.
+        s.set_brk(base, &mut f).unwrap();
+        assert!(s.vma_at(base).is_none());
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn brk_below_base_fails() {
+        let (mut s, mut f) = setup();
+        let base = s.config().heap_base;
+        assert_eq!(s.set_brk(Vpn(base.0 - 1), &mut f), Err(AccessError::BadRange));
+    }
+
+    #[test]
+    fn demand_paging_counts_minor_faults() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(3, Perms::RW, VmaKind::Anon).unwrap();
+        s.touch(r.start, Touch::Read, Taint::Clean, &mut f).unwrap();
+        s.touch(r.start, Touch::Read, Taint::Clean, &mut f).unwrap();
+        let c = s.counters();
+        assert_eq!(c.minor, 1, "second read is warm");
+        assert_eq!(c.warm, 1);
+        assert_eq!(s.present_pages(), 1);
+    }
+
+    #[test]
+    fn every_new_pte_is_born_soft_dirty() {
+        // Linux semantics: both read- and write-faulted fresh PTEs carry
+        // the soft-dirty bit, so remap churn cannot hide modifications.
+        let (mut s, mut f) = setup();
+        let r = s.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
+        s.touch(r.start, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
+        s.touch(r.start.next(), Touch::Read, Taint::Clean, &mut f).unwrap();
+        assert!(s.pte(r.start).unwrap().soft_dirty());
+        assert!(s.pte(r.start.next()).unwrap().soft_dirty());
+        assert_eq!(s.soft_dirty_pages(), vec![r.start, r.start.next()]);
+        // After a clear, re-reading a *present* page stays clean.
+        s.clear_soft_dirty();
+        s.touch(r.start.next(), Touch::Read, Taint::Clean, &mut f).unwrap();
+        assert!(!s.pte(r.start.next()).unwrap().soft_dirty());
+    }
+
+    #[test]
+    fn clear_soft_dirty_arms_wp_faults() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
+        s.touch(r.start, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
+        s.clear_soft_dirty();
+        assert!(s.soft_dirty_pages().is_empty());
+        let before = s.counters();
+        s.touch(r.start, Touch::WriteWord(2), Taint::Clean, &mut f).unwrap();
+        let after = s.counters();
+        assert_eq!(after.sd_wp - before.sd_wp, 1, "armed write takes an SD fault");
+        assert_eq!(s.soft_dirty_pages(), vec![r.start]);
+        // A second write to the same page is warm.
+        s.touch(r.start, Touch::WriteWord(3), Taint::Clean, &mut f).unwrap();
+        assert_eq!(s.counters().sd_wp, after.sd_wp);
+    }
+
+    #[test]
+    fn untracked_write_sets_soft_dirty_without_fault() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(1, Perms::RW, VmaKind::Anon).unwrap();
+        // A restorer-written page is present, clean, and unarmed — the
+        // only way to reach that state.
+        s.restore_page(r.start, &FrameData::Zero, Taint::Clean, &mut f).unwrap();
+        assert!(!s.pte(r.start).unwrap().soft_dirty());
+        let c0 = s.counters();
+        s.touch(r.start, Touch::WriteWord(9), Taint::Clean, &mut f).unwrap();
+        assert!(s.pte(r.start).unwrap().soft_dirty());
+        assert_eq!(s.counters().sd_wp, c0.sd_wp, "no SD fault when not armed");
+    }
+
+    #[test]
+    fn uffd_logs_dirty_pages() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(4, Perms::RW, VmaKind::Anon).unwrap();
+        for vpn in r.iter() {
+            s.touch(vpn, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
+        }
+        s.arm_uffd_wp();
+        s.touch(r.start, Touch::WriteWord(2), Taint::Clean, &mut f).unwrap();
+        s.touch(Vpn(r.start.0 + 2), Touch::WriteWord(2), Taint::Clean, &mut f).unwrap();
+        assert_eq!(s.counters().uffd_wp, 2);
+        let log = s.disarm_uffd();
+        assert_eq!(log, vec![r.start, Vpn(r.start.0 + 2)]);
+        assert!(!s.uffd_armed());
+    }
+
+    #[test]
+    fn file_pages_have_deterministic_content() {
+        let (mut s, mut f) = setup();
+        let r = s
+            .mmap(2, Perms::RX, VmaKind::File("libpython.so".into()))
+            .unwrap();
+        s.touch(r.start, Touch::Read, Taint::Clean, &mut f).unwrap();
+        let w1 = s.peek_word(r.start, 0, &f).unwrap();
+        assert_ne!(w1, 0, "file pages are not zero");
+        // Re-fault the same page in a fresh space: identical contents.
+        let (mut s2, mut f2) = setup();
+        let r2 = s2
+            .mmap(2, Perms::RX, VmaKind::File("libpython.so".into()))
+            .unwrap();
+        // Same kind and same vpn layout → same pattern.
+        assert_eq!(r.start, r2.start);
+        s2.touch(r2.start, Touch::Read, Taint::Clean, &mut f2).unwrap();
+        assert_eq!(s2.peek_word(r2.start, 0, &f2).unwrap(), w1);
+    }
+
+    #[test]
+    fn madvise_dontneed_loses_contents() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(1, Perms::RW, VmaKind::Anon).unwrap();
+        s.touch(r.start, Touch::WriteWord(0xAA), Taint::Clean, &mut f).unwrap();
+        assert_eq!(s.peek_word(r.start, 1, &f), Some(0xAA));
+        s.madvise_dontneed(r, &mut f).unwrap();
+        assert_eq!(s.present_pages(), 0);
+        s.touch(r.start, Touch::Read, Taint::Clean, &mut f).unwrap();
+        assert_eq!(s.peek_word(r.start, 1, &f), Some(0), "fresh zero page");
+    }
+
+    #[test]
+    fn read_write_bytes_cross_page() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
+        let addr = VirtAddr(r.start.addr().0 + PAGE_SIZE - 3);
+        s.write_bytes(addr, b"abcdef", Taint::Clean, &mut f).unwrap();
+        let mut buf = [0u8; 6];
+        s.read_bytes(addr, &mut buf, &mut f).unwrap();
+        assert_eq!(&buf, b"abcdef");
+        assert_eq!(s.present_pages(), 2);
+    }
+
+    #[test]
+    fn unmapped_access_errors() {
+        let (mut s, mut f) = setup();
+        let err = s.touch(Vpn(0x4242), Touch::Read, Taint::Clean, &mut f);
+        assert_eq!(err, Err(AccessError::Unmapped(Vpn(0x4242))));
+    }
+
+    #[test]
+    fn fork_cow_semantics() {
+        let (mut parent, mut f) = setup();
+        let r = parent.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
+        parent.touch(r.start, Touch::WriteWord(0x11), Taint::Clean, &mut f).unwrap();
+        let mut child = parent.fork(&mut f);
+        assert_eq!(f.refcount(parent.pte(r.start).unwrap().frame), 2);
+
+        // Child write takes CoW fault and does not affect parent.
+        child.touch(r.start, Touch::WriteWord(0x22), Taint::Clean, &mut f).unwrap();
+        assert_eq!(child.counters().cow, 1);
+        assert_eq!(parent.peek_word(r.start, 1, &f), Some(0x11));
+        assert_eq!(child.peek_word(r.start, 1, &f), Some(0x22));
+
+        // Parent's subsequent write also CoW-faults (its PTE was marked).
+        parent.touch(r.start, Touch::WriteWord(0x33), Taint::Clean, &mut f).unwrap();
+        assert_eq!(parent.counters().cow, 1);
+        assert_eq!(child.peek_word(r.start, 1, &f), Some(0x22));
+    }
+
+    #[test]
+    fn fork_child_is_tlb_cold() {
+        let (mut parent, mut f) = setup();
+        let r = parent.mmap(3, Perms::RW, VmaKind::Anon).unwrap();
+        for vpn in r.iter() {
+            parent.touch(vpn, Touch::Read, Taint::Clean, &mut f).unwrap();
+        }
+        let mut child = parent.fork(&mut f);
+        for vpn in r.iter() {
+            child.touch(vpn, Touch::Read, Taint::Clean, &mut f).unwrap();
+        }
+        assert_eq!(child.counters().tlb_cold, 3, "every first access is cold");
+        // Parent stays warm.
+        let before = parent.counters().tlb_cold;
+        parent.touch(r.start, Touch::Read, Taint::Clean, &mut f).unwrap();
+        assert_eq!(parent.counters().tlb_cold, before);
+        child.release_all(&mut f);
+    }
+
+    #[test]
+    fn taint_merge_on_write() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(1, Perms::RW, VmaKind::Anon).unwrap();
+        let r1 = RequestId(1);
+        let r2 = RequestId(2);
+        s.touch(r.start, Touch::WriteWord(1), Taint::One(r1), &mut f).unwrap();
+        assert_eq!(s.tainted_pages(r1, &f), vec![r.start]);
+        assert!(s.tainted_pages(r2, &f).is_empty());
+        s.touch(r.start, Touch::WriteWord(2), Taint::One(r2), &mut f).unwrap();
+        // Frame now carries both requests' data (Many).
+        assert_eq!(s.tainted_pages(r1, &f), vec![r.start]);
+        assert_eq!(s.tainted_pages(r2, &f), vec![r.start]);
+    }
+
+    #[test]
+    fn restore_page_is_untracked_and_untainted() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(1, Perms::RW, VmaKind::Anon).unwrap();
+        s.touch(r.start, Touch::WriteWord(5), Taint::One(RequestId(1)), &mut f).unwrap();
+        s.clear_soft_dirty();
+        let c0 = s.counters();
+        s.restore_page(r.start, &FrameData::Zero, Taint::Clean, &mut f).unwrap();
+        assert_eq!(s.counters(), c0, "restore takes no accounted faults");
+        assert_eq!(s.peek_word(r.start, 1, &f), Some(0));
+        assert!(s.tainted_pages(RequestId(1), &f).is_empty());
+    }
+
+    #[test]
+    fn restore_page_outside_vma_fails() {
+        let (mut s, mut f) = setup();
+        let err = s.restore_page(Vpn(0x1), &FrameData::Zero, Taint::Clean, &mut f);
+        assert!(matches!(err, Err(AccessError::Unmapped(_))));
+    }
+
+    #[test]
+    fn evict_and_zero_page() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
+        s.touch(r.start, Touch::WriteWord(5), Taint::Clean, &mut f).unwrap();
+        s.evict_page(r.start, &mut f);
+        assert_eq!(s.present_pages(), 0);
+        assert_eq!(f.live(), 0);
+        s.touch(r.start, Touch::WriteWord(6), Taint::Clean, &mut f).unwrap();
+        s.zero_page(r.start, &mut f).unwrap();
+        assert_eq!(s.peek_word(r.start, 1, &f), Some(0));
+    }
+
+    #[test]
+    fn release_all_frees_everything() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(8, Perms::RW, VmaKind::Anon).unwrap();
+        for vpn in r.iter() {
+            s.touch(vpn, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
+        }
+        assert_eq!(f.live(), 8);
+        s.release_all(&mut f);
+        assert_eq!(f.live(), 0);
+        assert_eq!(s.vma_count(), 0);
+    }
+
+    #[test]
+    fn fork_then_teardown_is_leak_free() {
+        let (mut parent, mut f) = setup();
+        let r = parent.mmap(4, Perms::RW, VmaKind::Anon).unwrap();
+        for vpn in r.iter() {
+            parent.touch(vpn, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
+        }
+        let mut child = parent.fork(&mut f);
+        child.touch(r.start, Touch::WriteWord(2), Taint::Clean, &mut f).unwrap();
+        child.release_all(&mut f);
+        // Parent frames intact.
+        assert_eq!(parent.peek_word(r.start, 1, &f), Some(1));
+        parent.release_all(&mut f);
+        assert_eq!(f.live(), 0);
+    }
+
+    #[test]
+    fn pagemap_iterates_in_order() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(5, Perms::RW, VmaKind::Anon).unwrap();
+        // Touch out of order.
+        s.touch(Vpn(r.start.0 + 3), Touch::Read, Taint::Clean, &mut f).unwrap();
+        s.touch(Vpn(r.start.0 + 1), Touch::Read, Taint::Clean, &mut f).unwrap();
+        let vpns: Vec<u64> = s.pagemap().map(|(v, _)| v.0).collect();
+        assert_eq!(vpns, vec![r.start.0 + 1, r.start.0 + 3]);
+    }
+
+    #[test]
+    fn render_maps_contains_stack() {
+        let (s, _) = setup();
+        let maps = s.render_maps();
+        assert!(maps.contains("[stack]"));
+        assert!(maps.contains("rw-p"));
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+
+    fn setup() -> (AddressSpace, FrameTable) {
+        let mut frames = FrameTable::new();
+        let space = AddressSpace::new(SpaceConfig::default(), &mut frames);
+        (space, frames)
+    }
+
+    #[test]
+    fn mmap_exhaustion_is_bad_range() {
+        let (mut s, _) = setup();
+        // Far larger than the whole mmap area.
+        let err = s.mmap(u64::MAX / 2, Perms::RW, VmaKind::Anon);
+        assert_eq!(err, Err(AccessError::BadRange));
+        // Zero-length mappings are rejected too.
+        assert_eq!(s.mmap(0, Perms::RW, VmaKind::Anon), Err(AccessError::BadRange));
+    }
+
+    #[test]
+    fn guard_pages_deny_all_access() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(1, Perms::NONE, VmaKind::Guard).unwrap();
+        assert_eq!(
+            s.touch(r.start, Touch::Read, Taint::Clean, &mut f),
+            Err(AccessError::PermissionDenied(r.start))
+        );
+        assert_eq!(
+            s.touch(r.start, Touch::WriteWord(1), Taint::Clean, &mut f),
+            Err(AccessError::PermissionDenied(r.start))
+        );
+    }
+
+    #[test]
+    fn mmap_fills_gaps_top_down() {
+        let (mut s, mut f) = setup();
+        let a = s.mmap(10, Perms::RW, VmaKind::Anon).unwrap();
+        let b = s.mmap(10, Perms::RW, VmaKind::Anon).unwrap();
+        // Free the upper region; a smaller request should reuse that gap.
+        s.munmap(a, &mut f).unwrap();
+        let c = s.mmap(4, Perms::RW, VmaKind::Anon).unwrap();
+        assert!(c.start.0 >= a.start.0, "gap above {b:?} reused: {c:?}");
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mark_all_cow_makes_next_write_copy() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
+        s.touch(r.start, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
+        let frame = s.pte(r.start).unwrap().frame;
+        f.incref(frame); // an observer (snapshot) holds a reference
+        s.mark_all_cow();
+        s.touch(r.start, Touch::WriteWord(2), Taint::Clean, &mut f).unwrap();
+        assert_eq!(s.counters().cow, 1);
+        let new_frame = s.pte(r.start).unwrap().frame;
+        assert_ne!(frame, new_frame, "write copied the shared frame");
+        assert_eq!(f.data(frame).read_word(1), 1, "observer's copy unchanged");
+        assert_eq!(f.data(new_frame).read_word(1), 2);
+        f.decref(frame);
+    }
+
+    #[test]
+    fn cow_plus_armed_sd_counts_single_fault() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(1, Perms::RW, VmaKind::Anon).unwrap();
+        s.touch(r.start, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
+        let frame = s.pte(r.start).unwrap().frame;
+        f.incref(frame);
+        s.mark_all_cow();
+        s.clear_soft_dirty();
+        s.touch(r.start, Touch::WriteWord(2), Taint::Clean, &mut f).unwrap();
+        let c = s.counters();
+        assert_eq!(c.cow, 1);
+        assert_eq!(c.sd_wp, 0, "one #PF resolves CoW + soft-dirty arming");
+        assert!(s.pte(r.start).unwrap().soft_dirty());
+        f.decref(frame);
+    }
+
+    #[test]
+    fn munmap_whole_space_then_remap() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(8, Perms::RW, VmaKind::Anon).unwrap();
+        for vpn in r.iter() {
+            s.touch(vpn, Touch::WriteWord(9), Taint::Clean, &mut f).unwrap();
+        }
+        s.munmap(r, &mut f).unwrap();
+        // Remap the exact range; contents must be fresh zeroes.
+        s.mmap_fixed(r, Perms::RW, VmaKind::Anon).unwrap();
+        s.touch(r.start, Touch::Read, Taint::Clean, &mut f).unwrap();
+        assert_eq!(s.peek_word(r.start, 1, &f), Some(0));
+        // And the new PTE is born soft-dirty (Linux remap semantics).
+        assert!(s.pte(r.start).unwrap().soft_dirty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Virtual memory areas (the units of `/proc/pid/maps`).
+
+use core::fmt;
+
+use crate::addr::PageRange;
+
+/// Access permissions of a VMA.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Perms {
+    /// Readable.
+    pub r: bool,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+}
+
+impl Perms {
+    /// `rw-`
+    pub const RW: Perms = Perms { r: true, w: true, x: false };
+    /// `r--`
+    pub const R: Perms = Perms { r: true, w: false, x: false };
+    /// `r-x`
+    pub const RX: Perms = Perms { r: true, w: false, x: true };
+    /// `---` (guard pages)
+    pub const NONE: Perms = Perms { r: false, w: false, x: false };
+}
+
+impl fmt::Debug for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.r { 'r' } else { '-' },
+            if self.w { 'w' } else { '-' },
+            if self.x { 'x' } else { '-' },
+        )
+    }
+}
+
+/// What a VMA backs; mirrors the kinds Groundhog distinguishes when
+/// restoring (heap via `brk`, stack zeroing, anonymous mmap removal,
+/// file-backed remapping).
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub enum VmaKind {
+    /// The program break region.
+    Heap,
+    /// The main (or a thread's) stack; zeroed on restore.
+    Stack,
+    /// Anonymous private mapping.
+    Anon,
+    /// File-backed mapping (program text, shared libraries, runtime
+    /// images). The name stands in for the inode.
+    File(String),
+    /// Inaccessible guard region.
+    Guard,
+}
+
+impl VmaKind {
+    /// Short name used in maps rendering.
+    pub fn label(&self) -> &str {
+        match self {
+            VmaKind::Heap => "[heap]",
+            VmaKind::Stack => "[stack]",
+            VmaKind::Anon => "",
+            VmaKind::File(name) => name,
+            VmaKind::Guard => "[guard]",
+        }
+    }
+}
+
+/// One contiguous mapping.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Vma {
+    /// Pages covered, `[start, end)`.
+    pub range: PageRange,
+    /// Access permissions.
+    pub perms: Perms,
+    /// Backing kind.
+    pub kind: VmaKind,
+}
+
+impl Vma {
+    /// Creates a VMA.
+    pub fn new(range: PageRange, perms: Perms, kind: VmaKind) -> Vma {
+        Vma { range, perms, kind }
+    }
+
+    /// True if `other` can merge with `self` when exactly adjacent:
+    /// same permissions and both plain anonymous mappings (the kernel's
+    /// `vma_merge` policy, simplified).
+    pub fn can_merge_with(&self, other: &Vma) -> bool {
+        self.perms == other.perms
+            && self.kind == other.kind
+            && matches!(self.kind, VmaKind::Anon)
+    }
+
+    /// A `/proc/pid/maps`-style line for this VMA.
+    pub fn render(&self) -> String {
+        format!(
+            "{:012x}-{:012x} {:?}p {}",
+            self.range.start.addr().0,
+            self.range.end.addr().0,
+            self.perms,
+            self.kind.label(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Vpn;
+
+    #[test]
+    fn perms_render() {
+        assert_eq!(format!("{:?}", Perms::RW), "rw-");
+        assert_eq!(format!("{:?}", Perms::RX), "r-x");
+        assert_eq!(format!("{:?}", Perms::NONE), "---");
+    }
+
+    #[test]
+    fn merge_policy() {
+        let a = Vma::new(PageRange::at(Vpn(0), 4), Perms::RW, VmaKind::Anon);
+        let b = Vma::new(PageRange::at(Vpn(4), 4), Perms::RW, VmaKind::Anon);
+        let c = Vma::new(PageRange::at(Vpn(8), 4), Perms::R, VmaKind::Anon);
+        let d = Vma::new(PageRange::at(Vpn(12), 4), Perms::RW, VmaKind::Heap);
+        assert!(a.can_merge_with(&b));
+        assert!(!a.can_merge_with(&c), "different perms");
+        assert!(!a.can_merge_with(&d), "non-anon never merges");
+    }
+
+    #[test]
+    fn maps_line_rendering() {
+        let v = Vma::new(
+            PageRange::at(Vpn(0x1000), 2),
+            Perms::RX,
+            VmaKind::File("libc.so".into()),
+        );
+        let line = v.render();
+        assert!(line.contains("r-xp"));
+        assert!(line.contains("libc.so"));
+        assert!(line.starts_with("000001000000-000001002000"));
+    }
+}

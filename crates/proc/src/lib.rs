@@ -1,0 +1,30 @@
+//! Simulated processes, threads, ptrace and `/proc`.
+//!
+//! This crate layers the POSIX process abstractions Groundhog depends on
+//! over the [`gh_mem`] substrate:
+//!
+//! - multi-threaded [`process::Process`]es with per-thread register files;
+//! - a machine-wide [`kernel::Kernel`] owning the frame table, the process
+//!   table, the virtual clock and the calibrated cost model — every fault
+//!   and every privileged operation charges virtual time here;
+//! - a [`ptrace::PtraceSession`] exposing exactly the operations the
+//!   paper's manager uses (§4.2–§4.4): interrupting all threads, reading
+//!   and writing registers, reading `/proc/pid/maps` and the pagemap,
+//!   injecting `brk`/`mmap`/`munmap`/`madvise`/`mprotect` syscalls, bulk
+//!   reading/writing memory, clearing soft-dirty bits and detaching;
+//! - POSIX-faithful [`kernel::Kernel::fork`]: only the calling thread is
+//!   cloned (which is precisely why fork-based isolation cannot handle
+//!   multi-threaded runtimes, §3.2), with CoW page sharing and a TLB-cold
+//!   child.
+
+pub mod kernel;
+pub mod process;
+pub mod ptrace;
+pub mod registers;
+pub mod syscall;
+
+pub use kernel::{Kernel, KernelConfig};
+pub use process::{Pid, Process, ProcessState, Thread, Tid};
+pub use ptrace::{PtraceError, PtraceSession};
+pub use registers::RegisterSet;
+pub use syscall::Syscall;

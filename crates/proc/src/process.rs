@@ -1,0 +1,82 @@
+//! Processes and threads.
+
+use gh_mem::AddressSpace;
+
+use crate::registers::RegisterSet;
+
+/// Process identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(pub u32);
+
+/// Thread identifier (unique machine-wide, like Linux TIDs).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Tid(pub u32);
+
+/// Lifecycle state of a process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProcessState {
+    /// Scheduled normally.
+    Running,
+    /// All threads stopped (by a tracer).
+    Stopped,
+    /// Terminated; resources released.
+    Zombie,
+}
+
+/// One thread: an id and a register file.
+#[derive(Clone, Debug)]
+pub struct Thread {
+    /// Thread id.
+    pub tid: Tid,
+    /// Register file.
+    pub regs: RegisterSet,
+}
+
+/// A process: threads plus an address space.
+#[derive(Debug)]
+pub struct Process {
+    /// Process id (== tid of the main thread).
+    pub pid: Pid,
+    /// Executable name (for /proc rendering and debugging).
+    pub name: String,
+    /// Threads, main thread first.
+    pub threads: Vec<Thread>,
+    /// The address space.
+    pub mem: AddressSpace,
+    /// Lifecycle state.
+    pub state: ProcessState,
+    /// Set while a tracer is attached.
+    pub traced_by_manager: bool,
+}
+
+impl Process {
+    /// Number of threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The main thread.
+    pub fn main_thread(&self) -> &Thread {
+        &self.threads[0]
+    }
+
+    /// Mutable access to the main thread.
+    pub fn main_thread_mut(&mut self) -> &mut Thread {
+        &mut self.threads[0]
+    }
+
+    /// Finds a thread by tid.
+    pub fn thread(&self, tid: Tid) -> Option<&Thread> {
+        self.threads.iter().find(|t| t.tid == tid)
+    }
+
+    /// Finds a thread by tid, mutably.
+    pub fn thread_mut(&mut self, tid: Tid) -> Option<&mut Thread> {
+        self.threads.iter_mut().find(|t| t.tid == tid)
+    }
+
+    /// True if the process can execute (not stopped or dead).
+    pub fn is_runnable(&self) -> bool {
+        matches!(self.state, ProcessState::Running)
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-thread CPU register files.
+//!
+//! Groundhog stores "the CPU state of all threads using ptrace" in its
+//! snapshot (§4.2) and restores it during rollback (§4.4). The register
+//! file here is an x86-64-shaped set of 18 general registers; function
+//! execution scrambles them (as real computation would), and restores must
+//! put back the snapshot values bit-exactly.
+
+use gh_mem::Taint;
+
+/// Number of registers in the file.
+pub const NUM_REGS: usize = 18;
+
+/// Register names, x86-64 style.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Rip = 0,
+    Rsp,
+    Rbp,
+    Rax,
+    Rbx,
+    Rcx,
+    Rdx,
+    Rsi,
+    Rdi,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+    Rflags,
+}
+
+/// A thread's register file plus its taint (registers can carry request
+/// secrets, e.g. crypto round keys).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegisterSet {
+    regs: [u64; NUM_REGS],
+    /// Taint of the values currently in the registers.
+    pub taint: Taint,
+}
+
+impl Default for RegisterSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RegisterSet {
+    /// A zeroed, clean register file.
+    pub fn new() -> Self {
+        Self { regs: [0; NUM_REGS], taint: Taint::Clean }
+    }
+
+    /// Reads a register.
+    #[inline]
+    pub fn get(&self, r: Reg) -> u64 {
+        self.regs[r as usize]
+    }
+
+    /// Writes a register, merging `taint` into the file's taint.
+    #[inline]
+    pub fn set(&mut self, r: Reg, value: u64, taint: Taint) {
+        self.regs[r as usize] = value;
+        self.taint = self.taint.merge(taint);
+    }
+
+    /// Scrambles the whole file deterministically from `seed` with the
+    /// given taint — models arbitrary computation on request data.
+    pub fn scramble(&mut self, seed: u64, taint: Taint) {
+        // Pre-mix the seed so nearby seeds yield unrelated streams.
+        let mut z = seed.wrapping_mul(0xFF51_AFD7_ED55_8CCD).wrapping_add(0x2545_F491_4F6C_DD1D) | 1;
+        for r in self.regs.iter_mut() {
+            z = z.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ (z >> 9);
+            *r = z;
+        }
+        self.taint = self.taint.merge(taint);
+    }
+
+    /// Raw view of all registers.
+    pub fn raw(&self) -> &[u64; NUM_REGS] {
+        &self.regs
+    }
+
+    /// Overwrites the file wholesale (a ptrace `SETREGS`); the new values'
+    /// taint replaces the old.
+    pub fn load(&mut self, other: &RegisterSet) {
+        self.regs = other.regs;
+        self.taint = other.taint;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gh_mem::RequestId;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut r = RegisterSet::new();
+        r.set(Reg::Rax, 0xABCD, Taint::Clean);
+        assert_eq!(r.get(Reg::Rax), 0xABCD);
+        assert_eq!(r.get(Reg::Rbx), 0);
+        assert_eq!(r.taint, Taint::Clean);
+    }
+
+    #[test]
+    fn taint_merges_on_write() {
+        let mut r = RegisterSet::new();
+        r.set(Reg::Rdi, 1, Taint::One(RequestId(3)));
+        assert!(r.taint.may_contain(RequestId(3)));
+        r.set(Reg::Rsi, 2, Taint::One(RequestId(4)));
+        assert_eq!(r.taint, Taint::Many);
+    }
+
+    #[test]
+    fn scramble_is_deterministic_and_changes_state() {
+        let mut a = RegisterSet::new();
+        let mut b = RegisterSet::new();
+        a.scramble(42, Taint::Clean);
+        b.scramble(42, Taint::Clean);
+        assert_eq!(a, b);
+        let mut c = RegisterSet::new();
+        c.scramble(43, Taint::Clean);
+        assert_ne!(a, c);
+        assert_ne!(a.get(Reg::Rip), 0);
+    }
+
+    #[test]
+    fn load_restores_bit_exact_and_clears_taint() {
+        let snapshot = RegisterSet::new();
+        let mut live = RegisterSet::new();
+        live.scramble(7, Taint::One(RequestId(9)));
+        assert_ne!(live, snapshot);
+        live.load(&snapshot);
+        assert_eq!(live, snapshot);
+        assert_eq!(live.taint, Taint::Clean);
+    }
+}

@@ -1,0 +1,60 @@
+//! The memory-management syscalls Groundhog injects during restore (§4.4).
+
+use gh_mem::{PageRange, Perms, Vpn};
+
+/// A syscall that can be injected into a traced process.
+///
+/// These are exactly the calls the paper lists: "The manager restores brk,
+/// removes added memory regions, remaps removed memory regions, ...
+/// madvises newly paged pages" by "injecting syscalls using ptrace".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Syscall {
+    /// Set the program break.
+    Brk(Vpn),
+    /// Map `range` with `perms` (MAP_FIXED semantics).
+    MmapFixed {
+        /// Pages to map.
+        range: PageRange,
+        /// Protection bits.
+        perms: Perms,
+        /// Backing label (`None` = anonymous; `Some(name)` = file-backed).
+        file: Option<String>,
+    },
+    /// Unmap `range`.
+    Munmap(PageRange),
+    /// `madvise(range, MADV_DONTNEED)`.
+    MadviseDontneed(PageRange),
+    /// Change protections of `range`.
+    Mprotect(PageRange, Perms),
+}
+
+impl Syscall {
+    /// Short mnemonic for breakdown reporting (matches Fig. 8's legend).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Syscall::Brk(_) => "brk",
+            Syscall::MmapFixed { .. } => "mmap",
+            Syscall::Munmap(_) => "munmap",
+            Syscall::MadviseDontneed(_) => "madvise",
+            Syscall::Mprotect(_, _) => "mprotect",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics_match_fig8_legend() {
+        let r = PageRange::at(Vpn(1), 1);
+        assert_eq!(Syscall::Brk(Vpn(0)).mnemonic(), "brk");
+        assert_eq!(
+            Syscall::MmapFixed { range: r, perms: Perms::RW, file: None }.mnemonic(),
+            "mmap"
+        );
+        assert_eq!(Syscall::Munmap(r).mnemonic(), "munmap");
+        assert_eq!(Syscall::MadviseDontneed(r).mnemonic(), "madvise");
+        assert_eq!(Syscall::Mprotect(r, Perms::R).mnemonic(), "mprotect");
+    }
+}

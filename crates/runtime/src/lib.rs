@@ -1,0 +1,26 @@
+//! Language runtime models.
+//!
+//! Groundhog is language-independent, but its *costs* are not: the paper's
+//! per-benchmark numbers are driven by runtime properties — how many pages
+//! the runtime maps, how many threads it runs, how aggressively it churns
+//! the memory layout, and (for Node.js) time-driven garbage collection
+//! whose trigger state is rewound by restoration (§5.3.1). This crate
+//! models exactly those properties:
+//!
+//! - [`profile::RuntimeProfile`]: per-language parameters (native C,
+//!   CPython, Node.js) — thread count, initialization time (Fig. 1's
+//!   "runtime initialization" phase), resident fraction, per-request
+//!   layout churn;
+//! - [`image::FunctionProcess`]: a built function process with a concrete
+//!   memory image (text, data, heap, anonymous regions, a runtime-state
+//!   page) matching the benchmark's Table 3 footprint;
+//! - Node's GC clock lives *in process memory* (the runtime-state page),
+//!   so a Groundhog restore genuinely rewinds it and post-restore requests
+//!   re-trigger collection — reproducing the img-resize anomaly rather
+//!   than scripting it.
+
+pub mod image;
+pub mod profile;
+
+pub use image::{FunctionProcess, ImageRegions};
+pub use profile::{GcProfile, LayoutChurn, RuntimeKind, RuntimeProfile};

@@ -1,0 +1,196 @@
+//! Per-language runtime parameters.
+
+use gh_sim::Nanos;
+
+/// The language runtimes evaluated in the paper (§5.1: "Python, Node.js,
+/// and C functions").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum RuntimeKind {
+    /// Natively compiled C (PolyBench, the microbenchmark).
+    NativeC,
+    /// CPython (pyperformance, FaaSProfiler-python).
+    Python,
+    /// Node.js / V8 (FaaSProfiler-node).
+    NodeJs,
+}
+
+impl RuntimeKind {
+    /// The paper's benchmark-name suffix: `(c)`, `(p)`, `(n)`.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            RuntimeKind::NativeC => "(c)",
+            RuntimeKind::Python => "(p)",
+            RuntimeKind::NodeJs => "(n)",
+        }
+    }
+}
+
+/// Memory-layout churn a runtime performs per request (observed in §5.4:
+/// "Node.js's runtime maps memory and performs memory layout changes
+/// aggressively").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LayoutChurn {
+    /// Anonymous `mmap`s issued during a request.
+    pub mmaps: u32,
+    /// `munmap`s issued during a request (of regions mapped this request
+    /// or earlier).
+    pub munmaps: u32,
+    /// Net `brk` growth in pages during a request.
+    pub brk_growth: u64,
+    /// Pages per churn mmap.
+    pub mmap_pages: u64,
+}
+
+/// Time-driven garbage collection (Node.js; §5.3.1: "garbage collection
+/// can be triggered by the passage of time").
+#[derive(Clone, Copy, Debug)]
+pub struct GcProfile {
+    /// Minimum virtual time between collections.
+    pub period: Nanos,
+    /// CPU time one collection consumes.
+    pub pause: Nanos,
+    /// Pages the collector dirties (marking, compaction).
+    pub pages_dirtied: u64,
+}
+
+/// Everything the simulation needs to know about a language runtime.
+#[derive(Clone, Debug)]
+pub struct RuntimeProfile {
+    /// The language.
+    pub kind: RuntimeKind,
+    /// Threads the initialized runtime runs (V8 spawns helper + GC
+    /// threads; CPython and C are effectively single-threaded plus one
+    /// signal-handling helper for CPython).
+    pub threads: usize,
+    /// Fig. 1 "runtime initialization" duration (interpreter boot, JIT
+    /// warmup). C: milliseconds; Python: hundreds of ms; Node: ~1 s.
+    pub init_time: Nanos,
+    /// Fraction of mapped pages resident after initialization + dummy
+    /// request (C/Python images are mostly resident; Node maps a huge
+    /// sparse space — Table 3 shows 156K+ mapped pages for trivial
+    /// functions).
+    pub resident_fraction: f64,
+    /// Fraction of mapped pages that are file-backed (text, libraries).
+    pub file_fraction: f64,
+    /// Per-request layout churn.
+    pub churn: LayoutChurn,
+    /// Time-driven GC, if the runtime has one.
+    pub gc: Option<GcProfile>,
+    /// Uses the actionloop-proxy design natively (§5.1: Python/C do;
+    /// Node.js was refactored, which makes Groundhog's input proxying
+    /// dearer for it).
+    pub native_actionloop: bool,
+}
+
+impl RuntimeProfile {
+    /// The native-C profile.
+    pub fn native_c() -> Self {
+        RuntimeProfile {
+            kind: RuntimeKind::NativeC,
+            threads: 1,
+            init_time: Nanos::from_millis(5),
+            resident_fraction: 0.98,
+            file_fraction: 0.10,
+            churn: LayoutChurn::default(),
+            gc: None,
+            native_actionloop: true,
+        }
+    }
+
+    /// The CPython profile.
+    pub fn python() -> Self {
+        RuntimeProfile {
+            kind: RuntimeKind::Python,
+            // Effectively single-threaded (the paper's FORK comparison
+            // covers the Python benchmarks, which requires fork-able,
+            // i.e. single-threaded, processes — §5.2.3).
+            threads: 1,
+            init_time: Nanos::from_millis(350),
+            // Interpreter boot leaves much of the image unpaged: CPython
+            // "heavily rel[ies] on lazy loading of classes and libraries"
+            // (§4.1) — the dummy warm-up request pages the working set in.
+            resident_fraction: 0.60,
+            file_fraction: 0.25,
+            churn: LayoutChurn { mmaps: 3, munmaps: 2, brk_growth: 4, mmap_pages: 16 },
+            gc: None,
+            native_actionloop: true,
+        }
+    }
+
+    /// The Node.js / V8 profile.
+    pub fn nodejs() -> Self {
+        RuntimeProfile {
+            kind: RuntimeKind::NodeJs,
+            threads: 7,
+            init_time: Nanos::from_millis(900),
+            resident_fraction: 0.30,
+            file_fraction: 0.15,
+            churn: LayoutChurn { mmaps: 18, munmaps: 14, brk_growth: 0, mmap_pages: 32 },
+            // A V8 full collection over a large image-processing heap:
+            // rewinding the in-memory GC clock (restoration!) makes
+            // GC-sensitive functions pay this almost every request
+            // (§5.3.1, img-resize: GH invoker +62%).
+            gc: Some(GcProfile {
+                period: Nanos::from_secs(3),
+                pause: Nanos::from_millis(180),
+                pages_dirtied: 8_000,
+            }),
+            native_actionloop: false,
+        }
+    }
+
+    /// Profile for a runtime kind.
+    pub fn for_kind(kind: RuntimeKind) -> Self {
+        match kind {
+            RuntimeKind::NativeC => Self::native_c(),
+            RuntimeKind::Python => Self::python(),
+            RuntimeKind::NodeJs => Self::nodejs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffixes_match_paper() {
+        assert_eq!(RuntimeKind::NativeC.suffix(), "(c)");
+        assert_eq!(RuntimeKind::Python.suffix(), "(p)");
+        assert_eq!(RuntimeKind::NodeJs.suffix(), "(n)");
+    }
+
+    #[test]
+    fn node_is_multithreaded_and_sparse() {
+        let node = RuntimeProfile::nodejs();
+        assert!(node.threads > 1, "fork-based isolation must be impossible");
+        assert!(node.resident_fraction < 0.5, "Node maps far more than it touches");
+        assert!(node.gc.is_some());
+        assert!(!node.native_actionloop);
+    }
+
+    #[test]
+    fn c_is_minimal() {
+        let c = RuntimeProfile::native_c();
+        assert_eq!(c.threads, 1);
+        assert!(c.gc.is_none());
+        assert_eq!(c.churn.mmaps, 0);
+        assert!(c.native_actionloop);
+    }
+
+    #[test]
+    fn for_kind_dispatch() {
+        assert_eq!(RuntimeProfile::for_kind(RuntimeKind::Python).kind, RuntimeKind::Python);
+        assert_eq!(RuntimeProfile::for_kind(RuntimeKind::NodeJs).kind, RuntimeKind::NodeJs);
+    }
+
+    #[test]
+    fn init_times_ordered_like_fig1() {
+        // C boots fastest, Node slowest (Fig. 1: runtime init up to
+        // seconds for managed runtimes).
+        let c = RuntimeProfile::native_c().init_time;
+        let p = RuntimeProfile::python().init_time;
+        let n = RuntimeProfile::nodejs().init_time;
+        assert!(c < p && p < n);
+    }
+}

@@ -1,0 +1,414 @@
+//! The calibrated cost model.
+//!
+//! Every constant in [`CostModel`] is the simulated cost of one primitive
+//! operation of the underlying "kernel". The defaults are calibrated against
+//! the paper's own measurements:
+//!
+//! - restore-phase timings and per-benchmark restore totals (Fig. 8, Table 3),
+//! - the micro-benchmark trends of §5.2 (Fig. 3),
+//! - the SD-bits vs. userfaultfd comparison of §4.3,
+//! - snapshot costs of §5.5.
+//!
+//! The model deliberately exposes *mechanistic* constants (per page fault,
+//! per PTE scanned, per injected syscall, per thread stopped, ...) rather
+//! than per-benchmark fudge factors: experiment shapes must *emerge* from
+//! operation counts, exactly as they do on real hardware.
+
+use crate::time::Nanos;
+
+/// Number of bytes in a simulated page (fixed at the Linux default).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Calibrated per-operation costs for the simulated kernel and Groundhog's
+/// user-space work.
+///
+/// Construct with [`CostModel::default`] (the paper calibration) and adjust
+/// individual fields for ablations.
+///
+/// # Examples
+///
+/// ```
+/// use gh_sim::CostModel;
+///
+/// let m = CostModel::default();
+/// // Restoring 1000 scattered pages is more expensive than one 1000-page run.
+/// let scattered = m.restore_pages_cost(1000, 1000);
+/// let contiguous = m.restore_pages_cost(1000, 1);
+/// assert!(contiguous < scattered);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    // ----- In-function page-fault costs (critical path, §5.2.1) -----
+    /// Minor fault that (re-)establishes a PTE on first touch of an
+    /// anonymous zero page.
+    pub minor_fault: Nanos,
+    /// Write-protect fault that sets the soft-dirty bit on the first write
+    /// to a page after a `clear_refs` epoch ("required by the SD-bit
+    /// mechanism on our hardware", §5.2.1).
+    pub sd_wp_fault: Nanos,
+    /// Copy-on-write fault after `fork`: fault handling plus a full page
+    /// copy (§5.2.3: "each page fault is significantly more expensive...
+    /// entailing an additional page copy").
+    pub cow_fault: Nanos,
+    /// First access to any page of a freshly forked child: dTLB miss plus
+    /// lazy PTE creation (§5.2.3, drives FORK's linear growth with address
+    /// space size in Fig. 3 right).
+    pub fork_cold_access: Nanos,
+    /// Userfaultfd write-protect notification round-trip to user space
+    /// (§4.3: "significantly higher overhead compared to SD-bits due to the
+    /// frequent context switches").
+    pub uffd_fault: Nanos,
+    /// Warm access (read or write) to a present, non-faulting page from
+    /// function code. Per page touched, models the loop body around it.
+    pub warm_touch: Nanos,
+
+    // ----- ptrace orchestration (off critical path, Fig. 8) -----
+    /// Interrupting the function process (base cost).
+    pub ptrace_interrupt_base: Nanos,
+    /// Additional interrupt cost per thread beyond the first.
+    pub ptrace_interrupt_per_thread: Nanos,
+    /// Saving or restoring one thread's register file.
+    pub ptrace_regs_per_thread: Nanos,
+    /// Detaching from the process (base cost).
+    pub ptrace_detach_base: Nanos,
+    /// Additional detach cost per thread.
+    pub ptrace_detach_per_thread: Nanos,
+    /// Injecting one syscall (brk/mmap/munmap/madvise/mprotect) via ptrace.
+    pub syscall_inject: Nanos,
+
+    // ----- /proc scanning (off critical path, Fig. 8) -----
+    /// Reading `/proc/pid/maps` (base cost).
+    pub read_maps_base: Nanos,
+    /// Reading `/proc/pid/maps`, per VMA.
+    pub read_maps_per_vma: Nanos,
+    /// Scanning one PTE in `/proc/pid/pagemap` (soft-dirty scan).
+    pub scan_pte: Nanos,
+    /// Per-VMA overhead of a pagemap walk (seek + read call per region;
+    /// CPython images map ~100 regions, Node ~300).
+    pub scan_per_vma: Nanos,
+    /// Diffing memory layouts (base cost).
+    pub diff_base: Nanos,
+    /// Diffing memory layouts, per VMA considered.
+    pub diff_per_vma: Nanos,
+    /// Resetting soft-dirty bits via `clear_refs` (base cost).
+    pub clear_sd_base: Nanos,
+    /// Resetting soft-dirty bits, per mapped page.
+    pub clear_sd_per_page: Nanos,
+
+    // ----- Memory restoration (off critical path, Fig. 8) -----
+    /// Copying one page back from the snapshot, when restored individually.
+    pub restore_page_copy: Nanos,
+    /// Fixed setup cost per coalesced contiguous run of pages (§5.2.2:
+    /// "Groundhog is able to coalesce individual page restorations into
+    /// fewer, larger memory copy operations").
+    pub coalesced_run_setup: Nanos,
+    /// Per-page cost inside a coalesced run.
+    pub coalesced_page_copy: Nanos,
+    /// Zeroing one page of the stack during restore.
+    pub zero_stack_page: Nanos,
+    /// `madvise` bookkeeping for one newly paged page.
+    pub madvise_new_page: Nanos,
+
+    // ----- Snapshotting (one-time, §5.5) -----
+    /// Fixed snapshot overhead (pausing, walking, bookkeeping).
+    pub snapshot_base: Nanos,
+    /// Copying one *present* page into the manager's memory.
+    pub snapshot_per_present_page: Nanos,
+    /// Walking metadata of one mapped page.
+    pub snapshot_per_mapped_page: Nanos,
+    /// Taking one CoW reference instead of copying a page (§5.5's
+    /// memory-optimized snapshot variant).
+    pub snapshot_cow_ref: Nanos,
+
+    // ----- Process-level primitives -----
+    /// The `fork` syscall itself (page-table duplication dominated).
+    pub fork_base: Nanos,
+    /// `fork` page-table duplication per mapped page.
+    pub fork_per_page: Nanos,
+    /// Tearing down a process (used by FORK isolation after each request),
+    /// base cost (wait4, task teardown).
+    pub process_teardown: Nanos,
+    /// Per-present-page teardown cost (`exit_mmap`: page-table walk,
+    /// CoW-refcount drops, memcg uncharging). This is what makes
+    /// fork-per-request throughput collapse on short functions (Table 1:
+    /// unpack_seq FORK sustains 136 r/s vs 802 baseline).
+    pub teardown_per_page: Nanos,
+
+    // ----- Platform / proxy costs (§4.5, §5.3.1) -----
+    /// Fixed per-request cost of Groundhog's manager interposition: two
+    /// pipe hops and scheduler wake-ups.
+    pub gh_proxy_base: Nanos,
+    /// Per-KiB cost of proxying request inputs/outputs through the manager.
+    pub gh_proxy_per_kb: Nanos,
+    /// Multiplier applied to proxy costs for the refactored Node.js runtime
+    /// wrapper (§5.3.1: overhead "arises due to our refactoring of
+    /// OpenWhisk's Node.js runtime wrapper").
+    pub nodejs_refactor_mult: f64,
+
+    // ----- Faasm-style isolation (§5.3.3) -----
+    /// Remapping the contiguous WebAssembly memory region to its
+    /// checkpointed state after a request.
+    pub faasm_remap_base: Nanos,
+    /// Per-dirtied-page CoW cost of the Faasm remap.
+    pub faasm_remap_per_dirty_page: Nanos,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            // In-function faults.
+            minor_fault: Nanos::from_nanos(800),
+            sd_wp_fault: Nanos::from_nanos(450),
+            cow_fault: Nanos::from_nanos(2_400),
+            fork_cold_access: Nanos::from_nanos(300),
+            uffd_fault: Nanos::from_nanos(6_000),
+            warm_touch: Nanos::from_nanos(8),
+
+            // ptrace.
+            ptrace_interrupt_base: Nanos::from_micros(120),
+            ptrace_interrupt_per_thread: Nanos::from_micros(20),
+            ptrace_regs_per_thread: Nanos::from_micros(15),
+            ptrace_detach_base: Nanos::from_micros(30),
+            ptrace_detach_per_thread: Nanos::from_micros(8),
+            syscall_inject: Nanos::from_nanos(2_200),
+
+            // /proc scanning.
+            read_maps_base: Nanos::from_micros(25),
+            read_maps_per_vma: Nanos::from_nanos(1_200),
+            scan_pte: Nanos::from_nanos(60),
+            scan_per_vma: Nanos::from_nanos(3_000),
+            diff_base: Nanos::from_micros(8),
+            diff_per_vma: Nanos::from_nanos(600),
+            clear_sd_base: Nanos::from_micros(30),
+            clear_sd_per_page: Nanos::from_nanos(25),
+
+            // Memory restoration.
+            restore_page_copy: Nanos::from_nanos(2_600),
+            coalesced_run_setup: Nanos::from_nanos(1_300),
+            coalesced_page_copy: Nanos::from_nanos(1_400),
+            zero_stack_page: Nanos::from_nanos(400),
+            madvise_new_page: Nanos::from_nanos(150),
+
+            // Snapshotting.
+            snapshot_base: Nanos::from_millis_f64(1.5),
+            snapshot_per_present_page: Nanos::from_nanos(2_500),
+            snapshot_per_mapped_page: Nanos::from_nanos(60),
+            snapshot_cow_ref: Nanos::from_nanos(120),
+
+            // Process primitives.
+            fork_base: Nanos::from_micros(180),
+            fork_per_page: Nanos::from_nanos(25),
+            process_teardown: Nanos::from_micros(120),
+            teardown_per_page: Nanos::from_nanos(2_000),
+
+            // Platform / proxy.
+            gh_proxy_base: Nanos::from_micros(800),
+            gh_proxy_per_kb: Nanos::from_micros(12),
+            nodejs_refactor_mult: 2.2,
+
+            // Faasm.
+            faasm_remap_base: Nanos::from_micros(450),
+            faasm_remap_per_dirty_page: Nanos::from_nanos(180),
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of interrupting a process with `threads` threads.
+    pub fn interrupt_cost(&self, threads: usize) -> Nanos {
+        self.ptrace_interrupt_base
+            + self.ptrace_interrupt_per_thread * threads.saturating_sub(1) as u64
+    }
+
+    /// Cost of saving or restoring registers of all `threads`.
+    pub fn regs_cost(&self, threads: usize) -> Nanos {
+        self.ptrace_regs_per_thread * threads as u64
+    }
+
+    /// Cost of detaching from a process with `threads` threads.
+    pub fn detach_cost(&self, threads: usize) -> Nanos {
+        self.ptrace_detach_base + self.ptrace_detach_per_thread * threads as u64
+    }
+
+    /// Cost of reading `/proc/pid/maps` with `vmas` mappings.
+    pub fn read_maps_cost(&self, vmas: usize) -> Nanos {
+        self.read_maps_base + self.read_maps_per_vma * vmas as u64
+    }
+
+    /// Cost of scanning soft-dirty bits over `mapped_pages` PTEs spread
+    /// over `vmas` regions.
+    pub fn scan_cost_vmas(&self, mapped_pages: u64, vmas: usize) -> Nanos {
+        self.scan_pte * mapped_pages + self.scan_per_vma * vmas as u64
+    }
+
+    /// Cost of scanning soft-dirty bits over `mapped_pages` PTEs (single
+    /// contiguous region).
+    pub fn scan_cost(&self, mapped_pages: u64) -> Nanos {
+        self.scan_pte * mapped_pages
+    }
+
+    /// Cost of diffing two memory layouts of `vmas` mappings.
+    pub fn diff_cost(&self, vmas: usize) -> Nanos {
+        self.diff_base + self.diff_per_vma * vmas as u64
+    }
+
+    /// Cost of resetting soft-dirty bits over `mapped_pages` pages.
+    pub fn clear_sd_cost(&self, mapped_pages: u64) -> Nanos {
+        self.clear_sd_base + self.clear_sd_per_page * mapped_pages
+    }
+
+    /// Cost of restoring `pages` dirty pages grouped into `runs` contiguous
+    /// runs, with coalescing enabled.
+    ///
+    /// When pages are scattered (`runs == pages`) this degenerates to the
+    /// per-page copy cost; dense write sets (few runs) approach the bulk
+    /// copy rate, producing the slope change at ~60% dirtied observed in
+    /// Fig. 3 (left).
+    pub fn restore_pages_cost(&self, pages: u64, runs: u64) -> Nanos {
+        if pages == 0 {
+            return Nanos::ZERO;
+        }
+        let runs = runs.clamp(1, pages);
+        if runs == pages {
+            // No effective coalescing.
+            self.restore_page_copy * pages
+        } else {
+            self.coalesced_run_setup * runs + self.coalesced_page_copy * pages
+        }
+    }
+
+    /// Cost of restoring `pages` with coalescing disabled (ablation).
+    pub fn restore_pages_cost_uncoalesced(&self, pages: u64) -> Nanos {
+        self.restore_page_copy * pages
+    }
+
+    /// One-time snapshot cost for a process with the given footprint.
+    pub fn snapshot_cost(&self, present_pages: u64, mapped_pages: u64, threads: usize) -> Nanos {
+        self.snapshot_base
+            + self.snapshot_per_present_page * present_pages
+            + self.snapshot_per_mapped_page * mapped_pages
+            + self.interrupt_cost(threads)
+            + self.regs_cost(threads)
+            + self.detach_cost(threads)
+    }
+
+    /// Cost of the `fork` syscall for a process with `mapped_pages`.
+    pub fn fork_cost(&self, mapped_pages: u64) -> Nanos {
+        self.fork_base + self.fork_per_page * mapped_pages
+    }
+
+    /// Per-request proxy cost of the Groundhog manager for `input_kb +
+    /// output_kb` KiB of payload; `nodejs_refactored` applies the
+    /// refactored-wrapper multiplier.
+    pub fn gh_proxy_cost(&self, payload_kb: u64, nodejs_refactored: bool) -> Nanos {
+        let raw = self.gh_proxy_base + self.gh_proxy_per_kb * payload_kb;
+        if nodejs_refactored {
+            raw.scale(self.nodejs_refactor_mult)
+        } else {
+            raw
+        }
+    }
+
+    /// Faasm's post-request memory reset cost.
+    pub fn faasm_reset_cost(&self, dirty_pages: u64) -> Nanos {
+        self.faasm_remap_base + self.faasm_remap_per_dirty_page * dirty_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalescing_beats_scattered_copies() {
+        let m = CostModel::default();
+        let scattered = m.restore_pages_cost(10_000, 10_000);
+        let dense = m.restore_pages_cost(10_000, 10);
+        assert!(dense < scattered);
+        // And dense restore approaches the coalesced page rate.
+        let floor = m.coalesced_page_copy * 10_000;
+        assert!(dense >= floor);
+        assert!(dense < floor + m.coalesced_run_setup * 20);
+    }
+
+    #[test]
+    fn restore_zero_pages_is_free() {
+        let m = CostModel::default();
+        assert_eq!(m.restore_pages_cost(0, 0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn runs_clamped_to_pages() {
+        let m = CostModel::default();
+        // More runs than pages is nonsensical input; clamps to scattered.
+        assert_eq!(m.restore_pages_cost(5, 10), m.restore_pages_cost(5, 5));
+        // Zero runs clamps to one run.
+        assert_eq!(m.restore_pages_cost(5, 0), m.restore_pages_cost(5, 1));
+    }
+
+    #[test]
+    fn thread_proportional_costs() {
+        let m = CostModel::default();
+        assert!(m.interrupt_cost(8) > m.interrupt_cost(1));
+        assert_eq!(
+            m.interrupt_cost(1),
+            m.ptrace_interrupt_base,
+            "single thread pays only the base"
+        );
+        assert_eq!(m.regs_cost(4), m.ptrace_regs_per_thread * 4);
+    }
+
+    #[test]
+    fn uffd_fault_dearer_than_sd_fault() {
+        // §4.3: UFFD wins only when dirtied pages are near zero, because
+        // its per-fault cost is much higher than the SD-bit WP fault.
+        let m = CostModel::default();
+        assert!(m.uffd_fault > m.sd_wp_fault * 10);
+    }
+
+    #[test]
+    fn cow_fault_dearer_than_sd_fault() {
+        // §5.2.3: FORK's page faults also require page copying.
+        let m = CostModel::default();
+        assert!(m.cow_fault > m.sd_wp_fault * 3);
+    }
+
+    #[test]
+    fn restore_of_c_hello_world_is_sub_millisecond() {
+        // §6: "Groundhog can restore a C hello world function in ~0.5 ms".
+        // A hello-world C process: ~1K mapped pages, 1 thread, ~20 dirty
+        // pages, ~10 VMAs, no layout changes.
+        let m = CostModel::default();
+        let total = m.interrupt_cost(1)
+            + m.read_maps_cost(10)
+            + m.scan_cost(1_000)
+            + m.diff_cost(10)
+            + m.restore_pages_cost(20, 18)
+            + m.clear_sd_cost(1_000)
+            + m.regs_cost(1)
+            + m.detach_cost(1);
+        let ms = total.as_millis_f64();
+        assert!(
+            (0.3..0.9).contains(&ms),
+            "C hello-world restore should be ~0.5ms, got {ms:.3}ms"
+        );
+    }
+
+    #[test]
+    fn node_scan_dominates_large_address_spaces() {
+        // Table 3: get-time (n) restores only 0.64K pages but takes
+        // ~12.6ms, dominated by scanning 156.76K mapped PTEs.
+        let m = CostModel::default();
+        let scan = m.scan_cost(156_760) + m.clear_sd_cost(156_760);
+        let copy = m.restore_pages_cost(640, 640);
+        assert!(scan > copy * 5);
+    }
+
+    #[test]
+    fn gh_proxy_node_refactor_is_dearer() {
+        let m = CostModel::default();
+        let py = m.gh_proxy_cost(200, false);
+        let node = m.gh_proxy_cost(200, true);
+        assert!(node > py);
+    }
+}

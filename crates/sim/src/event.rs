@@ -1,0 +1,139 @@
+//! A minimal discrete-event queue.
+//!
+//! Most experiments in the paper run containers on dedicated cores with
+//! sequential request streams, which this reproduction simulates directly.
+//! The event queue exists for the open-loop / multi-container cases (the
+//! saturating-throughput workload of §5.3 and the core-scaling experiment
+//! of §5.3.4), where multiple container timelines and a client interleave.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// An event scheduled at a virtual time, carrying a payload.
+#[derive(Clone, Debug)]
+struct Scheduled<T> {
+    at: Nanos,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want earliest-first.
+        // Ties break by insertion order for determinism.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic earliest-first event queue.
+///
+/// # Examples
+///
+/// ```
+/// use gh_sim::event::EventQueue;
+/// use gh_sim::Nanos;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Nanos::from_millis(5), "b");
+/// q.schedule(Nanos::from_millis(1), "a");
+/// assert_eq!(q.pop().unwrap(), (Nanos::from_millis(1), "a"));
+/// assert_eq!(q.pop().unwrap(), (Nanos::from_millis(5), "b"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0 }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` at virtual time `at`.
+    pub fn schedule(&mut self, at: Nanos, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Nanos, T)> {
+        self.heap.pop().map(|s| (s.at, s.payload))
+    }
+
+    /// Time of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_first() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(30), 3);
+        q.schedule(Nanos::from_nanos(10), 1);
+        q.schedule(Nanos::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Nanos::from_nanos(5);
+        q.schedule(t, "first");
+        q.schedule(t, "second");
+        q.schedule(t, "third");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Nanos::from_nanos(9), ());
+        q.schedule(Nanos::from_nanos(4), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Nanos::from_nanos(4)));
+    }
+}

@@ -1,0 +1,263 @@
+//! Plain-text rendering of experiment output: aligned tables, normalized
+//! bar charts, and simple line plots.
+//!
+//! The benchmark binaries regenerate the paper's figures as terminal
+//! output plus CSV; this module holds the shared rendering code.
+
+use std::fmt::Write as _;
+
+/// Column alignment for [`TextTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// An aligned, plain-text table builder.
+///
+/// # Examples
+///
+/// ```
+/// use gh_sim::report::TextTable;
+///
+/// let mut t = TextTable::new(&["benchmark", "base (ms)", "GH (ms)"]);
+/// t.row(&["pyaes (p)", "4672.0", "4699.0"]);
+/// let s = t.render();
+/// assert!(s.contains("pyaes"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are dropped.
+    pub fn row(&mut self, cells: &[&str]) {
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with the first column left-aligned and the rest
+    /// right-aligned (the common numeric layout).
+    pub fn render(&self) -> String {
+        let aligns: Vec<Align> = (0..self.headers.len())
+            .map(|i| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        self.render_aligned(&aligns)
+    }
+
+    /// Renders with explicit per-column alignment.
+    pub fn render_aligned(&self, aligns: &[Align]) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, &w) in widths.iter().enumerate().take(ncols) {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let a = aligns.get(i).copied().unwrap_or(Align::Right);
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                match a {
+                    Align::Left => {
+                        let _ = write!(out, "{cell:<w$}");
+                    }
+                    Align::Right => {
+                        let _ = write!(out, "{cell:>w$}");
+                    }
+                }
+            }
+            // Trim trailing spaces for clean diffs.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180-ish; quotes cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a horizontal bar of `value` relative to a scale where `full`
+/// maps to `width` characters; used for the normalized charts of
+/// Fig. 4/Fig. 5.
+pub fn bar(value: f64, full: f64, width: usize) -> String {
+    if full <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let frac = (value / full).clamp(0.0, 1.0);
+    let n = (frac * width as f64).round() as usize;
+    "█".repeat(n)
+}
+
+/// A simple ASCII line plot of one or more named series over a shared x
+/// axis, for the microbenchmark figures (Fig. 3).
+pub struct AsciiPlot {
+    width: usize,
+    height: usize,
+}
+
+impl AsciiPlot {
+    /// Creates a plot canvas of the given character dimensions.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self { width: width.max(16), height: height.max(6) }
+    }
+
+    /// Renders `series` (name, points) with shared axes. Points are
+    /// `(x, y)` pairs; x values need not be uniform.
+    pub fn render(&self, series: &[(&str, Vec<(f64, f64)>)]) -> String {
+        let markers = ['*', 'o', '+', 'x', '#', '@'];
+        let all: Vec<(f64, f64)> =
+            series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+        if all.is_empty() {
+            return String::from("(no data)\n");
+        }
+        let xmin = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let xmax = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+        let ymin = 0.0f64;
+        let ymax = all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max).max(1e-9);
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, (_, pts)) in series.iter().enumerate() {
+            let m = markers[si % markers.len()];
+            for &(x, y) in pts {
+                let xf = if xmax > xmin { (x - xmin) / (xmax - xmin) } else { 0.0 };
+                let yf = ((y - ymin) / (ymax - ymin)).clamp(0.0, 1.0);
+                let col = (xf * (self.width - 1) as f64).round() as usize;
+                let row = self.height - 1 - (yf * (self.height - 1) as f64).round() as usize;
+                grid[row][col] = m;
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "y: 0 .. {ymax:.1}   x: {xmin:.0} .. {xmax:.0}");
+        for (si, (name, _)) in series.iter().enumerate() {
+            let _ = writeln!(out, "  {} {}", markers[si % markers.len()], name);
+        }
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_headers() {
+        let mut t = TextTable::new(&["name", "val"]);
+        t.row(&["a", "1.0"]);
+        t.row(&["longer-name", "23.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines.len(), 4);
+        // Right alignment: "1.0" should end at same column as "23.5".
+        assert_eq!(lines[2].len(), lines[2].trim_end().len());
+    }
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b", "c"]);
+        t.row(&["x"]);
+        t.row(&["x", "y", "z", "extra-dropped"]);
+        let s = t.render();
+        assert!(s.contains('x'));
+        assert!(!s.contains("extra-dropped"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = TextTable::new(&["n", "note"]);
+        t.row(&["1", "has,comma"]);
+        t.row(&["2", "has\"quote"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(0.5, 1.0, 10).chars().count(), 5);
+        assert_eq!(bar(2.0, 1.0, 10).chars().count(), 10, "clamps at full");
+        assert_eq!(bar(0.0, 1.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn plot_renders_all_series() {
+        let p = AsciiPlot::new(40, 10);
+        let s = p.render(&[
+            ("base", vec![(0.0, 1.0), (100.0, 1.0)]),
+            ("gh", vec![(0.0, 1.0), (100.0, 5.0)]),
+        ]);
+        assert!(s.contains("base"));
+        assert!(s.contains("gh"));
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+    }
+
+    #[test]
+    fn plot_empty_is_graceful() {
+        let p = AsciiPlot::new(20, 8);
+        assert_eq!(p.render(&[]), "(no data)\n");
+    }
+}

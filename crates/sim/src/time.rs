@@ -1,0 +1,285 @@
+//! Virtual time: a nanosecond-precision duration/instant type.
+//!
+//! All simulated costs and timestamps in the workspace are expressed as
+//! [`Nanos`]. The type is deliberately a thin `u64` newtype: it is `Copy`,
+//! totally ordered, and supports saturating arithmetic so that cost
+//! accumulation can never panic in release builds.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A span of virtual time (or an instant on the virtual clock), in
+/// nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use gh_sim::Nanos;
+///
+/// let a = Nanos::from_micros(3);
+/// let b = Nanos::from_nanos(500);
+/// assert_eq!((a + b).as_nanos(), 3_500);
+/// assert_eq!(Nanos::from_millis(2).as_micros_f64(), 2_000.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// Zero duration / the clock epoch.
+    pub const ZERO: Nanos = Nanos(0);
+    /// The maximum representable instant.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Creates a duration from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional microseconds, rounding to the
+    /// nearest nanosecond. Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_micros_f64(us: f64) -> Self {
+        Nanos((us * 1_000.0).round().max(0.0) as u64)
+    }
+
+    /// Creates a duration from fractional milliseconds, rounding to the
+    /// nearest nanosecond. Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Nanos((ms * 1_000_000.0).round().max(0.0) as u64)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in fractional microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Duration in fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Duration in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub const fn saturating_add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub const fn checked_sub(self, rhs: Nanos) -> Option<Nanos> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Nanos(v)),
+            None => None,
+        }
+    }
+
+    /// Scales the duration by a non-negative floating factor, rounding to
+    /// the nearest nanosecond.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Nanos {
+        debug_assert!(factor >= 0.0, "negative time scale");
+        Nanos((self.0 as f64 * factor).round().max(0.0) as u64)
+    }
+
+    /// Returns `true` if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The larger of two durations.
+    #[inline]
+    pub fn max(self, other: Nanos) -> Nanos {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Nanos) -> Nanos {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Nanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Nanos {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Nanos {
+    /// Human-readable rendering with an adaptive unit (ns/µs/ms/s).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.2}µs", self.as_micros_f64())
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.2}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(Nanos::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(Nanos::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(Nanos::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Nanos::from_micros_f64(1.5).as_nanos(), 1_500);
+        assert_eq!(Nanos::from_millis_f64(0.001).as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn negative_float_clamps_to_zero() {
+        assert_eq!(Nanos::from_micros_f64(-3.0), Nanos::ZERO);
+        assert_eq!(Nanos::from_millis_f64(-0.1), Nanos::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(Nanos::MAX + Nanos::from_nanos(1), Nanos::MAX);
+        assert_eq!(Nanos::ZERO - Nanos::from_nanos(1), Nanos::ZERO);
+        assert_eq!(Nanos::MAX * 2, Nanos::MAX);
+    }
+
+    #[test]
+    fn checked_sub_detects_underflow() {
+        assert_eq!(
+            Nanos::from_nanos(5).checked_sub(Nanos::from_nanos(3)),
+            Some(Nanos::from_nanos(2))
+        );
+        assert_eq!(Nanos::from_nanos(3).checked_sub(Nanos::from_nanos(5)), None);
+    }
+
+    #[test]
+    fn scaling_rounds_to_nearest() {
+        assert_eq!(Nanos::from_nanos(10).scale(0.25).as_nanos(), 3); // 2.5 rounds up
+        assert_eq!(Nanos::from_nanos(100).scale(1.5).as_nanos(), 150);
+        assert_eq!(Nanos::from_nanos(100).scale(0.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn display_picks_adaptive_units() {
+        assert_eq!(Nanos::from_nanos(999).to_string(), "999ns");
+        assert_eq!(Nanos::from_micros(2).to_string(), "2.00µs");
+        assert_eq!(Nanos::from_millis(3).to_string(), "3.00ms");
+        assert_eq!(Nanos::from_secs(4).to_string(), "4.000s");
+    }
+
+    #[test]
+    fn sum_and_ordering() {
+        let v = [Nanos::from_nanos(1), Nanos::from_nanos(2), Nanos::from_nanos(3)];
+        let total: Nanos = v.iter().copied().sum();
+        assert_eq!(total.as_nanos(), 6);
+        assert!(v[0] < v[1]);
+        assert_eq!(v[2].max(v[0]), v[2]);
+        assert_eq!(v[2].min(v[0]), v[0]);
+    }
+}

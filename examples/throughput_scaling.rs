@@ -1,0 +1,45 @@
+//! §5.3.4 in miniature: Groundhog throughput scales linearly with cores,
+//! because each core runs an independent container + manager pair.
+//!
+//! ```text
+//! cargo run --release --example throughput_scaling
+//! ```
+
+use groundhog::core::GroundhogConfig;
+use groundhog::faas::client::throughput_scaling;
+use groundhog::functions::catalog;
+use groundhog::isolation::StrategyKind;
+
+fn main() {
+    let spec = catalog::by_name("telco (p)").expect("in catalog");
+    println!("throughput scaling for {} (mean ± σ over 3 runs):\n", spec.name);
+    println!("{:>6} {:>14} {:>14}", "cores", "base (r/s)", "GH (r/s)");
+    let mut gh_per_core = Vec::new();
+    for cores in 1..=4 {
+        let (base, bs) = throughput_scaling(
+            &spec,
+            StrategyKind::Base,
+            GroundhogConfig::gh(),
+            cores,
+            30,
+            3,
+            7,
+        )
+        .unwrap();
+        let (gh, gs) = throughput_scaling(
+            &spec,
+            StrategyKind::Gh,
+            GroundhogConfig::gh(),
+            cores,
+            30,
+            3,
+            7,
+        )
+        .unwrap();
+        gh_per_core.push(gh);
+        println!("{cores:>6} {base:>9.1}±{bs:<4.1} {gh:>9.1}±{gs:<4.1}");
+    }
+    let scaling = gh_per_core[3] / gh_per_core[0];
+    println!("\nGH scaling 1→4 cores: {scaling:.2}x (paper: nearly linear)");
+    assert!(scaling > 3.2, "must be close to linear");
+}

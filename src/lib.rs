@@ -1,0 +1,42 @@
+//! Groundhog: efficient sequential request isolation for FaaS.
+//!
+//! This is the facade crate of the `groundhog-rs` workspace, a from-scratch
+//! Rust reproduction of *Groundhog: Efficient Request Isolation in FaaS*
+//! (Alzayat, Mace, Druschel, Garg — EuroSys 2023, arXiv:2205.11458). It
+//! re-exports the workspace crates under stable module names:
+//!
+//! - [`sim`] — virtual clock, calibrated cost model, statistics.
+//! - [`mem`] — simulated virtual memory: pages, PTEs, soft-dirty bits, VMAs.
+//! - [`proc`] — simulated processes, threads, ptrace, fork/CoW, /proc.
+//! - [`runtime`] — language-runtime models (C, Python, Node.js, wasm).
+//! - [`functions`] — the 58-benchmark catalog and the §5.2 microbenchmark.
+//! - [`core`] — the paper's contribution: snapshot / track / diff / restore
+//!   and the Groundhog manager.
+//! - [`isolation`] — request-isolation strategies (BASE, GH, GHNOP, FORK,
+//!   FAASM, fresh-container).
+//! - [`faas`] — an OpenWhisk-like platform model (invoker, containers,
+//!   proxy, clients).
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`, or:
+//!
+//! ```
+//! use groundhog::faas::platform::{Platform, PlatformConfig};
+//! use groundhog::isolation::StrategyKind;
+//!
+//! let mut platform = Platform::new(PlatformConfig::default());
+//! let f = groundhog::functions::catalog::by_name("json (p)").unwrap();
+//! let container = platform.deploy(&f, StrategyKind::Gh).unwrap();
+//! let outcome = platform.invoke_simple(container, "alice", 4).unwrap();
+//! assert!(outcome.response.ok);
+//! ```
+
+pub use gh_faas as faas;
+pub use gh_functions as functions;
+pub use gh_isolation as isolation;
+pub use gh_mem as mem;
+pub use gh_proc as proc;
+pub use gh_runtime as runtime;
+pub use gh_sim as sim;
+pub use groundhog_core as core;

@@ -1,0 +1,159 @@
+//! The paper's security property, end-to-end: sequential request
+//! isolation means no data of request *i* is observable by request *i+1*.
+//!
+//! Checked two ways: (1) taint scanning over the whole process state
+//! (memory + registers) after each request; (2) the §1 Alice/Bob leak
+//! scenario through a deliberately buggy function.
+
+use groundhog::core::{GroundhogConfig, Manager};
+use groundhog::faas::{Container, Request};
+use groundhog::functions::catalog::by_name;
+use groundhog::functions::leaky::{BuggyCache, INIT_MARKER};
+use groundhog::isolation::StrategyKind;
+use groundhog::mem::RequestId;
+use groundhog::proc::Kernel;
+use groundhog::runtime::{FunctionProcess, RuntimeKind, RuntimeProfile};
+
+/// Runs `n` requests against a container and returns whether any request
+/// taint survived in the final process state.
+fn residual_taint(name: &str, kind: StrategyKind, n: u64) -> bool {
+    let spec = by_name(name).unwrap();
+    let mut c = Container::cold_start(&spec, kind, GroundhogConfig::gh(), 11).unwrap();
+    for i in 1..=n {
+        c.invoke(&Request::new(i, &format!("tenant-{}", i % 3), spec.input_kb)).unwrap();
+    }
+    let proc = c.kernel.process(c.fproc.pid).unwrap();
+    let mem_taint = (1..=n)
+        .any(|i| !proc.mem.tainted_pages(RequestId(i), c.kernel.frames()).is_empty());
+    let reg_taint = proc
+        .threads
+        .iter()
+        .any(|t| (1..=n).any(|i| t.regs.taint.may_contain(RequestId(i))));
+    mem_taint || reg_taint
+}
+
+#[test]
+fn gh_leaves_no_residue_python() {
+    assert!(!residual_taint("telco (p)", StrategyKind::Gh, 5));
+}
+
+#[test]
+fn gh_leaves_no_residue_node() {
+    assert!(!residual_taint("json (n)", StrategyKind::Gh, 4));
+}
+
+#[test]
+fn gh_leaves_no_residue_c() {
+    assert!(!residual_taint("atax (c)", StrategyKind::Gh, 5));
+}
+
+#[test]
+fn base_retains_residue() {
+    assert!(residual_taint("telco (p)", StrategyKind::Base, 3));
+}
+
+#[test]
+fn ghnop_retains_residue() {
+    // GHNOP is an optimization for same-trust callers, not isolation.
+    assert!(residual_taint("telco (p)", StrategyKind::GhNop, 3));
+}
+
+#[test]
+fn fork_parent_stays_clean() {
+    assert!(!residual_taint("mvt (c)", StrategyKind::Fork, 5));
+}
+
+#[test]
+fn faasm_heap_remap_isolates() {
+    assert!(!residual_taint("pickle (p)", StrategyKind::Faasm, 4));
+}
+
+/// §1's scenario through the buggy caching function: with Groundhog, Bob
+/// can never read Alice's secret — across many alternating requests.
+#[test]
+fn alice_bob_never_leaks_under_gh() {
+    let mut kernel = Kernel::boot();
+    let fproc = FunctionProcess::build(
+        &mut kernel,
+        "buggy",
+        RuntimeProfile::for_kind(RuntimeKind::Python),
+        3_000,
+    );
+    let cache = BuggyCache::init(&mut kernel, &fproc);
+    let mut mgr = Manager::new(fproc.pid, GroundhogConfig::gh());
+    mgr.snapshot_now(&mut kernel).unwrap();
+
+    for i in 1..=10u64 {
+        let principal = if i % 2 == 0 { "bob" } else { "alice" };
+        let secret = 0x5EC0_0000 + i;
+        mgr.begin_request(&mut kernel, principal).unwrap();
+        let resp = cache.invoke(&mut kernel, &fproc, RequestId(i), secret);
+        mgr.end_request(&mut kernel).unwrap();
+        assert_eq!(
+            resp.leaked_value, INIT_MARKER,
+            "request {i} must only see snapshot-time contents"
+        );
+        assert!(!resp.leaked_from.is_tainted());
+    }
+}
+
+/// The same function under BASE leaks every previous secret.
+#[test]
+fn alice_bob_leaks_under_base() {
+    let mut kernel = Kernel::boot();
+    let fproc = FunctionProcess::build(
+        &mut kernel,
+        "buggy",
+        RuntimeProfile::for_kind(RuntimeKind::Python),
+        3_000,
+    );
+    let cache = BuggyCache::init(&mut kernel, &fproc);
+    let mut last_secret = None;
+    for i in 1..=4u64 {
+        let secret = 0x5EC0_0000 + i;
+        let resp = cache.invoke(&mut kernel, &fproc, RequestId(i), secret);
+        if let Some(prev) = last_secret {
+            assert_eq!(resp.leaked_value, prev, "BASE leaks the previous secret");
+        }
+        last_secret = Some(secret);
+    }
+}
+
+/// The skip-rollback optimization must still isolate across principals.
+#[test]
+fn skip_same_principal_is_safe_across_principals() {
+    let mut kernel = Kernel::boot();
+    let fproc = FunctionProcess::build(
+        &mut kernel,
+        "buggy",
+        RuntimeProfile::for_kind(RuntimeKind::Python),
+        3_000,
+    );
+    let cache = BuggyCache::init(&mut kernel, &fproc);
+    let cfg = GroundhogConfig { skip_same_principal: true, ..GroundhogConfig::gh() };
+    let mut mgr = Manager::new(fproc.pid, cfg);
+    mgr.snapshot_now(&mut kernel).unwrap();
+
+    // Two requests from alice: the second may see the first's data
+    // (mutually trusting, §4.4) ...
+    mgr.begin_request(&mut kernel, "alice").unwrap();
+    cache.invoke(&mut kernel, &fproc, RequestId(1), 0xA1);
+    mgr.end_request(&mut kernel).unwrap();
+    mgr.begin_request(&mut kernel, "alice").unwrap();
+    let second = cache.invoke(&mut kernel, &fproc, RequestId(2), 0xA2);
+    mgr.end_request(&mut kernel).unwrap();
+    assert_eq!(second.leaked_value, 0xA1, "same-trust reuse is permitted");
+
+    // ... but bob must never see alice's data: the deferred restore runs
+    // before his request is admitted.
+    mgr.begin_request(&mut kernel, "bob").unwrap();
+    let bob = cache.invoke(&mut kernel, &fproc, RequestId(3), 0xB0);
+    mgr.end_request(&mut kernel).unwrap();
+    assert_eq!(bob.leaked_value, INIT_MARKER, "cross-principal leak");
+}
+
+/// Isolation holds regardless of how much a request dirties.
+#[test]
+fn gh_isolates_write_heavy_functions() {
+    assert!(!residual_taint("base64 (n)", StrategyKind::Gh, 3));
+}

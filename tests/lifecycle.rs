@@ -1,0 +1,130 @@
+//! Container and manager lifecycle behaviour across crates (Fig. 1, §4.1,
+//! §4.5).
+
+use groundhog::core::{GroundhogConfig, ManagerState, Manager};
+use groundhog::faas::{Container, Request};
+use groundhog::functions::behavior::{Executor, RequestCtx};
+use groundhog::functions::catalog::by_name;
+use groundhog::isolation::StrategyKind;
+use groundhog::proc::Kernel;
+use groundhog::runtime::{FunctionProcess, RuntimeKind, RuntimeProfile};
+use groundhog::sim::Nanos;
+
+/// Fig. 1: environment instantiation (100s of ms) + runtime init + data
+/// init (dummy request) + snapshot — ordered and all accounted.
+#[test]
+fn cold_start_phase_structure() {
+    let spec = by_name("go (p)").unwrap();
+    let c = Container::cold_start(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 1).unwrap();
+    let init = c.stats.init_time;
+    // Env (300ms) + python init (350ms) + dummy (≈600ms for go) + snapshot.
+    assert!(init > Nanos::from_millis(950), "init {init}");
+    assert!(init < Nanos::from_secs(8), "init {init}");
+    let prep = c.stats.prepare.as_ref().unwrap();
+    assert!(prep.duration > Nanos::ZERO);
+    assert!(prep.snapshot_pages.unwrap() > 1_000);
+}
+
+/// Node containers cold-start slower than C containers (runtime init +
+/// much larger images).
+#[test]
+fn cold_start_ordering_across_runtimes() {
+    let c_spec = by_name("trisolv (c)").unwrap();
+    let n_spec = by_name("get-time (n)").unwrap();
+    let c = Container::cold_start(&c_spec, StrategyKind::Base, GroundhogConfig::gh(), 2)
+        .unwrap();
+    let n = Container::cold_start(&n_spec, StrategyKind::Base, GroundhogConfig::gh(), 2)
+        .unwrap();
+    assert!(n.stats.init_time > c.stats.init_time);
+}
+
+/// The manager walks Initializing → Ready → (Executing → Ready)* and
+/// refuses out-of-order transitions.
+#[test]
+fn manager_state_machine() {
+    let mut kernel = Kernel::boot();
+    let mut fproc = FunctionProcess::build(
+        &mut kernel,
+        "fsm",
+        RuntimeProfile::for_kind(RuntimeKind::Python),
+        3_000,
+    );
+    let spec = by_name("pickle (p)").unwrap();
+    let mut mgr = Manager::new(fproc.pid, GroundhogConfig::gh());
+    assert_eq!(mgr.state(), ManagerState::Initializing);
+    assert!(!mgr.is_ready());
+    assert!(mgr.begin_request(&mut kernel, "x").is_err(), "no requests before snapshot");
+
+    Executor::invoke(&mut kernel, &mut fproc, &spec, &RequestCtx::dummy(0));
+    mgr.snapshot_now(&mut kernel).unwrap();
+    assert_eq!(mgr.state(), ManagerState::Ready);
+
+    for i in 1..=3u64 {
+        mgr.begin_request(&mut kernel, "x").unwrap();
+        assert_eq!(mgr.state(), ManagerState::Executing);
+        assert!(!mgr.is_ready(), "§4.5: no new request while executing");
+        Executor::invoke(&mut kernel, &mut fproc, &spec, &RequestCtx::new(i, "x", i));
+        mgr.end_request(&mut kernel).unwrap();
+        assert_eq!(mgr.state(), ManagerState::Ready);
+    }
+    assert_eq!(mgr.stats.requests, 3);
+    assert_eq!(mgr.stats.restores, 3);
+}
+
+/// Snapshots are one-time: repeated snapshotting is rejected, restores
+/// reuse the single snapshot.
+#[test]
+fn snapshot_taken_once() {
+    let mut kernel = Kernel::boot();
+    let fproc = FunctionProcess::build(
+        &mut kernel,
+        "once",
+        RuntimeProfile::for_kind(RuntimeKind::NativeC),
+        1_000,
+    );
+    let mut mgr = Manager::new(fproc.pid, GroundhogConfig::gh());
+    mgr.snapshot_now(&mut kernel).unwrap();
+    assert!(mgr.snapshot_now(&mut kernel).is_err());
+    assert!(mgr.stats.snapshot.is_some());
+}
+
+/// GHNOP containers never restore; GH containers restore after every
+/// request; fork containers leave no children behind.
+#[test]
+fn per_strategy_cleanup_behaviour() {
+    let spec = by_name("atax (c)").unwrap();
+    for (kind, restores_expected) in
+        [(StrategyKind::GhNop, false), (StrategyKind::Gh, true), (StrategyKind::Fork, false)]
+    {
+        let mut c = Container::cold_start(&spec, kind, GroundhogConfig::gh(), 3).unwrap();
+        for i in 1..=3u64 {
+            let out = c.invoke(&Request::new(i, "t", 1)).unwrap();
+            let restored = c
+                .stats
+                .last_post
+                .as_ref()
+                .and_then(|p| p.restore.as_ref())
+                .is_some();
+            assert_eq!(restored, restores_expected, "{kind:?}");
+            let _ = out;
+        }
+        assert_eq!(c.kernel.process_count(), 1, "{kind:?}: exactly the function process");
+    }
+}
+
+/// Virtual time advances monotonically through a container's life, and
+/// invoker latency is the request's share of it.
+#[test]
+fn clock_discipline() {
+    let spec = by_name("float (p)").unwrap();
+    let mut c = Container::cold_start(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 4)
+        .unwrap();
+    let mut last = c.now();
+    for i in 1..=4u64 {
+        let out = c.invoke(&Request::new(i, "t", 1)).unwrap();
+        let now = c.now();
+        assert!(now > last, "clock advances");
+        assert!(out.invoker_latency + out.off_path <= now - last, "accounting is consistent");
+        last = now;
+    }
+}
