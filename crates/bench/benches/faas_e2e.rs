@@ -11,7 +11,10 @@ use groundhog_core::GroundhogConfig;
 
 fn bench_e2e(c: &mut Criterion) {
     for (name, kinds) in [
-        ("trisolv (c)", &[StrategyKind::Base, StrategyKind::Gh, StrategyKind::Fork][..]),
+        (
+            "trisolv (c)",
+            &[StrategyKind::Base, StrategyKind::Gh, StrategyKind::Fork][..],
+        ),
         ("md2html (p)", &[StrategyKind::Base, StrategyKind::Gh][..]),
         ("get-time (n)", &[StrategyKind::Base, StrategyKind::Gh][..]),
     ] {
@@ -22,20 +25,16 @@ fn bench_e2e(c: &mut Criterion) {
             let mut container =
                 Container::cold_start(&spec, kind, GroundhogConfig::gh(), 99).unwrap();
             let mut req = 0u64;
-            group.bench_with_input(
-                BenchmarkId::from_parameter(kind.label()),
-                &kind,
-                |b, _| {
-                    b.iter(|| {
-                        req += 1;
-                        black_box(
-                            container
-                                .invoke(&Request::new(req, "bench", spec.input_kb))
-                                .unwrap(),
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+                b.iter(|| {
+                    req += 1;
+                    black_box(
+                        container
+                            .invoke(&Request::new(req, "bench", spec.input_kb))
+                            .unwrap(),
+                    )
+                })
+            });
         }
         group.finish();
     }

@@ -9,13 +9,16 @@ use gh_bench::micro_harness::{MicroMode, MicroRig};
 fn bench_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_request_cycle");
     group.sample_size(10);
-    for mode in [MicroMode::Base, MicroMode::GhNop, MicroMode::Gh, MicroMode::Fork] {
+    for mode in [
+        MicroMode::Base,
+        MicroMode::GhNop,
+        MicroMode::Gh,
+        MicroMode::Fork,
+    ] {
         let mut rig = MicroRig::build(16_384, mode);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(mode.label()),
-            &mode,
-            |b, _| b.iter(|| black_box(rig.request(0.2))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, _| {
+            b.iter(|| black_box(rig.request(0.2)))
+        });
     }
     group.finish();
 }

@@ -18,7 +18,9 @@ fn build_manager(pages: u64) -> (Kernel, Manager) {
         .run_charged(pid, |p, frames| {
             let r = p.mem.mmap(pages, Perms::RW, VmaKind::Anon).unwrap();
             for vpn in r.iter() {
-                p.mem.touch(vpn, Touch::WriteWord(1), Taint::Clean, frames).unwrap();
+                p.mem
+                    .touch(vpn, Touch::WriteWord(1), Taint::Clean, frames)
+                    .unwrap();
             }
         })
         .unwrap();

@@ -32,9 +32,7 @@ fn bench_snapshot(c: &mut Criterion) {
                 },
                 |(mut kernel, pid)| {
                     let mut tracker = make_tracker(TrackerKind::SoftDirty);
-                    black_box(
-                        Snapshotter::take(&mut kernel, pid, tracker.as_mut()).unwrap(),
-                    )
+                    black_box(Snapshotter::take(&mut kernel, pid, tracker.as_mut()).unwrap())
                 },
             )
         });

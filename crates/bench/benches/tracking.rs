@@ -18,7 +18,9 @@ fn build() -> (Kernel, Pid, Vpn) {
         .run_charged(pid, |p, frames| {
             let r = p.mem.mmap(PAGES, Perms::RW, VmaKind::Anon).unwrap();
             for vpn in r.iter() {
-                p.mem.touch(vpn, Touch::WriteWord(1), Taint::Clean, frames).unwrap();
+                p.mem
+                    .touch(vpn, Touch::WriteWord(1), Taint::Clean, frames)
+                    .unwrap();
             }
             r.start
         })
@@ -67,9 +69,7 @@ fn bench_backends(c: &mut Criterion) {
             let (mut kernel, pid, start) = build();
             let mut tracker = make_tracker(kind);
             group.bench_with_input(BenchmarkId::from_parameter(dirty), &dirty, |b, &d| {
-                b.iter(|| {
-                    black_box(cycle(&mut kernel, pid, start, tracker.as_mut(), d))
-                })
+                b.iter(|| black_box(cycle(&mut kernel, pid, start, tracker.as_mut(), d)))
             });
         }
         group.finish();

@@ -34,10 +34,17 @@ fn main() {
 fn cow_snapshot() {
     println!("== Ablation 5: eager vs copy-on-write snapshot (§5.5) ==\n");
     let mut table = TextTable::new(&[
-        "snapshot", "take ms", "manager MiB", "1st-req exec ms", "steady exec ms",
+        "snapshot",
+        "take ms",
+        "manager MiB",
+        "1st-req exec ms",
+        "steady exec ms",
     ]);
     for (label, cow) in [("eager (paper)", false), ("CoW (proposed)", true)] {
-        let cfg = GroundhogConfig { cow_snapshot: cow, ..GroundhogConfig::gh() };
+        let cfg = GroundhogConfig {
+            cow_snapshot: cow,
+            ..GroundhogConfig::gh()
+        };
         let mut rig = MicroRig::build_cfg(PAGES, MicroMode::Gh, cfg);
         let (snap_ms, mem_mib) = rig.snapshot_stats();
         let (first, _) = rig.request(0.3);
@@ -67,8 +74,14 @@ fn virtualized_time() {
     println!("== Ablation 6: virtualizing time across restores (§5.3.1) ==\n");
     let spec = by_name("img-resize (n)").unwrap();
     let mut table = TextTable::new(&["config", "steady invoker ms", "GC pauses / 8 req"]);
-    for (label, virt) in [("GH (clock rewinds)", false), ("GH + virtualized time", true)] {
-        let cfg = GroundhogConfig { virtualize_time: virt, ..GroundhogConfig::gh() };
+    for (label, virt) in [
+        ("GH (clock rewinds)", false),
+        ("GH + virtualized time", true),
+    ] {
+        let cfg = GroundhogConfig {
+            virtualize_time: virt,
+            ..GroundhogConfig::gh()
+        };
         let mut c = Container::cold_start(&spec, gh_isolation::StrategyKind::Gh, cfg, 31)
             .expect("container");
         // Let enough virtual time pass that the GC period elapses.
@@ -77,7 +90,9 @@ fn virtualized_time() {
         let mut gcs = 0;
         let n = 8;
         for i in 0..n {
-            let out = c.invoke(&Request::new(i + 1, "client", spec.input_kb)).unwrap();
+            let out = c
+                .invoke(&Request::new(i + 1, "client", spec.input_kb))
+                .unwrap();
             inv += out.invoker_latency.as_millis_f64();
             gcs += out.exec.gc_pause.is_some() as u32;
         }
@@ -97,13 +112,20 @@ fn virtualized_time() {
 /// Ablation 1: coalescing contiguous dirty runs into single copies.
 fn coalescing() {
     println!("== Ablation 1: restore coalescing (§5.2.2) ==\n");
-    let mut table =
-        TextTable::new(&["dirtied %", "coalesced restore ms", "uncoalesced ms", "speedup"]);
+    let mut table = TextTable::new(&[
+        "dirtied %",
+        "coalesced restore ms",
+        "uncoalesced ms",
+        "speedup",
+    ]);
     for pct in [10u32, 30, 60, 90, 100] {
         let frac = pct as f64 / 100.0;
-        let on = MicroRig::build_cfg(PAGES, MicroMode::Gh, GroundhogConfig::gh())
-            .measure(frac, REQS);
-        let cfg_off = GroundhogConfig { coalesce: false, ..GroundhogConfig::gh() };
+        let on =
+            MicroRig::build_cfg(PAGES, MicroMode::Gh, GroundhogConfig::gh()).measure(frac, REQS);
+        let cfg_off = GroundhogConfig {
+            coalesce: false,
+            ..GroundhogConfig::gh()
+        };
         let off = MicroRig::build_cfg(PAGES, MicroMode::Gh, cfg_off).measure(frac, REQS);
         let r_on = on.cycle_ms - on.exec_ms;
         let r_off = off.cycle_ms - off.exec_ms;
@@ -122,17 +144,28 @@ fn coalescing() {
 fn tracking_backends() {
     println!("== Ablation 2: soft-dirty bits vs userfaultfd (§4.3) ==\n");
     let mut table = TextTable::new(&[
-        "dirtied pages", "SD exec ms", "SD cycle ms", "UFFD exec ms", "UFFD cycle ms", "winner",
+        "dirtied pages",
+        "SD exec ms",
+        "SD cycle ms",
+        "UFFD exec ms",
+        "UFFD cycle ms",
+        "winner",
     ]);
     let mut csv = table.clone();
     for dirty in [0u64, 5, 50, 500, 5_000, 25_000] {
         let frac = dirty as f64 / PAGES as f64;
-        let sd = MicroRig::build_cfg(PAGES, MicroMode::Gh, GroundhogConfig::gh())
-            .measure(frac, REQS);
-        let cfg_uffd =
-            GroundhogConfig { tracker: TrackerKind::Uffd, ..GroundhogConfig::gh() };
+        let sd =
+            MicroRig::build_cfg(PAGES, MicroMode::Gh, GroundhogConfig::gh()).measure(frac, REQS);
+        let cfg_uffd = GroundhogConfig {
+            tracker: TrackerKind::Uffd,
+            ..GroundhogConfig::gh()
+        };
         let uffd = MicroRig::build_cfg(PAGES, MicroMode::Gh, cfg_uffd).measure(frac, REQS);
-        let winner = if uffd.cycle_ms < sd.cycle_ms { "UFFD" } else { "SD" };
+        let winner = if uffd.cycle_ms < sd.cycle_ms {
+            "UFFD"
+        } else {
+            "SD"
+        };
         let row = vec![
             dirty.to_string(),
             format!("{:.2}", sd.exec_ms),
@@ -157,14 +190,27 @@ fn skip_same_principal() {
     println!("== Ablation 3: skip-rollback for mutually trusting callers (§4.4) ==\n");
     let spec = by_name("md2html (p)").unwrap();
     let mut table = TextTable::new(&[
-        "workload", "config", "requests", "restores", "skipped", "mean cycle ms",
+        "workload",
+        "config",
+        "requests",
+        "restores",
+        "skipped",
+        "mean cycle ms",
     ]);
     for (workload, principals) in [
         ("same principal", vec!["alice"; 8]),
-        ("alternating", vec!["alice", "bob", "alice", "bob", "alice", "bob", "alice", "bob"]),
+        (
+            "alternating",
+            vec![
+                "alice", "bob", "alice", "bob", "alice", "bob", "alice", "bob",
+            ],
+        ),
     ] {
         for (label, skip) in [("GH", false), ("GH+skip", true)] {
-            let cfg = GroundhogConfig { skip_same_principal: skip, ..GroundhogConfig::gh() };
+            let cfg = GroundhogConfig {
+                skip_same_principal: skip,
+                ..GroundhogConfig::gh()
+            };
             let mut kernel = Kernel::boot();
             let mut fproc = FunctionProcess::build(
                 &mut kernel,
@@ -186,8 +232,7 @@ fn skip_same_principal() {
                 );
                 mgr.end_request(&mut kernel).unwrap();
             }
-            let cycle =
-                (kernel.clock.now() - t0).as_millis_f64() / principals.len() as f64;
+            let cycle = (kernel.clock.now() - t0).as_millis_f64() / principals.len() as f64;
             table.row_owned(vec![
                 workload.to_string(),
                 label.to_string(),
@@ -210,9 +255,15 @@ fn skip_same_principal() {
 fn dummy_warm() {
     println!("== Ablation 4: dummy warm-up before snapshot (§4.1) ==\n");
     let spec = by_name("sentiment (p)").unwrap();
-    let mut table =
-        TextTable::new(&["config", "steady-state invoker ms", "minor faults / request"]);
-    for (label, warm) in [("with dummy warm-up", true), ("without (cold snapshot)", false)] {
+    let mut table = TextTable::new(&[
+        "config",
+        "steady-state invoker ms",
+        "minor faults / request",
+    ]);
+    for (label, warm) in [
+        ("with dummy warm-up", true),
+        ("without (cold snapshot)", false),
+    ] {
         let mut kernel = Kernel::boot();
         let mut fproc = FunctionProcess::build(
             &mut kernel,

@@ -14,11 +14,18 @@ use gh_bench::micro_harness::{micro_latency, MicroMode};
 use gh_bench::{fmt_ms, write_csv};
 use gh_sim::report::{AsciiPlot, TextTable};
 
-const MODES: [MicroMode; 4] =
-    [MicroMode::Base, MicroMode::GhNop, MicroMode::Gh, MicroMode::Fork];
+const MODES: [MicroMode; 4] = [
+    MicroMode::Base,
+    MicroMode::GhNop,
+    MicroMode::Gh,
+    MicroMode::Fork,
+];
 
 fn env_u64(key: &str, default: u64) -> u64 {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -29,8 +36,14 @@ fn main() {
     let fractions: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
     let mut table = TextTable::new(&[
         "dirtied %",
-        "base", "GH-NOP", "GH", "fork",
-        "base+rest", "GH-NOP+rest", "GH+rest", "fork+rest",
+        "base",
+        "GH-NOP",
+        "GH",
+        "fork",
+        "base+rest",
+        "GH-NOP+rest",
+        "GH+rest",
+        "fork+rest",
     ]);
     let mut solid: Vec<(MicroMode, Vec<(f64, f64)>)> =
         MODES.iter().map(|m| (*m, Vec::new())).collect();
@@ -56,14 +69,23 @@ fn main() {
         .iter()
         .map(|(m, pts)| (m.label(), pts.clone()))
         .collect();
-    println!("latency+restoration (ms) vs dirtied pages (%):\n{}", plot.render(&series));
+    println!(
+        "latency+restoration (ms) vs dirtied pages (%):\n{}",
+        plot.render(&series)
+    );
 
     println!("== Fig. 3 (right): latency vs address space size (1K pages dirtied) ==\n");
     let sizes: Vec<u64> = vec![1_000, 5_000, 10_000, 25_000, 50_000, 75_000, 100_000];
     let mut table = TextTable::new(&[
         "Kpages",
-        "base", "GH-NOP", "GH", "fork",
-        "base+rest", "GH-NOP+rest", "GH+rest", "fork+rest",
+        "base",
+        "GH-NOP",
+        "GH",
+        "fork",
+        "base+rest",
+        "GH-NOP+rest",
+        "GH+rest",
+        "fork+rest",
     ]);
     let mut dashed_r: Vec<(MicroMode, Vec<(f64, f64)>)> =
         MODES.iter().map(|m| (*m, Vec::new())).collect();
@@ -88,7 +110,10 @@ fn main() {
         .iter()
         .map(|(m, pts)| (m.label(), pts.clone()))
         .collect();
-    println!("latency+restoration (ms) vs address space (Kpages):\n{}", plot.render(&series));
+    println!(
+        "latency+restoration (ms) vs address space (Kpages):\n{}",
+        plot.render(&series)
+    );
 
     println!(
         "Expected shapes (paper §5.2): GH-NOP ≈ base; GH grows with dirtied pages \

@@ -17,16 +17,31 @@ fn main() {
     let suites = [Suite::PyPerformance, Suite::PolyBench, Suite::FaaSProfiler];
     let mut csv = TextTable::new(&[
         "benchmark",
-        "rel_e2e_ghnop", "rel_e2e_gh", "rel_e2e_fork", "rel_e2e_faasm",
-        "rel_inv_ghnop", "rel_inv_gh", "rel_inv_fork", "rel_inv_faasm",
+        "rel_e2e_ghnop",
+        "rel_e2e_gh",
+        "rel_e2e_fork",
+        "rel_e2e_faasm",
+        "rel_inv_ghnop",
+        "rel_inv_gh",
+        "rel_inv_fork",
+        "rel_inv_faasm",
     ]);
 
     for suite in suites {
-        println!("== Fig. 4 — {} (relative to BASE; lower is better) ==\n", suite.label());
+        println!(
+            "== Fig. 4 — {} (relative to BASE; lower is better) ==\n",
+            suite.label()
+        );
         let mut table = TextTable::new(&[
             "benchmark",
-            "E2E GH-NOP", "E2E GH", "E2E fork", "E2E faasm",
-            "inv GH-NOP", "inv GH", "inv fork", "inv faasm",
+            "E2E GH-NOP",
+            "E2E GH",
+            "E2E fork",
+            "E2E faasm",
+            "inv GH-NOP",
+            "inv GH",
+            "inv fork",
+            "inv faasm",
         ]);
         for spec in catalog().iter().filter(|s| s.suite == suite) {
             let base = run_latency(spec, StrategyKind::Base, n, 1).expect("base runs");

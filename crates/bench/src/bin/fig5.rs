@@ -17,19 +17,24 @@ fn main() {
     let reqs = xput_requests();
     let suites = [Suite::PyPerformance, Suite::PolyBench, Suite::FaaSProfiler];
     let mut csv = TextTable::new(&[
-        "benchmark", "base_xput", "rel_ghnop", "rel_gh", "rel_fork", "predicted_gh",
+        "benchmark",
+        "base_xput",
+        "rel_ghnop",
+        "rel_gh",
+        "rel_fork",
+        "predicted_gh",
     ]);
 
     for suite in suites {
-        println!("== Fig. 5 — {} (throughput relative to BASE; higher is better) ==\n", suite.label());
-        let mut table = TextTable::new(&[
-            "benchmark", "base r/s", "GH-NOP", "GH", "fork", "pred. GH",
-        ]);
+        println!(
+            "== Fig. 5 — {} (throughput relative to BASE; higher is better) ==\n",
+            suite.label()
+        );
+        let mut table =
+            TextTable::new(&["benchmark", "base r/s", "GH-NOP", "GH", "fork", "pred. GH"]);
         for spec in catalog().iter().filter(|s| s.suite == suite) {
             let base = run_throughput(spec, StrategyKind::Base, reqs, 2).expect("base");
-            let rel_of = |kind| {
-                run_throughput(spec, kind, reqs, 2).map(|x| relative(base, x))
-            };
+            let rel_of = |kind| run_throughput(spec, kind, reqs, 2).map(|x| relative(base, x));
             let nop = rel_of(StrategyKind::GhNop);
             let gh = rel_of(StrategyKind::Gh);
             let fork = rel_of(StrategyKind::Fork);
@@ -39,8 +44,8 @@ fn main() {
             let pred = {
                 let b = run_latency(spec, StrategyKind::Base, 6, 3).expect("base lat");
                 run_latency(spec, StrategyKind::Gh, 6, 3).map(|g| {
-                    let over = (g.invoker_mean_ms() - b.invoker_mean_ms()).max(0.0)
-                        + g.restore_mean_ms();
+                    let over =
+                        (g.invoker_mean_ms() - b.invoker_mean_ms()).max(0.0) + g.restore_mean_ms();
                     1.0 / (1.0 + over / b.invoker_mean_ms())
                 })
             };

@@ -14,13 +14,14 @@ use gh_sim::report::TextTable;
 fn main() {
     let n = latency_requests();
     let mut csv = TextTable::new(&[
-        "benchmark", "gh_restore_ms", "faasm_reset_ms", "paper_gh_restore_ms",
+        "benchmark",
+        "gh_restore_ms",
+        "faasm_reset_ms",
+        "paper_gh_restore_ms",
     ]);
     for suite in [Suite::PyPerformance, Suite::PolyBench] {
         println!("== Fig. 6 — restoration duration, {} ==\n", suite.label());
-        let mut table = TextTable::new(&[
-            "benchmark", "GH (ms)", "faasm (ms)", "paper GH (ms)",
-        ]);
+        let mut table = TextTable::new(&["benchmark", "GH (ms)", "faasm (ms)", "paper GH (ms)"]);
         for spec in catalog().iter().filter(|s| s.suite == suite) {
             let gh = run_latency(spec, StrategyKind::Gh, n, 4).expect("gh");
             let faasm = run_latency(spec, StrategyKind::Faasm, n, 4).expect("faasm");

@@ -22,12 +22,11 @@ fn main() {
     let kinds = [StrategyKind::Base, StrategyKind::GhNop, StrategyKind::Gh];
 
     println!("== Fig. 7 — throughput scaling with cores (mean ± σ over {runs} runs) ==\n");
-    let mut csv = TextTable::new(&[
-        "benchmark", "config", "cores", "xput_mean", "xput_std",
-    ]);
+    let mut csv = TextTable::new(&["benchmark", "config", "cores", "xput_mean", "xput_std"]);
     for spec in representative_14() {
-        let mut table =
-            TextTable::new(&["config", "1 core", "2 cores", "3 cores", "4 cores", "scaling"]);
+        let mut table = TextTable::new(&[
+            "config", "1 core", "2 cores", "3 cores", "4 cores", "scaling",
+        ]);
         for kind in kinds {
             let mut cells = vec![kind.label().to_string()];
             let mut per_core = Vec::new();

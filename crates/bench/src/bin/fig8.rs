@@ -15,10 +15,14 @@ use groundhog_core::GroundhogConfig;
 
 fn main() {
     println!("== Fig. 8 — restoration breakdown (% of restore) + snapshot cost ==\n");
-    let mut headers: Vec<&str> =
-        vec!["benchmark", "restore ms", "pages K", "restored K", "snapshot ms"];
-    let labels: Vec<String> =
-        ALL_PHASES.iter().map(|p| p.label().to_string()).collect();
+    let mut headers: Vec<&str> = vec![
+        "benchmark",
+        "restore ms",
+        "pages K",
+        "restored K",
+        "snapshot ms",
+    ];
+    let labels: Vec<String> = ALL_PHASES.iter().map(|p| p.label().to_string()).collect();
     headers.extend(labels.iter().map(String::as_str));
     let mut table = TextTable::new(&headers);
     let mut csv = TextTable::new(&headers);
@@ -31,7 +35,9 @@ fn main() {
         let mut restored = 0u64;
         let reqs = 4;
         for i in 0..reqs + 1 {
-            let out = c.invoke(&Request::new(i + 1, "client", spec.input_kb)).unwrap();
+            let out = c
+                .invoke(&Request::new(i + 1, "client", spec.input_kb))
+                .unwrap();
             if i == 0 {
                 continue; // warm-up
             }

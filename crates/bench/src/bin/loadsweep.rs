@@ -28,8 +28,12 @@ fn main() {
         );
         let mut table = TextTable::new(&[
             "offered r/s",
-            "base util", "base mean ms", "base p99 ms",
-            "GH util", "GH mean ms", "GH p99 ms",
+            "base util",
+            "base mean ms",
+            "base p99 ms",
+            "GH util",
+            "GH mean ms",
+            "GH p99 ms",
             "GH/base mean",
         ]);
         for &rps in &rates {
@@ -42,9 +46,8 @@ fn main() {
                 21,
             )
             .unwrap();
-            let gh =
-                open_loop_run(&spec, StrategyKind::Gh, GroundhogConfig::gh(), rps, 200, 21)
-                    .unwrap();
+            let gh = open_loop_run(&spec, StrategyKind::Gh, GroundhogConfig::gh(), rps, 200, 21)
+                .unwrap();
             table.row_owned(vec![
                 format!("{rps:.1}"),
                 format!("{:.2}", base.utilization),
@@ -57,7 +60,10 @@ fn main() {
             ]);
         }
         println!("{}", table.render());
-        write_csv(&format!("loadsweep_{}", name.replace([' ', '(', ')'], "")), &table);
+        write_csv(
+            &format!("loadsweep_{}", name.replace([' ', '(', ')'], "")),
+            &table,
+        );
     }
     println!(
         "Expected shape (§4): at low/medium utilization GH's sojourn times track BASE \

@@ -15,7 +15,13 @@ fn main() {
     let reqs = xput_requests();
     println!("== Table 1 — absolute measurements (mean over {n} requests) ==\n");
     let mut table = TextTable::new(&[
-        "benchmark", "config", "E2E ms", "±σ", "inv ms", "±σ", "xput r/s",
+        "benchmark",
+        "config",
+        "E2E ms",
+        "±σ",
+        "inv ms",
+        "±σ",
+        "xput r/s",
     ]);
     let kinds = [
         StrategyKind::Base,
@@ -26,7 +32,9 @@ fn main() {
     ];
     for spec in catalog() {
         for kind in kinds {
-            let Some(lat) = run_latency(&spec, kind, n, 10) else { continue };
+            let Some(lat) = run_latency(&spec, kind, n, 10) else {
+                continue;
+            };
             let xput = run_throughput(&spec, kind, reqs, 10).unwrap_or(0.0);
             let e2e = lat.e2e.summary_ms();
             let inv = lat.invoker.summary_ms();

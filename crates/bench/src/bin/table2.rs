@@ -5,7 +5,9 @@
 //! cargo run --release -p gh-bench --bin table2
 //! ```
 
-use gh_bench::{latency_requests, run_latency, run_throughput, write_csv, xput_requests, ALL_KINDS};
+use gh_bench::{
+    latency_requests, run_latency, run_throughput, write_csv, xput_requests, ALL_KINDS,
+};
 use gh_functions::catalog::catalog;
 use gh_isolation::StrategyKind;
 use gh_sim::report::TextTable;
@@ -23,10 +25,18 @@ fn main() {
     let reqs = xput_requests();
     println!("== Table 2 — relative overheads vs BASE ==\n");
     let mut table = TextTable::new(&[
-        "benchmark", "base E2E ms", "±CoV%",
-        "E2E GH-NOP", "E2E GH", "E2E fork", "E2E faasm",
-        "xput GH-NOP", "xput GH", "xput fork",
-        "inv GH", "GH restore ms",
+        "benchmark",
+        "base E2E ms",
+        "±CoV%",
+        "E2E GH-NOP",
+        "E2E GH",
+        "E2E fork",
+        "E2E faasm",
+        "xput GH-NOP",
+        "xput GH",
+        "xput fork",
+        "inv GH",
+        "GH restore ms",
     ]);
     for spec in catalog() {
         let base = run_latency(&spec, StrategyKind::Base, n, 20).expect("base");
@@ -41,10 +51,8 @@ fn main() {
                     .map(|r| overhead_percent(base_e2e.mean, r.e2e_mean_ms())),
             );
         }
-        let x_over = |kind| {
-            run_throughput(&spec, kind, reqs, 20)
-                .map(|x| overhead_percent(base_x, x))
-        };
+        let x_over =
+            |kind| run_throughput(&spec, kind, reqs, 20).map(|x| overhead_percent(base_x, x));
         let gh = run_latency(&spec, StrategyKind::Gh, n, 20).expect("gh");
         table.row_owned(vec![
             spec.name.to_string(),

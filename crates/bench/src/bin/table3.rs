@@ -40,11 +40,20 @@ fn main() {
         let mut faults = 0u64;
         let mut restored = 0u64;
         for i in 0..n as u64 {
-            let out = c.invoke(&Request::new(i + 1, "client", spec.input_kb)).unwrap();
+            let out = c
+                .invoke(&Request::new(i + 1, "client", spec.input_kb))
+                .unwrap();
             inv_ms += out.invoker_latency.as_millis_f64();
             restore_ms += out.off_path.as_millis_f64();
             faults += out.exec.faults.total_faults();
-            let rep = c.stats.last_post.as_ref().unwrap().restore.as_ref().unwrap();
+            let rep = c
+                .stats
+                .last_post
+                .as_ref()
+                .unwrap()
+                .restore
+                .as_ref()
+                .unwrap();
             restored += rep.pages_restored;
         }
         let mapped = c.kernel.process(c.fproc.pid).unwrap().mem.mapped_pages();
@@ -64,8 +73,16 @@ fn main() {
     rows.sort_by(|a, b| a.restore_ms.partial_cmp(&b.restore_ms).unwrap());
 
     let mut table = TextTable::new(&[
-        "benchmark", "base inv ms", "GH inv ms", "restore ms", "pages K", "faults K",
-        "restored K", "paper restore", "paper pages", "paper restored",
+        "benchmark",
+        "base inv ms",
+        "GH inv ms",
+        "restore ms",
+        "pages K",
+        "faults K",
+        "restored K",
+        "paper restore",
+        "paper pages",
+        "paper restored",
     ]);
     for r in &rows {
         table.row_owned(vec![

@@ -34,7 +34,11 @@ fn main() {
     let n = latency_requests();
     let reqs = xput_requests();
     let mut table = TextTable::new(&[
-        "benchmark", "writeset_pct", "restore_ms", "e2e_overhead_pct", "xput_drop_pct",
+        "benchmark",
+        "writeset_pct",
+        "restore_ms",
+        "e2e_overhead_pct",
+        "xput_drop_pct",
     ]);
 
     let mut writesets = Vec::new();

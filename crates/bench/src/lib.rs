@@ -39,7 +39,10 @@ pub fn xput_requests() -> usize {
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Whether `kind` can run `spec` at all (§5: fork cannot handle Node.js's
@@ -133,7 +136,10 @@ mod tests {
         assert!(supported(&c, StrategyKind::Fork));
         assert!(supported(&c, StrategyKind::Faasm));
         assert!(supported(&py_fp, StrategyKind::Fork));
-        assert!(!supported(&py_fp, StrategyKind::Faasm), "FaaSProfiler not wasm-ported");
+        assert!(
+            !supported(&py_fp, StrategyKind::Faasm),
+            "FaaSProfiler not wasm-ported"
+        );
         for kind in [StrategyKind::Base, StrategyKind::GhNop, StrategyKind::Gh] {
             assert!(supported(&node, kind));
         }

@@ -77,7 +77,14 @@ impl MicroRig {
             }
             _ => None,
         };
-        MicroRig { kernel, micro, mode, manager, parent, req: 0 }
+        MicroRig {
+            kernel,
+            micro,
+            mode,
+            manager,
+            parent,
+            req: 0,
+        }
     }
 
     /// Snapshot cost: (duration ms, manager memory MiB). Zero for modes
@@ -107,7 +114,9 @@ impl MicroRig {
 
     /// Restores skipped via the same-principal optimization.
     pub fn skipped_restores(&self) -> u64 {
-        self.manager.as_ref().map_or(0, |m| m.stats.skipped_restores)
+        self.manager
+            .as_ref()
+            .map_or(0, |m| m.stats.skipped_restores)
     }
 
     /// Runs one request, returning (exec, cycle) durations.
@@ -138,7 +147,10 @@ impl MicroRig {
             }
             MicroMode::Fork => {
                 let child = self.kernel.fork(self.parent).expect("fork");
-                let view = MicroFunction { pid: child, region: self.micro.region };
+                let view = MicroFunction {
+                    pid: child,
+                    region: self.micro.region,
+                };
                 view.invoke(&mut self.kernel, dirty_fraction, rid);
                 let exec = self.kernel.clock.now() - t0;
                 self.kernel.exit(child).expect("reap child");
@@ -210,7 +222,12 @@ mod tests {
         // §5.2.3: fork's CoW faults are dearer than GH's SD faults.
         let gh = micro_latency(PAGES, 0.5, MicroMode::Gh, 4);
         let fork = micro_latency(PAGES, 0.5, MicroMode::Fork, 4);
-        assert!(fork.exec_ms > gh.exec_ms, "fork {0:.3} !> gh {1:.3}", fork.exec_ms, gh.exec_ms);
+        assert!(
+            fork.exec_ms > gh.exec_ms,
+            "fork {0:.3} !> gh {1:.3}",
+            fork.exec_ms,
+            gh.exec_ms
+        );
     }
 
     #[test]

@@ -147,7 +147,10 @@ mod tests {
         b.add(RestorePhase::Interrupting, Nanos::from_micros(100));
         b.add(RestorePhase::RestoringMemory, Nanos::from_micros(300));
         b.add(RestorePhase::RestoringMemory, Nanos::from_micros(100));
-        assert_eq!(b.get(RestorePhase::RestoringMemory), Nanos::from_micros(400));
+        assert_eq!(
+            b.get(RestorePhase::RestoringMemory),
+            Nanos::from_micros(400)
+        );
         assert_eq!(b.total(), Nanos::from_micros(500));
     }
 

@@ -77,7 +77,10 @@ impl GroundhogConfig {
 
     /// The paper's `GHNOP` configuration: track but never restore.
     pub fn ghnop() -> Self {
-        GroundhogConfig { restore_enabled: false, ..Self::default() }
+        GroundhogConfig {
+            restore_enabled: false,
+            ..Self::default()
+        }
     }
 }
 

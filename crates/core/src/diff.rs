@@ -60,12 +60,7 @@ fn attrs_at(segs: &[(PageRange, Attrs)], cursor: &mut usize, page: Vpn) -> Optio
 
 impl LayoutDiff {
     /// Computes the delta from `current` back to the snapshot layout.
-    pub fn compute(
-        snap_vmas: &[Vma],
-        snap_brk: Vpn,
-        cur_vmas: &[Vma],
-        cur_brk: Vpn,
-    ) -> LayoutDiff {
+    pub fn compute(snap_vmas: &[Vma], snap_brk: Vpn, cur_vmas: &[Vma], cur_brk: Vpn) -> LayoutDiff {
         let snap = segments(snap_vmas);
         let cur = segments(cur_vmas);
 
@@ -131,7 +126,11 @@ impl LayoutDiff {
                 VmaKind::File(name) => Some(name.clone()),
                 _ => None,
             };
-            plan.push(Syscall::MmapFixed { range: r.range, perms: r.perms, file });
+            plan.push(Syscall::MmapFixed {
+                range: r.range,
+                perms: r.perms,
+                file,
+            });
         }
         for (range, perms) in &self.to_mprotect {
             plan.push(Syscall::Mprotect(*range, *perms));
@@ -192,7 +191,10 @@ mod tests {
 
     #[test]
     fn identical_layouts_diff_empty() {
-        let vs = vec![anon(100, 10), vma(200, 5, Perms::RX, VmaKind::File("x".into()))];
+        let vs = vec![
+            anon(100, 10),
+            vma(200, 5, Perms::RX, VmaKind::File("x".into())),
+        ];
         let d = LayoutDiff::compute(&vs, Vpn(50), &vs, Vpn(50));
         assert!(d.is_empty());
         assert!(d.plan().is_empty());
@@ -211,7 +213,10 @@ mod tests {
 
     #[test]
     fn removed_region_is_remapped_with_attrs() {
-        let snap = vec![anon(100, 10), vma(200, 6, Perms::RX, VmaKind::File("lib".into()))];
+        let snap = vec![
+            anon(100, 10),
+            vma(200, 6, Perms::RX, VmaKind::File("lib".into())),
+        ];
         let cur = vec![anon(100, 10)];
         let d = LayoutDiff::compute(&snap, Vpn(50), &cur, Vpn(50));
         assert_eq!(d.to_remap.len(), 1);
@@ -274,7 +279,10 @@ mod tests {
         cur_vma.perms = Perms::R;
         let d = LayoutDiff::compute(&snap, Vpn(50), &[cur_vma], Vpn(50));
         assert_eq!(d.to_mprotect, vec![(PageRange::at(Vpn(100), 8), Perms::RW)]);
-        assert_eq!(d.plan(), vec![Syscall::Mprotect(PageRange::at(Vpn(100), 8), Perms::RW)]);
+        assert_eq!(
+            d.plan(),
+            vec![Syscall::Mprotect(PageRange::at(Vpn(100), 8), Perms::RW)]
+        );
     }
 
     #[test]
@@ -336,17 +344,23 @@ mod tests {
             anon(400, 6),
         ];
         let cur = vec![
-            anon(100, 14),                         // grew
-            vma(400, 3, Perms::R, VmaKind::Anon),  // shrank + perms changed
-            anon(600, 5),                          // new
+            anon(100, 14),                        // grew
+            vma(400, 3, Perms::R, VmaKind::Anon), // shrank + perms changed
+            anon(600, 5),                         // new
         ];
         let d = LayoutDiff::compute(&snap, Vpn(50), &cur, Vpn(50));
         // Growth + new region unmapped.
         assert!(d.to_munmap.contains(&PageRange::at(Vpn(110), 4)));
         assert!(d.to_munmap.contains(&PageRange::at(Vpn(600), 5)));
         // Vanished file region + shrunk tail remapped.
-        assert!(d.to_remap.iter().any(|r| r.range == PageRange::at(Vpn(200), 8)));
-        assert!(d.to_remap.iter().any(|r| r.range == PageRange::at(Vpn(403), 3)));
+        assert!(d
+            .to_remap
+            .iter()
+            .any(|r| r.range == PageRange::at(Vpn(200), 8)));
+        assert!(d
+            .to_remap
+            .iter()
+            .any(|r| r.range == PageRange::at(Vpn(403), 3)));
         // Perms restored on the surviving overlap.
         assert_eq!(d.to_mprotect, vec![(PageRange::at(Vpn(400), 3), Perms::RW)]);
     }

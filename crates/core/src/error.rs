@@ -55,7 +55,10 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(GhError::NoSnapshot.to_string(), "no snapshot taken");
-        let e = GhError::BadState { state: "Executing", op: "begin_request" };
+        let e = GhError::BadState {
+            state: "Executing",
+            op: "begin_request",
+        };
         assert!(e.to_string().contains("Executing"));
         assert!(e.to_string().contains("begin_request"));
     }

@@ -130,11 +130,35 @@ impl Manager {
         matches!(self.state, ManagerState::Ready | ManagerState::NeedsRestore)
     }
 
+    /// The principal of the most recently admitted request, if any.
+    pub fn last_principal(&self) -> Option<&str> {
+        self.last_principal.as_deref()
+    }
+
+    /// True when admitting `principal` right now would *not* put a
+    /// restore on the request's critical path: the process is provably
+    /// clean, or the deferred rollback can be skipped because the
+    /// previous request came from the same principal (§4.4's
+    /// mutually-trusting-callers optimization). A restore-aware router
+    /// uses this to keep rollbacks off every request's critical path.
+    pub fn admits_without_restore(&self, principal: &str) -> bool {
+        match self.state {
+            ManagerState::Ready => true,
+            ManagerState::NeedsRestore => {
+                self.cfg.skip_same_principal && self.last_principal.as_deref() == Some(principal)
+            }
+            _ => false,
+        }
+    }
+
     /// Takes the clean-state snapshot (§4.2). The caller must have driven
     /// initialization and the dummy warm-up request (§4.1) first.
     pub fn snapshot_now(&mut self, kernel: &mut Kernel) -> Result<SnapshotReport, GhError> {
         if self.state != ManagerState::Initializing {
-            return Err(GhError::BadState { state: self.state.name(), op: "snapshot_now" });
+            return Err(GhError::BadState {
+                state: self.state.name(),
+                op: "snapshot_now",
+            });
         }
         let (snapshot, report) = Snapshotter::take_with(
             kernel,
@@ -159,8 +183,7 @@ impl Manager {
         let admission = match self.state {
             ManagerState::Ready => Admission::Clean,
             ManagerState::NeedsRestore => {
-                if self.cfg.skip_same_principal
-                    && self.last_principal.as_deref() == Some(principal)
+                if self.cfg.skip_same_principal && self.last_principal.as_deref() == Some(principal)
                 {
                     self.stats.skipped_restores += 1;
                     Admission::SkippedSamePrincipal
@@ -169,7 +192,12 @@ impl Manager {
                     Admission::RestoredFirst
                 }
             }
-            s => return Err(GhError::BadState { state: s.name(), op: "begin_request" }),
+            s => {
+                return Err(GhError::BadState {
+                    state: s.name(),
+                    op: "begin_request",
+                })
+            }
         };
         self.state = ManagerState::Executing;
         self.last_principal = Some(principal.to_string());
@@ -181,12 +209,12 @@ impl Manager {
     /// performs the off-critical-path rollback. Returns the restore
     /// report, or `None` when restoration is disabled (GHNOP) or deferred
     /// (same-principal skip mode).
-    pub fn end_request(
-        &mut self,
-        kernel: &mut Kernel,
-    ) -> Result<Option<RestoreReport>, GhError> {
+    pub fn end_request(&mut self, kernel: &mut Kernel) -> Result<Option<RestoreReport>, GhError> {
         if self.state != ManagerState::Executing {
-            return Err(GhError::BadState { state: self.state.name(), op: "end_request" });
+            return Err(GhError::BadState {
+                state: self.state.name(),
+                op: "end_request",
+            });
         }
         if !self.cfg.restore_enabled {
             // GHNOP: no rollback ever; container stays "ready" (insecure
@@ -234,7 +262,9 @@ mod tests {
             .run_charged(pid, |p, frames| {
                 let r = p.mem.mmap(16, Perms::RW, VmaKind::Anon).unwrap();
                 for vpn in r.iter() {
-                    p.mem.touch(vpn, Touch::WriteWord(7), Taint::Clean, frames).unwrap();
+                    p.mem
+                        .touch(vpn, Touch::WriteWord(7), Taint::Clean, frames)
+                        .unwrap();
                 }
                 r
             })
@@ -242,7 +272,11 @@ mod tests {
             .0;
         let mut mgr = Manager::new(pid, cfg);
         mgr.snapshot_now(&mut kernel).unwrap();
-        Rig { kernel, mgr, region }
+        Rig {
+            kernel,
+            mgr,
+            region,
+        }
     }
 
     fn rig() -> Rig {
@@ -275,12 +309,19 @@ mod tests {
         assert!(r.mgr.is_ready());
         let adm = run_request(&mut r, "alice", 1);
         assert_eq!(adm, Admission::Clean);
-        assert_eq!(r.mgr.state(), ManagerState::Ready, "eager restore after request");
+        assert_eq!(
+            r.mgr.state(),
+            ManagerState::Ready,
+            "eager restore after request"
+        );
         assert_eq!(r.mgr.stats.requests, 1);
         assert_eq!(r.mgr.stats.restores, 1);
         // No taint from request 1 survives.
         let proc = r.kernel.process(r.mgr.pid()).unwrap();
-        assert!(proc.mem.tainted_pages(RequestId(1), r.kernel.frames()).is_empty());
+        assert!(proc
+            .mem
+            .tainted_pages(RequestId(1), r.kernel.frames())
+            .is_empty());
     }
 
     #[test]
@@ -314,16 +355,26 @@ mod tests {
         assert_eq!(r.mgr.stats.restores, 0);
         // Taint persists — GHNOP is not an isolation mode.
         let proc = r.kernel.process(r.mgr.pid()).unwrap();
-        assert!(!proc.mem.tainted_pages(RequestId(0), r.kernel.frames()).is_empty());
+        assert!(!proc
+            .mem
+            .tainted_pages(RequestId(0), r.kernel.frames())
+            .is_empty());
     }
 
     #[test]
     fn skip_same_principal_defers_and_skips() {
-        let cfg = GroundhogConfig { skip_same_principal: true, ..GroundhogConfig::gh() };
+        let cfg = GroundhogConfig {
+            skip_same_principal: true,
+            ..GroundhogConfig::gh()
+        };
         let mut r = rig_cfg(cfg);
         let a1 = run_request(&mut r, "alice", 1);
         assert_eq!(a1, Admission::Clean);
-        assert_eq!(r.mgr.state(), ManagerState::NeedsRestore, "restore deferred");
+        assert_eq!(
+            r.mgr.state(),
+            ManagerState::NeedsRestore,
+            "restore deferred"
+        );
         let a2 = run_request(&mut r, "alice", 2);
         assert_eq!(a2, Admission::SkippedSamePrincipal);
         assert_eq!(r.mgr.stats.skipped_restores, 1);
@@ -334,8 +385,14 @@ mod tests {
         assert_eq!(r.mgr.stats.restores, 1);
         // After the forced restore, nothing of alice's remains.
         let proc = r.kernel.process(r.mgr.pid()).unwrap();
-        assert!(proc.mem.tainted_pages(RequestId(1), r.kernel.frames()).is_empty());
-        assert!(proc.mem.tainted_pages(RequestId(2), r.kernel.frames()).is_empty());
+        assert!(proc
+            .mem
+            .tainted_pages(RequestId(1), r.kernel.frames())
+            .is_empty());
+        assert!(proc
+            .mem
+            .tainted_pages(RequestId(2), r.kernel.frames())
+            .is_empty());
     }
 
     #[test]

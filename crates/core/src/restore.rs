@@ -102,13 +102,12 @@ impl Restorer {
 
         // Phase 4: diff memory layouts.
         let cur_brk = s.kernel().process(pid)?.mem.brk();
-        let diff = crate::diff::LayoutDiff::compute(
-            &snapshot.vmas,
-            snapshot.brk,
-            &cur_maps,
-            cur_brk,
-        );
-        let diff_cost = s.kernel().cost.diff_cost(cur_maps.len() + snapshot.vmas.len());
+        let diff =
+            crate::diff::LayoutDiff::compute(&snapshot.vmas, snapshot.brk, &cur_maps, cur_brk);
+        let diff_cost = s
+            .kernel()
+            .cost
+            .diff_cost(cur_maps.len() + snapshot.vmas.len());
         s.kernel().charge(diff_cost);
         bd.add(RestorePhase::DiffingMemoryLayouts, sw.lap());
 
@@ -130,11 +129,9 @@ impl Restorer {
         // Present-page bookkeeping from the scan (when the backend saw the
         // pagemap): remove pages our munmaps just dropped.
         let stack_ranges = snapshot.stack_ranges();
-        let in_stack =
-            |vpn: u64| stack_ranges.iter().any(|r| r.contains(Vpn(vpn)));
-        let in_ranges = |ranges: &[PageRange], vpn: u64| {
-            ranges.iter().any(|r| r.contains(Vpn(vpn)))
-        };
+        let in_stack = |vpn: u64| stack_ranges.iter().any(|r| r.contains(Vpn(vpn)));
+        let in_ranges =
+            |ranges: &[PageRange], vpn: u64| ranges.iter().any(|r| r.contains(Vpn(vpn)));
 
         let mut newly_paged = 0u64;
         let mut stack_zeroed = 0u64;
@@ -148,8 +145,11 @@ impl Restorer {
 
             // Phase 8 (continued) + stack zeroing: handle pages that became
             // resident after the snapshot.
-            let fresh: Vec<u64> =
-                present.iter().copied().filter(|&v| !snapshot.has_page(Vpn(v))).collect();
+            let fresh: Vec<u64> = present
+                .iter()
+                .copied()
+                .filter(|&v| !snapshot.has_page(Vpn(v)))
+                .collect();
             let mut evicted: Vec<u64> = Vec::new();
             for &v in &fresh {
                 if in_stack(v) {
@@ -198,8 +198,7 @@ impl Restorer {
                 }
             }
             None => {
-                let remapped: Vec<PageRange> =
-                    diff.to_remap.iter().map(|r| r.range).collect();
+                let remapped: Vec<PageRange> = diff.to_remap.iter().map(|r| r.range).collect();
                 for v in snapshot.page_vpns() {
                     if in_ranges(&remapped, v) {
                         restore_set.insert(v);
@@ -219,7 +218,9 @@ impl Restorer {
         let copy_cost = if cfg.coalesce {
             s.kernel().cost.restore_pages_cost(pages_restored, runs)
         } else {
-            s.kernel().cost.restore_pages_cost_uncoalesced(pages_restored)
+            s.kernel()
+                .cost
+                .restore_pages_cost_uncoalesced(pages_restored)
         };
         s.kernel().charge(copy_cost);
         bd.add(RestorePhase::RestoringMemory, sw.lap());
@@ -266,7 +267,9 @@ pub fn verify_matches_snapshot(
     }
     // Registers.
     for (tid, regs) in &snapshot.regs {
-        let t = proc.thread(*tid).ok_or_else(|| format!("thread {tid:?} missing"))?;
+        let t = proc
+            .thread(*tid)
+            .ok_or_else(|| format!("thread {tid:?} missing"))?;
         if &t.regs != regs {
             return Err(format!("registers of {tid:?} differ"));
         }
@@ -322,7 +325,9 @@ mod tests {
             .run_charged(pid, |p, frames| {
                 let r = p.mem.mmap(pages, Perms::RW, VmaKind::Anon).unwrap();
                 for vpn in r.iter() {
-                    p.mem.touch(vpn, Touch::WriteWord(0x5EED), Taint::Clean, frames).unwrap();
+                    p.mem
+                        .touch(vpn, Touch::WriteWord(0x5EED), Taint::Clean, frames)
+                        .unwrap();
                 }
                 r
             })
@@ -330,7 +335,14 @@ mod tests {
             .0;
         let mut tracker = make_tracker(kind);
         let (snapshot, _) = Snapshotter::take(&mut kernel, pid, tracker.as_mut()).unwrap();
-        Rig { kernel, pid, snapshot, tracker, region, cfg: GroundhogConfig::gh() }
+        Rig {
+            kernel,
+            pid,
+            snapshot,
+            tracker,
+            region,
+            cfg: GroundhogConfig::gh(),
+        }
     }
 
     fn rig() -> Rig {
@@ -376,7 +388,10 @@ mod tests {
         verify_matches_snapshot(&r.kernel, r.pid, &r.snapshot).unwrap();
         // No taint survives.
         let proc = r.kernel.process(r.pid).unwrap();
-        assert!(proc.mem.tainted_pages(RequestId(1), r.kernel.frames()).is_empty());
+        assert!(proc
+            .mem
+            .tainted_pages(RequestId(1), r.kernel.frames())
+            .is_empty());
     }
 
     #[test]
@@ -425,16 +440,33 @@ mod tests {
         r.kernel
             .run_charged(r.pid, |p, frames| {
                 let a = p.mem.mmap(8, Perms::RW, VmaKind::Anon).unwrap();
-                p.mem.touch(a.start, Touch::WriteWord(1), Taint::One(RequestId(1)), frames).unwrap();
-                p.mem.munmap(PageRange::at(Vpn(region.start.0 + 4), 2), frames).unwrap();
+                p.mem
+                    .touch(
+                        a.start,
+                        Touch::WriteWord(1),
+                        Taint::One(RequestId(1)),
+                        frames,
+                    )
+                    .unwrap();
+                p.mem
+                    .munmap(PageRange::at(Vpn(region.start.0 + 4), 2), frames)
+                    .unwrap();
                 p.mem.set_brk(Vpn(heap_base.0 + 40), frames).unwrap();
                 p.mem
-                    .touch(Vpn(heap_base.0 + 10), Touch::WriteWord(2), Taint::One(RequestId(1)), frames)
+                    .touch(
+                        Vpn(heap_base.0 + 10),
+                        Touch::WriteWord(2),
+                        Taint::One(RequestId(1)),
+                        frames,
+                    )
                     .unwrap();
             })
             .unwrap();
         let report = restore(&mut r);
-        assert!(report.syscalls_injected >= 3, "brk + munmap + mmap at least");
+        assert!(
+            report.syscalls_injected >= 3,
+            "brk + munmap + mmap at least"
+        );
         verify_matches_snapshot(&r.kernel, r.pid, &r.snapshot).unwrap();
         assert!(r
             .kernel
@@ -470,7 +502,9 @@ mod tests {
         // pages of a region that existed but was never resident.
         let extra = r
             .kernel
-            .run_charged(r.pid, |p, _| p.mem.mmap(16, Perms::RW, VmaKind::Anon).unwrap())
+            .run_charged(r.pid, |p, _| {
+                p.mem.mmap(16, Perms::RW, VmaKind::Anon).unwrap()
+            })
             .unwrap()
             .0;
         // Re-snapshot with the new layout but nothing resident there.
@@ -491,7 +525,7 @@ mod tests {
         verify_matches_snapshot(&r.kernel, r.pid, &r.snapshot).unwrap();
         // The pages are genuinely non-resident again.
         let present = r.kernel.process(r.pid).unwrap().mem.present_pages();
-        assert_eq!(present, r.snapshot.present_pages() + 0);
+        assert_eq!(present, r.snapshot.present_pages());
     }
 
     #[test]
@@ -502,7 +536,12 @@ mod tests {
         r.kernel
             .run_charged(r.pid, |p, frames| {
                 p.mem
-                    .touch(stack.start, Touch::WriteWord(0x5EC2E7), Taint::One(RequestId(2)), frames)
+                    .touch(
+                        stack.start,
+                        Touch::WriteWord(0x5EC2E7),
+                        Taint::One(RequestId(2)),
+                        frames,
+                    )
                     .unwrap();
             })
             .unwrap();
@@ -510,7 +549,10 @@ mod tests {
         assert_eq!(report.stack_zeroed, 1);
         verify_matches_snapshot(&r.kernel, r.pid, &r.snapshot).unwrap();
         let proc = r.kernel.process(r.pid).unwrap();
-        assert!(proc.mem.tainted_pages(RequestId(2), r.kernel.frames()).is_empty());
+        assert!(proc
+            .mem
+            .tainted_pages(RequestId(2), r.kernel.frames())
+            .is_empty());
     }
 
     #[test]
@@ -522,7 +564,10 @@ mod tests {
         // UFFD cannot see newly-paged pages, but contents must match for
         // everything it can see.
         let proc = r.kernel.process(r.pid).unwrap();
-        assert!(proc.mem.tainted_pages(RequestId(5), r.kernel.frames()).is_empty());
+        assert!(proc
+            .mem
+            .tainted_pages(RequestId(5), r.kernel.frames())
+            .is_empty());
     }
 
     #[test]

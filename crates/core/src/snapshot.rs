@@ -209,7 +209,13 @@ impl Snapshotter {
         s.detach()?;
 
         let duration = sw.lap();
-        let snapshot = Snapshot { taken_at: kernel.clock.now(), regs, vmas, brk, pages };
+        let snapshot = Snapshot {
+            taken_at: kernel.clock.now(),
+            regs,
+            vmas,
+            brk,
+            pages,
+        };
         let report = SnapshotReport {
             duration,
             present_pages,
@@ -235,7 +241,9 @@ mod tests {
         k.run_charged(pid, |p, frames| {
             let r = p.mem.mmap(pages, Perms::RW, VmaKind::Anon).unwrap();
             for vpn in r.iter() {
-                p.mem.touch(vpn, Touch::WriteWord(0xFEED), Taint::Clean, frames).unwrap();
+                p.mem
+                    .touch(vpn, Touch::WriteWord(0xFEED), Taint::Clean, frames)
+                    .unwrap();
             }
         })
         .unwrap();
@@ -254,7 +262,10 @@ mod tests {
         assert_eq!(snap.vmas.len(), report.vmas);
         // Contents captured.
         let (vpn, _) = k.process(pid).unwrap().mem.pagemap().next().unwrap();
-        assert_eq!(snap.page_data(vpn, k.frames()).unwrap().read_word(1), 0xFEED);
+        assert_eq!(
+            snap.page_data(vpn, k.frames()).unwrap().read_word(1),
+            0xFEED
+        );
         assert!(snap.has_page(vpn));
         // Tracking armed: no page is soft-dirty anymore.
         assert!(k.process(pid).unwrap().mem.soft_dirty_pages().is_empty());
@@ -282,10 +293,15 @@ mod tests {
         let (vpn, _) = k.process(pid).unwrap().mem.pagemap().next().unwrap();
         // Mutate the live process: the snapshot must be unaffected.
         k.run_charged(pid, |p, frames| {
-            p.mem.touch(vpn, Touch::WriteWord(0xBAD), Taint::Clean, frames).unwrap();
+            p.mem
+                .touch(vpn, Touch::WriteWord(0xBAD), Taint::Clean, frames)
+                .unwrap();
         })
         .unwrap();
-        assert_eq!(snap.page_data(vpn, k.frames()).unwrap().read_word(1), 0xFEED);
+        assert_eq!(
+            snap.page_data(vpn, k.frames()).unwrap().read_word(1),
+            0xFEED
+        );
     }
 
     #[test]
@@ -303,6 +319,9 @@ mod tests {
         let (snap, _) = Snapshotter::take(&mut k, pid, tracker.as_mut()).unwrap();
         let stacks = snap.stack_ranges();
         assert_eq!(stacks.len(), 1);
-        assert_eq!(stacks[0].len(), k.process(pid).unwrap().mem.config().stack_pages);
+        assert_eq!(
+            stacks[0].len(),
+            k.process(pid).unwrap().mem.config().stack_pages
+        );
     }
 }

@@ -64,10 +64,17 @@ impl MemoryTracker for SoftDirtyTracker {
     fn collect(&mut self, s: &mut PtraceSession<'_>) -> Result<DirtyReport, GhError> {
         let t0 = s.kernel().clock.now();
         let entries = s.pagemap_scan()?;
-        let dirty: Vec<Vpn> =
-            entries.iter().filter(|e| e.soft_dirty).map(|e| e.vpn).collect();
+        let dirty: Vec<Vpn> = entries
+            .iter()
+            .filter(|e| e.soft_dirty)
+            .map(|e| e.vpn)
+            .collect();
         let cost = s.kernel().clock.now() - t0;
-        Ok(DirtyReport { dirty, present: Some(entries), cost })
+        Ok(DirtyReport {
+            dirty,
+            present: Some(entries),
+            cost,
+        })
     }
 }
 
@@ -93,7 +100,11 @@ impl MemoryTracker for UffdTracker {
         dirty.sort_unstable_by_key(|v| v.0);
         dirty.dedup();
         let cost = s.kernel().clock.now() - t0;
-        Ok(DirtyReport { dirty, present: None, cost })
+        Ok(DirtyReport {
+            dirty,
+            present: None,
+            cost,
+        })
     }
 }
 
@@ -110,7 +121,9 @@ mod tests {
         k.run_charged(pid, |p, frames| {
             let r = p.mem.mmap(16, Perms::RW, VmaKind::Anon).unwrap();
             for vpn in r.iter() {
-                p.mem.touch(vpn, Touch::WriteWord(1), Taint::Clean, frames).unwrap();
+                p.mem
+                    .touch(vpn, Touch::WriteWord(1), Taint::Clean, frames)
+                    .unwrap();
                 vpns.push(vpn);
             }
         })
@@ -121,7 +134,9 @@ mod tests {
     fn write_pages(k: &mut Kernel, pid: Pid, pages: &[Vpn]) {
         k.run_charged(pid, |p, frames| {
             for &vpn in pages {
-                p.mem.touch(vpn, Touch::WriteWord(2), Taint::Clean, frames).unwrap();
+                p.mem
+                    .touch(vpn, Touch::WriteWord(2), Taint::Clean, frames)
+                    .unwrap();
             }
         })
         .unwrap();
@@ -209,14 +224,13 @@ mod tests {
     fn rearming_resets_state() {
         let (mut k, pid, vpns) = machine();
         let mut tracker = make_tracker(TrackerKind::SoftDirty);
-        for round in 0..3 {
+        for (round, &page) in vpns.iter().enumerate().take(3) {
             {
                 let mut s = PtraceSession::attach(&mut k, pid).unwrap();
                 s.interrupt_all().unwrap();
                 tracker.arm(&mut s).unwrap();
                 s.detach().unwrap();
             }
-            let page = vpns[round];
             write_pages(&mut k, pid, &[page]);
             let mut s = PtraceSession::attach(&mut k, pid).unwrap();
             s.interrupt_all().unwrap();

@@ -16,13 +16,18 @@ fn rig(cow: bool) -> (Kernel, Manager, Vpn) {
         .run_charged(pid, |p, frames| {
             let r = p.mem.mmap(PAGES, Perms::RW, VmaKind::Anon).unwrap();
             for vpn in r.iter() {
-                p.mem.touch(vpn, Touch::WriteWord(0xC0C0), Taint::Clean, frames).unwrap();
+                p.mem
+                    .touch(vpn, Touch::WriteWord(0xC0C0), Taint::Clean, frames)
+                    .unwrap();
             }
             r.start
         })
         .unwrap()
         .0;
-    let cfg = GroundhogConfig { cow_snapshot: cow, ..GroundhogConfig::gh() };
+    let cfg = GroundhogConfig {
+        cow_snapshot: cow,
+        ..GroundhogConfig::gh()
+    };
     let mut mgr = Manager::new(pid, cfg);
     mgr.snapshot_now(&mut kernel).unwrap();
     (kernel, mgr, start)
@@ -79,7 +84,10 @@ fn cow_snapshot_restores_bit_exactly() {
         verify_matches_snapshot(&kernel, mgr.pid(), &snapshot)
             .unwrap_or_else(|e| panic!("request {req}: {e}"));
         let proc = kernel.process(mgr.pid()).unwrap();
-        assert!(proc.mem.tainted_pages(RequestId(req), kernel.frames()).is_empty());
+        assert!(proc
+            .mem
+            .tainted_pages(RequestId(req), kernel.frames())
+            .is_empty());
     }
 }
 

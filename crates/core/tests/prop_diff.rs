@@ -1,10 +1,14 @@
-//! Property test: the layout differ's plan is a fixpoint operator.
+//! Randomized test: the layout differ's plan is a fixpoint operator.
 //!
 //! For any snapshot layout and any sequence of layout-churning syscalls,
 //! injecting the diff's plan must bring the layout back to (an
 //! equivalent of) the snapshot layout — and re-diffing must be empty.
+//!
+//! Cases are generated with the workspace's own seeded [`DetRng`]
+//! (crates.io is unavailable in the build environment, so `proptest`
+//! cannot be used); every run replays the identical case set.
 
-use proptest::prelude::*;
+use gh_sim::DetRng;
 
 use gh_mem::{PageRange, Perms, Vpn};
 use gh_proc::{Kernel, Pid, PtraceSession};
@@ -19,14 +23,14 @@ enum Churn {
     BrkShrink(u64),
 }
 
-fn churn_strategy() -> impl Strategy<Value = Churn> {
-    prop_oneof![
-        (1u64..24).prop_map(Churn::Mmap),
-        (0u64..64, 1u64..8).prop_map(|(o, l)| Churn::MunmapAt(o, l)),
-        (0u64..64, 1u64..6).prop_map(|(o, l)| Churn::MprotectRo(o, l)),
-        (1u64..32).prop_map(Churn::BrkGrow),
-        (1u64..32).prop_map(Churn::BrkShrink),
-    ]
+fn random_churn(rng: &mut DetRng) -> Churn {
+    match rng.next_below(5) {
+        0 => Churn::Mmap(1 + rng.next_below(23)),
+        1 => Churn::MunmapAt(rng.next_below(64), 1 + rng.next_below(7)),
+        2 => Churn::MprotectRo(rng.next_below(64), 1 + rng.next_below(5)),
+        3 => Churn::BrkGrow(1 + rng.next_below(31)),
+        _ => Churn::BrkShrink(1 + rng.next_below(31)),
+    }
 }
 
 fn build_process(region_lens: &[u64]) -> (Kernel, Pid, Vec<PageRange>) {
@@ -45,57 +49,62 @@ fn build_process(region_lens: &[u64]) -> (Kernel, Pid, Vec<PageRange>) {
     (kernel, pid, regions)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn plan_restores_any_churned_layout() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0xD1FF ^ case);
+        let region_lens: Vec<u64> = (0..1 + rng.next_below(5))
+            .map(|_| 2 + rng.next_below(30))
+            .collect();
+        let churn: Vec<Churn> = (0..rng.next_below(24))
+            .map(|_| random_churn(&mut rng))
+            .collect();
 
-    #[test]
-    fn plan_restores_any_churned_layout(
-        region_lens in prop::collection::vec(2u64..32, 1..6),
-        churn in prop::collection::vec(churn_strategy(), 0..24),
-    ) {
         let (mut kernel, pid, regions) = build_process(&region_lens);
         let heap_base = kernel.process(pid).unwrap().mem.config().heap_base;
         let snap_vmas = kernel.process(pid).unwrap().mem.maps();
         let snap_brk = kernel.process(pid).unwrap().mem.brk();
 
         // Churn the layout arbitrarily (function-side syscalls).
-        kernel.run_charged(pid, |p, frames| {
-            for c in &churn {
-                match c {
-                    Churn::Mmap(len) => {
-                        let _ = p.mem.mmap(*len, Perms::RW, gh_mem::VmaKind::Anon);
-                    }
-                    Churn::MunmapAt(off, len) => {
-                        if let Some(r) = regions.first() {
-                            let start = Vpn(r.start.0 + off % r.len());
-                            let _ = p.mem.munmap(PageRange::at(start, *len), frames);
+        kernel
+            .run_charged(pid, |p, frames| {
+                for c in &churn {
+                    match c {
+                        Churn::Mmap(len) => {
+                            let _ = p.mem.mmap(*len, Perms::RW, gh_mem::VmaKind::Anon);
                         }
-                    }
-                    Churn::MprotectRo(off, len) => {
-                        if let Some(r) = regions.last() {
-                            let start = Vpn(r.start.0 + off % r.len());
-                            let _ = p.mem.mprotect(PageRange::at(start, *len), Perms::R);
+                        Churn::MunmapAt(off, len) => {
+                            if let Some(r) = regions.first() {
+                                let start = Vpn(r.start.0 + off % r.len());
+                                let _ = p.mem.munmap(PageRange::at(start, *len), frames);
+                            }
                         }
-                    }
-                    Churn::BrkGrow(d) => {
-                        let cur = p.mem.brk();
-                        let _ = p.mem.set_brk(Vpn(cur.0 + d), frames);
-                    }
-                    Churn::BrkShrink(d) => {
-                        let cur = p.mem.brk();
-                        let new = cur.0.saturating_sub(*d).max(heap_base.0);
-                        let _ = p.mem.set_brk(Vpn(new), frames);
+                        Churn::MprotectRo(off, len) => {
+                            if let Some(r) = regions.last() {
+                                let start = Vpn(r.start.0 + off % r.len());
+                                let _ = p.mem.mprotect(PageRange::at(start, *len), Perms::R);
+                            }
+                        }
+                        Churn::BrkGrow(d) => {
+                            let cur = p.mem.brk();
+                            let _ = p.mem.set_brk(Vpn(cur.0 + d), frames);
+                        }
+                        Churn::BrkShrink(d) => {
+                            let cur = p.mem.brk();
+                            let new = cur.0.saturating_sub(*d).max(heap_base.0);
+                            let _ = p.mem.set_brk(Vpn(new), frames);
+                        }
                     }
                 }
-            }
-        }).unwrap();
+            })
+            .unwrap();
 
         // Diff and inject the plan, exactly as the restorer does.
         let cur_vmas = kernel.process(pid).unwrap().mem.maps();
         let cur_brk = kernel.process(pid).unwrap().mem.brk();
         let diff = LayoutDiff::compute(&snap_vmas, snap_brk, &cur_vmas, cur_brk);
         let plan = diff.plan();
-        prop_assert_eq!(plan.len(), diff.syscall_count());
+        assert_eq!(plan.len(), diff.syscall_count(), "case {case}");
         {
             let mut s = PtraceSession::attach(&mut kernel, pid).unwrap();
             s.interrupt_all().unwrap();
@@ -110,6 +119,6 @@ proptest! {
         let proc = kernel.process(pid).unwrap();
         proc.mem.check_invariants().unwrap();
         let re = LayoutDiff::compute(&snap_vmas, snap_brk, &proc.mem.maps(), proc.mem.brk());
-        prop_assert!(re.is_empty(), "re-diff not empty: {re:?}");
+        assert!(re.is_empty(), "case {case}: re-diff not empty: {re:?}");
     }
 }

@@ -1,11 +1,15 @@
-//! Property test: Groundhog's central correctness claim.
+//! Randomized test: Groundhog's central correctness claim.
 //!
 //! For *any* activation behaviour — arbitrary interleavings of page
 //! writes, reads, mmaps, munmaps, brk moves and madvise — restoring
 //! returns the process to a state bit-identical to the snapshot
 //! (memory contents, layout, registers), with zero surviving taint.
+//!
+//! Cases are generated with the workspace's own seeded [`DetRng`]
+//! (crates.io is unavailable in the build environment, so `proptest`
+//! cannot be used); every run replays the identical case set.
 
-use proptest::prelude::*;
+use gh_sim::DetRng;
 
 use gh_mem::{PageRange, Perms, RequestId, Taint, Touch, VmaKind, Vpn};
 use gh_proc::Kernel;
@@ -23,19 +27,31 @@ enum Act {
     ScrambleRegs(u64),
 }
 
-fn act_strategy() -> impl Strategy<Value = Act> {
-    prop_oneof![
-        (0u64..64, any::<u64>()).prop_map(|(o, v)| Act::Write(o, v)),
-        (0u64..64).prop_map(Act::Read),
-        (1u64..16).prop_map(Act::Mmap),
-        (0u64..64, 1u64..4).prop_map(|(o, l)| Act::MunmapChunk(o, l)),
-        (-8i64..32).prop_map(Act::Brk),
-        (0u64..64, 1u64..4).prop_map(|(o, l)| Act::Madvise(o, l)),
-        any::<u64>().prop_map(Act::ScrambleRegs),
-    ]
+/// The full behaviour alphabet (sound for the soft-dirty tracker).
+fn random_act(rng: &mut DetRng) -> Act {
+    match rng.next_below(7) {
+        0 => Act::Write(rng.next_below(64), rng.next_u64()),
+        1 => Act::Read(rng.next_below(64)),
+        2 => Act::Mmap(1 + rng.next_below(15)),
+        3 => Act::MunmapChunk(rng.next_below(64), 1 + rng.next_below(3)),
+        4 => Act::Brk(rng.next_below(40) as i64 - 8),
+        5 => Act::Madvise(rng.next_below(64), 1 + rng.next_below(3)),
+        _ => Act::ScrambleRegs(rng.next_u64()),
+    }
 }
 
-fn run_case(tracker: TrackerKind, acts: Vec<Act>, rounds: usize) {
+/// UFFD cannot observe newly-paged pages, so restrict to the workloads
+/// it is sound for: writes, reads of resident pages, register scrambles
+/// (§4.3 prototyped it for exactly this).
+fn random_act_uffd(rng: &mut DetRng) -> Act {
+    match rng.next_below(3) {
+        0 => Act::Write(rng.next_below(64), rng.next_u64()),
+        1 => Act::Read(rng.next_below(64)),
+        _ => Act::ScrambleRegs(rng.next_u64()),
+    }
+}
+
+fn run_case(tracker: TrackerKind, acts: Vec<Act>, rounds: usize, case: u64) {
     let mut kernel = Kernel::boot();
     let pid = kernel.spawn("fuzz");
     // Build a small image: one anon region + a little heap.
@@ -45,13 +61,18 @@ fn run_case(tracker: TrackerKind, acts: Vec<Act>, rounds: usize) {
             let r = p.mem.mmap(64, Perms::RW, VmaKind::Anon).unwrap();
             p.mem.set_brk(Vpn(heap_base.0 + 16), frames).unwrap();
             for vpn in r.iter() {
-                p.mem.touch(vpn, Touch::WriteWord(0xC1EA4), Taint::Clean, frames).unwrap();
+                p.mem
+                    .touch(vpn, Touch::WriteWord(0xC1EA4), Taint::Clean, frames)
+                    .unwrap();
             }
             r
         })
         .unwrap()
         .0;
-    let cfg = GroundhogConfig { tracker, ..GroundhogConfig::gh() };
+    let cfg = GroundhogConfig {
+        tracker,
+        ..GroundhogConfig::gh()
+    };
     let mut mgr = Manager::new(pid, cfg);
     mgr.snapshot_now(&mut kernel).unwrap();
     let snapshot = mgr.snapshot().unwrap().clone();
@@ -90,10 +111,9 @@ fn run_case(tracker: TrackerKind, acts: Vec<Act>, rounds: usize) {
                             }
                         }
                         Act::MunmapChunk(off, len) => {
-                            let _ = p.mem.munmap(
-                                PageRange::at(Vpn(region.start.0 + off), *len),
-                                frames,
-                            );
+                            let _ = p
+                                .mem
+                                .munmap(PageRange::at(Vpn(region.start.0 + off), *len), frames);
                         }
                         Act::Brk(delta) => {
                             let cur = p.mem.brk().0 as i64;
@@ -117,41 +137,35 @@ fn run_case(tracker: TrackerKind, acts: Vec<Act>, rounds: usize) {
 
         // The restored process must match the snapshot bit-exactly...
         verify_matches_snapshot(&kernel, pid, &snapshot)
-            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+            .unwrap_or_else(|e| panic!("case {case} round {round}: {e}"));
         // ...and carry no trace of the request.
         let proc = kernel.process(pid).unwrap();
         assert!(
             proc.mem.tainted_pages(req, kernel.frames()).is_empty(),
-            "round {round}: tainted pages survive"
+            "case {case} round {round}: tainted pages survive"
         );
         assert!(!proc.main_thread().regs.taint.may_contain(req));
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn restore_reverts_arbitrary_behaviour_softdirty(
-        acts in prop::collection::vec(act_strategy(), 1..40),
-    ) {
-        run_case(TrackerKind::SoftDirty, acts, 2);
+#[test]
+fn restore_reverts_arbitrary_behaviour_softdirty() {
+    for case in 0..48u64 {
+        let mut rng = DetRng::new(0x5EED5D ^ case);
+        let acts: Vec<Act> = (0..1 + rng.next_below(39))
+            .map(|_| random_act(&mut rng))
+            .collect();
+        run_case(TrackerKind::SoftDirty, acts, 2, case);
     }
+}
 
-    #[test]
-    fn restore_reverts_write_read_behaviour_uffd(
-        // UFFD cannot observe newly-paged pages, so restrict to the
-        // workloads it is sound for: writes, reads of resident pages,
-        // register scrambles (§4.3 prototyped it for exactly this).
-        acts in prop::collection::vec(
-            prop_oneof![
-                (0u64..64, any::<u64>()).prop_map(|(o, v)| Act::Write(o, v)),
-                (0u64..64).prop_map(Act::Read),
-                any::<u64>().prop_map(Act::ScrambleRegs),
-            ],
-            1..40,
-        ),
-    ) {
-        run_case(TrackerKind::Uffd, acts, 2);
+#[test]
+fn restore_reverts_write_read_behaviour_uffd() {
+    for case in 0..48u64 {
+        let mut rng = DetRng::new(0x5EED0F ^ case);
+        let acts: Vec<Act> = (0..1 + rng.next_below(39))
+            .map(|_| random_act_uffd(&mut rng))
+            .collect();
+        run_case(TrackerKind::Uffd, acts, 2, case);
     }
 }

@@ -1,0 +1,231 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, vendored so the workspace builds and benches run without
+//! network access to crates.io.
+//!
+//! It implements the subset of the criterion 0.5 API this workspace's
+//! benches use — `criterion_group!` / `criterion_main!`, benchmark
+//! groups, `bench_with_input`, `Bencher::iter` / `iter_with_setup` —
+//! with simple wall-clock timing (median of `sample_size` samples).
+//! Swap the path dependency for the real crate to get criterion's full
+//! statistics, HTML reports and regression detection.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_samples(10, &mut f);
+        println!("{:<40} {}", id.into(), report);
+        self
+    }
+}
+
+/// A named benchmark identifier (`criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId {
+            label: p.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<P: Display>(name: impl Into<String>, p: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), p),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let report = run_samples(self.sample_size, &mut |b| f(b, input));
+        println!("{:<28} {:<24} {}", self.name, id.label, report);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_samples(self.sample_size, &mut f);
+        println!("{:<28} {:<24} {}", self.name, id.into(), report);
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing left to do).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timing samples for one benchmark closure.
+fn run_samples<F: FnMut(&mut Bencher)>(samples: usize, f: &mut F) -> String {
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            per_iter.push(b.elapsed / b.iters as u32);
+        }
+    }
+    if per_iter.is_empty() {
+        return "no samples".to_string();
+    }
+    per_iter.sort();
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    format!("median {median:>10.2?}   [min {min:.2?}, max {max:.2?}]   ({samples} samples)")
+}
+
+/// The per-sample measurement context (`criterion::Bencher`).
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+/// Iterations per timing sample. The real criterion calibrates this;
+/// the shim uses a fixed small count since the simulated operations it
+/// times are macroscopic (µs–ms each).
+const ITERS_PER_SAMPLE: u64 = 3;
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let t0 = Instant::now();
+        for _ in 0..ITERS_PER_SAMPLE {
+            black_box(routine());
+        }
+        self.elapsed += t0.elapsed();
+        self.iters += ITERS_PER_SAMPLE;
+    }
+
+    /// Times `routine` on fresh inputs built (untimed) by `setup`.
+    pub fn iter_with_setup<I, R, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..ITERS_PER_SAMPLE {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a benchmark group runner, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(b.iters, ITERS_PER_SAMPLE);
+        assert_eq!(n, ITERS_PER_SAMPLE);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("shim-test");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+                b.iter(|| x * 2);
+                ran += 1;
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+        assert_eq!(BenchmarkId::new("f", "x").to_string(), "f/x");
+    }
+}

@@ -62,8 +62,11 @@ pub fn closed_loop_latency(
     n: usize,
     seed: u64,
 ) -> Result<LatencyRun, StrategyError> {
-    let mut platform =
-        Platform::new(PlatformConfig { gh, seed, ..PlatformConfig::default() });
+    let mut platform = Platform::new(PlatformConfig {
+        gh,
+        seed,
+        ..PlatformConfig::default()
+    });
     let id = platform.deploy(spec, kind)?;
     let mut run = LatencyRun::default();
     let principals = ["alice", "bob", "carol"];
@@ -77,7 +80,10 @@ pub fn closed_loop_latency(
         // Low-load pacing: idle long enough that restoration (already
         // charged to the container's clock inside invoke) never delays
         // the next request.
-        platform.container_mut(id).kernel.charge(Nanos::from_millis(2));
+        platform
+            .container_mut(id)
+            .kernel
+            .charge(Nanos::from_millis(2));
     }
     Ok(run)
 }
@@ -103,8 +109,7 @@ pub fn saturate(
         // Invoker dispatch overhead at saturation (queueing, scheduling,
         // payload handling) — identical across strategies, calibrated
         // from the paper's BASE throughput.
-        let overhead =
-            Nanos::from_millis_f64(sat_overhead_ms).scale(rng.lognormal_factor(0.1));
+        let overhead = Nanos::from_millis_f64(sat_overhead_ms).scale(rng.lognormal_factor(0.1));
         container.kernel.charge(overhead);
         let req = Request::new(i as u64 + 1, "client", spec.input_kb);
         container.invoke(&req)?;
@@ -198,8 +203,7 @@ mod tests {
     fn saturated_throughput_close_to_paper_baseline() {
         // atax(c): Table 3 baseline throughput 93.55 r/s at 4 cores.
         let spec = by_name("atax (c)").unwrap();
-        let x = peak_throughput(&spec, StrategyKind::Base, GroundhogConfig::gh(), 40, 5)
-            .unwrap();
+        let x = peak_throughput(&spec, StrategyKind::Base, GroundhogConfig::gh(), 40, 5).unwrap();
         assert!(
             (70.0..120.0).contains(&x),
             "atax base throughput {x:.1} vs paper 93.6"

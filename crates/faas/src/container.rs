@@ -6,11 +6,11 @@
 
 use gh_functions::behavior::{ExecReport, Executor, RequestCtx};
 use gh_functions::FunctionSpec;
+use gh_isolation::{PostReport, PrepareReport, Strategy, StrategyError, StrategyKind};
 use gh_proc::Kernel;
 use gh_runtime::{FunctionProcess, RuntimeProfile};
 use gh_sim::{DetRng, Nanos};
 use groundhog_core::GroundhogConfig;
-use gh_isolation::{PostReport, PrepareReport, Strategy, StrategyError, StrategyKind};
 
 use crate::proxy;
 use crate::request::{Request, Response};
@@ -28,6 +28,10 @@ pub struct InvokeOutcome {
     pub invoker_latency: Nanos,
     /// Off-critical-path work after the response (restore/teardown).
     pub off_path: Nanos,
+    /// Virtual time at which the container is provably clean again and
+    /// may admit the next request (`response.completed_at + off_path`) —
+    /// the restore-completion readiness event a fleet scheduler routes on.
+    pub ready_at: Nanos,
     /// Execution detail.
     pub exec: ExecReport,
 }
@@ -130,16 +134,14 @@ impl Container {
         // Interposition: the manager proxies the payload in (and the
         // response out); charged on the critical path.
         let payload = req.input_kb + self.spec.output_kb;
-        let proxy_cost = proxy::interposition_cost(
-            &self.kernel.cost,
-            self.kind(),
-            self.spec.runtime,
-            payload,
-        );
+        let proxy_cost =
+            proxy::interposition_cost(&self.kernel.cost, self.kind(), self.spec.runtime, payload);
         self.kernel.charge(proxy_cost);
 
         // Admission (buffers until clean; forks for FORK).
-        let target = self.strategy.admit(&mut self.kernel, &self.fproc, &req.principal)?;
+        let target = self
+            .strategy
+            .admit(&mut self.kernel, &self.fproc, &req.principal)?;
 
         // Execute with the strategy's compute scaling (wasm vs native).
         let scale = self.strategy.compute_scale();
@@ -171,8 +173,27 @@ impl Container {
             response,
             invoker_latency: t_response - t_arrival,
             off_path: post.off_path,
+            ready_at: self.kernel.clock.now(),
             exec,
         })
+    }
+
+    /// True when the container may admit the next request without
+    /// violating isolation (§4.5's gate, surfaced for fleet routing).
+    /// Note: in §4.4's deferred-restore mode this includes the
+    /// `NeedsRestore` state, where the process still holds the previous
+    /// principal's data — admission is safe because the manager rolls
+    /// back (or skips, same principal) *before* the request reaches the
+    /// process. Use [`Container::admits_without_restore`] to ask the
+    /// stronger question "is it clean for this principal right now".
+    pub fn is_ready(&self) -> bool {
+        self.strategy.is_ready()
+    }
+
+    /// True when admitting `principal` now would not charge a restore to
+    /// the request's critical path (surfaced for restore-aware routing).
+    pub fn admits_without_restore(&self, principal: &str) -> bool {
+        self.strategy.admits_without_restore(principal)
     }
 
     /// Executes with the compute lump scaled (Faasm's wasm slowdown /
@@ -240,18 +261,29 @@ mod tests {
         assert!(out.off_path > Nanos::ZERO);
         // And the process is clean afterwards.
         let proc = c.kernel.process(c.fproc.pid).unwrap();
-        assert!(proc.mem.tainted_pages(RequestId(1), c.kernel.frames()).is_empty());
+        assert!(proc
+            .mem
+            .tainted_pages(RequestId(1), c.kernel.frames())
+            .is_empty());
     }
 
     #[test]
     fn sequential_requests_are_isolated_under_gh() {
         let mut c = start("telco (p)", StrategyKind::Gh);
         for i in 1..=4 {
-            c.invoke(&Request::new(i, if i % 2 == 0 { "bob" } else { "alice" }, 1)).unwrap();
+            c.invoke(&Request::new(
+                i,
+                if i % 2 == 0 { "bob" } else { "alice" },
+                1,
+            ))
+            .unwrap();
         }
         let proc = c.kernel.process(c.fproc.pid).unwrap();
         for i in 1..=4 {
-            assert!(proc.mem.tainted_pages(RequestId(i), c.kernel.frames()).is_empty());
+            assert!(proc
+                .mem
+                .tainted_pages(RequestId(i), c.kernel.frames())
+                .is_empty());
         }
         assert_eq!(c.stats.requests, 4);
     }
@@ -262,9 +294,15 @@ mod tests {
         let mut gh = start("telco (p)", StrategyKind::Gh);
         let b = base.invoke(&Request::new(1, "alice", 1)).unwrap();
         let g = gh.invoke(&Request::new(1, "alice", 1)).unwrap();
-        assert!(g.invoker_latency >= b.invoker_latency, "GH pays tracking + proxy");
+        assert!(
+            g.invoker_latency >= b.invoker_latency,
+            "GH pays tracking + proxy"
+        );
         let proc = base.kernel.process(base.fproc.pid).unwrap();
-        assert!(!proc.mem.tainted_pages(RequestId(1), base.kernel.frames()).is_empty());
+        assert!(!proc
+            .mem
+            .tainted_pages(RequestId(1), base.kernel.frames())
+            .is_empty());
     }
 
     #[test]
@@ -274,8 +312,9 @@ mod tests {
         assert!(out.response.ok);
         assert!(out.off_path > Nanos::ZERO, "child teardown is off-path");
         let spec = by_name("get-time (n)").unwrap();
-        assert!(Container::cold_start(&spec, StrategyKind::Fork, GroundhogConfig::gh(), 1)
-            .is_err());
+        assert!(
+            Container::cold_start(&spec, StrategyKind::Fork, GroundhogConfig::gh(), 1).is_err()
+        );
     }
 
     #[test]
@@ -284,6 +323,9 @@ mod tests {
         let out = f.invoke(&Request::new(1, "a", 1)).unwrap();
         let ms = out.invoker_latency.as_millis_f64();
         // Table 1: pyaes faasm invoker ≈ 8559ms vs base 4672ms.
-        assert!(ms > 7000.0, "wasm pyaes should be ~1.8x native, got {ms:.0}ms");
+        assert!(
+            ms > 7000.0,
+            "wasm pyaes should be ~1.8x native, got {ms:.0}ms"
+        );
     }
 }

@@ -1,0 +1,550 @@
+//! The fleet scheduler: an event-driven pool of containers behind a
+//! router.
+//!
+//! §4's claim — "Groundhog restores state *between* activations … and
+//! therefore does not contribute to a function's activation latency
+//! under low to medium server load" — is a statement about a *fleet*,
+//! not a single container: once one container is restoring, the pool
+//! still has clean capacity, so a scheduler that knows when restores
+//! complete can keep them off every request's critical path even near
+//! saturation (the §5.3 throughput and §5.3.4 core-scaling settings).
+//!
+//! This module drives N containers, each on its own virtual timeline,
+//! through one global [`gh_sim::event::EventQueue`]:
+//!
+//! - [`pool::Pool`] / [`pool::Slot`] — containers plus scheduling state
+//!   (admission queue, response/readiness times, restore-overlap
+//!   accounting);
+//! - [`router::Router`] — Poisson arrivals are assigned per-container by
+//!   a pluggable [`router::RoutePolicy`] (round-robin, least-loaded, and
+//!   the Groundhog-specific restore-aware policy that routes on the
+//!   containers' readiness events);
+//! - [`queue::AdmissionQueue`] — requests buffered until the container
+//!   is provably clean (§4.5), with queue-depth percentile tracking;
+//! - [`autoscaler::Autoscaler`] — optional queue-depth-driven growth and
+//!   idle retirement.
+//!
+//! A pool of one with the round-robin policy reproduces the single
+//! container open-loop semantics exactly (see [`crate::openloop`]).
+
+pub mod autoscaler;
+pub mod pool;
+pub mod queue;
+pub mod router;
+
+use gh_functions::FunctionSpec;
+use gh_isolation::{StrategyError, StrategyKind};
+use gh_sim::event::EventQueue;
+use gh_sim::stats::{percentile, throughput_rps};
+use gh_sim::{DetRng, Nanos};
+use groundhog_core::GroundhogConfig;
+
+pub use autoscaler::{AutoscaleConfig, Autoscaler, ScaleAction};
+pub use pool::{Pool, Slot};
+pub use queue::{AdmissionQueue, DepthTracker, Pending};
+pub use router::{RoutePolicy, Router};
+
+/// Fleet-run configuration (the pool itself carries function, strategy
+/// and size).
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Routing policy.
+    pub policy: RoutePolicy,
+    /// Offered Poisson arrival rate, requests/second.
+    pub offered_rps: f64,
+    /// Seed of the arrival process (containers seed separately, at pool
+    /// construction).
+    pub seed: u64,
+    /// Distinct principals issuing requests, drawn uniformly. `1` (the
+    /// default) sends everything as the single principal `"client"`;
+    /// larger values exercise §4.4's per-principal restore decisions.
+    pub principals: usize,
+    /// Optional autoscaling.
+    pub autoscale: Option<AutoscaleConfig>,
+}
+
+impl FleetConfig {
+    /// A fixed-size fleet at `offered_rps` under `policy`.
+    pub fn fixed(policy: RoutePolicy, offered_rps: f64, seed: u64) -> FleetConfig {
+        FleetConfig {
+            policy,
+            offered_rps,
+            seed,
+            principals: 1,
+            autoscale: None,
+        }
+    }
+
+    /// Same, with traffic drawn from `principals` distinct callers.
+    pub fn with_principals(mut self, principals: usize) -> FleetConfig {
+        assert!(principals > 0, "need at least one principal");
+        self.principals = principals;
+        self
+    }
+}
+
+/// Per-container load figures reported after a run.
+#[derive(Clone, Copy, Debug)]
+pub struct ContainerLoad {
+    /// Requests this container served.
+    pub served: u64,
+    /// Busy time / active span.
+    pub utilization: f64,
+    /// Total off-critical-path restore time, ms.
+    pub restore_ms: f64,
+    /// Restore time that hid in idle gaps (never delayed a request), ms.
+    pub restore_hidden_ms: f64,
+    /// Whether the autoscaler retired this container.
+    pub retired: bool,
+}
+
+/// Fleet-level statistics for one run.
+#[derive(Clone, Debug)]
+pub struct FleetStats {
+    /// Slots in the pool at the end of the run (including retired).
+    pub pool_size: usize,
+    /// Non-retired slots at the end of the run.
+    pub active: usize,
+    /// Containers the autoscaler spawned.
+    pub spawned: usize,
+    /// Containers the autoscaler retired.
+    pub retired: usize,
+    /// Per-container breakdown.
+    pub per_container: Vec<ContainerLoad>,
+    /// Mean aggregate queue depth over scheduling events.
+    pub queue_mean: f64,
+    /// Median aggregate queue depth.
+    pub queue_p50: f64,
+    /// 95th-percentile aggregate queue depth.
+    pub queue_p95: f64,
+    /// 99th-percentile aggregate queue depth.
+    pub queue_p99: f64,
+    /// Total restore time charged across the fleet, ms.
+    pub restore_total_ms: f64,
+    /// Fraction of restore time that overlapped idle gaps (1.0 = every
+    /// restore fully hidden; 1.0 also when no restores ran).
+    pub restore_overlap_ratio: f64,
+}
+
+/// Outcome of one fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetResult {
+    /// Offered arrival rate (requests/second), fleet-wide.
+    pub offered_rps: f64,
+    /// Completed requests.
+    pub completed: usize,
+    /// Achieved goodput (completions per second of busy span).
+    pub goodput_rps: f64,
+    /// Mean sojourn time (arrival → response), ms. Queueing included.
+    pub mean_ms: f64,
+    /// 99th-percentile sojourn time, ms.
+    pub p99_ms: f64,
+    /// Mean per-container utilization.
+    pub utilization: f64,
+    /// Fleet-level detail.
+    pub stats: FleetStats,
+}
+
+/// Events on the fleet's global virtual timeline.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    /// A client request reaches the router.
+    Arrival,
+    /// A container's restore completed; it is provably clean.
+    Ready(usize),
+}
+
+/// The event-driven fleet driver. Owns routing and autoscaling state;
+/// borrows the pool per run so pools can be kept (e.g. by the platform)
+/// across runs.
+pub struct Fleet {
+    cfg: FleetConfig,
+    router: Router,
+    autoscaler: Option<Autoscaler>,
+}
+
+impl Fleet {
+    /// Creates a driver for `cfg`.
+    pub fn new(cfg: FleetConfig) -> Fleet {
+        assert!(cfg.offered_rps > 0.0, "offered load must be positive");
+        let router = Router::new(cfg.policy);
+        let autoscaler = cfg.autoscale.map(Autoscaler::new);
+        Fleet {
+            cfg,
+            router,
+            autoscaler,
+        }
+    }
+
+    /// Drives `requests` Poisson arrivals through `pool` and runs the
+    /// queues dry.
+    pub fn run(&mut self, pool: &mut Pool, requests: usize) -> Result<FleetResult, StrategyError> {
+        assert!(requests > 0, "need at least one request");
+        let input_kb = pool.spec.input_kb;
+        // The measurement span opens when the whole initial pool is warm
+        // (every container past Fig. 1 init + snapshot).
+        let t_start = pool
+            .slots
+            .iter()
+            .map(|s| s.ready_at)
+            .max()
+            .unwrap_or(Nanos::ZERO);
+        let offered_rps = self.cfg.offered_rps;
+        // Per-slot counter baselines: the result reports *this run's*
+        // deltas, so a pool reused across runs (Platform::run_fleet)
+        // never mixes one run's load figures into the next. Slots the
+        // autoscaler adds mid-run have implicit zero baselines.
+        let baseline: Vec<(Nanos, Nanos, Nanos, u64)> = pool
+            .slots
+            .iter()
+            .map(|s| (s.busy, s.restore_total, s.restore_hidden, s.served))
+            .collect();
+        // The router predicts the critical-path cost of routing a
+        // principal to a container that must roll back first (§4.4's
+        // deferred-restore mode) from the paper's measured restore time.
+        let restore_cost = Nanos::from_millis_f64(pool.spec.paper_restore_ms);
+        let mut arrival_rng = DetRng::new(self.cfg.seed ^ 0x09E4_100D);
+        // A separate stream: principal draws must not perturb the
+        // arrival process (single-principal runs stay bit-identical to
+        // the original open-loop harness).
+        let mut principal_rng = DetRng::new(self.cfg.seed ^ 0x7E4A_4175);
+        let mut events: EventQueue<Event> = EventQueue::new();
+        let mut next_arrival = t_start;
+        let gap = move |rng: &mut DetRng| {
+            let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+            Nanos::from_millis_f64(-u.ln() / offered_rps * 1e3)
+        };
+        next_arrival += gap(&mut arrival_rng);
+        events.schedule(next_arrival, Event::Arrival);
+        let mut generated = 1usize;
+        let mut next_id = 1u64;
+
+        let mut depth = DepthTracker::new();
+        let mut sojourns_ms = Vec::with_capacity(requests);
+        let mut completed = 0usize;
+
+        while let Some((now, ev)) = events.pop() {
+            match ev {
+                Event::Arrival => {
+                    let id = next_id;
+                    next_id += 1;
+                    let principal = if self.cfg.principals <= 1 {
+                        "client".to_string()
+                    } else {
+                        format!(
+                            "user-{}",
+                            principal_rng.next_below(self.cfg.principals as u64)
+                        )
+                    };
+                    let idx = self
+                        .router
+                        .route(now, &principal, restore_cost, &pool.slots);
+                    pool.slots[idx].queue.push(Pending {
+                        id,
+                        principal,
+                        input_kb,
+                        arrival: now,
+                    });
+                    depth.record(pool.queued());
+                    if generated < requests {
+                        next_arrival += gap(&mut arrival_rng);
+                        events.schedule(next_arrival, Event::Arrival);
+                        generated += 1;
+                    }
+                    if let Some(d) = pool.slots[idx].dispatch(now)? {
+                        sojourns_ms.push(d.sojourn.as_millis_f64());
+                        completed += 1;
+                        events.schedule(d.ready_at, Event::Ready(idx));
+                    }
+                    self.autoscale(now, pool, &mut events)?;
+                }
+                Event::Ready(idx) => {
+                    if let Some(d) = pool.slots[idx].dispatch(now)? {
+                        sojourns_ms.push(d.sojourn.as_millis_f64());
+                        completed += 1;
+                        events.schedule(d.ready_at, Event::Ready(idx));
+                    }
+                    depth.record(pool.queued());
+                }
+            }
+            if completed == requests && pool.queued() == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(completed, requests, "all arrivals must be served");
+
+        for s in &mut pool.slots {
+            s.settle();
+        }
+        let span_end = pool
+            .slots
+            .iter()
+            .map(|s| s.container.now())
+            .max()
+            .unwrap_or(t_start);
+        let span = span_end - t_start;
+
+        let per_container: Vec<ContainerLoad> = pool
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let (base_busy, base_total, base_hidden, base_served) =
+                    baseline.get(i).copied().unwrap_or_default();
+                let busy = s.busy - base_busy;
+                let active_start = s.spawned_at.max(t_start);
+                let active_span = span_end.saturating_sub(active_start);
+                ContainerLoad {
+                    served: s.served - base_served,
+                    utilization: if active_span.is_zero() {
+                        0.0
+                    } else {
+                        (busy.as_secs_f64() / active_span.as_secs_f64()).min(1.0)
+                    },
+                    restore_ms: (s.restore_total - base_total).as_millis_f64(),
+                    restore_hidden_ms: (s.restore_hidden - base_hidden).as_millis_f64(),
+                    retired: s.retired,
+                }
+            })
+            .collect();
+        let restore_total: Nanos = pool
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.restore_total - baseline.get(i).map(|b| b.1).unwrap_or_default())
+            .sum();
+        let restore_hidden: Nanos = pool
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.restore_hidden - baseline.get(i).map(|b| b.2).unwrap_or_default())
+            .sum();
+        let restore_overlap_ratio = if restore_total.is_zero() {
+            1.0
+        } else {
+            restore_hidden.as_secs_f64() / restore_total.as_secs_f64()
+        };
+        let utilization = if per_container.is_empty() {
+            0.0
+        } else {
+            per_container.iter().map(|c| c.utilization).sum::<f64>() / per_container.len() as f64
+        };
+        let mean_ms = sojourns_ms.iter().sum::<f64>() / sojourns_ms.len().max(1) as f64;
+        let depth_pcts = depth.percentiles(&[50.0, 95.0, 99.0]);
+        let (spawned, retired) = self
+            .autoscaler
+            .as_ref()
+            .map(|a| (a.grown, a.retired))
+            .unwrap_or((0, 0));
+        Ok(FleetResult {
+            offered_rps: self.cfg.offered_rps,
+            completed,
+            goodput_rps: throughput_rps(completed, span),
+            mean_ms,
+            p99_ms: percentile(&sojourns_ms, 99.0),
+            utilization,
+            stats: FleetStats {
+                pool_size: pool.slots.len(),
+                active: pool.active(),
+                spawned,
+                retired,
+                per_container,
+                queue_mean: depth.mean(),
+                queue_p50: depth_pcts[0],
+                queue_p95: depth_pcts[1],
+                queue_p99: depth_pcts[2],
+                restore_total_ms: restore_total.as_millis_f64(),
+                restore_overlap_ratio,
+            },
+        })
+    }
+
+    /// One autoscaler observation; applies at most one action.
+    fn autoscale(
+        &mut self,
+        now: Nanos,
+        pool: &mut Pool,
+        events: &mut EventQueue<Event>,
+    ) -> Result<(), StrategyError> {
+        let Some(scaler) = self.autoscaler.as_mut() else {
+            return Ok(());
+        };
+        match scaler.observe(now, pool) {
+            Some(ScaleAction::Grow) => {
+                let (idx, ready) = pool.grow(now)?;
+                // The new container announces readiness once initialized.
+                events.schedule(ready, Event::Ready(idx));
+                scaler.applied(now, ScaleAction::Grow);
+            }
+            Some(ScaleAction::Retire(idx)) => {
+                pool.retire(idx);
+                scaler.applied(now, ScaleAction::Retire(idx));
+            }
+            None => {}
+        }
+        Ok(())
+    }
+}
+
+/// Builds a pool of `pool_size` containers and drives `requests` through
+/// it — the one-call entry point used by benches and examples.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fleet(
+    spec: &FunctionSpec,
+    kind: StrategyKind,
+    gh: GroundhogConfig,
+    pool_size: usize,
+    cfg: FleetConfig,
+    requests: usize,
+) -> Result<FleetResult, StrategyError> {
+    let seed = cfg.seed;
+    let mut pool = Pool::build(spec, kind, gh, pool_size, seed)?;
+    Fleet::new(cfg).run(&mut pool, requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gh_functions::catalog::by_name;
+
+    fn run(
+        kind: StrategyKind,
+        pool_size: usize,
+        policy: RoutePolicy,
+        rps: f64,
+        requests: usize,
+        seed: u64,
+    ) -> FleetResult {
+        let spec = by_name("fannkuch (p)").unwrap();
+        run_fleet(
+            &spec,
+            kind,
+            GroundhogConfig::gh(),
+            pool_size,
+            FleetConfig::fixed(policy, rps, seed),
+            requests,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_requests_complete_and_stats_cohere() {
+        let r = run(
+            StrategyKind::Gh,
+            3,
+            RoutePolicy::RestoreAware,
+            90.0,
+            150,
+            11,
+        );
+        assert_eq!(r.completed, 150);
+        assert_eq!(r.stats.pool_size, 3);
+        assert_eq!(r.stats.active, 3);
+        assert_eq!(
+            r.stats.per_container.iter().map(|c| c.served).sum::<u64>(),
+            150
+        );
+        assert!(r.goodput_rps > 0.0);
+        assert!(r.p99_ms >= r.mean_ms);
+        assert!((0.0..=1.0).contains(&r.utilization));
+        assert!((0.0..=1.0).contains(&r.stats.restore_overlap_ratio));
+        assert!(
+            r.stats.restore_total_ms > 0.0,
+            "GH restores after every request"
+        );
+        assert!(r.stats.queue_p99 >= r.stats.queue_p50);
+    }
+
+    #[test]
+    fn base_fleet_reports_full_overlap() {
+        let r = run(StrategyKind::Base, 2, RoutePolicy::RoundRobin, 50.0, 60, 3);
+        assert_eq!(r.stats.restore_total_ms, 0.0);
+        assert_eq!(r.stats.restore_overlap_ratio, 1.0, "vacuously hidden");
+    }
+
+    #[test]
+    fn low_load_hides_restores_across_pool() {
+        let r = run(StrategyKind::Gh, 4, RoutePolicy::RestoreAware, 40.0, 200, 5);
+        assert!(r.utilization < 0.35, "low load: {:.2}", r.utilization);
+        assert!(
+            r.stats.restore_overlap_ratio > 0.9,
+            "restores should hide in idle gaps: {:.2}",
+            r.stats.restore_overlap_ratio
+        );
+    }
+
+    #[test]
+    fn more_containers_cut_queueing_at_fixed_load() {
+        let small = run(
+            StrategyKind::Gh,
+            1,
+            RoutePolicy::RestoreAware,
+            150.0,
+            200,
+            7,
+        );
+        let large = run(
+            StrategyKind::Gh,
+            4,
+            RoutePolicy::RestoreAware,
+            150.0,
+            200,
+            7,
+        );
+        assert!(
+            large.mean_ms < small.mean_ms / 2.0,
+            "pool of 4 must beat pool of 1: {:.1}ms vs {:.1}ms",
+            large.mean_ms,
+            small.mean_ms
+        );
+        assert!(large.stats.queue_p99 <= small.stats.queue_p99);
+    }
+
+    #[test]
+    fn autoscaler_grows_under_overload() {
+        let spec = by_name("fannkuch (p)").unwrap();
+        let cfg = FleetConfig {
+            policy: RoutePolicy::RestoreAware,
+            offered_rps: 400.0,
+            seed: 13,
+            principals: 1,
+            autoscale: Some(AutoscaleConfig {
+                min_size: 1,
+                max_size: 6,
+                scale_up_depth: 2.0,
+                idle_retire: Nanos::from_secs(5),
+                cooldown: Nanos::from_millis(200),
+            }),
+        };
+        let r = run_fleet(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 1, cfg, 300).unwrap();
+        assert!(r.stats.spawned > 0, "overload must trigger growth");
+        assert_eq!(r.completed, 300);
+        assert_eq!(
+            r.stats.pool_size,
+            1 + r.stats.spawned,
+            "every spawn adds a slot"
+        );
+    }
+
+    #[test]
+    fn autoscaler_retires_when_idle() {
+        let spec = by_name("fannkuch (p)").unwrap();
+        let cfg = FleetConfig {
+            policy: RoutePolicy::RoundRobin,
+            offered_rps: 2.0, // ~1% utilization: most of the pool idles
+            seed: 17,
+            principals: 1,
+            autoscale: Some(AutoscaleConfig {
+                min_size: 1,
+                max_size: 4,
+                scale_up_depth: 4.0,
+                idle_retire: Nanos::from_millis(500),
+                cooldown: Nanos::from_millis(100),
+            }),
+        };
+        let r = run_fleet(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 4, cfg, 80).unwrap();
+        assert!(r.stats.retired > 0, "idle containers must retire");
+        assert!(r.stats.active < 4);
+        assert_eq!(r.completed, 80);
+    }
+}

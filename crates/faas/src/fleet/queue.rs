@@ -1,0 +1,161 @@
+//! Admission queues and queue-depth instrumentation.
+//!
+//! Requests the router has assigned to a container wait here until the
+//! container is provably clean (§4.5: "inputs are buffered until
+//! restoration completes"). The [`DepthTracker`] samples aggregate depth
+//! at every scheduling event so the fleet can report queue-depth
+//! percentiles — the early-warning signal the autoscaler acts on.
+
+use std::collections::VecDeque;
+
+use gh_sim::stats::percentile_of_sorted;
+use gh_sim::Nanos;
+
+/// A request waiting in a container's admission queue.
+#[derive(Clone, Debug)]
+pub struct Pending {
+    /// Globally unique request id (also the taint label).
+    pub id: u64,
+    /// The authenticated caller.
+    pub principal: String,
+    /// Input payload size, KiB.
+    pub input_kb: u64,
+    /// Virtual time the request arrived at the router.
+    pub arrival: Nanos,
+}
+
+/// A FIFO admission queue in front of one container.
+#[derive(Clone, Debug, Default)]
+pub struct AdmissionQueue {
+    items: VecDeque<Pending>,
+}
+
+impl AdmissionQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a request (router-assigned arrival order is preserved).
+    pub fn push(&mut self, p: Pending) {
+        self.items.push_back(p);
+    }
+
+    /// Removes the oldest waiting request.
+    pub fn pop(&mut self) -> Option<Pending> {
+        self.items.pop_front()
+    }
+
+    /// Requests currently waiting.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Records aggregate queue-depth samples at scheduling events and
+/// reports percentiles over them.
+#[derive(Clone, Debug, Default)]
+pub struct DepthTracker {
+    samples: Vec<f64>,
+}
+
+impl DepthTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one depth observation.
+    pub fn record(&mut self, depth: usize) {
+        self.samples.push(depth as f64);
+    }
+
+    /// Number of observations taken.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no observations were taken.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Depth percentile over all observations; 0 with no observations.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.percentiles(&[p])[0]
+    }
+
+    /// Several depth percentiles in one pass (the samples are sorted
+    /// once, not once per query); zeros with no observations.
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<f64> {
+        if self.samples.is_empty() {
+            return vec![0.0; ps.len()];
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN depth"));
+        ps.iter()
+            .map(|&p| percentile_of_sorted(&sorted, p))
+            .collect()
+    }
+
+    /// Mean observed depth; 0 with no observations.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(id: u64, at: u64) -> Pending {
+        Pending {
+            id,
+            principal: "p".into(),
+            input_kb: 1,
+            arrival: Nanos::from_millis(at),
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = AdmissionQueue::new();
+        q.push(pending(1, 0));
+        q.push(pending(2, 1));
+        q.push(pending(3, 2));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().id, 1);
+        assert_eq!(q.pop().unwrap().id, 2);
+        assert_eq!(q.pop().unwrap().id, 3);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn depth_percentiles() {
+        let mut d = DepthTracker::new();
+        for depth in [0usize, 0, 1, 2, 4, 8] {
+            d.record(depth);
+        }
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.percentile(100.0), 8.0);
+        assert!(d.percentile(50.0) <= 2.0);
+        assert!((d.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tracker_reports_zero() {
+        let d = DepthTracker::new();
+        assert!(d.is_empty());
+        assert_eq!(d.percentile(99.0), 0.0);
+        assert_eq!(d.mean(), 0.0);
+    }
+}

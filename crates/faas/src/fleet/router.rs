@@ -1,0 +1,264 @@
+//! The router: assigns each arriving request to one container.
+//!
+//! The policy is the knob the paper's fleet-level claim turns on: a
+//! restore-*unaware* router cannot tell a clean idle container from one
+//! still restoring (the restore is off the critical path and invisible
+//! in response traffic), so near saturation it parks requests behind
+//! restores while clean capacity idles. [`RoutePolicy::RestoreAware`]
+//! consumes the readiness events the containers expose
+//! ([`Slot::ready_at`], [`Container::is_ready`]) and routes around
+//! in-progress restores.
+//!
+//! [`Container::is_ready`]: crate::container::Container::is_ready
+
+use gh_sim::Nanos;
+
+use super::pool::Slot;
+
+/// Pluggable request-routing policies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum RoutePolicy {
+    /// Cycle through containers regardless of state.
+    RoundRobin,
+    /// Pick the container with the fewest visible requests (queued + in
+    /// flight). Restore-unaware: a restoring container looks idle.
+    LeastLoaded,
+    /// Groundhog-specific: among the least-loaded containers, prefer one
+    /// that is provably clean *now*, else the one whose restore
+    /// completes earliest — restores hide across the pool even near
+    /// saturation. In §4.4's deferred-restore mode it additionally
+    /// prefers containers whose last request came from the same
+    /// principal, keeping rollbacks off the critical path entirely.
+    RestoreAware,
+}
+
+impl RoutePolicy {
+    /// Paper-style label for tables and CSV.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutePolicy::RoundRobin => "round-robin",
+            RoutePolicy::LeastLoaded => "least-loaded",
+            RoutePolicy::RestoreAware => "restore-aware",
+        }
+    }
+
+    /// All policies, in ascending order of information used.
+    pub const ALL: [RoutePolicy; 3] = [
+        RoutePolicy::RoundRobin,
+        RoutePolicy::LeastLoaded,
+        RoutePolicy::RestoreAware,
+    ];
+}
+
+/// Routing state (the round-robin cursor survives across requests).
+#[derive(Clone, Debug)]
+pub struct Router {
+    policy: RoutePolicy,
+    cursor: usize,
+}
+
+impl Router {
+    /// Creates a router with the given policy.
+    pub fn new(policy: RoutePolicy) -> Router {
+        Router { policy, cursor: 0 }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> RoutePolicy {
+        self.policy
+    }
+
+    /// Picks the slot index for a request from `principal` arriving at
+    /// `now`. `restore_cost` is the expected critical-path rollback a
+    /// restore-aware router charges to slots that cannot admit this
+    /// principal without restoring first (§4.4's deferred-restore mode;
+    /// zero-cost for strategies that restore eagerly off-path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every slot is retired.
+    pub fn route(
+        &mut self,
+        now: Nanos,
+        principal: &str,
+        restore_cost: Nanos,
+        slots: &[Slot],
+    ) -> usize {
+        let candidates: Vec<usize> = (0..slots.len()).filter(|&i| !slots[i].retired).collect();
+        assert!(!candidates.is_empty(), "routing with no active containers");
+        match self.policy {
+            RoutePolicy::RoundRobin => {
+                let pick = candidates[self.cursor % candidates.len()];
+                self.cursor = self.cursor.wrapping_add(1);
+                pick
+            }
+            RoutePolicy::LeastLoaded => candidates
+                .into_iter()
+                .min_by_key(|&i| slots[i].visible_load(now))
+                .expect("non-empty"),
+            RoutePolicy::RestoreAware => candidates
+                .into_iter()
+                // Lexicographic: fewest waiting requests first, then the
+                // lowest predicted delay — the wait until the slot is
+                // provably clean (a clean idle slot waits zero, beating
+                // any restoring slot) plus the critical-path rollback
+                // this principal would trigger on that slot.
+                .min_by_key(|&i| {
+                    let s = &slots[i];
+                    let wait = s.ready_at.max(now) - now;
+                    let penalty = if s.container.admits_without_restore(principal) {
+                        Nanos::ZERO
+                    } else {
+                        restore_cost
+                    };
+                    (s.queue.len(), wait + penalty)
+                })
+                .expect("non-empty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::pool::Pool;
+    use crate::fleet::queue::Pending;
+    use gh_functions::catalog::by_name;
+    use gh_isolation::StrategyKind;
+    use groundhog_core::GroundhogConfig;
+
+    fn pool(size: usize) -> Pool {
+        let spec = by_name("fannkuch (p)").unwrap();
+        Pool::build(&spec, StrategyKind::Gh, GroundhogConfig::gh(), size, 7).unwrap()
+    }
+
+    /// The time every slot in the pool is warm (the fleet's span start).
+    fn warm(p: &Pool) -> Nanos {
+        p.slots.iter().map(|s| s.ready_at).max().unwrap()
+    }
+
+    fn start_one(p: &mut Pool, idx: usize, at: Nanos) -> (Nanos, Nanos) {
+        p.slots[idx].queue.push(Pending {
+            id: 1,
+            principal: "a".into(),
+            input_kb: 1,
+            arrival: at,
+        });
+        let d = p.slots[idx].dispatch(at).unwrap().unwrap();
+        (d.resp_at, d.ready_at)
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let p = pool(3);
+        let mut r = Router::new(RoutePolicy::RoundRobin);
+        let now = Nanos::ZERO;
+        let picks: Vec<usize> = (0..6)
+            .map(|_| r.route(now, "a", Nanos::ZERO, &p.slots))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_retired() {
+        let mut p = pool(3);
+        p.retire(1);
+        let mut r = Router::new(RoutePolicy::RoundRobin);
+        let picks: Vec<usize> = (0..4)
+            .map(|_| r.route(Nanos::ZERO, "a", Nanos::ZERO, &p.slots))
+            .collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn least_loaded_is_blind_to_restores() {
+        let mut p = pool(2);
+        let t0 = warm(&p);
+        let (resp, ready) = start_one(&mut p, 0, t0);
+        // Mid-restore: slot 0's response is gone, restore still running.
+        let mid = resp + (ready - resp) / 2;
+        assert_eq!(p.slots[0].visible_load(mid), 0, "restore invisible");
+        // Both slots look idle; least-loaded ties break to slot 0 even
+        // though it cannot admit until `ready`.
+        let mut r = Router::new(RoutePolicy::LeastLoaded);
+        assert_eq!(r.route(mid, "a", Nanos::ZERO, &p.slots), 0);
+    }
+
+    #[test]
+    fn restore_aware_routes_around_restores() {
+        let mut p = pool(2);
+        let t0 = warm(&p);
+        let (resp, ready) = start_one(&mut p, 0, t0);
+        let mid = resp + (ready - resp) / 2;
+        let mut r = Router::new(RoutePolicy::RestoreAware);
+        assert_eq!(
+            r.route(mid, "a", Nanos::ZERO, &p.slots),
+            1,
+            "slot 1 is provably clean now"
+        );
+        // Once slot 0's restore completes, both are clean; fewest-queued
+        // then earliest-ready ties resolve to slot 0.
+        assert_eq!(r.route(ready, "a", Nanos::ZERO, &p.slots), 0);
+    }
+
+    #[test]
+    fn restore_aware_prefers_shortest_wait_when_all_busy() {
+        let mut p = pool(2);
+        let t0 = warm(&p);
+        let (_, ready0) = start_one(&mut p, 0, t0);
+        let (_, ready1) = start_one(&mut p, 1, t0 + Nanos::from_micros(50));
+        let (first, later) = if ready0 <= ready1 { (0, 1) } else { (1, 0) };
+        let ready_first = ready0.min(ready1);
+        // Both slots mid-restore: the earlier restore completion wins.
+        let now = ready_first - Nanos::from_micros(1);
+        assert!(!p.slots[first].idle_at(now) && !p.slots[later].idle_at(now));
+        let mut r = Router::new(RoutePolicy::RestoreAware);
+        assert_eq!(
+            r.route(now, "a", Nanos::ZERO, &p.slots),
+            first,
+            "earliest restore completion wins"
+        );
+    }
+
+    #[test]
+    fn restore_aware_honours_principal_affinity_in_skip_mode() {
+        // Deferred restores (§4.4): after serving alice, a slot admits
+        // alice again without any rollback, but admitting bob triggers a
+        // critical-path restore. The router must cluster principals.
+        let spec = by_name("fannkuch (p)").unwrap();
+        let gh = GroundhogConfig {
+            skip_same_principal: true,
+            ..GroundhogConfig::gh()
+        };
+        let mut p = Pool::build(&spec, StrategyKind::Gh, gh, 2, 7).unwrap();
+        let t0 = warm(&p);
+        // Slot 0 serves alice; slot 1 serves bob.
+        for (idx, who) in [(0usize, "alice"), (1usize, "bob")] {
+            p.slots[idx].queue.push(Pending {
+                id: idx as u64 + 1,
+                principal: who.into(),
+                input_kb: 1,
+                arrival: t0,
+            });
+            p.slots[idx].dispatch(t0).unwrap().unwrap();
+        }
+        let both_done = p.slots.iter().map(|s| s.ready_at).max().unwrap();
+        assert!(p.slots[0].container.admits_without_restore("alice"));
+        assert!(!p.slots[0].container.admits_without_restore("bob"));
+        let cost = Nanos::from_millis(3);
+        let mut r = Router::new(RoutePolicy::RestoreAware);
+        assert_eq!(r.route(both_done, "alice", cost, &p.slots), 0);
+        assert_eq!(r.route(both_done, "bob", cost, &p.slots), 1);
+        // A restore-blind round-robin ignores affinity entirely.
+        let mut rr = Router::new(RoutePolicy::RoundRobin);
+        assert_eq!(rr.route(both_done, "bob", cost, &p.slots), 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RoutePolicy::RoundRobin.label(), "round-robin");
+        assert_eq!(RoutePolicy::LeastLoaded.label(), "least-loaded");
+        assert_eq!(RoutePolicy::RestoreAware.label(), "restore-aware");
+        assert_eq!(RoutePolicy::ALL.len(), 3);
+    }
+}

@@ -21,14 +21,22 @@
 //!   client (latency; restores complete between requests) and a
 //!   saturating client (throughput; restores eat into capacity) — plus
 //!   the multi-core scaling harness of §5.3.4.
+//! - [`fleet`]: the event-driven fleet scheduler — N containers per
+//!   function on interleaved virtual timelines behind a router with
+//!   pluggable policies (round-robin, least-loaded, restore-aware),
+//!   admission queues with depth percentiles, and an autoscaler.
+//! - [`openloop`]: open-loop Poisson arrivals against a single
+//!   container — a fleet of one, preserved as the §4 limit harness.
 
 pub mod client;
 pub mod container;
+pub mod fleet;
 pub mod openloop;
 pub mod platform;
 pub mod proxy;
 pub mod request;
 
 pub use container::{Container, InvokeOutcome};
+pub use fleet::{Fleet, FleetConfig, FleetResult, Pool, RoutePolicy};
 pub use platform::{Platform, PlatformConfig};
 pub use request::{Request, Response};

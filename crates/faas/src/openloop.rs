@@ -8,15 +8,17 @@
 //! execution *and* restoration. At low utilization restores hide in idle
 //! gaps; as offered load approaches the (restore-reduced) capacity,
 //! queueing explodes earlier under GH than under BASE.
+//!
+//! Since the fleet refactor this is a thin wrapper over
+//! [`crate::fleet`]: a single container is a pool of one behind the
+//! round-robin router, driven through the same event queue as any
+//! larger fleet.
 
 use gh_functions::FunctionSpec;
 use gh_isolation::{StrategyError, StrategyKind};
-use gh_sim::stats::{percentile, throughput_rps};
-use gh_sim::{DetRng, Nanos};
 use groundhog_core::GroundhogConfig;
 
-use crate::container::Container;
-use crate::request::Request;
+use crate::fleet::{run_fleet, FleetConfig, FleetResult, RoutePolicy};
 
 /// Outcome of one open-loop run.
 #[derive(Clone, Debug)]
@@ -35,8 +37,21 @@ pub struct OpenLoopResult {
     pub utilization: f64,
 }
 
+impl From<FleetResult> for OpenLoopResult {
+    fn from(r: FleetResult) -> OpenLoopResult {
+        OpenLoopResult {
+            offered_rps: r.offered_rps,
+            completed: r.completed,
+            goodput_rps: r.goodput_rps,
+            mean_ms: r.mean_ms,
+            p99_ms: r.p99_ms,
+            utilization: r.utilization,
+        }
+    }
+}
+
 /// Runs `requests` Poisson arrivals at `offered_rps` against a fresh
-/// container of `spec` under `kind`.
+/// container of `spec` under `kind` — a fleet of one.
 pub fn open_loop_run(
     spec: &FunctionSpec,
     kind: StrategyKind,
@@ -45,37 +60,8 @@ pub fn open_loop_run(
     requests: usize,
     seed: u64,
 ) -> Result<OpenLoopResult, StrategyError> {
-    assert!(offered_rps > 0.0, "offered load must be positive");
-    let mut container = Container::cold_start(spec, kind, gh, seed)?;
-    let mut rng = DetRng::new(seed ^ 0x09E4_100D);
-    let t0 = container.now();
-    let mut arrival = t0;
-    let mut busy = Nanos::ZERO;
-    let mut sojourns_ms = Vec::with_capacity(requests);
-    for i in 0..requests {
-        // Poisson arrivals: exponential inter-arrival times.
-        let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
-        let gap_s = -u.ln() / offered_rps;
-        arrival += Nanos::from_millis_f64(gap_s * 1e3);
-        // The request waits until the container is clean and idle
-        // (§4.5: inputs are buffered until restoration completes).
-        container.kernel.clock.advance_to(arrival);
-        let start = container.now();
-        let out = container.invoke(&Request::new(i as u64 + 1, "client", spec.input_kb))?;
-        busy += out.invoker_latency + out.off_path;
-        let sojourn = (start - arrival) + out.invoker_latency;
-        sojourns_ms.push(sojourn.as_millis_f64());
-    }
-    let span = container.now() - t0;
-    let mean_ms = sojourns_ms.iter().sum::<f64>() / sojourns_ms.len().max(1) as f64;
-    Ok(OpenLoopResult {
-        offered_rps,
-        completed: requests,
-        goodput_rps: throughput_rps(requests, span),
-        mean_ms,
-        p99_ms: percentile(&sojourns_ms, 99.0),
-        utilization: (busy.as_secs_f64() / span.as_secs_f64()).min(1.0),
-    })
+    let cfg = FleetConfig::fixed(RoutePolicy::RoundRobin, offered_rps, seed);
+    Ok(run_fleet(spec, kind, gh, 1, cfg, requests)?.into())
 }
 
 #[cfg(test)]

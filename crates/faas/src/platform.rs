@@ -13,6 +13,7 @@ use gh_sim::{DetRng, Nanos};
 use groundhog_core::GroundhogConfig;
 
 use crate::container::Container;
+use crate::fleet::{Fleet, FleetConfig, FleetResult, Pool, RoutePolicy};
 use crate::request::{Request, Response};
 
 /// Platform configuration.
@@ -30,13 +31,21 @@ pub struct PlatformConfig {
 
 impl Default for PlatformConfig {
     fn default() -> Self {
-        PlatformConfig { gh: GroundhogConfig::gh(), seed: 0xF00D, platform_cov: 0.8 }
+        PlatformConfig {
+            gh: GroundhogConfig::gh(),
+            seed: 0xF00D,
+            platform_cov: 0.8,
+        }
     }
 }
 
 /// Identifier of a deployed container.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ContainerId(pub usize);
+
+/// Identifier of a deployed container pool.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PoolId(pub usize);
 
 /// A completed end-to-end invocation.
 #[derive(Clone, Debug)]
@@ -55,6 +64,7 @@ pub struct Outcome {
 pub struct Platform {
     cfg: PlatformConfig,
     containers: Vec<Container>,
+    pools: Vec<Pool>,
     rng: DetRng,
     next_request: u64,
 }
@@ -63,7 +73,13 @@ impl Platform {
     /// Creates an empty platform.
     pub fn new(cfg: PlatformConfig) -> Platform {
         let rng = DetRng::new(cfg.seed);
-        Platform { cfg, containers: Vec::new(), rng, next_request: 1 }
+        Platform {
+            cfg,
+            containers: Vec::new(),
+            pools: Vec::new(),
+            rng,
+            next_request: 1,
+        }
     }
 
     /// Deploys a function in a new warm container under `kind`.
@@ -86,6 +102,48 @@ impl Platform {
     /// Mutable access to a deployed container.
     pub fn container_mut(&mut self, id: ContainerId) -> &mut Container {
         &mut self.containers[id.0]
+    }
+
+    /// Deploys a function as a pool of `size` warm containers under
+    /// `kind`, ready to absorb open-loop traffic through the fleet
+    /// scheduler.
+    pub fn deploy_pool(
+        &mut self,
+        spec: &FunctionSpec,
+        kind: StrategyKind,
+        size: usize,
+    ) -> Result<PoolId, StrategyError> {
+        let seed = self.rng.next_u64();
+        let pool = Pool::build(spec, kind, self.cfg.gh.clone(), size, seed)?;
+        self.pools.push(pool);
+        Ok(PoolId(self.pools.len() - 1))
+    }
+
+    /// Access a deployed pool.
+    pub fn pool(&self, id: PoolId) -> &Pool {
+        &self.pools[id.0]
+    }
+
+    /// Mutable access to a deployed pool.
+    pub fn pool_mut(&mut self, id: PoolId) -> &mut Pool {
+        &mut self.pools[id.0]
+    }
+
+    /// Drives `requests` open-loop Poisson arrivals at `offered_rps`
+    /// through a deployed pool under `policy`, returning fleet-level
+    /// stats (per-container utilization, queue-depth percentiles,
+    /// restore-overlap ratio). The pool's state evolves across calls —
+    /// containers stay warm.
+    pub fn run_fleet(
+        &mut self,
+        id: PoolId,
+        policy: RoutePolicy,
+        offered_rps: f64,
+        requests: usize,
+    ) -> Result<FleetResult, StrategyError> {
+        let seed = self.rng.next_u64();
+        let cfg = FleetConfig::fixed(policy, offered_rps, seed);
+        Fleet::new(cfg).run(&mut self.pools[id.0], requests)
     }
 
     /// Fresh unique request id.
@@ -155,8 +213,11 @@ mod tests {
 
     #[test]
     fn e2e_tracks_paper_baseline() {
-        let mut cfg = PlatformConfig::default();
-        cfg.platform_cov = 0.0; // deterministic for the assertion
+        // Deterministic for the assertion.
+        let cfg = PlatformConfig {
+            platform_cov: 0.0,
+            ..PlatformConfig::default()
+        };
         let mut p = Platform::new(cfg);
         let spec = by_name("md2html (p)").unwrap();
         let id = p.deploy(&spec, StrategyKind::Base).unwrap();
@@ -179,9 +240,46 @@ mod tests {
     }
 
     #[test]
+    fn pool_deploys_and_serves_fleet_traffic() {
+        let mut p = Platform::new(PlatformConfig::default());
+        let spec = by_name("fannkuch (p)").unwrap();
+        let id = p.deploy_pool(&spec, StrategyKind::Gh, 3).unwrap();
+        assert_eq!(p.pool(id).slots.len(), 3);
+        let r = p
+            .run_fleet(id, RoutePolicy::RestoreAware, 60.0, 90)
+            .unwrap();
+        assert_eq!(r.completed, 90);
+        assert_eq!(r.stats.pool_size, 3);
+        // The pool stays warm: a second run reuses the same containers.
+        let r2 = p
+            .run_fleet(id, RoutePolicy::RestoreAware, 60.0, 30)
+            .unwrap();
+        assert_eq!(r2.completed, 30);
+        // Per-run stats are deltas: run 2 reports only its own 30
+        // requests (slot counters stay cumulative underneath).
+        assert_eq!(
+            r2.stats.per_container.iter().map(|c| c.served).sum::<u64>(),
+            30
+        );
+        assert!(
+            (r.utilization - r2.utilization).abs() < 0.2,
+            "same load, same per-run utilization: {:.2} vs {:.2}",
+            r.utilization,
+            r2.utilization
+        );
+        assert_eq!(
+            p.pool(id).slots.iter().map(|s| s.served).sum::<u64>(),
+            120,
+            "both runs served by the same pool"
+        );
+    }
+
+    #[test]
     fn faasm_uses_its_own_platform_delay() {
-        let mut cfg = PlatformConfig::default();
-        cfg.platform_cov = 0.0;
+        let cfg = PlatformConfig {
+            platform_cov: 0.0,
+            ..PlatformConfig::default()
+        };
         let mut p = Platform::new(cfg);
         let spec = by_name("atax (c)").unwrap();
         let base = p.deploy(&spec, StrategyKind::Base).unwrap();

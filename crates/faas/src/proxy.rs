@@ -27,7 +27,11 @@ pub fn interposition_cost(
     payload_kb: u64,
 ) -> Nanos {
     let refactored = runtime == RuntimeKind::NodeJs;
-    let mult = if refactored { cost.nodejs_refactor_mult } else { 1.0 };
+    let mult = if refactored {
+        cost.nodejs_refactor_mult
+    } else {
+        1.0
+    };
     match kind {
         // No manager in the path.
         StrategyKind::Base | StrategyKind::Faasm | StrategyKind::Fresh => Nanos::ZERO,

@@ -16,7 +16,11 @@ pub struct Request {
 impl Request {
     /// Creates a request.
     pub fn new(id: u64, principal: &str, input_kb: u64) -> Request {
-        Request { id, principal: principal.to_string(), input_kb }
+        Request {
+            id,
+            principal: principal.to_string(),
+            input_kb,
+        }
     }
 }
 

@@ -33,12 +33,22 @@ pub struct RequestCtx {
 impl RequestCtx {
     /// A real request.
     pub fn new(id: u64, principal: &str, seq: u64) -> Self {
-        RequestCtx { id: RequestId(id), principal: principal.into(), seq, dummy: false }
+        RequestCtx {
+            id: RequestId(id),
+            principal: principal.into(),
+            seq,
+            dummy: false,
+        }
     }
 
     /// The dummy warm-up request (§4.1).
     pub fn dummy(seq: u64) -> Self {
-        RequestCtx { id: RequestId(0), principal: "<deployer-dummy>".into(), seq, dummy: true }
+        RequestCtx {
+            id: RequestId(0),
+            principal: "<deployer-dummy>".into(),
+            seq,
+            dummy: true,
+        }
     }
 
     fn taint(&self) -> Taint {
@@ -99,8 +109,11 @@ impl Executor {
         // 2. Time-driven GC for functions that allocate enough to trigger
         //    it (§5.3.1: img-resize). Restoration rewinds the in-memory GC
         //    clock, so post-restore invocations re-collect.
-        let gc_pause =
-            if spec.behavior.gc_sensitive { fproc.maybe_gc(kernel) } else { None };
+        let gc_pause = if spec.behavior.gc_sensitive {
+            fproc.maybe_gc(kernel)
+        } else {
+            None
+        };
 
         // 3. Memory leak (logging(p)): the leak counter lives in process
         //    memory, so rollback erases it — GH "fixes" the leak (§5.3.1).
@@ -125,7 +138,9 @@ impl Executor {
                 let phase = seq % wstride;
                 for i in 0..writes {
                     let vpn = regions.dirtyable_page(i * wstride + phase);
-                    let _ = p.mem.touch(vpn, Touch::WriteWord(0x1000 ^ seq ^ i), taint, frames);
+                    let _ = p
+                        .mem
+                        .touch(vpn, Touch::WriteWord(0x1000 ^ seq ^ i), taint, frames);
                 }
                 let rstride = (total / reads.max(1)).max(1);
                 for i in 0..reads {
@@ -177,7 +192,10 @@ impl Executor {
             .run_charged(pid, |p, frames| {
                 // Leak: allocate and dirty heap pages that are never freed.
                 let brk = p.mem.brk();
-                if p.mem.set_brk(Vpn(brk.0 + LEAK_PAGES_PER_INV), frames).is_ok() {
+                if p.mem
+                    .set_brk(Vpn(brk.0 + LEAK_PAGES_PER_INV), frames)
+                    .is_ok()
+                {
                     for i in 0..LEAK_PAGES_PER_INV {
                         let _ = p.mem.touch(
                             Vpn(brk.0 + i),

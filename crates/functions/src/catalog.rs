@@ -47,7 +47,11 @@ fn f(
         paper_restore_ms,
         paper_gh_xput,
         paper_faults_k,
-        faasm: faasm.map(|(e2e_ms, invoker_ms, xput)| FaasmRef { e2e_ms, invoker_ms, xput }),
+        faasm: faasm.map(|(e2e_ms, invoker_ms, xput)| FaasmRef {
+            e2e_ms,
+            invoker_ms,
+            xput,
+        }),
         behavior: BehaviorFlags::default(),
     }
 }
@@ -64,116 +68,859 @@ pub fn catalog() -> Vec<FunctionSpec> {
         // ---- pyperformance (22 Python functions) -----------------------
         // name, suite, rt, base_inv, base_e2e, base_xput, Kpages, Kwritten,
         //   faultsK, restore_ms, gh_inv, gh_xput, faasm(e2e, inv, xput)
-        f("chaos (p)", PY, P, 648.5, 688.2, 6.03, 6.32, 0.47, 0.47, 4.93, 652.0, 5.94,
-            Some((1235.0, 1201.0, 2.99))),
+        f(
+            "chaos (p)",
+            PY,
+            P,
+            648.5,
+            688.2,
+            6.03,
+            6.32,
+            0.47,
+            0.47,
+            4.93,
+            652.0,
+            5.94,
+            Some((1235.0, 1201.0, 2.99)),
+        ),
         // logging(p): the paper's 1249ms baseline mean is the *leak-degraded*
         // average over 1200 invocations; the clean per-request time is
         // ~228ms (what GH sustains). The leak model regenerates the
         // degradation, so the catalog carries the clean figure.
-        f("logging (p)", PY, P, 228.0, 267.0, 0.0, 6.12, 0.41, 0.42, 4.77, 227.9, 16.34,
-            Some((383.0, 345.0, 9.69))),
-        f("pyaes (p)", PY, P, 4672.0, 4707.3, 0.82, 6.21, 0.84, 0.83, 6.02, 4751.3, 0.80,
-            Some((8721.0, 8559.0, 0.40))),
-        f("spectral (p)", PY, P, 592.8, 630.8, 6.45, 6.12, 0.21, 0.22, 4.29, 605.2, 6.40,
-            Some((1367.0, 1323.0, 2.62))),
-        f("deltablue (p)", PY, P, 20.4, 48.4, 157.63, 6.18, 0.33, 0.23, 4.64, 21.3, 140.26,
-            Some((150.0, 129.0, 24.4))),
-        f("go (p)", PY, P, 593.0, 631.2, 6.48, 6.25, 0.95, 0.84, 6.90, 596.6, 6.42,
-            Some((1014.0, 982.0, 3.51))),
-        f("mdp (p)", PY, P, 6345.5, 6377.5, 0.59, 7.33, 2.85, 2.22, 9.55, 6412.3, 0.58,
-            Some((12422.0, 12295.0, 0.24))),
-        f("pyflate (p)", PY, P, 1599.8, 1635.9, 2.39, 8.25, 2.33, 3.01, 11.67, 1622.5, 2.34,
-            Some((2780.0, 2644.0, 1.26))),
-        f("telco (p)", PY, P, 155.6, 190.8, 25.01, 3.29, 0.53, 0.53, 3.91, 158.0, 23.77,
-            Some((332.0, 315.0, 11.3))),
-        f("hexiom (p)", PY, P, 218.2, 253.9, 17.45, 6.18, 0.28, 0.28, 4.35, 219.2, 17.28,
-            Some((495.0, 467.0, 7.60))),
-        f("nbody (p)", PY, P, 2823.7, 2858.5, 1.34, 6.12, 0.21, 0.21, 4.08, 2845.0, 1.34,
-            Some((5471.0, 5361.0, 0.63))),
-        f("raytrace (p)", PY, P, 2459.2, 2495.7, 1.58, 6.25, 0.35, 0.36, 4.42, 2463.9, 1.57,
-            Some((4070.0, 4001.0, 0.83))),
-        f("unpack_seq (p)", PY, P, 3.3, 28.3, 801.86, 6.12, 0.20, 0.20, 3.17, 5.0, 398.15,
-            Some((123.0, 103.0, 29.6))),
-        f("fannkuch (p)", PY, P, 4.6, 29.7, 572.32, 6.12, 0.19, 0.19, 3.14, 6.1, 350.22,
-            Some((125.0, 105.0, 29.1))),
-        f("json_dumps (p)", PY, P, 533.1, 567.4, 7.19, 6.37, 0.51, 0.51, 4.92, 551.5, 6.95,
-            Some((939.0, 900.0, 3.94))),
-        f("pickle (p)", PY, P, 105.6, 139.3, 35.49, 3.45, 0.23, 0.23, 2.90, 105.7, 34.98,
-            Some((210.0, 184.0, 17.6))),
-        f("richards (p)", PY, P, 353.1, 387.5, 10.68, 6.18, 0.23, 0.23, 4.16, 351.1, 10.85,
-            Some((636.0, 607.0, 5.86))),
-        f("version (p)", PY, P, 3.1, 28.2, 990.38, 3.14, 0.17, 0.17, 1.66, 4.0, 562.89,
-            Some((11.0, 3.89, 254.0))),
-        f("float (p)", PY, P, 27.1, 57.3, 125.98, 6.26, 0.65, 0.65, 4.99, 27.8, 109.09,
-            Some((162.0, 141.0, 22.5))),
-        f("json_loads (p)", PY, P, 102.0, 135.0, 36.46, 6.12, 0.22, 0.22, 4.04, 103.3, 35.29,
-            Some((286.0, 252.0, 13.2))),
-        f("pidigits (p)", PY, P, 2347.6, 2380.0, 1.64, 6.14, 0.81, 0.81, 5.40, 2349.1, 1.63,
-            Some((7224.0, 6994.0, 0.47))),
-        f("scimark (p)", PY, P, 1812.6, 1848.1, 2.12, 3.26, 0.52, 0.51, 3.77, 1806.6, 2.12,
-            Some((3513.0, 3482.0, 0.97))),
+        f(
+            "logging (p)",
+            PY,
+            P,
+            228.0,
+            267.0,
+            0.0,
+            6.12,
+            0.41,
+            0.42,
+            4.77,
+            227.9,
+            16.34,
+            Some((383.0, 345.0, 9.69)),
+        ),
+        f(
+            "pyaes (p)",
+            PY,
+            P,
+            4672.0,
+            4707.3,
+            0.82,
+            6.21,
+            0.84,
+            0.83,
+            6.02,
+            4751.3,
+            0.80,
+            Some((8721.0, 8559.0, 0.40)),
+        ),
+        f(
+            "spectral (p)",
+            PY,
+            P,
+            592.8,
+            630.8,
+            6.45,
+            6.12,
+            0.21,
+            0.22,
+            4.29,
+            605.2,
+            6.40,
+            Some((1367.0, 1323.0, 2.62)),
+        ),
+        f(
+            "deltablue (p)",
+            PY,
+            P,
+            20.4,
+            48.4,
+            157.63,
+            6.18,
+            0.33,
+            0.23,
+            4.64,
+            21.3,
+            140.26,
+            Some((150.0, 129.0, 24.4)),
+        ),
+        f(
+            "go (p)",
+            PY,
+            P,
+            593.0,
+            631.2,
+            6.48,
+            6.25,
+            0.95,
+            0.84,
+            6.90,
+            596.6,
+            6.42,
+            Some((1014.0, 982.0, 3.51)),
+        ),
+        f(
+            "mdp (p)",
+            PY,
+            P,
+            6345.5,
+            6377.5,
+            0.59,
+            7.33,
+            2.85,
+            2.22,
+            9.55,
+            6412.3,
+            0.58,
+            Some((12422.0, 12295.0, 0.24)),
+        ),
+        f(
+            "pyflate (p)",
+            PY,
+            P,
+            1599.8,
+            1635.9,
+            2.39,
+            8.25,
+            2.33,
+            3.01,
+            11.67,
+            1622.5,
+            2.34,
+            Some((2780.0, 2644.0, 1.26)),
+        ),
+        f(
+            "telco (p)",
+            PY,
+            P,
+            155.6,
+            190.8,
+            25.01,
+            3.29,
+            0.53,
+            0.53,
+            3.91,
+            158.0,
+            23.77,
+            Some((332.0, 315.0, 11.3)),
+        ),
+        f(
+            "hexiom (p)",
+            PY,
+            P,
+            218.2,
+            253.9,
+            17.45,
+            6.18,
+            0.28,
+            0.28,
+            4.35,
+            219.2,
+            17.28,
+            Some((495.0, 467.0, 7.60)),
+        ),
+        f(
+            "nbody (p)",
+            PY,
+            P,
+            2823.7,
+            2858.5,
+            1.34,
+            6.12,
+            0.21,
+            0.21,
+            4.08,
+            2845.0,
+            1.34,
+            Some((5471.0, 5361.0, 0.63)),
+        ),
+        f(
+            "raytrace (p)",
+            PY,
+            P,
+            2459.2,
+            2495.7,
+            1.58,
+            6.25,
+            0.35,
+            0.36,
+            4.42,
+            2463.9,
+            1.57,
+            Some((4070.0, 4001.0, 0.83)),
+        ),
+        f(
+            "unpack_seq (p)",
+            PY,
+            P,
+            3.3,
+            28.3,
+            801.86,
+            6.12,
+            0.20,
+            0.20,
+            3.17,
+            5.0,
+            398.15,
+            Some((123.0, 103.0, 29.6)),
+        ),
+        f(
+            "fannkuch (p)",
+            PY,
+            P,
+            4.6,
+            29.7,
+            572.32,
+            6.12,
+            0.19,
+            0.19,
+            3.14,
+            6.1,
+            350.22,
+            Some((125.0, 105.0, 29.1)),
+        ),
+        f(
+            "json_dumps (p)",
+            PY,
+            P,
+            533.1,
+            567.4,
+            7.19,
+            6.37,
+            0.51,
+            0.51,
+            4.92,
+            551.5,
+            6.95,
+            Some((939.0, 900.0, 3.94)),
+        ),
+        f(
+            "pickle (p)",
+            PY,
+            P,
+            105.6,
+            139.3,
+            35.49,
+            3.45,
+            0.23,
+            0.23,
+            2.90,
+            105.7,
+            34.98,
+            Some((210.0, 184.0, 17.6)),
+        ),
+        f(
+            "richards (p)",
+            PY,
+            P,
+            353.1,
+            387.5,
+            10.68,
+            6.18,
+            0.23,
+            0.23,
+            4.16,
+            351.1,
+            10.85,
+            Some((636.0, 607.0, 5.86)),
+        ),
+        f(
+            "version (p)",
+            PY,
+            P,
+            3.1,
+            28.2,
+            990.38,
+            3.14,
+            0.17,
+            0.17,
+            1.66,
+            4.0,
+            562.89,
+            Some((11.0, 3.89, 254.0)),
+        ),
+        f(
+            "float (p)",
+            PY,
+            P,
+            27.1,
+            57.3,
+            125.98,
+            6.26,
+            0.65,
+            0.65,
+            4.99,
+            27.8,
+            109.09,
+            Some((162.0, 141.0, 22.5)),
+        ),
+        f(
+            "json_loads (p)",
+            PY,
+            P,
+            102.0,
+            135.0,
+            36.46,
+            6.12,
+            0.22,
+            0.22,
+            4.04,
+            103.3,
+            35.29,
+            Some((286.0, 252.0, 13.2)),
+        ),
+        f(
+            "pidigits (p)",
+            PY,
+            P,
+            2347.6,
+            2380.0,
+            1.64,
+            6.14,
+            0.81,
+            0.81,
+            5.40,
+            2349.1,
+            1.63,
+            Some((7224.0, 6994.0, 0.47)),
+        ),
+        f(
+            "scimark (p)",
+            PY,
+            P,
+            1812.6,
+            1848.1,
+            2.12,
+            3.26,
+            0.52,
+            0.51,
+            3.77,
+            1806.6,
+            2.12,
+            Some((3513.0, 3482.0, 0.97)),
+        ),
         // ---- PolyBench (23 C functions) ---------------------------------
-        f("2mm (c)", PB, C, 27236.2, 27390.3, 0.12, 0.98, 0.02, 0.04, 3.12, 28887.4, 0.10,
-            Some((24181.0, 20590.0, 0.14))),
-        f("3mm (c)", PB, C, 45729.0, 45947.7, 0.07, 0.98, 0.02, 0.04, 2.32, 46824.4, 0.06,
-            Some((38270.0, 31627.0, 0.09))),
-        f("adi (c)", PB, C, 28311.1, 28470.3, 0.12, 0.98, 0.02, 0.02, 0.77, 28857.6, 0.12,
-            Some((24456.0, 19504.0, 0.15))),
-        f("atax (c)", PB, C, 36.4, 68.7, 93.55, 0.98, 0.03, 0.03, 0.99, 36.8, 91.99,
-            Some((30.3, 22.2, 118.0))),
-        f("bicg (c)", PB, C, 42.8, 75.9, 81.05, 0.98, 0.03, 0.03, 0.93, 43.2, 79.87,
-            Some((34.4, 25.9, 105.0))),
-        f("cholesky (c)", PB, C, 166182.8, 166284.8, 0.02, 0.98, 0.01, 0.02, 0.57, 175691.9, 0.02,
-            Some((140259.0, 112430.0, 0.02))),
-        f("correlation (c)", PB, C, 32429.6, 32508.8, 0.10, 0.98, 0.02, 0.04, 2.00, 34328.9, 0.09,
-            Some((25082.0, 19377.0, 0.14))),
-        f("covariance (c)", PB, C, 33020.6, 33092.1, 0.10, 0.98, 0.02, 0.04, 1.97, 34971.3, 0.10,
-            Some((24674.0, 17964.0, 0.15))),
-        f("deriche (c)", PB, C, 1115.0, 1148.3, 4.47, 0.98, 0.01, 0.02, 0.75, 1115.0, 4.43,
-            Some((919.0, 674.0, 4.26))),
-        f("doitgen (c)", PB, C, 650.5, 691.1, 5.98, 0.98, 0.02, 0.04, 1.31, 650.0, 5.96,
-            Some((677.0, 662.0, 5.55))),
-        f("durbin (c)", PB, C, 7.6, 33.1, 314.68, 0.98, 0.02, 0.03, 0.62, 8.0, 295.98,
-            Some((9.57, 5.43, 326.0))),
-        f("fdtd-2d (c)", PB, C, 2179.1, 2209.6, 0.89, 0.98, 0.02, 0.02, 0.97, 2182.6, 0.89,
-            Some((2856.0, 2695.0, 0.87))),
-        f("floyd-warshall (c)", PB, C, 21151.4, 21224.8, 0.17, 0.98, 0.01, 0.02, 0.78, 21171.3, 0.17,
-            Some((23356.0, 21840.0, 0.11))),
-        f("gramschmidt (c)", PB, C, 60899.8, 61226.6, 0.06, 0.98, 0.02, 0.04, 2.53, 64980.4, 0.05,
-            Some((45304.0, 44627.0, 0.07))),
-        f("heat-3d (c)", PB, C, 3059.5, 3088.1, 1.02, 4.35, 3.39, 0.02, 16.09, 3272.0, 0.98,
-            Some((8780.0, 8645.0, 0.33))),
-        f("jacobi-1d (c)", PB, C, 3.8, 27.9, 671.34, 0.98, 0.02, 0.03, 0.62, 4.2, 578.99,
-            Some((8.27, 4.01, 359.0))),
-        f("jacobi-2d (c)", PB, C, 2329.3, 2356.7, 1.05, 0.98, 0.01, 0.02, 0.69, 2343.4, 1.05,
-            Some((5077.0, 4971.0, 0.71))),
-        f("lu (c)", PB, C, 196555.8, 196660.2, 0.02, 0.98, 0.01, 0.02, 0.74, 207603.5, 0.02,
-            Some((160516.0, 138303.0, 0.02))),
-        f("ludcmp (c)", PB, C, 193545.9, 193637.4, 0.02, 0.98, 0.02, 0.03, 1.02, 199550.2, 0.02,
-            Some((161293.0, 138991.0, 0.02))),
-        f("mvt (c)", PB, C, 140.3, 176.4, 28.78, 0.98, 0.03, 0.04, 1.16, 144.3, 28.28,
-            Some((108.0, 76.7, 36.1))),
-        f("nussinov (c)", PB, C, 39122.6, 39326.9, 0.09, 0.98, 0.02, 0.02, 1.02, 38323.5, 0.09,
-            Some((38477.0, 30232.0, 0.09))),
-        f("seidel-2d (c)", PB, C, 23140.1, 23186.2, 0.16, 0.98, 0.02, 0.02, 0.75, 23139.0, 0.16,
-            Some((19062.0, 18836.0, 0.18))),
-        f("trisolv (c)", PB, C, 23.1, 57.6, 138.18, 0.98, 0.02, 0.03, 0.97, 23.2, 134.92,
-            Some((19.3, 11.4, 175.0))),
+        f(
+            "2mm (c)",
+            PB,
+            C,
+            27236.2,
+            27390.3,
+            0.12,
+            0.98,
+            0.02,
+            0.04,
+            3.12,
+            28887.4,
+            0.10,
+            Some((24181.0, 20590.0, 0.14)),
+        ),
+        f(
+            "3mm (c)",
+            PB,
+            C,
+            45729.0,
+            45947.7,
+            0.07,
+            0.98,
+            0.02,
+            0.04,
+            2.32,
+            46824.4,
+            0.06,
+            Some((38270.0, 31627.0, 0.09)),
+        ),
+        f(
+            "adi (c)",
+            PB,
+            C,
+            28311.1,
+            28470.3,
+            0.12,
+            0.98,
+            0.02,
+            0.02,
+            0.77,
+            28857.6,
+            0.12,
+            Some((24456.0, 19504.0, 0.15)),
+        ),
+        f(
+            "atax (c)",
+            PB,
+            C,
+            36.4,
+            68.7,
+            93.55,
+            0.98,
+            0.03,
+            0.03,
+            0.99,
+            36.8,
+            91.99,
+            Some((30.3, 22.2, 118.0)),
+        ),
+        f(
+            "bicg (c)",
+            PB,
+            C,
+            42.8,
+            75.9,
+            81.05,
+            0.98,
+            0.03,
+            0.03,
+            0.93,
+            43.2,
+            79.87,
+            Some((34.4, 25.9, 105.0)),
+        ),
+        f(
+            "cholesky (c)",
+            PB,
+            C,
+            166182.8,
+            166284.8,
+            0.02,
+            0.98,
+            0.01,
+            0.02,
+            0.57,
+            175691.9,
+            0.02,
+            Some((140259.0, 112430.0, 0.02)),
+        ),
+        f(
+            "correlation (c)",
+            PB,
+            C,
+            32429.6,
+            32508.8,
+            0.10,
+            0.98,
+            0.02,
+            0.04,
+            2.00,
+            34328.9,
+            0.09,
+            Some((25082.0, 19377.0, 0.14)),
+        ),
+        f(
+            "covariance (c)",
+            PB,
+            C,
+            33020.6,
+            33092.1,
+            0.10,
+            0.98,
+            0.02,
+            0.04,
+            1.97,
+            34971.3,
+            0.10,
+            Some((24674.0, 17964.0, 0.15)),
+        ),
+        f(
+            "deriche (c)",
+            PB,
+            C,
+            1115.0,
+            1148.3,
+            4.47,
+            0.98,
+            0.01,
+            0.02,
+            0.75,
+            1115.0,
+            4.43,
+            Some((919.0, 674.0, 4.26)),
+        ),
+        f(
+            "doitgen (c)",
+            PB,
+            C,
+            650.5,
+            691.1,
+            5.98,
+            0.98,
+            0.02,
+            0.04,
+            1.31,
+            650.0,
+            5.96,
+            Some((677.0, 662.0, 5.55)),
+        ),
+        f(
+            "durbin (c)",
+            PB,
+            C,
+            7.6,
+            33.1,
+            314.68,
+            0.98,
+            0.02,
+            0.03,
+            0.62,
+            8.0,
+            295.98,
+            Some((9.57, 5.43, 326.0)),
+        ),
+        f(
+            "fdtd-2d (c)",
+            PB,
+            C,
+            2179.1,
+            2209.6,
+            0.89,
+            0.98,
+            0.02,
+            0.02,
+            0.97,
+            2182.6,
+            0.89,
+            Some((2856.0, 2695.0, 0.87)),
+        ),
+        f(
+            "floyd-warshall (c)",
+            PB,
+            C,
+            21151.4,
+            21224.8,
+            0.17,
+            0.98,
+            0.01,
+            0.02,
+            0.78,
+            21171.3,
+            0.17,
+            Some((23356.0, 21840.0, 0.11)),
+        ),
+        f(
+            "gramschmidt (c)",
+            PB,
+            C,
+            60899.8,
+            61226.6,
+            0.06,
+            0.98,
+            0.02,
+            0.04,
+            2.53,
+            64980.4,
+            0.05,
+            Some((45304.0, 44627.0, 0.07)),
+        ),
+        f(
+            "heat-3d (c)",
+            PB,
+            C,
+            3059.5,
+            3088.1,
+            1.02,
+            4.35,
+            3.39,
+            0.02,
+            16.09,
+            3272.0,
+            0.98,
+            Some((8780.0, 8645.0, 0.33)),
+        ),
+        f(
+            "jacobi-1d (c)",
+            PB,
+            C,
+            3.8,
+            27.9,
+            671.34,
+            0.98,
+            0.02,
+            0.03,
+            0.62,
+            4.2,
+            578.99,
+            Some((8.27, 4.01, 359.0)),
+        ),
+        f(
+            "jacobi-2d (c)",
+            PB,
+            C,
+            2329.3,
+            2356.7,
+            1.05,
+            0.98,
+            0.01,
+            0.02,
+            0.69,
+            2343.4,
+            1.05,
+            Some((5077.0, 4971.0, 0.71)),
+        ),
+        f(
+            "lu (c)",
+            PB,
+            C,
+            196555.8,
+            196660.2,
+            0.02,
+            0.98,
+            0.01,
+            0.02,
+            0.74,
+            207603.5,
+            0.02,
+            Some((160516.0, 138303.0, 0.02)),
+        ),
+        f(
+            "ludcmp (c)",
+            PB,
+            C,
+            193545.9,
+            193637.4,
+            0.02,
+            0.98,
+            0.02,
+            0.03,
+            1.02,
+            199550.2,
+            0.02,
+            Some((161293.0, 138991.0, 0.02)),
+        ),
+        f(
+            "mvt (c)",
+            PB,
+            C,
+            140.3,
+            176.4,
+            28.78,
+            0.98,
+            0.03,
+            0.04,
+            1.16,
+            144.3,
+            28.28,
+            Some((108.0, 76.7, 36.1)),
+        ),
+        f(
+            "nussinov (c)",
+            PB,
+            C,
+            39122.6,
+            39326.9,
+            0.09,
+            0.98,
+            0.02,
+            0.02,
+            1.02,
+            38323.5,
+            0.09,
+            Some((38477.0, 30232.0, 0.09)),
+        ),
+        f(
+            "seidel-2d (c)",
+            PB,
+            C,
+            23140.1,
+            23186.2,
+            0.16,
+            0.98,
+            0.02,
+            0.02,
+            0.75,
+            23139.0,
+            0.16,
+            Some((19062.0, 18836.0, 0.18)),
+        ),
+        f(
+            "trisolv (c)",
+            PB,
+            C,
+            23.1,
+            57.6,
+            138.18,
+            0.98,
+            0.02,
+            0.03,
+            0.97,
+            23.2,
+            134.92,
+            Some((19.3, 11.4, 175.0)),
+        ),
         // ---- FaaSProfiler: Python (6) -----------------------------------
-        f("get-time (p)", FP, P, 2.9, 29.6, 1038.74, 3.19, 0.18, 0.18, 1.66, 4.1, 552.09, None),
-        f("sentiment (p)", FP, P, 6.5, 32.7, 385.07, 16.86, 0.57, 0.57, 6.00, 8.9, 230.39, None),
-        f("json (p)", FP, P, 9.9, 71.0, 150.00, 3.33, 0.87, 0.64, 3.71, 13.0, 135.34, None),
-        f("md2html (p)", FP, P, 31.0, 69.4, 93.94, 4.93, 0.62, 0.63, 4.25, 32.7, 88.50, None),
-        f("base64 (p)", FP, P, 743.2, 785.3, 5.18, 5.13, 1.66, 1.86, 7.67, 761.5, 5.10, None),
-        f("primes (p)", FP, P, 1829.7, 1866.6, 2.04, 3.22, 0.53, 0.51, 3.24, 1830.7, 1.99, None),
+        f(
+            "get-time (p)",
+            FP,
+            P,
+            2.9,
+            29.6,
+            1038.74,
+            3.19,
+            0.18,
+            0.18,
+            1.66,
+            4.1,
+            552.09,
+            None,
+        ),
+        f(
+            "sentiment (p)",
+            FP,
+            P,
+            6.5,
+            32.7,
+            385.07,
+            16.86,
+            0.57,
+            0.57,
+            6.00,
+            8.9,
+            230.39,
+            None,
+        ),
+        f(
+            "json (p)", FP, P, 9.9, 71.0, 150.00, 3.33, 0.87, 0.64, 3.71, 13.0, 135.34, None,
+        ),
+        f(
+            "md2html (p)",
+            FP,
+            P,
+            31.0,
+            69.4,
+            93.94,
+            4.93,
+            0.62,
+            0.63,
+            4.25,
+            32.7,
+            88.50,
+            None,
+        ),
+        f(
+            "base64 (p)",
+            FP,
+            P,
+            743.2,
+            785.3,
+            5.18,
+            5.13,
+            1.66,
+            1.86,
+            7.67,
+            761.5,
+            5.10,
+            None,
+        ),
+        f(
+            "primes (p)",
+            FP,
+            P,
+            1829.7,
+            1866.6,
+            2.04,
+            3.22,
+            0.53,
+            0.51,
+            3.24,
+            1830.7,
+            1.99,
+            None,
+        ),
         // ---- FaaSProfiler: Node.js (7) -----------------------------------
-        f("get-time (n)", FP, N, 3.7, 36.8, 942.07, 156.76, 0.64, 0.59, 12.58, 6.4, 133.45, None),
-        f("autocomplete (n)", FP, N, 3.8, 42.7, 922.59, 156.98, 0.92, 0.69, 13.52, 6.3, 121.98, None),
-        f("json (n)", FP, N, 9.4, 71.1, 159.09, 156.78, 0.85, 0.67, 13.02, 16.1, 86.58, None),
-        f("primes (n)", FP, N, 274.6, 316.9, 11.79, 201.35, 34.20, 1.27, 84.74, 287.1, 8.16, None),
-        f("img-resize (n)", FP, N, 445.3, 505.8, 6.57, 179.43, 18.05, 9.58, 61.83, 721.7, 4.10, None),
-        f("base64 (n)", FP, N, 644.0, 686.3, 5.62, 208.42, 53.83, 47.98, 161.93, 715.1, 4.34, None),
-        f("ocr-img (n)", FP, N, 2491.7, 2539.6, 1.53, 156.80, 1.08, 0.89, 13.95, 2508.5, 1.52, None),
+        f(
+            "get-time (n)",
+            FP,
+            N,
+            3.7,
+            36.8,
+            942.07,
+            156.76,
+            0.64,
+            0.59,
+            12.58,
+            6.4,
+            133.45,
+            None,
+        ),
+        f(
+            "autocomplete (n)",
+            FP,
+            N,
+            3.8,
+            42.7,
+            922.59,
+            156.98,
+            0.92,
+            0.69,
+            13.52,
+            6.3,
+            121.98,
+            None,
+        ),
+        f(
+            "json (n)", FP, N, 9.4, 71.1, 159.09, 156.78, 0.85, 0.67, 13.02, 16.1, 86.58, None,
+        ),
+        f(
+            "primes (n)",
+            FP,
+            N,
+            274.6,
+            316.9,
+            11.79,
+            201.35,
+            34.20,
+            1.27,
+            84.74,
+            287.1,
+            8.16,
+            None,
+        ),
+        f(
+            "img-resize (n)",
+            FP,
+            N,
+            445.3,
+            505.8,
+            6.57,
+            179.43,
+            18.05,
+            9.58,
+            61.83,
+            721.7,
+            4.10,
+            None,
+        ),
+        f(
+            "base64 (n)",
+            FP,
+            N,
+            644.0,
+            686.3,
+            5.62,
+            208.42,
+            53.83,
+            47.98,
+            161.93,
+            715.1,
+            4.34,
+            None,
+        ),
+        f(
+            "ocr-img (n)",
+            FP,
+            N,
+            2491.7,
+            2539.6,
+            1.53,
+            156.80,
+            1.08,
+            0.89,
+            13.95,
+            2508.5,
+            1.52,
+            None,
+        ),
     ];
 
     // Payload sizes called out in §5.3.1, plus plausible sizes for the
@@ -257,7 +1004,10 @@ mod tests {
         let pb = c.iter().filter(|s| s.suite == Suite::PolyBench).count();
         let fp = c.iter().filter(|s| s.suite == Suite::FaaSProfiler).count();
         assert_eq!((py, pb, fp), (22, 23, 13), "§5.3's suite split");
-        let node = c.iter().filter(|s| s.runtime == RuntimeKind::NodeJs).count();
+        let node = c
+            .iter()
+            .filter(|s| s.runtime == RuntimeKind::NodeJs)
+            .count();
         assert_eq!(node, 7);
     }
 
@@ -302,8 +1052,10 @@ mod tests {
         // §3.1: "mean: 8.5% of the mapped address space is modified,
         // median: 3.3%, 90p: 17%". Verify the transcribed catalog
         // reproduces those aggregates (tolerances for rounding).
-        let fracs: Vec<f64> =
-            catalog().iter().map(|s| 100.0 * s.write_set_fraction()).collect();
+        let fracs: Vec<f64> = catalog()
+            .iter()
+            .map(|s| 100.0 * s.write_set_fraction())
+            .collect();
         let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
         let med = median(&fracs);
         let p90 = percentile(&fracs, 90.0);
@@ -317,7 +1069,11 @@ mod tests {
         // §3: restores take "a median of 3.7 ms (10p: 0.7, 25p: 1,
         // 75p: 5.4, 90p: 13)". Check the transcribed paper restore times.
         let times: Vec<f64> = catalog().iter().map(|s| s.paper_restore_ms).collect();
-        assert!((median(&times) - 3.7).abs() < 0.8, "median {}", median(&times));
+        assert!(
+            (median(&times) - 3.7).abs() < 0.8,
+            "median {}",
+            median(&times)
+        );
         assert!((percentile(&times, 10.0) - 0.7).abs() < 0.3);
         assert!((percentile(&times, 90.0) - 13.0).abs() < 4.0);
     }
@@ -351,8 +1107,15 @@ mod tests {
 
     #[test]
     fn node_functions_map_huge_sparse_spaces() {
-        for s in catalog().iter().filter(|s| s.runtime == RuntimeKind::NodeJs) {
-            assert!(s.total_kpages > 100.0, "{}: Table 3 shows >150K pages", s.name);
+        for s in catalog()
+            .iter()
+            .filter(|s| s.runtime == RuntimeKind::NodeJs)
+        {
+            assert!(
+                s.total_kpages > 100.0,
+                "{}: Table 3 shows >150K pages",
+                s.name
+            );
         }
     }
 }

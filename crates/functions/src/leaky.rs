@@ -40,7 +40,11 @@ impl BuggyCache {
     /// Prepares the cache page during initialization (dummy phase): the
     /// marker is written with clean taint.
     pub fn init(kernel: &mut Kernel, fproc: &FunctionProcess) -> BuggyCache {
-        let page = fproc.regions.anon.first().map_or(fproc.regions.data.start, |r| r.start);
+        let page = fproc
+            .regions
+            .anon
+            .first()
+            .map_or(fproc.regions.data.start, |r| r.start);
         kernel
             .run_charged(fproc.pid, |p, frames| {
                 p.mem
@@ -72,7 +76,10 @@ impl BuggyCache {
             let proc = kernel.process(fproc.pid).expect("live");
             let pte = proc.mem.pte(page).expect("cache resident");
             let frames = kernel.frames();
-            (frames.data(pte.frame).read_word(CACHE_WORD), frames.taint(pte.frame))
+            (
+                frames.data(pte.frame).read_word(CACHE_WORD),
+                frames.taint(pte.frame),
+            )
         };
         // Store this request's secret (tainted write).
         kernel
@@ -85,7 +92,10 @@ impl BuggyCache {
                 data.write_word(CACHE_WORD, secret);
             })
             .expect("invoke");
-        BuggyResponse { leaked_value, leaked_from }
+        BuggyResponse {
+            leaked_value,
+            leaked_from,
+        }
     }
 }
 

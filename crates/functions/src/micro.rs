@@ -39,9 +39,14 @@ impl MicroFunction {
         let pid = kernel.spawn("microbench (c)");
         let region = kernel
             .run_charged(pid, |p, frames| {
-                let r = p.mem.mmap(mapped_pages, Perms::RW, VmaKind::Anon).expect("fits");
+                let r = p
+                    .mem
+                    .mmap(mapped_pages, Perms::RW, VmaKind::Anon)
+                    .expect("fits");
                 for vpn in r.iter() {
-                    p.mem.touch(vpn, Touch::Read, Taint::Clean, frames).expect("page-in");
+                    p.mem
+                        .touch(vpn, Touch::Read, Taint::Clean, frames)
+                        .expect("page-in");
                 }
                 r
             })
@@ -53,12 +58,7 @@ impl MicroFunction {
     /// One invocation: write a word to each page of an evenly spread
     /// subset covering `dirty_fraction` of the region, then read one word
     /// from every mapped page.
-    pub fn invoke(
-        &self,
-        kernel: &mut Kernel,
-        dirty_fraction: f64,
-        req: RequestId,
-    ) -> MicroReport {
+    pub fn invoke(&self, kernel: &mut Kernel, dirty_fraction: f64, req: RequestId) -> MicroReport {
         let t0 = kernel.clock.now();
         let total = self.region.len();
         let dirty = ((total as f64) * dirty_fraction.clamp(0.0, 1.0)).round() as u64;
@@ -77,12 +77,17 @@ impl MicroFunction {
                     }
                 }
                 for vpn in region.iter() {
-                    p.mem.touch(vpn, Touch::Read, Taint::Clean, frames).expect("read");
+                    p.mem
+                        .touch(vpn, Touch::Read, Taint::Clean, frames)
+                        .expect("read");
                 }
             })
             .expect("invoke");
         kernel.charge(WORK_PER_WRITE * dirty + WORK_PER_READ * total);
-        MicroReport { duration: kernel.clock.now() - t0, dirtied: dirty }
+        MicroReport {
+            duration: kernel.clock.now() - t0,
+            dirtied: dirty,
+        }
     }
 
     /// Number of pages the next invocation would dirty for a fraction.

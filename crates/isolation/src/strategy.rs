@@ -178,7 +178,10 @@ impl Strategy {
             StrategyKind::Base => Ok(Strategy::Base),
             StrategyKind::Gh => Ok(Strategy::Gh(Box::new(Manager::new(fproc.pid, gh_cfg)))),
             StrategyKind::GhNop => {
-                let cfg = GroundhogConfig { restore_enabled: false, ..gh_cfg };
+                let cfg = GroundhogConfig {
+                    restore_enabled: false,
+                    ..gh_cfg
+                };
                 Ok(Strategy::Gh(Box::new(Manager::new(fproc.pid, cfg))))
             }
             StrategyKind::Fork => {
@@ -190,7 +193,9 @@ impl Strategy {
             }
             StrategyKind::Faasm => {
                 let Some(faasm) = spec.faasm else {
-                    return Err(StrategyError::NotWasmCompatible { name: spec.name.into() });
+                    return Err(StrategyError::NotWasmCompatible {
+                        name: spec.name.into(),
+                    });
                 };
                 let compute_scale = if spec.base_invoker_ms > 0.0 {
                     (faasm.invoker_ms / spec.base_invoker_ms).max(0.05)
@@ -224,6 +229,31 @@ impl Strategy {
         }
     }
 
+    /// True when a request may be forwarded without violating isolation
+    /// (§4.5): the strategy either has the process provably clean or
+    /// will roll it back during admission (§4.4's deferred mode).
+    /// Non-Groundhog strategies have no restore gate and are always
+    /// admissible; GH delegates to [`Manager::is_ready`], making
+    /// restore completion a first-class readiness signal the fleet
+    /// scheduler can route on. [`Strategy::admits_without_restore`]
+    /// asks the stronger per-principal "clean right now" question.
+    pub fn is_ready(&self) -> bool {
+        match self {
+            Strategy::Gh(mgr) => mgr.is_ready(),
+            _ => true,
+        }
+    }
+
+    /// True when admitting `principal` now puts no restore on the
+    /// request's critical path (always for non-GH strategies; for GH,
+    /// the process is clean or §4.4's same-principal skip applies).
+    pub fn admits_without_restore(&self, principal: &str) -> bool {
+        match self {
+            Strategy::Gh(mgr) => mgr.admits_without_restore(principal),
+            _ => true,
+        }
+    }
+
     /// Multiplier on the function's compute time (wasm vs native,
     /// §5.3.3); 1.0 for process-based strategies.
     pub fn compute_scale(&self) -> f64 {
@@ -251,7 +281,11 @@ impl Strategy {
             Strategy::Faasm { heap, regs, .. } => {
                 let t0 = kernel.clock.now();
                 let (proc, frames) = kernel.mem_ctx(fproc.pid)?;
-                *regs = proc.threads.iter().map(|t| (t.tid, t.regs.clone())).collect();
+                *regs = proc
+                    .threads
+                    .iter()
+                    .map(|t| (t.tid, t.regs.clone()))
+                    .collect();
                 let mut saved = BTreeMap::new();
                 for r in fproc.regions.dirtyable() {
                     for vpn in r.iter() {
@@ -265,7 +299,8 @@ impl Strategy {
                 *heap = saved;
                 // Checkpointing the contiguous wasm heap is a remap, far
                 // cheaper than a page-walk snapshot.
-                let cost = kernel.cost.faasm_remap_base + kernel.cost.snapshot_per_mapped_page * pages;
+                let cost =
+                    kernel.cost.faasm_remap_base + kernel.cost.snapshot_per_mapped_page * pages;
                 kernel.charge(cost);
                 Ok(PrepareReport {
                     duration: kernel.clock.now() - t0,
@@ -319,14 +354,20 @@ impl Strategy {
                 if restore.is_some() && mgr.config().virtualize_time {
                     fproc.rebase_gc_clock(kernel);
                 }
-                Ok(PostReport { off_path: kernel.clock.now() - t0, restore })
+                Ok(PostReport {
+                    off_path: kernel.clock.now() - t0,
+                    restore,
+                })
             }
             Strategy::Fork { active_child } => {
                 let t0 = kernel.clock.now();
                 if let Some(child) = active_child.take() {
                     kernel.exit(child)?;
                 }
-                Ok(PostReport { off_path: kernel.clock.now() - t0, restore: None })
+                Ok(PostReport {
+                    off_path: kernel.clock.now() - t0,
+                    restore: None,
+                })
             }
             Strategy::Faasm { heap, regs, .. } => {
                 // CoW remap of the contiguous wasm region: all dirty pages
@@ -347,9 +388,9 @@ impl Strategy {
                             proc.mem
                                 .restore_page(*vpn, data, Taint::Clean, frames)
                                 .map_err(|_| {
-                                    StrategyError::Proc(
-                                        gh_proc::kernel::ProcError::NoSuchProcess(fproc.pid),
-                                    )
+                                    StrategyError::Proc(gh_proc::kernel::ProcError::NoSuchProcess(
+                                        fproc.pid,
+                                    ))
                                 })?;
                             reverted += 1;
                         }
@@ -362,7 +403,10 @@ impl Strategy {
                 proc.mem.clear_soft_dirty();
                 let cost = kernel.cost.faasm_reset_cost(reverted);
                 kernel.charge(cost);
-                Ok(PostReport { off_path: kernel.clock.now() - t0, restore: None })
+                Ok(PostReport {
+                    off_path: kernel.clock.now() - t0,
+                    restore: None,
+                })
             }
         }
     }
@@ -388,7 +432,11 @@ mod tests {
         (kernel, fproc, spec)
     }
 
-    fn full_cycle(kind: StrategyKind, name: &str, requests: u64) -> (Kernel, FunctionProcess, Strategy) {
+    fn full_cycle(
+        kind: StrategyKind,
+        name: &str,
+        requests: u64,
+    ) -> (Kernel, FunctionProcess, Strategy) {
         let (mut kernel, mut fproc, spec) = build(name);
         // Dummy warm-up (§4.1), then prepare.
         Executor::invoke(&mut kernel, &mut fproc, &spec, &RequestCtx::dummy(0));
@@ -422,7 +470,9 @@ mod tests {
         let proc = kernel.process(fproc.pid).unwrap();
         for i in 1..=3 {
             assert!(
-                proc.mem.tainted_pages(RequestId(i), kernel.frames()).is_empty(),
+                proc.mem
+                    .tainted_pages(RequestId(i), kernel.frames())
+                    .is_empty(),
                 "request {i} leaked"
             );
         }
@@ -432,7 +482,10 @@ mod tests {
     fn base_cycle_retains_taint() {
         let (kernel, fproc, _) = full_cycle(StrategyKind::Base, "telco (p)", 2);
         let proc = kernel.process(fproc.pid).unwrap();
-        assert!(!proc.mem.tainted_pages(RequestId(2), kernel.frames()).is_empty());
+        assert!(!proc
+            .mem
+            .tainted_pages(RequestId(2), kernel.frames())
+            .is_empty());
     }
 
     #[test]
@@ -440,7 +493,10 @@ mod tests {
         let (kernel, fproc, strat) = full_cycle(StrategyKind::GhNop, "telco (p)", 2);
         assert_eq!(strat.kind(), StrategyKind::GhNop);
         let proc = kernel.process(fproc.pid).unwrap();
-        assert!(!proc.mem.tainted_pages(RequestId(1), kernel.frames()).is_empty());
+        assert!(!proc
+            .mem
+            .tainted_pages(RequestId(1), kernel.frames())
+            .is_empty());
     }
 
     #[test]
@@ -449,7 +505,9 @@ mod tests {
         let proc = kernel.process(fproc.pid).unwrap();
         for i in 1..=3 {
             assert!(
-                proc.mem.tainted_pages(RequestId(i), kernel.frames()).is_empty(),
+                proc.mem
+                    .tainted_pages(RequestId(i), kernel.frames())
+                    .is_empty(),
                 "fork parent dirtied by request {i}"
             );
         }
@@ -468,7 +526,10 @@ mod tests {
             GroundhogConfig::gh(),
         )
         .unwrap_err();
-        assert!(matches!(err, StrategyError::ForkNeedsSingleThread { threads: 7 }));
+        assert!(matches!(
+            err,
+            StrategyError::ForkNeedsSingleThread { threads: 7 }
+        ));
     }
 
     #[test]
@@ -491,8 +552,14 @@ mod tests {
         // pyaes under wasm is ~1.8x slower (Table 1: 8559 vs 4672).
         assert!(strat.compute_scale() > 1.5);
         let proc = kernel.process(fproc.pid).unwrap();
-        assert!(proc.mem.tainted_pages(RequestId(1), kernel.frames()).is_empty());
-        assert!(proc.mem.tainted_pages(RequestId(2), kernel.frames()).is_empty());
+        assert!(proc
+            .mem
+            .tainted_pages(RequestId(1), kernel.frames())
+            .is_empty());
+        assert!(proc
+            .mem
+            .tainted_pages(RequestId(2), kernel.frames())
+            .is_empty());
     }
 
     #[test]
@@ -506,7 +573,10 @@ mod tests {
             GroundhogConfig::gh(),
         )
         .unwrap();
-        assert!(strat.compute_scale() < 1.0, "wasm beats native on PolyBench (§5.3.3)");
+        assert!(
+            strat.compute_scale() < 1.0,
+            "wasm beats native on PolyBench (§5.3.3)"
+        );
     }
 
     #[test]
@@ -527,7 +597,10 @@ mod tests {
         strat.admit(&mut kernel, &fproc, "a").unwrap();
         Executor::invoke(&mut kernel, &mut fproc, &spec, &RequestCtx::new(1, "a", 1));
         let post = strat.conclude(&mut kernel, &fproc).unwrap();
-        assert!(post.off_path > Nanos::ZERO, "restore happens off the critical path");
+        assert!(
+            post.off_path > Nanos::ZERO,
+            "restore happens off the critical path"
+        );
         assert!(post.restore.is_some());
     }
 

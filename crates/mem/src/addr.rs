@@ -103,7 +103,10 @@ impl PageRange {
     /// Range of `len` pages starting at `start`.
     #[inline]
     pub fn at(start: Vpn, len: u64) -> PageRange {
-        PageRange { start, end: Vpn(start.0 + len) }
+        PageRange {
+            start,
+            end: Vpn(start.0 + len),
+        }
     }
 
     /// Number of pages.

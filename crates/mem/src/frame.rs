@@ -91,14 +91,19 @@ impl FrameData {
         match self {
             FrameData::Zero => {
                 if value != 0 {
-                    *self = FrameData::Patched { base: None, patches: vec![(off, value)] };
+                    *self = FrameData::Patched {
+                        base: None,
+                        patches: vec![(off, value)],
+                    };
                 }
             }
             FrameData::Pattern(seed) => {
                 let seed = *seed;
                 if pattern_word(seed, word_index) != value {
-                    *self =
-                        FrameData::Patched { base: Some(seed), patches: vec![(off, value)] };
+                    *self = FrameData::Patched {
+                        base: Some(seed),
+                        patches: vec![(off, value)],
+                    };
                 }
             }
             FrameData::Patched { patches, .. } => {
@@ -125,7 +130,10 @@ impl FrameData {
     ///
     /// Panics if the read crosses the page end.
     pub fn read_bytes(&self, offset: usize, buf: &mut [u8]) {
-        assert!(offset + buf.len() <= PAGE_SIZE as usize, "read crosses page end");
+        assert!(
+            offset + buf.len() <= PAGE_SIZE as usize,
+            "read crosses page end"
+        );
         match self {
             FrameData::Literal(bytes) => {
                 buf.copy_from_slice(&bytes[offset..offset + buf.len()]);
@@ -147,7 +155,10 @@ impl FrameData {
     ///
     /// Panics if the write crosses the page end.
     pub fn write_bytes(&mut self, offset: usize, data: &[u8]) {
-        assert!(offset + data.len() <= PAGE_SIZE as usize, "write crosses page end");
+        assert!(
+            offset + data.len() <= PAGE_SIZE as usize,
+            "write crosses page end"
+        );
         if data.len() == 8 && offset.is_multiple_of(8) {
             let v = u64::from_le_bytes(data.try_into().expect("8 bytes"));
             self.write_word(offset / 8, v);
@@ -165,8 +176,7 @@ impl FrameData {
             FrameData::Zero => {}
             FrameData::Pattern(seed) => {
                 for w in 0..WORDS_PER_PAGE {
-                    bytes[w * 8..w * 8 + 8]
-                        .copy_from_slice(&pattern_word(*seed, w).to_le_bytes());
+                    bytes[w * 8..w * 8 + 8].copy_from_slice(&pattern_word(*seed, w).to_le_bytes());
                 }
             }
             FrameData::Patched { base, patches } => {
@@ -226,7 +236,11 @@ impl FrameTable {
     /// Allocates a frame with the given contents and taint.
     pub fn alloc(&mut self, data: FrameData, taint: Taint) -> FrameId {
         self.allocated += 1;
-        let frame = Frame { data, taint, refs: 1 };
+        let frame = Frame {
+            data,
+            taint,
+            refs: 1,
+        };
         if let Some(idx) = self.free.pop() {
             self.frames[idx as usize] = Some(frame);
             FrameId(idx)

@@ -130,7 +130,10 @@ pub struct Pte {
 impl Pte {
     /// A present entry with the given extra flags.
     pub fn present(frame: FrameId, extra: PteFlags) -> Pte {
-        Pte { frame, flags: PteFlags::PRESENT.with(extra) }
+        Pte {
+            frame,
+            flags: PteFlags::PRESENT.with(extra),
+        }
     }
 
     /// Whether the soft-dirty bit is set.

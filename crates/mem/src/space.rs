@@ -150,8 +150,7 @@ impl AddressSpace {
     pub fn new(cfg: SpaceConfig, frames: &mut FrameTable) -> AddressSpace {
         let _ = frames; // reserved for future eager mappings
         let mut vmas = BTreeMap::new();
-        let stack_range =
-            PageRange::new(Vpn(cfg.stack_top.0 - cfg.stack_pages), cfg.stack_top);
+        let stack_range = PageRange::new(Vpn(cfg.stack_top.0 - cfg.stack_pages), cfg.stack_top);
         vmas.insert(
             stack_range.start.0,
             Vma::new(stack_range, Perms::RW, VmaKind::Stack),
@@ -256,7 +255,12 @@ impl AddressSpace {
     }
 
     /// `mmap(NULL, len, ...)`: maps `len` pages at a kernel-chosen address.
-    pub fn mmap(&mut self, len: u64, perms: Perms, kind: VmaKind) -> Result<PageRange, AccessError> {
+    pub fn mmap(
+        &mut self,
+        len: u64,
+        perms: Perms,
+        kind: VmaKind,
+    ) -> Result<PageRange, AccessError> {
         let range = self.find_free(len).ok_or(AccessError::BadRange)?;
         self.insert_vma(Vma::new(range, perms, kind));
         Ok(range)
@@ -285,11 +289,7 @@ impl AddressSpace {
             .range(..range.end.0)
             .next_back()
             .is_some_and(|(_, v)| v.range.overlaps(range))
-            || self
-                .vmas
-                .range(range.start.0..range.end.0)
-                .next()
-                .is_some()
+            || self.vmas.range(range.start.0..range.end.0).next().is_some()
     }
 
     /// Inserts a VMA, merging with adjacent compatible anonymous VMAs.
@@ -338,8 +338,7 @@ impl AddressSpace {
             }
             // Right remainder.
             if cut.end.0 < vma.range.end.0 {
-                let right =
-                    Vma::new(PageRange::new(cut.end, vma.range.end), vma.perms, vma.kind);
+                let right = Vma::new(PageRange::new(cut.end, vma.range.end), vma.perms, vma.kind);
                 self.vmas.insert(right.range.start.0, right);
             }
         }
@@ -417,10 +416,8 @@ impl AddressSpace {
                 v.range.end = new_brk;
                 self.vmas.insert(v.range.start.0, v);
             } else {
-                self.vmas.insert(
-                    grow.start.0,
-                    Vma::new(grow, Perms::RW, VmaKind::Heap),
-                );
+                self.vmas
+                    .insert(grow.start.0, Vma::new(grow, Perms::RW, VmaKind::Heap));
             }
         } else if new_brk.0 < old.0 {
             let shrink = PageRange::new(new_brk, old);
@@ -508,7 +505,8 @@ impl AddressSpace {
                 // Groundhog's restore correctness depends on this.
                 self.counters.minor += 1;
                 let frame = frames.alloc(fresh, Taint::Clean);
-                self.pages.insert(vpn.0, Pte::present(frame, PteFlags::SOFT_DIRTY));
+                self.pages
+                    .insert(vpn.0, Pte::present(frame, PteFlags::SOFT_DIRTY));
             }
             Some(pte) => {
                 if pte.flags.contains(PteFlags::TLB_COLD) {
@@ -556,8 +554,10 @@ impl AddressSpace {
                 if pte.flags.contains(PteFlags::UFFD_WP) {
                     self.counters.uffd_wp += 1;
                     self.uffd_log.push(vpn);
-                    pte.flags =
-                        pte.flags.without(PteFlags::UFFD_WP).with(PteFlags::SOFT_DIRTY);
+                    pte.flags = pte
+                        .flags
+                        .without(PteFlags::UFFD_WP)
+                        .with(PteFlags::SOFT_DIRTY);
                     faulted = true;
                 } else if pte.flags.contains(PteFlags::SD_WP) {
                     // One hardware #PF resolves CoW and soft-dirty arming
@@ -566,8 +566,10 @@ impl AddressSpace {
                     if !faulted {
                         self.counters.sd_wp += 1;
                     }
-                    pte.flags =
-                        pte.flags.without(PteFlags::SD_WP).with(PteFlags::SOFT_DIRTY);
+                    pte.flags = pte
+                        .flags
+                        .without(PteFlags::SD_WP)
+                        .with(PteFlags::SOFT_DIRTY);
                     faulted = true;
                 } else {
                     pte.flags |= PteFlags::SOFT_DIRTY;
@@ -618,7 +620,9 @@ impl AddressSpace {
             let off = cur.page_offset() as usize;
             let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
             let pte = self.pages.get(&vpn.0).expect("present after access");
-            frames.data(pte.frame).read_bytes(off, &mut buf[pos..pos + n]);
+            frames
+                .data(pte.frame)
+                .read_bytes(off, &mut buf[pos..pos + n]);
             pos += n;
             cur = cur.add(n as u64);
         }
@@ -667,7 +671,10 @@ impl AddressSpace {
     /// write-protects present pages so the next write faults.
     pub fn clear_soft_dirty(&mut self) {
         for pte in self.pages.values_mut() {
-            pte.flags = pte.flags.without(PteFlags::SOFT_DIRTY).with(PteFlags::SD_WP);
+            pte.flags = pte
+                .flags
+                .without(PteFlags::SOFT_DIRTY)
+                .with(PteFlags::SD_WP);
         }
     }
 
@@ -677,7 +684,10 @@ impl AddressSpace {
         self.uffd_armed = true;
         self.uffd_log.clear();
         for pte in self.pages.values_mut() {
-            pte.flags = pte.flags.with(PteFlags::UFFD_WP).without(PteFlags::SOFT_DIRTY);
+            pte.flags = pte
+                .flags
+                .with(PteFlags::UFFD_WP)
+                .without(PteFlags::SOFT_DIRTY);
         }
     }
 
@@ -751,7 +761,8 @@ impl AddressSpace {
             }
             None => {
                 let frame = frames.alloc(data.clone(), taint);
-                self.pages.insert(vpn.0, Pte::present(frame, PteFlags::empty()));
+                self.pages
+                    .insert(vpn.0, Pte::present(frame, PteFlags::empty()));
             }
         }
         Ok(())
@@ -795,7 +806,13 @@ impl AddressSpace {
             // harmless: the write path checks VMA perms first.)
             pte.flags |= PteFlags::COW;
             let child_flags = pte.flags.with(PteFlags::TLB_COLD);
-            child_pages.insert(vpn, Pte { frame: pte.frame, flags: child_flags });
+            child_pages.insert(
+                vpn,
+                Pte {
+                    frame: pte.frame,
+                    flags: child_flags,
+                },
+            );
         }
         AddressSpace {
             cfg: self.cfg,
@@ -907,7 +924,8 @@ mod tests {
         let (mut s, mut f) = setup();
         let r = s.mmap(4, Perms::RW, VmaKind::Anon).unwrap();
         for vpn in r.iter() {
-            s.touch(vpn, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
+            s.touch(vpn, Touch::WriteWord(1), Taint::Clean, &mut f)
+                .unwrap();
         }
         assert_eq!(f.live(), 4);
         s.munmap(r, &mut f).unwrap();
@@ -924,7 +942,8 @@ mod tests {
         assert_eq!(s.vma_count(), 4, "stack + 3 fragments");
         let err = s.touch(ro.start, Touch::WriteWord(1), Taint::Clean, &mut f);
         assert_eq!(err, Err(AccessError::PermissionDenied(ro.start)));
-        s.touch(ro.start, Touch::Read, Taint::Clean, &mut f).unwrap();
+        s.touch(ro.start, Touch::Read, Taint::Clean, &mut f)
+            .unwrap();
         s.check_invariants().unwrap();
     }
 
@@ -943,7 +962,8 @@ mod tests {
         assert_eq!(s.brk(), Vpn(base.0 + 100));
         assert!(s.vma_at(Vpn(base.0 + 50)).is_some());
         // Touch a heap page then shrink past it: frame released.
-        s.touch(Vpn(base.0 + 80), Touch::WriteWord(7), Taint::Clean, &mut f).unwrap();
+        s.touch(Vpn(base.0 + 80), Touch::WriteWord(7), Taint::Clean, &mut f)
+            .unwrap();
         assert_eq!(f.live(), 1);
         s.set_brk(Vpn(base.0 + 50), &mut f).unwrap();
         assert_eq!(f.live(), 0);
@@ -958,7 +978,10 @@ mod tests {
     fn brk_below_base_fails() {
         let (mut s, mut f) = setup();
         let base = s.config().heap_base;
-        assert_eq!(s.set_brk(Vpn(base.0 - 1), &mut f), Err(AccessError::BadRange));
+        assert_eq!(
+            s.set_brk(Vpn(base.0 - 1), &mut f),
+            Err(AccessError::BadRange)
+        );
     }
 
     #[test]
@@ -979,14 +1002,17 @@ mod tests {
         // the soft-dirty bit, so remap churn cannot hide modifications.
         let (mut s, mut f) = setup();
         let r = s.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
-        s.touch(r.start, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
-        s.touch(r.start.next(), Touch::Read, Taint::Clean, &mut f).unwrap();
+        s.touch(r.start, Touch::WriteWord(1), Taint::Clean, &mut f)
+            .unwrap();
+        s.touch(r.start.next(), Touch::Read, Taint::Clean, &mut f)
+            .unwrap();
         assert!(s.pte(r.start).unwrap().soft_dirty());
         assert!(s.pte(r.start.next()).unwrap().soft_dirty());
         assert_eq!(s.soft_dirty_pages(), vec![r.start, r.start.next()]);
         // After a clear, re-reading a *present* page stays clean.
         s.clear_soft_dirty();
-        s.touch(r.start.next(), Touch::Read, Taint::Clean, &mut f).unwrap();
+        s.touch(r.start.next(), Touch::Read, Taint::Clean, &mut f)
+            .unwrap();
         assert!(!s.pte(r.start.next()).unwrap().soft_dirty());
     }
 
@@ -994,16 +1020,23 @@ mod tests {
     fn clear_soft_dirty_arms_wp_faults() {
         let (mut s, mut f) = setup();
         let r = s.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
-        s.touch(r.start, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
+        s.touch(r.start, Touch::WriteWord(1), Taint::Clean, &mut f)
+            .unwrap();
         s.clear_soft_dirty();
         assert!(s.soft_dirty_pages().is_empty());
         let before = s.counters();
-        s.touch(r.start, Touch::WriteWord(2), Taint::Clean, &mut f).unwrap();
+        s.touch(r.start, Touch::WriteWord(2), Taint::Clean, &mut f)
+            .unwrap();
         let after = s.counters();
-        assert_eq!(after.sd_wp - before.sd_wp, 1, "armed write takes an SD fault");
+        assert_eq!(
+            after.sd_wp - before.sd_wp,
+            1,
+            "armed write takes an SD fault"
+        );
         assert_eq!(s.soft_dirty_pages(), vec![r.start]);
         // A second write to the same page is warm.
-        s.touch(r.start, Touch::WriteWord(3), Taint::Clean, &mut f).unwrap();
+        s.touch(r.start, Touch::WriteWord(3), Taint::Clean, &mut f)
+            .unwrap();
         assert_eq!(s.counters().sd_wp, after.sd_wp);
     }
 
@@ -1013,10 +1046,12 @@ mod tests {
         let r = s.mmap(1, Perms::RW, VmaKind::Anon).unwrap();
         // A restorer-written page is present, clean, and unarmed — the
         // only way to reach that state.
-        s.restore_page(r.start, &FrameData::Zero, Taint::Clean, &mut f).unwrap();
+        s.restore_page(r.start, &FrameData::Zero, Taint::Clean, &mut f)
+            .unwrap();
         assert!(!s.pte(r.start).unwrap().soft_dirty());
         let c0 = s.counters();
-        s.touch(r.start, Touch::WriteWord(9), Taint::Clean, &mut f).unwrap();
+        s.touch(r.start, Touch::WriteWord(9), Taint::Clean, &mut f)
+            .unwrap();
         assert!(s.pte(r.start).unwrap().soft_dirty());
         assert_eq!(s.counters().sd_wp, c0.sd_wp, "no SD fault when not armed");
     }
@@ -1026,11 +1061,19 @@ mod tests {
         let (mut s, mut f) = setup();
         let r = s.mmap(4, Perms::RW, VmaKind::Anon).unwrap();
         for vpn in r.iter() {
-            s.touch(vpn, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
+            s.touch(vpn, Touch::WriteWord(1), Taint::Clean, &mut f)
+                .unwrap();
         }
         s.arm_uffd_wp();
-        s.touch(r.start, Touch::WriteWord(2), Taint::Clean, &mut f).unwrap();
-        s.touch(Vpn(r.start.0 + 2), Touch::WriteWord(2), Taint::Clean, &mut f).unwrap();
+        s.touch(r.start, Touch::WriteWord(2), Taint::Clean, &mut f)
+            .unwrap();
+        s.touch(
+            Vpn(r.start.0 + 2),
+            Touch::WriteWord(2),
+            Taint::Clean,
+            &mut f,
+        )
+        .unwrap();
         assert_eq!(s.counters().uffd_wp, 2);
         let log = s.disarm_uffd();
         assert_eq!(log, vec![r.start, Vpn(r.start.0 + 2)]);
@@ -1053,7 +1096,8 @@ mod tests {
             .unwrap();
         // Same kind and same vpn layout → same pattern.
         assert_eq!(r.start, r2.start);
-        s2.touch(r2.start, Touch::Read, Taint::Clean, &mut f2).unwrap();
+        s2.touch(r2.start, Touch::Read, Taint::Clean, &mut f2)
+            .unwrap();
         assert_eq!(s2.peek_word(r2.start, 0, &f2).unwrap(), w1);
     }
 
@@ -1061,7 +1105,8 @@ mod tests {
     fn madvise_dontneed_loses_contents() {
         let (mut s, mut f) = setup();
         let r = s.mmap(1, Perms::RW, VmaKind::Anon).unwrap();
-        s.touch(r.start, Touch::WriteWord(0xAA), Taint::Clean, &mut f).unwrap();
+        s.touch(r.start, Touch::WriteWord(0xAA), Taint::Clean, &mut f)
+            .unwrap();
         assert_eq!(s.peek_word(r.start, 1, &f), Some(0xAA));
         s.madvise_dontneed(r, &mut f).unwrap();
         assert_eq!(s.present_pages(), 0);
@@ -1074,7 +1119,8 @@ mod tests {
         let (mut s, mut f) = setup();
         let r = s.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
         let addr = VirtAddr(r.start.addr().0 + PAGE_SIZE - 3);
-        s.write_bytes(addr, b"abcdef", Taint::Clean, &mut f).unwrap();
+        s.write_bytes(addr, b"abcdef", Taint::Clean, &mut f)
+            .unwrap();
         let mut buf = [0u8; 6];
         s.read_bytes(addr, &mut buf, &mut f).unwrap();
         assert_eq!(&buf, b"abcdef");
@@ -1092,18 +1138,24 @@ mod tests {
     fn fork_cow_semantics() {
         let (mut parent, mut f) = setup();
         let r = parent.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
-        parent.touch(r.start, Touch::WriteWord(0x11), Taint::Clean, &mut f).unwrap();
+        parent
+            .touch(r.start, Touch::WriteWord(0x11), Taint::Clean, &mut f)
+            .unwrap();
         let mut child = parent.fork(&mut f);
         assert_eq!(f.refcount(parent.pte(r.start).unwrap().frame), 2);
 
         // Child write takes CoW fault and does not affect parent.
-        child.touch(r.start, Touch::WriteWord(0x22), Taint::Clean, &mut f).unwrap();
+        child
+            .touch(r.start, Touch::WriteWord(0x22), Taint::Clean, &mut f)
+            .unwrap();
         assert_eq!(child.counters().cow, 1);
         assert_eq!(parent.peek_word(r.start, 1, &f), Some(0x11));
         assert_eq!(child.peek_word(r.start, 1, &f), Some(0x22));
 
         // Parent's subsequent write also CoW-faults (its PTE was marked).
-        parent.touch(r.start, Touch::WriteWord(0x33), Taint::Clean, &mut f).unwrap();
+        parent
+            .touch(r.start, Touch::WriteWord(0x33), Taint::Clean, &mut f)
+            .unwrap();
         assert_eq!(parent.counters().cow, 1);
         assert_eq!(child.peek_word(r.start, 1, &f), Some(0x22));
     }
@@ -1113,7 +1165,9 @@ mod tests {
         let (mut parent, mut f) = setup();
         let r = parent.mmap(3, Perms::RW, VmaKind::Anon).unwrap();
         for vpn in r.iter() {
-            parent.touch(vpn, Touch::Read, Taint::Clean, &mut f).unwrap();
+            parent
+                .touch(vpn, Touch::Read, Taint::Clean, &mut f)
+                .unwrap();
         }
         let mut child = parent.fork(&mut f);
         for vpn in r.iter() {
@@ -1122,7 +1176,9 @@ mod tests {
         assert_eq!(child.counters().tlb_cold, 3, "every first access is cold");
         // Parent stays warm.
         let before = parent.counters().tlb_cold;
-        parent.touch(r.start, Touch::Read, Taint::Clean, &mut f).unwrap();
+        parent
+            .touch(r.start, Touch::Read, Taint::Clean, &mut f)
+            .unwrap();
         assert_eq!(parent.counters().tlb_cold, before);
         child.release_all(&mut f);
     }
@@ -1133,10 +1189,12 @@ mod tests {
         let r = s.mmap(1, Perms::RW, VmaKind::Anon).unwrap();
         let r1 = RequestId(1);
         let r2 = RequestId(2);
-        s.touch(r.start, Touch::WriteWord(1), Taint::One(r1), &mut f).unwrap();
+        s.touch(r.start, Touch::WriteWord(1), Taint::One(r1), &mut f)
+            .unwrap();
         assert_eq!(s.tainted_pages(r1, &f), vec![r.start]);
         assert!(s.tainted_pages(r2, &f).is_empty());
-        s.touch(r.start, Touch::WriteWord(2), Taint::One(r2), &mut f).unwrap();
+        s.touch(r.start, Touch::WriteWord(2), Taint::One(r2), &mut f)
+            .unwrap();
         // Frame now carries both requests' data (Many).
         assert_eq!(s.tainted_pages(r1, &f), vec![r.start]);
         assert_eq!(s.tainted_pages(r2, &f), vec![r.start]);
@@ -1146,10 +1204,17 @@ mod tests {
     fn restore_page_is_untracked_and_untainted() {
         let (mut s, mut f) = setup();
         let r = s.mmap(1, Perms::RW, VmaKind::Anon).unwrap();
-        s.touch(r.start, Touch::WriteWord(5), Taint::One(RequestId(1)), &mut f).unwrap();
+        s.touch(
+            r.start,
+            Touch::WriteWord(5),
+            Taint::One(RequestId(1)),
+            &mut f,
+        )
+        .unwrap();
         s.clear_soft_dirty();
         let c0 = s.counters();
-        s.restore_page(r.start, &FrameData::Zero, Taint::Clean, &mut f).unwrap();
+        s.restore_page(r.start, &FrameData::Zero, Taint::Clean, &mut f)
+            .unwrap();
         assert_eq!(s.counters(), c0, "restore takes no accounted faults");
         assert_eq!(s.peek_word(r.start, 1, &f), Some(0));
         assert!(s.tainted_pages(RequestId(1), &f).is_empty());
@@ -1166,11 +1231,13 @@ mod tests {
     fn evict_and_zero_page() {
         let (mut s, mut f) = setup();
         let r = s.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
-        s.touch(r.start, Touch::WriteWord(5), Taint::Clean, &mut f).unwrap();
+        s.touch(r.start, Touch::WriteWord(5), Taint::Clean, &mut f)
+            .unwrap();
         s.evict_page(r.start, &mut f);
         assert_eq!(s.present_pages(), 0);
         assert_eq!(f.live(), 0);
-        s.touch(r.start, Touch::WriteWord(6), Taint::Clean, &mut f).unwrap();
+        s.touch(r.start, Touch::WriteWord(6), Taint::Clean, &mut f)
+            .unwrap();
         s.zero_page(r.start, &mut f).unwrap();
         assert_eq!(s.peek_word(r.start, 1, &f), Some(0));
     }
@@ -1180,7 +1247,8 @@ mod tests {
         let (mut s, mut f) = setup();
         let r = s.mmap(8, Perms::RW, VmaKind::Anon).unwrap();
         for vpn in r.iter() {
-            s.touch(vpn, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
+            s.touch(vpn, Touch::WriteWord(1), Taint::Clean, &mut f)
+                .unwrap();
         }
         assert_eq!(f.live(), 8);
         s.release_all(&mut f);
@@ -1193,10 +1261,14 @@ mod tests {
         let (mut parent, mut f) = setup();
         let r = parent.mmap(4, Perms::RW, VmaKind::Anon).unwrap();
         for vpn in r.iter() {
-            parent.touch(vpn, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
+            parent
+                .touch(vpn, Touch::WriteWord(1), Taint::Clean, &mut f)
+                .unwrap();
         }
         let mut child = parent.fork(&mut f);
-        child.touch(r.start, Touch::WriteWord(2), Taint::Clean, &mut f).unwrap();
+        child
+            .touch(r.start, Touch::WriteWord(2), Taint::Clean, &mut f)
+            .unwrap();
         child.release_all(&mut f);
         // Parent frames intact.
         assert_eq!(parent.peek_word(r.start, 1, &f), Some(1));
@@ -1209,8 +1281,10 @@ mod tests {
         let (mut s, mut f) = setup();
         let r = s.mmap(5, Perms::RW, VmaKind::Anon).unwrap();
         // Touch out of order.
-        s.touch(Vpn(r.start.0 + 3), Touch::Read, Taint::Clean, &mut f).unwrap();
-        s.touch(Vpn(r.start.0 + 1), Touch::Read, Taint::Clean, &mut f).unwrap();
+        s.touch(Vpn(r.start.0 + 3), Touch::Read, Taint::Clean, &mut f)
+            .unwrap();
+        s.touch(Vpn(r.start.0 + 1), Touch::Read, Taint::Clean, &mut f)
+            .unwrap();
         let vpns: Vec<u64> = s.pagemap().map(|(v, _)| v.0).collect();
         assert_eq!(vpns, vec![r.start.0 + 1, r.start.0 + 3]);
     }
@@ -1241,7 +1315,10 @@ mod edge_tests {
         let err = s.mmap(u64::MAX / 2, Perms::RW, VmaKind::Anon);
         assert_eq!(err, Err(AccessError::BadRange));
         // Zero-length mappings are rejected too.
-        assert_eq!(s.mmap(0, Perms::RW, VmaKind::Anon), Err(AccessError::BadRange));
+        assert_eq!(
+            s.mmap(0, Perms::RW, VmaKind::Anon),
+            Err(AccessError::BadRange)
+        );
     }
 
     #[test]
@@ -1274,11 +1351,13 @@ mod edge_tests {
     fn mark_all_cow_makes_next_write_copy() {
         let (mut s, mut f) = setup();
         let r = s.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
-        s.touch(r.start, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
+        s.touch(r.start, Touch::WriteWord(1), Taint::Clean, &mut f)
+            .unwrap();
         let frame = s.pte(r.start).unwrap().frame;
         f.incref(frame); // an observer (snapshot) holds a reference
         s.mark_all_cow();
-        s.touch(r.start, Touch::WriteWord(2), Taint::Clean, &mut f).unwrap();
+        s.touch(r.start, Touch::WriteWord(2), Taint::Clean, &mut f)
+            .unwrap();
         assert_eq!(s.counters().cow, 1);
         let new_frame = s.pte(r.start).unwrap().frame;
         assert_ne!(frame, new_frame, "write copied the shared frame");
@@ -1291,12 +1370,14 @@ mod edge_tests {
     fn cow_plus_armed_sd_counts_single_fault() {
         let (mut s, mut f) = setup();
         let r = s.mmap(1, Perms::RW, VmaKind::Anon).unwrap();
-        s.touch(r.start, Touch::WriteWord(1), Taint::Clean, &mut f).unwrap();
+        s.touch(r.start, Touch::WriteWord(1), Taint::Clean, &mut f)
+            .unwrap();
         let frame = s.pte(r.start).unwrap().frame;
         f.incref(frame);
         s.mark_all_cow();
         s.clear_soft_dirty();
-        s.touch(r.start, Touch::WriteWord(2), Taint::Clean, &mut f).unwrap();
+        s.touch(r.start, Touch::WriteWord(2), Taint::Clean, &mut f)
+            .unwrap();
         let c = s.counters();
         assert_eq!(c.cow, 1);
         assert_eq!(c.sd_wp, 0, "one #PF resolves CoW + soft-dirty arming");
@@ -1309,7 +1390,8 @@ mod edge_tests {
         let (mut s, mut f) = setup();
         let r = s.mmap(8, Perms::RW, VmaKind::Anon).unwrap();
         for vpn in r.iter() {
-            s.touch(vpn, Touch::WriteWord(9), Taint::Clean, &mut f).unwrap();
+            s.touch(vpn, Touch::WriteWord(9), Taint::Clean, &mut f)
+                .unwrap();
         }
         s.munmap(r, &mut f).unwrap();
         // Remap the exact range; contents must be fresh zeroes.

@@ -17,13 +17,29 @@ pub struct Perms {
 
 impl Perms {
     /// `rw-`
-    pub const RW: Perms = Perms { r: true, w: true, x: false };
+    pub const RW: Perms = Perms {
+        r: true,
+        w: true,
+        x: false,
+    };
     /// `r--`
-    pub const R: Perms = Perms { r: true, w: false, x: false };
+    pub const R: Perms = Perms {
+        r: true,
+        w: false,
+        x: false,
+    };
     /// `r-x`
-    pub const RX: Perms = Perms { r: true, w: false, x: true };
+    pub const RX: Perms = Perms {
+        r: true,
+        w: false,
+        x: true,
+    };
     /// `---` (guard pages)
-    pub const NONE: Perms = Perms { r: false, w: false, x: false };
+    pub const NONE: Perms = Perms {
+        r: false,
+        w: false,
+        x: false,
+    };
 }
 
 impl fmt::Debug for Perms {
@@ -90,9 +106,7 @@ impl Vma {
     /// same permissions and both plain anonymous mappings (the kernel's
     /// `vma_merge` policy, simplified).
     pub fn can_merge_with(&self, other: &Vma) -> bool {
-        self.perms == other.perms
-            && self.kind == other.kind
-            && matches!(self.kind, VmaKind::Anon)
+        self.perms == other.perms && self.kind == other.kind && matches!(self.kind, VmaKind::Anon)
     }
 
     /// A `/proc/pid/maps`-style line for this VMA.

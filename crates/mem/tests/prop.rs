@@ -1,15 +1,19 @@
-//! Property-based tests of the virtual-memory substrate.
+//! Randomized (property-style) tests of the virtual-memory substrate.
 //!
 //! These check the invariants Groundhog's correctness rests on:
 //! soft-dirty tracking is *exact* (dirty set == written set), CoW never
 //! leaks writes between fork relatives, frame refcounting is leak-free,
 //! and page contents are representation-independent.
+//!
+//! Cases are generated with the workspace's own seeded [`DetRng`]
+//! (crates.io is unavailable in the build environment, so `proptest`
+//! cannot be used); every run replays the identical case set, and a
+//! failing case is reproducible from the printed seed alone.
 
-use proptest::prelude::*;
+use gh_sim::DetRng;
 
 use gh_mem::{
-    AddressSpace, FrameData, FrameTable, PageRange, Perms, SpaceConfig, Taint, Touch, VmaKind,
-    Vpn,
+    AddressSpace, FrameData, FrameTable, PageRange, Perms, SpaceConfig, Taint, Touch, VmaKind, Vpn,
 };
 
 /// Ops the fuzzer may perform against an address space.
@@ -25,17 +29,17 @@ enum Op {
     ClearSd,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u64..32).prop_map(Op::Mmap),
-        (any::<usize>(), 1u64..8).prop_map(|(i, l)| Op::MunmapAt(i, l)),
-        (-16i64..64).prop_map(Op::Brk),
-        any::<usize>().prop_map(Op::TouchWrite),
-        any::<usize>().prop_map(Op::TouchRead),
-        (any::<usize>(), 1u64..4).prop_map(|(i, l)| Op::MprotectRo(i, l)),
-        (any::<usize>(), 1u64..8).prop_map(|(i, l)| Op::Madvise(i, l)),
-        Just(Op::ClearSd),
-    ]
+fn random_op(rng: &mut DetRng) -> Op {
+    match rng.next_below(8) {
+        0 => Op::Mmap(1 + rng.next_below(31)),
+        1 => Op::MunmapAt(rng.next_u64() as usize, 1 + rng.next_below(7)),
+        2 => Op::Brk(rng.next_below(80) as i64 - 16),
+        3 => Op::TouchWrite(rng.next_u64() as usize),
+        4 => Op::TouchRead(rng.next_u64() as usize),
+        5 => Op::MprotectRo(rng.next_u64() as usize, 1 + rng.next_below(3)),
+        6 => Op::Madvise(rng.next_u64() as usize, 1 + rng.next_below(7)),
+        _ => Op::ClearSd,
+    }
 }
 
 /// Picks an existing mapped page (if any) deterministically from an index.
@@ -49,19 +53,21 @@ fn pick_page(space: &AddressSpace, i: usize) -> Option<Vpn> {
     Some(Vpn(vma.range.start.0 + off))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any op sequence preserves structural invariants and never leaks or
-    /// double-frees frames.
-    #[test]
-    fn invariants_hold_under_random_ops(ops in prop::collection::vec(op_strategy(), 1..120)) {
+/// Any op sequence preserves structural invariants and never leaks or
+/// double-frees frames.
+#[test]
+fn invariants_hold_under_random_ops() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0xA11_0B5 ^ case);
+        let n_ops = 1 + rng.next_below(119) as usize;
         let mut frames = FrameTable::new();
         let mut space = AddressSpace::new(SpaceConfig::default(), &mut frames);
         let heap_base = space.config().heap_base;
-        for op in ops {
-            match op {
-                Op::Mmap(len) => { let _ = space.mmap(len, Perms::RW, VmaKind::Anon); }
+        for _ in 0..n_ops {
+            match random_op(&mut rng) {
+                Op::Mmap(len) => {
+                    let _ = space.mmap(len, Perms::RW, VmaKind::Anon);
+                }
                 Op::MunmapAt(i, len) => {
                     if let Some(vpn) = pick_page(&space, i) {
                         let _ = space.munmap(PageRange::at(vpn, len), &mut frames);
@@ -74,7 +80,8 @@ proptest! {
                 }
                 Op::TouchWrite(i) => {
                     if let Some(vpn) = pick_page(&space, i) {
-                        let _ = space.touch(vpn, Touch::WriteWord(i as u64), Taint::Clean, &mut frames);
+                        let _ =
+                            space.touch(vpn, Touch::WriteWord(i as u64), Taint::Clean, &mut frames);
                     }
                 }
                 Op::TouchRead(i) => {
@@ -94,114 +101,192 @@ proptest! {
                 }
                 Op::ClearSd => space.clear_soft_dirty(),
             }
-            prop_assert!(space.check_invariants().is_ok(), "{:?}", space.check_invariants());
+            assert!(
+                space.check_invariants().is_ok(),
+                "case {case}: {:?}",
+                space.check_invariants()
+            );
         }
         // Every live frame is referenced exactly by the page table.
-        prop_assert_eq!(frames.live() as u64, space.present_pages());
+        assert_eq!(frames.live() as u64, space.present_pages(), "case {case}");
         space.release_all(&mut frames);
-        prop_assert_eq!(frames.live(), 0, "teardown must free all frames");
+        assert_eq!(
+            frames.live(),
+            0,
+            "case {case}: teardown must free all frames"
+        );
     }
+}
 
-    /// Soft-dirty tracking is exact: after a clear, the dirty set equals
-    /// precisely the set of pages written afterwards.
-    #[test]
-    fn soft_dirty_is_exact(
-        writes in prop::collection::btree_set(0u64..64, 0..32),
-        reads in prop::collection::btree_set(0u64..64, 0..32),
-    ) {
+/// Soft-dirty tracking is exact: after a clear, the dirty set equals
+/// precisely the set of pages written afterwards.
+#[test]
+fn soft_dirty_is_exact() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0x50F7_D127 ^ case);
+        let writes: std::collections::BTreeSet<u64> = (0..rng.next_below(32))
+            .map(|_| rng.next_below(64))
+            .collect();
+        let reads: std::collections::BTreeSet<u64> = (0..rng.next_below(32))
+            .map(|_| rng.next_below(64))
+            .collect();
         let mut frames = FrameTable::new();
         let mut space = AddressSpace::new(SpaceConfig::default(), &mut frames);
         let r = space.mmap(64, Perms::RW, VmaKind::Anon).unwrap();
         // Page everything in first (mixed read/write history).
         for vpn in r.iter() {
-            space.touch(vpn, Touch::WriteWord(1), Taint::Clean, &mut frames).unwrap();
+            space
+                .touch(vpn, Touch::WriteWord(1), Taint::Clean, &mut frames)
+                .unwrap();
         }
         space.clear_soft_dirty();
         for &off in &reads {
-            space.touch(Vpn(r.start.0 + off), Touch::Read, Taint::Clean, &mut frames).unwrap();
+            space
+                .touch(Vpn(r.start.0 + off), Touch::Read, Taint::Clean, &mut frames)
+                .unwrap();
         }
         for &off in &writes {
-            space.touch(Vpn(r.start.0 + off), Touch::WriteWord(2), Taint::Clean, &mut frames).unwrap();
+            space
+                .touch(
+                    Vpn(r.start.0 + off),
+                    Touch::WriteWord(2),
+                    Taint::Clean,
+                    &mut frames,
+                )
+                .unwrap();
         }
-        let dirty: Vec<u64> = space.soft_dirty_pages().iter().map(|v| v.0 - r.start.0).collect();
+        let dirty: Vec<u64> = space
+            .soft_dirty_pages()
+            .iter()
+            .map(|v| v.0 - r.start.0)
+            .collect();
         let expected: Vec<u64> = writes.iter().copied().collect();
-        prop_assert_eq!(dirty, expected);
+        assert_eq!(dirty, expected, "case {case}");
     }
+}
 
-    /// Writes in a forked child are never visible to the parent, and vice
-    /// versa, regardless of write order.
-    #[test]
-    fn fork_isolation(
-        parent_writes in prop::collection::vec((0u64..32, any::<u64>()), 0..32),
-        child_writes in prop::collection::vec((0u64..32, any::<u64>()), 0..32),
-    ) {
+/// Writes in a forked child are never visible to the parent, and vice
+/// versa, regardless of write order.
+#[test]
+fn fork_isolation() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0xF02C ^ case);
+        let parent_writes: Vec<(u64, u64)> = (0..rng.next_below(32))
+            .map(|_| (rng.next_below(32), rng.next_u64()))
+            .collect();
+        let child_writes: Vec<(u64, u64)> = (0..rng.next_below(32))
+            .map(|_| (rng.next_below(32), rng.next_u64()))
+            .collect();
+
         let mut frames = FrameTable::new();
         let mut parent = AddressSpace::new(SpaceConfig::default(), &mut frames);
         let r = parent.mmap(32, Perms::RW, VmaKind::Anon).unwrap();
         for vpn in r.iter() {
-            parent.touch(vpn, Touch::WriteWord(0xBA5E), Taint::Clean, &mut frames).unwrap();
+            parent
+                .touch(vpn, Touch::WriteWord(0xBA5E), Taint::Clean, &mut frames)
+                .unwrap();
         }
         let mut child = parent.fork(&mut frames);
 
         for &(off, val) in &child_writes {
-            child.touch(Vpn(r.start.0 + off), Touch::WriteWord(val), Taint::Clean, &mut frames).unwrap();
+            child
+                .touch(
+                    Vpn(r.start.0 + off),
+                    Touch::WriteWord(val),
+                    Taint::Clean,
+                    &mut frames,
+                )
+                .unwrap();
         }
         for &(off, val) in &parent_writes {
-            parent.touch(Vpn(r.start.0 + off), Touch::WriteWord(val | 1 << 63), Taint::Clean, &mut frames).unwrap();
+            parent
+                .touch(
+                    Vpn(r.start.0 + off),
+                    Touch::WriteWord(val | 1 << 63),
+                    Taint::Clean,
+                    &mut frames,
+                )
+                .unwrap();
         }
 
         // Replay expected values.
         for vpn in r.iter() {
             let off = vpn.0 - r.start.0;
-            let expect_child = child_writes.iter().rev().find(|(o, _)| *o == off)
-                .map(|&(_, v)| v).unwrap_or(0xBA5E);
-            let expect_parent = parent_writes.iter().rev().find(|(o, _)| *o == off)
-                .map(|&(_, v)| v | 1 << 63).unwrap_or(0xBA5E);
-            prop_assert_eq!(child.peek_word(vpn, 1, &frames).unwrap(), expect_child);
-            prop_assert_eq!(parent.peek_word(vpn, 1, &frames).unwrap(), expect_parent);
+            let expect_child = child_writes
+                .iter()
+                .rev()
+                .find(|(o, _)| *o == off)
+                .map(|&(_, v)| v)
+                .unwrap_or(0xBA5E);
+            let expect_parent = parent_writes
+                .iter()
+                .rev()
+                .find(|(o, _)| *o == off)
+                .map(|&(_, v)| v | 1 << 63)
+                .unwrap_or(0xBA5E);
+            assert_eq!(
+                child.peek_word(vpn, 1, &frames).unwrap(),
+                expect_child,
+                "case {case}"
+            );
+            assert_eq!(
+                parent.peek_word(vpn, 1, &frames).unwrap(),
+                expect_parent,
+                "case {case}"
+            );
         }
         child.release_all(&mut frames);
         parent.release_all(&mut frames);
-        prop_assert_eq!(frames.live(), 0);
+        assert_eq!(frames.live(), 0, "case {case}");
     }
+}
 
-    /// FrameData representations are interchangeable: any write sequence
-    /// applied to a compact page and to a materialized literal page yields
-    /// logically equal contents.
-    #[test]
-    fn frame_representation_independence(
-        seed in any::<u64>(),
-        writes in prop::collection::vec((0usize..512, any::<u64>()), 0..40),
-    ) {
+/// FrameData representations are interchangeable: any write sequence
+/// applied to a compact page and to a materialized literal page yields
+/// logically equal contents.
+#[test]
+fn frame_representation_independence() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0xF4A3 ^ case);
+        let seed = rng.next_u64();
+        let writes: Vec<(usize, u64)> = (0..rng.next_below(40))
+            .map(|_| (rng.next_below(512) as usize, rng.next_u64()))
+            .collect();
         let mut compact = FrameData::Pattern(seed);
         let mut literal = FrameData::Literal(compact.materialize());
         for &(w, v) in &writes {
             compact.write_word(w, v);
             literal.write_word(w, v);
         }
-        prop_assert!(compact.logical_eq(&literal));
+        assert!(compact.logical_eq(&literal), "case {case}");
         for &(w, _) in &writes {
-            prop_assert_eq!(compact.read_word(w), literal.read_word(w));
+            assert_eq!(compact.read_word(w), literal.read_word(w), "case {case}");
         }
         // Materializing the compact page agrees byte-for-byte.
         let m = FrameData::Literal(compact.materialize());
-        prop_assert!(m.logical_eq(&literal));
+        assert!(m.logical_eq(&literal), "case {case}");
     }
+}
 
-    /// Byte-level writes round-trip across arbitrary offsets and lengths,
-    /// including page-crossing accesses.
-    #[test]
-    fn byte_rw_roundtrip(
-        offset in 0u64..8192,
-        data in prop::collection::vec(any::<u8>(), 1..256),
-    ) {
+/// Byte-level writes round-trip across arbitrary offsets and lengths,
+/// including page-crossing accesses.
+#[test]
+fn byte_rw_roundtrip() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0xB17E ^ case);
+        let offset = rng.next_below(8192);
+        let data: Vec<u8> = (0..1 + rng.next_below(255))
+            .map(|_| rng.next_u64() as u8)
+            .collect();
         let mut frames = FrameTable::new();
         let mut space = AddressSpace::new(SpaceConfig::default(), &mut frames);
         let r = space.mmap(4, Perms::RW, VmaKind::Anon).unwrap();
         let addr = gh_mem::VirtAddr(r.start.addr().0 + offset % (2 * 4096));
-        space.write_bytes(addr, &data, Taint::Clean, &mut frames).unwrap();
+        space
+            .write_bytes(addr, &data, Taint::Clean, &mut frames)
+            .unwrap();
         let mut buf = vec![0u8; data.len()];
         space.read_bytes(addr, &mut buf, &mut frames).unwrap();
-        prop_assert_eq!(buf, data);
+        assert_eq!(buf, data, "case {case}");
     }
 }

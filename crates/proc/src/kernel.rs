@@ -93,7 +93,10 @@ impl Kernel {
         let proc = Process {
             pid,
             name: name.to_string(),
-            threads: vec![Thread { tid, regs: RegisterSet::new() }],
+            threads: vec![Thread {
+                tid,
+                regs: RegisterSet::new(),
+            }],
             mem,
             state: ProcessState::Running,
             traced_by_manager: false,
@@ -108,7 +111,10 @@ impl Kernel {
         let tid = Tid(self.next_tid);
         self.next_tid += 1;
         let proc = self.process_mut(pid)?;
-        proc.threads.push(Thread { tid, regs: RegisterSet::new() });
+        proc.threads.push(Thread {
+            tid,
+            regs: RegisterSet::new(),
+        });
         Ok(tid)
     }
 
@@ -119,7 +125,9 @@ impl Kernel {
 
     /// Looks up a process mutably.
     pub fn process_mut(&mut self, pid: Pid) -> Result<&mut Process, ProcError> {
-        self.procs.get_mut(&pid.0).ok_or(ProcError::NoSuchProcess(pid))
+        self.procs
+            .get_mut(&pid.0)
+            .ok_or(ProcError::NoSuchProcess(pid))
     }
 
     /// True if the pid exists.
@@ -129,7 +137,10 @@ impl Kernel {
 
     /// Splits the borrow into (process, frame table) for memory work.
     pub fn mem_ctx(&mut self, pid: Pid) -> Result<(&mut Process, &mut FrameTable), ProcError> {
-        let proc = self.procs.get_mut(&pid.0).ok_or(ProcError::NoSuchProcess(pid))?;
+        let proc = self
+            .procs
+            .get_mut(&pid.0)
+            .ok_or(ProcError::NoSuchProcess(pid))?;
         Ok((proc, &mut self.frames))
     }
 
@@ -195,7 +206,10 @@ impl Kernel {
     /// Charges the fork cost (page-table duplication) to the clock.
     pub fn fork(&mut self, pid: Pid) -> Result<Pid, ProcError> {
         let (child_pid, child_tid) = self.fresh_pid();
-        let parent = self.procs.get_mut(&pid.0).ok_or(ProcError::NoSuchProcess(pid))?;
+        let parent = self
+            .procs
+            .get_mut(&pid.0)
+            .ok_or(ProcError::NoSuchProcess(pid))?;
         let mapped = parent.mem.mapped_pages();
         let child_mem = parent.mem.fork(&mut self.frames);
         let main_regs = parent.threads[0].regs.clone();
@@ -203,7 +217,10 @@ impl Kernel {
         let child = Process {
             pid: child_pid,
             name,
-            threads: vec![Thread { tid: child_tid, regs: main_regs }],
+            threads: vec![Thread {
+                tid: child_tid,
+                regs: main_regs,
+            }],
             mem: child_mem,
             state: ProcessState::Running,
             traced_by_manager: false,
@@ -217,7 +234,10 @@ impl Kernel {
     /// Terminates a process, releasing all its frames, and charges the
     /// teardown cost (`exit_mmap` is page-proportional).
     pub fn exit(&mut self, pid: Pid) -> Result<(), ProcError> {
-        let mut proc = self.procs.remove(&pid.0).ok_or(ProcError::NoSuchProcess(pid))?;
+        let mut proc = self
+            .procs
+            .remove(&pid.0)
+            .ok_or(ProcError::NoSuchProcess(pid))?;
         let present = proc.mem.present_pages();
         proc.mem.release_all(&mut self.frames);
         let dt = self.cost.process_teardown + self.cost.teardown_per_page * present;
@@ -268,7 +288,9 @@ mod tests {
             .run_charged(pid, |proc, frames| {
                 let r = proc.mem.mmap(4, Perms::RW, VmaKind::Anon).unwrap();
                 for vpn in r.iter() {
-                    proc.mem.touch(vpn, Touch::WriteWord(1), Taint::Clean, frames).unwrap();
+                    proc.mem
+                        .touch(vpn, Touch::WriteWord(1), Taint::Clean, frames)
+                        .unwrap();
                 }
             })
             .unwrap();
@@ -322,7 +344,9 @@ mod tests {
         k.run_charged(pid, |p, frames| {
             let r = p.mem.mmap(8, Perms::RW, VmaKind::Anon).unwrap();
             for vpn in r.iter() {
-                p.mem.touch(vpn, Touch::WriteWord(1), Taint::Clean, frames).unwrap();
+                p.mem
+                    .touch(vpn, Touch::WriteWord(1), Taint::Clean, frames)
+                    .unwrap();
             }
         })
         .unwrap();
@@ -340,7 +364,9 @@ mod tests {
         k.run_charged(pid, |p, frames| {
             let r = p.mem.mmap(4, Perms::RW, VmaKind::Anon).unwrap();
             for vpn in r.iter() {
-                p.mem.touch(vpn, Touch::WriteWord(7), Taint::Clean, frames).unwrap();
+                p.mem
+                    .touch(vpn, Touch::WriteWord(7), Taint::Clean, frames)
+                    .unwrap();
             }
         })
         .unwrap();

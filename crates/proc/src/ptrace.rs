@@ -125,8 +125,11 @@ impl<'k> PtraceSession<'k> {
     pub fn save_regs_all(&mut self) -> Result<Vec<(Tid, RegisterSet)>, PtraceError> {
         self.require_stopped()?;
         let proc = self.k.process(self.pid)?;
-        let out: Vec<(Tid, RegisterSet)> =
-            proc.threads.iter().map(|t| (t.tid, t.regs.clone())).collect();
+        let out: Vec<(Tid, RegisterSet)> = proc
+            .threads
+            .iter()
+            .map(|t| (t.tid, t.regs.clone()))
+            .collect();
         let dt = self.k.cost.regs_cost(out.len());
         self.k.charge(dt);
         Ok(out)
@@ -134,10 +137,7 @@ impl<'k> PtraceSession<'k> {
 
     /// `PTRACE_SETREGS` for every thread in `saved`; charges per-thread
     /// cost. Threads that no longer exist yield an error.
-    pub fn restore_regs_all(
-        &mut self,
-        saved: &[(Tid, RegisterSet)],
-    ) -> Result<(), PtraceError> {
+    pub fn restore_regs_all(&mut self, saved: &[(Tid, RegisterSet)]) -> Result<(), PtraceError> {
         self.require_stopped()?;
         {
             let proc = self.k.process_mut(self.pid)?;
@@ -171,7 +171,10 @@ impl<'k> PtraceSession<'k> {
         let entries: Vec<PagemapEntry> = proc
             .mem
             .pagemap()
-            .map(|(vpn, pte)| PagemapEntry { vpn, soft_dirty: pte.soft_dirty() })
+            .map(|(vpn, pte)| PagemapEntry {
+                vpn,
+                soft_dirty: pte.soft_dirty(),
+            })
             .collect();
         let dt = self.k.cost.scan_cost_vmas(mapped, vmas);
         self.k.charge(dt);
@@ -238,10 +241,7 @@ impl<'k> PtraceSession<'k> {
     /// the snapshotter charges the aggregate per-page copy cost.
     pub fn read_page(&mut self, vpn: Vpn) -> Result<Option<FrameData>, PtraceError> {
         let (proc, frames) = self.k.mem_ctx(self.pid)?;
-        Ok(proc
-            .mem
-            .pte(vpn)
-            .map(|pte| frames.data(pte.frame).clone()))
+        Ok(proc.mem.pte(vpn).map(|pte| frames.data(pte.frame).clone()))
     }
 
     /// Writes one page wholesale (restore path); contents become `taint`.
@@ -254,7 +254,9 @@ impl<'k> PtraceSession<'k> {
     ) -> Result<(), PtraceError> {
         self.require_stopped()?;
         let (proc, frames) = self.k.mem_ctx(self.pid)?;
-        proc.mem.restore_page(vpn, data, taint, frames).map_err(PtraceError::Syscall)
+        proc.mem
+            .restore_page(vpn, data, taint, frames)
+            .map_err(PtraceError::Syscall)
     }
 
     /// Evicts a page (restore of a newly paged page via `madvise`). The
@@ -270,7 +272,9 @@ impl<'k> PtraceSession<'k> {
     pub fn zero_page(&mut self, vpn: Vpn) -> Result<(), PtraceError> {
         self.require_stopped()?;
         let (proc, frames) = self.k.mem_ctx(self.pid)?;
-        proc.mem.zero_page(vpn, frames).map_err(PtraceError::Syscall)
+        proc.mem
+            .zero_page(vpn, frames)
+            .map_err(PtraceError::Syscall)
     }
 
     /// `PTRACE_DETACH`: resumes the tracee and ends the session, charging
@@ -299,7 +303,9 @@ mod tests {
         k.run_charged(pid, |p, frames| {
             let r = p.mem.mmap(8, Perms::RW, VmaKind::Anon).unwrap();
             for vpn in r.iter() {
-                p.mem.touch(vpn, Touch::WriteWord(0xCAFE), Taint::Clean, frames).unwrap();
+                p.mem
+                    .touch(vpn, Touch::WriteWord(0xCAFE), Taint::Clean, frames)
+                    .unwrap();
             }
         })
         .unwrap();
@@ -434,7 +440,9 @@ mod tests {
         // Function writes two pages.
         let first = k.process(pid).unwrap().mem.pagemap().next().unwrap().0;
         k.run_charged(pid, |p, frames| {
-            p.mem.touch(first, Touch::WriteWord(1), Taint::Clean, frames).unwrap();
+            p.mem
+                .touch(first, Touch::WriteWord(1), Taint::Clean, frames)
+                .unwrap();
         })
         .unwrap();
         let mut s = PtraceSession::attach(&mut k, pid).unwrap();
@@ -458,8 +466,8 @@ mod tests {
 #[cfg(test)]
 mod edge_tests {
     use super::*;
-    use gh_mem::{Perms, Taint, Touch, VmaKind};
     use crate::registers::RegisterSet;
+    use gh_mem::{Perms, Taint, Touch, VmaKind};
 
     #[test]
     fn restore_regs_for_unknown_tid_fails() {
@@ -481,13 +489,16 @@ mod edge_tests {
         let pid = k.spawn("t");
         k.run_charged(pid, |p, frames| {
             let r = p.mem.mmap(1, Perms::RW, VmaKind::Anon).unwrap();
-            p.mem.touch(r.start, Touch::WriteWord(1), Taint::Clean, frames).unwrap();
+            p.mem
+                .touch(r.start, Touch::WriteWord(1), Taint::Clean, frames)
+                .unwrap();
         })
         .unwrap();
         let vpn = k.process(pid).unwrap().mem.pagemap().next().unwrap().0;
         let mut s = PtraceSession::attach(&mut k, pid).unwrap();
         assert_eq!(
-            s.write_page(vpn, &gh_mem::FrameData::Zero, Taint::Clean).unwrap_err(),
+            s.write_page(vpn, &gh_mem::FrameData::Zero, Taint::Clean)
+                .unwrap_err(),
             PtraceError::NotStopped
         );
         s.detach().unwrap();

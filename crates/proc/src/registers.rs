@@ -53,7 +53,10 @@ impl Default for RegisterSet {
 impl RegisterSet {
     /// A zeroed, clean register file.
     pub fn new() -> Self {
-        Self { regs: [0; NUM_REGS], taint: Taint::Clean }
+        Self {
+            regs: [0; NUM_REGS],
+            taint: Taint::Clean,
+        }
     }
 
     /// Reads a register.
@@ -73,7 +76,10 @@ impl RegisterSet {
     /// given taint — models arbitrary computation on request data.
     pub fn scramble(&mut self, seed: u64, taint: Taint) {
         // Pre-mix the seed so nearby seeds yield unrelated streams.
-        let mut z = seed.wrapping_mul(0xFF51_AFD7_ED55_8CCD).wrapping_add(0x2545_F491_4F6C_DD1D) | 1;
+        let mut z = seed
+            .wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+            .wrapping_add(0x2545_F491_4F6C_DD1D)
+            | 1;
         for r in self.regs.iter_mut() {
             z = z.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ (z >> 9);
             *r = z;

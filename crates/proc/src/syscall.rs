@@ -50,7 +50,12 @@ mod tests {
         let r = PageRange::at(Vpn(1), 1);
         assert_eq!(Syscall::Brk(Vpn(0)).mnemonic(), "brk");
         assert_eq!(
-            Syscall::MmapFixed { range: r, perms: Perms::RW, file: None }.mnemonic(),
+            Syscall::MmapFixed {
+                range: r,
+                perms: Perms::RW,
+                file: None
+            }
+            .mnemonic(),
             "mmap"
         );
         assert_eq!(Syscall::Munmap(r).mnemonic(), "munmap");

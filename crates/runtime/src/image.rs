@@ -40,7 +40,14 @@ pub struct ImageRegions {
 impl ImageRegions {
     /// Builds the regions and their flat index.
     pub fn new(text: PageRange, data: PageRange, heap: PageRange, anon: Vec<PageRange>) -> Self {
-        let mut regions = ImageRegions { text, data, heap, anon, index: Vec::new(), total: 0 };
+        let mut regions = ImageRegions {
+            text,
+            data,
+            heap,
+            anon,
+            index: Vec::new(),
+            total: 0,
+        };
         regions.rebuild_index();
         regions
     }
@@ -113,7 +120,12 @@ impl FunctionProcess {
     /// Charges the runtime's initialization time (Fig. 1's "runtime
     /// initialization") plus the demand-paging faults of bringing
     /// `resident_fraction` of the image in.
-    pub fn build(kernel: &mut Kernel, name: &str, profile: RuntimeProfile, total_pages: u64) -> Self {
+    pub fn build(
+        kernel: &mut Kernel,
+        name: &str,
+        profile: RuntimeProfile,
+        total_pages: u64,
+    ) -> Self {
         let total_pages = total_pages.max(64);
         let pid = kernel.spawn(name);
         kernel.charge(profile.init_time);
@@ -154,7 +166,10 @@ impl FunctionProcess {
                 .mem
                 .mmap(text_pages, Perms::RX, VmaKind::File(lib_name))
                 .expect("text fits");
-            let data = proc.mem.mmap(data_pages, Perms::RW, VmaKind::Anon).expect("data fits");
+            let data = proc
+                .mem
+                .mmap(data_pages, Perms::RW, VmaKind::Anon)
+                .expect("data fits");
             let heap_base = proc.mem.config().heap_base;
             proc.mem
                 .set_brk(Vpn(heap_base.0 + heap_pages), frames)
@@ -166,7 +181,10 @@ impl FunctionProcess {
                 // Leave one-page gaps so regions do not merge: real
                 // runtimes interleave guard pages and differently-typed
                 // arenas, and the maps diff needs distinct VMAs.
-                let r = proc.mem.mmap(per, Perms::RW, VmaKind::Anon).expect("anon fits");
+                let r = proc
+                    .mem
+                    .mmap(per, Perms::RW, VmaKind::Anon)
+                    .expect("anon fits");
                 let _guard = proc
                     .mem
                     .mmap_fixed(
@@ -178,8 +196,7 @@ impl FunctionProcess {
                 anon.push(r);
             }
             let regions = ImageRegions::new(text, data, heap, anon);
-            let resident_budget =
-                (total_pages as f64 * profile.resident_fraction) as u64;
+            let resident_budget = (total_pages as f64 * profile.resident_fraction) as u64;
             (regions, resident_budget)
         };
 
@@ -192,7 +209,9 @@ impl FunctionProcess {
                     if budget == 0 {
                         break;
                     }
-                    proc.mem.touch(vpn, Touch::Read, Taint::Clean, frames).expect("text read");
+                    proc.mem
+                        .touch(vpn, Touch::Read, Taint::Clean, frames)
+                        .expect("text read");
                     budget -= 1;
                 }
                 for vpn in regions.data.iter() {
@@ -204,8 +223,7 @@ impl FunctionProcess {
                         .expect("data write");
                     budget -= 1;
                 }
-                'outer: for r in std::iter::once(regions.heap).chain(regions.anon.iter().copied())
-                {
+                'outer: for r in std::iter::once(regions.heap).chain(regions.anon.iter().copied()) {
                     for vpn in r.iter() {
                         if budget == 0 {
                             break 'outer;
@@ -241,7 +259,12 @@ impl FunctionProcess {
             .expect("state init");
         Self::poke_gc_clock(kernel, pid, state, now);
 
-        FunctionProcess { pid, profile, regions, invocations: 0 }
+        FunctionProcess {
+            pid,
+            profile,
+            regions,
+            invocations: 0,
+        }
     }
 
     /// A view of the same image bound to another pid — used to run a
@@ -311,7 +334,12 @@ impl FunctionProcess {
                         .expect("gc write");
                 }
                 proc.mem
-                    .touch(regions.state_page(), Touch::WriteWord(nowns), Taint::Clean, frames)
+                    .touch(
+                        regions.state_page(),
+                        Touch::WriteWord(nowns),
+                        Taint::Clean,
+                        frames,
+                    )
                     .expect("clock write");
             })
             .expect("gc run");
@@ -333,16 +361,14 @@ impl FunctionProcess {
         kernel
             .run_charged(self.pid, |proc, frames| {
                 for _ in 0..churn.mmaps {
-                    if let Ok(r) =
-                        proc.mem.mmap(churn.mmap_pages.max(1), Perms::RW, VmaKind::Anon)
+                    if let Ok(r) = proc
+                        .mem
+                        .mmap(churn.mmap_pages.max(1), Perms::RW, VmaKind::Anon)
                     {
                         // Touch the first page (arenas are used immediately).
-                        let _ = proc.mem.touch(
-                            r.start,
-                            Touch::WriteWord(0xA4EA),
-                            Taint::Clean,
-                            frames,
-                        );
+                        let _ =
+                            proc.mem
+                                .touch(r.start, Touch::WriteWord(0xA4EA), Taint::Clean, frames);
                         new_regions.push(r);
                         ops += 1;
                     }
@@ -357,7 +383,11 @@ impl FunctionProcess {
                 }
                 if churn.brk_growth > 0 {
                     let cur = proc.mem.brk();
-                    if proc.mem.set_brk(Vpn(cur.0 + churn.brk_growth), frames).is_ok() {
+                    if proc
+                        .mem
+                        .set_brk(Vpn(cur.0 + churn.brk_growth), frames)
+                        .is_ok()
+                    {
                         ops += 1;
                     }
                 }
@@ -466,7 +496,10 @@ mod tests {
         let ops = fp.churn_layout(&mut k);
         assert!(ops > 0);
         let vmas_after = k.process(fp.pid).unwrap().mem.vma_count();
-        assert_ne!(vmas_before, vmas_after, "net mmaps > munmaps changes the map");
+        assert_ne!(
+            vmas_before, vmas_after,
+            "net mmaps > munmaps changes the map"
+        );
         k.process(fp.pid).unwrap().mem.check_invariants().unwrap();
     }
 

@@ -111,7 +111,12 @@ impl RuntimeProfile {
             // (§4.1) — the dummy warm-up request pages the working set in.
             resident_fraction: 0.60,
             file_fraction: 0.25,
-            churn: LayoutChurn { mmaps: 3, munmaps: 2, brk_growth: 4, mmap_pages: 16 },
+            churn: LayoutChurn {
+                mmaps: 3,
+                munmaps: 2,
+                brk_growth: 4,
+                mmap_pages: 16,
+            },
             gc: None,
             native_actionloop: true,
         }
@@ -125,7 +130,12 @@ impl RuntimeProfile {
             init_time: Nanos::from_millis(900),
             resident_fraction: 0.30,
             file_fraction: 0.15,
-            churn: LayoutChurn { mmaps: 18, munmaps: 14, brk_growth: 0, mmap_pages: 32 },
+            churn: LayoutChurn {
+                mmaps: 18,
+                munmaps: 14,
+                brk_growth: 0,
+                mmap_pages: 32,
+            },
             // A V8 full collection over a large image-processing heap:
             // rewinding the in-memory GC clock (restoration!) makes
             // GC-sensitive functions pay this almost every request
@@ -164,7 +174,10 @@ mod tests {
     fn node_is_multithreaded_and_sparse() {
         let node = RuntimeProfile::nodejs();
         assert!(node.threads > 1, "fork-based isolation must be impossible");
-        assert!(node.resident_fraction < 0.5, "Node maps far more than it touches");
+        assert!(
+            node.resident_fraction < 0.5,
+            "Node maps far more than it touches"
+        );
         assert!(node.gc.is_some());
         assert!(!node.native_actionloop);
     }
@@ -180,8 +193,14 @@ mod tests {
 
     #[test]
     fn for_kind_dispatch() {
-        assert_eq!(RuntimeProfile::for_kind(RuntimeKind::Python).kind, RuntimeKind::Python);
-        assert_eq!(RuntimeProfile::for_kind(RuntimeKind::NodeJs).kind, RuntimeKind::NodeJs);
+        assert_eq!(
+            RuntimeProfile::for_kind(RuntimeKind::Python).kind,
+            RuntimeKind::Python
+        );
+        assert_eq!(
+            RuntimeProfile::for_kind(RuntimeKind::NodeJs).kind,
+            RuntimeKind::NodeJs
+        );
     }
 
     #[test]

@@ -89,7 +89,10 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Starts a stopwatch at the clock's current time.
     pub fn start(clock: &VirtualClock) -> Self {
-        Self { clock: clock.clone(), last: clock.now() }
+        Self {
+            clock: clock.clone(),
+            last: clock.now(),
+        }
     }
 
     /// Returns the time elapsed since start or the previous `lap`, and

@@ -62,7 +62,10 @@ pub struct EventQueue<T> {
 
 impl<T> Default for EventQueue<T> {
     fn default() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 }
 

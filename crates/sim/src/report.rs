@@ -36,12 +36,16 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; missing cells render empty, extra cells are dropped.
     pub fn row(&mut self, cells: &[&str]) {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row of owned strings.
@@ -120,7 +124,14 @@ impl TextTable {
                 s.to_string()
             }
         };
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -152,27 +163,40 @@ pub struct AsciiPlot {
 impl AsciiPlot {
     /// Creates a plot canvas of the given character dimensions.
     pub fn new(width: usize, height: usize) -> Self {
-        Self { width: width.max(16), height: height.max(6) }
+        Self {
+            width: width.max(16),
+            height: height.max(6),
+        }
     }
 
     /// Renders `series` (name, points) with shared axes. Points are
     /// `(x, y)` pairs; x values need not be uniform.
     pub fn render(&self, series: &[(&str, Vec<(f64, f64)>)]) -> String {
         let markers = ['*', 'o', '+', 'x', '#', '@'];
-        let all: Vec<(f64, f64)> =
-            series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().copied())
+            .collect();
         if all.is_empty() {
             return String::from("(no data)\n");
         }
         let xmin = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
         let xmax = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
         let ymin = 0.0f64;
-        let ymax = all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max).max(1e-9);
+        let ymax = all
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(1e-9);
         let mut grid = vec![vec![' '; self.width]; self.height];
         for (si, (_, pts)) in series.iter().enumerate() {
             let m = markers[si % markers.len()];
             for &(x, y) in pts {
-                let xf = if xmax > xmin { (x - xmin) / (xmax - xmin) } else { 0.0 };
+                let xf = if xmax > xmin {
+                    (x - xmin) / (xmax - xmin)
+                } else {
+                    0.0
+                };
                 let yf = ((y - ymin) / (ymax - ymin)).clamp(0.0, 1.0);
                 let col = (xf * (self.width - 1) as f64).round() as usize;
                 let row = self.height - 1 - (yf * (self.height - 1) as f64).round() as usize;

@@ -27,7 +27,13 @@ impl Summary {
     /// for an empty slice.
     pub fn of(samples: &[f64]) -> Summary {
         if samples.is_empty() {
-            return Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
         }
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
@@ -37,7 +43,13 @@ impl Summary {
             min = min.min(x);
             max = max.max(x);
         }
-        Summary { count: samples.len(), mean, std_dev: var.sqrt(), min, max }
+        Summary {
+            count: samples.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
     }
 
     /// Computes a summary over durations, in milliseconds.

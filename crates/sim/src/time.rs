@@ -275,7 +275,11 @@ mod tests {
 
     #[test]
     fn sum_and_ordering() {
-        let v = [Nanos::from_nanos(1), Nanos::from_nanos(2), Nanos::from_nanos(3)];
+        let v = [
+            Nanos::from_nanos(1),
+            Nanos::from_nanos(2),
+            Nanos::from_nanos(3),
+        ];
         let total: Nanos = v.iter().copied().sum();
         assert_eq!(total.as_nanos(), 6);
         assert!(v[0] < v[1]);

@@ -12,20 +12,19 @@ use groundhog::functions::catalog;
 use groundhog::isolation::StrategyKind;
 use groundhog::sim::Nanos;
 
-fn main() {
-    let spec = catalog::by_name("get-time (p)").expect("in catalog");
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = catalog::by_name("get-time (p)").ok_or("not in catalog")?;
     println!(
         "function: {} (baseline invoker latency ≈ {:.1}ms)\n",
         spec.name, spec.base_invoker_ms
     );
 
     // Groundhog: one warm container, restore between requests.
-    let mut gh = Container::cold_start(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 1)
-        .expect("gh container");
+    let mut gh = Container::cold_start(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 1)?;
     let mut gh_total = Nanos::ZERO;
     let n = 6u64;
     for i in 0..n {
-        let out = gh.invoke(&Request::new(i + 1, "caller", 1)).unwrap();
+        let out = gh.invoke(&Request::new(i + 1, "caller", 1))?;
         gh_total += out.invoker_latency;
     }
     let gh_mean = gh_total / n;
@@ -34,10 +33,9 @@ fn main() {
     let mut fresh_total = Nanos::ZERO;
     for i in 0..n {
         let mut c =
-            Container::cold_start(&spec, StrategyKind::Fresh, GroundhogConfig::gh(), 100 + i)
-                .expect("fresh container");
+            Container::cold_start(&spec, StrategyKind::Fresh, GroundhogConfig::gh(), 100 + i)?;
         // The client-visible latency includes the whole cold start.
-        let out = c.invoke(&Request::new(i + 1, "caller", 1)).unwrap();
+        let out = c.invoke(&Request::new(i + 1, "caller", 1))?;
         fresh_total += c.stats.init_time + out.invoker_latency;
     }
     let fresh_mean = fresh_total / n;
@@ -48,4 +46,5 @@ fn main() {
     let factor = fresh_mean.as_nanos() as f64 / gh_mean.as_nanos() as f64;
     println!("\ncold-start isolation is {factor:.0}x slower for this function (§2).");
     assert!(factor > 20.0);
+    Ok(())
 }

@@ -6,14 +6,15 @@
 //! cargo run --release --example multi_tenant_leak
 //! ```
 
+use groundhog::core::GhError;
 use groundhog::core::GroundhogConfig;
 use groundhog::core::Manager;
 use groundhog::functions::leaky::{BuggyCache, INIT_MARKER};
 use groundhog::mem::RequestId;
 use groundhog::proc::Kernel;
-use groundhog::runtime::{FunctionProcess, RuntimeProfile, RuntimeKind};
+use groundhog::runtime::{FunctionProcess, RuntimeKind, RuntimeProfile};
 
-fn scenario(isolate: bool) {
+fn scenario(isolate: bool) -> Result<(), GhError> {
     let label = if isolate { "GH  " } else { "BASE" };
     let mut kernel = Kernel::boot();
     let fproc = FunctionProcess::build(
@@ -24,29 +25,34 @@ fn scenario(isolate: bool) {
     );
     let cache = BuggyCache::init(&mut kernel, &fproc);
 
-    let mut manager = isolate.then(|| {
+    let mut manager = if isolate {
         let mut m = Manager::new(fproc.pid, GroundhogConfig::gh());
-        m.snapshot_now(&mut kernel).expect("snapshot");
-        m
-    });
+        m.snapshot_now(&mut kernel)?;
+        Some(m)
+    } else {
+        None
+    };
 
     // Alice's request carries her secret.
     if let Some(m) = manager.as_mut() {
-        m.begin_request(&mut kernel, "alice").unwrap();
+        m.begin_request(&mut kernel, "alice")?;
     }
     let alice = cache.invoke(&mut kernel, &fproc, RequestId(1), 0xA11C_E5EC);
     if let Some(m) = manager.as_mut() {
-        m.end_request(&mut kernel).unwrap();
+        m.end_request(&mut kernel)?;
     }
-    assert_eq!(alice.leaked_value, INIT_MARKER, "first caller sees only init data");
+    assert_eq!(
+        alice.leaked_value, INIT_MARKER,
+        "first caller sees only init data"
+    );
 
     // Bob's request: what does the buggy cache hand him?
     if let Some(m) = manager.as_mut() {
-        m.begin_request(&mut kernel, "bob").unwrap();
+        m.begin_request(&mut kernel, "bob")?;
     }
     let bob = cache.invoke(&mut kernel, &fproc, RequestId(2), 0xB0B0_B0B0);
     if let Some(m) = manager.as_mut() {
-        m.end_request(&mut kernel).unwrap();
+        m.end_request(&mut kernel)?;
     }
 
     let leaked = bob.leaked_value == 0xA11C_E5EC;
@@ -60,11 +66,13 @@ fn scenario(isolate: bool) {
         },
     );
     assert_eq!(leaked, !isolate);
+    Ok(())
 }
 
-fn main() {
+fn main() -> Result<(), GhError> {
     println!("A buggy function caches request data in a global (§1's scenario):\n");
-    scenario(false);
-    scenario(true);
+    scenario(false)?;
+    scenario(true)?;
     println!("\nGroundhog's restore guarantees sequential request isolation by design (§4.5).");
+    Ok(())
 }

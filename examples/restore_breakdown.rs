@@ -11,17 +11,22 @@ use groundhog::faas::{Container, Request};
 use groundhog::functions::catalog;
 use groundhog::isolation::StrategyKind;
 
-fn main() {
-    let spec = catalog::by_name("img-resize (n)").expect("in catalog");
-    let mut c = Container::cold_start(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 3)
-        .expect("container");
-    println!("function: {} ({} mapped Kpages)\n", spec.name, spec.total_kpages);
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = catalog::by_name("img-resize (n)").ok_or("not in catalog")?;
+    let mut c = Container::cold_start(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 3)?;
+    println!(
+        "function: {} ({} mapped Kpages)\n",
+        spec.name, spec.total_kpages
+    );
 
     // A couple of requests; show the second restore's anatomy.
-    c.invoke(&Request::new(1, "alice", spec.input_kb)).unwrap();
-    c.invoke(&Request::new(2, "bob", spec.input_kb)).unwrap();
-    let post = c.stats.last_post.as_ref().unwrap();
-    let report = post.restore.as_ref().expect("GH restores after each request");
+    c.invoke(&Request::new(1, "alice", spec.input_kb))?;
+    c.invoke(&Request::new(2, "bob", spec.input_kb))?;
+    let post = c.stats.last_post.as_ref().ok_or("request concluded")?;
+    let report = post
+        .restore
+        .as_ref()
+        .ok_or("GH restores after each request")?;
 
     println!(
         "restore: {} total — {} dirty pages found, {} restored in {} runs, \
@@ -52,4 +57,5 @@ fn main() {
         "\n(paper Fig. 8: img-resize(n) restore ≈ 61.8ms, dominated by memory \
          restoration and pagemap scanning)"
     );
+    Ok(())
 }

@@ -15,7 +15,7 @@
 //! - [`isolation`] — request-isolation strategies (BASE, GH, GHNOP, FORK,
 //!   FAASM, fresh-container).
 //! - [`faas`] — an OpenWhisk-like platform model (invoker, containers,
-//!   proxy, clients).
+//!   proxy, clients) and the event-driven fleet scheduler.
 //!
 //! # Quickstart
 //!
@@ -30,6 +30,28 @@
 //! let container = platform.deploy(&f, StrategyKind::Gh).unwrap();
 //! let outcome = platform.invoke_simple(container, "alice", 4).unwrap();
 //! assert!(outcome.response.ok);
+//! ```
+//!
+//! # Fleet scheduling
+//!
+//! [`faas::fleet`] lifts the reproduction from one container to a
+//! served pool: N containers advance on interleaved virtual timelines
+//! through one [`sim::event::EventQueue`]; a router admits open-loop
+//! Poisson arrivals under a pluggable [`faas::fleet::RoutePolicy`]
+//! (round-robin, least-loaded, or the Groundhog-specific restore-aware
+//! policy that routes on restore-completion readiness events); an
+//! optional autoscaler grows and shrinks the pool on queue depth.
+//!
+//! ```
+//! use groundhog::faas::fleet::{run_fleet, FleetConfig, RoutePolicy};
+//! use groundhog::core::GroundhogConfig;
+//! use groundhog::isolation::StrategyKind;
+//!
+//! let f = groundhog::functions::catalog::by_name("fannkuch (p)").unwrap();
+//! let cfg = FleetConfig::fixed(RoutePolicy::RestoreAware, 60.0, 7);
+//! let run = run_fleet(&f, StrategyKind::Gh, GroundhogConfig::gh(), 4, cfg, 60).unwrap();
+//! assert_eq!(run.completed, 60);
+//! assert!(run.stats.restore_overlap_ratio > 0.5); // restores hide in idle gaps
 //! ```
 
 pub use gh_faas as faas;

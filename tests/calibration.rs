@@ -39,9 +39,15 @@ fn restore_time_distribution() {
     let med = median(&times);
     let p10 = percentile(&times, 10.0);
     let p90 = percentile(&times, 90.0);
-    assert!((1.2..7.0).contains(&med), "median restore {med:.2}ms vs paper 3.7ms");
+    assert!(
+        (1.2..7.0).contains(&med),
+        "median restore {med:.2}ms vs paper 3.7ms"
+    );
     assert!(p10 < 1.5, "10p restore {p10:.2}ms vs paper 0.7ms");
-    assert!((5.0..30.0).contains(&p90), "90p restore {p90:.2}ms vs paper 13ms");
+    assert!(
+        (5.0..30.0).contains(&p90),
+        "90p restore {p90:.2}ms vs paper 13ms"
+    );
 }
 
 /// Abstract: GH end-to-end latency overhead "median: 1.5%, 95p: 7%".
@@ -53,15 +59,16 @@ fn latency_overhead_headline() {
             continue; // logging(p) is the negative-overhead anomaly
         }
         let base =
-            closed_loop_latency(&spec, StrategyKind::Base, GroundhogConfig::gh(), N, 2)
-                .unwrap();
-        let gh = closed_loop_latency(&spec, StrategyKind::Gh, GroundhogConfig::gh(), N, 2)
-            .unwrap();
+            closed_loop_latency(&spec, StrategyKind::Base, GroundhogConfig::gh(), N, 2).unwrap();
+        let gh = closed_loop_latency(&spec, StrategyKind::Gh, GroundhogConfig::gh(), N, 2).unwrap();
         overheads.push(overhead_percent(base.e2e_mean_ms(), gh.e2e_mean_ms()));
     }
     let med = median(&overheads);
     let p95 = percentile(&overheads, 95.0);
-    assert!(med.abs() < 5.0, "median E2E overhead {med:.2}% vs paper 1.5%");
+    assert!(
+        med.abs() < 5.0,
+        "median E2E overhead {med:.2}% vs paper 1.5%"
+    );
     assert!(p95 < 20.0, "95p E2E overhead {p95:.2}% vs paper 7%");
 }
 
@@ -80,8 +87,14 @@ fn throughput_overhead_headline() {
     }
     let med = median(&drops);
     let p95 = percentile(&drops, 95.0);
-    assert!((0.0..12.0).contains(&med), "median xput drop {med:.2}% vs paper 2.5%");
-    assert!((25.0..90.0).contains(&p95), "95p xput drop {p95:.2}% vs paper 49.6%");
+    assert!(
+        (0.0..12.0).contains(&med),
+        "median xput drop {med:.2}% vs paper 2.5%"
+    );
+    assert!(
+        (25.0..90.0).contains(&p95),
+        "95p xput drop {p95:.2}% vs paper 49.6%"
+    );
 }
 
 /// Restore times must be ordered by runtime class: C ≪ Python ≪ Node
@@ -94,8 +107,14 @@ fn restore_ordering_by_runtime_class() {
     let node_heavy = restore_ms("base64 (n)");
     assert!(c < py, "C ({c:.2}ms) < Python ({py:.2}ms)");
     assert!(py < node, "Python ({py:.2}ms) < Node ({node:.2}ms)");
-    assert!(node < node_heavy, "sparse Node ({node:.2}ms) < write-heavy ({node_heavy:.2}ms)");
-    assert!(c < 1.0, "C hello-world-class restore sub-millisecond (§6: ~0.5ms)");
+    assert!(
+        node < node_heavy,
+        "sparse Node ({node:.2}ms) < write-heavy ({node_heavy:.2}ms)"
+    );
+    assert!(
+        c < 1.0,
+        "C hello-world-class restore sub-millisecond (§6: ~0.5ms)"
+    );
     assert!(
         (50.0..260.0).contains(&node_heavy),
         "base64(n) restore {node_heavy:.1}ms vs paper 161.9ms"
@@ -130,8 +149,7 @@ fn per_benchmark_restore_within_band() {
 fn gh_fixes_the_logging_leak() {
     let spec = by_name("logging (p)").unwrap();
     let n = 40;
-    let base =
-        closed_loop_latency(&spec, StrategyKind::Base, GroundhogConfig::gh(), n, 4).unwrap();
+    let base = closed_loop_latency(&spec, StrategyKind::Base, GroundhogConfig::gh(), n, 4).unwrap();
     let gh = closed_loop_latency(&spec, StrategyKind::Gh, GroundhogConfig::gh(), n, 4).unwrap();
     assert!(
         gh.invoker_mean_ms() < base.invoker_mean_ms() * 0.95,
@@ -156,8 +174,7 @@ fn img_resize_gc_penalty() {
     );
     // Ordinary Node functions don't show it.
     let spec = by_name("ocr-img (n)").unwrap();
-    let base =
-        closed_loop_latency(&spec, StrategyKind::Base, GroundhogConfig::gh(), 8, 5).unwrap();
+    let base = closed_loop_latency(&spec, StrategyKind::Base, GroundhogConfig::gh(), 8, 5).unwrap();
     let gh = closed_loop_latency(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 8, 5).unwrap();
     let over = overhead_percent(base.invoker_mean_ms(), gh.invoker_mean_ms());
     assert!(over < 8.0, "ocr-img GH overhead {over:.1}% vs paper +0.68%");
@@ -167,12 +184,13 @@ fn img_resize_gc_penalty() {
 /// (§5.5), far larger than a single restore.
 #[test]
 fn snapshot_cost_structure() {
-    for (name, lo_ms, hi_ms) in
-        [("bicg (c)", 1.0, 12.0), ("md2html (p)", 4.0, 40.0), ("get-time (n)", 40.0, 320.0)]
-    {
+    for (name, lo_ms, hi_ms) in [
+        ("bicg (c)", 1.0, 12.0),
+        ("md2html (p)", 4.0, 40.0),
+        ("get-time (n)", 40.0, 320.0),
+    ] {
         let spec = by_name(name).unwrap();
-        let c = Container::cold_start(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 6)
-            .unwrap();
+        let c = Container::cold_start(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 6).unwrap();
         let prep = c.stats.prepare.as_ref().unwrap();
         let ms = prep.duration.as_millis_f64();
         assert!(
@@ -187,8 +205,7 @@ fn snapshot_cost_structure() {
 #[test]
 fn restore_is_off_the_critical_path() {
     let spec = by_name("fannkuch (p)").unwrap();
-    let mut c =
-        Container::cold_start(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 7).unwrap();
+    let mut c = Container::cold_start(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 7).unwrap();
     for i in 1..=4u64 {
         let out = c.invoke(&Request::new(i, "caller", 1)).unwrap();
         assert!(

@@ -20,11 +20,20 @@ fn residual_taint(name: &str, kind: StrategyKind, n: u64) -> bool {
     let spec = by_name(name).unwrap();
     let mut c = Container::cold_start(&spec, kind, GroundhogConfig::gh(), 11).unwrap();
     for i in 1..=n {
-        c.invoke(&Request::new(i, &format!("tenant-{}", i % 3), spec.input_kb)).unwrap();
+        c.invoke(&Request::new(
+            i,
+            &format!("tenant-{}", i % 3),
+            spec.input_kb,
+        ))
+        .unwrap();
     }
     let proc = c.kernel.process(c.fproc.pid).unwrap();
-    let mem_taint = (1..=n)
-        .any(|i| !proc.mem.tainted_pages(RequestId(i), c.kernel.frames()).is_empty());
+    let mem_taint = (1..=n).any(|i| {
+        !proc
+            .mem
+            .tainted_pages(RequestId(i), c.kernel.frames())
+            .is_empty()
+    });
     let reg_taint = proc
         .threads
         .iter()
@@ -130,7 +139,10 @@ fn skip_same_principal_is_safe_across_principals() {
         3_000,
     );
     let cache = BuggyCache::init(&mut kernel, &fproc);
-    let cfg = GroundhogConfig { skip_same_principal: true, ..GroundhogConfig::gh() };
+    let cfg = GroundhogConfig {
+        skip_same_principal: true,
+        ..GroundhogConfig::gh()
+    };
     let mut mgr = Manager::new(fproc.pid, cfg);
     mgr.snapshot_now(&mut kernel).unwrap();
 

@@ -1,7 +1,7 @@
 //! Container and manager lifecycle behaviour across crates (Fig. 1, §4.1,
 //! §4.5).
 
-use groundhog::core::{GroundhogConfig, ManagerState, Manager};
+use groundhog::core::{GroundhogConfig, Manager, ManagerState};
 use groundhog::faas::{Container, Request};
 use groundhog::functions::behavior::{Executor, RequestCtx};
 use groundhog::functions::catalog::by_name;
@@ -31,10 +31,8 @@ fn cold_start_phase_structure() {
 fn cold_start_ordering_across_runtimes() {
     let c_spec = by_name("trisolv (c)").unwrap();
     let n_spec = by_name("get-time (n)").unwrap();
-    let c = Container::cold_start(&c_spec, StrategyKind::Base, GroundhogConfig::gh(), 2)
-        .unwrap();
-    let n = Container::cold_start(&n_spec, StrategyKind::Base, GroundhogConfig::gh(), 2)
-        .unwrap();
+    let c = Container::cold_start(&c_spec, StrategyKind::Base, GroundhogConfig::gh(), 2).unwrap();
+    let n = Container::cold_start(&n_spec, StrategyKind::Base, GroundhogConfig::gh(), 2).unwrap();
     assert!(n.stats.init_time > c.stats.init_time);
 }
 
@@ -53,7 +51,10 @@ fn manager_state_machine() {
     let mut mgr = Manager::new(fproc.pid, GroundhogConfig::gh());
     assert_eq!(mgr.state(), ManagerState::Initializing);
     assert!(!mgr.is_ready());
-    assert!(mgr.begin_request(&mut kernel, "x").is_err(), "no requests before snapshot");
+    assert!(
+        mgr.begin_request(&mut kernel, "x").is_err(),
+        "no requests before snapshot"
+    );
 
     Executor::invoke(&mut kernel, &mut fproc, &spec, &RequestCtx::dummy(0));
     mgr.snapshot_now(&mut kernel).unwrap();
@@ -93,9 +94,11 @@ fn snapshot_taken_once() {
 #[test]
 fn per_strategy_cleanup_behaviour() {
     let spec = by_name("atax (c)").unwrap();
-    for (kind, restores_expected) in
-        [(StrategyKind::GhNop, false), (StrategyKind::Gh, true), (StrategyKind::Fork, false)]
-    {
+    for (kind, restores_expected) in [
+        (StrategyKind::GhNop, false),
+        (StrategyKind::Gh, true),
+        (StrategyKind::Fork, false),
+    ] {
         let mut c = Container::cold_start(&spec, kind, GroundhogConfig::gh(), 3).unwrap();
         for i in 1..=3u64 {
             let out = c.invoke(&Request::new(i, "t", 1)).unwrap();
@@ -108,7 +111,11 @@ fn per_strategy_cleanup_behaviour() {
             assert_eq!(restored, restores_expected, "{kind:?}");
             let _ = out;
         }
-        assert_eq!(c.kernel.process_count(), 1, "{kind:?}: exactly the function process");
+        assert_eq!(
+            c.kernel.process_count(),
+            1,
+            "{kind:?}: exactly the function process"
+        );
     }
 }
 
@@ -117,14 +124,16 @@ fn per_strategy_cleanup_behaviour() {
 #[test]
 fn clock_discipline() {
     let spec = by_name("float (p)").unwrap();
-    let mut c = Container::cold_start(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 4)
-        .unwrap();
+    let mut c = Container::cold_start(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 4).unwrap();
     let mut last = c.now();
     for i in 1..=4u64 {
         let out = c.invoke(&Request::new(i, "t", 1)).unwrap();
         let now = c.now();
         assert!(now > last, "clock advances");
-        assert!(out.invoker_latency + out.off_path <= now - last, "accounting is consistent");
+        assert!(
+            out.invoker_latency + out.off_path <= now - last,
+            "accounting is consistent"
+        );
         last = now;
     }
 }

@@ -33,8 +33,10 @@ fn seeds_vary_noise() {
 /// the paper's BASE calibration (E2E − invoker ≈ 30ms for FaaSProfiler).
 #[test]
 fn e2e_composition() {
-    let mut cfg = PlatformConfig::default();
-    cfg.platform_cov = 0.0;
+    let cfg = PlatformConfig {
+        platform_cov: 0.0,
+        ..PlatformConfig::default()
+    };
     let mut p = Platform::new(cfg);
     let spec = by_name("get-time (p)").unwrap();
     let id = p.deploy(&spec, StrategyKind::Base).unwrap();
@@ -77,8 +79,22 @@ fn mixed_strategy_deployments() {
     }
     assert_eq!(platform.container(base).stats.requests, 3);
     assert_eq!(platform.container(gh).stats.requests, 3);
-    assert!(platform.container(base).stats.last_post.as_ref().unwrap().restore.is_none());
-    assert!(platform.container(gh).stats.last_post.as_ref().unwrap().restore.is_some());
+    assert!(platform
+        .container(base)
+        .stats
+        .last_post
+        .as_ref()
+        .unwrap()
+        .restore
+        .is_none());
+    assert!(platform
+        .container(gh)
+        .stats
+        .last_post
+        .as_ref()
+        .unwrap()
+        .restore
+        .is_some());
 }
 
 /// The saturating client reproduces Table 3's baseline throughput within
@@ -86,14 +102,16 @@ fn mixed_strategy_deployments() {
 #[test]
 fn baseline_throughput_calibration() {
     for (name, lo, hi) in [
-        ("fannkuch (p)", 380.0, 800.0),   // paper 572
-        ("trisolv (c)", 100.0, 190.0),    // paper 138
-        ("get-time (n)", 600.0, 1300.0),  // paper 942
+        ("fannkuch (p)", 380.0, 800.0),  // paper 572
+        ("trisolv (c)", 100.0, 190.0),   // paper 138
+        ("get-time (n)", 600.0, 1300.0), // paper 942
     ] {
         let spec = by_name(name).unwrap();
-        let x = peak_throughput(&spec, StrategyKind::Base, GroundhogConfig::gh(), 30, 9)
-            .unwrap();
-        assert!((lo..hi).contains(&x), "{name}: {x:.0} r/s outside [{lo}, {hi})");
+        let x = peak_throughput(&spec, StrategyKind::Base, GroundhogConfig::gh(), 30, 9).unwrap();
+        assert!(
+            (lo..hi).contains(&x),
+            "{name}: {x:.0} r/s outside [{lo}, {hi})"
+        );
     }
 }
 
