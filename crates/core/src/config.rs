@@ -27,6 +27,13 @@ pub struct GroundhogConfig {
     /// Coalesce contiguous dirty pages into single copy operations
     /// (§5.2.2's slope change at ~60% dirtied).
     pub coalesce: bool,
+    /// Parallel copy lanes for the page-writeback pass of the restore
+    /// plan. `1` (the paper's implementation) runs the serial copy loop
+    /// bit-for-bit; higher values split the coalesced runs across lanes
+    /// and charge the wall-clock of the slowest lane plus a fork/join
+    /// handoff per extra lane. Serialized phases (syscall injection,
+    /// tracker re-arm, registers) stay serial regardless.
+    pub restore_lanes: usize,
     /// Skip rollback when consecutive requests share a principal (§4.4's
     /// "mutually trusting callers" optimization). Defers the restore to
     /// the next request's arrival, when the principal is known.
@@ -59,6 +66,7 @@ impl Default for GroundhogConfig {
             tracker: TrackerKind::SoftDirty,
             restore_enabled: true,
             coalesce: true,
+            restore_lanes: 1,
             skip_same_principal: false,
             dummy_warm: true,
             zero_stack: true,
@@ -82,6 +90,15 @@ impl GroundhogConfig {
             ..Self::default()
         }
     }
+
+    /// `GH` with the page-writeback pass split across `lanes` parallel
+    /// copy lanes.
+    pub fn with_lanes(lanes: usize) -> Self {
+        GroundhogConfig {
+            restore_lanes: lanes.max(1),
+            ..Self::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -93,9 +110,16 @@ mod tests {
         let c = GroundhogConfig::gh();
         assert!(c.restore_enabled);
         assert!(c.coalesce);
+        assert_eq!(c.restore_lanes, 1, "the paper's serial copy loop");
         assert!(!c.skip_same_principal);
         assert!(c.dummy_warm);
         assert_eq!(c.tracker, TrackerKind::SoftDirty);
+    }
+
+    #[test]
+    fn with_lanes_clamps_to_one() {
+        assert_eq!(GroundhogConfig::with_lanes(0).restore_lanes, 1);
+        assert_eq!(GroundhogConfig::with_lanes(4).restore_lanes, 4);
     }
 
     #[test]

@@ -14,18 +14,53 @@
 //!   *between* activations and buffers incoming requests until the process
 //!   is provably clean, never using copy-on-write during execution.
 //!
-//! The restore sequence follows §4.4 exactly and is timed phase-by-phase
-//! ([`breakdown::RestorePhase`]) so the Fig. 8 decomposition can be
-//! regenerated: interrupt, read maps, scan page metadata, diff layouts,
-//! inject `brk`/`mmap`/`munmap`/`madvise`/`mprotect`, restore memory
-//! (with contiguous-run coalescing), clear soft-dirty bits, restore
-//! registers, detach.
+//! # The restore pipeline
+//!
+//! The §4.4 restore sequence is a two-stage engine — a pure **planner**
+//! that compiles the collected state into typed passes, and an
+//! **executor** that runs them under the virtual-clock cost model:
+//!
+//! ```text
+//!   attach → interrupt → read maps → scan pagemap → diff layouts
+//!      │                                                │
+//!      │      DirtyReport + Snapshot + LayoutDiff       ▼
+//!      └────────────────▶ RestorePlanner::build ─▶ RestorePlan
+//!                                                      │ typed passes
+//!        ┌─────────────────────────────────────────────┘
+//!        ▼
+//!   LayoutFixup ─▶ Madvise ─▶ StackZero ─▶ PageWriteback ─▶ TrackerRearm ─▶ RegsReset
+//!   (batched        (evict      (zero        (coalesced runs,   (clear_refs)   (SETREGS)
+//!    syscall         newly       fresh        N parallel copy
+//!    injection)      paged)      stack)       lanes)
+//!        │
+//!        └─▶ detach ─▶ [`RestoreReport`] + Fig. 8 [`Breakdown`]
+//! ```
+//!
+//! Every pass is timed phase-by-phase ([`breakdown::RestorePhase`]) so the
+//! Fig. 8 decomposition can be regenerated. With
+//! [`GroundhogConfig::restore_lanes`]` = 1` the executor is bit-for-bit
+//! identical to the paper's serial loop; more lanes parallelize only the
+//! page-writeback pass (the ptrace-serialized passes stay serial).
+//!
+//! # The pool-shared snapshot store
+//!
+//! A fleet pool holds one near-identical clean-state snapshot per
+//! container. [`SnapshotMode::Shared`]
+//! interns those pages into a pool-level
+//! [`SnapshotStore`](gh_mem::SnapshotStore): the first container's pages
+//! become a refcounted base image, subsequent containers dedup against it
+//! page-by-page by logical content, and pool memory scales with
+//! `base + Σ per-container deltas` instead of `pool_size × snapshot`
+//! (§5.5 taken fleet-wide). Deduplication is a *space* optimization only:
+//! the shared snapshot charges exactly the eager snapshot's virtual time,
+//! so pool timelines are unchanged.
 
 pub mod breakdown;
 pub mod config;
 pub mod diff;
 pub mod error;
 pub mod manager;
+pub mod plan;
 pub mod restore;
 pub mod snapshot;
 pub mod track;
@@ -35,6 +70,7 @@ pub use config::{GroundhogConfig, TrackerKind};
 pub use diff::LayoutDiff;
 pub use error::GhError;
 pub use manager::{Manager, ManagerState, ManagerStats};
+pub use plan::{RestorePass, RestorePlan, RestorePlanner, SyscallBatch, WritebackLane};
 pub use restore::{RestoreReport, Restorer};
-pub use snapshot::{Snapshot, SnapshotReport, Snapshotter};
+pub use snapshot::{Snapshot, SnapshotMode, SnapshotReport, Snapshotter};
 pub use track::{DirtyReport, MemoryTracker, SoftDirtyTracker, UffdTracker};

@@ -14,13 +14,14 @@
 //!   principal (§4.4's mutually-trusting-callers optimization), which
 //!   defers the restore decision to the next request's arrival.
 
+use gh_mem::StoreHandle;
 use gh_proc::{Kernel, Pid};
 use gh_sim::Nanos;
 
 use crate::config::GroundhogConfig;
 use crate::error::GhError;
 use crate::restore::{RestoreReport, Restorer};
-use crate::snapshot::{Snapshot, SnapshotReport, Snapshotter};
+use crate::snapshot::{Snapshot, SnapshotMode, SnapshotReport, Snapshotter};
 use crate::track::{make_tracker, MemoryTracker};
 
 /// Manager lifecycle states.
@@ -84,6 +85,11 @@ pub struct Manager {
     snapshot: Option<Snapshot>,
     tracker: Box<dyn MemoryTracker>,
     last_principal: Option<String>,
+    /// Pool-shared snapshot store + dedup key, when this manager belongs
+    /// to a container pool. Used only when `cfg.cow_snapshot` is off — a
+    /// CoW snapshot holds references into the process's own frames, so
+    /// there are no page copies to intern.
+    shared_store: Option<(String, StoreHandle)>,
     /// Lifetime counters.
     pub stats: ManagerStats,
 }
@@ -91,6 +97,17 @@ pub struct Manager {
 impl Manager {
     /// Creates a manager for the function process `pid`.
     pub fn new(pid: Pid, cfg: GroundhogConfig) -> Manager {
+        Self::with_shared_store(pid, cfg, None)
+    }
+
+    /// Creates a manager whose snapshot pages are interned into a
+    /// pool-shared [`SnapshotStore`](gh_mem::SnapshotStore) under the
+    /// dedup key (`None` keeps the snapshot private, as [`Manager::new`]).
+    pub fn with_shared_store(
+        pid: Pid,
+        cfg: GroundhogConfig,
+        shared_store: Option<(String, StoreHandle)>,
+    ) -> Manager {
         let tracker = make_tracker(cfg.tracker);
         Manager {
             cfg,
@@ -99,6 +116,7 @@ impl Manager {
             snapshot: None,
             tracker,
             last_principal: None,
+            shared_store,
             stats: ManagerStats::default(),
         }
     }
@@ -160,12 +178,21 @@ impl Manager {
                 op: "snapshot_now",
             });
         }
-        let (snapshot, report) = Snapshotter::take_with(
-            kernel,
-            self.pid,
-            self.tracker.as_mut(),
-            self.cfg.cow_snapshot,
-        )?;
+        let mode = if self.cfg.cow_snapshot {
+            // CoW takes precedence: it keeps no page copies to intern,
+            // and honoring it preserves pool-of-one timeline parity with
+            // a lone CoW-configured container.
+            SnapshotMode::Cow
+        } else if let Some((key, store)) = &self.shared_store {
+            SnapshotMode::Shared {
+                store: store.clone(),
+                key: key.clone(),
+            }
+        } else {
+            SnapshotMode::Eager
+        };
+        let (snapshot, report) =
+            Snapshotter::take_mode(kernel, self.pid, self.tracker.as_mut(), mode)?;
         self.snapshot = Some(snapshot);
         self.stats.snapshot = Some(report);
         self.state = ManagerState::Ready;
@@ -404,6 +431,50 @@ mod tests {
         assert!(r.mgr.stats.total_restore_time > Nanos::ZERO);
         let last = r.mgr.stats.last_restore.as_ref().unwrap();
         assert!(last.total > Nanos::ZERO);
+    }
+
+    #[test]
+    fn pool_managers_share_one_snapshot_image() {
+        let store = gh_mem::SnapshotStore::new_handle();
+        let mut total_present = 0u64;
+        for _ in 0..3 {
+            let mut kernel = Kernel::boot();
+            let pid = kernel.spawn("f");
+            kernel
+                .run_charged(pid, |p, frames| {
+                    let r = p.mem.mmap(16, Perms::RW, VmaKind::Anon).unwrap();
+                    for vpn in r.iter() {
+                        p.mem
+                            .touch(vpn, Touch::WriteWord(7), Taint::Clean, frames)
+                            .unwrap();
+                    }
+                })
+                .unwrap();
+            let mut mgr = Manager::with_shared_store(
+                pid,
+                GroundhogConfig::gh(),
+                Some(("f".to_string(), store.clone())),
+            );
+            let report = mgr.snapshot_now(&mut kernel).unwrap();
+            total_present += report.present_pages;
+            // Restores still work off the shared snapshot.
+            mgr.begin_request(&mut kernel, "alice").unwrap();
+            kernel
+                .run_charged(pid, |p, frames| {
+                    let vpn = p.mem.maps()[0].range.start;
+                    let _ = p.mem.touch(vpn, Touch::Read, Taint::Clean, frames);
+                })
+                .unwrap();
+            mgr.end_request(&mut kernel).unwrap();
+        }
+        let st = store.lock().unwrap();
+        assert_eq!(st.stats().logical_pages, total_present);
+        assert!(
+            (st.live_frames() as u64) < total_present,
+            "3 identical containers must dedup: {} unique of {} logical",
+            st.live_frames(),
+            total_present
+        );
     }
 
     #[test]

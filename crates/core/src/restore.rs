@@ -8,12 +8,25 @@
 //! registers of all threads, madvises newly paged pages, and finally
 //! resets SD-bits."
 //!
-//! Every phase is timed against the virtual clock into the Fig. 8
-//! [`Breakdown`].
+//! The restore is a two-stage pipeline:
+//!
+//! ```text
+//!  attach ─ interrupt ─ read maps ─ scan ─ diff          (collection)
+//!     └──▶ RestorePlanner::build ──▶ RestorePlan         (crate::plan)
+//!             └──▶ execute_plan: LayoutFixup → Madvise → StackZero
+//!                  → PageWriteback (N copy lanes) → TrackerRearm
+//!                  → RegsReset                           (this module)
+//!                      └──▶ detach ──▶ RestoreReport + Breakdown
+//! ```
+//!
+//! Every pass is timed against the virtual clock into the Fig. 8
+//! [`Breakdown`]. With `restore_lanes = 1` the executor charges exactly
+//! what the paper's serial implementation would — the breakdown and
+//! report are bit-for-bit identical to the pre-pipeline monolith (pinned
+//! by `tests/prop_plan.rs`). With more lanes, only the page-writeback
+//! pass parallelizes; the ptrace-serialized passes stay serial.
 
-use std::collections::BTreeSet;
-
-use gh_mem::{PageRange, Taint, Vpn};
+use gh_mem::Taint;
 use gh_proc::{Kernel, Pid, PtraceSession};
 use gh_sim::clock::Stopwatch;
 use gh_sim::Nanos;
@@ -21,6 +34,7 @@ use gh_sim::Nanos;
 use crate::breakdown::{Breakdown, RestorePhase};
 use crate::config::GroundhogConfig;
 use crate::error::GhError;
+use crate::plan::{RestorePass, RestorePlan, RestorePlanner};
 use crate::snapshot::Snapshot;
 use crate::track::MemoryTracker;
 
@@ -45,32 +59,7 @@ pub struct RestoreReport {
     pub syscalls_injected: usize,
 }
 
-/// Counts maximal runs of consecutive integers in a sorted slice.
-fn count_runs(sorted: &[u64]) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    1 + sorted.windows(2).filter(|w| w[1] != w[0] + 1).count() as u64
-}
-
-/// Groups a sorted page list into contiguous [`PageRange`]s.
-fn group_ranges(sorted: &[u64]) -> Vec<PageRange> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < sorted.len() {
-        let start = sorted[i];
-        let mut end = start + 1;
-        i += 1;
-        while i < sorted.len() && sorted[i] == end {
-            end += 1;
-            i += 1;
-        }
-        out.push(PageRange::new(Vpn(start), Vpn(end)));
-    }
-    out
-}
-
-/// The restore engine.
+/// The restore engine: plans, then executes.
 pub struct Restorer;
 
 impl Restorer {
@@ -88,19 +77,17 @@ impl Restorer {
         let mut sw = Stopwatch::start(&kernel.clock);
         let mut s = PtraceSession::attach(kernel, pid)?;
 
-        // Phase 1: interrupt all threads.
+        // Collection: interrupt all threads, read /proc/pid/maps, scan
+        // page metadata (tracker-dependent), diff the memory layouts.
         s.interrupt_all()?;
         bd.add(RestorePhase::Interrupting, sw.lap());
 
-        // Phase 2: read /proc/pid/maps.
         let cur_maps = s.read_maps()?;
         bd.add(RestorePhase::ReadingMaps, sw.lap());
 
-        // Phase 3: scan page metadata (tracker-dependent).
         let dirty_report = tracker.collect(&mut s)?;
         bd.add(RestorePhase::ScanningPageMetadata, sw.lap());
 
-        // Phase 4: diff memory layouts.
         let cur_brk = s.kernel().process(pid)?.mem.brk();
         let diff =
             crate::diff::LayoutDiff::compute(&snapshot.vmas, snapshot.brk, &cur_maps, cur_brk);
@@ -111,129 +98,10 @@ impl Restorer {
         s.kernel().charge(diff_cost);
         bd.add(RestorePhase::DiffingMemoryLayouts, sw.lap());
 
-        // Phases 5–9: inject layout syscalls, attributing time per class.
-        let plan = diff.plan();
-        let syscalls_injected = plan.len();
-        for sc in plan {
-            let phase = match sc.mnemonic() {
-                "brk" => RestorePhase::Brk,
-                "mmap" => RestorePhase::Mmap,
-                "munmap" => RestorePhase::Munmap,
-                "madvise" => RestorePhase::Madvise,
-                _ => RestorePhase::Mprotect,
-            };
-            s.inject(sc)?;
-            bd.add(phase, sw.lap());
-        }
+        // Plan (pure), then execute pass by pass.
+        let plan = RestorePlanner::build(snapshot, &dirty_report, &diff, cfg);
+        Self::execute_plan(&mut s, &plan, snapshot, tracker, &mut bd, &mut sw)?;
 
-        // Present-page bookkeeping from the scan (when the backend saw the
-        // pagemap): remove pages our munmaps just dropped.
-        let stack_ranges = snapshot.stack_ranges();
-        let in_stack = |vpn: u64| stack_ranges.iter().any(|r| r.contains(Vpn(vpn)));
-        let in_ranges =
-            |ranges: &[PageRange], vpn: u64| ranges.iter().any(|r| r.contains(Vpn(vpn)));
-
-        let mut newly_paged = 0u64;
-        let mut stack_zeroed = 0u64;
-        let mut present_after: Option<BTreeSet<u64>> = None;
-        if let Some(entries) = &dirty_report.present {
-            let mut present: BTreeSet<u64> = entries
-                .iter()
-                .map(|e| e.vpn.0)
-                .filter(|&v| !in_ranges(&diff.to_munmap, v))
-                .collect();
-
-            // Phase 8 (continued) + stack zeroing: handle pages that became
-            // resident after the snapshot.
-            let fresh: Vec<u64> = present
-                .iter()
-                .copied()
-                .filter(|&v| !snapshot.has_page(Vpn(v)))
-                .collect();
-            let mut evicted: Vec<u64> = Vec::new();
-            for &v in &fresh {
-                if in_stack(v) {
-                    if cfg.zero_stack {
-                        s.zero_page(Vpn(v))?;
-                        stack_zeroed += 1;
-                    }
-                } else if cfg.madvise_new {
-                    s.evict_page(Vpn(v))?;
-                    evicted.push(v);
-                }
-            }
-            newly_paged = evicted.len() as u64;
-            let evict_runs = group_ranges(&evicted).len() as u64;
-            let madvise_cost = s.kernel().cost.syscall_inject * evict_runs
-                + s.kernel().cost.madvise_new_page * newly_paged;
-            s.kernel().charge(madvise_cost);
-            for v in &evicted {
-                present.remove(v);
-            }
-            bd.add(RestorePhase::Madvise, sw.lap());
-
-            // Stack zeroing is charged into the memory-restoration phase.
-            let zero_cost = s.kernel().cost.zero_stack_page * stack_zeroed;
-            s.kernel().charge(zero_cost);
-            present_after = Some(present);
-        }
-
-        // Phase 10: restore memory contents. The restore set is
-        //   (dirty ∩ snapshot) ∪ (snapshot \ currently-present),
-        // the second term covering pages dropped by madvise/munmap+remap
-        // churn. Without a pagemap view (UFFD), the second term is limited
-        // to the regions we know we remapped.
-        let mut restore_set: BTreeSet<u64> = dirty_report
-            .dirty
-            .iter()
-            .map(|v| v.0)
-            .filter(|&v| snapshot.has_page(Vpn(v)))
-            .collect();
-        match &present_after {
-            Some(present) => {
-                for v in snapshot.page_vpns() {
-                    if !present.contains(&v) {
-                        restore_set.insert(v);
-                    }
-                }
-            }
-            None => {
-                let remapped: Vec<PageRange> = diff.to_remap.iter().map(|r| r.range).collect();
-                for v in snapshot.page_vpns() {
-                    if in_ranges(&remapped, v) {
-                        restore_set.insert(v);
-                    }
-                }
-            }
-        }
-        let sorted: Vec<u64> = restore_set.iter().copied().collect();
-        let runs = count_runs(&sorted);
-        let pages_restored = sorted.len() as u64;
-        for &v in &sorted {
-            let data = snapshot
-                .page_data(Vpn(v), s.kernel().frames())
-                .expect("restore set ⊆ snapshot");
-            s.write_page(Vpn(v), &data, Taint::Clean)?;
-        }
-        let copy_cost = if cfg.coalesce {
-            s.kernel().cost.restore_pages_cost(pages_restored, runs)
-        } else {
-            s.kernel()
-                .cost
-                .restore_pages_cost_uncoalesced(pages_restored)
-        };
-        s.kernel().charge(copy_cost);
-        bd.add(RestorePhase::RestoringMemory, sw.lap());
-
-        // Phase 11: reset soft-dirty bits / re-arm tracking.
-        tracker.arm(&mut s)?;
-        bd.add(RestorePhase::ClearingSoftDirtyBits, sw.lap());
-
-        // Phase 12: restore registers of all threads.
-        s.restore_regs_all(&snapshot.regs)?;
-        bd.add(RestorePhase::RestoringRegisters, sw.lap());
-
-        // Phase 13: detach (resumes the process).
         s.detach()?;
         bd.add(RestorePhase::Detaching, sw.lap());
 
@@ -241,13 +109,91 @@ impl Restorer {
         Ok(RestoreReport {
             breakdown: bd,
             total,
-            dirty_pages: dirty_report.dirty.len() as u64,
-            pages_restored,
-            runs,
-            newly_paged,
-            stack_zeroed,
-            syscalls_injected,
+            dirty_pages: plan.dirty_pages,
+            pages_restored: plan.pages_restored,
+            runs: plan.runs,
+            newly_paged: plan.newly_paged,
+            stack_zeroed: plan.stack_zeroed,
+            syscalls_injected: plan.syscalls_injected,
         })
+    }
+
+    /// Runs every pass of `plan` under the virtual-clock cost model,
+    /// attributing each pass to its Fig. 8 phase.
+    fn execute_plan(
+        s: &mut PtraceSession<'_>,
+        plan: &RestorePlan,
+        snapshot: &Snapshot,
+        tracker: &mut dyn MemoryTracker,
+        bd: &mut Breakdown,
+        sw: &mut Stopwatch,
+    ) -> Result<(), GhError> {
+        for pass in &plan.passes {
+            match pass {
+                RestorePass::LayoutFixup { batches } => {
+                    // Batched injection: one trap round per syscall
+                    // (charged inside `inject`), one breakdown lap per
+                    // class batch.
+                    for batch in batches {
+                        for sc in &batch.calls {
+                            s.inject(sc.clone())?;
+                        }
+                        bd.add(batch.phase, sw.lap());
+                    }
+                }
+                RestorePass::Madvise { evict } => {
+                    for range in evict {
+                        for vpn in range.iter() {
+                            s.evict_page(vpn)?;
+                        }
+                    }
+                    let pages: u64 = evict.iter().map(|r| r.len()).sum();
+                    let cost = s.kernel().cost.syscall_inject * evict.len() as u64
+                        + s.kernel().cost.madvise_new_page * pages;
+                    s.kernel().charge(cost);
+                    bd.add(RestorePhase::Madvise, sw.lap());
+                }
+                RestorePass::StackZero { pages } => {
+                    for &vpn in pages {
+                        s.zero_page(vpn)?;
+                    }
+                    // Stack zeroing is charged into the memory-restoration
+                    // phase: no lap here, the writeback pass's lap absorbs
+                    // it.
+                    let cost = s.kernel().cost.zero_stack_page * pages.len() as u64;
+                    s.kernel().charge(cost);
+                }
+                RestorePass::PageWriteback { lanes, coalesce } => {
+                    for lane in lanes {
+                        for run in &lane.runs {
+                            // Resolve the whole run at once: one store
+                            // lock per coalesced run, not per page.
+                            let data = snapshot.run_data(*run, s.kernel().frames());
+                            for (vpn, page) in run.iter().zip(data) {
+                                let page = page.expect("restore set ⊆ snapshot");
+                                s.write_page(vpn, &page, Taint::Clean)?;
+                            }
+                        }
+                    }
+                    let lane_costs: Vec<(u64, u64)> = lanes
+                        .iter()
+                        .map(|l| (l.pages(), l.runs.len() as u64))
+                        .collect();
+                    let cost = s.kernel().cost.restore_lanes_cost(&lane_costs, *coalesce);
+                    s.kernel().charge(cost);
+                    bd.add(RestorePhase::RestoringMemory, sw.lap());
+                }
+                RestorePass::TrackerRearm => {
+                    tracker.arm(s)?;
+                    bd.add(RestorePhase::ClearingSoftDirtyBits, sw.lap());
+                }
+                RestorePass::RegsReset => {
+                    s.restore_regs_all(&snapshot.regs)?;
+                    bd.add(RestorePhase::RestoringRegisters, sw.lap());
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -307,7 +253,7 @@ mod tests {
     use crate::config::TrackerKind;
     use crate::snapshot::Snapshotter;
     use crate::track::make_tracker;
-    use gh_mem::{Perms, RequestId, Touch, VmaKind};
+    use gh_mem::{PageRange, Perms, RequestId, Taint, Touch, VmaKind, Vpn};
 
     struct Rig {
         kernel: Kernel,
@@ -595,6 +541,48 @@ mod tests {
     }
 
     #[test]
+    fn more_lanes_cut_writeback_time() {
+        // The same dense write set restored on 1 vs 4 copy lanes: the
+        // parallel writeback must be strictly faster, and everything else
+        // identical.
+        let offsets: Vec<u64> = (0..24).collect();
+
+        let mut serial = rig();
+        taint_writes(&mut serial, &offsets, 1);
+        let one = restore(&mut serial);
+
+        let mut wide = rig();
+        wide.cfg.restore_lanes = 4;
+        taint_writes(&mut wide, &offsets, 1);
+        let four = restore(&mut wide);
+
+        assert_eq!(one.pages_restored, four.pages_restored);
+        assert_eq!(one.runs, four.runs, "report runs are pre-split");
+        assert!(
+            four.breakdown.get(RestorePhase::RestoringMemory)
+                < one.breakdown.get(RestorePhase::RestoringMemory),
+            "4 lanes {} !< 1 lane {}",
+            four.breakdown.get(RestorePhase::RestoringMemory),
+            one.breakdown.get(RestorePhase::RestoringMemory)
+        );
+        assert!(four.total < one.total);
+        verify_matches_snapshot(&wide.kernel, wide.pid, &wide.snapshot).unwrap();
+    }
+
+    #[test]
+    fn lanes_do_not_change_restored_state() {
+        for lanes in [1usize, 2, 4, 8] {
+            let mut r = rig();
+            r.cfg.restore_lanes = lanes;
+            taint_writes(&mut r, &[0, 3, 4, 5, 9, 20, 21], 1);
+            let report = restore(&mut r);
+            assert_eq!(report.pages_restored, 7, "lanes={lanes}");
+            verify_matches_snapshot(&r.kernel, r.pid, &r.snapshot)
+                .unwrap_or_else(|e| panic!("lanes={lanes}: {e}"));
+        }
+    }
+
+    #[test]
     fn breakdown_phases_are_populated() {
         let mut r = rig();
         taint_writes(&mut r, &[1, 3], 1);
@@ -608,22 +596,5 @@ mod tests {
         assert!(bd.get(RestorePhase::RestoringRegisters) > Nanos::ZERO);
         assert!(bd.get(RestorePhase::Detaching) > Nanos::ZERO);
         assert_eq!(report.total, bd.total());
-    }
-
-    #[test]
-    fn run_counting() {
-        assert_eq!(count_runs(&[]), 0);
-        assert_eq!(count_runs(&[5]), 1);
-        assert_eq!(count_runs(&[1, 2, 3]), 1);
-        assert_eq!(count_runs(&[1, 3, 5]), 3);
-        assert_eq!(count_runs(&[1, 2, 4, 5, 9]), 3);
-        assert_eq!(
-            group_ranges(&[1, 2, 4, 5, 9]),
-            vec![
-                PageRange::at(Vpn(1), 2),
-                PageRange::at(Vpn(4), 2),
-                PageRange::at(Vpn(9), 1)
-            ]
-        );
     }
 }

@@ -8,13 +8,33 @@
 
 use std::collections::BTreeMap;
 
-use gh_mem::{FrameData, FrameId, FrameTable, Vma, VmaKind, Vpn};
+use gh_mem::{FrameData, FrameId, FrameTable, StoreHandle, Vma, VmaKind, Vpn};
 use gh_proc::{Kernel, Pid, PtraceSession, Tid};
 use gh_sim::clock::Stopwatch;
 use gh_sim::Nanos;
 
 use crate::error::GhError;
 use crate::track::MemoryTracker;
+
+/// How the snapshot's page contents are captured.
+#[derive(Clone, Debug, Default)]
+pub enum SnapshotMode {
+    /// Full private copies (the paper's implementation).
+    #[default]
+    Eager,
+    /// §5.5's copy-on-write references into the process's frame table.
+    Cow,
+    /// Copies interned into a pool-shared, deduplicating
+    /// [`SnapshotStore`](gh_mem::SnapshotStore) under the given function
+    /// key: the first container's pages become the refcounted base image,
+    /// later containers dedup page-by-page by logical content.
+    Shared {
+        /// The pool's store.
+        store: StoreHandle,
+        /// Dedup key (one base image per function).
+        key: String,
+    },
+}
 
 /// How page contents are held in the manager's memory.
 #[derive(Clone, Debug)]
@@ -26,6 +46,15 @@ pub enum SnapshotPages {
     /// function *modifies* over its lifetime, at the cost of one
     /// on-critical-path CoW fault per unique modified page.
     Cow(BTreeMap<u64, FrameId>),
+    /// References into a pool-shared [`SnapshotStore`](gh_mem::SnapshotStore):
+    /// page contents deduplicated across all containers of the function,
+    /// so pool memory scales with per-container deltas, not pool size.
+    Shared {
+        /// The owning store (shared by every container of the pool).
+        store: StoreHandle,
+        /// vpn → frame in the store's table.
+        pages: BTreeMap<u64, FrameId>,
+    },
 }
 
 /// A clean-state process snapshot held in the manager's memory.
@@ -49,6 +78,7 @@ impl Snapshot {
         match &self.pages {
             SnapshotPages::Eager(m) => m.len() as u64,
             SnapshotPages::Cow(m) => m.len() as u64,
+            SnapshotPages::Shared { pages, .. } => pages.len() as u64,
         }
     }
 
@@ -62,6 +92,7 @@ impl Snapshot {
         match &self.pages {
             SnapshotPages::Eager(m) => m.contains_key(&vpn.0),
             SnapshotPages::Cow(m) => m.contains_key(&vpn.0),
+            SnapshotPages::Shared { pages, .. } => pages.contains_key(&vpn.0),
         }
     }
 
@@ -70,15 +101,45 @@ impl Snapshot {
         match &self.pages {
             SnapshotPages::Eager(m) => m.keys().copied().collect(),
             SnapshotPages::Cow(m) => m.keys().copied().collect(),
+            SnapshotPages::Shared { pages, .. } => pages.keys().copied().collect(),
         }
     }
 
     /// Saved contents of `vpn` (cloned; CoW snapshots resolve through the
-    /// frame table).
+    /// process's frame table, shared snapshots through the pool store).
     pub fn page_data(&self, vpn: Vpn, frames: &FrameTable) -> Option<FrameData> {
         match &self.pages {
             SnapshotPages::Eager(m) => m.get(&vpn.0).cloned(),
             SnapshotPages::Cow(m) => m.get(&vpn.0).map(|id| frames.data(*id).clone()),
+            SnapshotPages::Shared { store, pages } => pages
+                .get(&vpn.0)
+                .map(|id| store.lock().expect("store poisoned").data(*id).clone()),
+        }
+    }
+
+    /// Saved contents for every page of `range`, in order (`None` for
+    /// pages the snapshot did not capture). For shared snapshots this
+    /// acquires the pool store's lock **once per range** — the restorer's
+    /// writeback loop resolves whole coalesced runs through here instead
+    /// of paying a lock round-trip per page.
+    pub fn run_data(
+        &self,
+        range: gh_mem::PageRange,
+        frames: &FrameTable,
+    ) -> Vec<Option<FrameData>> {
+        match &self.pages {
+            SnapshotPages::Eager(m) => range.iter().map(|v| m.get(&v.0).cloned()).collect(),
+            SnapshotPages::Cow(m) => range
+                .iter()
+                .map(|v| m.get(&v.0).map(|id| frames.data(*id).clone()))
+                .collect(),
+            SnapshotPages::Shared { store, pages } => {
+                let st = store.lock().expect("store poisoned");
+                range
+                    .iter()
+                    .map(|v| pages.get(&v.0).map(|id| st.data(*id).clone()))
+                    .collect()
+            }
         }
     }
 
@@ -92,26 +153,38 @@ impl Snapshot {
     }
 
     /// Approximate bytes of manager memory the snapshot occupies (§5.5).
-    /// Eager snapshots pay a full page per present page; CoW snapshots
-    /// only pay the reference table.
+    /// Eager snapshots pay a full page per present page; CoW and shared
+    /// snapshots only pay the reference table — the shared snapshot's
+    /// page storage lives in the pool store and is accounted there
+    /// ([`SnapshotStore::resident_bytes`](gh_mem::SnapshotStore::resident_bytes)).
     pub fn memory_bytes(&self) -> u64 {
         let meta = self.vmas.len() as u64 * 64;
         match &self.pages {
             SnapshotPages::Eager(m) => m.len() as u64 * gh_mem::PAGE_SIZE + meta,
             SnapshotPages::Cow(m) => m.len() as u64 * 16 + meta,
+            SnapshotPages::Shared { pages, .. } => pages.len() as u64 * 16 + meta,
         }
     }
 
-    /// Releases a CoW snapshot's frame references (no-op for eager
-    /// snapshots). Must be called before dropping the snapshot if the
-    /// frame table is to be reused leak-free.
+    /// Releases the snapshot's frame references (no-op for eager
+    /// snapshots): CoW references back into the process's frame table,
+    /// shared references into the pool store. Must be called before
+    /// dropping the snapshot if the backing table is to be reused
+    /// leak-free.
     ///
     /// Cloning a snapshot does **not** duplicate frame ownership: clones
     /// share the same references and exactly one holder may release them.
     pub fn release(&mut self, frames: &mut FrameTable) {
-        if let SnapshotPages::Cow(m) = &mut self.pages {
-            for (_, id) in std::mem::take(m) {
-                frames.decref(id);
+        match &mut self.pages {
+            SnapshotPages::Eager(_) => {}
+            SnapshotPages::Cow(m) => {
+                for (_, id) in std::mem::take(m) {
+                    frames.decref(id);
+                }
+            }
+            SnapshotPages::Shared { store, pages } => {
+                let refs = std::mem::take(pages);
+                store.lock().expect("store poisoned").release(&refs);
             }
         }
     }
@@ -146,18 +219,24 @@ impl Snapshotter {
         pid: Pid,
         tracker: &mut dyn MemoryTracker,
     ) -> Result<(Snapshot, SnapshotReport), GhError> {
-        Self::take_with(kernel, pid, tracker, false)
+        Self::take_mode(kernel, pid, tracker, SnapshotMode::Eager)
     }
 
-    /// Takes a snapshot; `cow` selects §5.5's copy-on-write variant,
-    /// which shares frames with the process instead of copying them and
-    /// write-protects the process so the first modification of each page
-    /// takes a CoW fault on the critical path.
-    pub fn take_with(
+    /// Takes a snapshot in the given [`SnapshotMode`]. [`SnapshotMode::Cow`]
+    /// selects §5.5's copy-on-write variant, which shares frames with the
+    /// process instead of copying them and write-protects the process so
+    /// the first modification of each page takes a CoW fault on the
+    /// critical path. The shared mode
+    /// copies pages out of the process exactly like the eager mode (same
+    /// one-pass-per-page cost — the store either copies a page or
+    /// verifies it equal against the base, both one pass over 4 KiB) but
+    /// interns them into the pool store, so pool memory deduplicates
+    /// while the virtual timeline stays identical to eager snapshotting.
+    pub fn take_mode(
         kernel: &mut Kernel,
         pid: Pid,
         tracker: &mut dyn MemoryTracker,
-        cow: bool,
+        mode: SnapshotMode,
     ) -> Result<(Snapshot, SnapshotReport), GhError> {
         let mut sw = Stopwatch::start(&kernel.clock);
         let mut s = PtraceSession::attach(kernel, pid)?;
@@ -168,37 +247,51 @@ impl Snapshotter {
         let vmas = s.read_maps()?;
         let entries = s.pagemap_scan()?;
         // (c) Capture the contents of all present pages in the manager's
-        // memory: full copies (eager) or shared CoW references.
+        // memory: full copies (eager), shared CoW references, or
+        // store-interned copies (shared).
         let mapped_pages: u64 = vmas.iter().map(|v| v.range.len()).sum();
-        let (pages, present_pages, copy_cost) = if cow {
-            let (proc, frames) = s.kernel().mem_ctx(pid)?;
-            let mut refs = BTreeMap::new();
-            for e in &entries {
-                if let Some(pte) = proc.mem.pte(e.vpn) {
-                    frames.incref(pte.frame);
-                    refs.insert(e.vpn.0, pte.frame);
+        let (pages, present_pages, copy_cost) = match mode {
+            SnapshotMode::Cow => {
+                let (proc, frames) = s.kernel().mem_ctx(pid)?;
+                let mut refs = BTreeMap::new();
+                for e in &entries {
+                    if let Some(pte) = proc.mem.pte(e.vpn) {
+                        frames.incref(pte.frame);
+                        refs.insert(e.vpn.0, pte.frame);
+                    }
                 }
+                proc.mem.mark_all_cow();
+                let present = refs.len() as u64;
+                let m = &s.kernel().cost;
+                let cost = m.snapshot_base
+                    + m.snapshot_cow_ref * present
+                    + m.snapshot_per_mapped_page * mapped_pages;
+                (SnapshotPages::Cow(refs), present, cost)
             }
-            proc.mem.mark_all_cow();
-            let present = refs.len() as u64;
-            let m = &s.kernel().cost;
-            let cost = m.snapshot_base
-                + m.snapshot_cow_ref * present
-                + m.snapshot_per_mapped_page * mapped_pages;
-            (SnapshotPages::Cow(refs), present, cost)
-        } else {
-            let mut copies = BTreeMap::new();
-            for e in &entries {
-                if let Some(data) = s.read_page(e.vpn)? {
-                    copies.insert(e.vpn.0, data);
+            SnapshotMode::Eager | SnapshotMode::Shared { .. } => {
+                let mut copies = BTreeMap::new();
+                for e in &entries {
+                    if let Some(data) = s.read_page(e.vpn)? {
+                        copies.insert(e.vpn.0, data);
+                    }
                 }
+                let present = copies.len() as u64;
+                let m = &s.kernel().cost;
+                let cost = m.snapshot_base
+                    + m.snapshot_per_present_page * present
+                    + m.snapshot_per_mapped_page * mapped_pages;
+                let pages = match &mode {
+                    SnapshotMode::Shared { store, key } => {
+                        let refs = store.lock().expect("store poisoned").intern(key, &copies);
+                        SnapshotPages::Shared {
+                            store: store.clone(),
+                            pages: refs,
+                        }
+                    }
+                    _ => SnapshotPages::Eager(copies),
+                };
+                (pages, present, cost)
             }
-            let present = copies.len() as u64;
-            let m = &s.kernel().cost;
-            let cost = m.snapshot_base
-                + m.snapshot_per_present_page * present
-                + m.snapshot_per_mapped_page * mapped_pages;
-            (SnapshotPages::Eager(copies), present, cost)
         };
         s.kernel().charge(copy_cost);
         let brk = s.kernel().process(pid)?.mem.brk();
@@ -310,6 +403,89 @@ mod tests {
         let mut tracker = make_tracker(TrackerKind::SoftDirty);
         let (snap, _) = Snapshotter::take(&mut k, pid, tracker.as_mut()).unwrap();
         assert!(snap.memory_bytes() >= 8 * gh_mem::PAGE_SIZE);
+    }
+
+    #[test]
+    fn shared_snapshots_dedup_across_containers() {
+        let store = gh_mem::SnapshotStore::new_handle();
+        let mode = |key: &str| SnapshotMode::Shared {
+            store: store.clone(),
+            key: key.into(),
+        };
+        let (mut k1, p1) = machine(16);
+        let (mut k2, p2) = machine(16);
+        let mut t1 = make_tracker(TrackerKind::SoftDirty);
+        let mut t2 = make_tracker(TrackerKind::SoftDirty);
+        let (s1, r1) = Snapshotter::take_mode(&mut k1, p1, t1.as_mut(), mode("f")).unwrap();
+        let (s2, _) = Snapshotter::take_mode(&mut k2, p2, t2.as_mut(), mode("f")).unwrap();
+        assert_eq!(s1.present_pages(), s2.present_pages());
+        let st = store.lock().unwrap();
+        assert_eq!(
+            st.live_frames() as u64,
+            s1.present_pages(),
+            "identical images share every frame"
+        );
+        assert!((st.dedup_ratio() - 2.0).abs() < 1e-12);
+        drop(st);
+        // Contents resolve through the store.
+        let (vpn, _) = k1.process(p1).unwrap().mem.pagemap().next().unwrap();
+        assert_eq!(s1.page_data(vpn, k1.frames()).unwrap().read_word(1), 0xFEED);
+        assert_eq!(s2.page_data(vpn, k2.frames()).unwrap().read_word(1), 0xFEED);
+        // The per-container footprint is a reference table, not pages.
+        assert!(s1.memory_bytes() < 16 * gh_mem::PAGE_SIZE / 10);
+        assert!(r1.duration > Nanos::ZERO);
+    }
+
+    #[test]
+    fn shared_snapshot_costs_like_eager() {
+        // Dedup is a space optimization only: the virtual timeline of a
+        // shared snapshot is identical to an eager one, so a pool of one
+        // stays bit-identical to a lone container.
+        let store = gh_mem::SnapshotStore::new_handle();
+        let (mut k1, p1) = machine(64);
+        let (mut k2, p2) = machine(64);
+        let mut t1 = make_tracker(TrackerKind::SoftDirty);
+        let mut t2 = make_tracker(TrackerKind::SoftDirty);
+        let (_, eager) = Snapshotter::take(&mut k1, p1, t1.as_mut()).unwrap();
+        let (_, shared) = Snapshotter::take_mode(
+            &mut k2,
+            p2,
+            t2.as_mut(),
+            SnapshotMode::Shared {
+                store,
+                key: "f".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(eager.duration, shared.duration);
+        assert_eq!(eager.present_pages, shared.present_pages);
+    }
+
+    #[test]
+    fn shared_snapshot_release_returns_references() {
+        let store = gh_mem::SnapshotStore::new_handle();
+        let (mut k, pid) = machine(8);
+        let mut tracker = make_tracker(TrackerKind::SoftDirty);
+        let (mut snap, _) = Snapshotter::take_mode(
+            &mut k,
+            pid,
+            tracker.as_mut(),
+            SnapshotMode::Shared {
+                store: store.clone(),
+                key: "f".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(store.lock().unwrap().stats().logical_pages, 8);
+        let (_, frames) = k.mem_ctx(pid).unwrap();
+        snap.release(frames);
+        let st = store.lock().unwrap();
+        assert_eq!(st.stats().logical_pages, 0);
+        assert_eq!(
+            st.live_frames(),
+            8,
+            "base image stays for future containers"
+        );
     }
 
     #[test]

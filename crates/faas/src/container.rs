@@ -77,6 +77,21 @@ impl Container {
         gh_cfg: GroundhogConfig,
         seed: u64,
     ) -> Result<Container, StrategyError> {
+        Self::cold_start_with_store(spec, kind, gh_cfg, seed, None)
+    }
+
+    /// Cold-starts a container whose clean-state snapshot is interned
+    /// into a pool-shared [`SnapshotStore`](gh_mem::SnapshotStore)
+    /// (`None` keeps the snapshot private). Interning charges exactly the
+    /// eager snapshot cost, so the container's timeline is independent of
+    /// the store — dedup is a pool-memory optimization only.
+    pub fn cold_start_with_store(
+        spec: &FunctionSpec,
+        kind: StrategyKind,
+        gh_cfg: GroundhogConfig,
+        seed: u64,
+        store: Option<gh_mem::StoreHandle>,
+    ) -> Result<Container, StrategyError> {
         let mut kernel = Kernel::boot();
         let mut rng = DetRng::new(seed);
         let t0 = kernel.clock.now();
@@ -98,7 +113,7 @@ impl Container {
 
         // Strategy preparation (snapshot for GH/GHNOP, heap checkpoint for
         // Faasm).
-        let mut strategy = Strategy::create(kind, &kernel, &fproc, spec, gh_cfg)?;
+        let mut strategy = Strategy::create_with_store(kind, &kernel, &fproc, spec, gh_cfg, store)?;
         let prepare = strategy.prepare(&mut kernel, &fproc)?;
 
         let init_time = kernel.clock.now() - t0;

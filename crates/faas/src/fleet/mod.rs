@@ -40,7 +40,7 @@ use gh_sim::{DetRng, Nanos};
 use groundhog_core::GroundhogConfig;
 
 pub use autoscaler::{AutoscaleConfig, Autoscaler, ScaleAction};
-pub use pool::{Pool, Slot};
+pub use pool::{Pool, PoolMemory, Slot};
 pub use queue::{AdmissionQueue, DepthTracker, Pending};
 pub use router::{RoutePolicy, Router};
 
@@ -124,6 +124,14 @@ pub struct FleetStats {
     /// Fraction of restore time that overlapped idle gaps (1.0 = every
     /// restore fully hidden; 1.0 also when no restores ran).
     pub restore_overlap_ratio: f64,
+    /// Snapshot dedup ratio of the pool-shared store (logical pages per
+    /// unique resident frame; 1.0 = no sharing).
+    pub snapshot_dedup_ratio: f64,
+    /// Snapshot bytes resident across the pool (shared store + per-
+    /// container reference tables).
+    pub snapshot_resident_bytes: u64,
+    /// `snapshot_resident_bytes / pool_size`.
+    pub snapshot_bytes_per_container: f64,
 }
 
 /// Outcome of one fleet run.
@@ -336,6 +344,7 @@ impl Fleet {
             .as_ref()
             .map(|a| (a.grown, a.retired))
             .unwrap_or((0, 0));
+        let memory = pool.memory();
         Ok(FleetResult {
             offered_rps: self.cfg.offered_rps,
             completed,
@@ -355,6 +364,9 @@ impl Fleet {
                 queue_p99: depth_pcts[2],
                 restore_total_ms: restore_total.as_millis_f64(),
                 restore_overlap_ratio,
+                snapshot_dedup_ratio: memory.dedup_ratio,
+                snapshot_resident_bytes: memory.resident_bytes,
+                snapshot_bytes_per_container: memory.resident_bytes_per_container,
             },
         })
     }
@@ -453,6 +465,20 @@ mod tests {
             "GH restores after every request"
         );
         assert!(r.stats.queue_p99 >= r.stats.queue_p50);
+        // Pool snapshot memory dedups in the shared store.
+        assert!(
+            r.stats.snapshot_dedup_ratio > 2.5,
+            "3 containers should share their base image: {:.2}",
+            r.stats.snapshot_dedup_ratio
+        );
+        assert!(r.stats.snapshot_resident_bytes > 0);
+        assert!(
+            (r.stats.snapshot_bytes_per_container * r.stats.pool_size as f64
+                - r.stats.snapshot_resident_bytes as f64)
+                .abs()
+                < 1.0,
+            "per-container figure is resident bytes over pool size"
+        );
     }
 
     #[test]

@@ -7,9 +7,18 @@
 //! accounting that yields per-container utilization and the
 //! restore-overlap ratio (how much restoration hid in idle gaps rather
 //! than delaying a request).
+//!
+//! The pool also owns the **shared snapshot store**
+//! ([`gh_mem::SnapshotStore`]): every GH container's clean-state pages
+//! are interned into it at cold start, so pool snapshot memory is one
+//! deduplicated base image plus per-container deltas instead of
+//! `pool_size ×` private copies. [`Pool::memory`] reports the dedup
+//! ratio and the resident bytes per container that
+//! [`FleetStats`](super::FleetStats) surfaces.
 
 use gh_functions::FunctionSpec;
 use gh_isolation::{StrategyError, StrategyKind};
+use gh_mem::{SnapshotStore, StoreHandle};
 use gh_sim::{DetRng, Nanos};
 use groundhog_core::GroundhogConfig;
 
@@ -140,6 +149,23 @@ impl Slot {
     }
 }
 
+/// Pool-level snapshot-memory figures (from the shared store).
+#[derive(Clone, Copy, Debug)]
+pub struct PoolMemory {
+    /// Logical snapshot pages across all live container snapshots.
+    pub logical_pages: u64,
+    /// Unique frames resident in the shared store.
+    pub unique_frames: u64,
+    /// Deduplication ratio (logical pages per unique frame; 1.0 = no
+    /// sharing or no store use).
+    pub dedup_ratio: f64,
+    /// Bytes resident in the shared store plus every container's private
+    /// reference table.
+    pub resident_bytes: u64,
+    /// `resident_bytes / pool size`.
+    pub resident_bytes_per_container: f64,
+}
+
 /// A pool of containers serving one deployed function.
 pub struct Pool {
     /// The deployed function.
@@ -150,17 +176,21 @@ pub struct Pool {
     /// Per-slot state. Retired slots stay (their stats matter); the
     /// router skips them.
     pub slots: Vec<Slot>,
+    /// The pool-shared snapshot store every GH container interns its
+    /// clean-state pages into.
+    store: StoreHandle,
     /// Seed source for containers spawned after construction.
     spawn_rng: DetRng,
 }
 
 impl Pool {
-    /// Cold-starts `size` containers of `spec` under `kind`.
+    /// Cold-starts `size` containers of `spec` under `kind`, all sharing
+    /// one snapshot store.
     ///
     /// Slot 0 uses `seed` directly — a pool of one is therefore
     /// timeline-identical to a single [`Container::cold_start`] with the
-    /// same seed, which keeps the single-container open-loop semantics
-    /// stable.
+    /// same seed (the shared store charges eager-snapshot cost), which
+    /// keeps the single-container open-loop semantics stable.
     pub fn build(
         spec: &FunctionSpec,
         kind: StrategyKind,
@@ -169,11 +199,13 @@ impl Pool {
         seed: u64,
     ) -> Result<Pool, StrategyError> {
         assert!(size > 0, "pool needs at least one container");
+        let store = SnapshotStore::new_handle();
         let mut spawn_rng = DetRng::new(seed ^ 0x9001_5EED_F1EE_7000);
         let mut slots = Vec::with_capacity(size);
         for i in 0..size {
             let s = if i == 0 { seed } else { spawn_rng.next_u64() };
-            let c = Container::cold_start(spec, kind, gh.clone(), s)?;
+            let c =
+                Container::cold_start_with_store(spec, kind, gh.clone(), s, Some(store.clone()))?;
             slots.push(Slot::new(c, Nanos::ZERO));
         }
         Ok(Pool {
@@ -181,8 +213,39 @@ impl Pool {
             kind,
             gh,
             slots,
+            store,
             spawn_rng,
         })
+    }
+
+    /// The shared snapshot store.
+    pub fn store(&self) -> &StoreHandle {
+        &self.store
+    }
+
+    /// Pool-level snapshot-memory accounting: dedup ratio and resident
+    /// bytes per container. For strategies without a manager snapshot
+    /// (BASE, FORK, FAASM, FRESH) the store is empty and the ratio is
+    /// 1.0.
+    pub fn memory(&self) -> PoolMemory {
+        let st = self.store.lock().expect("store poisoned");
+        let table_bytes: u64 = self
+            .slots
+            .iter()
+            .filter_map(|s| match &s.container.strategy {
+                gh_isolation::Strategy::Gh(m) => m.snapshot().map(|sn| sn.memory_bytes()),
+                _ => None,
+            })
+            .sum();
+        let resident_bytes = st.resident_bytes() + table_bytes;
+        let size = self.slots.len().max(1) as f64;
+        PoolMemory {
+            logical_pages: st.stats().logical_pages,
+            unique_frames: st.live_frames() as u64,
+            dedup_ratio: st.dedup_ratio(),
+            resident_bytes,
+            resident_bytes_per_container: resident_bytes as f64 / size,
+        }
     }
 
     /// Number of routable (non-retired) slots.
@@ -200,7 +263,13 @@ impl Pool {
     /// slot's index and its readiness time.
     pub fn grow(&mut self, now: Nanos) -> Result<(usize, Nanos), StrategyError> {
         let seed = self.spawn_rng.next_u64();
-        let c = Container::cold_start(&self.spec, self.kind, self.gh.clone(), seed)?;
+        let c = Container::cold_start_with_store(
+            &self.spec,
+            self.kind,
+            self.gh.clone(),
+            seed,
+            Some(self.store.clone()),
+        )?;
         let init = c.stats.init_time;
         let mut slot = Slot::new(c, now);
         // The new container's timeline starts at the global present; its
@@ -353,5 +422,73 @@ mod tests {
         assert!(p.retire(1));
         assert!(!p.retire(1), "idempotent");
         assert_eq!(p.active(), 2);
+    }
+
+    #[test]
+    fn pool_snapshots_dedup_in_shared_store() {
+        let p = pool(StrategyKind::Gh, 4);
+        let m = p.memory();
+        let one_snapshot_bytes = p.slots[0]
+            .container
+            .stats
+            .prepare
+            .as_ref()
+            .unwrap()
+            .snapshot_pages
+            .unwrap()
+            * gh_mem::PAGE_SIZE;
+        let per_container: u64 = p
+            .slots
+            .iter()
+            .map(|s| {
+                s.container
+                    .stats
+                    .prepare
+                    .as_ref()
+                    .unwrap()
+                    .snapshot_pages
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(
+            m.logical_pages, per_container,
+            "every snapshot page accounted"
+        );
+        assert!(
+            m.dedup_ratio > 3.5,
+            "4 near-identical containers must share, got {:.2}",
+            m.dedup_ratio
+        );
+        assert!(
+            m.resident_bytes < one_snapshot_bytes * 3 / 2,
+            "pool of 4 holds {} B vs one snapshot {} B",
+            m.resident_bytes,
+            one_snapshot_bytes
+        );
+        assert!(m.resident_bytes_per_container < one_snapshot_bytes as f64 / 2.0);
+    }
+
+    #[test]
+    fn non_gh_pool_has_empty_store() {
+        let p = pool(StrategyKind::Base, 3);
+        let m = p.memory();
+        assert_eq!(m.unique_frames, 0);
+        assert_eq!(m.dedup_ratio, 1.0);
+        assert_eq!(m.resident_bytes, 0);
+    }
+
+    #[test]
+    fn grown_containers_join_the_shared_store() {
+        let mut p = pool(StrategyKind::Gh, 2);
+        let before = p.memory();
+        p.grow(Nanos::from_secs(1)).unwrap();
+        let after = p.memory();
+        assert!(after.logical_pages > before.logical_pages);
+        assert!(
+            after.unique_frames < before.unique_frames + before.unique_frames / 4,
+            "the grown container dedups against the base: {} vs {}",
+            after.unique_frames,
+            before.unique_frames
+        );
     }
 }

@@ -129,6 +129,12 @@ impl Platform {
         &mut self.pools[id.0]
     }
 
+    /// Snapshot-memory accounting of a deployed pool: dedup ratio of the
+    /// shared store and resident bytes per container.
+    pub fn pool_memory(&self, id: PoolId) -> crate::fleet::PoolMemory {
+        self.pools[id.0].memory()
+    }
+
     /// Drives `requests` open-loop Poisson arrivals at `offered_rps`
     /// through a deployed pool under `policy`, returning fleet-level
     /// stats (per-container utilization, queue-depth percentiles,
@@ -255,6 +261,9 @@ mod tests {
             .run_fleet(id, RoutePolicy::RestoreAware, 60.0, 30)
             .unwrap();
         assert_eq!(r2.completed, 30);
+        // The pool's snapshots dedup in the shared store.
+        let mem = p.pool_memory(id);
+        assert!(mem.dedup_ratio > 2.5, "got {:.2}", mem.dedup_ratio);
         // Per-run stats are deltas: run 2 reports only its own 30
         // requests (slot counters stay cumulative underneath).
         assert_eq!(

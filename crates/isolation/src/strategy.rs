@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use gh_functions::FunctionSpec;
-use gh_mem::{FrameData, Taint};
+use gh_mem::{FrameData, StoreHandle, Taint};
 use gh_proc::{Kernel, Pid};
 use gh_runtime::FunctionProcess;
 use gh_sim::Nanos;
@@ -174,15 +174,36 @@ impl Strategy {
         spec: &FunctionSpec,
         gh_cfg: GroundhogConfig,
     ) -> Result<Strategy, StrategyError> {
+        Self::create_with_store(kind, kernel, fproc, spec, gh_cfg, None)
+    }
+
+    /// Builds the strategy with an optional pool-shared snapshot store.
+    /// GH/GHNOP managers intern their clean-state pages into the store
+    /// under the function's name so an entire container pool dedups to
+    /// one base image plus per-container deltas; other strategies ignore
+    /// the store.
+    pub fn create_with_store(
+        kind: StrategyKind,
+        kernel: &Kernel,
+        fproc: &FunctionProcess,
+        spec: &FunctionSpec,
+        gh_cfg: GroundhogConfig,
+        store: Option<StoreHandle>,
+    ) -> Result<Strategy, StrategyError> {
+        let shared = store.map(|s| (spec.name.to_string(), s));
         match kind {
             StrategyKind::Base => Ok(Strategy::Base),
-            StrategyKind::Gh => Ok(Strategy::Gh(Box::new(Manager::new(fproc.pid, gh_cfg)))),
+            StrategyKind::Gh => Ok(Strategy::Gh(Box::new(Manager::with_shared_store(
+                fproc.pid, gh_cfg, shared,
+            )))),
             StrategyKind::GhNop => {
                 let cfg = GroundhogConfig {
                     restore_enabled: false,
                     ..gh_cfg
                 };
-                Ok(Strategy::Gh(Box::new(Manager::new(fproc.pid, cfg))))
+                Ok(Strategy::Gh(Box::new(Manager::with_shared_store(
+                    fproc.pid, cfg, shared,
+                ))))
             }
             StrategyKind::Fork => {
                 let threads = kernel.process(fproc.pid)?.thread_count();
@@ -576,6 +597,34 @@ mod tests {
         assert!(
             strat.compute_scale() < 1.0,
             "wasm beats native on PolyBench (§5.3.3)"
+        );
+    }
+
+    #[test]
+    fn gh_strategies_share_a_pool_store() {
+        let store = gh_mem::SnapshotStore::new_handle();
+        let mut per_container = 0u64;
+        for _ in 0..2 {
+            let (mut kernel, mut fproc, spec) = build("telco (p)");
+            Executor::invoke(&mut kernel, &mut fproc, &spec, &RequestCtx::dummy(0));
+            let mut strat = Strategy::create_with_store(
+                StrategyKind::Gh,
+                &kernel,
+                &fproc,
+                &spec,
+                GroundhogConfig::gh(),
+                Some(store.clone()),
+            )
+            .unwrap();
+            let prep = strat.prepare(&mut kernel, &fproc).unwrap();
+            per_container = prep.snapshot_pages.unwrap();
+        }
+        let st = store.lock().unwrap();
+        assert_eq!(st.stats().logical_pages, per_container * 2);
+        assert!(
+            st.dedup_ratio() > 1.9,
+            "identical containers dedup fully, got {:.2}",
+            st.dedup_ratio()
         );
     }
 

@@ -340,6 +340,12 @@ impl FrameTable {
         self.frames.iter().filter(|f| f.is_some()).count()
     }
 
+    /// Bytes of memory the live frames logically occupy (one full page
+    /// each, regardless of the compact in-simulator representation).
+    pub fn resident_bytes(&self) -> u64 {
+        self.live() as u64 * PAGE_SIZE
+    }
+
     /// Total allocations performed (monotonic).
     pub fn total_allocated(&self) -> u64 {
         self.allocated

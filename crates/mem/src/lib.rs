@@ -15,6 +15,10 @@
 //!   for freshly forked children;
 //! - a shared **frame table** ([`frame::FrameTable`]) with reference counts
 //!   so `fork` produces genuine CoW sharing;
+//! - a pool-shared **snapshot store** ([`store::SnapshotStore`]): one
+//!   deduplicating frame table per container pool, so N near-identical
+//!   clean-state snapshots cost one base image plus per-container deltas
+//!   instead of N full copies;
 //! - **fault accounting** ([`space::FaultCounters`]): every minor, CoW,
 //!   soft-dirty and userfaultfd fault is counted so the cost model can
 //!   charge it to the virtual clock — the in-function overheads of §5.2.1
@@ -34,6 +38,7 @@ pub mod addr;
 pub mod frame;
 pub mod pte;
 pub mod space;
+pub mod store;
 pub mod taint;
 pub mod vma;
 
@@ -41,5 +46,6 @@ pub use addr::{PageRange, VirtAddr, Vpn, PAGE_SIZE};
 pub use frame::{FrameData, FrameId, FrameTable};
 pub use pte::{Pte, PteFlags};
 pub use space::{AccessError, AddressSpace, FaultCounters, SpaceConfig, Touch};
+pub use store::{SnapshotStore, StoreHandle, StoreStats};
 pub use taint::{RequestId, Taint};
 pub use vma::{Perms, Vma, VmaKind};

@@ -1,0 +1,246 @@
+//! The pool-shared snapshot store (§5.5 taken fleet-wide).
+//!
+//! Every container of a function pool holds a clean-state snapshot, and
+//! those snapshots are near-identical: the runtime image, the library
+//! text, the warmed heap — everything except a handful of pages carrying
+//! per-container state (the in-memory runtime clock, allocator
+//! bookkeeping). A pool that gives each container a private eager
+//! snapshot therefore pays `pool_size ×` the snapshot footprint for data
+//! that is overwhelmingly shared.
+//!
+//! A [`SnapshotStore`] fixes that: it owns one [`FrameTable`] shared by
+//! the whole pool. The first container of a function *interns* its
+//! clean-state pages, which become the refcounted **base image** for that
+//! function. Every subsequent container dedups against the base
+//! page-by-page with [`FrameData::logical_eq`]: an equal page takes an
+//! [`FrameTable::incref`] on the base frame (no new storage), a differing
+//! page allocates a private delta frame. Pool memory then scales with
+//! `base + Σ per-container deltas` instead of `pool_size × snapshot`.
+//!
+//! The store is handed around as a [`StoreHandle`]
+//! (`Arc<Mutex<SnapshotStore>>`): containers live on separate simulated
+//! kernels, so the store is the one deliberately shared piece of manager
+//! state in a pool.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::frame::{FrameData, FrameId, FrameTable};
+use crate::taint::Taint;
+
+/// Shared handle to a pool's snapshot store.
+pub type StoreHandle = Arc<Mutex<SnapshotStore>>;
+
+/// Space-accounting counters of a [`SnapshotStore`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreStats {
+    /// Pages referenced by all live interned snapshots (with multiplicity).
+    pub logical_pages: u64,
+    /// Pages that dedup'd against an existing base frame.
+    pub dedup_hits: u64,
+    /// Pages that needed their own frame (base establishment or delta).
+    pub dedup_misses: u64,
+}
+
+/// A function's base image: the first interned snapshot's pages, kept
+/// alive for the store's lifetime so later containers can dedup against
+/// it even after the founding container retires.
+#[derive(Debug)]
+struct BaseImage {
+    pages: BTreeMap<u64, FrameId>,
+}
+
+/// A deduplicating, refcounted page store shared by one container pool.
+#[derive(Debug, Default)]
+pub struct SnapshotStore {
+    frames: FrameTable,
+    bases: BTreeMap<String, BaseImage>,
+    stats: StoreStats,
+}
+
+impl SnapshotStore {
+    /// Creates an empty store.
+    pub fn new() -> SnapshotStore {
+        SnapshotStore::default()
+    }
+
+    /// Creates an empty store behind a shareable handle.
+    pub fn new_handle() -> StoreHandle {
+        Arc::new(Mutex::new(SnapshotStore::new()))
+    }
+
+    /// Interns one container's clean-state pages under the function key
+    /// `key`, returning the per-container reference table (vpn → shared
+    /// frame). The first call for a key establishes the base image; later
+    /// calls dedup against it page-by-page by logical content.
+    ///
+    /// The returned references are owned by the caller and must be given
+    /// back via [`SnapshotStore::release`].
+    pub fn intern(
+        &mut self,
+        key: &str,
+        pages: &BTreeMap<u64, FrameData>,
+    ) -> BTreeMap<u64, FrameId> {
+        self.stats.logical_pages += pages.len() as u64;
+        let Some(base) = self.bases.get(key) else {
+            // Founding container: its pages become the base image. The
+            // base holds one reference for the store's lifetime; the
+            // caller gets a second.
+            let mut base_pages = BTreeMap::new();
+            let mut refs = BTreeMap::new();
+            for (&vpn, data) in pages {
+                let id = self.frames.alloc(data.clone(), Taint::Clean);
+                self.frames.incref(id);
+                base_pages.insert(vpn, id);
+                refs.insert(vpn, id);
+            }
+            self.stats.dedup_misses += pages.len() as u64;
+            self.bases
+                .insert(key.to_string(), BaseImage { pages: base_pages });
+            return refs;
+        };
+        let mut refs = BTreeMap::new();
+        let mut deltas: Vec<(u64, FrameData)> = Vec::new();
+        for (&vpn, data) in pages {
+            match base.pages.get(&vpn) {
+                Some(&id) if self.frames.data(id).logical_eq(data) => {
+                    refs.insert(vpn, id);
+                }
+                _ => deltas.push((vpn, data.clone())),
+            }
+        }
+        self.stats.dedup_hits += refs.len() as u64;
+        self.stats.dedup_misses += deltas.len() as u64;
+        for &id in refs.values() {
+            self.frames.incref(id);
+        }
+        for (vpn, data) in deltas {
+            refs.insert(vpn, self.frames.alloc(data, Taint::Clean));
+        }
+        refs
+    }
+
+    /// Reads an interned page's contents.
+    pub fn data(&self, id: FrameId) -> &FrameData {
+        self.frames.data(id)
+    }
+
+    /// Releases one container's reference table (the inverse of
+    /// [`SnapshotStore::intern`]). Base frames stay resident until the
+    /// store itself drops.
+    pub fn release(&mut self, refs: &BTreeMap<u64, FrameId>) {
+        for &id in refs.values() {
+            self.frames.decref(id);
+        }
+        self.stats.logical_pages = self.stats.logical_pages.saturating_sub(refs.len() as u64);
+    }
+
+    /// The shared frame table (for accounting/tests).
+    pub fn frames(&self) -> &FrameTable {
+        &self.frames
+    }
+
+    /// Space counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Unique resident frames across all interned snapshots.
+    pub fn live_frames(&self) -> usize {
+        self.frames.live()
+    }
+
+    /// Bytes of manager memory the unique frames occupy (one page each).
+    pub fn resident_bytes(&self) -> u64 {
+        self.frames.resident_bytes()
+    }
+
+    /// Deduplication ratio: logical pages referenced by live snapshots per
+    /// unique resident frame. `1.0` for an empty store or a pool of one;
+    /// approaches the pool size when containers share their whole image.
+    pub fn dedup_ratio(&self) -> f64 {
+        let live = self.frames.live();
+        if live == 0 || self.stats.logical_pages == 0 {
+            return 1.0;
+        }
+        self.stats.logical_pages as f64 / live as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_SIZE;
+
+    fn image(seed: u64, pages: u64) -> BTreeMap<u64, FrameData> {
+        (0..pages)
+            .map(|v| (v, FrameData::Pattern(seed ^ v)))
+            .collect()
+    }
+
+    #[test]
+    fn first_intern_establishes_base() {
+        let mut s = SnapshotStore::new();
+        let refs = s.intern("f", &image(7, 16));
+        assert_eq!(refs.len(), 16);
+        assert_eq!(s.live_frames(), 16, "base only, no duplicates");
+        assert_eq!(s.stats().logical_pages, 16);
+        assert_eq!(s.dedup_ratio(), 1.0, "a pool of one shares nothing");
+    }
+
+    #[test]
+    fn identical_snapshots_dedup_fully() {
+        let mut s = SnapshotStore::new();
+        let a = s.intern("f", &image(7, 16));
+        let b = s.intern("f", &image(7, 16));
+        assert_eq!(s.live_frames(), 16, "second container adds no frames");
+        assert_eq!(s.resident_bytes(), 16 * PAGE_SIZE);
+        assert!((s.dedup_ratio() - 2.0).abs() < 1e-12);
+        for (va, vb) in a.values().zip(b.values()) {
+            assert_eq!(va, vb, "shared frames are the same ids");
+        }
+    }
+
+    #[test]
+    fn differing_pages_get_private_deltas() {
+        let mut s = SnapshotStore::new();
+        s.intern("f", &image(7, 16));
+        let mut second = image(7, 16);
+        second.insert(3, FrameData::Pattern(999));
+        second.insert(20, FrameData::Zero); // page the base never had
+        let refs = s.intern("f", &second);
+        assert_eq!(refs.len(), 17);
+        assert_eq!(s.live_frames(), 18, "base 16 + delta + new page");
+        assert_eq!(s.stats().dedup_hits, 15);
+    }
+
+    #[test]
+    fn distinct_functions_do_not_share() {
+        let mut s = SnapshotStore::new();
+        s.intern("f", &image(7, 8));
+        s.intern("g", &image(7, 8));
+        // Same contents but different keys: bases are separate.
+        assert_eq!(s.live_frames(), 16);
+    }
+
+    #[test]
+    fn release_drops_references_but_keeps_base() {
+        let mut s = SnapshotStore::new();
+        let a = s.intern("f", &image(7, 8));
+        let b = s.intern("f", &image(7, 8));
+        s.release(&a);
+        s.release(&b);
+        assert_eq!(s.live_frames(), 8, "the base image stays resident");
+        assert_eq!(s.stats().logical_pages, 0);
+        assert_eq!(s.dedup_ratio(), 1.0);
+    }
+
+    #[test]
+    fn data_resolves_logical_contents() {
+        let mut s = SnapshotStore::new();
+        let refs = s.intern("f", &image(3, 4));
+        for (&vpn, &id) in &refs {
+            assert!(s.data(id).logical_eq(&FrameData::Pattern(3 ^ vpn)));
+        }
+    }
+}

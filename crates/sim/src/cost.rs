@@ -108,6 +108,10 @@ pub struct CostModel {
     pub zero_stack_page: Nanos,
     /// `madvise` bookkeeping for one newly paged page.
     pub madvise_new_page: Nanos,
+    /// Forking/joining one auxiliary copy lane when the page-writeback
+    /// pass runs on multiple lanes (thread-pool handoff + completion
+    /// barrier, paid once per extra lane).
+    pub lane_fork_join: Nanos,
 
     // ----- Snapshotting (one-time, §5.5) -----
     /// Fixed snapshot overhead (pausing, walking, bookkeeping).
@@ -188,6 +192,7 @@ impl Default for CostModel {
             coalesced_page_copy: Nanos::from_nanos(1_400),
             zero_stack_page: Nanos::from_nanos(400),
             madvise_new_page: Nanos::from_nanos(150),
+            lane_fork_join: Nanos::from_micros(2),
 
             // Snapshotting.
             snapshot_base: Nanos::from_millis_f64(1.5),
@@ -282,6 +287,29 @@ impl CostModel {
         self.restore_page_copy * pages
     }
 
+    /// Wall-clock cost of a page-writeback pass split across parallel copy
+    /// lanes, each lane given as `(pages, runs)`. Lanes copy concurrently,
+    /// so the pass takes as long as its slowest lane, plus a
+    /// [`lane_fork_join`](CostModel::lane_fork_join) handoff per *extra*
+    /// lane. A single lane therefore costs exactly
+    /// [`restore_pages_cost`](CostModel::restore_pages_cost) (or the
+    /// uncoalesced variant), which keeps the one-lane restore engine
+    /// bit-identical to a serial copy loop.
+    pub fn restore_lanes_cost(&self, lanes: &[(u64, u64)], coalesce: bool) -> Nanos {
+        let slowest = lanes
+            .iter()
+            .map(|&(pages, runs)| {
+                if coalesce {
+                    self.restore_pages_cost(pages, runs)
+                } else {
+                    self.restore_pages_cost_uncoalesced(pages)
+                }
+            })
+            .max()
+            .unwrap_or(Nanos::ZERO);
+        slowest + self.lane_fork_join * lanes.len().saturating_sub(1) as u64
+    }
+
     /// One-time snapshot cost for a process with the given footprint.
     pub fn snapshot_cost(&self, present_pages: u64, mapped_pages: u64, threads: usize) -> Nanos {
         self.snapshot_base
@@ -335,6 +363,33 @@ mod tests {
     fn restore_zero_pages_is_free() {
         let m = CostModel::default();
         assert_eq!(m.restore_pages_cost(0, 0), Nanos::ZERO);
+        assert_eq!(m.restore_lanes_cost(&[], true), Nanos::ZERO);
+    }
+
+    #[test]
+    fn single_lane_matches_serial_cost() {
+        let m = CostModel::default();
+        assert_eq!(
+            m.restore_lanes_cost(&[(1000, 4)], true),
+            m.restore_pages_cost(1000, 4)
+        );
+        assert_eq!(
+            m.restore_lanes_cost(&[(1000, 4)], false),
+            m.restore_pages_cost_uncoalesced(1000)
+        );
+    }
+
+    #[test]
+    fn lane_parallel_writeback_beats_serial() {
+        let m = CostModel::default();
+        let serial = m.restore_lanes_cost(&[(1024, 4)], true);
+        let split = m.restore_lanes_cost(&[(256, 1); 4], true);
+        assert!(split < serial, "4 lanes {split} !< serial {serial}");
+        // The fork/join overhead is charged per extra lane.
+        assert_eq!(
+            m.restore_lanes_cost(&[(256, 1); 4], true),
+            m.restore_pages_cost(256, 1) + m.lane_fork_join * 3
+        );
     }
 
     #[test]
