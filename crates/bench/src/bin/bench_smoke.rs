@@ -1,0 +1,261 @@
+//! bench-smoke — the CI perf summary and regression gate.
+//!
+//! Runs a seeded, small-N subset of the perf surface (restore latency
+//! per restore mode, fleet goodput/sojourn, snapshot dedup) and writes
+//! a consolidated flat-JSON summary to `results/BENCH_fleet.json`.
+//!
+//! ```text
+//! cargo run --release -p gh-bench --bin bench_smoke                   # summary only
+//! cargo run --release -p gh-bench --bin bench_smoke -- --check [F]    # + gate vs baseline
+//! cargo run --release -p gh-bench --bin bench_smoke -- --write-baseline
+//! ```
+//!
+//! `--check` compares every metric against the checked-in baseline
+//! (default `results/baseline.json`) and exits non-zero when any metric
+//! regresses by more than [`THRESHOLD_PCT`] in its bad direction
+//! (latencies up, goodput/dedup down). The simulator is deterministic,
+//! so the gate is noise-free; the generous threshold absorbs deliberate
+//! calibration adjustments. The gate is verified end-to-end by running
+//! with `GH_COST_SCALE=2` (a uniform 2x kernel-primitive slowdown
+//! injected through [`gh_sim::CostModel`]), which must trip it.
+
+use std::process::ExitCode;
+use std::{env, fs};
+
+use gh_bench::results_dir;
+use gh_faas::fleet::{run_fleet, FleetConfig, RoutePolicy};
+use gh_faas::{Container, Request};
+use gh_functions::catalog::by_name;
+use gh_isolation::StrategyKind;
+use gh_sim::stats::percentile;
+use groundhog_core::GroundhogConfig;
+
+/// Allowed regression per metric, percent.
+const THRESHOLD_PCT: f64 = 10.0;
+
+struct Metric {
+    key: &'static str,
+    value: f64,
+    higher_is_better: bool,
+}
+
+/// Per-request restore totals (µs) of one mode on fannkuch (p),
+/// 12 measured requests after one warm-up.
+fn restore_percentiles(cfg: GroundhogConfig) -> (f64, f64) {
+    let spec = by_name("fannkuch (p)").expect("catalog");
+    let mut c = Container::cold_start(&spec, StrategyKind::Gh, cfg, 42).expect("container");
+    let mut totals_us = Vec::new();
+    for i in 1..=13u64 {
+        c.invoke(&Request::new(i, "client", spec.input_kb))
+            .expect("invoke");
+        if i == 1 {
+            continue; // warm-up
+        }
+        let restore = c
+            .stats
+            .last_post
+            .as_ref()
+            .and_then(|p| p.restore.as_ref())
+            .expect("GH restores every request");
+        totals_us.push(restore.total.as_millis_f64() * 1e3);
+    }
+    (percentile(&totals_us, 50.0), percentile(&totals_us, 99.0))
+}
+
+fn collect() -> Vec<Metric> {
+    let mut out = Vec::new();
+    // Restore-latency percentiles for eager and lazy. The drain knob is
+    // deliberately not a third row here: a closed-loop single container
+    // has no idle gaps (its clock only advances under charge), so its
+    // restore totals are byte-identical to plain lazy — the drain's
+    // perf effect is gated through `fleet_lazy_p99_ms` below, where
+    // idle gaps exist.
+    for (cfg, k50, k99) in [
+        (
+            GroundhogConfig::gh(),
+            "restore_p50_us_eager",
+            "restore_p99_us_eager",
+        ),
+        (
+            GroundhogConfig::lazy(),
+            "restore_p50_us_lazy",
+            "restore_p99_us_lazy",
+        ),
+    ] {
+        let (p50, p99) = restore_percentiles(cfg);
+        out.push(Metric {
+            key: k50,
+            value: p50,
+            higher_is_better: false,
+        });
+        out.push(Metric {
+            key: k99,
+            value: p99,
+            higher_is_better: false,
+        });
+    }
+
+    let spec = by_name("fannkuch (p)").expect("catalog");
+    let fleet = |cfg: GroundhogConfig| {
+        run_fleet(
+            &spec,
+            StrategyKind::Gh,
+            cfg,
+            2,
+            FleetConfig::fixed(RoutePolicy::RestoreAware, 200.0, 29),
+            150,
+        )
+        .expect("fleet run")
+    };
+    let eager = fleet(GroundhogConfig::gh());
+    let lazy = fleet(GroundhogConfig::lazy_drain());
+    out.push(Metric {
+        key: "fleet_goodput_rps",
+        value: eager.goodput_rps,
+        higher_is_better: true,
+    });
+    out.push(Metric {
+        key: "fleet_p99_ms",
+        value: eager.p99_ms,
+        higher_is_better: false,
+    });
+    out.push(Metric {
+        key: "fleet_lazy_p99_ms",
+        value: lazy.p99_ms,
+        higher_is_better: false,
+    });
+
+    let pool = gh_faas::fleet::Pool::build(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 4, 42)
+        .expect("pool");
+    out.push(Metric {
+        key: "snapshot_dedup_ratio",
+        value: pool.memory().dedup_ratio,
+        higher_is_better: true,
+    });
+    out
+}
+
+fn render(metrics: &[Metric]) -> String {
+    let mut s = String::from("{\n");
+    for (i, m) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        s.push_str(&format!("  \"{}\": {:.4}{}\n", m.key, m.value, sep));
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Parses the flat `"key": number` JSON this binary writes. Tolerant of
+/// whitespace and trailing commas; anything else is a baseline bug.
+fn parse(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some((_, value)) = rest.split_once(':') else {
+            continue;
+        };
+        if let Ok(v) = value.trim().trim_end_matches(',').parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let metrics = collect();
+
+    println!("== bench-smoke — consolidated perf summary ==\n");
+    for m in &metrics {
+        println!(
+            "  {:28} {:>12.2}  ({} is worse)",
+            m.key,
+            m.value,
+            if m.higher_is_better {
+                "lower"
+            } else {
+                "higher"
+            }
+        );
+    }
+    let json = render(&metrics);
+    let out_path = results_dir().join("BENCH_fleet.json");
+    fs::write(&out_path, &json).expect("write summary");
+    println!("\n[written {}]", out_path.display());
+
+    if args.iter().any(|a| a == "--write-baseline") {
+        let base_path = results_dir().join("baseline.json");
+        fs::write(&base_path, &json).expect("write baseline");
+        println!("[written {}]", base_path.display());
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let base_path = args
+            .get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| results_dir().join("baseline.json").display().to_string());
+        let baseline = match fs::read_to_string(&base_path) {
+            Ok(s) => parse(&s),
+            Err(e) => {
+                eprintln!("cannot read baseline {base_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("\n== regression gate vs {base_path} (>{THRESHOLD_PCT:.0}% fails) ==\n");
+        let mut failures = 0;
+        for (key, base) in &baseline {
+            let Some(m) = metrics.iter().find(|m| m.key == key) else {
+                eprintln!("  MISSING  {key}: in baseline but not measured");
+                failures += 1;
+                continue;
+            };
+            let delta_pct = if *base != 0.0 {
+                (m.value - base) / base * 100.0
+            } else {
+                0.0
+            };
+            let bad = if m.higher_is_better {
+                delta_pct < -THRESHOLD_PCT
+            } else {
+                delta_pct > THRESHOLD_PCT
+            };
+            if bad {
+                eprintln!(
+                    "  FAIL     {key}: {:.2} vs baseline {:.2} ({:+.1}%)",
+                    m.value, base, delta_pct
+                );
+                failures += 1;
+            } else {
+                println!(
+                    "  ok       {key}: {:.2} vs baseline {:.2} ({:+.1}%)",
+                    m.value, base, delta_pct
+                );
+            }
+        }
+        // The reverse direction: a metric measured here but absent from
+        // the baseline would otherwise never be gated — adding a metric
+        // to collect() requires refreshing the checked-in baseline.
+        for m in &metrics {
+            if !baseline.iter().any(|(k, _)| k == m.key) {
+                eprintln!(
+                    "  UNGATED  {}: measured but missing from the baseline \
+                     (run --write-baseline and commit it)",
+                    m.key
+                );
+                failures += 1;
+            }
+        }
+        if failures > 0 {
+            eprintln!("\n{failures} metric(s) regressed beyond {THRESHOLD_PCT:.0}%");
+            return ExitCode::FAILURE;
+        }
+        println!("\nall metrics within threshold");
+    }
+    ExitCode::SUCCESS
+}

@@ -12,7 +12,7 @@
 //! cargo run --release -p gh-bench --bin fleetsweep
 //! ```
 
-use gh_bench::write_csv;
+use gh_bench::{smoke, write_csv};
 use gh_faas::fleet::{run_fleet, FleetConfig, RoutePolicy};
 use gh_functions::catalog::by_name;
 use gh_isolation::StrategyKind;
@@ -22,8 +22,16 @@ use groundhog_core::GroundhogConfig;
 fn main() {
     let spec = by_name("fannkuch (p)").expect("in catalog");
     // Per-container capacity under GH is ~125 r/s for fannkuch; sweep
-    // pool sizes across fractions of the pooled capacity.
-    let requests_per_slot = 150;
+    // pool sizes across fractions of the pooled capacity. The smoke
+    // mode (GH_BENCH_SMOKE=1) trims the sweep for CI.
+    let requests_per_slot = if smoke() { 60 } else { 150 };
+    let pools: &[usize] = if smoke() { &[1, 2] } else { &[1, 2, 4, 8] };
+    let fracs: &[f64] = if smoke() {
+        &[0.6, 0.9]
+    } else {
+        &[0.3, 0.6, 0.8, 0.9]
+    };
+    let strat_pools: &[usize] = if smoke() { &[1, 2] } else { &[1, 2, 4] };
     println!(
         "== E17 — fleet sweep: {} (exec ≈ {:.1}ms, restore ≈ {:.1}ms) ==\n",
         spec.name, spec.base_invoker_ms, spec.paper_restore_ms
@@ -39,8 +47,8 @@ fn main() {
         "queue p99",
         "restore overlap",
     ]);
-    for &pool in &[1usize, 2, 4, 8] {
-        for &frac in &[0.3, 0.6, 0.8, 0.9] {
+    for &pool in pools {
+        for &frac in fracs {
             let offered = 125.0 * pool as f64 * frac;
             for policy in RoutePolicy::ALL {
                 let r = run_fleet(
@@ -79,7 +87,7 @@ fn main() {
         "p99 ms",
         "goodput r/s",
     ]);
-    for &pool in &[1usize, 2, 4] {
+    for &pool in strat_pools {
         let offered = 125.0 * pool as f64 * 0.6;
         for kind in [StrategyKind::Base, StrategyKind::GhNop, StrategyKind::Gh] {
             let r = run_fleet(

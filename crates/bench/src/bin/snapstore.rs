@@ -10,7 +10,7 @@
 //! actually holds versus what `pool_size ×` private eager snapshots
 //! would cost.
 
-use gh_bench::write_csv;
+use gh_bench::{smoke, write_csv};
 use gh_faas::fleet::Pool;
 use gh_functions::catalog::by_name;
 use gh_isolation::StrategyKind;
@@ -26,6 +26,8 @@ fn mib(bytes: u64) -> String {
 }
 
 fn main() {
+    let sizes: &[usize] = if smoke() { &[1, 4] } else { &SIZES };
+    let functions: &[&str] = if smoke() { &FUNCTIONS[..2] } else { &FUNCTIONS };
     println!("== snapstore — pool snapshot memory vs pool size ==\n");
     let headers = [
         "benchmark",
@@ -40,9 +42,9 @@ fn main() {
     let mut table = TextTable::new(&headers);
     let mut csv = TextTable::new(&headers);
 
-    for name in FUNCTIONS {
+    for &name in functions {
         let spec = by_name(name).expect("catalog entry");
-        for &size in &SIZES {
+        for &size in sizes {
             let pool = Pool::build(&spec, StrategyKind::Gh, GroundhogConfig::gh(), size, 42)
                 .expect("gh pool");
             let one = pool.slots[0]

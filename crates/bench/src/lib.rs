@@ -45,6 +45,14 @@ fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// True when `GH_BENCH_SMOKE` is set (to anything but `0`): the figure
+/// binaries trim their sweeps to a seeded, small-N subset so CI can run
+/// them on every push (the `bench-smoke` job) and diff their CSVs for
+/// determinism.
+pub fn smoke() -> bool {
+    std::env::var("GH_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
 /// Whether `kind` can run `spec` at all (§5: fork cannot handle Node.js's
 /// threads; FAASM needs wasm compatibility).
 pub fn supported(spec: &FunctionSpec, kind: StrategyKind) -> bool {

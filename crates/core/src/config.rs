@@ -15,6 +15,49 @@ pub enum TrackerKind {
     Uffd,
 }
 
+/// How the page-writeback portion of a restore reaches the process
+/// (§5.5 sketches deferring it; "How Low Can You Go?" shows restore
+/// floors are dominated by paging work that can overlap execution).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RestoreMode {
+    /// Write every restore-set page back on the inter-request critical
+    /// path (the paper's implementation).
+    #[default]
+    Eager,
+    /// Defer the writeback: the restore plan's `DeferArm` pass
+    /// write-protects/unmaps the restore set against the snapshot image
+    /// and each page is faulted in from the snapshot on first touch
+    /// during the next request (one [`lazy_fault`] per touched page).
+    /// Isolation is preserved — a request can never observe stale
+    /// contents because every access of a pending page is intercepted —
+    /// but untouched pages carry their obligation forward.
+    ///
+    /// [`lazy_fault`]: gh_sim::CostModel::lazy_fault
+    Lazy {
+        /// Write back still-pending pages during idle time between
+        /// requests (a background drain that consumes idle gaps and
+        /// never delays an arriving request). Off, pending pages are
+        /// restored purely on demand.
+        drain: bool,
+    },
+}
+
+impl RestoreMode {
+    /// True for either lazy variant.
+    pub fn is_lazy(self) -> bool {
+        matches!(self, RestoreMode::Lazy { .. })
+    }
+
+    /// Short label for tables and CSVs.
+    pub fn label(self) -> &'static str {
+        match self {
+            RestoreMode::Eager => "eager",
+            RestoreMode::Lazy { drain: false } => "lazy",
+            RestoreMode::Lazy { drain: true } => "lazy+drain",
+        }
+    }
+}
+
 /// Configuration of a Groundhog manager instance.
 #[derive(Clone, Debug)]
 pub struct GroundhogConfig {
@@ -24,6 +67,9 @@ pub struct GroundhogConfig {
     /// configuration: tracking armed once, no rollback — an optimization
     /// for consecutive same-trust requests, *not* an isolation mode.
     pub restore_enabled: bool,
+    /// Whether the restore set is written back eagerly or faulted in on
+    /// demand during the next request.
+    pub restore_mode: RestoreMode,
     /// Coalesce contiguous dirty pages into single copy operations
     /// (§5.2.2's slope change at ~60% dirtied).
     pub coalesce: bool,
@@ -65,6 +111,7 @@ impl Default for GroundhogConfig {
         GroundhogConfig {
             tracker: TrackerKind::SoftDirty,
             restore_enabled: true,
+            restore_mode: RestoreMode::Eager,
             coalesce: true,
             restore_lanes: 1,
             skip_same_principal: false,
@@ -99,6 +146,23 @@ impl GroundhogConfig {
             ..Self::default()
         }
     }
+
+    /// `GH` with on-demand (lazy) restoration, no background drain.
+    pub fn lazy() -> Self {
+        GroundhogConfig {
+            restore_mode: RestoreMode::Lazy { drain: false },
+            ..Self::default()
+        }
+    }
+
+    /// `GH` with on-demand restoration plus the idle-time background
+    /// drain.
+    pub fn lazy_drain() -> Self {
+        GroundhogConfig {
+            restore_mode: RestoreMode::Lazy { drain: true },
+            ..Self::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +191,20 @@ mod tests {
         let c = GroundhogConfig::ghnop();
         assert!(!c.restore_enabled);
         assert!(c.dummy_warm, "GHNOP still snapshots and warms");
+    }
+
+    #[test]
+    fn restore_modes() {
+        assert_eq!(GroundhogConfig::gh().restore_mode, RestoreMode::Eager);
+        assert!(!RestoreMode::Eager.is_lazy());
+        let l = GroundhogConfig::lazy();
+        assert_eq!(l.restore_mode, RestoreMode::Lazy { drain: false });
+        assert!(l.restore_mode.is_lazy());
+        assert!(l.restore_enabled, "lazy is still an isolation mode");
+        let d = GroundhogConfig::lazy_drain();
+        assert_eq!(d.restore_mode, RestoreMode::Lazy { drain: true });
+        assert_eq!(RestoreMode::Eager.label(), "eager");
+        assert_eq!(RestoreMode::Lazy { drain: false }.label(), "lazy");
+        assert_eq!(RestoreMode::Lazy { drain: true }.label(), "lazy+drain");
     }
 }

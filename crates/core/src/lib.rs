@@ -42,6 +42,24 @@
 //! identical to the paper's serial loop; more lanes parallelize only the
 //! page-writeback pass (the ptrace-serialized passes stay serial).
 //!
+//! # Lazy (on-demand) restoration
+//!
+//! With [`RestoreMode::Lazy`] the planner swaps the `PageWriteback` pass
+//! for `DeferArm`: the restore set is registered with the fault handler
+//! (write-protected/unmapped against the snapshot image) instead of
+//! being copied, and each page is installed from the snapshot by a
+//! single first-touch fault during the *next* request
+//! (`gh_mem`'s lazy fault path, charged per
+//! [`CostModel::lazy_fault`](gh_sim::CostModel::lazy_fault)). The
+//! critical-path restore shrinks to a per-run registration walk at
+//! every write-set density; untouched pages keep their obligation
+//! across epochs, and the optional background drain
+//! ([`RestoreMode::Lazy`]`{ drain: true }`) writes them back during
+//! idle gaps, off every request's path. Isolation is preserved — every
+//! access of a pending page is intercepted — and a differential oracle
+//! (`tests/lazy_oracle.rs`) pins observation equivalence, post-drain
+//! bit-exactness, and page-work conservation against the eager engine.
+//!
 //! # The pool-shared snapshot store
 //!
 //! A fleet pool holds one near-identical clean-state snapshot per
@@ -66,7 +84,7 @@ pub mod snapshot;
 pub mod track;
 
 pub use breakdown::{Breakdown, RestorePhase};
-pub use config::{GroundhogConfig, TrackerKind};
+pub use config::{GroundhogConfig, RestoreMode, TrackerKind};
 pub use diff::LayoutDiff;
 pub use error::GhError;
 pub use manager::{Manager, ManagerState, ManagerStats};

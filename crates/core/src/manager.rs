@@ -18,8 +18,9 @@ use gh_mem::StoreHandle;
 use gh_proc::{Kernel, Pid};
 use gh_sim::Nanos;
 
-use crate::config::GroundhogConfig;
+use crate::config::{GroundhogConfig, RestoreMode};
 use crate::error::GhError;
+use crate::plan::group_ranges;
 use crate::restore::{RestoreReport, Restorer};
 use crate::snapshot::{Snapshot, SnapshotMode, SnapshotReport, Snapshotter};
 use crate::track::{make_tracker, MemoryTracker};
@@ -60,6 +61,21 @@ pub struct ManagerStats {
     pub skipped_restores: u64,
     /// Sum of restore durations (off-critical-path time).
     pub total_restore_time: Nanos,
+    /// Fresh restore obligations armed for first-touch fault-in (lazy
+    /// restore mode). Re-arming a page whose obligation is still
+    /// pending does not count again, so the conservation law
+    /// `deferred = faulted + drained + dropped + pending` is exact.
+    pub deferred_pages: u64,
+    /// Deferred pages written back by the background drain.
+    pub lazy_drained_pages: u64,
+    /// Obligations discarded because the function dropped their mapping
+    /// (`munmap`/`madvise`/brk shrink) before touching them — eager
+    /// restoration would have copied those pages only to lose them the
+    /// same way.
+    pub lazy_dropped_pages: u64,
+    /// Virtual time the background drain consumed — out of idle gaps,
+    /// never the critical path.
+    pub lazy_drain_time: Nanos,
     /// The snapshot report, once taken.
     pub snapshot: Option<SnapshotReport>,
     /// Most recent restore report.
@@ -90,6 +106,10 @@ pub struct Manager {
     /// CoW snapshot holds references into the process's own frames, so
     /// there are no page copies to intern.
     shared_store: Option<(String, StoreHandle)>,
+    /// Virtual time the container went idle after its last lazy restore;
+    /// the background drain's budget is the gap between this and the
+    /// next request's admission.
+    idle_since: Option<Nanos>,
     /// Lifetime counters.
     pub stats: ManagerStats,
 }
@@ -117,6 +137,7 @@ impl Manager {
             tracker,
             last_principal: None,
             shared_store,
+            idle_since: None,
             stats: ManagerStats::default(),
         }
     }
@@ -207,6 +228,11 @@ impl Manager {
         kernel: &mut Kernel,
         principal: &str,
     ) -> Result<Admission, GhError> {
+        if self.state == ManagerState::Ready {
+            // Lazy + drain: the idle gap that just ended is the budget
+            // the background drain ran in.
+            self.background_drain(kernel);
+        }
         let admission = match self.state {
             ManagerState::Ready => Admission::Clean,
             ManagerState::NeedsRestore => {
@@ -260,13 +286,137 @@ impl Manager {
 
     fn restore_now(&mut self, kernel: &mut Kernel) -> Result<RestoreReport, GhError> {
         let snapshot = self.snapshot.as_ref().ok_or(GhError::NoSnapshot)?;
+        let pending_before = self.lazy_pending(kernel);
         let report =
             Restorer::restore(kernel, self.pid, snapshot, self.tracker.as_mut(), &self.cfg)?;
         self.stats.restores += 1;
         self.stats.total_restore_time += report.total;
+        if self.cfg.restore_mode.is_lazy() {
+            // Fresh obligations only: the DeferArm pass may re-arm a
+            // page whose (dropped-and-re-entered or never-installed)
+            // obligation is still pending — replacement, not new work.
+            self.stats.deferred_pages += self.lazy_pending(kernel).saturating_sub(pending_before);
+            self.harvest_lazy_drops(kernel);
+            self.idle_since = Some(kernel.clock.now());
+        }
         self.stats.last_restore = Some(report.clone());
         self.state = ManagerState::Ready;
         Ok(report)
+    }
+
+    /// Collects obligations the function discarded by dropping their
+    /// mapping since the last harvest.
+    fn harvest_lazy_drops(&mut self, kernel: &mut Kernel) {
+        if let Ok(p) = kernel.process_mut(self.pid) {
+            self.stats.lazy_dropped_pages += p.mem.take_lazy_dropped();
+        }
+    }
+
+    /// Pages still awaiting on-demand restoration (lazy mode).
+    pub fn lazy_pending(&self, kernel: &Kernel) -> u64 {
+        kernel
+            .process(self.pid)
+            .map(|p| p.mem.lazy_pending_len() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Writes back *every* still-pending page right now, charging the
+    /// full writeback cost to the clock — the "flush" end of the lazy
+    /// spectrum, used by tests (to reach a bit-exact-with-eager state)
+    /// and by operators before e.g. container checkpointing. Callable
+    /// whenever no request is executing.
+    pub fn drain_now(&mut self, kernel: &mut Kernel) -> Result<u64, GhError> {
+        if self.state == ManagerState::Executing {
+            return Err(GhError::BadState {
+                state: self.state.name(),
+                op: "drain_now",
+            });
+        }
+        let pending: Vec<u64> = kernel
+            .process(self.pid)
+            .map(|p| p.mem.lazy_pending_vpns().iter().map(|v| v.0).collect())
+            .unwrap_or_default();
+        if pending.is_empty() {
+            return Ok(0);
+        }
+        // Priced exactly like the eager writeback it stands in for,
+        // including the configured parallel copy lanes.
+        let runs = group_ranges(&pending);
+        let lanes: Vec<(u64, u64)> = crate::plan::split_lanes(&runs, self.cfg.restore_lanes)
+            .iter()
+            .map(|l| (l.pages(), l.runs.len() as u64))
+            .collect();
+        let cost = kernel.cost.restore_lanes_cost(&lanes, self.cfg.coalesce);
+        kernel.charge(cost);
+        let (proc, frames) = kernel.mem_ctx(self.pid).map_err(GhError::from)?;
+        let drained = proc.mem.drain_lazy(u64::MAX, frames);
+        self.stats.lazy_drained_pages += drained;
+        self.stats.lazy_drain_time += cost;
+        self.harvest_lazy_drops(kernel);
+        self.idle_since = Some(kernel.clock.now());
+        Ok(drained)
+    }
+
+    /// The idle-time background drain: writes back as many pending pages
+    /// as fit (at writeback rates) into the idle gap that just elapsed.
+    /// The work consumed time the container was otherwise idle, so it is
+    /// **not** charged to the clock — a request arriving now was never
+    /// delayed by it; the drain merely converts dead time into fewer
+    /// future first-touch faults.
+    fn background_drain(&mut self, kernel: &mut Kernel) {
+        if self.cfg.restore_mode != (RestoreMode::Lazy { drain: true }) {
+            return;
+        }
+        let Some(since) = self.idle_since.take() else {
+            return;
+        };
+        let budget = kernel.clock.now().saturating_sub(since);
+        if budget.is_zero() {
+            return;
+        }
+        let pending: Vec<u64> = match kernel.process(self.pid) {
+            Ok(p) => p.mem.lazy_pending_vpns().iter().map(|v| v.0).collect(),
+            Err(_) => return,
+        };
+        if pending.is_empty() {
+            return;
+        }
+        // Greedy prefix in address order: the longest prefix of whole
+        // pages whose cumulative cost — per the *same*
+        // `restore_pages_cost` formula the eager writeback is priced
+        // with — fits the elapsed idle gap. The formula is closed-form,
+        // so re-evaluating it per page is cheap and keeps the drain
+        // honest against any future change to the writeback model.
+        let writeback = |pages: u64, runs: u64| {
+            if self.cfg.coalesce {
+                kernel.cost.restore_pages_cost(pages, runs)
+            } else {
+                kernel.cost.restore_pages_cost_uncoalesced(pages)
+            }
+        };
+        let mut spent = Nanos::ZERO;
+        let mut take = 0u64;
+        let mut runs_taken = 0u64;
+        'runs: for run in group_ranges(&pending) {
+            runs_taken += 1;
+            for _ in run.iter() {
+                let total = writeback(take + 1, runs_taken);
+                if total > budget {
+                    break 'runs;
+                }
+                spent = total;
+                take += 1;
+            }
+        }
+        if take == 0 {
+            return;
+        }
+        let Ok((proc, frames)) = kernel.mem_ctx(self.pid) else {
+            return;
+        };
+        let drained = proc.mem.drain_lazy(take, frames);
+        self.stats.lazy_drained_pages += drained;
+        self.stats.lazy_drain_time += spent;
     }
 }
 

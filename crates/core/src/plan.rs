@@ -88,6 +88,15 @@ pub enum RestorePass {
         /// Whether runs are charged as coalesced bulk copies.
         coalesce: bool,
     },
+    /// Lazy restore mode's replacement for [`RestorePass::PageWriteback`]:
+    /// write-protect/unmap the restore set against the snapshot image so
+    /// each page is faulted in on first touch during the next request.
+    /// Cost is one registration per coalesced run plus a per-page PTE
+    /// walk — far below the writeback it replaces.
+    DeferArm {
+        /// The coalesced runs of the deferred set.
+        runs: Vec<PageRange>,
+    },
     /// Re-arm memory tracking (clear soft-dirty bits / re-protect).
     TrackerRearm,
     /// Restore the register files of all threads.
@@ -104,6 +113,9 @@ pub struct RestorePlan {
     pub dirty_pages: u64,
     /// Pages whose contents the writeback pass restores.
     pub pages_restored: u64,
+    /// Pages whose restoration the `DeferArm` pass defers to first-touch
+    /// faults (lazy mode; zero for eager plans).
+    pub pages_deferred: u64,
     /// Contiguous runs those pages form (before lane splitting).
     pub runs: u64,
     /// Pages the madvise pass evicts.
@@ -283,12 +295,22 @@ impl RestorePlanner {
         }
         let sorted: Vec<u64> = restore_set.into_iter().collect();
         let runs = group_ranges(&sorted);
-        plan.pages_restored = sorted.len() as u64;
         plan.runs = runs.len() as u64;
-        plan.passes.push(RestorePass::PageWriteback {
-            lanes: split_lanes(&runs, cfg.restore_lanes),
-            coalesce: cfg.coalesce,
-        });
+        if cfg.restore_mode.is_lazy() {
+            // Lazy mode: the same restore set, armed for first-touch
+            // fault-in instead of written back. Pages already pending
+            // from an earlier arming are untouched-and-clean, so they
+            // never re-enter this set; the address space keeps their
+            // obligation alive across epochs.
+            plan.pages_deferred = sorted.len() as u64;
+            plan.passes.push(RestorePass::DeferArm { runs });
+        } else {
+            plan.pages_restored = sorted.len() as u64;
+            plan.passes.push(RestorePass::PageWriteback {
+                lanes: split_lanes(&runs, cfg.restore_lanes),
+                coalesce: cfg.coalesce,
+            });
+        }
 
         // Passes 5+6: re-arm tracking, then reset registers (§4.4 order;
         // the executor keeps both serial).

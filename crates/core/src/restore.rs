@@ -49,6 +49,9 @@ pub struct RestoreReport {
     pub dirty_pages: u64,
     /// Pages whose contents were written back from the snapshot.
     pub pages_restored: u64,
+    /// Pages armed for on-demand fault-in instead of written back (lazy
+    /// restore mode; zero under eager restoration).
+    pub pages_deferred: u64,
     /// Contiguous runs those pages formed (coalescing units).
     pub runs: u64,
     /// Pages evicted because they became resident after the snapshot.
@@ -111,6 +114,7 @@ impl Restorer {
             total,
             dirty_pages: plan.dirty_pages,
             pages_restored: plan.pages_restored,
+            pages_deferred: plan.pages_deferred,
             runs: plan.runs,
             newly_paged: plan.newly_paged,
             stack_zeroed: plan.stack_zeroed,
@@ -180,6 +184,19 @@ impl Restorer {
                         .map(|l| (l.pages(), l.runs.len() as u64))
                         .collect();
                     let cost = s.kernel().cost.restore_lanes_cost(&lane_costs, *coalesce);
+                    s.kernel().charge(cost);
+                    bd.add(RestorePhase::RestoringMemory, sw.lap());
+                }
+                RestorePass::DeferArm { runs } => {
+                    // Lazy mode: register the restore set with the fault
+                    // handler instead of copying it. Charged like the
+                    // ioctl walk it models; attributed to the same Fig. 8
+                    // phase the writeback would have filled, so
+                    // eager-vs-lazy comparisons read off one column.
+                    let set = snapshot.lazy_sources(runs);
+                    s.arm_lazy(set)?;
+                    let pages: u64 = runs.iter().map(|r| r.len()).sum();
+                    let cost = s.kernel().cost.defer_arm_cost(pages, runs.len() as u64);
                     s.kernel().charge(cost);
                     bd.add(RestorePhase::RestoringMemory, sw.lap());
                 }

@@ -143,6 +143,43 @@ impl Snapshot {
         }
     }
 
+    /// Lazy-restore sources for every snapshot page of `runs`, keyed by
+    /// vpn — what the `DeferArm` pass registers with the fault handler.
+    /// Eager snapshots hand out their page copies by value; CoW
+    /// snapshots hand out their frame references (a read fault installs
+    /// the frame shared); shared snapshots point at the pool store,
+    /// which keeps the only resident copy until the fault fires.
+    ///
+    /// The returned sources borrow this snapshot's frame/store
+    /// references; the manager must keep the snapshot alive while any
+    /// arming is pending (it does — the snapshot lives as long as the
+    /// manager).
+    pub fn lazy_sources(
+        &self,
+        runs: &[gh_mem::PageRange],
+    ) -> BTreeMap<u64, gh_mem::LazyPageSource> {
+        use gh_mem::LazyPageSource;
+        let mut out = BTreeMap::new();
+        for run in runs {
+            for vpn in run.iter() {
+                let src = match &self.pages {
+                    SnapshotPages::Eager(m) => {
+                        m.get(&vpn.0).map(|d| LazyPageSource::Data(d.clone()))
+                    }
+                    SnapshotPages::Cow(m) => m.get(&vpn.0).map(|&id| LazyPageSource::Frame(id)),
+                    SnapshotPages::Shared { store, pages } => {
+                        pages.get(&vpn.0).map(|&id| LazyPageSource::Store {
+                            store: store.clone(),
+                            frame: id,
+                        })
+                    }
+                };
+                out.insert(vpn.0, src.expect("deferred set ⊆ snapshot"));
+            }
+        }
+        out
+    }
+
     /// The stack VMAs at snapshot time (restored by zeroing, §4.4).
     pub fn stack_ranges(&self) -> Vec<gh_mem::PageRange> {
         self.vmas

@@ -94,6 +94,11 @@ pub struct ContainerLoad {
     pub restore_ms: f64,
     /// Restore time that hid in idle gaps (never delayed a request), ms.
     pub restore_hidden_ms: f64,
+    /// First-touch lazy-restore faults served inside requests (lazy
+    /// restore mode only).
+    pub lazy_faults: u64,
+    /// Deferred pages the background drain wrote back during idle gaps.
+    pub lazy_drained_pages: u64,
     /// Whether the autoscaler retired this container.
     pub retired: bool,
 }
@@ -119,8 +124,15 @@ pub struct FleetStats {
     pub queue_p95: f64,
     /// 99th-percentile aggregate queue depth.
     pub queue_p99: f64,
-    /// Total restore time charged across the fleet, ms.
+    /// Total restore time charged across the fleet, ms. Under lazy
+    /// restoration this is only the critical-path (DeferArm) component;
+    /// the amortized component shows up as `lazy_faults` inside request
+    /// execution.
     pub restore_total_ms: f64,
+    /// First-touch lazy-restore faults across the fleet.
+    pub lazy_faults: u64,
+    /// Deferred pages drained during idle gaps across the fleet.
+    pub lazy_drained_pages: u64,
     /// Fraction of restore time that overlapped idle gaps (1.0 = every
     /// restore fully hidden; 1.0 also when no restores ran).
     pub restore_overlap_ratio: f64,
@@ -202,10 +214,23 @@ impl Fleet {
         // deltas, so a pool reused across runs (Platform::run_fleet)
         // never mixes one run's load figures into the next. Slots the
         // autoscaler adds mid-run have implicit zero baselines.
-        let baseline: Vec<(Nanos, Nanos, Nanos, u64)> = pool
+        let drained = |s: &Slot| match &s.container.strategy {
+            gh_isolation::Strategy::Gh(m) => m.stats.lazy_drained_pages,
+            _ => 0,
+        };
+        let baseline: Vec<(Nanos, Nanos, Nanos, u64, u64, u64)> = pool
             .slots
             .iter()
-            .map(|s| (s.busy, s.restore_total, s.restore_hidden, s.served))
+            .map(|s| {
+                (
+                    s.busy,
+                    s.restore_total,
+                    s.restore_hidden,
+                    s.served,
+                    s.lazy_faults,
+                    drained(s),
+                )
+            })
             .collect();
         // The router predicts the critical-path cost of routing a
         // principal to a container that must roll back first (§4.4's
@@ -297,7 +322,7 @@ impl Fleet {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                let (base_busy, base_total, base_hidden, base_served) =
+                let (base_busy, base_total, base_hidden, base_served, base_lazy, base_drained) =
                     baseline.get(i).copied().unwrap_or_default();
                 let busy = s.busy - base_busy;
                 let active_start = s.spawned_at.max(t_start);
@@ -311,6 +336,8 @@ impl Fleet {
                     },
                     restore_ms: (s.restore_total - base_total).as_millis_f64(),
                     restore_hidden_ms: (s.restore_hidden - base_hidden).as_millis_f64(),
+                    lazy_faults: s.lazy_faults - base_lazy,
+                    lazy_drained_pages: drained(s) - base_drained,
                     retired: s.retired,
                 }
             })
@@ -344,6 +371,8 @@ impl Fleet {
             .as_ref()
             .map(|a| (a.grown, a.retired))
             .unwrap_or((0, 0));
+        let lazy_faults = per_container.iter().map(|c| c.lazy_faults).sum();
+        let lazy_drained_pages = per_container.iter().map(|c| c.lazy_drained_pages).sum();
         let memory = pool.memory();
         Ok(FleetResult {
             offered_rps: self.cfg.offered_rps,
@@ -363,6 +392,8 @@ impl Fleet {
                 queue_p95: depth_pcts[1],
                 queue_p99: depth_pcts[2],
                 restore_total_ms: restore_total.as_millis_f64(),
+                lazy_faults,
+                lazy_drained_pages,
                 restore_overlap_ratio,
                 snapshot_dedup_ratio: memory.dedup_ratio,
                 snapshot_resident_bytes: memory.resident_bytes,

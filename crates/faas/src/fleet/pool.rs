@@ -63,6 +63,10 @@ pub struct Slot {
     prev_resp_at: Nanos,
     /// Requests served.
     pub served: u64,
+    /// First-touch lazy-restore faults taken inside requests on this
+    /// container (lazy restore mode; the amortized half of the restore
+    /// work whose critical-path half `restore_total` no longer carries).
+    pub lazy_faults: u64,
     /// Global virtual time this slot joined the pool.
     pub spawned_at: Nanos,
     /// A retired slot serves its queue dry but receives no new requests.
@@ -83,6 +87,7 @@ impl Slot {
             pending_restore: Nanos::ZERO,
             prev_resp_at: Nanos::ZERO,
             served: 0,
+            lazy_faults: 0,
             spawned_at,
             retired: false,
         }
@@ -134,6 +139,7 @@ impl Slot {
         self.pending_restore = out.off_path;
         self.prev_resp_at = self.resp_at;
         self.served += 1;
+        self.lazy_faults += out.exec.faults.lazy;
         Ok(Some(Dispatched {
             sojourn: (start - pending.arrival) + out.invoker_latency,
             resp_at: self.resp_at,

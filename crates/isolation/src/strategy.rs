@@ -275,6 +275,29 @@ impl Strategy {
         }
     }
 
+    /// Pages still awaiting on-demand restoration in the function
+    /// process (GH under [`RestoreMode::Lazy`](groundhog_core::RestoreMode);
+    /// zero for every other strategy or restore mode). Their stale
+    /// frames are unobservable — any access faults the snapshot
+    /// contents in first — but platforms that checkpoint or migrate
+    /// containers drain them first.
+    pub fn lazy_pending(&self, kernel: &Kernel) -> u64 {
+        match self {
+            Strategy::Gh(mgr) => mgr.lazy_pending(kernel),
+            _ => 0,
+        }
+    }
+
+    /// Forces the writeback of every still-pending lazily-restored page,
+    /// charging the full writeback cost; no-op for other strategies.
+    /// Returns the number of pages drained.
+    pub fn drain_lazy_now(&mut self, kernel: &mut Kernel) -> Result<u64, StrategyError> {
+        match self {
+            Strategy::Gh(mgr) => Ok(mgr.drain_now(kernel)?),
+            _ => Ok(0),
+        }
+    }
+
     /// Multiplier on the function's compute time (wasm vs native,
     /// §5.3.3); 1.0 for process-based strategies.
     pub fn compute_scale(&self) -> f64 {
@@ -598,6 +621,46 @@ mod tests {
             strat.compute_scale() < 1.0,
             "wasm beats native on PolyBench (§5.3.3)"
         );
+    }
+
+    #[test]
+    fn gh_lazy_cycle_defers_then_drains_clean() {
+        let (mut kernel, mut fproc, spec) = build("telco (p)");
+        Executor::invoke(&mut kernel, &mut fproc, &spec, &RequestCtx::dummy(0));
+        let mut strat = Strategy::create(
+            StrategyKind::Gh,
+            &kernel,
+            &fproc,
+            &spec,
+            GroundhogConfig::lazy(),
+        )
+        .unwrap();
+        strat.prepare(&mut kernel, &fproc).unwrap();
+        strat.admit(&mut kernel, &fproc, "alice").unwrap();
+        Executor::invoke(
+            &mut kernel,
+            &mut fproc,
+            &spec,
+            &RequestCtx::new(1, "alice", 1),
+        );
+        let post = strat.conclude(&mut kernel, &fproc).unwrap();
+        let report = post.restore.expect("lazy GH still restores");
+        assert!(report.pages_deferred > 0);
+        assert_eq!(report.pages_restored, 0);
+        assert!(strat.lazy_pending(&kernel) > 0);
+        // Draining clears the pending set — and with it the last
+        // (unobservable) traces of alice's request.
+        let drained = strat.drain_lazy_now(&mut kernel).unwrap();
+        assert_eq!(drained, report.pages_deferred);
+        assert_eq!(strat.lazy_pending(&kernel), 0);
+        let proc = kernel.process(fproc.pid).unwrap();
+        assert!(proc
+            .mem
+            .tainted_pages(RequestId(1), kernel.frames())
+            .is_empty());
+        // Non-GH strategies report no pending pages.
+        let base = Strategy::Base;
+        assert_eq!(base.lazy_pending(&kernel), 0);
     }
 
     #[test]

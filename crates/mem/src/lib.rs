@@ -20,9 +20,18 @@
 //!   clean-state snapshots cost one base image plus per-container deltas
 //!   instead of N full copies;
 //! - **fault accounting** ([`space::FaultCounters`]): every minor, CoW,
-//!   soft-dirty and userfaultfd fault is counted so the cost model can
-//!   charge it to the virtual clock — the in-function overheads of §5.2.1
-//!   *emerge* from these counts rather than being scripted;
+//!   soft-dirty, userfaultfd and lazy-restore fault is counted so the
+//!   cost model can charge it to the virtual clock — the in-function
+//!   overheads of §5.2.1 *emerge* from these counts rather than being
+//!   scripted;
+//! - an **on-demand restore path** ([`space::LazyPageSource`],
+//!   [`space::AddressSpace::arm_lazy`]): the restorer can register the
+//!   restore set against the snapshot image instead of writing it back;
+//!   the first touch of a pending page takes one lazy fault that
+//!   installs the snapshot contents (by value, as a shared CoW frame,
+//!   or copied out of the pool [`store::SnapshotStore`]) before the
+//!   access proceeds, and a background drain can write back the rest
+//!   during idle time;
 //! - **taint tracking** ([`taint::Taint`]): every byte written on behalf of
 //!   a request is labelled with the request's identity, which lets the test
 //!   suite prove (not assume) the paper's isolation property: after a
@@ -45,7 +54,7 @@ pub mod vma;
 pub use addr::{PageRange, VirtAddr, Vpn, PAGE_SIZE};
 pub use frame::{FrameData, FrameId, FrameTable};
 pub use pte::{Pte, PteFlags};
-pub use space::{AccessError, AddressSpace, FaultCounters, SpaceConfig, Touch};
+pub use space::{AccessError, AddressSpace, FaultCounters, LazyPageSource, SpaceConfig, Touch};
 pub use store::{SnapshotStore, StoreHandle, StoreStats};
 pub use taint::{RequestId, Taint};
 pub use vma::{Perms, Vma, VmaKind};

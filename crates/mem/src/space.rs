@@ -18,8 +18,9 @@
 use std::collections::BTreeMap;
 
 use crate::addr::{PageRange, VirtAddr, Vpn, PAGE_SIZE};
-use crate::frame::{FrameData, FrameTable};
+use crate::frame::{FrameData, FrameId, FrameTable};
 use crate::pte::{Pte, PteFlags};
+use crate::store::StoreHandle;
 use crate::taint::Taint;
 use crate::vma::{Perms, Vma, VmaKind};
 
@@ -67,6 +68,9 @@ pub struct FaultCounters {
     pub uffd_wp: u64,
     /// First post-fork accesses (dTLB miss + lazy PTE, §5.2.3).
     pub tlb_cold: u64,
+    /// First touches of pages whose restore was deferred: the page is
+    /// faulted in from the snapshot image on demand (lazy restore mode).
+    pub lazy: u64,
     /// Warm page touches (no fault; baseline work).
     pub warm: u64,
 }
@@ -74,7 +78,7 @@ pub struct FaultCounters {
 impl FaultCounters {
     /// Total faults excluding warm touches.
     pub fn total_faults(&self) -> u64 {
-        self.minor + self.sd_wp + self.cow + self.uffd_wp + self.tlb_cold
+        self.minor + self.sd_wp + self.cow + self.uffd_wp + self.tlb_cold + self.lazy
     }
 
     /// Adds `other` into `self`.
@@ -84,6 +88,7 @@ impl FaultCounters {
         self.cow += other.cow;
         self.uffd_wp += other.uffd_wp;
         self.tlb_cold += other.tlb_cold;
+        self.lazy += other.lazy;
         self.warm += other.warm;
     }
 
@@ -127,6 +132,51 @@ pub enum Touch {
     WriteWord(u64),
 }
 
+/// Where a lazily-restored page's clean contents come from when its
+/// first-touch fault fires (lazy restore mode: the restorer registers
+/// the deferred set instead of writing it back, and the fault handler
+/// installs each page on demand from the snapshot image).
+///
+/// Sources are **non-owning**: `Frame` borrows the CoW snapshot's
+/// reference into this machine's frame table and `Store` borrows the
+/// shared snapshot's reference into the pool store. The manager keeps
+/// its snapshot alive for as long as any arming is pending, so the
+/// referenced frames cannot be freed underneath a pending entry.
+#[derive(Clone, Debug)]
+pub enum LazyPageSource {
+    /// Snapshot contents held by value (eager/private snapshots).
+    Data(FrameData),
+    /// Reference into this machine's frame table (a CoW snapshot,
+    /// §5.5). A read fault installs the frame *shared* (incref + CoW
+    /// PTE) — genuine frame sharing between snapshot and process — and
+    /// only a write pays for a private copy.
+    Frame(FrameId),
+    /// Reference into a pool-shared
+    /// [`SnapshotStore`](crate::store::SnapshotStore). The store keeps
+    /// the only resident copy until the fault fires; fault-in copies
+    /// the page out of the store (store frames live in a separate
+    /// table and cannot be PTE-mapped).
+    Store {
+        /// The pool's store.
+        store: StoreHandle,
+        /// The page's frame in the store's table.
+        frame: FrameId,
+    },
+}
+
+impl LazyPageSource {
+    /// The page contents this source denotes.
+    fn resolve(self, frames: &FrameTable) -> FrameData {
+        match self {
+            LazyPageSource::Data(d) => d,
+            LazyPageSource::Frame(id) => frames.data(id).clone(),
+            LazyPageSource::Store { store, frame } => {
+                store.lock().expect("store poisoned").data(frame).clone()
+            }
+        }
+    }
+}
+
 /// A process's virtual address space.
 #[derive(Debug)]
 pub struct AddressSpace {
@@ -143,6 +193,18 @@ pub struct AddressSpace {
     uffd_armed: bool,
     /// Pages reported by userfaultfd since arming.
     uffd_log: Vec<Vpn>,
+    /// Pages armed for on-demand restoration (lazy restore mode), keyed
+    /// by vpn. A touch of a pending page takes one lazy fault that
+    /// installs the snapshot contents before the access proceeds; pages
+    /// never touched stay pending (their stale frames are unobservable —
+    /// every access is intercepted) until the next arming or a drain.
+    lazy_pending: BTreeMap<u64, LazyPageSource>,
+    /// Obligations discarded because their mapping was dropped
+    /// (`munmap`/`madvise`/brk shrink) before they were touched —
+    /// harvested by the manager so the page-work conservation law
+    /// (`deferred = faulted + drained + dropped + pending`) stays exact
+    /// under VMA churn.
+    lazy_dropped: u64,
 }
 
 impl AddressSpace {
@@ -163,6 +225,8 @@ impl AddressSpace {
             counters: FaultCounters::default(),
             uffd_armed: false,
             uffd_log: Vec::new(),
+            lazy_pending: BTreeMap::new(),
+            lazy_dropped: 0,
         }
     }
 
@@ -467,6 +531,21 @@ impl AddressSpace {
             let pte = self.pages.remove(&v).expect("collected key");
             frames.decref(pte.frame);
         }
+        // A dropped mapping takes its deferred-restore obligation with it
+        // (matching eager semantics: post-restore madvise/munmap loses
+        // the restored contents; the *next* restore re-arms the page via
+        // its snapshot ∖ present term).
+        if !self.lazy_pending.is_empty() {
+            let doomed: Vec<u64> = self
+                .lazy_pending
+                .range(range.start.0..range.end.0)
+                .map(|(&v, _)| v)
+                .collect();
+            for v in doomed {
+                self.lazy_pending.remove(&v);
+                self.lazy_dropped += 1;
+            }
+        }
     }
 
     // ---------------------------------------------------------------
@@ -494,6 +573,13 @@ impl AddressSpace {
         let vma = self.vma_at(vpn).ok_or(AccessError::Unmapped(vpn))?;
         if !vma.perms.r {
             return Err(AccessError::PermissionDenied(vpn));
+        }
+        if self.lazy_pending.contains_key(&vpn.0) {
+            // Deferred restoration: one fault installs the snapshot
+            // contents and services the read.
+            self.counters.lazy += 1;
+            self.fault_in_lazy(vpn, false, frames);
+            return Ok(());
         }
         let fresh = Self::fresh_data(vma, vpn);
         match self.pages.get_mut(&vpn.0) {
@@ -526,6 +612,14 @@ impl AddressSpace {
         let vma = self.vma_at(vpn).ok_or(AccessError::Unmapped(vpn))?;
         if !vma.perms.w {
             return Err(AccessError::PermissionDenied(vpn));
+        }
+        if self.lazy_pending.contains_key(&vpn.0) {
+            // Deferred restoration: the same single #PF installs the
+            // snapshot contents and resolves the tracking write-protect
+            // (no separate SD/UFFD fault is charged).
+            self.counters.lazy += 1;
+            self.fault_in_lazy(vpn, true, frames);
+            return Ok(());
         }
         let fresh = Self::fresh_data(vma, vpn);
         match self.pages.get_mut(&vpn.0) {
@@ -652,6 +746,112 @@ impl AddressSpace {
             cur = cur.add(n as u64);
         }
         Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Lazy (on-demand) restoration
+    // ---------------------------------------------------------------
+
+    /// Arms pages for on-demand restoration: the restorer's `DeferArm`
+    /// pass registers the restore set here instead of writing it back.
+    /// Entries merge with any still-pending pages from earlier armings
+    /// (a page that was never touched keeps its obligation; its source
+    /// still denotes the same snapshot contents).
+    pub fn arm_lazy(&mut self, pages: BTreeMap<u64, LazyPageSource>) {
+        self.lazy_pending.extend(pages);
+    }
+
+    /// Number of pages still awaiting on-demand restoration.
+    pub fn lazy_pending_len(&self) -> usize {
+        self.lazy_pending.len()
+    }
+
+    /// Pages still awaiting on-demand restoration, ascending.
+    pub fn lazy_pending_vpns(&self) -> Vec<Vpn> {
+        self.lazy_pending.keys().map(|&v| Vpn(v)).collect()
+    }
+
+    /// Returns (and resets) the count of obligations discarded by
+    /// mapping drops since the last harvest.
+    pub fn take_lazy_dropped(&mut self) -> u64 {
+        std::mem::take(&mut self.lazy_dropped)
+    }
+
+    /// Services the fault of a pending page: installs the snapshot
+    /// contents, leaving the page in exactly the state an eager restore
+    /// plus tracker re-arm would have left it (clean + write-protect
+    /// armed after a read; soft-dirty after a write — the single #PF
+    /// resolves content install and tracking together).
+    fn fault_in_lazy(&mut self, vpn: Vpn, for_write: bool, frames: &mut FrameTable) {
+        let src = self.lazy_pending.remove(&vpn.0).expect("pending entry");
+        let armed = if self.uffd_armed {
+            PteFlags::UFFD_WP
+        } else {
+            PteFlags::SD_WP
+        };
+        // Read of a CoW-snapshot page: install the snapshot's own frame
+        // shared (the §5.5 memory win carried into the fault path); a
+        // later write takes the normal CoW copy.
+        if let (false, LazyPageSource::Frame(id)) = (for_write, &src) {
+            let id = *id;
+            frames.incref(id);
+            if let Some(pte) = self.pages.get(&vpn.0) {
+                frames.decref(pte.frame);
+            }
+            self.pages
+                .insert(vpn.0, Pte::present(id, PteFlags::COW.with(armed)));
+            return;
+        }
+        let data = src.resolve(frames);
+        let flags = if for_write {
+            if self.uffd_armed {
+                self.uffd_log.push(vpn);
+            }
+            PteFlags::SOFT_DIRTY
+        } else {
+            armed
+        };
+        self.install_private(vpn, data, flags, frames);
+    }
+
+    /// Writes back up to `limit` pending pages in address order (the
+    /// background-drain path: the manager copies pages back during idle
+    /// time, so no fault is counted). Returns the number drained.
+    pub fn drain_lazy(&mut self, limit: u64, frames: &mut FrameTable) -> u64 {
+        let mut drained = 0u64;
+        while drained < limit {
+            let Some((&vpn, _)) = self.lazy_pending.iter().next() else {
+                break;
+            };
+            let src = self.lazy_pending.remove(&vpn).expect("just observed");
+            let data = src.resolve(frames);
+            let armed = if self.uffd_armed {
+                PteFlags::UFFD_WP
+            } else {
+                PteFlags::SD_WP
+            };
+            self.install_private(Vpn(vpn), data, armed, frames);
+            drained += 1;
+        }
+        drained
+    }
+
+    /// Installs `data` at `vpn` in a private frame with exactly the
+    /// given flags, clearing taint (both the fault-in and drain paths
+    /// end here). The CoW-break/alloc mechanics are
+    /// [`AddressSpace::restore_page`]'s — one installer for the eager
+    /// and lazy restore paths.
+    fn install_private(
+        &mut self,
+        vpn: Vpn,
+        data: FrameData,
+        flags: PteFlags,
+        frames: &mut FrameTable,
+    ) {
+        self.restore_page(vpn, &data, Taint::Clean, frames)
+            .expect("pending pages always lie in a VMA");
+        let pte = self.pages.get_mut(&vpn.0).expect("just installed");
+        pte.flags = PteFlags::PRESENT.with(flags);
     }
 
     // ---------------------------------------------------------------
@@ -788,6 +988,11 @@ impl AddressSpace {
             frames.decref(pte.frame);
         }
         self.vmas.clear();
+        // Teardown discards outstanding obligations like any other
+        // mapping drop, keeping the page-work conservation law exact
+        // for stats read after the process is gone.
+        self.lazy_dropped += self.lazy_pending.len() as u64;
+        self.lazy_pending.clear();
     }
 
     // ---------------------------------------------------------------
@@ -822,6 +1027,11 @@ impl AddressSpace {
             counters: FaultCounters::default(),
             uffd_armed: false,
             uffd_log: Vec::new(),
+            // Lazy arming is per-manager state; a forked child starts
+            // with no pending restorations (FORK isolation never layers
+            // on a Groundhog manager).
+            lazy_pending: BTreeMap::new(),
+            lazy_dropped: 0,
         }
     }
 
@@ -858,6 +1068,11 @@ impl AddressSpace {
         for &vpn in self.pages.keys() {
             if self.vma_at(Vpn(vpn)).is_none() {
                 return Err(format!("present page {vpn:#x} outside any vma"));
+            }
+        }
+        for &vpn in self.lazy_pending.keys() {
+            if self.vma_at(Vpn(vpn)).is_none() {
+                return Err(format!("lazy-pending page {vpn:#x} outside any vma"));
             }
         }
         Ok(())
@@ -1295,6 +1510,262 @@ mod tests {
         let maps = s.render_maps();
         assert!(maps.contains("[stack]"));
         assert!(maps.contains("rw-p"));
+    }
+}
+
+#[cfg(test)]
+mod lazy_tests {
+    use super::*;
+    use crate::store::SnapshotStore;
+    use crate::taint::RequestId;
+
+    fn setup() -> (AddressSpace, FrameTable) {
+        let mut frames = FrameTable::new();
+        let space = AddressSpace::new(SpaceConfig::default(), &mut frames);
+        (space, frames)
+    }
+
+    /// A region with dirty contents and an armed lazy set mapping every
+    /// page back to a distinct snapshot pattern.
+    fn armed_region(s: &mut AddressSpace, f: &mut FrameTable, pages: u64) -> PageRange {
+        let r = s.mmap(pages, Perms::RW, VmaKind::Anon).unwrap();
+        for vpn in r.iter() {
+            s.touch(
+                vpn,
+                Touch::WriteWord(0xD1127 ^ vpn.0),
+                Taint::One(RequestId(1)),
+                f,
+            )
+            .unwrap();
+        }
+        s.clear_soft_dirty();
+        let set: BTreeMap<u64, LazyPageSource> = r
+            .iter()
+            .map(|v| (v.0, LazyPageSource::Data(FrameData::Pattern(v.0))))
+            .collect();
+        s.arm_lazy(set);
+        r
+    }
+
+    #[test]
+    fn read_fault_installs_snapshot_content_armed() {
+        let (mut s, mut f) = setup();
+        let r = armed_region(&mut s, &mut f, 4);
+        assert_eq!(s.lazy_pending_len(), 4);
+        let c0 = s.counters();
+        s.touch(r.start, Touch::Read, Taint::Clean, &mut f).unwrap();
+        assert_eq!(s.counters().lazy - c0.lazy, 1);
+        assert_eq!(s.lazy_pending_len(), 3);
+        // Snapshot content visible, stale content and taint gone.
+        assert!(f
+            .data(s.pte(r.start).unwrap().frame)
+            .logical_eq(&FrameData::Pattern(r.start.0)));
+        assert!(s.tainted_pages(RequestId(1), &f).len() < 4);
+        // Clean and armed, like an eager restore + re-arm.
+        let pte = s.pte(r.start).unwrap();
+        assert!(!pte.soft_dirty());
+        assert!(pte.flags.contains(PteFlags::SD_WP));
+        // A second read is warm (one fault per deferred page).
+        let c1 = s.counters();
+        s.touch(r.start, Touch::Read, Taint::Clean, &mut f).unwrap();
+        assert_eq!(s.counters().lazy, c1.lazy);
+        assert_eq!(s.counters().warm - c1.warm, 1);
+    }
+
+    #[test]
+    fn write_fault_installs_then_dirties_in_one_fault() {
+        let (mut s, mut f) = setup();
+        let r = armed_region(&mut s, &mut f, 2);
+        let c0 = s.counters();
+        s.touch(
+            r.start,
+            Touch::WriteWord(0xFF),
+            Taint::One(RequestId(2)),
+            &mut f,
+        )
+        .unwrap();
+        let c1 = s.counters();
+        assert_eq!(c1.lazy - c0.lazy, 1);
+        assert_eq!(c1.sd_wp, c0.sd_wp, "single #PF resolves install + WP");
+        let pte = s.pte(r.start).unwrap();
+        assert!(pte.soft_dirty());
+        // The write landed on top of the snapshot contents.
+        assert_eq!(s.peek_word(r.start, 1, &f), Some(0xFF));
+        assert_eq!(
+            f.data(pte.frame).read_word(0),
+            FrameData::Pattern(r.start.0).read_word(0)
+        );
+    }
+
+    #[test]
+    fn untouched_pages_stay_pending_and_drain_restores_them() {
+        let (mut s, mut f) = setup();
+        let r = armed_region(&mut s, &mut f, 6);
+        s.touch(r.start, Touch::Read, Taint::Clean, &mut f).unwrap();
+        assert_eq!(s.lazy_pending_len(), 5);
+        let c = s.counters();
+        assert_eq!(s.drain_lazy(2, &mut f), 2);
+        assert_eq!(s.counters(), c, "drain counts no faults");
+        assert_eq!(s.lazy_pending_len(), 3);
+        assert_eq!(s.drain_lazy(u64::MAX, &mut f), 3);
+        assert_eq!(s.lazy_pending_len(), 0);
+        for vpn in r.iter() {
+            assert!(f
+                .data(s.pte(vpn).unwrap().frame)
+                .logical_eq(&FrameData::Pattern(vpn.0)));
+        }
+        assert!(s.tainted_pages(RequestId(1), &f).is_empty());
+    }
+
+    #[test]
+    fn frame_source_shares_on_read_and_copies_on_write() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
+        for vpn in r.iter() {
+            s.touch(vpn, Touch::WriteWord(9), Taint::Clean, &mut f)
+                .unwrap();
+        }
+        // A "snapshot" holding CoW references to both frames.
+        let snap: Vec<FrameId> = r.iter().map(|v| s.pte(v).unwrap().frame).collect();
+        for &id in &snap {
+            f.incref(id);
+        }
+        s.mark_all_cow();
+        // Dirty both pages (CoW copies them), then arm lazily from the
+        // snapshot's frames.
+        for vpn in r.iter() {
+            s.touch(
+                vpn,
+                Touch::WriteWord(0xBAD),
+                Taint::One(RequestId(3)),
+                &mut f,
+            )
+            .unwrap();
+        }
+        s.clear_soft_dirty();
+        let set: BTreeMap<u64, LazyPageSource> = r
+            .iter()
+            .zip(&snap)
+            .map(|(v, &id)| (v.0, LazyPageSource::Frame(id)))
+            .collect();
+        s.arm_lazy(set);
+        // Read fault: the PTE points at the snapshot's own frame.
+        s.touch(r.start, Touch::Read, Taint::Clean, &mut f).unwrap();
+        assert_eq!(s.pte(r.start).unwrap().frame, snap[0], "shared frame");
+        assert_eq!(f.refcount(snap[0]), 2);
+        assert_eq!(s.peek_word(r.start, 1, &f), Some(9));
+        // Write fault on the other page: private copy, snapshot intact.
+        s.touch(r.start.next(), Touch::WriteWord(0x22), Taint::Clean, &mut f)
+            .unwrap();
+        assert_ne!(s.pte(r.start.next()).unwrap().frame, snap[1]);
+        assert_eq!(f.data(snap[1]).read_word(1), 9, "snapshot unchanged");
+        for &id in &snap {
+            f.decref(id);
+        }
+    }
+
+    #[test]
+    fn store_source_faults_in_from_shared_store() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
+        for vpn in r.iter() {
+            s.touch(vpn, Touch::WriteWord(7), Taint::One(RequestId(4)), &mut f)
+                .unwrap();
+        }
+        let store = SnapshotStore::new_handle();
+        let image: BTreeMap<u64, FrameData> = r
+            .iter()
+            .map(|v| (v.0, FrameData::Pattern(0x57025 ^ v.0)))
+            .collect();
+        let refs = store.lock().unwrap().intern("f", &image);
+        let live_before = store.lock().unwrap().live_frames();
+        let set: BTreeMap<u64, LazyPageSource> = refs
+            .iter()
+            .map(|(&vpn, &frame)| {
+                (
+                    vpn,
+                    LazyPageSource::Store {
+                        store: store.clone(),
+                        frame,
+                    },
+                )
+            })
+            .collect();
+        s.arm_lazy(set);
+        // Arming copied nothing; the store still holds the only image.
+        assert_eq!(store.lock().unwrap().live_frames(), live_before);
+        s.touch(r.start, Touch::Read, Taint::Clean, &mut f).unwrap();
+        assert!(f
+            .data(s.pte(r.start).unwrap().frame)
+            .logical_eq(&FrameData::Pattern(0x57025 ^ r.start.0)));
+        // Fault-in copies out of the store, never into it.
+        assert_eq!(store.lock().unwrap().live_frames(), live_before);
+    }
+
+    #[test]
+    fn unmap_drops_pending_obligations() {
+        let (mut s, mut f) = setup();
+        let r = armed_region(&mut s, &mut f, 8);
+        let mid = PageRange::at(Vpn(r.start.0 + 2), 3);
+        s.munmap(mid, &mut f).unwrap();
+        assert_eq!(s.lazy_pending_len(), 5);
+        s.check_invariants().unwrap();
+        // madvise drops obligations too: the touch must see a fresh zero
+        // page, exactly as it would after an eager restore + madvise.
+        let tail = PageRange::at(Vpn(r.start.0 + 6), 1);
+        s.madvise_dontneed(tail, &mut f).unwrap();
+        assert_eq!(s.lazy_pending_len(), 4);
+        s.touch(tail.start, Touch::Read, Taint::Clean, &mut f)
+            .unwrap();
+        assert_eq!(s.peek_word(tail.start, 1, &f), Some(0));
+    }
+
+    #[test]
+    fn missing_page_faults_in_from_snapshot() {
+        // A page that was madvised away *before* arming (snapshot ∖
+        // present): the entry has no PTE, and the fault installs one.
+        let (mut s, mut f) = setup();
+        let r = s.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
+        s.touch(r.start, Touch::WriteWord(1), Taint::Clean, &mut f)
+            .unwrap();
+        s.madvise_dontneed(PageRange::at(r.start, 1), &mut f)
+            .unwrap();
+        assert!(s.pte(r.start).is_none());
+        let mut set = BTreeMap::new();
+        set.insert(r.start.0, LazyPageSource::Data(FrameData::Pattern(42)));
+        s.arm_lazy(set);
+        let c0 = s.counters();
+        s.touch(r.start, Touch::Read, Taint::Clean, &mut f).unwrap();
+        assert_eq!(s.counters().lazy - c0.lazy, 1);
+        assert_eq!(s.counters().minor, c0.minor, "lazy fault, not minor");
+        assert!(f
+            .data(s.pte(r.start).unwrap().frame)
+            .logical_eq(&FrameData::Pattern(42)));
+    }
+
+    #[test]
+    fn uffd_armed_lazy_write_logs_dirty_page() {
+        let (mut s, mut f) = setup();
+        let r = s.mmap(2, Perms::RW, VmaKind::Anon).unwrap();
+        for vpn in r.iter() {
+            s.touch(vpn, Touch::WriteWord(3), Taint::Clean, &mut f)
+                .unwrap();
+        }
+        s.arm_uffd_wp();
+        let set: BTreeMap<u64, LazyPageSource> = r
+            .iter()
+            .map(|v| (v.0, LazyPageSource::Data(FrameData::Zero)))
+            .collect();
+        s.arm_lazy(set);
+        s.touch(r.start, Touch::WriteWord(5), Taint::Clean, &mut f)
+            .unwrap();
+        s.touch(r.start.next(), Touch::Read, Taint::Clean, &mut f)
+            .unwrap();
+        let log = s.disarm_uffd();
+        assert_eq!(log, vec![r.start], "write logged, read not");
+        let c = s.counters();
+        assert_eq!(c.lazy, 2);
+        assert_eq!(c.uffd_wp, 0, "lazy faults subsume the WP notification");
     }
 }
 

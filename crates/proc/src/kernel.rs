@@ -169,6 +169,7 @@ impl Kernel {
             + m.cow_fault * c.cow
             + m.uffd_fault * c.uffd_wp
             + m.fork_cold_access * c.tlb_cold
+            + m.lazy_fault * c.lazy
             + m.warm_touch * c.warm;
         self.clock.advance(dt);
         dt

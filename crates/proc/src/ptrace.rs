@@ -259,6 +259,21 @@ impl<'k> PtraceSession<'k> {
             .map_err(PtraceError::Syscall)
     }
 
+    /// Registers pages for on-demand restoration (the lazy restore
+    /// mode's `DeferArm` pass): instead of writing the restore set back,
+    /// the manager write-protects/unmaps it against the snapshot image
+    /// and the kernel delivers a fault to the handler on first touch.
+    /// The restorer charges the per-run registration cost.
+    pub fn arm_lazy(
+        &mut self,
+        pages: std::collections::BTreeMap<u64, gh_mem::LazyPageSource>,
+    ) -> Result<(), PtraceError> {
+        self.require_stopped()?;
+        let (proc, _) = self.k.mem_ctx(self.pid)?;
+        proc.mem.arm_lazy(pages);
+        Ok(())
+    }
+
     /// Evicts a page (restore of a newly paged page via `madvise`). The
     /// madvise bookkeeping cost is charged by the restorer.
     pub fn evict_page(&mut self, vpn: Vpn) -> Result<(), PtraceError> {

@@ -113,6 +113,21 @@ pub struct CostModel {
     /// barrier, paid once per extra lane).
     pub lane_fork_join: Nanos,
 
+    // ----- Lazy (on-demand) restoration (§5.5's deferred variant) -----
+    /// First-touch fault on a page whose restore was deferred: a
+    /// userfaultfd missing/wp notification round-trip to the manager plus
+    /// the page install from the snapshot image (`UFFDIO_COPY`). Charged
+    /// on the *next request's* critical path, once per touched deferred
+    /// page — the price lazy mode pays for taking the writeback off the
+    /// inter-request critical path.
+    pub lazy_fault: Nanos,
+    /// Registering one coalesced run of the deferred set with the fault
+    /// handler (one uffd-register / mprotect ioctl per contiguous range).
+    pub defer_arm_run: Nanos,
+    /// Per-page PTE update inside a registered run (write-protect /
+    /// unmap-to-missing walk).
+    pub defer_arm_page: Nanos,
+
     // ----- Snapshotting (one-time, §5.5) -----
     /// Fixed snapshot overhead (pausing, walking, bookkeeping).
     pub snapshot_base: Nanos,
@@ -158,7 +173,28 @@ pub struct CostModel {
 }
 
 impl Default for CostModel {
+    /// The paper calibration ([`CostModel::calibrated`]), optionally
+    /// scaled by the `GH_COST_SCALE` environment variable (a positive
+    /// float). The knob exists for the CI perf-regression gate: running
+    /// the bench-smoke harness with `GH_COST_SCALE=2` injects a uniform
+    /// 2x kernel-primitive slowdown end-to-end, which the gate must
+    /// detect against `results/baseline.json`. Unset (the default, and
+    /// always in tests) this is exactly the calibration.
     fn default() -> Self {
+        let m = Self::calibrated();
+        match std::env::var("GH_COST_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+        {
+            Some(s) if s > 0.0 && (s - 1.0).abs() > 1e-12 => m.scaled(s),
+            _ => m,
+        }
+    }
+}
+
+impl CostModel {
+    /// The unscaled paper calibration.
+    pub fn calibrated() -> Self {
         Self {
             // In-function faults.
             minor_fault: Nanos::from_nanos(800),
@@ -194,6 +230,15 @@ impl Default for CostModel {
             madvise_new_page: Nanos::from_nanos(150),
             lane_fork_join: Nanos::from_micros(2),
 
+            // Lazy restoration. The fault is uffd-notification-priced
+            // (§4.3) plus a page install; arming is ioctl-priced per run.
+            // Lazy therefore always wins on critical-path restore time
+            // and wins on *total* page work only when the next request
+            // touches few of the deferred pages — the §5.5 trade-off.
+            lazy_fault: Nanos::from_nanos(7_000),
+            defer_arm_run: Nanos::from_nanos(1_500),
+            defer_arm_page: Nanos::from_nanos(30),
+
             // Snapshotting.
             snapshot_base: Nanos::from_millis_f64(1.5),
             snapshot_per_present_page: Nanos::from_nanos(2_500),
@@ -216,9 +261,68 @@ impl Default for CostModel {
             faasm_remap_per_dirty_page: Nanos::from_nanos(180),
         }
     }
-}
 
-impl CostModel {
+    /// Every time constant multiplied by `factor` (ratios like
+    /// [`CostModel::nodejs_refactor_mult`] are left alone). Used by the
+    /// CI gate's slowdown injection and by ablation experiments.
+    pub fn scaled(&self, factor: f64) -> Self {
+        let mut m = self.clone();
+        for field in m.nanos_fields_mut() {
+            *field = field.scale(factor);
+        }
+        m
+    }
+
+    /// Every [`Nanos`]-typed constant, mutably — the single list
+    /// [`CostModel::scaled`] walks. A unit test cross-checks its length
+    /// against the struct's field count so a newly added time constant
+    /// cannot silently escape scaling.
+    fn nanos_fields_mut(&mut self) -> Vec<&mut Nanos> {
+        let m = self;
+        vec![
+            &mut m.minor_fault,
+            &mut m.sd_wp_fault,
+            &mut m.cow_fault,
+            &mut m.fork_cold_access,
+            &mut m.uffd_fault,
+            &mut m.warm_touch,
+            &mut m.ptrace_interrupt_base,
+            &mut m.ptrace_interrupt_per_thread,
+            &mut m.ptrace_regs_per_thread,
+            &mut m.ptrace_detach_base,
+            &mut m.ptrace_detach_per_thread,
+            &mut m.syscall_inject,
+            &mut m.read_maps_base,
+            &mut m.read_maps_per_vma,
+            &mut m.scan_pte,
+            &mut m.scan_per_vma,
+            &mut m.diff_base,
+            &mut m.diff_per_vma,
+            &mut m.clear_sd_base,
+            &mut m.clear_sd_per_page,
+            &mut m.restore_page_copy,
+            &mut m.coalesced_run_setup,
+            &mut m.coalesced_page_copy,
+            &mut m.zero_stack_page,
+            &mut m.madvise_new_page,
+            &mut m.lane_fork_join,
+            &mut m.lazy_fault,
+            &mut m.defer_arm_run,
+            &mut m.defer_arm_page,
+            &mut m.snapshot_base,
+            &mut m.snapshot_per_present_page,
+            &mut m.snapshot_per_mapped_page,
+            &mut m.snapshot_cow_ref,
+            &mut m.fork_base,
+            &mut m.fork_per_page,
+            &mut m.process_teardown,
+            &mut m.teardown_per_page,
+            &mut m.gh_proxy_base,
+            &mut m.gh_proxy_per_kb,
+            &mut m.faasm_remap_base,
+            &mut m.faasm_remap_per_dirty_page,
+        ]
+    }
     /// Cost of interrupting a process with `threads` threads.
     pub fn interrupt_cost(&self, threads: usize) -> Nanos {
         self.ptrace_interrupt_base
@@ -310,6 +414,18 @@ impl CostModel {
         slowest + self.lane_fork_join * lanes.len().saturating_sub(1) as u64
     }
 
+    /// Cost of arming `pages` deferred pages (grouped into `runs`
+    /// contiguous runs) for on-demand restoration: per-run fault-handler
+    /// registration plus a per-page PTE walk. For any non-trivial set
+    /// this is far below the writeback it replaces — the whole point of
+    /// the lazy restore mode.
+    pub fn defer_arm_cost(&self, pages: u64, runs: u64) -> Nanos {
+        if pages == 0 {
+            return Nanos::ZERO;
+        }
+        self.defer_arm_run * runs.clamp(1, pages) + self.defer_arm_page * pages
+    }
+
     /// One-time snapshot cost for a process with the given footprint.
     pub fn snapshot_cost(&self, present_pages: u64, mapped_pages: u64, threads: usize) -> Nanos {
         self.snapshot_base
@@ -399,6 +515,59 @@ mod tests {
         assert_eq!(m.restore_pages_cost(5, 10), m.restore_pages_cost(5, 5));
         // Zero runs clamps to one run.
         assert_eq!(m.restore_pages_cost(5, 0), m.restore_pages_cost(5, 1));
+    }
+
+    #[test]
+    fn defer_arm_is_cheaper_than_writeback_it_replaces() {
+        let m = CostModel::default();
+        for (pages, runs) in [(20u64, 18u64), (1_000, 40), (10_000, 1)] {
+            assert!(
+                m.defer_arm_cost(pages, runs) < m.restore_pages_cost(pages, runs),
+                "defer must beat writeback at {pages} pages / {runs} runs"
+            );
+        }
+        assert_eq!(m.defer_arm_cost(0, 0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn lazy_fault_dearer_than_eager_page_copy() {
+        // The per-page lazy trade-off: a deferred page touched by the
+        // next request costs more than its eager copy would have — lazy
+        // wins only when most deferred pages are never touched.
+        let m = CostModel::default();
+        assert!(m.lazy_fault > m.coalesced_page_copy);
+        assert!(m.lazy_fault > m.restore_page_copy);
+    }
+
+    #[test]
+    fn scaled_covers_every_time_constant() {
+        // The flat Debug rendering has one `: ` per field; everything
+        // except the ratio fields must be in the scaling list, so a new
+        // Nanos constant that skips `nanos_fields_mut` fails here.
+        const RATIO_FIELDS: usize = 1; // nodejs_refactor_mult
+        let mut m = CostModel::calibrated();
+        let listed = m.nanos_fields_mut().len();
+        let total = format!("{m:?}").matches(": ").count();
+        assert_eq!(
+            listed + RATIO_FIELDS,
+            total,
+            "a CostModel field is missing from nanos_fields_mut — \
+             GH_COST_SCALE would silently skip it"
+        );
+    }
+
+    #[test]
+    fn scaled_model_scales_times_not_ratios() {
+        let m = CostModel::calibrated();
+        let s = m.scaled(2.0);
+        assert_eq!(s.minor_fault, m.minor_fault * 2);
+        assert_eq!(s.lazy_fault, m.lazy_fault * 2);
+        assert_eq!(s.snapshot_base, m.snapshot_base * 2);
+        assert_eq!(s.nodejs_refactor_mult, m.nodejs_refactor_mult);
+        assert_eq!(
+            s.restore_pages_cost(100, 4),
+            m.restore_pages_cost(100, 4) * 2
+        );
     }
 
     #[test]
