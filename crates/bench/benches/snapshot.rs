@@ -40,5 +40,40 @@ fn bench_snapshot(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_snapshot);
+/// Run-based capture alone (what `Snapshotter::take` does per present
+/// page after the refactor: one incref per page, one run per extent).
+fn bench_capture_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capture_frame_runs");
+    group.sample_size(10);
+    for pages in [8_192u64, 262_144] {
+        let mut kernel = Kernel::boot();
+        let pid = kernel.spawn("cap");
+        kernel
+            .run_charged(pid, |p, frames| {
+                let r = p.mem.mmap(pages, Perms::RW, VmaKind::Anon).unwrap();
+                for vpn in r.iter() {
+                    p.mem
+                        .touch(vpn, Touch::WriteWord(7), Taint::Clean, frames)
+                        .unwrap();
+                }
+            })
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(pages), &pages, |b, _| {
+            b.iter(|| {
+                let (proc, frames) = kernel.mem_ctx(pid).unwrap();
+                let runs = black_box(proc.mem.capture_frame_runs(frames));
+                // Release immediately so iterations don't accumulate refs.
+                for (_, run) in &runs {
+                    for &id in run {
+                        frames.decref(id);
+                    }
+                }
+                runs.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot, bench_capture_runs);
 criterion_main!(benches);

@@ -76,5 +76,62 @@ fn bench_backends(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_backends);
+/// The O(dirty) claim at the host level: a soft-dirty collection over a
+/// large mapped space must cost what the dirty set costs, not what the
+/// mapped space costs — the extent/index structures make `collect` an
+/// index scan.
+fn bench_scan_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sd_scan_vs_mapped");
+    group.sample_size(10);
+    for pages in [16_384u64, 262_144] {
+        let mut kernel = Kernel::boot();
+        let pid = kernel.spawn("scan");
+        let start = kernel
+            .run_charged(pid, |p, frames| {
+                let r = p.mem.mmap(pages, Perms::RW, VmaKind::Anon).unwrap();
+                for vpn in r.iter() {
+                    p.mem
+                        .touch(vpn, Touch::WriteWord(1), Taint::Clean, frames)
+                        .unwrap();
+                }
+                r.start
+            })
+            .unwrap()
+            .0;
+        let mut tracker = make_tracker(TrackerKind::SoftDirty);
+        {
+            let mut s = PtraceSession::attach(&mut kernel, pid).unwrap();
+            s.interrupt_all().unwrap();
+            tracker.arm(&mut s).unwrap();
+            s.detach().unwrap();
+        }
+        // Fixed 256-page dirty set regardless of the mapped size.
+        kernel
+            .run_charged(pid, |p, frames| {
+                for i in 0..256u64 {
+                    p.mem
+                        .touch(
+                            Vpn(start.0 + i * (pages / 256)),
+                            Touch::WriteWord(i),
+                            Taint::Clean,
+                            frames,
+                        )
+                        .unwrap();
+                }
+            })
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(pages), &pages, |b, _| {
+            b.iter(|| {
+                let mut s = PtraceSession::attach(&mut kernel, pid).unwrap();
+                s.interrupt_all().unwrap();
+                let report = black_box(tracker.collect(&mut s).unwrap());
+                s.detach().unwrap();
+                report.dirty.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_scan_scaling);
 criterion_main!(benches);

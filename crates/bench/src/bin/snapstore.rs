@@ -37,6 +37,7 @@ fn main() {
         "shared MiB",
         "per-ctr MiB",
         "dedup ratio",
+        "hash hits",
         "saved %",
     ];
     let mut table = TextTable::new(&headers);
@@ -70,6 +71,7 @@ fn main() {
                     mem.resident_bytes_per_container / (1024.0 * 1024.0)
                 ),
                 format!("{:.2}", mem.dedup_ratio),
+                mem.hash_hits.to_string(),
                 format!("{saved:.1}%"),
             ];
             table.row_owned(row.clone());

@@ -9,6 +9,7 @@
 //! not physical); set `GH_REQUESTS` / `GH_XPUT_REQUESTS` to raise them.
 
 pub mod micro_harness;
+pub mod scaling;
 
 use std::fs;
 use std::path::PathBuf;

@@ -20,7 +20,6 @@ use gh_sim::Nanos;
 
 use crate::config::{GroundhogConfig, RestoreMode};
 use crate::error::GhError;
-use crate::plan::group_ranges;
 use crate::restore::{RestoreReport, Restorer};
 use crate::snapshot::{Snapshot, SnapshotMode, SnapshotReport, Snapshotter};
 use crate::track::{make_tracker, MemoryTracker};
@@ -332,16 +331,15 @@ impl Manager {
                 op: "drain_now",
             });
         }
-        let pending: Vec<u64> = kernel
+        let runs: Vec<gh_mem::PageRange> = kernel
             .process(self.pid)
-            .map(|p| p.mem.lazy_pending_vpns().iter().map(|v| v.0).collect())
+            .map(|p| p.mem.lazy_pending_runs())
             .unwrap_or_default();
-        if pending.is_empty() {
+        if runs.is_empty() {
             return Ok(0);
         }
         // Priced exactly like the eager writeback it stands in for,
         // including the configured parallel copy lanes.
-        let runs = group_ranges(&pending);
         let lanes: Vec<(u64, u64)> = crate::plan::split_lanes(&runs, self.cfg.restore_lanes)
             .iter()
             .map(|l| (l.pages(), l.runs.len() as u64))
@@ -374,11 +372,11 @@ impl Manager {
         if budget.is_zero() {
             return;
         }
-        let pending: Vec<u64> = match kernel.process(self.pid) {
-            Ok(p) => p.mem.lazy_pending_vpns().iter().map(|v| v.0).collect(),
+        let pending_runs: Vec<gh_mem::PageRange> = match kernel.process(self.pid) {
+            Ok(p) => p.mem.lazy_pending_runs(),
             Err(_) => return,
         };
-        if pending.is_empty() {
+        if pending_runs.is_empty() {
             return;
         }
         // Greedy prefix in address order: the longest prefix of whole
@@ -397,7 +395,7 @@ impl Manager {
         let mut spent = Nanos::ZERO;
         let mut take = 0u64;
         let mut runs_taken = 0u64;
-        'runs: for run in group_ranges(&pending) {
+        'runs: for run in pending_runs {
             runs_taken += 1;
             for _ in run.iter() {
                 let total = writeback(take + 1, runs_taken);

@@ -23,9 +23,7 @@
 //! passes are inherently serialized (ptrace syscall injection, clear_refs,
 //! SETREGS) and stay serial.
 
-use std::collections::BTreeSet;
-
-use gh_mem::{PageRange, Vpn};
+use gh_mem::{runs_intersect, runs_len, runs_subtract, runs_union, PageRange, Vpn};
 use gh_proc::Syscall;
 
 use crate::breakdown::RestorePhase;
@@ -130,19 +128,7 @@ pub struct RestorePlan {
 /// coalescing primitive. Run counts are derived from the grouped ranges
 /// (`group_ranges(..).len()`), never recomputed separately.
 pub fn group_ranges(sorted: &[u64]) -> Vec<PageRange> {
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < sorted.len() {
-        let start = sorted[i];
-        let mut end = start + 1;
-        i += 1;
-        while i < sorted.len() && sorted[i] == end {
-            end += 1;
-            i += 1;
-        }
-        out.push(PageRange::new(Vpn(start), Vpn(end)));
-    }
-    out
+    gh_mem::runs_from_sorted(sorted.iter().copied())
 }
 
 /// Splits coalesced runs across `lanes` copy lanes, balancing by page
@@ -223,41 +209,34 @@ impl RestorePlanner {
         plan.passes.push(RestorePass::LayoutFixup { batches });
 
         // Passes 2+3: newly paged pages (pagemap view required). Stack
-        // pages are zeroed; everything else is madvised away.
-        let stack_ranges = snapshot.stack_ranges();
-        let in_stack = |vpn: u64| stack_ranges.iter().any(|r| r.contains(Vpn(vpn)));
-        let in_ranges =
-            |ranges: &[PageRange], vpn: u64| ranges.iter().any(|r| r.contains(Vpn(vpn)));
+        // pages are zeroed; everything else is madvised away. All set
+        // work is run algebra over sorted run lists — `O(dirty + runs)`,
+        // never a per-page walk.
+        let stacks = snapshot.stack_ranges();
+        let snap_runs = snapshot.page_runs();
 
-        let mut present_after: Option<BTreeSet<u64>> = None;
+        let mut present_after: Option<Vec<PageRange>> = None;
         let mut stack_zero: Vec<Vpn> = Vec::new();
-        if let Some(entries) = &dirty.present {
-            let mut present: BTreeSet<u64> = entries
-                .iter()
-                .map(|e| e.vpn.0)
-                .filter(|&v| !in_ranges(&diff.to_munmap, v))
-                .collect();
-            let mut evicted: Vec<u64> = Vec::new();
-            for &v in present.iter() {
-                if snapshot.has_page(Vpn(v)) {
-                    continue;
-                }
-                if in_stack(v) {
-                    if cfg.zero_stack {
-                        stack_zero.push(Vpn(v));
-                    }
-                } else if cfg.madvise_new {
-                    evicted.push(v);
-                }
+        if let Some(present_runs) = &dirty.present_runs {
+            // Pages munmap will drop are not present for restore math.
+            let present = runs_subtract(present_runs, &diff.to_munmap);
+            // Fresh = resident now but absent from the snapshot.
+            let fresh = runs_subtract(&present, &snap_runs);
+            if cfg.zero_stack {
+                stack_zero = runs_intersect(&fresh, stacks)
+                    .iter()
+                    .flat_map(|r| r.iter())
+                    .collect();
             }
-            plan.newly_paged = evicted.len() as u64;
+            let evict = if cfg.madvise_new {
+                runs_subtract(&fresh, stacks)
+            } else {
+                Vec::new()
+            };
+            plan.newly_paged = runs_len(&evict);
             plan.stack_zeroed = stack_zero.len() as u64;
-            for v in &evicted {
-                present.remove(v);
-            }
-            plan.passes.push(RestorePass::Madvise {
-                evict: group_ranges(&evicted),
-            });
+            let present = runs_subtract(&present, &evict);
+            plan.passes.push(RestorePass::Madvise { evict });
             present_after = Some(present);
         }
         if !stack_zero.is_empty() {
@@ -270,42 +249,27 @@ impl RestorePlanner {
         // the second term covering pages dropped by madvise/munmap+remap
         // churn. Without a pagemap view (UFFD), the second term is
         // limited to the regions we know we remapped.
-        let mut restore_set: BTreeSet<u64> = dirty
-            .dirty
-            .iter()
-            .map(|v| v.0)
-            .filter(|&v| snapshot.has_page(Vpn(v)))
-            .collect();
-        match &present_after {
-            Some(present) => {
-                for v in snapshot.page_vpns() {
-                    if !present.contains(&v) {
-                        restore_set.insert(v);
-                    }
-                }
-            }
+        let dirty_runs = group_ranges(&dirty.dirty.iter().map(|v| v.0).collect::<Vec<u64>>());
+        let term1 = runs_intersect(&dirty_runs, &snap_runs);
+        let runs = match &present_after {
+            Some(present) => runs_union(&term1, &runs_subtract(&snap_runs, present)),
             None => {
                 let remapped: Vec<PageRange> = diff.to_remap.iter().map(|r| r.range).collect();
-                for v in snapshot.page_vpns() {
-                    if in_ranges(&remapped, v) {
-                        restore_set.insert(v);
-                    }
-                }
+                runs_union(&term1, &runs_intersect(&snap_runs, &remapped))
             }
-        }
-        let sorted: Vec<u64> = restore_set.into_iter().collect();
-        let runs = group_ranges(&sorted);
+        };
         plan.runs = runs.len() as u64;
+        let pages = runs_len(&runs);
         if cfg.restore_mode.is_lazy() {
             // Lazy mode: the same restore set, armed for first-touch
             // fault-in instead of written back. Pages already pending
             // from an earlier arming are untouched-and-clean, so they
             // never re-enter this set; the address space keeps their
             // obligation alive across epochs.
-            plan.pages_deferred = sorted.len() as u64;
+            plan.pages_deferred = pages;
             plan.passes.push(RestorePass::DeferArm { runs });
         } else {
-            plan.pages_restored = sorted.len() as u64;
+            plan.pages_restored = pages;
             plan.passes.push(RestorePass::PageWriteback {
                 lanes: split_lanes(&runs, cfg.restore_lanes),
                 coalesce: cfg.coalesce,

@@ -168,14 +168,15 @@ impl Restorer {
                     s.kernel().charge(cost);
                 }
                 RestorePass::PageWriteback { lanes, coalesce } => {
+                    // One scratch buffer reused across every run of every
+                    // lane: no per-run Vec churn, one store lock per
+                    // coalesced run.
+                    let mut scratch: Vec<gh_mem::FrameData> = Vec::new();
                     for lane in lanes {
                         for run in &lane.runs {
-                            // Resolve the whole run at once: one store
-                            // lock per coalesced run, not per page.
-                            let data = snapshot.run_data(*run, s.kernel().frames());
-                            for (vpn, page) in run.iter().zip(data) {
-                                let page = page.expect("restore set ⊆ snapshot");
-                                s.write_page(vpn, &page, Taint::Clean)?;
+                            snapshot.run_data_into(*run, s.kernel().frames(), &mut scratch);
+                            for (vpn, page) in run.iter().zip(&scratch) {
+                                s.write_page(vpn, page, Taint::Clean)?;
                             }
                         }
                     }
@@ -193,7 +194,7 @@ impl Restorer {
                     // ioctl walk it models; attributed to the same Fig. 8
                     // phase the writeback would have filled, so
                     // eager-vs-lazy comparisons read off one column.
-                    let set = snapshot.lazy_sources(runs);
+                    let set = snapshot.lazy_sources(runs, s.kernel().frames());
                     s.arm_lazy(set)?;
                     let pages: u64 = runs.iter().map(|r| r.len()).sum();
                     let cost = s.kernel().cost.defer_arm_cost(pages, runs.len() as u64);

@@ -5,13 +5,28 @@
 //! (secret-carrying) request — so its contents are guaranteed free of
 //! request data. It stores, in the manager's memory: per-thread CPU state,
 //! the memory layout, and the contents of every present page.
+//!
+//! # Run-based capture
+//!
+//! Capture is **run-based**: the page table hands over its extents as
+//! contiguous frame runs ([`gh_mem::FrameRuns`]) with one refcount taken
+//! per page — `O(extents)` metadata and **no content copies**. For the
+//! eager mode this is structural sharing only: the process is *not*
+//! write-protected against the snapshot (a write silently unshares the
+//! frame, charging exactly the faults the paper's full-copy snapshot
+//! would), the virtual-time charge stays the full-copy cost, and
+//! [`Snapshot::memory_bytes`] still reports the full-copy footprint the
+//! paper's implementation pays. §5.5's CoW mode additionally marks the
+//! process copy-on-write, so first writes take charged CoW faults and
+//! the reported footprint drops to the reference table. The shared mode
+//! interns the runs into the pool store by reference, copying a page
+//! only on a dedup miss.
 
-use std::collections::BTreeMap;
-
-use gh_mem::{FrameData, FrameId, FrameTable, StoreHandle, Vma, VmaKind, Vpn};
+use gh_mem::{FrameData, FrameRuns, FrameTable, PageRange, StoreHandle, Vma, VmaKind, Vpn};
 use gh_proc::{Kernel, Pid, PtraceSession, Tid};
 use gh_sim::clock::Stopwatch;
-use gh_sim::Nanos;
+use gh_sim::{Nanos, ScanShape};
+use std::collections::BTreeMap;
 
 use crate::error::GhError;
 use crate::track::MemoryTracker;
@@ -19,7 +34,9 @@ use crate::track::MemoryTracker;
 /// How the snapshot's page contents are captured.
 #[derive(Clone, Debug, Default)]
 pub enum SnapshotMode {
-    /// Full private copies (the paper's implementation).
+    /// Full private copies (the paper's implementation; captured as
+    /// silently-unshared frame references, priced and accounted as full
+    /// copies).
     #[default]
     Eager,
     /// §5.5's copy-on-write references into the process's frame table.
@@ -39,22 +56,33 @@ pub enum SnapshotMode {
 /// How page contents are held in the manager's memory.
 #[derive(Clone, Debug)]
 pub enum SnapshotPages {
-    /// Full copies of every present page (the paper's implementation).
-    Eager(BTreeMap<u64, FrameData>),
+    /// Refcounted frame runs with eager semantics (the paper's full-copy
+    /// snapshot): the process is not write-protected, a function write
+    /// silently unshares the frame, and accounting reports full pages.
+    Eager(FrameRuns),
     /// Copy-on-write references into the frame table — §5.5's proposed
     /// optimization: manager memory stays proportional to the pages the
     /// function *modifies* over its lifetime, at the cost of one
     /// on-critical-path CoW fault per unique modified page.
-    Cow(BTreeMap<u64, FrameId>),
+    Cow(FrameRuns),
     /// References into a pool-shared [`SnapshotStore`](gh_mem::SnapshotStore):
     /// page contents deduplicated across all containers of the function,
     /// so pool memory scales with per-container deltas, not pool size.
     Shared {
         /// The owning store (shared by every container of the pool).
         store: StoreHandle,
-        /// vpn → frame in the store's table.
-        pages: BTreeMap<u64, FrameId>,
+        /// Captured runs referencing frames in the store's table.
+        pages: FrameRuns,
     },
+}
+
+impl SnapshotPages {
+    fn runs(&self) -> &FrameRuns {
+        match self {
+            SnapshotPages::Eager(r) | SnapshotPages::Cow(r) => r,
+            SnapshotPages::Shared { pages, .. } => pages,
+        }
+    }
 }
 
 /// A clean-state process snapshot held in the manager's memory.
@@ -68,18 +96,17 @@ pub struct Snapshot {
     pub vmas: Vec<Vma>,
     /// The program break at snapshot time.
     pub brk: Vpn,
-    /// Contents of every present page, keyed by vpn.
+    /// Contents of every present page, as frame runs.
     pub pages: SnapshotPages,
+    /// The stack VMAs at snapshot time (precomputed; restored by
+    /// zeroing, §4.4).
+    pub stacks: Vec<PageRange>,
 }
 
 impl Snapshot {
     /// Present pages captured.
     pub fn present_pages(&self) -> u64 {
-        match &self.pages {
-            SnapshotPages::Eager(m) => m.len() as u64,
-            SnapshotPages::Cow(m) => m.len() as u64,
-            SnapshotPages::Shared { pages, .. } => pages.len() as u64,
-        }
+        self.pages.runs().total_pages()
     }
 
     /// Mapped pages at snapshot time.
@@ -89,66 +116,76 @@ impl Snapshot {
 
     /// True if `vpn` was present (and thus has saved contents).
     pub fn has_page(&self, vpn: Vpn) -> bool {
-        match &self.pages {
-            SnapshotPages::Eager(m) => m.contains_key(&vpn.0),
-            SnapshotPages::Cow(m) => m.contains_key(&vpn.0),
-            SnapshotPages::Shared { pages, .. } => pages.contains_key(&vpn.0),
-        }
+        self.pages.runs().contains(vpn)
     }
 
-    /// Saved page numbers, ascending.
+    /// The captured pages as sorted, maximal runs (`O(runs)`).
+    pub fn page_runs(&self) -> Vec<PageRange> {
+        self.pages.runs().ranges()
+    }
+
+    /// Number of captured runs.
+    pub fn run_count(&self) -> usize {
+        self.pages.runs().run_count()
+    }
+
+    /// Saved page numbers, ascending. Legacy per-page interface, kept
+    /// for the differential oracles; production paths consume
+    /// [`Snapshot::page_runs`].
     pub fn page_vpns(&self) -> Vec<u64> {
-        match &self.pages {
-            SnapshotPages::Eager(m) => m.keys().copied().collect(),
-            SnapshotPages::Cow(m) => m.keys().copied().collect(),
-            SnapshotPages::Shared { pages, .. } => pages.keys().copied().collect(),
-        }
+        self.pages.runs().iter().map(|(v, _)| v.0).collect()
     }
 
-    /// Saved contents of `vpn` (cloned; CoW snapshots resolve through the
-    /// process's frame table, shared snapshots through the pool store).
+    /// Saved contents of `vpn` (cloned; eager/CoW snapshots resolve
+    /// through the process's frame table, shared snapshots through the
+    /// pool store).
     pub fn page_data(&self, vpn: Vpn, frames: &FrameTable) -> Option<FrameData> {
         match &self.pages {
-            SnapshotPages::Eager(m) => m.get(&vpn.0).cloned(),
-            SnapshotPages::Cow(m) => m.get(&vpn.0).map(|id| frames.data(*id).clone()),
+            SnapshotPages::Eager(r) | SnapshotPages::Cow(r) => {
+                r.get(vpn).map(|id| frames.data(id).clone())
+            }
             SnapshotPages::Shared { store, pages } => pages
-                .get(&vpn.0)
-                .map(|id| store.lock().expect("store poisoned").data(*id).clone()),
+                .get(vpn)
+                .map(|id| store.lock().expect("store poisoned").data(id).clone()),
         }
     }
 
-    /// Saved contents for every page of `range`, in order (`None` for
-    /// pages the snapshot did not capture). For shared snapshots this
-    /// acquires the pool store's lock **once per range** — the restorer's
-    /// writeback loop resolves whole coalesced runs through here instead
-    /// of paying a lock round-trip per page.
-    pub fn run_data(
-        &self,
-        range: gh_mem::PageRange,
-        frames: &FrameTable,
-    ) -> Vec<Option<FrameData>> {
+    /// Resolves the saved contents of every page of `range` into
+    /// `out` (cleared first) — the restorer's writeback resolves whole
+    /// coalesced runs through here with one reusable scratch buffer and,
+    /// for shared snapshots, one pool-store lock per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page of `range` was not captured (the restore set
+    /// is a subset of the snapshot by construction).
+    pub fn run_data_into(&self, range: PageRange, frames: &FrameTable, out: &mut Vec<FrameData>) {
+        out.clear();
         match &self.pages {
-            SnapshotPages::Eager(m) => range.iter().map(|v| m.get(&v.0).cloned()).collect(),
-            SnapshotPages::Cow(m) => range
-                .iter()
-                .map(|v| m.get(&v.0).map(|id| frames.data(*id).clone()))
-                .collect(),
+            SnapshotPages::Eager(r) | SnapshotPages::Cow(r) => {
+                out.extend(range.iter().map(|v| {
+                    let id = r.get(v).expect("restore set ⊆ snapshot");
+                    frames.data(id).clone()
+                }));
+            }
             SnapshotPages::Shared { store, pages } => {
                 let st = store.lock().expect("store poisoned");
-                range
-                    .iter()
-                    .map(|v| pages.get(&v.0).map(|id| st.data(*id).clone()))
-                    .collect()
+                out.extend(range.iter().map(|v| {
+                    let id = pages.get(v).expect("restore set ⊆ snapshot");
+                    st.data(id).clone()
+                }));
             }
         }
     }
 
     /// Lazy-restore sources for every snapshot page of `runs`, keyed by
     /// vpn — what the `DeferArm` pass registers with the fault handler.
-    /// Eager snapshots hand out their page copies by value; CoW
-    /// snapshots hand out their frame references (a read fault installs
-    /// the frame shared); shared snapshots point at the pool store,
-    /// which keeps the only resident copy until the fault fires.
+    /// Eager snapshots hand out page copies by value (resolved through
+    /// the frame table at arming time, preserving eager install
+    /// semantics at the fault); CoW snapshots hand out their frame
+    /// references (a read fault installs the frame shared); shared
+    /// snapshots point at the pool store, which keeps the only resident
+    /// copy until the fault fires.
     ///
     /// The returned sources borrow this snapshot's frame/store
     /// references; the manager must keep the snapshot alive while any
@@ -156,19 +193,20 @@ impl Snapshot {
     /// manager).
     pub fn lazy_sources(
         &self,
-        runs: &[gh_mem::PageRange],
+        runs: &[PageRange],
+        frames: &FrameTable,
     ) -> BTreeMap<u64, gh_mem::LazyPageSource> {
         use gh_mem::LazyPageSource;
         let mut out = BTreeMap::new();
         for run in runs {
             for vpn in run.iter() {
                 let src = match &self.pages {
-                    SnapshotPages::Eager(m) => {
-                        m.get(&vpn.0).map(|d| LazyPageSource::Data(d.clone()))
-                    }
-                    SnapshotPages::Cow(m) => m.get(&vpn.0).map(|&id| LazyPageSource::Frame(id)),
+                    SnapshotPages::Eager(r) => r
+                        .get(vpn)
+                        .map(|id| LazyPageSource::Data(frames.data(id).clone())),
+                    SnapshotPages::Cow(r) => r.get(vpn).map(LazyPageSource::Frame),
                     SnapshotPages::Shared { store, pages } => {
-                        pages.get(&vpn.0).map(|&id| LazyPageSource::Store {
+                        pages.get(vpn).map(|id| LazyPageSource::Store {
                             store: store.clone(),
                             frame: id,
                         })
@@ -181,47 +219,38 @@ impl Snapshot {
     }
 
     /// The stack VMAs at snapshot time (restored by zeroing, §4.4).
-    pub fn stack_ranges(&self) -> Vec<gh_mem::PageRange> {
-        self.vmas
-            .iter()
-            .filter(|v| matches!(v.kind, VmaKind::Stack))
-            .map(|v| v.range)
-            .collect()
+    pub fn stack_ranges(&self) -> &[PageRange] {
+        &self.stacks
     }
 
     /// Approximate bytes of manager memory the snapshot occupies (§5.5).
-    /// Eager snapshots pay a full page per present page; CoW and shared
-    /// snapshots only pay the reference table — the shared snapshot's
-    /// page storage lives in the pool store and is accounted there
+    /// Eager snapshots are accounted a full page per present page (the
+    /// paper implementation's footprint, which they stand in for); CoW
+    /// and shared snapshots only pay the reference table — the shared
+    /// snapshot's page storage lives in the pool store and is accounted
+    /// there
     /// ([`SnapshotStore::resident_bytes`](gh_mem::SnapshotStore::resident_bytes)).
     pub fn memory_bytes(&self) -> u64 {
         let meta = self.vmas.len() as u64 * 64;
         match &self.pages {
-            SnapshotPages::Eager(m) => m.len() as u64 * gh_mem::PAGE_SIZE + meta,
-            SnapshotPages::Cow(m) => m.len() as u64 * 16 + meta,
-            SnapshotPages::Shared { pages, .. } => pages.len() as u64 * 16 + meta,
+            SnapshotPages::Eager(r) => r.total_pages() * gh_mem::PAGE_SIZE + meta,
+            SnapshotPages::Cow(r) => r.total_pages() * 16 + meta,
+            SnapshotPages::Shared { pages, .. } => pages.total_pages() * 16 + meta,
         }
     }
 
-    /// Releases the snapshot's frame references (no-op for eager
-    /// snapshots): CoW references back into the process's frame table,
-    /// shared references into the pool store. Must be called before
-    /// dropping the snapshot if the backing table is to be reused
-    /// leak-free.
+    /// Releases the snapshot's frame references: eager/CoW references
+    /// back into the process's frame table, shared references into the
+    /// pool store. Must be called before dropping the snapshot if the
+    /// backing table is to be reused leak-free.
     ///
     /// Cloning a snapshot does **not** duplicate frame ownership: clones
     /// share the same references and exactly one holder may release them.
     pub fn release(&mut self, frames: &mut FrameTable) {
         match &mut self.pages {
-            SnapshotPages::Eager(_) => {}
-            SnapshotPages::Cow(m) => {
-                for (_, id) in std::mem::take(m) {
-                    frames.decref(id);
-                }
-            }
+            SnapshotPages::Eager(r) | SnapshotPages::Cow(r) => r.release(frames),
             SnapshotPages::Shared { store, pages } => {
-                let refs = std::mem::take(pages);
-                store.lock().expect("store poisoned").release(&refs);
+                store.lock().expect("store poisoned").release_runs(pages);
             }
         }
     }
@@ -261,14 +290,13 @@ impl Snapshotter {
 
     /// Takes a snapshot in the given [`SnapshotMode`]. [`SnapshotMode::Cow`]
     /// selects §5.5's copy-on-write variant, which shares frames with the
-    /// process instead of copying them and write-protects the process so
-    /// the first modification of each page takes a CoW fault on the
-    /// critical path. The shared mode
-    /// copies pages out of the process exactly like the eager mode (same
-    /// one-pass-per-page cost — the store either copies a page or
-    /// verifies it equal against the base, both one pass over 4 KiB) but
-    /// interns them into the pool store, so pool memory deduplicates
-    /// while the virtual timeline stays identical to eager snapshotting.
+    /// process and write-protects it so the first modification of each
+    /// page takes a CoW fault on the critical path. The shared mode
+    /// interns the captured runs into the pool store (same virtual-time
+    /// cost as the eager mode — the store either copies a page or
+    /// dedups it against resident content, both one pass over 4 KiB),
+    /// so pool memory deduplicates while the timeline stays identical
+    /// to eager snapshotting.
     pub fn take_mode(
         kernel: &mut Kernel,
         pid: Pid,
@@ -280,54 +308,59 @@ impl Snapshotter {
         // (a) Interrupt and store the CPU state of all threads.
         s.interrupt_all()?;
         let regs = s.save_regs_all()?;
-        // (b) Scan /proc: memory-mapped regions and page metadata.
+        // (b) Scan /proc: memory-mapped regions and page metadata. The
+        // metadata walk is charged per the kernel's charge model (full
+        // pagemap walk under paper parity, per-extent under extent
+        // charging); host-side the capture below walks extents only.
         let vmas = s.read_maps()?;
-        let entries = s.pagemap_scan()?;
-        // (c) Capture the contents of all present pages in the manager's
-        // memory: full copies (eager), shared CoW references, or
-        // store-interned copies (shared).
         let mapped_pages: u64 = vmas.iter().map(|v| v.range.len()).sum();
+        let shape = {
+            let proc = s.kernel().process(pid)?;
+            ScanShape {
+                mapped_pages,
+                vmas: vmas.len(),
+                extents: proc.mem.extent_count() as u64,
+                dirty_pages: 0,
+            }
+        };
+        let scan_cost = s.kernel().cost.dirty_scan_cost(shape);
+        s.kernel().charge(scan_cost);
+        // (c) Capture the contents of all present pages as refcounted
+        // frame runs: full-copy semantics (eager), shared CoW references
+        // (cow), or store-interned runs (shared).
         let (pages, present_pages, copy_cost) = match mode {
             SnapshotMode::Cow => {
-                let (proc, frames) = s.kernel().mem_ctx(pid)?;
-                let mut refs = BTreeMap::new();
-                for e in &entries {
-                    if let Some(pte) = proc.mem.pte(e.vpn) {
-                        frames.incref(pte.frame);
-                        refs.insert(e.vpn.0, pte.frame);
-                    }
-                }
+                let runs = s.capture_frame_runs()?;
+                let (proc, _) = s.kernel().mem_ctx(pid)?;
                 proc.mem.mark_all_cow();
-                let present = refs.len() as u64;
-                let m = &s.kernel().cost;
-                let cost = m.snapshot_base
-                    + m.snapshot_cow_ref * present
-                    + m.snapshot_per_mapped_page * mapped_pages;
-                (SnapshotPages::Cow(refs), present, cost)
+                let runs = FrameRuns::new(runs);
+                let present = runs.total_pages();
+                let cost = s.kernel().cost.snapshot_capture_cost(present, shape, true);
+                (SnapshotPages::Cow(runs), present, cost)
             }
-            SnapshotMode::Eager | SnapshotMode::Shared { .. } => {
-                let mut copies = BTreeMap::new();
-                for e in &entries {
-                    if let Some(data) = s.read_page(e.vpn)? {
-                        copies.insert(e.vpn.0, data);
-                    }
-                }
-                let present = copies.len() as u64;
-                let m = &s.kernel().cost;
-                let cost = m.snapshot_base
-                    + m.snapshot_per_present_page * present
-                    + m.snapshot_per_mapped_page * mapped_pages;
-                let pages = match &mode {
-                    SnapshotMode::Shared { store, key } => {
-                        let refs = store.lock().expect("store poisoned").intern(key, &copies);
-                        SnapshotPages::Shared {
-                            store: store.clone(),
-                            pages: refs,
-                        }
-                    }
-                    _ => SnapshotPages::Eager(copies),
-                };
-                (pages, present, cost)
+            SnapshotMode::Eager => {
+                let runs = FrameRuns::new(s.capture_frame_runs()?);
+                let present = runs.total_pages();
+                let cost = s.kernel().cost.snapshot_capture_cost(present, shape, false);
+                (SnapshotPages::Eager(runs), present, cost)
+            }
+            SnapshotMode::Shared { store, key } => {
+                let (proc, frames) = s.kernel().mem_ctx(pid)?;
+                let runs = proc.mem.present_frame_runs();
+                let refs = store
+                    .lock()
+                    .expect("store poisoned")
+                    .intern_refs(&key, &runs, frames);
+                let present = refs.total_pages();
+                let cost = s.kernel().cost.snapshot_capture_cost(present, shape, false);
+                (
+                    SnapshotPages::Shared {
+                        store: store.clone(),
+                        pages: refs,
+                    },
+                    present,
+                    cost,
+                )
             }
         };
         s.kernel().charge(copy_cost);
@@ -339,12 +372,18 @@ impl Snapshotter {
         s.detach()?;
 
         let duration = sw.lap();
+        let stacks = vmas
+            .iter()
+            .filter(|v| matches!(v.kind, VmaKind::Stack))
+            .map(|v| v.range)
+            .collect();
         let snapshot = Snapshot {
             taken_at: kernel.clock.now(),
             regs,
             vmas,
             brk,
             pages,
+            stacks,
         };
         let report = SnapshotReport {
             duration,
@@ -356,7 +395,6 @@ impl Snapshotter {
         Ok((snapshot, report))
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,8 +5,7 @@
 //! that loses except when the write set is nearly empty; both are
 //! implemented here behind [`MemoryTracker`].
 
-use gh_mem::Vpn;
-use gh_proc::ptrace::PagemapEntry;
+use gh_mem::{PageRange, Vpn};
 use gh_proc::PtraceSession;
 use gh_sim::Nanos;
 
@@ -18,10 +17,11 @@ use crate::error::GhError;
 pub struct DirtyReport {
     /// Pages written since the tracker was armed, ascending.
     pub dirty: Vec<Vpn>,
-    /// Present pages observed, ascending — only available when the
-    /// backend's collection mechanism walks the pagemap anyway (soft-dirty
-    /// does; userfaultfd does not).
-    pub present: Option<Vec<PagemapEntry>>,
+    /// Present pages as sorted, maximal runs — only available when the
+    /// backend's collection mechanism observes the pagemap anyway
+    /// (soft-dirty does; userfaultfd does not). `O(extents)` to collect
+    /// and hold, never one entry per page.
+    pub present_runs: Option<Vec<PageRange>>,
     /// Virtual time the collection consumed.
     pub cost: Nanos,
 }
@@ -47,9 +47,12 @@ pub fn make_tracker(kind: TrackerKind) -> Box<dyn MemoryTracker> {
     }
 }
 
-/// Soft-dirty-bit tracking: `clear_refs` to arm, full pagemap scan to
-/// collect. Per-write cost is one cheap write-protect fault; collection
-/// cost scales with the *mapped address space* (Fig. 3 right, dashed).
+/// Soft-dirty-bit tracking: `clear_refs` to arm, a dirty scan to
+/// collect. The *simulated* collection cost follows the kernel's charge
+/// model: a full pagemap walk scaling with the mapped address space
+/// under paper parity (Fig. 3 right, dashed), or per-extent + per-dirty
+/// under extent charging. Host-side the scan reads the dirty index and
+/// extent runs — `O(dirty + extents)` regardless of the charge model.
 pub struct SoftDirtyTracker;
 
 impl MemoryTracker for SoftDirtyTracker {
@@ -63,16 +66,11 @@ impl MemoryTracker for SoftDirtyTracker {
 
     fn collect(&mut self, s: &mut PtraceSession<'_>) -> Result<DirtyReport, GhError> {
         let t0 = s.kernel().clock.now();
-        let entries = s.pagemap_scan()?;
-        let dirty: Vec<Vpn> = entries
-            .iter()
-            .filter(|e| e.soft_dirty)
-            .map(|e| e.vpn)
-            .collect();
+        let (dirty, present_runs) = s.dirty_scan()?;
         let cost = s.kernel().clock.now() - t0;
         Ok(DirtyReport {
             dirty,
-            present: Some(entries),
+            present_runs: Some(present_runs),
             cost,
         })
     }
@@ -102,7 +100,7 @@ impl MemoryTracker for UffdTracker {
         let cost = s.kernel().clock.now() - t0;
         Ok(DirtyReport {
             dirty,
-            present: None,
+            present_runs: None,
             cost,
         })
     }
@@ -165,8 +163,8 @@ mod tests {
         let (report, mut written) = roundtrip(TrackerKind::SoftDirty);
         written.sort_unstable_by_key(|v| v.0);
         assert_eq!(report.dirty, written);
-        assert!(report.present.is_some(), "SD scan sees the pagemap");
-        assert!(report.present.unwrap().len() >= 16);
+        let present = report.present_runs.expect("SD scan sees the pagemap");
+        assert!(gh_mem::runs_len(&present) >= 16);
     }
 
     #[test]
@@ -174,7 +172,7 @@ mod tests {
         let (report, mut written) = roundtrip(TrackerKind::Uffd);
         written.sort_unstable_by_key(|v| v.0);
         assert_eq!(report.dirty, written);
-        assert!(report.present.is_none(), "UFFD has no pagemap view");
+        assert!(report.present_runs.is_none(), "UFFD has no pagemap view");
     }
 
     #[test]

@@ -397,7 +397,9 @@ fn cow_snapshot_lazy_faults_share_frames() {
     request(&mut r, "alice", 1, &[3, 4], &[]);
     assert_eq!(r.mgr.lazy_pending(&r.kernel), 2);
     let snap_frames: BTreeMap<u64, gh_mem::FrameId> = match &r.mgr.snapshot().unwrap().pages {
-        groundhog_core::snapshot::SnapshotPages::Cow(m) => m.clone(),
+        groundhog_core::snapshot::SnapshotPages::Cow(m) => {
+            m.iter().map(|(v, id)| (v.0, id)).collect()
+        }
         other => panic!("expected CoW snapshot, got {other:?}"),
     };
     let read_vpn = Vpn(r.region.start.0 + 3);

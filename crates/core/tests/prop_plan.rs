@@ -101,10 +101,12 @@ fn reference_restore(
     let mut newly_paged = 0u64;
     let mut stack_zeroed = 0u64;
     let mut present_after: Option<BTreeSet<u64>> = None;
-    if let Some(entries) = &dirty_report.present {
-        let mut present: BTreeSet<u64> = entries
+    // (Adapter: the tracker now reports present pages as coalesced runs;
+    // the monolith's per-page set is their mechanical expansion.)
+    if let Some(present_runs) = &dirty_report.present_runs {
+        let mut present: BTreeSet<u64> = present_runs
             .iter()
-            .map(|e| e.vpn.0)
+            .flat_map(|r| r.iter().map(|v| v.0))
             .filter(|&v| !in_ranges(&diff.to_munmap, v))
             .collect();
 

@@ -165,6 +165,10 @@ pub struct PoolMemory {
     /// Deduplication ratio (logical pages per unique frame; 1.0 = no
     /// sharing or no store use).
     pub dedup_ratio: f64,
+    /// Pages deduplicated through the store's content-hash index
+    /// (identical content at another vpn / identical deltas across
+    /// snapshots) — sharing the per-vpn base match alone would miss.
+    pub hash_hits: u64,
     /// Bytes resident in the shared store plus every container's private
     /// reference table.
     pub resident_bytes: u64,
@@ -249,6 +253,7 @@ impl Pool {
             logical_pages: st.stats().logical_pages,
             unique_frames: st.live_frames() as u64,
             dedup_ratio: st.dedup_ratio(),
+            hash_hits: st.stats().hash_hits,
             resident_bytes,
             resident_bytes_per_container: resident_bytes as f64 / size,
         }

@@ -1,0 +1,523 @@
+//! The extent-based page table.
+//!
+//! Instead of one map entry per present page, [`PageTable`] keeps
+//! *extents*: maximal runs of contiguous present pages sharing one
+//! [`PteFlags`] value. Frames stay per-page (each page owns its
+//! refcounted frame, exactly as before), stored in flat 512-page chunks
+//! so extent splits and merges never copy frame arrays.
+//!
+//! Why it matters: between two tracker re-arms, the flag state of a
+//! function process is "everything armed, except the D pages it
+//! dirtied" — a handful of extents plus `O(D)` splits. Every whole-table
+//! flag transform (`clear_refs`, uffd arm/disarm, CoW marking) is
+//! therefore `O(extents)` instead of `O(present)`, and capture walks
+//! `O(extents)` runs instead of `O(present)` map entries.
+//!
+//! Invariants (checked by `AddressSpace::check_invariants`):
+//! - extents are sorted, non-empty and non-overlapping;
+//! - no two adjacent extents have equal flags (maximality);
+//! - every page inside an extent has a frame slot in its chunk, and
+//!   chunk occupancy equals the number of covering extent pages.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::addr::{PageRange, Vpn};
+use crate::frame::FrameId;
+use crate::pte::{Pte, PteFlags};
+
+/// Pages per frame chunk.
+const CHUNK_PAGES: u64 = 512;
+
+/// Metadata of one extent (the frames live in the chunk store).
+#[derive(Clone, Copy, Debug)]
+struct ExtentMeta {
+    /// Pages in the run.
+    len: u64,
+    /// Uniform flags of every page in the run.
+    flags: PteFlags,
+}
+
+/// A 512-page frame chunk.
+#[derive(Clone, Debug)]
+struct Chunk {
+    /// Occupied slots (pages covered by some extent).
+    used: u32,
+    /// Frame per page slot; slots outside extents are garbage.
+    frames: Box<[FrameId; CHUNK_PAGES as usize]>,
+}
+
+impl Chunk {
+    fn new() -> Chunk {
+        Chunk {
+            used: 0,
+            frames: Box::new([FrameId(u64::MAX); CHUNK_PAGES as usize]),
+        }
+    }
+}
+
+/// Extent-based page table: flag extents + chunked per-page frames.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PageTable {
+    /// Extents keyed by start vpn.
+    extents: BTreeMap<u64, ExtentMeta>,
+    /// Frame storage, keyed by `vpn / 512`.
+    chunks: HashMap<u64, Chunk>,
+    /// Present pages (Σ extent lens).
+    present: u64,
+}
+
+impl PageTable {
+    pub fn new() -> PageTable {
+        PageTable::default()
+    }
+
+    /// Present pages.
+    pub fn len(&self) -> u64 {
+        self.present
+    }
+
+    /// Number of extents.
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// The extent containing `vpn`, as `(start, len, flags)`.
+    fn extent_at(&self, vpn: u64) -> Option<(u64, ExtentMeta)> {
+        self.extents
+            .range(..=vpn)
+            .next_back()
+            .map(|(&s, &m)| (s, m))
+            .filter(|(s, m)| vpn < s + m.len)
+    }
+
+    /// Frame of `vpn`, assuming it is present.
+    fn frame_slot(&self, vpn: u64) -> FrameId {
+        self.chunks[&(vpn / CHUNK_PAGES)].frames[(vpn % CHUNK_PAGES) as usize]
+    }
+
+    fn set_slot(&mut self, vpn: u64, frame: FrameId, fresh: bool) {
+        let chunk = self
+            .chunks
+            .entry(vpn / CHUNK_PAGES)
+            .or_insert_with(Chunk::new);
+        chunk.frames[(vpn % CHUNK_PAGES) as usize] = frame;
+        if fresh {
+            chunk.used += 1;
+        }
+    }
+
+    fn clear_slot(&mut self, vpn: u64) -> FrameId {
+        let key = vpn / CHUNK_PAGES;
+        let chunk = self.chunks.get_mut(&key).expect("slot chunk");
+        let frame = chunk.frames[(vpn % CHUNK_PAGES) as usize];
+        chunk.used -= 1;
+        if chunk.used == 0 {
+            self.chunks.remove(&key);
+        }
+        frame
+    }
+
+    /// The PTE of `vpn`, by value.
+    pub fn get(&self, vpn: Vpn) -> Option<Pte> {
+        self.extent_at(vpn.0).map(|(_, m)| Pte {
+            frame: self.frame_slot(vpn.0),
+            flags: m.flags,
+        })
+    }
+
+    /// True when `vpn` is present.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        self.extent_at(vpn.0).is_some()
+    }
+
+    /// Inserts a one-page extent, merging with equal-flag neighbors.
+    /// Assumes the page is absent (splitting/removal happens first).
+    fn insert_extent_merging(&mut self, vpn: u64, flags: PteFlags) {
+        let mut start = vpn;
+        let mut len = 1u64;
+        // Merge with predecessor ending exactly at vpn.
+        if let Some((&ps, &pm)) = self.extents.range(..vpn).next_back() {
+            debug_assert!(ps + pm.len <= vpn, "insert into covered page");
+            if ps + pm.len == vpn && pm.flags == flags {
+                start = ps;
+                len += pm.len;
+                self.extents.remove(&ps);
+            }
+        }
+        // Merge with successor starting exactly at vpn + 1.
+        if let Some((&ns, &nm)) = self.extents.range(vpn + 1..).next() {
+            if ns == vpn + 1 && nm.flags == flags {
+                len += nm.len;
+                self.extents.remove(&ns);
+            }
+        }
+        self.extents.insert(start, ExtentMeta { len, flags });
+    }
+
+    /// Installs `vpn` with the given frame and flags. The page must be
+    /// absent.
+    pub fn insert(&mut self, vpn: Vpn, frame: FrameId, flags: PteFlags) {
+        debug_assert!(!self.contains(vpn), "inserting a present page");
+        self.set_slot(vpn.0, frame, true);
+        self.insert_extent_merging(vpn.0, flags);
+        self.present += 1;
+    }
+
+    /// Removes `vpn`, returning its frame.
+    pub fn remove(&mut self, vpn: Vpn) -> Option<FrameId> {
+        let (start, meta) = self.extent_at(vpn.0)?;
+        self.extents.remove(&start);
+        if vpn.0 > start {
+            self.extents.insert(
+                start,
+                ExtentMeta {
+                    len: vpn.0 - start,
+                    flags: meta.flags,
+                },
+            );
+        }
+        let end = start + meta.len;
+        if vpn.0 + 1 < end {
+            self.extents.insert(
+                vpn.0 + 1,
+                ExtentMeta {
+                    len: end - vpn.0 - 1,
+                    flags: meta.flags,
+                },
+            );
+        }
+        self.present -= 1;
+        Some(self.clear_slot(vpn.0))
+    }
+
+    /// Removes every present page in `range`, passing each freed frame to
+    /// `f`. Work is `O(log E + affected extents + removed pages)`.
+    pub fn remove_range(&mut self, range: PageRange, mut f: impl FnMut(Vpn, FrameId)) {
+        if range.is_empty() {
+            return;
+        }
+        // Find extents overlapping the range (the predecessor may lap in).
+        let first = self
+            .extents
+            .range(..range.start.0)
+            .next_back()
+            .filter(|(&s, m)| s + m.len > range.start.0)
+            .map(|(&s, _)| s)
+            .into_iter()
+            .chain(
+                self.extents
+                    .range(range.start.0..range.end.0)
+                    .map(|(&s, _)| s),
+            )
+            .collect::<Vec<u64>>();
+        for s in first {
+            let meta = self.extents.remove(&s).expect("collected key");
+            let ext = PageRange::new(Vpn(s), Vpn(s + meta.len));
+            let cut = ext.intersect(range);
+            if ext.start.0 < cut.start.0 {
+                self.extents.insert(
+                    ext.start.0,
+                    ExtentMeta {
+                        len: cut.start.0 - ext.start.0,
+                        flags: meta.flags,
+                    },
+                );
+            }
+            if cut.end.0 < ext.end.0 {
+                self.extents.insert(
+                    cut.end.0,
+                    ExtentMeta {
+                        len: ext.end.0 - cut.end.0,
+                        flags: meta.flags,
+                    },
+                );
+            }
+            for vpn in cut.iter() {
+                let frame = self.clear_slot(vpn.0);
+                f(vpn, frame);
+            }
+            self.present -= cut.len();
+        }
+    }
+
+    /// Replaces the frame of a present page (CoW copy), flags unchanged.
+    pub fn set_frame(&mut self, vpn: Vpn, frame: FrameId) {
+        debug_assert!(self.contains(vpn), "set_frame on absent page");
+        self.set_slot(vpn.0, frame, false);
+    }
+
+    /// Sets the flags of one present page, splitting and re-merging
+    /// extents as needed. `O(log E)`.
+    pub fn set_flags(&mut self, vpn: Vpn, flags: PteFlags) {
+        let (start, meta) = self.extent_at(vpn.0).expect("set_flags on absent page");
+        if meta.flags == flags {
+            return;
+        }
+        self.extents.remove(&start);
+        if vpn.0 > start {
+            self.extents.insert(
+                start,
+                ExtentMeta {
+                    len: vpn.0 - start,
+                    flags: meta.flags,
+                },
+            );
+        }
+        let end = start + meta.len;
+        if vpn.0 + 1 < end {
+            self.extents.insert(
+                vpn.0 + 1,
+                ExtentMeta {
+                    len: end - vpn.0 - 1,
+                    flags: meta.flags,
+                },
+            );
+        }
+        self.insert_extent_merging(vpn.0, flags);
+    }
+
+    /// Applies `f` to every extent's flags, then restores maximality by
+    /// merging adjacent equal-flag extents. `O(extents)`.
+    pub fn transform_flags(&mut self, mut f: impl FnMut(PteFlags) -> PteFlags) {
+        let old = std::mem::take(&mut self.extents);
+        let mut rebuilt: BTreeMap<u64, ExtentMeta> = BTreeMap::new();
+        let mut last: Option<(u64, ExtentMeta)> = None;
+        for (start, mut meta) in old {
+            meta.flags = f(meta.flags);
+            match &mut last {
+                Some((ls, lm)) if *ls + lm.len == start && lm.flags == meta.flags => {
+                    lm.len += meta.len;
+                }
+                _ => {
+                    if let Some((ls, lm)) = last.take() {
+                        rebuilt.insert(ls, lm);
+                    }
+                    last = Some((start, meta));
+                }
+            }
+        }
+        if let Some((ls, lm)) = last {
+            rebuilt.insert(ls, lm);
+        }
+        self.extents = rebuilt;
+    }
+
+    /// Iterates `(range, flags)` extents in address order.
+    pub fn extents(&self) -> impl Iterator<Item = (PageRange, PteFlags)> + '_ {
+        self.extents
+            .iter()
+            .map(|(&s, m)| (PageRange::new(Vpn(s), Vpn(s + m.len)), m.flags))
+    }
+
+    /// Present pages coalesced into maximal runs irrespective of flags.
+    /// `O(extents)`.
+    pub fn present_runs(&self) -> Vec<PageRange> {
+        let mut out: Vec<PageRange> = Vec::new();
+        for (range, _) in self.extents() {
+            match out.last_mut() {
+                Some(last) if last.end == range.start => last.end = range.end,
+                _ => out.push(range),
+            }
+        }
+        out
+    }
+
+    /// Iterates `(vpn, pte)` over present pages in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
+        self.extents.iter().flat_map(move |(&s, m)| {
+            (s..s + m.len).map(move |v| {
+                (
+                    Vpn(v),
+                    Pte {
+                        frame: self.frame_slot(v),
+                        flags: m.flags,
+                    },
+                )
+            })
+        })
+    }
+
+    /// Iterates the frames of the present pages of `range` in address
+    /// order (the range must be fully present).
+    pub fn frames_in(&self, range: PageRange) -> impl Iterator<Item = FrameId> + '_ {
+        range.iter().map(move |v| self.frame_slot(v.0))
+    }
+
+    /// Structural self-check: sorted, disjoint, non-empty, maximal
+    /// extents; chunk occupancy matches extent coverage.
+    pub fn check(&self) -> Result<(), String> {
+        let mut prev: Option<(u64, ExtentMeta)> = None;
+        let mut covered = 0u64;
+        for (&start, meta) in &self.extents {
+            if meta.len == 0 {
+                return Err(format!("empty extent at {start:#x}"));
+            }
+            if let Some((ps, pm)) = prev {
+                let pend = ps + pm.len;
+                if start < pend {
+                    return Err(format!("overlapping extents at {start:#x}"));
+                }
+                if start == pend && pm.flags == meta.flags {
+                    return Err(format!(
+                        "adjacent mergeable extents at {start:#x} ({:?})",
+                        meta.flags
+                    ));
+                }
+            }
+            covered += meta.len;
+            prev = Some((start, *meta));
+        }
+        if covered != self.present {
+            return Err(format!(
+                "present count {} != extent coverage {covered}",
+                self.present
+            ));
+        }
+        let chunk_used: u64 = self.chunks.values().map(|c| c.used as u64).sum();
+        if chunk_used != self.present {
+            return Err(format!(
+                "chunk occupancy {chunk_used} != present {}",
+                self.present
+            ));
+        }
+        for (&start, meta) in &self.extents {
+            for v in start..start + meta.len {
+                let Some(chunk) = self.chunks.get(&(v / CHUNK_PAGES)) else {
+                    return Err(format!("page {v:#x} has no frame chunk"));
+                };
+                if chunk.frames[(v % CHUNK_PAGES) as usize] == FrameId(u64::MAX) {
+                    return Err(format!("page {v:#x} has no frame slot"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(bits: u8) -> PteFlags {
+        PteFlags(bits).with(PteFlags::PRESENT)
+    }
+
+    #[test]
+    fn insert_merges_into_maximal_extents() {
+        let mut t = PageTable::new();
+        for v in [10u64, 12, 11, 9, 13] {
+            t.insert(Vpn(v), FrameId(v), flags(0));
+            t.check().unwrap();
+        }
+        assert_eq!(t.extent_count(), 1);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.get(Vpn(12)).unwrap().frame, FrameId(12));
+        assert!(t.get(Vpn(14)).is_none());
+    }
+
+    #[test]
+    fn differing_flags_do_not_merge() {
+        let mut t = PageTable::new();
+        t.insert(Vpn(5), FrameId(1), flags(0));
+        t.insert(Vpn(6), FrameId(2), flags(2));
+        t.insert(Vpn(7), FrameId(3), flags(0));
+        assert_eq!(t.extent_count(), 3);
+        t.check().unwrap();
+    }
+
+    #[test]
+    fn set_flags_splits_and_remerges() {
+        let mut t = PageTable::new();
+        for v in 0..10u64 {
+            t.insert(Vpn(v), FrameId(v), flags(0));
+        }
+        t.set_flags(Vpn(4), flags(2));
+        assert_eq!(t.extent_count(), 3);
+        t.check().unwrap();
+        t.set_flags(Vpn(5), flags(2));
+        assert_eq!(t.extent_count(), 3, "adjacent changed pages merge");
+        t.check().unwrap();
+        t.set_flags(Vpn(4), flags(0));
+        t.set_flags(Vpn(5), flags(0));
+        assert_eq!(t.extent_count(), 1, "restoring flags restores one run");
+        t.check().unwrap();
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn remove_splits() {
+        let mut t = PageTable::new();
+        for v in 0..8u64 {
+            t.insert(Vpn(v), FrameId(v), flags(0));
+        }
+        assert_eq!(t.remove(Vpn(3)), Some(FrameId(3)));
+        assert_eq!(t.extent_count(), 2);
+        assert_eq!(t.len(), 7);
+        assert!(t.get(Vpn(3)).is_none());
+        t.check().unwrap();
+        assert_eq!(t.remove(Vpn(3)), None);
+    }
+
+    #[test]
+    fn remove_range_frees_exactly() {
+        let mut t = PageTable::new();
+        for v in 0..20u64 {
+            if v != 10 {
+                t.insert(Vpn(v), FrameId(v), flags(0));
+            }
+        }
+        let mut freed = Vec::new();
+        t.remove_range(PageRange::new(Vpn(5), Vpn(15)), |v, f| {
+            freed.push((v.0, f.0))
+        });
+        assert_eq!(
+            freed,
+            (5..15)
+                .filter(|&v| v != 10)
+                .map(|v| (v, v))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(t.len(), 10);
+        t.check().unwrap();
+    }
+
+    #[test]
+    fn transform_collapses_fragmentation() {
+        let mut t = PageTable::new();
+        for v in 0..100u64 {
+            t.insert(Vpn(v), FrameId(v), flags(0));
+        }
+        for v in (0..100u64).step_by(7) {
+            t.set_flags(Vpn(v), flags(2));
+        }
+        assert!(t.extent_count() > 20);
+        t.transform_flags(|f| f.without(PteFlags(2)).with(PteFlags(4)));
+        assert_eq!(t.extent_count(), 1, "uniform flags collapse to one run");
+        t.check().unwrap();
+    }
+
+    #[test]
+    fn iteration_and_runs() {
+        let mut t = PageTable::new();
+        for v in [1u64, 2, 3, 7, 8, 600] {
+            t.insert(Vpn(v), FrameId(v * 10), flags(0));
+        }
+        t.set_flags(Vpn(2), flags(2));
+        let vpns: Vec<u64> = t.iter().map(|(v, _)| v.0).collect();
+        assert_eq!(vpns, vec![1, 2, 3, 7, 8, 600]);
+        assert_eq!(
+            t.present_runs(),
+            vec![
+                PageRange::new(Vpn(1), Vpn(4)),
+                PageRange::new(Vpn(7), Vpn(9)),
+                PageRange::new(Vpn(600), Vpn(601))
+            ],
+            "presence runs ignore flag splits"
+        );
+        let frames: Vec<u64> = t
+            .frames_in(PageRange::new(Vpn(7), Vpn(9)))
+            .map(|f| f.0)
+            .collect();
+        assert_eq!(frames, vec![70, 80]);
+    }
+}

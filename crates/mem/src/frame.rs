@@ -12,7 +12,7 @@
 //! writes is [`FrameData::Patched`]; only pages written with bulk data
 //! materialize a full 4 KiB [`FrameData::Literal`].
 
-use crate::addr::PAGE_SIZE;
+use crate::addr::{PageRange, Vpn, PAGE_SIZE};
 use crate::taint::Taint;
 
 /// Maximum number of word patches before a page is materialized.
@@ -204,6 +204,104 @@ impl FrameData {
         }
         (0..WORDS_PER_PAGE).all(|w| self.read_word(w) == other.read_word(w))
     }
+
+    /// FNV-1a hash of the page's logical bytes (the 512 words
+    /// [`FrameData::read_word`] exposes). Representation-independent:
+    /// a `Patched` page whose patches restore the base hashes equal to
+    /// the base — the property the
+    /// [`SnapshotStore`](crate::store::SnapshotStore) content index
+    /// relies on.
+    pub fn logical_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        match self {
+            // The constant representations hash without expansion.
+            FrameData::Literal(bytes) => {
+                for chunk in bytes.chunks_exact(8) {
+                    let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+                    h = (h ^ w).wrapping_mul(0x100_0000_01b3);
+                }
+            }
+            _ => {
+                for w in 0..WORDS_PER_PAGE {
+                    h = (h ^ self.read_word(w)).wrapping_mul(0x100_0000_01b3);
+                }
+            }
+        }
+        h
+    }
+}
+
+/// Refcounted snapshot page capture: contiguous runs of `(start vpn,
+/// frames)`, sorted by start. This is what the run-based capture path
+/// produces — `O(runs)` metadata plus one `FrameId` per page, no content
+/// copies — and what the restore planner consumes directly.
+#[derive(Clone, Debug, Default)]
+pub struct FrameRuns {
+    /// `(run start, per-page frames)`, sorted, disjoint, non-adjacent.
+    runs: Vec<(Vpn, Vec<FrameId>)>,
+    total: u64,
+}
+
+impl FrameRuns {
+    /// Wraps capture output (must be sorted and disjoint).
+    pub fn new(runs: Vec<(Vpn, Vec<FrameId>)>) -> FrameRuns {
+        let total = runs.iter().map(|(_, f)| f.len() as u64).sum();
+        debug_assert!(runs
+            .windows(2)
+            .all(|w| w[0].0 .0 + w[0].1.len() as u64 <= w[1].0 .0));
+        FrameRuns { runs, total }
+    }
+
+    /// Total pages captured.
+    pub fn total_pages(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The covered ranges, sorted (`O(runs)` to materialize).
+    pub fn ranges(&self) -> Vec<PageRange> {
+        self.runs
+            .iter()
+            .map(|(s, f)| PageRange::at(*s, f.len() as u64))
+            .collect()
+    }
+
+    /// The frame of `vpn`, if captured (`O(log runs)`).
+    pub fn get(&self, vpn: Vpn) -> Option<FrameId> {
+        let i = self.runs.partition_point(|(s, _)| s.0 <= vpn.0);
+        let (start, frames) = self.runs.get(i.checked_sub(1)?)?;
+        frames.get((vpn.0 - start.0) as usize).copied()
+    }
+
+    /// True when `vpn` was captured.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        self.get(vpn).is_some()
+    }
+
+    /// Iterates `(vpn, frame)` pairs in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = (Vpn, FrameId)> + '_ {
+        self.runs.iter().flat_map(|(start, frames)| {
+            frames
+                .iter()
+                .enumerate()
+                .map(move |(i, &f)| (Vpn(start.0 + i as u64), f))
+        })
+    }
+
+    /// Releases every captured reference into `frames` (the inverse of a
+    /// refcounted capture).
+    pub fn release(&mut self, frames: &mut FrameTable) {
+        for (_, run) in std::mem::take(&mut self.runs) {
+            for id in run {
+                frames.decref(id);
+            }
+        }
+        self.total = 0;
+    }
 }
 
 /// One frame: page contents plus taint plus a reference count.
@@ -333,6 +431,11 @@ impl FrameTable {
         debug_assert_eq!(f.refs, 1, "overwriting a shared frame");
         f.data = data;
         f.taint = taint;
+    }
+
+    /// True when `id` denotes a live (allocated, unreleased) frame.
+    pub fn is_live(&self, id: FrameId) -> bool {
+        self.frames.get(id.0 as usize).is_some_and(|f| f.is_some())
     }
 
     /// Number of live frames.

@@ -8,11 +8,22 @@
 //! - a per-process **address space** of non-overlapping VMAs
 //!   ([`space::AddressSpace`]), with `mmap`/`munmap`/`mprotect`/`brk`/
 //!   `madvise` semantics including VMA splitting and merging;
-//! - a **page table** mapping virtual page numbers to frames, with per-PTE
-//!   flags ([`pte::PteFlags`]): present, copy-on-write, **soft-dirty**,
-//!   soft-dirty write-protection (the `clear_refs` arming that makes the
-//!   next write fault), userfaultfd write-protection, and TLB-cold marks
-//!   for freshly forked children;
+//! - an **extent-based page table** (`extent`, internal): maximal runs
+//!   of contiguous present pages sharing one flag value
+//!   ([`pte::PteFlags`]: present, copy-on-write, **soft-dirty**,
+//!   soft-dirty write-protection — the `clear_refs` arming that makes
+//!   the next write fault — userfaultfd write-protection, TLB-cold),
+//!   with per-page frames in flat chunks. Whole-table flag transforms
+//!   (`clear_refs`, uffd arm, CoW marking) are `O(extents)`; snapshot
+//!   capture hands out refcounted **frame runs** ([`frame::FrameRuns`])
+//!   without copying contents; restore planning consumes run lists via
+//!   the [`runs`] set algebra;
+//! - a **hierarchical dirty index** ([`index::VpnIndex`], a sparse
+//!   two-level 64-ary bitmap) over the soft-dirty set, the uffd log and
+//!   the taint-carrying pages, making `soft_dirty_pages`, `disarm_uffd`
+//!   and `tainted_pages` `O(interesting pages)` scans instead of
+//!   page-table walks — the bookkeeping obeys Groundhog's own law that
+//!   cost scales with the *dirtied* state, not the *mapped* state;
 //! - a shared **frame table** ([`frame::FrameTable`]) with reference counts
 //!   so `fork` produces genuine CoW sharing;
 //! - a pool-shared **snapshot store** ([`store::SnapshotStore`]): one
@@ -44,16 +55,21 @@
 //! simulate while remaining *logically byte-exact*.
 
 pub mod addr;
+mod extent;
 pub mod frame;
+pub mod index;
 pub mod pte;
+pub mod runs;
 pub mod space;
 pub mod store;
 pub mod taint;
 pub mod vma;
 
 pub use addr::{PageRange, VirtAddr, Vpn, PAGE_SIZE};
-pub use frame::{FrameData, FrameId, FrameTable};
+pub use frame::{FrameData, FrameId, FrameRuns, FrameTable};
+pub use index::VpnIndex;
 pub use pte::{Pte, PteFlags};
+pub use runs::{runs_from_sorted, runs_intersect, runs_len, runs_subtract, runs_union};
 pub use space::{AccessError, AddressSpace, FaultCounters, LazyPageSource, SpaceConfig, Touch};
 pub use store::{SnapshotStore, StoreHandle, StoreStats};
 pub use taint::{RequestId, Taint};

@@ -14,11 +14,34 @@
 //! The address space does not own frames; all frame operations go through
 //! the machine-wide [`FrameTable`], so `fork` children and snapshots share
 //! frames exactly as processes share physical memory.
+//!
+//! # Extent-based bookkeeping
+//!
+//! The page table is **extent-based** (`crate::extent`): maximal runs
+//! of contiguous present pages sharing one flag value, with per-page
+//! frames in flat chunks. On top of it sit three [`VpnIndex`] bitmaps —
+//! soft-dirty pages, userfaultfd-logged pages, and taint-carrying pages —
+//! so the manager-facing queries scale with the *interesting* pages, not
+//! the mapped address space:
+//!
+//! - [`AddressSpace::soft_dirty_pages`] / `soft_dirty_runs` are
+//!   `O(dirty)` index scans (no pagemap walk);
+//! - [`AddressSpace::clear_soft_dirty`], `arm_uffd_wp`, `disarm_uffd`
+//!   and `mark_all_cow` are `O(extents)` flag transforms (the armed
+//!   steady state is a handful of extents, so re-arming after a request
+//!   that dirtied D pages costs `O(extents + D)`, not `O(present)`);
+//! - [`AddressSpace::tainted_pages`] scans only pages whose frames carry
+//!   request data;
+//! - [`AddressSpace::capture_frame_runs`] hands the snapshotter
+//!   refcounted frame runs in `O(extents)` run metadata plus one incref
+//!   per page — no per-page map construction, no content copies.
 
 use std::collections::BTreeMap;
 
 use crate::addr::{PageRange, VirtAddr, Vpn, PAGE_SIZE};
+use crate::extent::PageTable;
 use crate::frame::{FrameData, FrameId, FrameTable};
+use crate::index::VpnIndex;
 use crate::pte::{Pte, PteFlags};
 use crate::store::StoreHandle;
 use crate::taint::Taint;
@@ -183,16 +206,23 @@ pub struct AddressSpace {
     cfg: SpaceConfig,
     /// VMAs keyed by start vpn; invariant: non-overlapping, each non-empty.
     vmas: BTreeMap<u64, Vma>,
-    /// Page table keyed by vpn; invariant: every present page lies in a VMA.
-    pages: BTreeMap<u64, Pte>,
+    /// Extent-based page table; invariant: every present page lies in a VMA.
+    pt: PageTable,
+    /// Soft-dirty index; invariant: bit set ⇔ present page with
+    /// [`PteFlags::SOFT_DIRTY`].
+    dirty: VpnIndex,
+    /// Pages whose frame carries request taint; invariant: bit set ⇔
+    /// present page whose frame's taint is not `Clean`.
+    tainted: VpnIndex,
     /// Current program break (one past the last heap page).
     brk: Vpn,
     /// Fault accounting.
     counters: FaultCounters,
     /// Userfaultfd write-protect mode armed space-wide.
     uffd_armed: bool,
-    /// Pages reported by userfaultfd since arming.
-    uffd_log: Vec<Vpn>,
+    /// Pages reported by userfaultfd since arming (ascending index; a
+    /// page notifies at most once per arming, so no dedup is needed).
+    uffd_log: VpnIndex,
     /// Pages armed for on-demand restoration (lazy restore mode), keyed
     /// by vpn. A touch of a pending page takes one lazy fault that
     /// installs the snapshot contents before the access proceeds; pages
@@ -220,11 +250,13 @@ impl AddressSpace {
         AddressSpace {
             cfg,
             vmas,
-            pages: BTreeMap::new(),
+            pt: PageTable::new(),
+            dirty: VpnIndex::new(),
+            tainted: VpnIndex::new(),
             brk: cfg.heap_base,
             counters: FaultCounters::default(),
             uffd_armed: false,
-            uffd_log: Vec::new(),
+            uffd_log: VpnIndex::new(),
             lazy_pending: BTreeMap::new(),
             lazy_dropped: 0,
         }
@@ -246,6 +278,11 @@ impl AddressSpace {
             .next_back()
             .map(|(_, v)| v)
             .filter(|v| v.range.contains(vpn))
+    }
+
+    /// All VMAs in address order, borrowed (allocation-free `maps` view).
+    pub fn vmas_iter(&self) -> impl Iterator<Item = &Vma> + '_ {
+        self.vmas.values()
     }
 
     /// All VMAs in address order (a `/proc/pid/maps` read).
@@ -275,7 +312,12 @@ impl AddressSpace {
 
     /// Pages with a present PTE (the RSS).
     pub fn present_pages(&self) -> u64 {
-        self.pages.len() as u64
+        self.pt.len()
+    }
+
+    /// Number of page-table extents (maximal equal-flag runs).
+    pub fn extent_count(&self) -> usize {
+        self.pt.extent_count()
     }
 
     /// Current program break page.
@@ -522,15 +564,9 @@ impl AddressSpace {
     }
 
     fn drop_pages_in(&mut self, range: PageRange, frames: &mut FrameTable) {
-        let vpns: Vec<u64> = self
-            .pages
-            .range(range.start.0..range.end.0)
-            .map(|(&v, _)| v)
-            .collect();
-        for v in vpns {
-            let pte = self.pages.remove(&v).expect("collected key");
-            frames.decref(pte.frame);
-        }
+        self.pt.remove_range(range, |_, frame| frames.decref(frame));
+        self.dirty.clear_range(range);
+        self.tainted.clear_range(range);
         // A dropped mapping takes its deferred-restore obligation with it
         // (matching eager semantics: post-restore madvise/munmap loses
         // the restored contents; the *next* restore re-arms the page via
@@ -582,7 +618,7 @@ impl AddressSpace {
             return Ok(());
         }
         let fresh = Self::fresh_data(vma, vpn);
-        match self.pages.get_mut(&vpn.0) {
+        match self.pt.get(vpn) {
             None => {
                 // Minor fault. Linux marks every newly installed PTE
                 // soft-dirty (Documentation/admin-guide/mm/soft-dirty.rst:
@@ -591,13 +627,15 @@ impl AddressSpace {
                 // Groundhog's restore correctness depends on this.
                 self.counters.minor += 1;
                 let frame = frames.alloc(fresh, Taint::Clean);
-                self.pages
-                    .insert(vpn.0, Pte::present(frame, PteFlags::SOFT_DIRTY));
+                self.pt
+                    .insert(vpn, frame, PteFlags::PRESENT.with(PteFlags::SOFT_DIRTY));
+                self.dirty.set(vpn);
             }
             Some(pte) => {
                 if pte.flags.contains(PteFlags::TLB_COLD) {
                     self.counters.tlb_cold += 1;
-                    pte.flags = pte.flags.without(PteFlags::TLB_COLD);
+                    self.pt
+                        .set_flags(vpn, pte.flags.without(PteFlags::TLB_COLD));
                 } else {
                     self.counters.warm += 1;
                 }
@@ -622,58 +660,81 @@ impl AddressSpace {
             return Ok(());
         }
         let fresh = Self::fresh_data(vma, vpn);
-        match self.pages.get_mut(&vpn.0) {
+        match self.pt.get(vpn) {
             None => {
                 // Write minor fault: page born soft-dirty.
                 self.counters.minor += 1;
                 let frame = frames.alloc(fresh, Taint::Clean);
-                self.pages
-                    .insert(vpn.0, Pte::present(frame, PteFlags::SOFT_DIRTY));
+                self.pt
+                    .insert(vpn, frame, PteFlags::PRESENT.with(PteFlags::SOFT_DIRTY));
+                self.dirty.set(vpn);
             }
             Some(pte) => {
+                let mut frame = pte.frame;
+                let mut flags = pte.flags;
                 let mut faulted = false;
-                if pte.flags.contains(PteFlags::TLB_COLD) {
+                if flags.contains(PteFlags::TLB_COLD) {
                     self.counters.tlb_cold += 1;
-                    pte.flags = pte.flags.without(PteFlags::TLB_COLD);
+                    flags = flags.without(PteFlags::TLB_COLD);
                     faulted = true;
                 }
-                if pte.flags.contains(PteFlags::COW) {
+                if flags.contains(PteFlags::COW) {
                     self.counters.cow += 1;
-                    if frames.is_shared(pte.frame) {
-                        pte.frame = frames.cow_copy(pte.frame);
+                    if frames.is_shared(frame) {
+                        frame = frames.cow_copy(frame);
                     }
-                    pte.flags = pte.flags.without(PteFlags::COW);
+                    flags = flags.without(PteFlags::COW);
                     faulted = true;
                 }
-                if pte.flags.contains(PteFlags::UFFD_WP) {
+                if flags.contains(PteFlags::UFFD_WP) {
                     self.counters.uffd_wp += 1;
-                    self.uffd_log.push(vpn);
-                    pte.flags = pte
-                        .flags
-                        .without(PteFlags::UFFD_WP)
-                        .with(PteFlags::SOFT_DIRTY);
+                    self.uffd_log.set(vpn);
+                    flags = flags.without(PteFlags::UFFD_WP).with(PteFlags::SOFT_DIRTY);
                     faulted = true;
-                } else if pte.flags.contains(PteFlags::SD_WP) {
+                } else if flags.contains(PteFlags::SD_WP) {
                     // One hardware #PF resolves CoW and soft-dirty arming
                     // together: don't double-count when a CoW fault
                     // already fired for this write.
                     if !faulted {
                         self.counters.sd_wp += 1;
                     }
-                    pte.flags = pte
-                        .flags
-                        .without(PteFlags::SD_WP)
-                        .with(PteFlags::SOFT_DIRTY);
+                    flags = flags.without(PteFlags::SD_WP).with(PteFlags::SOFT_DIRTY);
                     faulted = true;
                 } else {
-                    pte.flags |= PteFlags::SOFT_DIRTY;
+                    flags |= PteFlags::SOFT_DIRTY;
                 }
                 if !faulted {
                     self.counters.warm += 1;
                 }
+                // A frame shared *without* a CoW arming is structural
+                // sharing only (an eager snapshot's run capture): the
+                // write silently unshares it — real page-copy work on the
+                // host, but no fault is charged, exactly like the eager
+                // full-copy snapshot it stands in for.
+                if frames.is_shared(frame) {
+                    frame = frames.cow_copy(frame);
+                }
+                if frame != pte.frame {
+                    self.pt.set_frame(vpn, frame);
+                }
+                if flags != pte.flags {
+                    self.pt.set_flags(vpn, flags);
+                }
+                if flags.contains(PteFlags::SOFT_DIRTY) {
+                    self.dirty.set(vpn);
+                }
             }
         }
         Ok(())
+    }
+
+    /// Syncs the tainted-page index bit of `vpn` with its frame's taint.
+    fn sync_taint_bit(&mut self, vpn: Vpn, taint: Taint) {
+        if taint.is_tainted() {
+            self.tainted.set(vpn);
+        } else {
+            self.tainted.clear(vpn);
+        }
     }
 
     /// Performs a page-granular touch (the unit of work function
@@ -689,11 +750,13 @@ impl AddressSpace {
             Touch::Read => self.page_read_access(vpn, frames),
             Touch::WriteWord(val) => {
                 self.page_write_access(vpn, frames)?;
-                let pte = self.pages.get(&vpn.0).expect("just faulted in");
+                let pte = self.pt.get(vpn).expect("just faulted in");
                 // The fault path guarantees a private frame for writes.
                 let (data, t) = frames.data_mut(pte.frame);
                 data.write_word(1, val);
                 *t = t.merge(taint);
+                let merged = *t;
+                self.sync_taint_bit(vpn, merged);
                 Ok(())
             }
         }
@@ -713,7 +776,7 @@ impl AddressSpace {
             self.page_read_access(vpn, frames)?;
             let off = cur.page_offset() as usize;
             let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
-            let pte = self.pages.get(&vpn.0).expect("present after access");
+            let pte = self.pt.get(vpn).expect("present after access");
             frames
                 .data(pte.frame)
                 .read_bytes(off, &mut buf[pos..pos + n]);
@@ -738,10 +801,12 @@ impl AddressSpace {
             self.page_write_access(vpn, frames)?;
             let off = cur.page_offset() as usize;
             let n = ((PAGE_SIZE as usize) - off).min(data.len() - pos);
-            let pte = self.pages.get(&vpn.0).expect("present after access");
+            let pte = self.pt.get(vpn).expect("present after access");
             let (fd, t) = frames.data_mut(pte.frame);
             fd.write_bytes(off, &data[pos..pos + n]);
             *t = t.merge(taint);
+            let merged = *t;
+            self.sync_taint_bit(vpn, merged);
             pos += n;
             cur = cur.add(n as u64);
         }
@@ -771,10 +836,21 @@ impl AddressSpace {
         self.lazy_pending.keys().map(|&v| Vpn(v)).collect()
     }
 
+    /// Still-pending pages coalesced into maximal runs, ascending
+    /// (`O(pending)`).
+    pub fn lazy_pending_runs(&self) -> Vec<PageRange> {
+        crate::runs::runs_from_sorted(self.lazy_pending.keys().copied())
+    }
+
     /// Returns (and resets) the count of obligations discarded by
     /// mapping drops since the last harvest.
     pub fn take_lazy_dropped(&mut self) -> u64 {
         std::mem::take(&mut self.lazy_dropped)
+    }
+
+    /// The unharvested dropped-obligation count, non-destructively.
+    pub fn lazy_dropped(&self) -> u64 {
+        self.lazy_dropped
     }
 
     /// Services the fault of a pending page: installs the snapshot
@@ -795,17 +871,19 @@ impl AddressSpace {
         if let (false, LazyPageSource::Frame(id)) = (for_write, &src) {
             let id = *id;
             frames.incref(id);
-            if let Some(pte) = self.pages.get(&vpn.0) {
-                frames.decref(pte.frame);
+            if let Some(old) = self.pt.remove(vpn) {
+                frames.decref(old);
             }
-            self.pages
-                .insert(vpn.0, Pte::present(id, PteFlags::COW.with(armed)));
+            self.pt
+                .insert(vpn, id, PteFlags::PRESENT.with(PteFlags::COW.with(armed)));
+            self.dirty.clear(vpn);
+            self.sync_taint_bit(vpn, frames.taint(id));
             return;
         }
         let data = src.resolve(frames);
         let flags = if for_write {
             if self.uffd_armed {
-                self.uffd_log.push(vpn);
+                self.uffd_log.set(vpn);
             }
             PteFlags::SOFT_DIRTY
         } else {
@@ -850,8 +928,12 @@ impl AddressSpace {
     ) {
         self.restore_page(vpn, &data, Taint::Clean, frames)
             .expect("pending pages always lie in a VMA");
-        let pte = self.pages.get_mut(&vpn.0).expect("just installed");
-        pte.flags = PteFlags::PRESENT.with(flags);
+        self.pt.set_flags(vpn, PteFlags::PRESENT.with(flags));
+        if flags.contains(PteFlags::SOFT_DIRTY) {
+            self.dirty.set(vpn);
+        } else {
+            self.dirty.clear(vpn);
+        }
     }
 
     // ---------------------------------------------------------------
@@ -861,43 +943,40 @@ impl AddressSpace {
     /// Marks every present page copy-on-write (a CoW snapshot sharing
     /// frames with an observer; the next write to each page copies it).
     /// The caller is responsible for holding references to the frames.
+    /// `O(extents)`.
     pub fn mark_all_cow(&mut self) {
-        for pte in self.pages.values_mut() {
-            pte.flags |= PteFlags::COW;
-        }
+        self.pt.transform_flags(|f| f.with(PteFlags::COW));
     }
 
     /// `echo 4 > /proc/pid/clear_refs`: clears all soft-dirty bits and
     /// write-protects present pages so the next write faults.
+    /// `O(extents)` — the steady state after a request that dirtied `D`
+    /// pages holds `O(initial extents + D)` extents, so re-arming costs
+    /// `O(extents + D)`, never `O(present)`.
     pub fn clear_soft_dirty(&mut self) {
-        for pte in self.pages.values_mut() {
-            pte.flags = pte
-                .flags
-                .without(PteFlags::SOFT_DIRTY)
-                .with(PteFlags::SD_WP);
-        }
+        self.pt
+            .transform_flags(|f| f.without(PteFlags::SOFT_DIRTY).with(PteFlags::SD_WP));
+        self.dirty.clear_all();
     }
 
     /// Arms userfaultfd write-protection on all present pages and starts a
-    /// fresh event log (the UFFD tracking backend of §4.3).
+    /// fresh event log (the UFFD tracking backend of §4.3). `O(extents)`.
     pub fn arm_uffd_wp(&mut self) {
         self.uffd_armed = true;
-        self.uffd_log.clear();
-        for pte in self.pages.values_mut() {
-            pte.flags = pte
-                .flags
-                .with(PteFlags::UFFD_WP)
-                .without(PteFlags::SOFT_DIRTY);
-        }
+        self.uffd_log.clear_all();
+        self.pt
+            .transform_flags(|f| f.with(PteFlags::UFFD_WP).without(PteFlags::SOFT_DIRTY));
+        self.dirty.clear_all();
     }
 
-    /// Disarms userfaultfd mode, returning the logged dirty pages.
+    /// Disarms userfaultfd mode, returning the logged dirty pages
+    /// (ascending). `O(extents + logged)`.
     pub fn disarm_uffd(&mut self) -> Vec<Vpn> {
         self.uffd_armed = false;
-        for pte in self.pages.values_mut() {
-            pte.flags = pte.flags.without(PteFlags::UFFD_WP);
-        }
-        std::mem::take(&mut self.uffd_log)
+        self.pt.transform_flags(|f| f.without(PteFlags::UFFD_WP));
+        let log = self.uffd_log.to_vec();
+        self.uffd_log.clear_all();
+        log
     }
 
     /// True if userfaultfd mode is armed.
@@ -905,24 +984,46 @@ impl AddressSpace {
         self.uffd_armed
     }
 
-    /// Scans the page table (a `/proc/pid/pagemap` walk) and returns the
-    /// soft-dirty pages in ascending order.
+    /// The soft-dirty pages in ascending order — an `O(dirty)` index
+    /// scan, not a pagemap walk.
     pub fn soft_dirty_pages(&self) -> Vec<Vpn> {
-        self.pages
-            .iter()
-            .filter(|(_, pte)| pte.soft_dirty())
-            .map(|(&v, _)| Vpn(v))
-            .collect()
+        self.dirty.to_vec()
+    }
+
+    /// The soft-dirty pages coalesced into maximal runs, ascending.
+    /// `O(dirty)`.
+    pub fn soft_dirty_runs(&self) -> Vec<PageRange> {
+        self.dirty.runs()
+    }
+
+    /// Work units a [`AddressSpace::soft_dirty_pages`] scan performs
+    /// (index groups + leaves + set bits). Depends only on the dirty set
+    /// and its spread — **never** on the mapped or present page count;
+    /// the O(dirty) counter tests assert on this.
+    pub fn soft_dirty_scan_work(&self) -> u64 {
+        self.dirty.scan_work()
     }
 
     /// Iterates `(vpn, pte)` over present pages in ascending order.
-    pub fn pagemap(&self) -> impl Iterator<Item = (Vpn, &Pte)> + '_ {
-        self.pages.iter().map(|(&v, pte)| (Vpn(v), pte))
+    pub fn pagemap(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
+        self.pt.iter()
+    }
+
+    /// Iterates the page-table extents as `(range, flags)` in address
+    /// order. `O(extents)`.
+    pub fn extents(&self) -> impl Iterator<Item = (PageRange, PteFlags)> + '_ {
+        self.pt.extents()
+    }
+
+    /// Present pages coalesced into maximal runs irrespective of flags.
+    /// `O(extents)`.
+    pub fn present_runs(&self) -> Vec<PageRange> {
+        self.pt.present_runs()
     }
 
     /// Looks up the PTE of `vpn`.
-    pub fn pte(&self, vpn: Vpn) -> Option<&Pte> {
-        self.pages.get(&vpn.0)
+    pub fn pte(&self, vpn: Vpn) -> Option<Pte> {
+        self.pt.get(vpn)
     }
 
     // ---------------------------------------------------------------
@@ -932,9 +1033,35 @@ impl AddressSpace {
     /// Reads one word from a present page without fault accounting (the
     /// manager reading memory via `process_vm_readv`/ptrace).
     pub fn peek_word(&self, vpn: Vpn, word_index: usize, frames: &FrameTable) -> Option<u64> {
-        self.pages
-            .get(&vpn.0)
+        self.pt
+            .get(vpn)
             .map(|pte| frames.data(pte.frame).read_word(word_index))
+    }
+
+    /// The present pages as `(run start, frames)` runs, **without**
+    /// taking references — the read-only view store interning captures
+    /// from. `O(extents)` run metadata plus one id copy per page.
+    pub fn present_frame_runs(&self) -> Vec<(Vpn, Vec<FrameId>)> {
+        self.pt
+            .present_runs()
+            .into_iter()
+            .map(|range| (range.start, self.pt.frames_in(range).collect()))
+            .collect()
+    }
+
+    /// Captures the present pages as refcounted frame runs: one incref
+    /// per page, `O(extents)` run metadata, **no content copies** — the
+    /// snapshotter's run-based capture path. The caller owns the
+    /// returned references and must decref them when the capture is
+    /// released.
+    pub fn capture_frame_runs(&self, frames: &mut FrameTable) -> Vec<(Vpn, Vec<FrameId>)> {
+        let out = self.present_frame_runs();
+        for (_, run) in &out {
+            for &id in run {
+                frames.incref(id);
+            }
+        }
+        out
     }
 
     /// Overwrites a whole page with `data`, bypassing fault accounting
@@ -951,28 +1078,38 @@ impl AddressSpace {
         if self.vma_at(vpn).is_none() {
             return Err(AccessError::Unmapped(vpn));
         }
-        match self.pages.get_mut(&vpn.0) {
+        match self.pt.get(vpn) {
             Some(pte) => {
                 if frames.is_shared(pte.frame) {
-                    pte.frame = frames.cow_copy(pte.frame);
-                    pte.flags = pte.flags.without(PteFlags::COW);
+                    // The whole page is being overwritten: allocate the
+                    // private frame directly instead of CoW-copying
+                    // contents the overwrite would immediately discard.
+                    // Hot since eager snapshots structurally share every
+                    // captured frame — this fires once per restored page.
+                    frames.decref(pte.frame);
+                    let frame = frames.alloc(data.clone(), taint);
+                    self.pt.set_frame(vpn, frame);
+                    self.pt.set_flags(vpn, pte.flags.without(PteFlags::COW));
+                } else {
+                    frames.overwrite(pte.frame, data.clone(), taint);
                 }
-                frames.overwrite(pte.frame, data.clone(), taint);
             }
             None => {
                 let frame = frames.alloc(data.clone(), taint);
-                self.pages
-                    .insert(vpn.0, Pte::present(frame, PteFlags::empty()));
+                self.pt.insert(vpn, frame, PteFlags::PRESENT);
             }
         }
+        self.sync_taint_bit(vpn, taint);
         Ok(())
     }
 
     /// Removes the PTE of `vpn`, releasing its frame (restorer dropping a
     /// newly paged page via `madvise`).
     pub fn evict_page(&mut self, vpn: Vpn, frames: &mut FrameTable) {
-        if let Some(pte) = self.pages.remove(&vpn.0) {
-            frames.decref(pte.frame);
+        if let Some(frame) = self.pt.remove(vpn) {
+            frames.decref(frame);
+            self.dirty.clear(vpn);
+            self.tainted.clear(vpn);
         }
     }
 
@@ -984,9 +1121,12 @@ impl AddressSpace {
     /// Releases every frame (process teardown). The space is unusable
     /// afterwards.
     pub fn release_all(&mut self, frames: &mut FrameTable) {
-        for (_, pte) in std::mem::take(&mut self.pages) {
+        for (_, pte) in self.pt.iter() {
             frames.decref(pte.frame);
         }
+        self.pt = PageTable::new();
+        self.dirty.clear_all();
+        self.tainted.clear_all();
         self.vmas.clear();
         // Teardown discards outstanding obligations like any other
         // mapping drop, keeping the page-work conservation law exact
@@ -1003,30 +1143,25 @@ impl AddressSpace {
     /// pages become shared CoW in **both** parent and child, and the child
     /// is fully TLB-cold.
     pub fn fork(&mut self, frames: &mut FrameTable) -> AddressSpace {
-        let mut child_pages = BTreeMap::new();
-        for (&vpn, pte) in self.pages.iter_mut() {
+        // Writable private pages become CoW on both sides. (Read-only
+        // pages can stay shared without COW, but marking them is
+        // harmless: the write path checks VMA perms first.)
+        self.pt.transform_flags(|f| f.with(PteFlags::COW));
+        let mut child_pt = self.pt.clone();
+        child_pt.transform_flags(|f| f.with(PteFlags::TLB_COLD));
+        for (_, pte) in child_pt.iter() {
             frames.incref(pte.frame);
-            // Writable private pages become CoW on both sides. (Read-only
-            // pages can stay shared without COW, but marking them is
-            // harmless: the write path checks VMA perms first.)
-            pte.flags |= PteFlags::COW;
-            let child_flags = pte.flags.with(PteFlags::TLB_COLD);
-            child_pages.insert(
-                vpn,
-                Pte {
-                    frame: pte.frame,
-                    flags: child_flags,
-                },
-            );
         }
         AddressSpace {
             cfg: self.cfg,
             vmas: self.vmas.clone(),
-            pages: child_pages,
+            pt: child_pt,
+            dirty: self.dirty.clone(),
+            tainted: self.tainted.clone(),
             brk: self.brk,
             counters: FaultCounters::default(),
             uffd_armed: false,
-            uffd_log: Vec::new(),
+            uffd_log: VpnIndex::new(),
             // Lazy arming is per-manager state; a forked child starts
             // with no pending restorations (FORK isolation never layers
             // on a Groundhog manager).
@@ -1039,18 +1174,25 @@ impl AddressSpace {
     // Taint scanning (test support)
     // ---------------------------------------------------------------
 
-    /// Scans all present frames and returns pages whose taint may contain
-    /// `req`.
+    /// Pages whose taint may contain `req` — an `O(tainted)` index scan:
+    /// only pages whose frames carry *any* request data are visited.
     pub fn tainted_pages(&self, req: crate::taint::RequestId, frames: &FrameTable) -> Vec<Vpn> {
-        self.pages
+        self.tainted
             .iter()
-            .filter(|(_, pte)| frames.taint(pte.frame).may_contain(req))
-            .map(|(&v, _)| Vpn(v))
+            .filter(|vpn| {
+                self.pt
+                    .get(*vpn)
+                    .is_some_and(|pte| frames.taint(pte.frame).may_contain(req))
+            })
             .collect()
     }
 
     /// Debug invariant check: VMAs are sorted, non-overlapping and
-    /// non-empty, and every present page lies in some VMA.
+    /// non-empty; the extent table is structurally sound (sorted,
+    /// disjoint, *maximal* — no adjacent mergeable extents — with chunk
+    /// occupancy matching coverage); every present page lies in some
+    /// VMA; and the dirty/taint indices agree bit-for-bit with the page
+    /// state they cache.
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut prev_end = 0u64;
         for (&start, vma) in &self.vmas {
@@ -1065,9 +1207,29 @@ impl AddressSpace {
             }
             prev_end = vma.range.end.0;
         }
-        for &vpn in self.pages.keys() {
-            if self.vma_at(Vpn(vpn)).is_none() {
-                return Err(format!("present page {vpn:#x} outside any vma"));
+        self.pt.check()?;
+        for (range, flags) in self.pt.extents() {
+            for vpn in range.iter() {
+                if self.vma_at(vpn).is_none() {
+                    return Err(format!("present page {:#x} outside any vma", vpn.0));
+                }
+                // Index ⇔ flag agreement, both directions.
+                if flags.contains(PteFlags::SOFT_DIRTY) != self.dirty.contains(vpn) {
+                    return Err(format!(
+                        "dirty index bit for {:#x} disagrees with SOFT_DIRTY flag",
+                        vpn.0
+                    ));
+                }
+            }
+        }
+        for vpn in self.dirty.iter() {
+            if !self.pt.contains(vpn) {
+                return Err(format!("dirty index bit for absent page {:#x}", vpn.0));
+            }
+        }
+        for vpn in self.tainted.iter() {
+            if !self.pt.contains(vpn) {
+                return Err(format!("tainted index bit for absent page {:#x}", vpn.0));
             }
         }
         for &vpn in self.lazy_pending.keys() {
@@ -1077,8 +1239,23 @@ impl AddressSpace {
         }
         Ok(())
     }
-}
 
+    /// Like [`AddressSpace::check_invariants`], but additionally verifies
+    /// the taint index against the frame table (bit set ⇔ frame taint
+    /// non-clean). Separate because it needs the frame table.
+    pub fn check_invariants_with_frames(&self, frames: &FrameTable) -> Result<(), String> {
+        self.check_invariants()?;
+        for (vpn, pte) in self.pt.iter() {
+            if frames.taint(pte.frame).is_tainted() != self.tainted.contains(vpn) {
+                return Err(format!(
+                    "tainted index bit for {:#x} disagrees with frame taint",
+                    vpn.0
+                ));
+            }
+        }
+        Ok(())
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;

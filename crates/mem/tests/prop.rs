@@ -118,6 +118,113 @@ fn invariants_hold_under_random_ops() {
     }
 }
 
+/// The extent/index invariants hold under every interleaving of VMA
+/// churn, faults, tracking epochs, uffd arming, CoW marking and lazy
+/// restore obligations: extents stay sorted/maximal, chunk occupancy
+/// matches coverage, and the dirty/taint index bits agree bit-for-bit
+/// with page state (`check_invariants_with_frames` verifies all of it).
+#[test]
+fn extent_and_index_invariants_hold_under_tracking_churn() {
+    use gh_mem::{FrameData, LazyPageSource, RequestId};
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0x00EC_7E17 ^ case);
+        let n_ops = 1 + rng.next_below(119) as usize;
+        let mut frames = FrameTable::new();
+        let mut space = AddressSpace::new(SpaceConfig::default(), &mut frames);
+        let heap_base = space.config().heap_base;
+        for op in 0..n_ops {
+            match rng.next_below(12) {
+                0 => {
+                    let _ = space.mmap(1 + rng.next_below(31), Perms::RW, VmaKind::Anon);
+                }
+                1 => {
+                    if let Some(vpn) = pick_page(&space, rng.next_u64() as usize) {
+                        let _ =
+                            space.munmap(PageRange::at(vpn, 1 + rng.next_below(7)), &mut frames);
+                    }
+                }
+                2 => {
+                    let cur = space.brk().0 as i64;
+                    let new = (cur + rng.next_below(80) as i64 - 16).max(heap_base.0 as i64);
+                    let _ = space.set_brk(Vpn(new as u64), &mut frames);
+                }
+                3 | 4 => {
+                    if let Some(vpn) = pick_page(&space, rng.next_u64() as usize) {
+                        let taint = match rng.next_below(3) {
+                            0 => Taint::Clean,
+                            n => Taint::One(RequestId(n)),
+                        };
+                        let _ = space.touch(vpn, Touch::WriteWord(op as u64), taint, &mut frames);
+                    }
+                }
+                5 => {
+                    if let Some(vpn) = pick_page(&space, rng.next_u64() as usize) {
+                        let _ = space.touch(vpn, Touch::Read, Taint::Clean, &mut frames);
+                    }
+                }
+                6 => {
+                    if let Some(vpn) = pick_page(&space, rng.next_u64() as usize) {
+                        let _ = space.madvise_dontneed(
+                            PageRange::at(vpn, 1 + rng.next_below(7)),
+                            &mut frames,
+                        );
+                    }
+                }
+                7 => space.clear_soft_dirty(),
+                8 => {
+                    if space.uffd_armed() {
+                        let _ = space.disarm_uffd();
+                    } else {
+                        space.arm_uffd_wp();
+                    }
+                }
+                9 => {
+                    if let Some(vpn) = pick_page(&space, rng.next_u64() as usize) {
+                        let set: std::collections::BTreeMap<u64, LazyPageSource> =
+                            PageRange::at(vpn, 1 + rng.next_below(6))
+                                .iter()
+                                .filter(|v| space.vma_at(*v).is_some())
+                                .map(|v| (v.0, LazyPageSource::Data(FrameData::Pattern(v.0))))
+                                .collect();
+                        space.arm_lazy(set);
+                    }
+                }
+                10 => {
+                    let _ = space.drain_lazy(rng.next_below(5), &mut frames);
+                }
+                _ => {
+                    // Restore-path privileged write, then occasionally a
+                    // fork/teardown round (the heaviest flag transform).
+                    if let Some(vpn) = pick_page(&space, rng.next_u64() as usize) {
+                        let _ = space.restore_page(
+                            vpn,
+                            &FrameData::Pattern(rng.next_u64()),
+                            Taint::Clean,
+                            &mut frames,
+                        );
+                    }
+                    if rng.next_below(4) == 0 {
+                        let mut child = space.fork(&mut frames);
+                        if let Some(vpn) = pick_page(&child, rng.next_u64() as usize) {
+                            let _ =
+                                child.touch(vpn, Touch::WriteWord(1), Taint::Clean, &mut frames);
+                        }
+                        child
+                            .check_invariants_with_frames(&frames)
+                            .unwrap_or_else(|e| panic!("case {case} op {op} (child): {e}"));
+                        child.release_all(&mut frames);
+                    }
+                }
+            }
+            space
+                .check_invariants_with_frames(&frames)
+                .unwrap_or_else(|e| panic!("case {case} op {op}: {e}"));
+        }
+        space.release_all(&mut frames);
+        assert_eq!(frames.live(), 0, "case {case}: teardown leak");
+    }
+}
+
 /// Soft-dirty tracking is exact: after a clear, the dirty set equals
 /// precisely the set of pages written afterwards.
 #[test]

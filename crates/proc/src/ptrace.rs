@@ -162,8 +162,25 @@ impl<'k> PtraceSession<'k> {
         Ok(maps)
     }
 
+    /// The page-metadata footprint of the tracee right now, for
+    /// [`CostModel`](gh_sim::CostModel) charging.
+    fn scan_shape(&self, dirty_pages: u64) -> Result<gh_sim::ScanShape, PtraceError> {
+        let proc = self.k.process(self.pid)?;
+        Ok(gh_sim::ScanShape {
+            mapped_pages: proc.mem.mapped_pages(),
+            vmas: proc.mem.vma_count(),
+            extents: proc.mem.extent_count() as u64,
+            dirty_pages,
+        })
+    }
+
     /// Scans `/proc/pid/pagemap` over the whole mapped address space;
     /// charges the per-PTE scan cost and returns present pages.
+    ///
+    /// This is the legacy per-page interface (kept for the differential
+    /// oracles and tests); production paths use
+    /// [`PtraceSession::dirty_scan`], whose host-side work is
+    /// `O(dirty + extents)`.
     pub fn pagemap_scan(&mut self) -> Result<Vec<PagemapEntry>, PtraceError> {
         let proc = self.k.process(self.pid)?;
         let mapped = proc.mem.mapped_pages();
@@ -181,12 +198,39 @@ impl<'k> PtraceSession<'k> {
         Ok(entries)
     }
 
-    /// `echo 4 > /proc/pid/clear_refs`; charges per-mapped-page cost.
+    /// Collects the soft-dirty pages plus the present-page runs in one
+    /// pass — the run-based replacement for [`PtraceSession::pagemap_scan`].
+    /// Host-side work is `O(dirty + extents)`; the simulated charge
+    /// follows the kernel's [`ChargeModel`](gh_sim::ChargeModel): under
+    /// paper-parity charging it is exactly the full pagemap walk the
+    /// legacy interface charged, so virtual timelines are bit-identical.
+    pub fn dirty_scan(&mut self) -> Result<(Vec<Vpn>, Vec<gh_mem::PageRange>), PtraceError> {
+        let proc = self.k.process(self.pid)?;
+        let dirty = proc.mem.soft_dirty_pages();
+        let present_runs = proc.mem.present_runs();
+        let shape = self.scan_shape(dirty.len() as u64)?;
+        let dt = self.k.cost.dirty_scan_cost(shape);
+        self.k.charge(dt);
+        Ok((dirty, present_runs))
+    }
+
+    /// Captures the present pages as refcounted frame runs (the
+    /// snapshotter's run-based capture). No cost charged here: the
+    /// snapshotter charges the mode-dependent capture cost.
+    pub fn capture_frame_runs(&mut self) -> Result<Vec<(Vpn, Vec<gh_mem::FrameId>)>, PtraceError> {
+        let (proc, frames) = self.k.mem_ctx(self.pid)?;
+        Ok(proc.mem.capture_frame_runs(frames))
+    }
+
+    /// `echo 4 > /proc/pid/clear_refs`; charged per the kernel's
+    /// [`ChargeModel`](gh_sim::ChargeModel) (per mapped page under paper
+    /// parity, per extent under extent charging). Host-side work is
+    /// `O(extents + dirty)` either way.
     pub fn clear_soft_dirty(&mut self) -> Result<Nanos, PtraceError> {
+        let shape = self.scan_shape(0)?;
         let (proc, _) = self.k.mem_ctx(self.pid)?;
-        let mapped = proc.mem.mapped_pages();
         proc.mem.clear_soft_dirty();
-        let dt = self.k.cost.clear_sd_cost(mapped);
+        let dt = self.k.cost.rearm_cost(shape);
         self.k.charge(dt);
         Ok(dt)
     }
@@ -194,10 +238,10 @@ impl<'k> PtraceSession<'k> {
     /// Arms userfaultfd write-protection over all present pages (the UFFD
     /// tracking backend, §4.3); charged like a `clear_refs` pass.
     pub fn arm_uffd(&mut self) -> Result<(), PtraceError> {
+        let shape = self.scan_shape(0)?;
         let (proc, _) = self.k.mem_ctx(self.pid)?;
-        let mapped = proc.mem.mapped_pages();
         proc.mem.arm_uffd_wp();
-        let dt = self.k.cost.clear_sd_cost(mapped);
+        let dt = self.k.cost.rearm_cost(shape);
         self.k.charge(dt);
         Ok(())
     }

@@ -19,6 +19,43 @@ use crate::time::Nanos;
 /// Number of bytes in a simulated page (fixed at the Linux default).
 pub const PAGE_SIZE: usize = 4096;
 
+/// How page-metadata primitives (pagemap scans, `clear_refs`, snapshot
+/// capture) are charged.
+///
+/// The paper's implementation walks `/proc/pid/pagemap` and `clear_refs`
+/// page by page, so their cost scales with the *mapped* address space —
+/// that is [`ChargeModel::PerMappedPage`], the default, and the mode all
+/// paper figures are generated under. [`ChargeModel::ExtentDirty`]
+/// instead models extent-granular kernel interfaces (a
+/// `PAGEMAP_SCAN`-style ioctl returning dirty runs, range-batched
+/// write-protection): scans charge per extent visited plus per dirty
+/// page reported, and snapshot capture charges per extent plus one
+/// reference per present page. Select it with
+/// `GH_CHARGE_MODEL=extent` or by setting
+/// [`CostModel::charge_model`] directly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ChargeModel {
+    /// Paper parity: pagemap walk / `clear_refs` cost ∝ mapped pages.
+    #[default]
+    PerMappedPage,
+    /// Extent-granular interfaces: cost ∝ extents + dirty pages.
+    ExtentDirty,
+}
+
+/// The page-metadata footprint of one scan/capture operation, as seen by
+/// whichever [`ChargeModel`] is active.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScanShape {
+    /// Pages covered by VMAs (the paper-mode walk length).
+    pub mapped_pages: u64,
+    /// Mapped regions (per-region seek overhead in both modes).
+    pub vmas: usize,
+    /// Page-table extents (the extent-mode walk length).
+    pub extents: u64,
+    /// Dirty pages reported (extent-mode per-result cost).
+    pub dirty_pages: u64,
+}
+
 /// Calibrated per-operation costs for the simulated kernel and Groundhog's
 /// user-space work.
 ///
@@ -94,6 +131,19 @@ pub struct CostModel {
     pub clear_sd_base: Nanos,
     /// Resetting soft-dirty bits, per mapped page.
     pub clear_sd_per_page: Nanos,
+
+    // ----- Extent-granular charging ([`ChargeModel::ExtentDirty`]) -----
+    /// Which charging mode the scan/capture primitives use.
+    pub charge_model: ChargeModel,
+    /// Visiting one page-table extent during a dirty scan (the per-range
+    /// descriptor of a `PAGEMAP_SCAN`-style ioctl).
+    pub scan_extent: Nanos,
+    /// Reporting one dirty page from a dirty scan.
+    pub scan_dirty_page: Nanos,
+    /// Re-protecting one extent during a range-batched `clear_refs`.
+    pub clear_sd_extent: Nanos,
+    /// Capturing one extent run during snapshot (run registration).
+    pub snapshot_per_extent: Nanos,
 
     // ----- Memory restoration (off critical path, Fig. 8) -----
     /// Copying one page back from the snapshot, when restored individually.
@@ -180,8 +230,18 @@ impl Default for CostModel {
     /// 2x kernel-primitive slowdown end-to-end, which the gate must
     /// detect against `results/baseline.json`. Unset (the default, and
     /// always in tests) this is exactly the calibration.
+    ///
+    /// `GH_CHARGE_MODEL=extent` additionally switches scan/capture
+    /// charging to [`ChargeModel::ExtentDirty`]; unset (or `paper`) keeps
+    /// the per-mapped-page charging every paper figure is generated
+    /// under.
     fn default() -> Self {
-        let m = Self::calibrated();
+        let mut m = Self::calibrated();
+        if let Ok(v) = std::env::var("GH_CHARGE_MODEL") {
+            if v.eq_ignore_ascii_case("extent") {
+                m.charge_model = ChargeModel::ExtentDirty;
+            }
+        }
         match std::env::var("GH_COST_SCALE")
             .ok()
             .and_then(|v| v.parse::<f64>().ok())
@@ -221,6 +281,15 @@ impl CostModel {
             diff_per_vma: Nanos::from_nanos(600),
             clear_sd_base: Nanos::from_micros(30),
             clear_sd_per_page: Nanos::from_nanos(25),
+
+            // Extent-granular charging. Calibrated so that at typical
+            // extent counts (tens) the fixed work is negligible and the
+            // scan cost is dominated by the dirty pages it reports.
+            charge_model: ChargeModel::PerMappedPage,
+            scan_extent: Nanos::from_nanos(250),
+            scan_dirty_page: Nanos::from_nanos(80),
+            clear_sd_extent: Nanos::from_nanos(300),
+            snapshot_per_extent: Nanos::from_nanos(400),
 
             // Memory restoration.
             restore_page_copy: Nanos::from_nanos(2_600),
@@ -300,6 +369,10 @@ impl CostModel {
             &mut m.diff_per_vma,
             &mut m.clear_sd_base,
             &mut m.clear_sd_per_page,
+            &mut m.scan_extent,
+            &mut m.scan_dirty_page,
+            &mut m.clear_sd_extent,
+            &mut m.snapshot_per_extent,
             &mut m.restore_page_copy,
             &mut m.coalesced_run_setup,
             &mut m.coalesced_page_copy,
@@ -354,6 +427,53 @@ impl CostModel {
     /// contiguous region).
     pub fn scan_cost(&self, mapped_pages: u64) -> Nanos {
         self.scan_pte * mapped_pages
+    }
+
+    /// Cost of one dirty-page collection scan, per the active
+    /// [`ChargeModel`]: a full pagemap walk (∝ mapped pages) under
+    /// [`ChargeModel::PerMappedPage`], or a `PAGEMAP_SCAN`-style
+    /// extent walk (∝ extents + dirty pages reported) under
+    /// [`ChargeModel::ExtentDirty`].
+    pub fn dirty_scan_cost(&self, s: ScanShape) -> Nanos {
+        match self.charge_model {
+            ChargeModel::PerMappedPage => self.scan_cost_vmas(s.mapped_pages, s.vmas),
+            ChargeModel::ExtentDirty => {
+                self.scan_per_vma * s.vmas as u64
+                    + self.scan_extent * s.extents
+                    + self.scan_dirty_page * s.dirty_pages
+            }
+        }
+    }
+
+    /// Cost of re-arming soft-dirty tracking (`clear_refs`), per the
+    /// active [`ChargeModel`].
+    pub fn rearm_cost(&self, s: ScanShape) -> Nanos {
+        match self.charge_model {
+            ChargeModel::PerMappedPage => self.clear_sd_cost(s.mapped_pages),
+            ChargeModel::ExtentDirty => self.clear_sd_base + self.clear_sd_extent * s.extents,
+        }
+    }
+
+    /// Cost of capturing snapshot page contents, per the active
+    /// [`ChargeModel`]. `by_reference` is true for capture paths that
+    /// take refcounted references instead of copying contents (eager
+    /// run capture, §5.5 CoW).
+    pub fn snapshot_capture_cost(&self, present: u64, s: ScanShape, by_reference: bool) -> Nanos {
+        let per_page = if by_reference {
+            self.snapshot_cow_ref
+        } else {
+            self.snapshot_per_present_page
+        };
+        match self.charge_model {
+            ChargeModel::PerMappedPage => {
+                self.snapshot_base
+                    + per_page * present
+                    + self.snapshot_per_mapped_page * s.mapped_pages
+            }
+            ChargeModel::ExtentDirty => {
+                self.snapshot_base + per_page * present + self.snapshot_per_extent * s.extents
+            }
+        }
     }
 
     /// Cost of diffing two memory layouts of `vmas` mappings.
@@ -542,9 +662,9 @@ mod tests {
     #[test]
     fn scaled_covers_every_time_constant() {
         // The flat Debug rendering has one `: ` per field; everything
-        // except the ratio fields must be in the scaling list, so a new
-        // Nanos constant that skips `nanos_fields_mut` fails here.
-        const RATIO_FIELDS: usize = 1; // nodejs_refactor_mult
+        // except the non-time fields must be in the scaling list, so a
+        // new Nanos constant that skips `nanos_fields_mut` fails here.
+        const RATIO_FIELDS: usize = 2; // nodejs_refactor_mult, charge_model
         let mut m = CostModel::calibrated();
         let listed = m.nanos_fields_mut().len();
         let total = format!("{m:?}").matches(": ").count();
@@ -568,6 +688,44 @@ mod tests {
             s.restore_pages_cost(100, 4),
             m.restore_pages_cost(100, 4) * 2
         );
+    }
+
+    #[test]
+    fn extent_charging_scales_with_dirty_not_mapped() {
+        // The tentpole claim at the cost-model level: under extent
+        // charging, a scan over a 1M-page space with 1% dirty costs
+        // what its extents + dirty set cost — orders of magnitude below
+        // the per-mapped-page walk — and is invariant in mapped size.
+        let paper = CostModel::calibrated();
+        let mut extent = CostModel::calibrated();
+        extent.charge_model = ChargeModel::ExtentDirty;
+        let big = ScanShape {
+            mapped_pages: 1 << 20,
+            vmas: 10,
+            extents: 40,
+            dirty_pages: 10_000,
+        };
+        let small = ScanShape {
+            mapped_pages: 1 << 14,
+            ..big
+        };
+        assert!(extent.dirty_scan_cost(big) * 50 < paper.dirty_scan_cost(big));
+        assert_eq!(
+            extent.dirty_scan_cost(big),
+            extent.dirty_scan_cost(small),
+            "extent charging must not see the mapped size"
+        );
+        assert!(extent.rearm_cost(big) * 50 < paper.rearm_cost(big));
+        assert!(
+            extent.snapshot_capture_cost(big.mapped_pages, big, true) * 5
+                < paper.snapshot_capture_cost(big.mapped_pages, big, false)
+        );
+        // Paper mode is byte-for-byte the legacy formulas.
+        assert_eq!(
+            paper.dirty_scan_cost(big),
+            paper.scan_cost_vmas(big.mapped_pages, big.vmas)
+        );
+        assert_eq!(paper.rearm_cost(big), paper.clear_sd_cost(big.mapped_pages));
     }
 
     #[test]

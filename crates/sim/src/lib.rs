@@ -24,7 +24,7 @@ pub mod stats;
 pub mod time;
 
 pub use clock::VirtualClock;
-pub use cost::CostModel;
+pub use cost::{ChargeModel, CostModel, ScanShape};
 pub use rng::DetRng;
 pub use stats::Summary;
 pub use time::Nanos;
