@@ -133,5 +133,80 @@ fn bench_scan_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_backends, bench_scan_scaling);
+/// Batched vs per-page touch execution: the request executor's shape
+/// (strided writes + read sweep) applied through `touch` one page at a
+/// time versus one `TouchBatch` cursor walk, in the warm steady state
+/// and with a soft-dirty re-arm before every application (the Groundhog
+/// per-request cycle). The `scaling_touch_*` gate in `bench_smoke`
+/// tracks the same ratio; this group gives criterion-grade curves.
+fn bench_touch_batch(c: &mut Criterion) {
+    use gh_mem::{RequestId, TouchBatch};
+    const DIRTY: u64 = PAGES / 3;
+    for rearm in [false, true] {
+        let mut group = c.benchmark_group(if rearm {
+            "touch_batch_armed"
+        } else {
+            "touch_batch_warm"
+        });
+        group.sample_size(10);
+        // Per-page loop.
+        let (mut kernel, pid, start) = build();
+        group.bench_function("loop", |b| {
+            b.iter(|| {
+                if rearm {
+                    kernel.process_mut(pid).unwrap().mem.clear_soft_dirty();
+                }
+                kernel
+                    .run_charged(pid, |p, frames| {
+                        for i in 0..DIRTY {
+                            let _ = p.mem.touch(
+                                Vpn(start.0 + i * 3),
+                                Touch::WriteWord(i),
+                                Taint::One(RequestId(1)),
+                                frames,
+                            );
+                        }
+                        for i in 0..PAGES {
+                            let _ =
+                                p.mem
+                                    .touch(Vpn(start.0 + i), Touch::Read, Taint::Clean, frames);
+                        }
+                    })
+                    .unwrap();
+            })
+        });
+        // Batched.
+        let (mut kernel, pid, start) = build();
+        let mut batch = TouchBatch::with_capacity(PAGES as usize);
+        group.bench_function("batch", |b| {
+            b.iter(|| {
+                if rearm {
+                    kernel.process_mut(pid).unwrap().mem.clear_soft_dirty();
+                }
+                batch.clear();
+                for i in 0..DIRTY {
+                    batch.push(
+                        Vpn(start.0 + i * 3),
+                        Touch::WriteWord(i),
+                        Taint::One(RequestId(1)),
+                    );
+                }
+                kernel.touch_batch_charged(pid, &batch).unwrap();
+                batch.clear();
+                for i in 0..PAGES {
+                    batch.push(Vpn(start.0 + i), Touch::Read, Taint::Clean);
+                }
+                black_box(kernel.touch_batch_charged(pid, &batch).unwrap());
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_backends,
+    bench_scan_scaling,
+    bench_touch_batch
+);
 criterion_main!(benches);

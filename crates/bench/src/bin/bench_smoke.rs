@@ -203,6 +203,46 @@ fn collect() -> Vec<Metric> {
             });
         }
     }
+
+    // Batched-touch scaling family: loop/batch wall-clock ratios of the
+    // request executor's touch shape at a 64k-touch batch (tentpole
+    // acceptance: ≥5x; capped at 8 like the other scaling ratios so the
+    // gate tracks the floor, not jitter in the typical value). The rig
+    // asserts counter equality between both paths, so a semantic
+    // regression fails the run outright before the gate even looks.
+    let touch = gh_bench::touch_scaling::run();
+    println!("\n== scaling_touch — batched touch path vs per-page loop ==\n");
+    let ttable = gh_bench::touch_scaling::render(&touch);
+    println!("{}", ttable.render());
+    gh_bench::write_csv("scaling_touch", &ttable);
+    println!(
+        "touch_batch speedup at {} touches: warm {:.1}x, re-armed {:.1}x\n",
+        touch.touches,
+        touch.warm_speedup(),
+        touch.armed_speedup()
+    );
+    out.push(Metric {
+        key: "scaling_touch_warm_speedup_64k",
+        value: touch.warm_speedup().min(8.0),
+        higher_is_better: true,
+    });
+    out.push(Metric {
+        key: "scaling_touch_armed_speedup_64k",
+        value: touch.armed_speedup().min(8.0),
+        higher_is_better: true,
+    });
+    for (key, ns) in [
+        ("info_touch_warm_loop_ns_per_touch", touch.warm_loop_ns),
+        ("info_touch_warm_batch_ns_per_touch", touch.warm_batch_ns),
+        ("info_touch_armed_loop_ns_per_touch", touch.armed_loop_ns),
+        ("info_touch_armed_batch_ns_per_touch", touch.armed_batch_ns),
+    ] {
+        out.push(Metric {
+            key,
+            value: ns / touch.touches as f64,
+            higher_is_better: false,
+        });
+    }
     out
 }
 

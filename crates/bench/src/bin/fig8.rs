@@ -174,27 +174,35 @@ fn lazy_sweep() {
     ];
     let mut table = TextTable::new(&headers);
     let mut csv = TextTable::new(&headers);
-    for &density in densities {
-        let eager =
-            MicroRig::build_cfg(PAGES, MicroMode::Gh, GroundhogConfig::gh()).measure(density, reqs);
-        let lazy = MicroRig::build_cfg(PAGES, MicroMode::Gh, GroundhogConfig::lazy())
-            .measure(density, reqs);
-        let e_restore = eager.cycle_ms - eager.exec_ms;
-        let l_restore = lazy.cycle_ms - lazy.exec_ms;
-        assert!(
-            l_restore < e_restore,
-            "lazy must cut the critical-path restore at density {density}: \
-             {l_restore:.3} !< {e_restore:.3}"
-        );
-        let row = vec![
-            format!("{:.0}%", density * 100.0),
-            fmt_ms(e_restore),
-            fmt_ms(l_restore),
-            format!("{:.2}x", e_restore / l_restore.max(1e-9)),
-            fmt_ms(eager.exec_ms),
-            fmt_ms(lazy.exec_ms),
-            fmt_ms(lazy.exec_ms - eager.exec_ms),
-        ];
+    // Density cells are independent (each builds two fresh rigs) —
+    // sharded across worker threads with an ordered merge.
+    let rows = gh_bench::harness::run_cells(
+        densities,
+        gh_bench::harness::serial_requested(),
+        |&density| {
+            let eager = MicroRig::build_cfg(PAGES, MicroMode::Gh, GroundhogConfig::gh())
+                .measure(density, reqs);
+            let lazy = MicroRig::build_cfg(PAGES, MicroMode::Gh, GroundhogConfig::lazy())
+                .measure(density, reqs);
+            let e_restore = eager.cycle_ms - eager.exec_ms;
+            let l_restore = lazy.cycle_ms - lazy.exec_ms;
+            assert!(
+                l_restore < e_restore,
+                "lazy must cut the critical-path restore at density {density}: \
+                 {l_restore:.3} !< {e_restore:.3}"
+            );
+            vec![
+                format!("{:.0}%", density * 100.0),
+                fmt_ms(e_restore),
+                fmt_ms(l_restore),
+                format!("{:.2}x", e_restore / l_restore.max(1e-9)),
+                fmt_ms(eager.exec_ms),
+                fmt_ms(lazy.exec_ms),
+                fmt_ms(lazy.exec_ms - eager.exec_ms),
+            ]
+        },
+    );
+    for row in rows {
         table.row_owned(row.clone());
         csv.row_owned(row);
     }

@@ -9,9 +9,17 @@
 //! restores.
 //!
 //! ```text
-//! cargo run --release -p gh-bench --bin fleetsweep
+//! cargo run --release -p gh-bench --bin fleetsweep            # parallel cells
+//! cargo run --release -p gh-bench --bin fleetsweep -- --serial
 //! ```
+//!
+//! Cells (pool × load × policy; pool × strategy) are independent — each
+//! builds its own kernels and seeds — so they are sharded across worker
+//! threads by `gh_bench::harness::run_cells` with a deterministic
+//! ordered merge: the CSVs are byte-identical to `--serial` (the CI
+//! determinism job diffs exactly that).
 
+use gh_bench::harness::{run_cells, serial_requested};
 use gh_bench::{smoke, write_csv};
 use gh_faas::fleet::{run_fleet, FleetConfig, RoutePolicy};
 use gh_functions::catalog::by_name;
@@ -47,32 +55,39 @@ fn main() {
         "queue p99",
         "restore overlap",
     ]);
+    let serial = serial_requested();
+    let mut cells: Vec<(usize, f64, RoutePolicy)> = Vec::new();
     for &pool in pools {
         for &frac in fracs {
-            let offered = 125.0 * pool as f64 * frac;
             for policy in RoutePolicy::ALL {
-                let r = run_fleet(
-                    &spec,
-                    StrategyKind::Gh,
-                    GroundhogConfig::gh(),
-                    pool,
-                    FleetConfig::fixed(policy, offered, 29),
-                    requests_per_slot * pool,
-                )
-                .expect("fleet run");
-                table.row_owned(vec![
-                    format!("{pool}"),
-                    format!("{offered:.0}"),
-                    policy.label().to_string(),
-                    format!("{:.2}", r.utilization),
-                    format!("{:.2}", r.mean_ms),
-                    format!("{:.2}", r.p99_ms),
-                    format!("{:.1}", r.goodput_rps),
-                    format!("{:.0}", r.stats.queue_p99),
-                    format!("{:.2}", r.stats.restore_overlap_ratio),
-                ]);
+                cells.push((pool, 125.0 * pool as f64 * frac, policy));
             }
         }
+    }
+    let rows = run_cells(&cells, serial, |&(pool, offered, policy)| {
+        let r = run_fleet(
+            &spec,
+            StrategyKind::Gh,
+            GroundhogConfig::gh(),
+            pool,
+            FleetConfig::fixed(policy, offered, 29),
+            requests_per_slot * pool,
+        )
+        .expect("fleet run");
+        vec![
+            format!("{pool}"),
+            format!("{offered:.0}"),
+            policy.label().to_string(),
+            format!("{:.2}", r.utilization),
+            format!("{:.2}", r.mean_ms),
+            format!("{:.2}", r.p99_ms),
+            format!("{:.1}", r.goodput_rps),
+            format!("{:.0}", r.stats.queue_p99),
+            format!("{:.2}", r.stats.restore_overlap_ratio),
+        ]
+    });
+    for row in rows {
+        table.row_owned(row);
     }
     println!("{}", table.render());
     write_csv("fleetsweep", &table);
@@ -87,27 +102,34 @@ fn main() {
         "p99 ms",
         "goodput r/s",
     ]);
+    let mut strat_cells: Vec<(usize, StrategyKind)> = Vec::new();
     for &pool in strat_pools {
-        let offered = 125.0 * pool as f64 * 0.6;
         for kind in [StrategyKind::Base, StrategyKind::GhNop, StrategyKind::Gh] {
-            let r = run_fleet(
-                &spec,
-                kind,
-                GroundhogConfig::gh(),
-                pool,
-                FleetConfig::fixed(RoutePolicy::RestoreAware, offered, 29),
-                requests_per_slot * pool,
-            )
-            .expect("fleet run");
-            strat.row_owned(vec![
-                format!("{pool}"),
-                format!("{offered:.0}"),
-                kind.label().to_string(),
-                format!("{:.2}", r.mean_ms),
-                format!("{:.2}", r.p99_ms),
-                format!("{:.1}", r.goodput_rps),
-            ]);
+            strat_cells.push((pool, kind));
         }
+    }
+    let strat_rows = run_cells(&strat_cells, serial, |&(pool, kind)| {
+        let offered = 125.0 * pool as f64 * 0.6;
+        let r = run_fleet(
+            &spec,
+            kind,
+            GroundhogConfig::gh(),
+            pool,
+            FleetConfig::fixed(RoutePolicy::RestoreAware, offered, 29),
+            requests_per_slot * pool,
+        )
+        .expect("fleet run");
+        vec![
+            format!("{pool}"),
+            format!("{offered:.0}"),
+            kind.label().to_string(),
+            format!("{:.2}", r.mean_ms),
+            format!("{:.2}", r.p99_ms),
+            format!("{:.1}", r.goodput_rps),
+        ]
+    });
+    for row in strat_rows {
+        strat.row_owned(row);
     }
     println!("{}", strat.render());
     write_csv("fleetsweep_strategies", &strat);

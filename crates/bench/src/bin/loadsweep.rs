@@ -3,9 +3,15 @@
 //! the critical path "under low to medium server load".
 //!
 //! ```text
-//! cargo run --release -p gh-bench --bin loadsweep
+//! cargo run --release -p gh-bench --bin loadsweep             # parallel cells
+//! cargo run --release -p gh-bench --bin loadsweep -- --serial
 //! ```
+//!
+//! Each (function, rate) cell runs its BASE and GH open loops on its own
+//! kernels — independent, so the cells are sharded across worker threads
+//! with a deterministic ordered merge (byte-identical to `--serial`).
 
+use gh_bench::harness::{run_cells, serial_requested};
 use gh_bench::write_csv;
 use gh_faas::openloop::open_loop_run;
 use gh_functions::catalog::by_name;
@@ -36,7 +42,7 @@ fn main() {
             "GH p99 ms",
             "GH/base mean",
         ]);
-        for &rps in &rates {
+        let rows = run_cells(&rates, serial_requested(), |&rps| {
             let base = open_loop_run(
                 &spec,
                 StrategyKind::Base,
@@ -48,7 +54,7 @@ fn main() {
             .unwrap();
             let gh = open_loop_run(&spec, StrategyKind::Gh, GroundhogConfig::gh(), rps, 200, 21)
                 .unwrap();
-            table.row_owned(vec![
+            vec![
                 format!("{rps:.1}"),
                 format!("{:.2}", base.utilization),
                 format!("{:.2}", base.mean_ms),
@@ -57,7 +63,10 @@ fn main() {
                 format!("{:.2}", gh.mean_ms),
                 format!("{:.2}", gh.p99_ms),
                 format!("{:.2}", gh.mean_ms / base.mean_ms),
-            ]);
+            ]
+        });
+        for row in rows {
+            table.row_owned(row);
         }
         println!("{}", table.render());
         write_csv(

@@ -8,8 +8,10 @@
 //! (virtual time makes more repetitions pointless — noise is modelled,
 //! not physical); set `GH_REQUESTS` / `GH_XPUT_REQUESTS` to raise them.
 
+pub mod harness;
 pub mod micro_harness;
 pub mod scaling;
+pub mod touch_scaling;
 
 use std::fs;
 use std::path::PathBuf;

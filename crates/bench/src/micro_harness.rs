@@ -147,11 +147,8 @@ impl MicroRig {
             }
             MicroMode::Fork => {
                 let child = self.kernel.fork(self.parent).expect("fork");
-                let view = MicroFunction {
-                    pid: child,
-                    region: self.micro.region,
-                };
-                view.invoke(&mut self.kernel, dirty_fraction, rid);
+                self.micro
+                    .invoke_on(&mut self.kernel, child, dirty_fraction, rid);
                 let exec = self.kernel.clock.now() - t0;
                 self.kernel.exit(child).expect("reap child");
                 (exec, self.kernel.clock.now() - t0)

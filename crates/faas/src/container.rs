@@ -160,11 +160,23 @@ impl Container {
 
         // Execute with the strategy's compute scaling (wasm vs native).
         let scale = self.strategy.compute_scale();
-        let mut view = self.fproc.with_pid(target.pid());
-        view.invocations = seq;
         let ctx = RequestCtx::new(req.id, &req.principal, seq);
-        let exec = Self::invoke_scaled(&mut self.kernel, &mut view, &self.spec, &ctx, scale);
-        self.fproc.invocations = view.invocations;
+        let exec = if target.pid() == self.fproc.pid {
+            // In-place execution (everything but FORK): run against the
+            // persistent image so the cached write plans and the batch
+            // scratch survive across invocations — no per-request
+            // region/plan clone.
+            self.fproc.invocations = seq;
+            Self::invoke_scaled(&mut self.kernel, &mut self.fproc, &self.spec, &ctx, scale)
+        } else {
+            // FORK isolation: the request runs in a CoW child, so bind a
+            // view of the image to the child's pid.
+            let mut view = self.fproc.with_pid(target.pid());
+            view.invocations = seq;
+            let exec = Self::invoke_scaled(&mut self.kernel, &mut view, &self.spec, &ctx, scale);
+            self.fproc.invocations = view.invocations;
+            exec
+        };
 
         // Small invoker-side jitter (scheduling, pipes).
         let jitter = Nanos::from_micros(300).scale(self.rng.lognormal_factor(0.8));

@@ -8,6 +8,21 @@
 //! in-function overheads (soft-dirty faults under GH, CoW+dTLB faults
 //! under FORK, nothing under BASE/GHNOP) *emerge* rather than being
 //! scripted.
+//!
+//! # Batched execution
+//!
+//! The write/read sets are *batched*: a cached
+//! [`WritePlan`](gh_runtime::WritePlan) per `(writes, reads,
+//! stride-phase)` holds the pre-sorted vpn sets (built with one region
+//! cursor, invalidated by `churn_layout`), each invocation replays it
+//! into the process's reusable [`gh_mem::TouchBatch`] scratch, and
+//! `Kernel::touch_batch_charged` resolves the whole batch in one
+//! extent-cursor walk, charging the aggregate fault counters. This is a
+//! host-side constant-factor win only: counters, taint, contents and
+//! the simulated timeline are bit-identical to the per-page `touch`
+//! loop it replaced (pinned by `crates/mem/tests/batch_oracle.rs` and
+//! the `bench_smoke` +0.0% gate; the `scaling_touch_*` metrics track
+//! the speedup).
 
 use gh_mem::{FaultCounters, RequestId, Taint, Touch, Vpn};
 use gh_proc::Kernel;
@@ -124,31 +139,37 @@ impl Executor {
 
         // 4. The write set: `written_kpages` pages spread over the managed
         //    regions, plus a read set (~2x), all through the fault paths.
+        //    Steady-state invocations replay a cached `WritePlan` (the
+        //    strided sets as pre-sorted vpn batches) into the reusable
+        //    batch scratch and resolve it with `touch_batch` — one cursor
+        //    walk over the extent map instead of a page-table probe per
+        //    page. Faults, taint and contents are bit-identical to the
+        //    per-page loop (`crates/mem/tests/batch_oracle.rs`).
         let taint = req.taint();
         let writes = spec.written_pages();
-        let regions = fproc.regions.clone();
-        let total = regions.dirtyable_pages().max(1);
+        let total = fproc.regions.dirtyable_pages().max(1);
         let writes = writes.min(total);
         let reads = (2 * writes + 256).min(total);
         let seq = req.seq;
         let pid = fproc.pid;
-        let (_, _fault_time) = kernel
-            .run_charged(pid, |p, frames| {
-                let wstride = (total / writes.max(1)).max(1);
-                let phase = seq % wstride;
-                for i in 0..writes {
-                    let vpn = regions.dirtyable_page(i * wstride + phase);
-                    let _ = p
-                        .mem
-                        .touch(vpn, Touch::WriteWord(0x1000 ^ seq ^ i), taint, frames);
-                }
-                let rstride = (total / reads.max(1)).max(1);
-                for i in 0..reads {
-                    let vpn = regions.dirtyable_page(i * rstride);
-                    let _ = p.mem.touch(vpn, Touch::Read, Taint::Clean, frames);
-                }
-            })
-            .expect("invocation body");
+        let wstride = (total / writes.max(1)).max(1);
+        let phase = seq % wstride;
+        let gh_runtime::FunctionProcess { regions, plans, .. } = &mut *fproc;
+        let (plan, batch) = plans.plan_for(regions, writes, reads, phase);
+        batch.clear();
+        for (i, &vpn) in plan.write_vpns.iter().enumerate() {
+            batch.push(vpn, Touch::WriteWord(0x1000 ^ seq ^ i as u64), taint);
+        }
+        kernel
+            .touch_batch_charged(pid, batch)
+            .expect("invocation write set");
+        batch.clear();
+        for &vpn in plan.read_vpns {
+            batch.push(vpn, Touch::Read, Taint::Clean);
+        }
+        kernel
+            .touch_batch_charged(pid, batch)
+            .expect("invocation read set");
 
         // The loop-body work around those touches.
         kernel.charge(WORK_PER_WRITE * writes + WORK_PER_READ * reads);
@@ -305,6 +326,31 @@ mod tests {
         let second = Executor::invoke(&mut k, &mut fp, &spec, &RequestCtx::new(2, "a", 0));
         assert_eq!(second.faults.sd_wp, 0);
         assert_eq!(second.faults.cow, 0);
+    }
+
+    #[test]
+    fn plan_cache_reuses_across_invocations_without_churn() {
+        // C runtimes don't churn the layout, so the write/read plans
+        // persist across invocations (same stride-phase ⇒ same plan).
+        let (mut k, mut fp, spec) = build("atax (c)");
+        Executor::invoke(&mut k, &mut fp, &spec, &RequestCtx::new(1, "a", 0));
+        let plans_after_first = fp.plans.len();
+        assert!(plans_after_first >= 1, "invocation populated the cache");
+        Executor::invoke(&mut k, &mut fp, &spec, &RequestCtx::new(2, "a", 0));
+        assert_eq!(fp.plans.len(), plans_after_first, "same phase: cache hit");
+    }
+
+    #[test]
+    fn churn_invalidates_cached_plans() {
+        // Node churns every request: the cache never outlives a layout
+        // change (behaviour invokes churn before the write set, so after
+        // an invocation exactly the current request's plans remain).
+        let (mut k, mut fp, spec) = build("json (n)");
+        Executor::invoke(&mut k, &mut fp, &spec, &RequestCtx::new(1, "a", 0));
+        let populated = fp.plans.len();
+        assert!(populated >= 1);
+        fp.churn_layout(&mut k);
+        assert!(fp.plans.is_empty(), "churn drops every cached plan");
     }
 
     #[test]

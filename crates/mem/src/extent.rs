@@ -22,8 +22,63 @@
 use std::collections::{BTreeMap, HashMap};
 
 use crate::addr::{PageRange, Vpn};
+use crate::batch::TouchItem;
 use crate::frame::FrameId;
 use crate::pte::{Pte, PteFlags};
+
+/// What [`PageTable::touch_walk`] should do with one batch item, decided
+/// by the fault logic in `space.rs`.
+pub(crate) enum BatchDecision {
+    /// Leave the page untouched (the per-item error path: the caller's
+    /// loop equivalent is `let _ = touch(...)` on an unmapped or
+    /// permission-denied page).
+    Skip,
+    /// Install an absent page (minor fault) with this frame and flags.
+    Insert { frame: FrameId, flags: PteFlags },
+    /// Update a present page: optionally replace its frame (CoW copy /
+    /// unshare) and set its flags (which may equal the old flags).
+    Update {
+        frame: Option<FrameId>,
+        flags: PteFlags,
+    },
+}
+
+/// Accumulates `(start, len, flags)` runs in address order, merging
+/// adjacent equal-flag pushes so the output is maximal by construction.
+#[derive(Default)]
+struct RunBuilder {
+    runs: Vec<(u64, ExtentMeta)>,
+}
+
+impl RunBuilder {
+    #[inline]
+    fn push(&mut self, start: u64, len: u64, flags: PteFlags) {
+        if let Some((ls, lm)) = self.runs.last_mut() {
+            debug_assert!(*ls + lm.len <= start, "out-of-order run push");
+            if *ls + lm.len == start && lm.flags == flags {
+                lm.len += len;
+                return;
+            }
+        }
+        self.runs.push((start, ExtentMeta { len, flags }));
+    }
+
+    /// Re-flags the most recently pushed page (a duplicate batch item
+    /// revising its own earlier decision).
+    fn amend_last_page(&mut self, flags: PteFlags) {
+        let (ls, lm) = self.runs.last_mut().expect("amend on empty builder");
+        if lm.flags == flags {
+            return;
+        }
+        let vpn = *ls + lm.len - 1;
+        if lm.len == 1 {
+            self.runs.pop();
+        } else {
+            lm.len -= 1;
+        }
+        self.push(vpn, 1, flags);
+    }
+}
 
 /// Pages per frame chunk.
 const CHUNK_PAGES: u64 = 512;
@@ -341,6 +396,294 @@ impl PageTable {
     /// order (the range must be fully present).
     pub fn frames_in(&self, range: PageRange) -> impl Iterator<Item = FrameId> + '_ {
         range.iter().map(move |v| self.frame_slot(v.0))
+    }
+
+    /// One ordered cursor walk resolving a sorted batch of page touches.
+    ///
+    /// For every item (in order) the walk determines the page's current
+    /// `(frame, flags)` — `None` when absent — and asks `decide` what to
+    /// do. Two phases keep the cost at `O(batch + changed extents)`
+    /// instead of `O(batch × log extents)`:
+    ///
+    /// 1. a **read-only cursor walk** over the extent map (one forward
+    ///    iterator, no per-item probe) resolving every item; frame slots
+    ///    are written in place, chunk-grouped (one `HashMap` probe per
+    ///    touched 512-page chunk); pages whose *flags* change (or are
+    ///    inserted) are recorded as sorted edit runs;
+    /// 2. an **edit fold**: no edits (warm batches — the steady-state
+    ///    common case) mutate the extent map not at all; sparse edits
+    ///    splice in-place; dense edits (a re-armed write set fragmenting
+    ///    the armed extents) bulk-rebuild the map from one sorted
+    ///    iterator, which `BTreeMap` builds bottom-up in `O(n)`.
+    ///
+    /// `items` must be sorted by vpn; duplicates are allowed and see the
+    /// state left by the previous decision for the same page.
+    pub(crate) fn touch_walk(
+        &mut self,
+        items: &[TouchItem],
+        mut decide: impl FnMut(&TouchItem, Option<(FrameId, PteFlags)>) -> BatchDecision,
+    ) {
+        if items.is_empty() {
+            return;
+        }
+        debug_assert!(
+            items.windows(2).all(|w| w[0].vpn.0 <= w[1].vpn.0),
+            "touch_walk requires vpn-sorted items"
+        );
+        let lo = items[0].vpn.0;
+
+        let PageTable {
+            extents,
+            chunks,
+            present,
+        } = self;
+
+        // ---- Phase 1: read-only resolution ----
+        // Forward extent cursor: seeded at the predecessor of the first
+        // item, advanced monotonically (items are sorted, so the walk
+        // never looks back).
+        let seed = extents
+            .range(..=lo)
+            .next_back()
+            .map(|(&s, _)| s)
+            .unwrap_or(lo);
+        let mut ext_iter = extents.range(seed..).peekable();
+        // (start, end, flags) of the most recently passed extent.
+        let mut cur_ext: Option<(u64, u64, PteFlags)> = None;
+        // Pages whose flags changed or that were inserted, as maximal
+        // sorted runs. Everything else leaves the extent map untouched.
+        let mut edits = RunBuilder::default();
+        // Duplicate-vpn carry: the previous item's vpn, resulting page
+        // state, and whether that page already has an edit run as the
+        // builder's last page (drives `amend_last_page`).
+        type DupCarry = (u64, Option<(FrameId, PteFlags)>, bool);
+        let mut last: Option<DupCarry> = None;
+
+        let mut i = 0usize;
+        while i < items.len() {
+            let key = items[i].vpn.0 / CHUNK_PAGES;
+            let mut j = i + 1;
+            while j < items.len() && items[j].vpn.0 / CHUNK_PAGES == key {
+                j += 1;
+            }
+            // One chunk probe per touched 512-page window. A window of
+            // pure reads over an absent chunk creates and removes an
+            // empty chunk — rare (absent windows come from minor-fault
+            // sweeps, which insert) and cheap.
+            let existed = chunks.contains_key(&key);
+            let chunk = chunks.entry(key).or_insert_with(Chunk::new);
+            let window = &items[i..j];
+            for (k, it) in window.iter().enumerate() {
+                let vpn = it.vpn.0;
+                let slot = (vpn % CHUNK_PAGES) as usize;
+                // `last` only matters across duplicate-vpn neighbours
+                // (same vpn ⇒ same chunk ⇒ same window), so it is
+                // maintained only around them — the common all-distinct
+                // batch never writes it.
+                let next_same = window.get(k + 1).is_some_and(|n| n.vpn.0 == vpn);
+                let (cur, was_edited) = match last {
+                    Some((lv, state, edited)) if lv == vpn => (state, edited),
+                    _ => {
+                        // Hot path: the cached extent still covers vpn
+                        // (typical for dense read sweeps) — no peek.
+                        let flags = match cur_ext {
+                            Some((s, e, f)) if vpn >= s && vpn < e => Some(f),
+                            _ => {
+                                // Advance the cursor to the last extent
+                                // starting at or before vpn.
+                                while let Some(&(&s, m)) = ext_iter.peek() {
+                                    if s <= vpn {
+                                        cur_ext = Some((s, s + m.len, m.flags));
+                                        ext_iter.next();
+                                    } else {
+                                        break;
+                                    }
+                                }
+                                cur_ext
+                                    .filter(|&(s, e, _)| vpn >= s && vpn < e)
+                                    .map(|(_, _, f)| f)
+                            }
+                        };
+                        (flags.map(|f| (chunk.frames[slot], f)), false)
+                    }
+                };
+                match decide(it, cur) {
+                    BatchDecision::Skip => {
+                        if next_same {
+                            last = Some((vpn, cur, was_edited));
+                        }
+                    }
+                    BatchDecision::Insert { frame, flags } => {
+                        debug_assert!(cur.is_none(), "Insert over a present page");
+                        chunk.frames[slot] = frame;
+                        chunk.used += 1;
+                        *present += 1;
+                        edits.push(vpn, 1, flags);
+                        if next_same {
+                            last = Some((vpn, Some((frame, flags)), true));
+                        }
+                    }
+                    BatchDecision::Update { frame, flags } => {
+                        let (old_frame, old_flags) = cur.expect("Update on an absent page");
+                        let frame = frame.unwrap_or(old_frame);
+                        if frame != old_frame {
+                            chunk.frames[slot] = frame;
+                        }
+                        let changed = flags != old_flags;
+                        if was_edited {
+                            // Duplicate revising its own earlier edit.
+                            edits.amend_last_page(flags);
+                        } else if changed {
+                            edits.push(vpn, 1, flags);
+                        }
+                        if next_same {
+                            last = Some((vpn, Some((frame, flags)), was_edited || changed));
+                        }
+                    }
+                }
+            }
+            if chunk.used == 0 && !existed {
+                chunks.remove(&key);
+            }
+            i = j;
+        }
+        drop(ext_iter);
+
+        // ---- Phase 2: fold the edits back into the extent map ----
+        if edits.runs.is_empty() {
+            return; // warm batch: the extent map is untouched
+        }
+        Self::apply_edit_runs(extents, edits.runs);
+    }
+
+    /// Replaces the flag coverage of every page in `edits` (sorted
+    /// maximal runs; pages outside old coverage add new coverage),
+    /// restoring extent maximality. Sparse edits splice in place
+    /// (`O(edits × log E)`); dense edits rebuild the whole map from one
+    /// sorted iterator (`O(E + edits)` with bottom-up bulk build).
+    fn apply_edit_runs(extents: &mut BTreeMap<u64, ExtentMeta>, edits: Vec<(u64, ExtentMeta)>) {
+        let w_lo = edits[0].0;
+        let (le, lm) = *edits.last().expect("non-empty");
+        let w_hi = le + lm.len; // exclusive end of the edit window
+
+        // Old extents overlapping the window (predecessor may lap in).
+        let first = extents
+            .range(..w_lo)
+            .next_back()
+            .filter(|(&s, m)| s + m.len > w_lo)
+            .map(|(&s, _)| s);
+        let start_key = first.unwrap_or(w_lo);
+
+        // Merge old coverage with the edit runs: edits win; old pages
+        // (including parts lapping outside the window) copy through.
+        let mut out = RunBuilder::default();
+        {
+            let mut olds = extents.range(start_key..w_hi).peekable();
+            // Next uncopied page of the current old extent.
+            let mut opos = olds.peek().map(|(&s, _)| s).unwrap_or(w_hi);
+            let flush_old_below = |to: u64,
+                                   olds: &mut std::iter::Peekable<
+                std::collections::btree_map::Range<u64, ExtentMeta>,
+            >,
+                                   opos: &mut u64,
+                                   out: &mut RunBuilder| {
+                while let Some(&(&s, m)) = olds.peek() {
+                    let end = s + m.len;
+                    let from = (*opos).max(s);
+                    if from >= to {
+                        return;
+                    }
+                    let upto = end.min(to);
+                    if from < upto {
+                        out.push(from, upto - from, m.flags);
+                    }
+                    if upto == end {
+                        olds.next();
+                        *opos = olds.peek().map(|(&s, _)| s).unwrap_or(u64::MAX);
+                    } else {
+                        *opos = upto;
+                        return;
+                    }
+                }
+            };
+            for &(es, em) in &edits {
+                flush_old_below(es, &mut olds, &mut opos, &mut out);
+                out.push(es, em.len, em.flags);
+                // Skip old coverage the edit replaced.
+                opos = opos.max(es + em.len);
+                while let Some(&(&s, m)) = olds.peek() {
+                    if s + m.len <= opos {
+                        olds.next();
+                        if let Some(&(&ns, _)) = olds.peek() {
+                            opos = opos.max(ns);
+                        }
+                    } else {
+                        break;
+                    }
+                }
+            }
+            flush_old_below(u64::MAX, &mut olds, &mut opos, &mut out);
+        }
+        let mut runs = out.runs;
+
+        // Boundary maximality: merge with the untouched neighbours.
+        let mut remove_pred = None;
+        if let Some(&(fs, fm)) = runs.first() {
+            if let Some((&ps, &pm)) = extents.range(..fs).next_back() {
+                if ps + pm.len == fs && pm.flags == fm.flags && ps != start_key {
+                    remove_pred = Some(ps);
+                    runs[0] = (
+                        ps,
+                        ExtentMeta {
+                            len: pm.len + fm.len,
+                            flags: pm.flags,
+                        },
+                    );
+                }
+            }
+        }
+        let mut remove_succ = None;
+        if let Some(&(ls, lm)) = runs.last() {
+            let end = ls + lm.len;
+            if let Some((&ns, &nm)) = extents.range(end..).next() {
+                if ns == end && nm.flags == lm.flags {
+                    remove_succ = Some(ns);
+                    runs.last_mut().expect("non-empty").1.len += nm.len;
+                }
+            }
+        }
+
+        // Count the old entries being replaced.
+        let replaced = extents.range(start_key..w_hi).count()
+            + remove_pred.is_some() as usize
+            + remove_succ.is_some() as usize;
+        let churn = runs.len() + replaced;
+        if churn * 8 >= extents.len() {
+            // Dense: rebuild the whole map from one sorted iterator
+            // (BTreeMap bulk-builds bottom-up). The window entries and
+            // merged neighbours are skipped; `runs` splices in.
+            let skip_lo = remove_pred.unwrap_or(start_key);
+            let skip_hi = remove_succ.map(|s| s + 1).unwrap_or(w_hi);
+            let rebuilt: BTreeMap<u64, ExtentMeta> = extents
+                .range(..skip_lo)
+                .map(|(&s, &m)| (s, m))
+                .chain(runs.iter().copied())
+                .chain(extents.range(skip_hi..).map(|(&s, &m)| (s, m)))
+                .collect();
+            *extents = rebuilt;
+        } else {
+            // Sparse: splice in place.
+            let doomed: Vec<u64> = extents
+                .range(start_key..w_hi)
+                .map(|(&s, _)| s)
+                .chain(remove_pred)
+                .chain(remove_succ)
+                .collect();
+            for s in doomed {
+                extents.remove(&s);
+            }
+            extents.extend(runs);
+        }
     }
 
     /// Structural self-check: sorted, disjoint, non-empty, maximal

@@ -30,6 +30,13 @@
 //!   deduplicating frame table per container pool, so N near-identical
 //!   clean-state snapshots cost one base image plus per-container deltas
 //!   instead of N full copies;
+//! - a **batched fault path** ([`batch::TouchBatch`],
+//!   [`space::AddressSpace::touch_batch`]): a pre-sorted plan of page
+//!   touches resolved in one ordered cursor walk over the extent map and
+//!   frame chunks — `O(batch + touched extents/chunks)` instead of one
+//!   `BTreeMap` probe and `set_flags` split per page — bit-identical in
+//!   counters, dirty/taint state and contents to the per-page loop
+//!   (pinned by the `batch_oracle` differential test);
 //! - **fault accounting** ([`space::FaultCounters`]): every minor, CoW,
 //!   soft-dirty, userfaultfd and lazy-restore fault is counted so the
 //!   cost model can charge it to the virtual clock — the in-function
@@ -55,6 +62,7 @@
 //! simulate while remaining *logically byte-exact*.
 
 pub mod addr;
+pub mod batch;
 mod extent;
 pub mod frame;
 pub mod index;
@@ -66,6 +74,7 @@ pub mod taint;
 pub mod vma;
 
 pub use addr::{PageRange, VirtAddr, Vpn, PAGE_SIZE};
+pub use batch::{BatchOutcome, TouchBatch, TouchItem};
 pub use frame::{FrameData, FrameId, FrameRuns, FrameTable};
 pub use index::VpnIndex;
 pub use pte::{Pte, PteFlags};

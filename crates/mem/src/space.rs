@@ -34,11 +34,18 @@
 //!   request data;
 //! - [`AddressSpace::capture_frame_runs`] hands the snapshotter
 //!   refcounted frame runs in `O(extents)` run metadata plus one incref
-//!   per page — no per-page map construction, no content copies.
+//!   per page — no per-page map construction, no content copies;
+//! - [`AddressSpace::touch_batch`] resolves a pre-sorted
+//!   [`TouchBatch`] of page touches in one ordered cursor walk —
+//!   `O(batch + touched extents/chunks)` where a `touch` loop pays a
+//!   `BTreeMap` probe and a per-page `set_flags` split per item —
+//!   with bit-identical counters, dirty/taint state and contents
+//!   (the request-execution hot path of `gh_functions::Executor`).
 
 use std::collections::BTreeMap;
 
 use crate::addr::{PageRange, VirtAddr, Vpn, PAGE_SIZE};
+use crate::batch::{BatchOutcome, TouchBatch};
 use crate::extent::PageTable;
 use crate::frame::{FrameData, FrameId, FrameTable};
 use crate::index::VpnIndex;
@@ -118,6 +125,21 @@ impl FaultCounters {
     /// Returns the current counts and resets them to zero.
     pub fn take(&mut self) -> FaultCounters {
         std::mem::take(self)
+    }
+
+    /// Counts accumulated since `earlier` (fieldwise difference; callers
+    /// pass a snapshot taken from the same monotonically-growing
+    /// accumulator).
+    pub fn since(&self, earlier: FaultCounters) -> FaultCounters {
+        FaultCounters {
+            minor: self.minor - earlier.minor,
+            sd_wp: self.sd_wp - earlier.sd_wp,
+            cow: self.cow - earlier.cow,
+            uffd_wp: self.uffd_wp - earlier.uffd_wp,
+            tlb_cold: self.tlb_cold - earlier.tlb_cold,
+            lazy: self.lazy - earlier.lazy,
+            warm: self.warm - earlier.warm,
+        }
     }
 }
 
@@ -588,20 +610,36 @@ impl AddressSpace {
     // Fault paths
     // ---------------------------------------------------------------
 
-    /// Initial contents of a fresh page in `vma`.
-    fn fresh_data(vma: &Vma, vpn: Vpn) -> FrameData {
+    /// Pattern seed of a VMA's fresh pages: `Some(base)` for file
+    /// mappings (page `vpn` reads as `Pattern(base ^ vpn)`), `None` for
+    /// zero-filled. The single source of fresh-content truth for both
+    /// the per-page and batched fault paths.
+    fn fresh_base(vma: &Vma) -> Option<u64> {
         match &vma.kind {
             VmaKind::File(name) => {
                 // Deterministic per (file, page) pattern standing in for
-                // file contents.
+                // file contents (FNV-1a over the name).
                 let mut h = 0xcbf2_9ce4_8422_2325u64;
                 for b in name.bytes() {
                     h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
                 }
-                FrameData::Pattern(h ^ vpn.0)
+                Some(h)
             }
-            _ => FrameData::Zero,
+            _ => None,
         }
+    }
+
+    /// Fresh contents of page `vpn` given a VMA's pattern base.
+    fn fresh_from_base(base: Option<u64>, vpn: Vpn) -> FrameData {
+        match base {
+            Some(h) => FrameData::Pattern(h ^ vpn.0),
+            None => FrameData::Zero,
+        }
+    }
+
+    /// Initial contents of a fresh page in `vma`.
+    fn fresh_data(vma: &Vma, vpn: Vpn) -> FrameData {
+        Self::fresh_from_base(Self::fresh_base(vma), vpn)
     }
 
     /// Ensures `vpn` is present for a read; takes faults as needed.
@@ -760,6 +798,236 @@ impl AddressSpace {
                 Ok(())
             }
         }
+    }
+
+    /// Applies a whole [`TouchBatch`] — bit-identical to calling
+    /// [`AddressSpace::touch`] once per item in item order with per-item
+    /// errors ignored, but resolved in **one ordered cursor walk** over
+    /// the extent map and frame chunks: `O(batch + touched extents +
+    /// touched chunks)` instead of `O(batch × log extents)`. Returns the
+    /// batch's aggregate fault counters (also accumulated into
+    /// [`AddressSpace::counters`] exactly like per-page touches) plus
+    /// the number of items that errored (unmapped / permission-denied —
+    /// the items a `let _ = touch(..)` loop would silently skip;
+    /// callers that used to `expect` every touch assert `failed == 0`).
+    ///
+    /// Pages with a pending lazy-restore obligation take the single-page
+    /// fault path (their install order relative to neighbouring touches
+    /// is semantically significant), so lazy batches cost `O(fast items
+    /// + lazy hits × log)` — identical counters either way.
+    pub fn touch_batch(&mut self, batch: &TouchBatch, frames: &mut FrameTable) -> BatchOutcome {
+        let before = self.counters;
+        let items = batch.items();
+        let mut failed = 0u64;
+        if !batch.is_sorted() {
+            // Correctness fallback: the definitionally-equivalent loop.
+            for it in items {
+                failed += self.touch(it.vpn, it.touch, it.taint, frames).is_err() as u64;
+            }
+            return BatchOutcome {
+                faults: self.counters.since(before),
+                failed,
+            };
+        }
+        let mut i = 0;
+        while i < items.len() {
+            // Fast segment: items up to (excluding) the next page with a
+            // pending lazy obligation.
+            let seg_end = if self.lazy_pending.is_empty() {
+                items.len()
+            } else {
+                let mut j = i;
+                while j < items.len() && !self.lazy_pending.contains_key(&items[j].vpn.0) {
+                    j += 1;
+                }
+                j
+            };
+            if seg_end > i {
+                failed += self.touch_batch_fast(&items[i..seg_end], frames);
+                i = seg_end;
+            }
+            if i < items.len() {
+                // Lazy hit: the ordinary fault path installs the
+                // snapshot contents and services the access.
+                let it = &items[i];
+                failed += self.touch(it.vpn, it.touch, it.taint, frames).is_err() as u64;
+                i += 1;
+            }
+        }
+        BatchOutcome {
+            faults: self.counters.since(before),
+            failed,
+        }
+    }
+
+    /// The cursor-walk core of [`AddressSpace::touch_batch`]: items are
+    /// sorted and none has a pending lazy obligation. Returns the count
+    /// of errored (skipped) items. Mirrors
+    /// `page_read_access`/`page_write_access` decision-for-decision; the
+    /// only intentional deltas are *redundant* index writes skipped when
+    /// a bit provably already holds its value (`dirty.set` on an
+    /// already-dirty page, taint-bit syncs that don't change the bit) —
+    /// no-ops by the `check_invariants` index⇔flag agreement.
+    fn touch_batch_fast(
+        &mut self,
+        items: &[crate::batch::TouchItem],
+        frames: &mut FrameTable,
+    ) -> u64 {
+        let AddressSpace {
+            vmas,
+            pt,
+            dirty,
+            tainted,
+            counters,
+            uffd_log,
+            ..
+        } = self;
+        // VMA cursor: (range, perms, fresh-pattern base) of the current
+        // VMA — one map probe per distinct VMA touched. The base mirrors
+        // `fresh_data`: `Some(h)` for file mappings, `None` for zero.
+        let mut cur_vma: Option<(PageRange, Perms, Option<u64>)> = None;
+        let mut failed = 0u64;
+        pt.touch_walk(items, |it, cur| {
+            use crate::extent::BatchDecision as D;
+            let vpn = it.vpn;
+            let (perms, fresh_base) = match cur_vma {
+                Some((range, perms, base)) if range.contains(vpn) => (perms, base),
+                _ => {
+                    let Some(vma) = vmas
+                        .range(..=vpn.0)
+                        .next_back()
+                        .map(|(_, v)| v)
+                        .filter(|v| v.range.contains(vpn))
+                    else {
+                        failed += 1;
+                        return D::Skip; // unmapped: `let _ = touch(..)`
+                    };
+                    let base = Self::fresh_base(vma);
+                    cur_vma = Some((vma.range, vma.perms, base));
+                    (vma.perms, base)
+                }
+            };
+            let fresh = || Self::fresh_from_base(fresh_base, vpn);
+            match it.touch {
+                Touch::Read => {
+                    if !perms.r {
+                        failed += 1;
+                        return D::Skip;
+                    }
+                    match cur {
+                        None => {
+                            // Minor fault: fresh PTE born soft-dirty.
+                            counters.minor += 1;
+                            let frame = frames.alloc(fresh(), Taint::Clean);
+                            dirty.set(vpn);
+                            D::Insert {
+                                frame,
+                                flags: PteFlags::PRESENT.with(PteFlags::SOFT_DIRTY),
+                            }
+                        }
+                        Some((_, flags)) => {
+                            if flags.contains(PteFlags::TLB_COLD) {
+                                counters.tlb_cold += 1;
+                                D::Update {
+                                    frame: None,
+                                    flags: flags.without(PteFlags::TLB_COLD),
+                                }
+                            } else {
+                                counters.warm += 1;
+                                D::Update { frame: None, flags }
+                            }
+                        }
+                    }
+                }
+                Touch::WriteWord(val) => {
+                    if !perms.w {
+                        failed += 1;
+                        return D::Skip;
+                    }
+                    match cur {
+                        None => {
+                            // Write minor fault, then the word write —
+                            // the same alloc-then-patch sequence as the
+                            // per-page path.
+                            counters.minor += 1;
+                            let frame = frames.alloc(fresh(), Taint::Clean);
+                            let (data, t) = frames.data_mut(frame);
+                            data.write_word(1, val);
+                            *t = t.merge(it.taint);
+                            if t.is_tainted() {
+                                tainted.set(vpn);
+                            }
+                            dirty.set(vpn);
+                            D::Insert {
+                                frame,
+                                flags: PteFlags::PRESENT.with(PteFlags::SOFT_DIRTY),
+                            }
+                        }
+                        Some((old_frame, old_flags)) => {
+                            let mut frame = old_frame;
+                            let mut flags = old_flags;
+                            let mut faulted = false;
+                            if flags.contains(PteFlags::TLB_COLD) {
+                                counters.tlb_cold += 1;
+                                flags = flags.without(PteFlags::TLB_COLD);
+                                faulted = true;
+                            }
+                            if flags.contains(PteFlags::COW) {
+                                counters.cow += 1;
+                                if frames.is_shared(frame) {
+                                    frame = frames.cow_copy(frame);
+                                }
+                                flags = flags.without(PteFlags::COW);
+                                faulted = true;
+                            }
+                            if flags.contains(PteFlags::UFFD_WP) {
+                                counters.uffd_wp += 1;
+                                uffd_log.set(vpn);
+                                flags = flags.without(PteFlags::UFFD_WP).with(PteFlags::SOFT_DIRTY);
+                                faulted = true;
+                            } else if flags.contains(PteFlags::SD_WP) {
+                                if !faulted {
+                                    counters.sd_wp += 1;
+                                }
+                                flags = flags.without(PteFlags::SD_WP).with(PteFlags::SOFT_DIRTY);
+                                faulted = true;
+                            } else {
+                                flags |= PteFlags::SOFT_DIRTY;
+                            }
+                            if !faulted {
+                                counters.warm += 1;
+                            }
+                            // Structural sharing (eager snapshot run):
+                            // silent unshare, no fault charged.
+                            if frames.is_shared(frame) {
+                                frame = frames.cow_copy(frame);
+                            }
+                            if flags.contains(PteFlags::SOFT_DIRTY)
+                                && !old_flags.contains(PteFlags::SOFT_DIRTY)
+                            {
+                                dirty.set(vpn);
+                            }
+                            let (data, t) = frames.data_mut(frame);
+                            data.write_word(1, val);
+                            let was_tainted = t.is_tainted();
+                            *t = t.merge(it.taint);
+                            if t.is_tainted() != was_tainted {
+                                if was_tainted {
+                                    tainted.clear(vpn);
+                                } else {
+                                    tainted.set(vpn);
+                                }
+                            }
+                            D::Update {
+                                frame: (frame != old_frame).then_some(frame),
+                                flags,
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        failed
     }
 
     /// Reads `buf.len()` bytes at `addr`, crossing pages as needed.

@@ -190,7 +190,34 @@ fn extent_and_index_invariants_hold_under_tracking_churn() {
                     }
                 }
                 10 => {
-                    let _ = space.drain_lazy(rng.next_below(5), &mut frames);
+                    if rng.next_below(2) == 0 {
+                        let _ = space.drain_lazy(rng.next_below(5), &mut frames);
+                    } else {
+                        // Batched touches: a sorted mixed batch over a
+                        // random window (may cross VMA holes, lazy
+                        // obligations and permission boundaries — the
+                        // batch skips or faults exactly like the loop;
+                        // invariants must hold either way).
+                        if let Some(vpn) = pick_page(&space, rng.next_u64() as usize) {
+                            let mut batch = gh_mem::TouchBatch::new();
+                            for v in PageRange::at(vpn, 1 + rng.next_below(24)).iter() {
+                                let taint = match rng.next_below(3) {
+                                    0 => Taint::Clean,
+                                    n => Taint::One(RequestId(n)),
+                                };
+                                if rng.next_below(3) == 0 {
+                                    batch.push(v, Touch::Read, Taint::Clean);
+                                } else {
+                                    batch.push(v, Touch::WriteWord(op as u64), taint);
+                                }
+                                if rng.next_below(4) == 0 {
+                                    // Duplicate touch of the same page.
+                                    batch.push(v, Touch::Read, Taint::Clean);
+                                }
+                            }
+                            let _ = space.touch_batch(&batch, &mut frames);
+                        }
+                    }
                 }
                 _ => {
                     // Restore-path privileged write, then occasionally a

@@ -199,6 +199,21 @@ impl Kernel {
         Ok((r, dt))
     }
 
+    /// Applies a [`TouchBatch`](gh_mem::TouchBatch) inside `pid` and
+    /// charges the aggregated fault counters in one shot — the batched
+    /// request hot path. Equivalent in accounting and timeline to
+    /// [`Kernel::run_charged`] around a per-page `touch` loop: the
+    /// fault-cost charge is linear in the counters, so charging the
+    /// aggregate advances the clock by exactly the summed per-page
+    /// costs. Returns the batch's fault counters and the charged time.
+    pub fn touch_batch_charged(
+        &mut self,
+        pid: Pid,
+        batch: &gh_mem::TouchBatch,
+    ) -> Result<(gh_mem::BatchOutcome, Nanos), ProcError> {
+        self.run_charged(pid, |p, frames| p.mem.touch_batch(batch, frames))
+    }
+
     /// POSIX `fork`: clones the address space copy-on-write and **only the
     /// calling (main) thread** — other threads do not exist in the child,
     /// which is why fork-based isolation cannot serve multi-threaded
@@ -298,6 +313,35 @@ mod tests {
         // 4 minor faults charged.
         assert_eq!(dt, k.cost.minor_fault * 4);
         assert_eq!(k.clock.now() - t0, dt);
+    }
+
+    #[test]
+    fn touch_batch_charged_matches_loop_accounting() {
+        use gh_mem::{TouchBatch, Vpn};
+        let mut k = Kernel::boot();
+        let pid = k.spawn("f");
+        let r = k
+            .run_charged(pid, |p, _| {
+                p.mem.mmap(64, Perms::RW, VmaKind::Anon).unwrap()
+            })
+            .unwrap()
+            .0;
+        let mut batch = TouchBatch::new();
+        for i in 0..64u64 {
+            batch.push(Vpn(r.start.0 + i), Touch::WriteWord(i), Taint::Clean);
+        }
+        let t0 = k.clock.now();
+        let (outcome, dt) = k.touch_batch_charged(pid, &batch).unwrap();
+        assert_eq!(outcome.faults.minor, 64);
+        assert_eq!(outcome.failed, 0);
+        assert_eq!(
+            dt,
+            k.cost.minor_fault * 64,
+            "aggregate charge == Σ per-page"
+        );
+        assert_eq!(k.clock.now() - t0, dt);
+        // The accumulator saw the same counts a touch loop would feed it.
+        assert_eq!(k.take_fault_accum().minor, 64);
     }
 
     #[test]

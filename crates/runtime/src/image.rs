@@ -96,6 +96,27 @@ impl ImageRegions {
         let (cum, range) = self.index[pos];
         Vpn(range.start.0 + (idx - cum))
     }
+
+    /// Resolves an ascending sequence of flat indices with one region
+    /// cursor (`O(indices + regions)` instead of a binary search per
+    /// index) — the [`WritePlan`](crate::plan::WritePlan) build path.
+    /// Indices wrap like [`ImageRegions::dirtyable_page`]; a wrapped
+    /// (non-ascending) index resets the cursor, preserving exactness at
+    /// a one-off probe cost.
+    pub fn resolve_ascending(&self, indices: impl Iterator<Item = u64>, out: &mut Vec<Vpn>) {
+        let mut pos = 0usize;
+        for i in indices {
+            let idx = i % self.total.max(1);
+            if idx < self.index[pos].0 {
+                pos = 0;
+            }
+            while pos + 1 < self.index.len() && self.index[pos + 1].0 <= idx {
+                pos += 1;
+            }
+            let (cum, range) = self.index[pos];
+            out.push(Vpn(range.start.0 + (idx - cum)));
+        }
+    }
 }
 
 /// A built, initialized function process.
@@ -109,6 +130,9 @@ pub struct FunctionProcess {
     pub regions: ImageRegions,
     /// Monotonic count of requests executed (for deterministic placement).
     pub invocations: u64,
+    /// Cached write/read plans + batch scratch for the request executor
+    /// (invalidated by [`FunctionProcess::churn_layout`]).
+    pub plans: crate::plan::PlanCache,
 }
 
 /// Word index of the GC clock on the runtime-state page.
@@ -201,38 +225,42 @@ impl FunctionProcess {
         };
 
         // Demand-page the image in: text read-faulted, data/heap/anon
-        // write-faulted (runtime initialization writes them).
+        // write-faulted (runtime initialization writes them). Each region
+        // is one contiguous ascending run, so the paging goes through the
+        // batched fault path — one cursor walk per region instead of a
+        // page-table probe per page (bit-identical faults either way).
         let (_, _dt) = kernel
             .run_charged(pid, |proc, frames| {
                 let mut budget = resident_budget;
-                for vpn in regions.text.iter() {
+                let mut batch = gh_mem::TouchBatch::new();
+                let mut page_in = |proc: &mut gh_proc::Process,
+                                   frames: &mut _,
+                                   range: PageRange,
+                                   touch: Touch,
+                                   budget: &mut u64| {
+                    batch.clear();
+                    for vpn in range.iter().take(*budget as usize) {
+                        batch.push(vpn, touch, Taint::Clean);
+                    }
+                    *budget -= batch.len() as u64;
+                    let d = proc.mem.touch_batch(&batch, frames);
+                    // touch_batch skips per-item failures; init paging
+                    // must touch every page (the old loops `expect`ed).
+                    assert_eq!(d.failed, 0, "init paging touched every page of {range:?}");
+                };
+                page_in(proc, frames, regions.text, Touch::Read, &mut budget);
+                page_in(
+                    proc,
+                    frames,
+                    regions.data,
+                    Touch::WriteWord(0xD0D0),
+                    &mut budget,
+                );
+                for r in std::iter::once(regions.heap).chain(regions.anon.iter().copied()) {
                     if budget == 0 {
                         break;
                     }
-                    proc.mem
-                        .touch(vpn, Touch::Read, Taint::Clean, frames)
-                        .expect("text read");
-                    budget -= 1;
-                }
-                for vpn in regions.data.iter() {
-                    if budget == 0 {
-                        break;
-                    }
-                    proc.mem
-                        .touch(vpn, Touch::WriteWord(0xD0D0), Taint::Clean, frames)
-                        .expect("data write");
-                    budget -= 1;
-                }
-                'outer: for r in std::iter::once(regions.heap).chain(regions.anon.iter().copied()) {
-                    for vpn in r.iter() {
-                        if budget == 0 {
-                            break 'outer;
-                        }
-                        proc.mem
-                            .touch(vpn, Touch::WriteWord(0x1417), Taint::Clean, frames)
-                            .expect("heap write");
-                        budget -= 1;
-                    }
+                    page_in(proc, frames, r, Touch::WriteWord(0x1417), &mut budget);
                 }
             })
             .expect("init paging");
@@ -264,18 +292,21 @@ impl FunctionProcess {
             profile,
             regions,
             invocations: 0,
+            plans: crate::plan::PlanCache::new(),
         }
     }
 
     /// A view of the same image bound to another pid — used to run a
     /// request inside a `fork`ed child, whose layout is a CoW copy of
-    /// this image.
+    /// this image. The view starts with an empty plan cache (fork-based
+    /// isolation rebuilds per request; the parent keeps its own cache).
     pub fn with_pid(&self, pid: Pid) -> FunctionProcess {
         FunctionProcess {
             pid,
             profile: self.profile.clone(),
             regions: self.regions.clone(),
             invocations: self.invocations,
+            plans: crate::plan::PlanCache::new(),
         }
     }
 
@@ -318,21 +349,24 @@ impl FunctionProcess {
         if now.checked_sub(last).is_none_or(|dt| dt < gc.period) {
             return None;
         }
-        let regions = self.regions.clone();
+        let regions = &self.regions;
         let pages = gc.pages_dirtied.min(regions.dirtyable_pages());
         let nowns = now.as_nanos();
+        // The collector walks and compacts: dirty `pages` strided pages
+        // spread across the managed regions — an ascending set, batched,
+        // then the clock store (same order as the per-page loop).
+        let total = regions.dirtyable_pages();
+        let stride = (total / pages.max(1)).max(1);
+        let mut batch = gh_mem::TouchBatch::with_capacity(pages as usize);
+        let mut vpns = Vec::with_capacity(pages as usize);
+        regions.resolve_ascending((0..pages).map(|i| i * stride), &mut vpns);
+        for (i, &vpn) in vpns.iter().enumerate() {
+            batch.push(vpn, Touch::WriteWord(nowns ^ i as u64), Taint::Clean);
+        }
         kernel
             .run_charged(self.pid, |proc, frames| {
-                // The collector walks and compacts: dirty `pages` pages
-                // spread across the managed regions.
-                let total = regions.dirtyable_pages();
-                let stride = (total / pages.max(1)).max(1);
-                for i in 0..pages {
-                    let vpn = regions.dirtyable_page(i * stride);
-                    proc.mem
-                        .touch(vpn, Touch::WriteWord(nowns ^ i), Taint::Clean, frames)
-                        .expect("gc write");
-                }
+                let d = proc.mem.touch_batch(&batch, frames);
+                assert_eq!(d.failed, 0, "gc dirtied every strided page");
                 proc.mem
                     .touch(
                         regions.state_page(),
@@ -393,6 +427,16 @@ impl FunctionProcess {
                 }
             })
             .expect("churn");
+        if ops > 0 {
+            // Defensive invalidation: churn does not currently edit
+            // `regions` (new arenas live outside the dirtyable index),
+            // so cached plans could legally survive — but the cache
+            // contract is "plans never outlive a layout change", so any
+            // future churn that does grow the addressable image stays
+            // correct by construction. Rebuilds are one cheap region-
+            // cursor walk, so churn-heavy runtimes (Node) lose little.
+            self.plans.invalidate();
+        }
         ops
     }
 }

@@ -20,7 +20,9 @@
 //!   than scripting it.
 
 pub mod image;
+pub mod plan;
 pub mod profile;
 
 pub use image::{FunctionProcess, ImageRegions};
+pub use plan::{PlanCache, WritePlan};
 pub use profile::{GcProfile, LayoutChurn, RuntimeKind, RuntimeProfile};
