@@ -243,6 +243,39 @@ fn collect() -> Vec<Metric> {
             higher_is_better: false,
         });
     }
+
+    // Host-parallel fleet execution: serial/parallel wall-clock ratio of
+    // the 16-container 10⁵-request run (the rig asserts bit-identical
+    // results before reporting). Same gate design as the other scaling
+    // ratios: the speedup is gated (capped at 8, acceptance floor 2x at
+    // 8 threads); raw ns per run is machine-dependent `info_`.
+    let fleet_par = gh_bench::fleet_scaling::run();
+    println!("\n== scaling_fleet — host-parallel fleet vs serial ==\n");
+    let ftable = gh_bench::fleet_scaling::render(&fleet_par);
+    println!("{}", ftable.render());
+    gh_bench::write_csv("scaling_fleet", &ftable);
+    println!(
+        "fleet speedup at {} containers / {} requests / {} threads: {:.2}x\n",
+        fleet_par.pool,
+        fleet_par.requests,
+        fleet_par.threads,
+        fleet_par.speedup()
+    );
+    out.push(Metric {
+        key: "scaling_fleet_par",
+        value: fleet_par.speedup().min(8.0),
+        higher_is_better: true,
+    });
+    out.push(Metric {
+        key: "info_fleet_serial_ns",
+        value: fleet_par.serial_ns,
+        higher_is_better: false,
+    });
+    out.push(Metric {
+        key: "info_fleet_par_ns",
+        value: fleet_par.par_ns,
+        higher_is_better: false,
+    });
     out
 }
 

@@ -8,8 +8,12 @@
 //! For each pool size, builds a GH pool (every container interning its
 //! clean-state snapshot into the shared store) and reports what the pool
 //! actually holds versus what `pool_size ×` private eager snapshots
-//! would cost.
+//! would cost. Each (benchmark, pool size) cell builds an independent
+//! pool, so the grid fans out across threads via
+//! `gh_bench::harness::run_cells` with a deterministic ordered merge
+//! (`--serial` / `GH_SERIAL=1` forces one worker).
 
+use gh_bench::harness::{run_cells, serial_requested};
 use gh_bench::{smoke, write_csv};
 use gh_faas::fleet::Pool;
 use gh_functions::catalog::by_name;
@@ -43,40 +47,44 @@ fn main() {
     let mut table = TextTable::new(&headers);
     let mut csv = TextTable::new(&headers);
 
-    for &name in functions {
+    let cells: Vec<(&str, usize)> = functions
+        .iter()
+        .flat_map(|&name| sizes.iter().map(move |&size| (name, size)))
+        .collect();
+    let rows = run_cells(&cells, serial_requested(), |&(name, size)| {
         let spec = by_name(name).expect("catalog entry");
-        for &size in sizes {
-            let pool = Pool::build(&spec, StrategyKind::Gh, GroundhogConfig::gh(), size, 42)
-                .expect("gh pool");
-            let one = pool.slots[0]
-                .container
-                .stats
-                .prepare
-                .as_ref()
-                .unwrap()
-                .snapshot_pages
-                .unwrap()
-                * PAGE_SIZE;
-            let naive = one * size as u64;
-            let mem = pool.memory();
-            let saved = 100.0 * (1.0 - mem.resident_bytes as f64 / naive.max(1) as f64);
-            let row = vec![
-                spec.name.to_string(),
-                size.to_string(),
-                mib(one),
-                mib(naive),
-                mib(mem.resident_bytes),
-                format!(
-                    "{:.2}",
-                    mem.resident_bytes_per_container / (1024.0 * 1024.0)
-                ),
-                format!("{:.2}", mem.dedup_ratio),
-                mem.hash_hits.to_string(),
-                format!("{saved:.1}%"),
-            ];
-            table.row_owned(row.clone());
-            csv.row_owned(row);
-        }
+        let pool =
+            Pool::build(&spec, StrategyKind::Gh, GroundhogConfig::gh(), size, 42).expect("gh pool");
+        let one = pool.slots[0]
+            .container
+            .stats
+            .prepare
+            .as_ref()
+            .unwrap()
+            .snapshot_pages
+            .unwrap()
+            * PAGE_SIZE;
+        let naive = one * size as u64;
+        let mem = pool.memory();
+        let saved = 100.0 * (1.0 - mem.resident_bytes as f64 / naive.max(1) as f64);
+        vec![
+            spec.name.to_string(),
+            size.to_string(),
+            mib(one),
+            mib(naive),
+            mib(mem.resident_bytes),
+            format!(
+                "{:.2}",
+                mem.resident_bytes_per_container / (1024.0 * 1024.0)
+            ),
+            format!("{:.2}", mem.dedup_ratio),
+            mem.hash_hits.to_string(),
+            format!("{saved:.1}%"),
+        ]
+    });
+    for row in rows {
+        table.row_owned(row.clone());
+        csv.row_owned(row);
     }
     println!("{}", table.render());
     write_csv("snapstore", &csv);

@@ -1,0 +1,109 @@
+//! Host-side scaling of parallel fleet execution (`Fleet::run_with`
+//! sharded across worker threads) vs the serial reference.
+//!
+//! The rig drives the same 16-container, 10⁵-request round-robin run
+//! twice — [`ExecMode::Serial`] and [`ExecMode::Parallel`] at
+//! [`THREADS`] workers — over identically-seeded pools, timing only the
+//! run (pool construction is paid outside the clock on both sides).
+//! Result equality is asserted after the measurement through the
+//! `{:?}` fingerprint (shortest-round-trip floats, so any differing bit
+//! pattern shows), making the rig double as a release-mode oracle on
+//! top of `gh-faas`'s differential tests.
+//!
+//! Gate design matches `scaling.rs`: the **speedup ratio** is a
+//! same-machine quotient (machine-independent, gated, capped at 8 so
+//! the 10% gate tracks the ≥2x acceptance floor rather than jitter in
+//! the typical ratio); raw ns per run is machine-dependent and
+//! published as gate-exempt `info_` metrics plus
+//! `results/scaling_fleet.csv`.
+
+use std::time::Instant;
+
+use gh_faas::fleet::{ExecMode, Fleet, FleetConfig, Pool, RoutePolicy};
+use gh_functions::catalog::by_name;
+use gh_isolation::StrategyKind;
+use gh_sim::report::TextTable;
+use groundhog_core::GroundhogConfig;
+
+/// Containers in the measured pool.
+pub const POOL: usize = 16;
+/// Requests per measured run.
+pub const REQUESTS: usize = 100_000;
+/// Worker threads on the parallel side.
+pub const THREADS: usize = 8;
+/// Arrival process seed.
+const SEED: u64 = 42;
+/// Offered load, requests/second — high enough to keep all containers
+/// busy without unbounded queueing.
+const OFFERED_RPS: f64 = 4000.0;
+
+/// Wall-clock of the two execution modes over the same run.
+pub struct FleetScalingReport {
+    /// Requests per measured run.
+    pub requests: usize,
+    /// Containers in the pool.
+    pub pool: usize,
+    /// Worker threads on the parallel side.
+    pub threads: usize,
+    /// ns for the serial run.
+    pub serial_ns: f64,
+    /// ns for the parallel run.
+    pub par_ns: f64,
+}
+
+impl FleetScalingReport {
+    /// Serial / parallel wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.serial_ns / self.par_ns.max(1.0)
+    }
+}
+
+fn timed_run(mode: ExecMode) -> (f64, String) {
+    let spec = by_name("fannkuch (p)").expect("catalog");
+    let cfg = FleetConfig::fixed(RoutePolicy::RoundRobin, OFFERED_RPS, SEED);
+    let mut pool =
+        Pool::build(&spec, StrategyKind::Gh, GroundhogConfig::gh(), POOL, SEED).expect("pool");
+    let mut fleet = Fleet::new(cfg);
+    let t0 = Instant::now();
+    let result = fleet.run_with(&mut pool, REQUESTS, mode).expect("run");
+    let ns = t0.elapsed().as_nanos() as f64;
+    (ns, format!("{result:?}"))
+}
+
+/// Measures both modes and asserts result equality.
+pub fn run() -> FleetScalingReport {
+    let (serial_ns, serial_fp) = timed_run(ExecMode::Serial);
+    let (par_ns, par_fp) = timed_run(ExecMode::Parallel { threads: THREADS });
+    assert_eq!(
+        serial_fp, par_fp,
+        "parallel fleet run diverged from the serial reference"
+    );
+    FleetScalingReport {
+        requests: REQUESTS,
+        pool: POOL,
+        threads: THREADS,
+        serial_ns,
+        par_ns,
+    }
+}
+
+/// Renders the report for the console and `results/scaling_fleet.csv`.
+pub fn render(r: &FleetScalingReport) -> TextTable {
+    let mut t = TextTable::new(&[
+        "pool",
+        "requests",
+        "threads",
+        "serial ms",
+        "parallel ms",
+        "speedup",
+    ]);
+    t.row_owned(vec![
+        r.pool.to_string(),
+        r.requests.to_string(),
+        r.threads.to_string(),
+        format!("{:.1}", r.serial_ns / 1e6),
+        format!("{:.1}", r.par_ns / 1e6),
+        format!("{:.2}x", r.speedup()),
+    ]);
+    t
+}

@@ -10,7 +10,11 @@
 //! come back in input order regardless of scheduling, so the rendered
 //! tables and CSVs are byte-identical to a serial run. The CI
 //! determinism job asserts exactly that by diffing `--serial` against
-//! parallel output.
+//! parallel output, across a `GH_THREADS` matrix.
+//!
+//! Knobs (shared with `gh_faas::fleet`'s host-parallel execution):
+//! `--serial` or `GH_SERIAL=1` forces one worker; `GH_THREADS=n` pins
+//! the worker count, defaulting to the host's available parallelism.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -19,6 +23,20 @@ use std::sync::Mutex;
 /// the command line, or `GH_SERIAL=1` in the environment).
 pub fn serial_requested() -> bool {
     std::env::args().any(|a| a == "--serial") || std::env::var("GH_SERIAL").is_ok_and(|v| v != "0")
+}
+
+/// Worker count for a parallel sweep: `GH_THREADS=n` when set, else the
+/// host's available parallelism.
+pub fn configured_workers() -> usize {
+    match std::env::var("GH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
 }
 
 /// Evaluates `f` over every cell, in parallel unless `serial`, and
@@ -39,10 +57,7 @@ where
     let workers = if serial {
         1
     } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(cells.len().max(1))
+        configured_workers().min(cells.len().max(1))
     };
     if workers <= 1 {
         return cells.iter().map(f).collect();

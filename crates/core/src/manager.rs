@@ -98,7 +98,7 @@ pub struct Manager {
     pid: Pid,
     state: ManagerState,
     snapshot: Option<Snapshot>,
-    tracker: Box<dyn MemoryTracker>,
+    tracker: Box<dyn MemoryTracker + Send>,
     last_principal: Option<String>,
     /// Pool-shared snapshot store + dedup key, when this manager belongs
     /// to a container pool. Used only when `cfg.cow_snapshot` is off — a
@@ -192,6 +192,17 @@ impl Manager {
     /// Takes the clean-state snapshot (§4.2). The caller must have driven
     /// initialization and the dummy warm-up request (§4.1) first.
     pub fn snapshot_now(&mut self, kernel: &mut Kernel) -> Result<SnapshotReport, GhError> {
+        self.snapshot_now_with(kernel, None)
+    }
+
+    /// Like [`Manager::snapshot_now`], with an optionally pre-locked pool
+    /// store (`locked` must guard this manager's shared store): pool
+    /// cold starts lock once per build instead of once per container.
+    pub fn snapshot_now_with(
+        &mut self,
+        kernel: &mut Kernel,
+        locked: Option<&mut gh_mem::SnapshotStore>,
+    ) -> Result<SnapshotReport, GhError> {
         if self.state != ManagerState::Initializing {
             return Err(GhError::BadState {
                 state: self.state.name(),
@@ -212,7 +223,7 @@ impl Manager {
             SnapshotMode::Eager
         };
         let (snapshot, report) =
-            Snapshotter::take_mode(kernel, self.pid, self.tracker.as_mut(), mode)?;
+            Snapshotter::take_mode_with(kernel, self.pid, self.tracker.as_mut(), mode, locked)?;
         self.snapshot = Some(snapshot);
         self.stats.snapshot = Some(report);
         self.state = ManagerState::Ready;

@@ -170,14 +170,14 @@ impl Restorer {
                 RestorePass::PageWriteback { lanes, coalesce } => {
                     // One scratch buffer reused across every run of every
                     // lane: no per-run Vec churn, one store lock per
-                    // coalesced run.
+                    // coalesced run — and the whole run lands through one
+                    // batched `write_run` (one page-table walk per run)
+                    // instead of a probe-and-splice per page.
                     let mut scratch: Vec<gh_mem::FrameData> = Vec::new();
                     for lane in lanes {
                         for run in &lane.runs {
                             snapshot.run_data_into(*run, s.kernel().frames(), &mut scratch);
-                            for (vpn, page) in run.iter().zip(&scratch) {
-                                s.write_page(vpn, page, Taint::Clean)?;
-                            }
+                            s.write_run(*run, &scratch, Taint::Clean)?;
                         }
                     }
                     let lane_costs: Vec<(u64, u64)> = lanes

@@ -40,7 +40,7 @@ pub trait MemoryTracker {
 }
 
 /// Builds the tracker for a [`TrackerKind`].
-pub fn make_tracker(kind: TrackerKind) -> Box<dyn MemoryTracker> {
+pub fn make_tracker(kind: TrackerKind) -> Box<dyn MemoryTracker + Send> {
     match kind {
         TrackerKind::SoftDirty => Box::new(SoftDirtyTracker),
         TrackerKind::Uffd => Box::new(UffdTracker),

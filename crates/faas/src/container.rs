@@ -92,6 +92,23 @@ impl Container {
         seed: u64,
         store: Option<gh_mem::StoreHandle>,
     ) -> Result<Container, StrategyError> {
+        Self::cold_start_pooled(spec, kind, gh_cfg, seed, store, None)
+    }
+
+    /// Like [`Container::cold_start_with_store`], but when the pool
+    /// already holds the store's lock it passes the guard as `locked` so
+    /// the snapshot intern reuses it instead of re-locking — one lock
+    /// acquisition per [`Pool::build`](crate::fleet::Pool::build) or
+    /// grow step instead of one per container. `locked` (when `Some`)
+    /// must guard the same store as `store`.
+    pub fn cold_start_pooled(
+        spec: &FunctionSpec,
+        kind: StrategyKind,
+        gh_cfg: GroundhogConfig,
+        seed: u64,
+        store: Option<gh_mem::StoreHandle>,
+        locked: Option<&mut gh_mem::SnapshotStore>,
+    ) -> Result<Container, StrategyError> {
         let mut kernel = Kernel::boot();
         let mut rng = DetRng::new(seed);
         let t0 = kernel.clock.now();
@@ -114,7 +131,7 @@ impl Container {
         // Strategy preparation (snapshot for GH/GHNOP, heap checkpoint for
         // Faasm).
         let mut strategy = Strategy::create_with_store(kind, &kernel, &fproc, spec, gh_cfg, store)?;
-        let prepare = strategy.prepare(&mut kernel, &fproc)?;
+        let prepare = strategy.prepare_with(&mut kernel, &fproc, locked)?;
 
         let init_time = kernel.clock.now() - t0;
         Ok(Container {

@@ -26,8 +26,33 @@
 //!
 //! A pool of one with the round-robin policy reproduces the single
 //! container open-loop semantics exactly (see [`crate::openloop`]).
+//!
+//! # Host-parallel execution
+//!
+//! [`Fleet::run`] shards eligible runs across host threads: routing
+//! decisions are precomputed on the coordinator, container-local
+//! invoke/restore work fans out to per-shard event queues
+//! (`par::drive_shard`), and the coordinator then replays the global
+//! event loop against the recorded per-slot dispatches — the same
+//! ordered-merge discipline `gh_bench::harness::run_cells` applies
+//! across sweep cells, applied inside one run. The **shard/merge
+//! invariant**: a slot's dispatch outcomes depend only on its own
+//! arrivals and its own previous readiness, so shard-local processing
+//! reproduces the serial per-slot timelines and the replay reproduces
+//! the serial interleaving — results are bit-identical to serial,
+//! enforced by the differential oracle in `tests/fleet_par_oracle.rs`.
+//!
+//! The **serial reference** runs instead whenever a run is not
+//! provably shardable: the policy is not
+//! [`RoutePolicy::RoundRobin`] (least-loaded and restore-aware
+//! routing read container state at arrival time, an arrival→readiness
+//! data dependence), an autoscaler is configured (growth/retirement
+//! mutates the pool mid-run), the pool has fewer than two slots, fewer
+//! than two threads are available, or the caller forced it
+//! ([`ExecMode::Serial`], `--serial`, `GH_SERIAL=1`).
 
 pub mod autoscaler;
+mod par;
 pub mod pool;
 pub mod queue;
 pub mod router;
@@ -40,7 +65,8 @@ use gh_sim::{DetRng, Nanos};
 use groundhog_core::GroundhogConfig;
 
 pub use autoscaler::{AutoscaleConfig, Autoscaler, ScaleAction};
-pub use pool::{Pool, PoolMemory, Slot};
+pub use par::ExecMode;
+pub use pool::{Dispatched, Pool, PoolMemory, Slot};
 pub use queue::{AdmissionQueue, DepthTracker, Pending};
 pub use router::{RoutePolicy, Router};
 
@@ -174,6 +200,24 @@ enum Event {
     Ready(usize),
 }
 
+/// Per-slot counter baseline captured at run start (busy, restore
+/// total, restore hidden, served, lazy faults, drained pages).
+type Baseline = (Nanos, Nanos, Nanos, u64, u64, u64);
+
+/// Deferred pages this slot's background drain wrote back (GH only).
+fn drained(s: &Slot) -> u64 {
+    match &s.container.strategy {
+        gh_isolation::Strategy::Gh(m) => m.stats.lazy_drained_pages,
+        _ => 0,
+    }
+}
+
+/// Next inter-arrival gap of the Poisson arrival process.
+fn poisson_gap(offered_rps: f64, rng: &mut DetRng) -> Nanos {
+    let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+    Nanos::from_millis_f64(-u.ln() / offered_rps * 1e3)
+}
+
 /// The event-driven fleet driver. Owns routing and autoscaling state;
 /// borrows the pool per run so pools can be kept (e.g. by the platform)
 /// across runs.
@@ -196,30 +240,22 @@ impl Fleet {
         }
     }
 
-    /// Drives `requests` Poisson arrivals through `pool` and runs the
-    /// queues dry.
-    pub fn run(&mut self, pool: &mut Pool, requests: usize) -> Result<FleetResult, StrategyError> {
-        assert!(requests > 0, "need at least one request");
-        let input_kb = pool.spec.input_kb;
-        // The measurement span opens when the whole initial pool is warm
-        // (every container past Fig. 1 init + snapshot).
-        let t_start = pool
-            .slots
+    /// The measurement span opens when the whole initial pool is warm
+    /// (every container past Fig. 1 init + snapshot).
+    fn span_start(pool: &Pool) -> Nanos {
+        pool.slots
             .iter()
             .map(|s| s.ready_at)
             .max()
-            .unwrap_or(Nanos::ZERO);
-        let offered_rps = self.cfg.offered_rps;
-        // Per-slot counter baselines: the result reports *this run's*
-        // deltas, so a pool reused across runs (Platform::run_fleet)
-        // never mixes one run's load figures into the next. Slots the
-        // autoscaler adds mid-run have implicit zero baselines.
-        let drained = |s: &Slot| match &s.container.strategy {
-            gh_isolation::Strategy::Gh(m) => m.stats.lazy_drained_pages,
-            _ => 0,
-        };
-        let baseline: Vec<(Nanos, Nanos, Nanos, u64, u64, u64)> = pool
-            .slots
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// Per-slot counter baselines: the result reports *this run's*
+    /// deltas, so a pool reused across runs (Platform::run_fleet)
+    /// never mixes one run's load figures into the next. Slots the
+    /// autoscaler adds mid-run have implicit zero baselines.
+    fn baselines(pool: &Pool) -> Vec<Baseline> {
+        pool.slots
             .iter()
             .map(|s| {
                 (
@@ -231,7 +267,67 @@ impl Fleet {
                     drained(s),
                 )
             })
-            .collect();
+            .collect()
+    }
+
+    /// Drives `requests` Poisson arrivals through `pool` and runs the
+    /// queues dry, in [`ExecMode::Auto`] (parallel when eligible — see
+    /// the module docs — honoring `--serial`/`GH_SERIAL` and
+    /// `GH_THREADS`).
+    pub fn run(&mut self, pool: &mut Pool, requests: usize) -> Result<FleetResult, StrategyError> {
+        self.run_with(pool, requests, ExecMode::Auto)
+    }
+
+    /// Drives `requests` arrivals in an explicit [`ExecMode`]. The
+    /// parallel path is bit-identical to the serial reference; a run
+    /// that is not eligible to shard (non-round-robin policy,
+    /// autoscaler configured, pool or thread count below two) runs
+    /// serially regardless of `mode`.
+    pub fn run_with(
+        &mut self,
+        pool: &mut Pool,
+        requests: usize,
+        mode: ExecMode,
+    ) -> Result<FleetResult, StrategyError> {
+        if requests == 0 {
+            // Degenerate run: identical (and empty) in every mode.
+            let t_start = Self::span_start(pool);
+            let baseline = Self::baselines(pool);
+            return Ok(self.finish(pool, t_start, &baseline, &DepthTracker::new(), &[], 0));
+        }
+        let threads = match mode {
+            ExecMode::Serial => 1,
+            ExecMode::Parallel { threads } => threads,
+            ExecMode::Auto => {
+                if par::serial_requested() {
+                    1
+                } else {
+                    par::configured_threads()
+                }
+            }
+        };
+        let eligible = threads >= 2
+            && self.cfg.policy == RoutePolicy::RoundRobin
+            && self.autoscaler.is_none()
+            && pool.slots.len() >= 2;
+        if eligible {
+            self.run_parallel(pool, requests, threads)
+        } else {
+            self.run_serial(pool, requests)
+        }
+    }
+
+    /// The bit-exact serial reference: one global event loop on the
+    /// caller's thread.
+    fn run_serial(
+        &mut self,
+        pool: &mut Pool,
+        requests: usize,
+    ) -> Result<FleetResult, StrategyError> {
+        let input_kb = pool.spec.input_kb;
+        let t_start = Self::span_start(pool);
+        let offered_rps = self.cfg.offered_rps;
+        let baseline = Self::baselines(pool);
         // The router predicts the critical-path cost of routing a
         // principal to a container that must roll back first (§4.4's
         // deferred-restore mode) from the paper's measured restore time.
@@ -243,11 +339,7 @@ impl Fleet {
         let mut principal_rng = DetRng::new(self.cfg.seed ^ 0x7E4A_4175);
         let mut events: EventQueue<Event> = EventQueue::new();
         let mut next_arrival = t_start;
-        let gap = move |rng: &mut DetRng| {
-            let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
-            Nanos::from_millis_f64(-u.ln() / offered_rps * 1e3)
-        };
-        next_arrival += gap(&mut arrival_rng);
+        next_arrival += poisson_gap(offered_rps, &mut arrival_rng);
         events.schedule(next_arrival, Event::Arrival);
         let mut generated = 1usize;
         let mut next_id = 1u64;
@@ -280,7 +372,7 @@ impl Fleet {
                     });
                     depth.record(pool.queued());
                     if generated < requests {
-                        next_arrival += gap(&mut arrival_rng);
+                        next_arrival += poisson_gap(offered_rps, &mut arrival_rng);
                         events.schedule(next_arrival, Event::Arrival);
                         generated += 1;
                     }
@@ -306,6 +398,200 @@ impl Fleet {
         }
         debug_assert_eq!(completed, requests, "all arrivals must be served");
 
+        Ok(self.finish(pool, t_start, &baseline, &depth, &sojourns_ms, completed))
+    }
+
+    /// The sharded path: plan on the coordinator, fan container-local
+    /// invoke/restore work out to per-shard event queues, then replay
+    /// the global loop against the recorded dispatches (see the module
+    /// docs and [`par`]). Callers guarantee eligibility: round-robin
+    /// policy, no autoscaler, ≥ 2 slots, ≥ 2 threads, ≥ 1 request.
+    fn run_parallel(
+        &mut self,
+        pool: &mut Pool,
+        requests: usize,
+        threads: usize,
+    ) -> Result<FleetResult, StrategyError> {
+        let input_kb = pool.spec.input_kb;
+        let t_start = Self::span_start(pool);
+        let offered_rps = self.cfg.offered_rps;
+        let baseline = Self::baselines(pool);
+        let restore_cost = Nanos::from_millis_f64(pool.spec.paper_restore_ms);
+
+        // Phase 1 — plan: draw the arrival process (same RNG streams and
+        // per-stream draw order as the serial loop) and route every
+        // request with a *clone* of the router — round-robin routing
+        // reads only the slots' static retired flags, so pre-run
+        // decisions are exact. The real router advances during the
+        // phase-3 replay, ending with the cursor the serial run leaves.
+        let mut arrival_rng = DetRng::new(self.cfg.seed ^ 0x09E4_100D);
+        let mut principal_rng = DetRng::new(self.cfg.seed ^ 0x7E4A_4175);
+        let mut planner = self.router.clone();
+        let mut plan: Vec<par::Arrival> = Vec::with_capacity(requests);
+        let mut next_arrival = t_start;
+        for i in 0..requests {
+            next_arrival += poisson_gap(offered_rps, &mut arrival_rng);
+            let principal = if self.cfg.principals <= 1 {
+                "client".to_string()
+            } else {
+                format!(
+                    "user-{}",
+                    principal_rng.next_below(self.cfg.principals as u64)
+                )
+            };
+            let slot = planner.route(next_arrival, &principal, restore_cost, &pool.slots);
+            plan.push(par::Arrival {
+                at: next_arrival,
+                id: i as u64 + 1,
+                principal,
+                slot,
+            });
+        }
+
+        // Pre-shard readiness, so the phase-3 mirrors start from the
+        // same per-slot state the serial loop would see.
+        let ready0: Vec<Nanos> = pool.slots.iter().map(|s| s.ready_at).collect();
+
+        // Phase 2 — shard: contiguous slot slices fan out across scoped
+        // workers; only container-local work runs off the coordinator.
+        let n_slots = pool.slots.len();
+        let mut outs: Vec<Vec<Dispatched>> = (0..n_slots).map(|_| Vec::new()).collect();
+        let chunk = n_slots.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let plan = &plan;
+            let handles: Vec<_> = pool
+                .slots
+                .chunks_mut(chunk)
+                .zip(outs.chunks_mut(chunk))
+                .enumerate()
+                .map(|(si, (slots, outs))| {
+                    scope.spawn(move || par::drive_shard(slots, si * chunk, plan, input_kb, outs))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .try_for_each(|h| h.join().expect("shard worker panicked"))
+        })?;
+
+        // Phase 3 — merge: replay the serial event loop against per-slot
+        // mirrors, consuming the recorded dispatches. The replay issues
+        // the same schedule calls in the same order as the serial loop,
+        // so tie-breaking sequence numbers — and therefore pop order,
+        // sojourn ordering and depth samples — match bit for bit.
+        struct Mirror {
+            qlen: usize,
+            ready_at: Nanos,
+            next: usize,
+        }
+        #[allow(clippy::too_many_arguments)]
+        fn mirror_dispatch(
+            m: &mut Mirror,
+            idx: usize,
+            now: Nanos,
+            outs: &[Vec<Dispatched>],
+            events: &mut EventQueue<Event>,
+            sojourns_ms: &mut Vec<f64>,
+            completed: &mut usize,
+            queued_total: &mut usize,
+        ) {
+            if m.ready_at <= now && m.qlen > 0 {
+                let d = outs[idx][m.next];
+                m.next += 1;
+                m.qlen -= 1;
+                *queued_total -= 1;
+                sojourns_ms.push(d.sojourn.as_millis_f64());
+                *completed += 1;
+                events.schedule(d.ready_at, Event::Ready(idx));
+                m.ready_at = d.ready_at;
+            }
+        }
+        let mut mirrors: Vec<Mirror> = ready0
+            .into_iter()
+            .map(|r| Mirror {
+                qlen: 0,
+                ready_at: r,
+                next: 0,
+            })
+            .collect();
+        let mut events: EventQueue<Event> = EventQueue::new();
+        let mut depth = DepthTracker::new();
+        let mut sojourns_ms = Vec::with_capacity(requests);
+        let mut completed = 0usize;
+        let mut queued_total = 0usize;
+        let mut next_plan = 0usize;
+        let mut generated = 1usize;
+        events.schedule(plan[0].at, Event::Arrival);
+
+        while let Some((now, ev)) = events.pop() {
+            match ev {
+                Event::Arrival => {
+                    let a = &plan[next_plan];
+                    next_plan += 1;
+                    let idx = self
+                        .router
+                        .route(now, &a.principal, restore_cost, &pool.slots);
+                    debug_assert_eq!(idx, a.slot, "replay route diverged from plan");
+                    mirrors[idx].qlen += 1;
+                    queued_total += 1;
+                    depth.record(queued_total);
+                    if generated < requests {
+                        events.schedule(plan[generated].at, Event::Arrival);
+                        generated += 1;
+                    }
+                    mirror_dispatch(
+                        &mut mirrors[idx],
+                        idx,
+                        now,
+                        &outs,
+                        &mut events,
+                        &mut sojourns_ms,
+                        &mut completed,
+                        &mut queued_total,
+                    );
+                }
+                Event::Ready(idx) => {
+                    mirror_dispatch(
+                        &mut mirrors[idx],
+                        idx,
+                        now,
+                        &outs,
+                        &mut events,
+                        &mut sojourns_ms,
+                        &mut completed,
+                        &mut queued_total,
+                    );
+                    depth.record(queued_total);
+                }
+            }
+            if completed == requests && queued_total == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(completed, requests, "all arrivals must be served");
+        debug_assert!(
+            mirrors
+                .iter()
+                .enumerate()
+                .all(|(i, m)| m.next == outs[i].len()),
+            "every recorded dispatch must be consumed by the replay"
+        );
+
+        Ok(self.finish(pool, t_start, &baseline, &depth, &sojourns_ms, completed))
+    }
+
+    /// Shared result assembly: settles trailing restores and folds the
+    /// pool's post-run state into a [`FleetResult`]. Both execution
+    /// paths end here, so the report derivation is identical by
+    /// construction.
+    fn finish(
+        &self,
+        pool: &mut Pool,
+        t_start: Nanos,
+        baseline: &[Baseline],
+        depth: &DepthTracker,
+        sojourns_ms: &[f64],
+        completed: usize,
+    ) -> FleetResult {
         for s in &mut pool.slots {
             s.settle();
         }
@@ -374,12 +660,16 @@ impl Fleet {
         let lazy_faults = per_container.iter().map(|c| c.lazy_faults).sum();
         let lazy_drained_pages = per_container.iter().map(|c| c.lazy_drained_pages).sum();
         let memory = pool.memory();
-        Ok(FleetResult {
+        FleetResult {
             offered_rps: self.cfg.offered_rps,
             completed,
             goodput_rps: throughput_rps(completed, span),
             mean_ms,
-            p99_ms: percentile(&sojourns_ms, 99.0),
+            p99_ms: if sojourns_ms.is_empty() {
+                0.0
+            } else {
+                percentile(sojourns_ms, 99.0)
+            },
             utilization,
             stats: FleetStats {
                 pool_size: pool.slots.len(),
@@ -399,7 +689,7 @@ impl Fleet {
                 snapshot_resident_bytes: memory.resident_bytes,
                 snapshot_bytes_per_container: memory.resident_bytes_per_container,
             },
-        })
+        }
     }
 
     /// One autoscaler observation; applies at most one action.
@@ -440,9 +730,24 @@ pub fn run_fleet(
     cfg: FleetConfig,
     requests: usize,
 ) -> Result<FleetResult, StrategyError> {
+    run_fleet_with(spec, kind, gh, pool_size, cfg, requests, ExecMode::Auto)
+}
+
+/// [`run_fleet`] with an explicit [`ExecMode`] — the entry point of the
+/// serial-vs-parallel differential oracle and the determinism CI job.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fleet_with(
+    spec: &FunctionSpec,
+    kind: StrategyKind,
+    gh: GroundhogConfig,
+    pool_size: usize,
+    cfg: FleetConfig,
+    requests: usize,
+    mode: ExecMode,
+) -> Result<FleetResult, StrategyError> {
     let seed = cfg.seed;
     let mut pool = Pool::build(spec, kind, gh, pool_size, seed)?;
-    Fleet::new(cfg).run(&mut pool, requests)
+    Fleet::new(cfg).run_with(&mut pool, requests, mode)
 }
 
 #[cfg(test)]

@@ -1,0 +1,136 @@
+//! Differential oracle: host-parallel fleet execution must be
+//! bit-identical to the serial reference.
+//!
+//! Serial mode is the ground truth; every parallel run — across seeds,
+//! routing policies, pool sizes and thread counts — must reproduce the
+//! exact same [`FleetResult`]: every counter, every per-container stat,
+//! every percentile, and the CSV-style rendering byte for byte. Float
+//! fields are compared through `{:?}` (shortest round-trip form), which
+//! distinguishes any two different bit patterns.
+
+use gh_faas::fleet::{run_fleet_with, ExecMode, FleetConfig, FleetResult, RoutePolicy};
+use gh_functions::catalog::by_name;
+use gh_isolation::StrategyKind;
+use groundhog_core::GroundhogConfig;
+
+fn run(pool_size: usize, cfg: &FleetConfig, requests: usize, mode: ExecMode) -> FleetResult {
+    let spec = by_name("fannkuch (p)").unwrap();
+    run_fleet_with(
+        &spec,
+        StrategyKind::Gh,
+        GroundhogConfig::gh(),
+        pool_size,
+        cfg.clone(),
+        requests,
+        mode,
+    )
+    .unwrap()
+}
+
+/// A CSV-style line covering every scalar field of the result, the way
+/// the bench binaries render them. Byte equality here is the
+/// user-visible half of the oracle.
+fn csv_line(r: &FleetResult) -> String {
+    let s = &r.stats;
+    format!(
+        "{:?},{},{:?},{:?},{:?},{:?},{},{},{},{},{:?},{:?},{:?},{:?},{:?},{},{},{:?},{:?},{},{}",
+        r.offered_rps,
+        r.completed,
+        r.goodput_rps,
+        r.mean_ms,
+        r.p99_ms,
+        r.utilization,
+        s.pool_size,
+        s.active,
+        s.spawned,
+        s.retired,
+        s.queue_mean,
+        s.queue_p50,
+        s.queue_p95,
+        s.queue_p99,
+        s.restore_total_ms,
+        s.lazy_faults,
+        s.lazy_drained_pages,
+        s.restore_overlap_ratio,
+        s.snapshot_dedup_ratio,
+        s.snapshot_resident_bytes,
+        s.snapshot_bytes_per_container,
+    )
+}
+
+/// Full structural fingerprint: `{:?}` covers every field including the
+/// per-container loads, and round-trips f64 exactly.
+fn fingerprint(r: &FleetResult) -> String {
+    format!("{r:?}")
+}
+
+fn assert_identical(label: &str, serial: &FleetResult, parallel: &FleetResult) {
+    assert_eq!(
+        fingerprint(serial),
+        fingerprint(parallel),
+        "{label}: parallel result diverged from the serial reference"
+    );
+    assert_eq!(
+        csv_line(serial),
+        csv_line(parallel),
+        "{label}: CSV rendering diverged"
+    );
+}
+
+#[test]
+fn parallel_matches_serial_across_seeds_and_pools() {
+    for &seed in &[7u64, 99] {
+        for &pool in &[2usize, 5] {
+            let cfg = FleetConfig::fixed(RoutePolicy::RoundRobin, 250.0, seed);
+            let requests = 300;
+            let serial = run(pool, &cfg, requests, ExecMode::Serial);
+            assert_eq!(serial.completed, requests, "oracle baseline must serve all");
+            for &threads in &[2usize, 8] {
+                let par = run(pool, &cfg, requests, ExecMode::Parallel { threads });
+                assert_identical(
+                    &format!("seed={seed} pool={pool} threads={threads}"),
+                    &serial,
+                    &par,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial_with_principals() {
+    let cfg = FleetConfig::fixed(RoutePolicy::RoundRobin, 300.0, 1234).with_principals(4);
+    let serial = run(4, &cfg, 400, ExecMode::Serial);
+    let par = run(4, &cfg, 400, ExecMode::Parallel { threads: 4 });
+    assert_identical("principals=4", &serial, &par);
+}
+
+#[test]
+fn ineligible_policies_fall_back_to_serial() {
+    // Non-round-robin routing depends on live container state, so the
+    // parallel request must quietly take the serial path — and match.
+    for policy in [RoutePolicy::LeastLoaded, RoutePolicy::RestoreAware] {
+        let cfg = FleetConfig::fixed(policy, 250.0, 42);
+        let serial = run(3, &cfg, 200, ExecMode::Serial);
+        let par = run(3, &cfg, 200, ExecMode::Parallel { threads: 8 });
+        assert_identical(policy.label(), &serial, &par);
+    }
+}
+
+#[test]
+fn single_container_pool_matches() {
+    let cfg = FleetConfig::fixed(RoutePolicy::RoundRobin, 200.0, 5);
+    let serial = run(1, &cfg, 150, ExecMode::Serial);
+    let par = run(1, &cfg, 150, ExecMode::Parallel { threads: 8 });
+    assert_identical("pool=1", &serial, &par);
+}
+
+#[test]
+fn empty_run_is_mode_independent() {
+    let cfg = FleetConfig::fixed(RoutePolicy::RoundRobin, 200.0, 5);
+    let serial = run(3, &cfg, 0, ExecMode::Serial);
+    let par = run(3, &cfg, 0, ExecMode::Parallel { threads: 4 });
+    assert_eq!(serial.completed, 0);
+    assert!(serial.mean_ms == 0.0 || serial.mean_ms.is_nan() == par.mean_ms.is_nan());
+    assert_identical("requests=0", &serial, &par);
+}

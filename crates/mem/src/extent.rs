@@ -392,10 +392,26 @@ impl PageTable {
         })
     }
 
-    /// Iterates the frames of the present pages of `range` in address
-    /// order (the range must be fully present).
-    pub fn frames_in(&self, range: PageRange) -> impl Iterator<Item = FrameId> + '_ {
-        range.iter().map(move |v| self.frame_slot(v.0))
+    /// Appends the frames of the present pages of `range` (which must be
+    /// fully present) to `out`, in address order. Chunk-wise: one
+    /// `HashMap` probe per touched 512-page window instead of one per
+    /// page, and each window lands via `extend_from_slice`, so a
+    /// 2 MiB-aligned window is one memcpy of a whole chunk slice — the
+    /// capture fast path.
+    pub fn frames_in_into(&self, range: PageRange, out: &mut Vec<FrameId>) {
+        let (lo, hi) = (range.start.0, range.end.0);
+        if hi <= lo {
+            return;
+        }
+        out.reserve((hi - lo) as usize);
+        for key in lo / CHUNK_PAGES..(hi - 1) / CHUNK_PAGES + 1 {
+            let w_lo = (key * CHUNK_PAGES).max(lo);
+            let w_hi = ((key + 1) * CHUNK_PAGES).min(hi);
+            out.extend_from_slice(
+                &self.chunks[&key].frames
+                    [(w_lo % CHUNK_PAGES) as usize..((w_hi - 1) % CHUNK_PAGES + 1) as usize],
+            );
+        }
     }
 
     /// One ordered cursor walk resolving a sorted batch of page touches.
@@ -552,6 +568,106 @@ impl PageTable {
         // ---- Phase 2: fold the edits back into the extent map ----
         if edits.runs.is_empty() {
             return; // warm batch: the extent map is untouched
+        }
+        Self::apply_edit_runs(extents, edits.runs);
+    }
+
+    /// One ordered walk resolving every page of a *contiguous* range —
+    /// the run-granular restore path ([`touch_walk`]'s simpler sibling:
+    /// no duplicate handling, no `TouchItem` batch to materialize).
+    ///
+    /// For every page of `range`, ascending, `decide` sees the page's
+    /// offset within the range and its current `(frame, flags)` (`None`
+    /// when absent) and returns a [`BatchDecision`]. Costs one chunk
+    /// probe per 512-page window and one extent edit fold for the whole
+    /// run, instead of a `BTreeMap` probe-and-splice per page; state
+    /// outcomes are identical to applying the decisions page-at-a-time.
+    ///
+    /// [`touch_walk`]: PageTable::touch_walk
+    pub(crate) fn restore_walk(
+        &mut self,
+        range: PageRange,
+        mut decide: impl FnMut(u64, Option<(FrameId, PteFlags)>) -> BatchDecision,
+    ) {
+        if range.is_empty() {
+            return;
+        }
+        let (lo, hi) = (range.start.0, range.end.0);
+
+        let PageTable {
+            extents,
+            chunks,
+            present,
+        } = self;
+
+        // Phase 1: forward extent cursor + per-window chunk probe, as in
+        // `touch_walk` phase 1 (see there for the cursor invariants).
+        let seed = extents
+            .range(..=lo)
+            .next_back()
+            .map(|(&s, _)| s)
+            .unwrap_or(lo);
+        let mut ext_iter = extents.range(seed..).peekable();
+        let mut cur_ext: Option<(u64, u64, PteFlags)> = None;
+        let mut edits = RunBuilder::default();
+
+        let mut vpn = lo;
+        while vpn < hi {
+            let key = vpn / CHUNK_PAGES;
+            let w_hi = ((key + 1) * CHUNK_PAGES).min(hi);
+            let existed = chunks.contains_key(&key);
+            let chunk = chunks.entry(key).or_insert_with(Chunk::new);
+            while vpn < w_hi {
+                let slot = (vpn % CHUNK_PAGES) as usize;
+                let flags = match cur_ext {
+                    Some((s, e, f)) if vpn >= s && vpn < e => Some(f),
+                    _ => {
+                        while let Some(&(&s, m)) = ext_iter.peek() {
+                            if s <= vpn {
+                                cur_ext = Some((s, s + m.len, m.flags));
+                                ext_iter.next();
+                            } else {
+                                break;
+                            }
+                        }
+                        cur_ext
+                            .filter(|&(s, e, _)| vpn >= s && vpn < e)
+                            .map(|(_, _, f)| f)
+                    }
+                };
+                let cur = flags.map(|f| (chunk.frames[slot], f));
+                match decide(vpn - lo, cur) {
+                    BatchDecision::Skip => {}
+                    BatchDecision::Insert { frame, flags } => {
+                        debug_assert!(cur.is_none(), "Insert over a present page");
+                        chunk.frames[slot] = frame;
+                        chunk.used += 1;
+                        *present += 1;
+                        edits.push(vpn, 1, flags);
+                    }
+                    BatchDecision::Update { frame, flags } => {
+                        let (old_frame, old_flags) = cur.expect("Update on an absent page");
+                        if let Some(f) = frame {
+                            if f != old_frame {
+                                chunk.frames[slot] = f;
+                            }
+                        }
+                        if flags != old_flags {
+                            edits.push(vpn, 1, flags);
+                        }
+                    }
+                }
+                vpn += 1;
+            }
+            if chunk.used == 0 && !existed {
+                chunks.remove(&key);
+            }
+        }
+        drop(ext_iter);
+
+        // Phase 2: fold the edits back into the extent map.
+        if edits.runs.is_empty() {
+            return;
         }
         Self::apply_edit_runs(extents, edits.runs);
     }
@@ -857,10 +973,8 @@ mod tests {
             ],
             "presence runs ignore flag splits"
         );
-        let frames: Vec<u64> = t
-            .frames_in(PageRange::new(Vpn(7), Vpn(9)))
-            .map(|f| f.0)
-            .collect();
-        assert_eq!(frames, vec![70, 80]);
+        let mut frames = Vec::new();
+        t.frames_in_into(PageRange::new(Vpn(7), Vpn(9)), &mut frames);
+        assert_eq!(frames.iter().map(|f| f.0).collect::<Vec<_>>(), vec![70, 80]);
     }
 }

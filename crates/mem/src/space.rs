@@ -46,7 +46,7 @@ use std::collections::BTreeMap;
 
 use crate::addr::{PageRange, VirtAddr, Vpn, PAGE_SIZE};
 use crate::batch::{BatchOutcome, TouchBatch};
-use crate::extent::PageTable;
+use crate::extent::{BatchDecision, PageTable};
 use crate::frame::{FrameData, FrameId, FrameTable};
 use crate::index::VpnIndex;
 use crate::pte::{Pte, PteFlags};
@@ -1313,7 +1313,11 @@ impl AddressSpace {
         self.pt
             .present_runs()
             .into_iter()
-            .map(|range| (range.start, self.pt.frames_in(range).collect()))
+            .map(|range| {
+                let mut ids = Vec::new();
+                self.pt.frames_in_into(range, &mut ids);
+                (range.start, ids)
+            })
             .collect()
     }
 
@@ -1368,6 +1372,64 @@ impl AddressSpace {
             }
         }
         self.sync_taint_bit(vpn, taint);
+        Ok(())
+    }
+
+    /// Overwrites a whole contiguous run with `data` (one [`FrameData`]
+    /// per page of `range`), bypassing fault accounting — the batched
+    /// restore-writeback path. State outcomes (page table, frame table
+    /// including frame-id allocation order, taint index) are identical to
+    /// calling [`AddressSpace::restore_page`] once per page in ascending
+    /// order; the cost is one VMA probe per overlapped VMA, one chunk
+    /// probe per 512-page window and one extent edit fold per run,
+    /// instead of a map probe-and-splice per page.
+    ///
+    /// Errors with [`AccessError::Unmapped`] — before mutating anything —
+    /// if any page of `range` lies outside every VMA.
+    pub fn restore_run(
+        &mut self,
+        range: PageRange,
+        data: &[FrameData],
+        taint: Taint,
+        frames: &mut FrameTable,
+    ) -> Result<(), AccessError> {
+        debug_assert_eq!(range.len() as usize, data.len(), "one FrameData per page");
+        // Whole-run VMA coverage: one probe per overlapped VMA. Unlike the
+        // per-page loop this rejects the run before any write, but the
+        // restorer aborts on the first error either way.
+        let mut v = range.start;
+        while v < range.end {
+            let vma = self.vma_at(v).ok_or(AccessError::Unmapped(v))?;
+            v = Vpn(vma.range.end.0.min(range.end.0));
+        }
+        self.pt.restore_walk(range, |offset, cur| {
+            let page = &data[offset as usize];
+            match cur {
+                Some((frame, flags)) => {
+                    if frames.is_shared(frame) {
+                        // Same decref-then-alloc order as `restore_page`,
+                        // page-ascending, so frame-id reuse matches the
+                        // per-page path bit for bit.
+                        frames.decref(frame);
+                        let fresh = frames.alloc(page.clone(), taint);
+                        BatchDecision::Update {
+                            frame: Some(fresh),
+                            flags: flags.without(PteFlags::COW),
+                        }
+                    } else {
+                        frames.overwrite(frame, page.clone(), taint);
+                        BatchDecision::Update { frame: None, flags }
+                    }
+                }
+                None => BatchDecision::Insert {
+                    frame: frames.alloc(page.clone(), taint),
+                    flags: PteFlags::PRESENT,
+                },
+            }
+        });
+        for vpn in range.iter() {
+            self.sync_taint_bit(vpn, taint);
+        }
         Ok(())
     }
 

@@ -303,6 +303,24 @@ impl<'k> PtraceSession<'k> {
             .map_err(PtraceError::Syscall)
     }
 
+    /// Writes a whole contiguous run wholesale (`data` holds one page per
+    /// vpn of `range`); contents become `taint`. State outcome is
+    /// identical to [`PtraceSession::write_page`] per page ascending, at
+    /// one page-table walk per run. No cost charged here: the restorer
+    /// charges coalesced-run costs.
+    pub fn write_run(
+        &mut self,
+        range: gh_mem::PageRange,
+        data: &[FrameData],
+        taint: Taint,
+    ) -> Result<(), PtraceError> {
+        self.require_stopped()?;
+        let (proc, frames) = self.k.mem_ctx(self.pid)?;
+        proc.mem
+            .restore_run(range, data, taint, frames)
+            .map_err(PtraceError::Syscall)
+    }
+
     /// Registers pages for on-demand restoration (the lazy restore
     /// mode's `DeferArm` pass): instead of writing the restore set back,
     /// the manager write-protects/unmaps it against the snapshot image

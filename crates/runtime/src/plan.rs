@@ -47,7 +47,19 @@ pub struct PlanCache {
     write_sets: HashMap<(u64, u64), Vec<Vpn>>,
     /// Read sets keyed by `reads` (phase-invariant).
     read_sets: HashMap<u64, Vec<Vpn>>,
+    /// Retired vpn vectors recycled into the next plan build. Plan churn
+    /// — phase-rotating write sets, bound resets, layout invalidation —
+    /// reuses capacity instead of allocating one fresh `Vec` per built
+    /// plan.
+    retired: Vec<Vec<Vpn>>,
     scratch: TouchBatch,
+}
+
+/// Retires a map's vpn vectors into the free list instead of dropping
+/// them, keeping the list bounded.
+fn retire<K>(map: &mut HashMap<K, Vec<Vpn>>, retired: &mut Vec<Vec<Vpn>>) {
+    retired.extend(map.drain().map(|(_, v)| v));
+    retired.truncate(MAX_PLANS);
 }
 
 impl PlanCache {
@@ -57,10 +69,11 @@ impl PlanCache {
     }
 
     /// Drops all cached plans (the layout-churn invalidation hook).
-    /// The scratch batch keeps its allocation.
+    /// The scratch batch and the plans' vpn allocations are kept for
+    /// reuse.
     pub fn invalidate(&mut self) {
-        self.write_sets.clear();
-        self.read_sets.clear();
+        retire(&mut self.write_sets, &mut self.retired);
+        retire(&mut self.read_sets, &mut self.retired);
     }
 
     /// Number of cached vpn sets (observability for tests).
@@ -87,24 +100,29 @@ impl PlanCache {
         let PlanCache {
             write_sets,
             read_sets,
+            retired,
             scratch,
         } = self;
         let total = regions.dirtyable_pages().max(1);
         if write_sets.len() >= MAX_PLANS && !write_sets.contains_key(&(writes, phase)) {
-            write_sets.clear();
+            retire(write_sets, retired);
         }
         let write_vpns = write_sets.entry((writes, phase)).or_insert_with(|| {
             let wstride = (total / writes.max(1)).max(1);
-            let mut v = Vec::with_capacity(writes as usize);
+            let mut v = retired.pop().unwrap_or_default();
+            v.clear();
+            v.reserve(writes as usize);
             regions.resolve_ascending((0..writes).map(|i| i * wstride + phase), &mut v);
             v
         });
         if read_sets.len() >= MAX_PLANS && !read_sets.contains_key(&reads) {
-            read_sets.clear();
+            retire(read_sets, retired);
         }
         let read_vpns = read_sets.entry(reads).or_insert_with(|| {
             let rstride = (total / reads.max(1)).max(1);
-            let mut v = Vec::with_capacity(reads as usize);
+            let mut v = retired.pop().unwrap_or_default();
+            v.clear();
+            v.reserve(reads as usize);
             regions.resolve_ascending((0..reads).map(|i| i * rstride), &mut v);
             v
         });

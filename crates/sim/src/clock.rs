@@ -5,18 +5,20 @@
 //! platform. Components *advance* the clock when they perform work; readers
 //! observe a monotonically non-decreasing `now`.
 
-use core::cell::Cell;
-use std::rc::Rc;
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::time::Nanos;
 
 /// A shared, monotonically advancing virtual clock.
 ///
-/// Cloning produces a handle to the *same* underlying clock. The clock is
-/// intentionally single-threaded (`Rc<Cell<_>>`): the simulation itself is
-/// deterministic and sequential, and parallelism in experiments comes from
-/// simulating independent per-core timelines (§5.3.4 of the paper shows
-/// containers scale independently per core).
+/// Cloning produces a handle to the *same* underlying clock. The clock
+/// is `Send`/`Sync` (`Arc<AtomicU64>`) so independent per-container
+/// timelines can be driven from different host threads (the fleet's
+/// sharded execution; §5.3.4 of the paper shows containers scale
+/// independently per core) — but any *one* timeline is still advanced
+/// by exactly one thread at a time, so relaxed ordering suffices and
+/// the simulation stays deterministic.
 ///
 /// # Examples
 ///
@@ -30,7 +32,7 @@ use crate::time::Nanos;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct VirtualClock {
-    now: Rc<Cell<u64>>,
+    now: Arc<AtomicU64>,
 }
 
 impl VirtualClock {
@@ -42,21 +44,28 @@ impl VirtualClock {
     /// Creates a clock starting at `start`.
     pub fn starting_at(start: Nanos) -> Self {
         let c = Self::new();
-        c.now.set(start.as_nanos());
+        c.now.store(start.as_nanos(), Ordering::Relaxed);
         c
     }
 
     /// Current virtual time.
     #[inline]
     pub fn now(&self) -> Nanos {
-        Nanos::from_nanos(self.now.get())
+        Nanos::from_nanos(self.now.load(Ordering::Relaxed))
     }
 
     /// Advances the clock by `dt` and returns the new time.
+    ///
+    /// A timeline is advanced by exactly one thread at a time (the shard
+    /// worker that owns the container), so a plain load/store — rather
+    /// than an RMW — is sufficient.
     #[inline]
     pub fn advance(&self, dt: Nanos) -> Nanos {
-        let t = self.now.get().saturating_add(dt.as_nanos());
-        self.now.set(t);
+        let t = self
+            .now
+            .load(Ordering::Relaxed)
+            .saturating_add(dt.as_nanos());
+        self.now.store(t, Ordering::Relaxed);
         Nanos::from_nanos(t)
     }
 
@@ -64,9 +73,7 @@ impl VirtualClock {
     /// otherwise (the clock never goes backwards).
     #[inline]
     pub fn advance_to(&self, t: Nanos) -> Nanos {
-        if t.as_nanos() > self.now.get() {
-            self.now.set(t.as_nanos());
-        }
+        self.now.fetch_max(t.as_nanos(), Ordering::Relaxed);
         self.now()
     }
 
