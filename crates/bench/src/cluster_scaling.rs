@@ -1,0 +1,153 @@
+//! Host-side scaling of node-parallel cluster execution
+//! (`run_cluster_with` fanning node timelines across worker threads)
+//! vs the serial reference.
+//!
+//! The rig drives the same trace — [`NODES`] nodes, [`FUNCTIONS`]
+//! Zipf-distributed synthetic functions, ≥10⁶ requests — twice,
+//! [`ExecMode::Serial`] and [`ExecMode::Parallel`] at [`THREADS`]
+//! workers, and times each whole run (pool construction is node-local
+//! and parallelizes with the node, so it is part of the measured
+//! region on both sides). Result equality is asserted after the
+//! measurement through the `{:?}` fingerprint, making the rig double
+//! as a release-mode oracle on top of `gh-faas`'s differential tests.
+//! A second, much smaller run pins the sketch-bounded stats-memory
+//! guarantee: `stats_bytes` must not depend on the request count.
+//!
+//! Gate design matches `fleet_scaling.rs`: the **speedup ratio** is a
+//! same-machine quotient (machine-independent, gated, capped at 8);
+//! raw ns per run is machine-dependent and published as gate-exempt
+//! `info_` metrics plus `results/scaling_cluster.csv`.
+
+use std::time::Instant;
+
+use gh_faas::cluster::{run_cluster_with, ClusterConfig, PlacePolicy};
+use gh_faas::fleet::ExecMode;
+use gh_faas::trace::{stable_rps, synthetic_catalog, TraceConfig};
+use gh_functions::FunctionSpec;
+use gh_isolation::StrategyKind;
+use gh_sim::report::TextTable;
+use groundhog_core::GroundhogConfig;
+
+/// Simulated worker nodes.
+pub const NODES: usize = 8;
+/// Synthetic functions in the trace.
+pub const FUNCTIONS: u32 = 256;
+/// Worker-thread target on the parallel side. The rig runs
+/// `min(THREADS, cores)`: oversubscribing a smaller host measures
+/// scheduler thrash, not node parallelism, and on a single-core host
+/// the parallel side deliberately degenerates to the serial path so
+/// the gated ratio is an honest ~1.0 (see bench_smoke's `--check`).
+pub const THREADS: usize = 8;
+
+/// Effective worker threads on this host.
+pub fn threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(THREADS))
+}
+/// Seed of the whole rig (trace, deployment, containers).
+const SEED: u64 = 42;
+
+/// Requests per measured run (`GH_CLUSTER_REQUESTS` overrides;
+/// default 10⁶ — the acceptance floor for the cluster rig).
+pub fn requests() -> u64 {
+    std::env::var("GH_CLUSTER_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+/// Wall-clock of the two execution modes over the same run.
+pub struct ClusterScalingReport {
+    /// Requests per measured run.
+    pub requests: u64,
+    /// Nodes simulated.
+    pub nodes: usize,
+    /// Worker threads on the parallel side.
+    pub threads: usize,
+    /// ns for the serial run.
+    pub serial_ns: f64,
+    /// ns for the parallel run.
+    pub par_ns: f64,
+    /// Percentile-tracking bytes of the run — constant in `requests`.
+    pub stats_bytes: usize,
+}
+
+impl ClusterScalingReport {
+    /// Serial / parallel wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.serial_ns / self.par_ns.max(1.0)
+    }
+}
+
+fn config(catalog: &[FunctionSpec], requests: u64) -> (TraceConfig, ClusterConfig) {
+    let ccfg = ClusterConfig::new(NODES, PlacePolicy::RoundRobin, StrategyKind::Gh, SEED);
+    // Offered load sized so the hottest rank sits at ~60% of its pool
+    // capacity — queues stay bounded over the whole 10⁶-request trace.
+    let rps = stable_rps(catalog, ccfg.replicas * ccfg.slots_per_pool, 1.0, 0.6);
+    let trace = TraceConfig {
+        principals: 128,
+        ..TraceConfig::new(FUNCTIONS, requests, rps, SEED)
+    };
+    (trace, ccfg)
+}
+
+fn timed_run(requests: u64, mode: ExecMode) -> (f64, String, usize) {
+    let catalog = synthetic_catalog(FUNCTIONS, SEED);
+    let (trace, ccfg) = config(&catalog, requests);
+    let t0 = Instant::now();
+    let result =
+        run_cluster_with(&trace, &catalog, &ccfg, GroundhogConfig::gh(), mode).expect("run");
+    let ns = t0.elapsed().as_nanos() as f64;
+    assert_eq!(result.completed, requests, "cluster must drain the trace");
+    (ns, format!("{result:?}"), result.stats_bytes)
+}
+
+/// Measures both modes, asserts result equality and request-count-
+/// independent stats memory.
+pub fn run() -> ClusterScalingReport {
+    let requests = requests();
+    let threads = threads();
+    let (serial_ns, serial_fp, stats_bytes) = timed_run(requests, ExecMode::Serial);
+    let (par_ns, par_fp, _) = timed_run(requests, ExecMode::Parallel { threads });
+    assert_eq!(
+        serial_fp, par_fp,
+        "node-parallel cluster run diverged from the serial reference"
+    );
+    // The bounded-memory acceptance: 50x fewer requests, same stats
+    // footprint (two fixed-size sketches per node).
+    let (_, _, small_bytes) = timed_run(requests.div_ceil(50), ExecMode::Serial);
+    assert_eq!(
+        stats_bytes, small_bytes,
+        "stats memory must be independent of the request count"
+    );
+    ClusterScalingReport {
+        requests,
+        nodes: NODES,
+        threads,
+        serial_ns,
+        par_ns,
+        stats_bytes,
+    }
+}
+
+/// Renders the report for the console and `results/scaling_cluster.csv`.
+pub fn render(r: &ClusterScalingReport) -> TextTable {
+    let mut t = TextTable::new(&[
+        "nodes",
+        "requests",
+        "threads",
+        "serial ms",
+        "parallel ms",
+        "speedup",
+        "stats KiB",
+    ]);
+    t.row_owned(vec![
+        r.nodes.to_string(),
+        r.requests.to_string(),
+        r.threads.to_string(),
+        format!("{:.1}", r.serial_ns / 1e6),
+        format!("{:.1}", r.par_ns / 1e6),
+        format!("{:.2}x", r.speedup()),
+        format!("{}", r.stats_bytes / 1024),
+    ]);
+    t
+}

@@ -8,6 +8,7 @@
 //! (virtual time makes more repetitions pointless — noise is modelled,
 //! not physical); set `GH_REQUESTS` / `GH_XPUT_REQUESTS` to raise them.
 
+pub mod cluster_scaling;
 pub mod fleet_scaling;
 pub mod harness;
 pub mod micro_harness;

@@ -1,0 +1,553 @@
+//! Cluster-scale simulation: N worker nodes, each an independent fleet
+//! on its own virtual timeline, behind a deterministic placement
+//! front-end.
+//!
+//! `run_fleet` drives one pool on one host; the paper's setting is a
+//! cloud. This module models the next level up:
+//!
+//! - every **node** hosts a pool per function deployed to it (its
+//!   replica set, see [`place`]) and drives all of its pools through
+//!   one node-local [`gh_sim::event::EventQueue`] — restore-aware
+//!   scheduling, admission queues and overlap accounting all work
+//!   per-node exactly as in [`crate::fleet`];
+//! - the **front-end** ([`Placer`]) assigns each trace event to a node
+//!   using only deterministic coordinator state (cursors, expected
+//!   work), never node progress;
+//! - the **workload** is a seeded [`TraceGen`] stream shared by
+//!   construction: every node re-runs the generator + placer locally
+//!   and keeps the arrivals placed on it, so no materialized trace or
+//!   cross-node channel exists and trace memory is O(1) even at 10⁷
+//!   requests.
+//!
+//! # Host-parallel execution
+//!
+//! Because placement never reads node state, a node's entire timeline
+//! is a pure function of `(trace config, catalog, cluster config, node
+//! index)`. Node timelines are therefore *embarrassingly* parallel —
+//! the PR 6 plan/shard/merge discipline with the sharding moved up one
+//! level: workers on [`std::thread::scope`] claim node indices from an
+//! atomic cursor (same work-stealing as `gh_bench::harness::run_cells`)
+//! and the coordinator merges per-node results **in node-index order**.
+//! Per-node stats live in exact-merge [`QuantileSketch`]es, so the
+//! merged result is independent of completion order and bit-identical
+//! to the serial reference — enforced by `tests/cluster_oracle.rs`
+//! across seeds × policies × node counts.
+//!
+//! Stats memory is sketch-bounded: each node carries two fixed-size
+//! sketches (~30 KiB each) regardless of request count
+//! ([`ClusterResult::stats_bytes`]).
+
+pub mod place;
+
+use gh_functions::FunctionSpec;
+use gh_isolation::{StrategyError, StrategyKind};
+use gh_sim::event::EventQueue;
+use gh_sim::stats::throughput_rps;
+use gh_sim::{Nanos, QuantileSketch};
+use groundhog_core::GroundhogConfig;
+
+use crate::fleet::{par, DepthTracker, ExecMode, Pending, Pool, RoutePolicy, Router};
+use crate::trace::{TraceConfig, TraceGen};
+
+pub use place::{PlacePolicy, Placer};
+
+/// Cluster topology and per-node pool shape.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Simulated worker nodes.
+    pub nodes: usize,
+    /// Candidate nodes per function (`1..=nodes`).
+    pub replicas: usize,
+    /// Containers per (node, function) pool.
+    pub slots_per_pool: usize,
+    /// Front-end placement policy.
+    pub policy: PlacePolicy,
+    /// Isolation strategy every container runs.
+    pub kind: StrategyKind,
+    /// Seed for deployment hashing and per-pool container seeds (the
+    /// trace carries its own seed).
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// `nodes` nodes under `policy`, two replicas per function (one
+    /// when the cluster has a single node), two containers per pool.
+    pub fn new(nodes: usize, policy: PlacePolicy, kind: StrategyKind, seed: u64) -> ClusterConfig {
+        assert!(nodes > 0, "need at least one node");
+        ClusterConfig {
+            nodes,
+            replicas: 2.min(nodes),
+            slots_per_pool: 2,
+            policy,
+            kind,
+            seed,
+        }
+    }
+}
+
+/// Per-node load figures in the merged result.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeLoad {
+    /// Requests this node served.
+    pub completed: u64,
+    /// Containers the node hosted (pools × slots).
+    pub containers: u32,
+    /// Total busy time across the node's containers, ms.
+    pub busy_ms: f64,
+}
+
+/// Outcome of one cluster run (all nodes merged, node-index order).
+#[derive(Clone, Debug)]
+pub struct ClusterResult {
+    /// Nodes simulated.
+    pub nodes: usize,
+    /// Placement policy label.
+    pub policy: &'static str,
+    /// Requests offered by the trace.
+    pub requests: u64,
+    /// Requests completed (equals `requests`: queues drain).
+    pub completed: u64,
+    /// Completions per second of trace span.
+    pub goodput_rps: f64,
+    /// Mean sojourn (arrival → response, queueing included), ms. Exact.
+    pub mean_ms: f64,
+    /// Median sojourn, ms (sketch, ≤1.6% quantization).
+    pub p50_ms: f64,
+    /// 95th-percentile sojourn, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile sojourn, ms.
+    pub p99_ms: f64,
+    /// Mean aggregate queue depth over node scheduling events.
+    pub queue_mean: f64,
+    /// 99th-percentile aggregate queue depth.
+    pub queue_p99: f64,
+    /// Total restore time charged across the cluster, ms.
+    pub restore_total_ms: f64,
+    /// Fraction of restore time hidden in idle gaps.
+    pub restore_overlap_ratio: f64,
+    /// First-touch lazy-restore faults across the cluster.
+    pub lazy_faults: u64,
+    /// Mean container utilization over the trace span.
+    pub utilization: f64,
+    /// Max over mean per-node completions (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Containers across all nodes.
+    pub containers: u32,
+    /// Per-node breakdown, node-index order.
+    pub per_node: Vec<NodeLoad>,
+    /// Bytes of percentile-tracking state across all nodes — constant
+    /// in the request count (two fixed-size sketches per node).
+    pub stats_bytes: usize,
+}
+
+/// One node's raw outcome, before the cluster merge.
+struct NodeResult {
+    completed: u64,
+    sojourns: QuantileSketch,
+    depth: DepthTracker,
+    restore_total: Nanos,
+    restore_hidden: Nanos,
+    lazy_faults: u64,
+    busy: Nanos,
+    containers: u32,
+    span_end: Nanos,
+}
+
+/// Node-local events: a trace arrival reaching the node, or a
+/// container (pool, slot) finishing its restore.
+enum NodeEv {
+    Arrival,
+    Ready(u32, u32),
+}
+
+/// Runs node `node`'s entire timeline: re-generates the trace, filters
+/// it through the placer, and drives the node's pools through one local
+/// event queue. Pure: no shared state, so serial and parallel callers
+/// get identical results.
+fn run_node(
+    node: usize,
+    trace_cfg: &TraceConfig,
+    catalog: &[FunctionSpec],
+    ccfg: &ClusterConfig,
+    gh: &GroundhogConfig,
+) -> Result<NodeResult, StrategyError> {
+    let nf = trace_cfg.functions as usize;
+    assert!(
+        catalog.len() >= nf,
+        "catalog must cover every trace function"
+    );
+    let mut placer = Placer::new(
+        ccfg.policy,
+        ccfg.nodes,
+        ccfg.replicas,
+        &catalog[..nf],
+        ccfg.seed,
+    );
+
+    // Pools for the functions deployed here, ascending fn id. Each pool
+    // seeds its containers from the (cluster seed, node, fn) hash so
+    // node timelines are independent of which host thread runs them.
+    let mut pools: Vec<Pool> = Vec::new();
+    let mut routers: Vec<Router> = Vec::new();
+    let mut restore_cost: Vec<Nanos> = Vec::new();
+    let mut pool_of: Vec<Option<u32>> = vec![None; nf];
+    for (f, spec) in catalog.iter().enumerate().take(nf) {
+        if !placer.hosts(node, f) {
+            continue;
+        }
+        let seed = place::mix(ccfg.seed ^ ((node as u64) << 32) ^ f as u64);
+        pool_of[f] = Some(pools.len() as u32);
+        pools.push(Pool::build(
+            spec,
+            ccfg.kind,
+            gh.clone(),
+            ccfg.slots_per_pool,
+            seed,
+        )?);
+        routers.push(Router::new(RoutePolicy::RoundRobin));
+        restore_cost.push(Nanos::from_millis_f64(spec.paper_restore_ms));
+    }
+    let containers: u32 = pools.iter().map(|p| p.slots.len() as u32).sum();
+    let principals: Vec<String> = (0..trace_cfg.principals)
+        .map(|p| format!("user-{p}"))
+        .collect();
+
+    // The node's trace slice: step the placer over *every* global
+    // event (its cursors/loads depend on the full prefix), keep ours.
+    let mut gen = TraceGen::new(trace_cfg);
+    let mut next_local = move || {
+        gen.by_ref()
+            .find(|ev| placer.place(ev.fn_id as usize) == node)
+    };
+
+    let mut events: EventQueue<NodeEv> = EventQueue::new();
+    let mut upcoming = next_local();
+    if let Some(ev) = &upcoming {
+        events.schedule(ev.at, NodeEv::Arrival);
+    }
+    let mut sojourns = QuantileSketch::new();
+    let mut depth = DepthTracker::new();
+    let mut completed = 0u64;
+    let mut queued = 0usize;
+
+    while let Some((now, ev)) = events.pop() {
+        let (pi, si) = match ev {
+            NodeEv::Arrival => {
+                let a = upcoming.take().expect("arrival without a trace event");
+                let pi = pool_of[a.fn_id as usize].expect("placed on a non-replica") as usize;
+                let pool = &mut pools[pi];
+                let si = routers[pi].route(
+                    now,
+                    &principals[a.principal as usize],
+                    restore_cost[pi],
+                    &pool.slots,
+                );
+                pool.slots[si].queue.push(Pending {
+                    id: a.seq,
+                    principal: principals[a.principal as usize].clone(),
+                    input_kb: pool.spec.input_kb,
+                    arrival: a.at,
+                });
+                queued += 1;
+                depth.record(queued);
+                upcoming = next_local();
+                if let Some(next) = &upcoming {
+                    events.schedule(next.at, NodeEv::Arrival);
+                }
+                (pi, si)
+            }
+            NodeEv::Ready(pi, si) => (pi as usize, si as usize),
+        };
+        if let Some(d) = pools[pi].slots[si].dispatch(now)? {
+            sojourns.record_nanos(d.sojourn);
+            completed += 1;
+            queued -= 1;
+            events.schedule(d.ready_at, NodeEv::Ready(pi as u32, si as u32));
+        }
+        if matches!(ev, NodeEv::Ready(..)) {
+            depth.record(queued);
+        }
+    }
+    debug_assert_eq!(queued, 0, "queues must drain");
+
+    let mut restore_total = Nanos::ZERO;
+    let mut restore_hidden = Nanos::ZERO;
+    let mut lazy_faults = 0u64;
+    let mut busy = Nanos::ZERO;
+    let mut span_end = trace_cfg.origin;
+    for pool in &mut pools {
+        for s in &mut pool.slots {
+            s.settle();
+            restore_total += s.restore_total;
+            restore_hidden += s.restore_hidden;
+            lazy_faults += s.lazy_faults;
+            busy += s.busy;
+            if s.served > 0 {
+                span_end = span_end.max(s.container.now());
+            }
+        }
+    }
+    Ok(NodeResult {
+        completed,
+        sojourns,
+        depth,
+        restore_total,
+        restore_hidden,
+        lazy_faults,
+        busy,
+        containers,
+        span_end,
+    })
+}
+
+/// Merges per-node outcomes (already in node-index order) into the
+/// cluster result. Sketch merges are exact, so this is independent of
+/// how the nodes were executed.
+fn merge(nodes: Vec<NodeResult>, trace_cfg: &TraceConfig, ccfg: &ClusterConfig) -> ClusterResult {
+    let mut sojourns = QuantileSketch::new();
+    let mut depth = DepthTracker::new();
+    let mut completed = 0u64;
+    let mut restore_total = Nanos::ZERO;
+    let mut restore_hidden = Nanos::ZERO;
+    let mut lazy_faults = 0u64;
+    let mut busy = Nanos::ZERO;
+    let mut containers = 0u32;
+    let mut span_end = trace_cfg.origin;
+    let mut per_node = Vec::with_capacity(nodes.len());
+    for n in &nodes {
+        sojourns.merge(&n.sojourns);
+        depth.merge(&n.depth);
+        completed += n.completed;
+        restore_total += n.restore_total;
+        restore_hidden += n.restore_hidden;
+        lazy_faults += n.lazy_faults;
+        busy += n.busy;
+        containers += n.containers;
+        span_end = span_end.max(n.span_end);
+        per_node.push(NodeLoad {
+            completed: n.completed,
+            containers: n.containers,
+            busy_ms: n.busy.as_millis_f64(),
+        });
+    }
+    let span = span_end - trace_cfg.origin;
+    let utilization = if span.is_zero() || containers == 0 {
+        0.0
+    } else {
+        (busy.as_secs_f64() / (containers as f64 * span.as_secs_f64())).min(1.0)
+    };
+    let imbalance = if completed == 0 {
+        1.0
+    } else {
+        let max = per_node.iter().map(|n| n.completed).max().unwrap_or(0);
+        max as f64 * nodes.len() as f64 / completed as f64
+    };
+    ClusterResult {
+        nodes: nodes.len(),
+        policy: ccfg.policy.label(),
+        requests: trace_cfg.requests,
+        completed,
+        goodput_rps: throughput_rps(completed as usize, span),
+        mean_ms: sojourns.mean_ms(),
+        p50_ms: sojourns.quantile_ms(50.0),
+        p95_ms: sojourns.quantile_ms(95.0),
+        p99_ms: sojourns.quantile_ms(99.0),
+        queue_mean: depth.mean(),
+        queue_p99: depth.percentile(99.0),
+        restore_total_ms: restore_total.as_millis_f64(),
+        restore_overlap_ratio: if restore_total.is_zero() {
+            1.0
+        } else {
+            restore_hidden.as_secs_f64() / restore_total.as_secs_f64()
+        },
+        lazy_faults,
+        utilization,
+        imbalance,
+        containers,
+        per_node,
+        stats_bytes: nodes.len() * 2 * QuantileSketch::memory_bytes(),
+    }
+}
+
+/// Runs the trace through the cluster in [`ExecMode::Auto`] (node-
+/// parallel when ≥ 2 nodes and ≥ 2 threads; honors `--serial`,
+/// `GH_SERIAL=1` and `GH_THREADS` like the fleet).
+pub fn run_cluster(
+    trace_cfg: &TraceConfig,
+    catalog: &[FunctionSpec],
+    ccfg: &ClusterConfig,
+    gh: GroundhogConfig,
+) -> Result<ClusterResult, StrategyError> {
+    run_cluster_with(trace_cfg, catalog, ccfg, gh, ExecMode::Auto)
+}
+
+/// [`run_cluster`] with an explicit [`ExecMode`] — the entry point of
+/// the cluster differential oracle and the determinism CI job. The
+/// parallel path is bit-identical to serial: node timelines are pure
+/// functions of their inputs and the merge runs in node-index order.
+pub fn run_cluster_with(
+    trace_cfg: &TraceConfig,
+    catalog: &[FunctionSpec],
+    ccfg: &ClusterConfig,
+    gh: GroundhogConfig,
+    mode: ExecMode,
+) -> Result<ClusterResult, StrategyError> {
+    let threads = match mode {
+        ExecMode::Serial => 1,
+        ExecMode::Parallel { threads } => threads,
+        ExecMode::Auto => {
+            if par::serial_requested() {
+                1
+            } else {
+                par::configured_threads()
+            }
+        }
+    };
+    let n = ccfg.nodes;
+    let results: Vec<NodeResult> = if threads >= 2 && n >= 2 {
+        // Work-stealing over node indices; merge order is fixed by
+        // index, so completion order is irrelevant.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let workers = threads.min(n);
+        let mut collected: Vec<Vec<(usize, Result<NodeResult, StrategyError>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let gh = &gh;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if i >= n {
+                                    break local;
+                                }
+                                local.push((i, run_node(i, trace_cfg, catalog, ccfg, gh)));
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("node worker panicked"))
+                    .collect()
+            });
+        let mut slots: Vec<Option<Result<NodeResult, StrategyError>>> =
+            (0..n).map(|_| None).collect();
+        for (i, r) in collected.drain(..).flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every node index claimed"))
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        (0..n)
+            .map(|i| run_node(i, trace_cfg, catalog, ccfg, &gh))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    Ok(merge(results, trace_cfg, ccfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::synthetic_catalog;
+
+    fn small_trace(requests: u64, seed: u64) -> TraceConfig {
+        TraceConfig {
+            principals: 8,
+            ..TraceConfig::new(24, requests, 2_000.0, seed)
+        }
+    }
+
+    fn run(
+        policy: PlacePolicy,
+        nodes: usize,
+        requests: u64,
+        seed: u64,
+        mode: ExecMode,
+    ) -> ClusterResult {
+        let catalog = synthetic_catalog(24, seed);
+        let trace = small_trace(requests, seed);
+        let mut ccfg = ClusterConfig::new(nodes, policy, StrategyKind::Gh, seed);
+        ccfg.slots_per_pool = 1;
+        run_cluster_with(&trace, &catalog, &ccfg, GroundhogConfig::gh(), mode).unwrap()
+    }
+
+    #[test]
+    fn all_requests_complete_and_stats_cohere() {
+        let r = run(PlacePolicy::LeastLoaded, 3, 400, 21, ExecMode::Serial);
+        assert_eq!(r.completed, 400);
+        assert_eq!(r.requests, 400);
+        assert_eq!(r.nodes, 3);
+        assert_eq!(
+            r.per_node.iter().map(|n| n.completed).sum::<u64>(),
+            400,
+            "node loads partition the trace"
+        );
+        assert!(r.goodput_rps > 0.0);
+        assert!(r.p99_ms >= r.p50_ms);
+        assert!(r.p99_ms >= r.mean_ms * 0.9);
+        assert!(r.imbalance >= 1.0);
+        assert!((0.0..=1.0).contains(&r.utilization));
+        assert!((0.0..=1.0).contains(&r.restore_overlap_ratio));
+        assert!(r.restore_total_ms > 0.0, "GH restores after every request");
+        assert!(r.containers > 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_fingerprint() {
+        let serial = run(PlacePolicy::RoundRobin, 4, 300, 5, ExecMode::Serial);
+        let par = run(
+            PlacePolicy::RoundRobin,
+            4,
+            300,
+            5,
+            ExecMode::Parallel { threads: 4 },
+        );
+        assert_eq!(format!("{serial:?}"), format!("{par:?}"));
+    }
+
+    #[test]
+    fn zero_requests_is_a_clean_empty_run() {
+        for mode in [ExecMode::Serial, ExecMode::Parallel { threads: 4 }] {
+            let r = run(PlacePolicy::FunctionAffinity, 2, 0, 9, mode);
+            assert_eq!(r.completed, 0);
+            assert_eq!(r.goodput_rps, 0.0);
+            assert_eq!(r.mean_ms, 0.0);
+            assert_eq!(r.p99_ms, 0.0);
+            assert_eq!(r.imbalance, 1.0);
+            assert_eq!(r.utilization, 0.0);
+        }
+    }
+
+    #[test]
+    fn single_node_cluster_works() {
+        let r = run(PlacePolicy::LeastLoaded, 1, 200, 3, ExecMode::Serial);
+        assert_eq!(r.completed, 200);
+        assert_eq!(r.per_node.len(), 1);
+        assert_eq!(r.per_node[0].completed, 200);
+        assert_eq!(r.imbalance, 1.0, "one node is trivially balanced");
+    }
+
+    #[test]
+    fn least_loaded_balances_better_than_affinity_under_skew() {
+        let ll = run(PlacePolicy::LeastLoaded, 4, 800, 31, ExecMode::Serial);
+        let aff = run(PlacePolicy::FunctionAffinity, 4, 800, 31, ExecMode::Serial);
+        assert!(
+            ll.imbalance < aff.imbalance,
+            "expected balance win under Zipf skew: {} vs {}",
+            ll.imbalance,
+            aff.imbalance
+        );
+    }
+
+    #[test]
+    fn stats_memory_is_request_count_independent() {
+        let small = run(PlacePolicy::RoundRobin, 2, 100, 13, ExecMode::Serial);
+        let large = run(PlacePolicy::RoundRobin, 2, 2_000, 13, ExecMode::Serial);
+        assert_eq!(small.stats_bytes, large.stats_bytes);
+        assert!(large.stats_bytes < 2 * 2 * 64 * 1024, "sketch-bounded");
+    }
+}

@@ -52,7 +52,7 @@
 //! ([`ExecMode::Serial`], `--serial`, `GH_SERIAL=1`).
 
 pub mod autoscaler;
-mod par;
+pub(crate) mod par;
 pub mod pool;
 pub mod queue;
 pub mod router;
@@ -60,8 +60,8 @@ pub mod router;
 use gh_functions::FunctionSpec;
 use gh_isolation::{StrategyError, StrategyKind};
 use gh_sim::event::EventQueue;
-use gh_sim::stats::{percentile, throughput_rps};
-use gh_sim::{DetRng, Nanos};
+use gh_sim::stats::throughput_rps;
+use gh_sim::{DetRng, Nanos, QuantileSketch};
 use groundhog_core::GroundhogConfig;
 
 pub use autoscaler::{AutoscaleConfig, Autoscaler, ScaleAction};
@@ -293,7 +293,14 @@ impl Fleet {
             // Degenerate run: identical (and empty) in every mode.
             let t_start = Self::span_start(pool);
             let baseline = Self::baselines(pool);
-            return Ok(self.finish(pool, t_start, &baseline, &DepthTracker::new(), &[], 0));
+            return Ok(self.finish(
+                pool,
+                t_start,
+                &baseline,
+                &DepthTracker::new(),
+                &QuantileSketch::new(),
+                0,
+            ));
         }
         let threads = match mode {
             ExecMode::Serial => 1,
@@ -345,7 +352,9 @@ impl Fleet {
         let mut next_id = 1u64;
 
         let mut depth = DepthTracker::new();
-        let mut sojourns_ms = Vec::with_capacity(requests);
+        // Sojourns feed a fixed-size sketch in integer nanoseconds —
+        // stats memory stays constant at 10⁶–10⁷ requests per run.
+        let mut sojourns = QuantileSketch::new();
         let mut completed = 0usize;
 
         while let Some((now, ev)) = events.pop() {
@@ -377,7 +386,7 @@ impl Fleet {
                         generated += 1;
                     }
                     if let Some(d) = pool.slots[idx].dispatch(now)? {
-                        sojourns_ms.push(d.sojourn.as_millis_f64());
+                        sojourns.record_nanos(d.sojourn);
                         completed += 1;
                         events.schedule(d.ready_at, Event::Ready(idx));
                     }
@@ -385,7 +394,7 @@ impl Fleet {
                 }
                 Event::Ready(idx) => {
                     if let Some(d) = pool.slots[idx].dispatch(now)? {
-                        sojourns_ms.push(d.sojourn.as_millis_f64());
+                        sojourns.record_nanos(d.sojourn);
                         completed += 1;
                         events.schedule(d.ready_at, Event::Ready(idx));
                     }
@@ -398,7 +407,7 @@ impl Fleet {
         }
         debug_assert_eq!(completed, requests, "all arrivals must be served");
 
-        Ok(self.finish(pool, t_start, &baseline, &depth, &sojourns_ms, completed))
+        Ok(self.finish(pool, t_start, &baseline, &depth, &sojourns, completed))
     }
 
     /// The sharded path: plan on the coordinator, fan container-local
@@ -490,7 +499,7 @@ impl Fleet {
             now: Nanos,
             outs: &[Vec<Dispatched>],
             events: &mut EventQueue<Event>,
-            sojourns_ms: &mut Vec<f64>,
+            sojourns: &mut QuantileSketch,
             completed: &mut usize,
             queued_total: &mut usize,
         ) {
@@ -499,7 +508,7 @@ impl Fleet {
                 m.next += 1;
                 m.qlen -= 1;
                 *queued_total -= 1;
-                sojourns_ms.push(d.sojourn.as_millis_f64());
+                sojourns.record_nanos(d.sojourn);
                 *completed += 1;
                 events.schedule(d.ready_at, Event::Ready(idx));
                 m.ready_at = d.ready_at;
@@ -515,7 +524,7 @@ impl Fleet {
             .collect();
         let mut events: EventQueue<Event> = EventQueue::new();
         let mut depth = DepthTracker::new();
-        let mut sojourns_ms = Vec::with_capacity(requests);
+        let mut sojourns = QuantileSketch::new();
         let mut completed = 0usize;
         let mut queued_total = 0usize;
         let mut next_plan = 0usize;
@@ -544,7 +553,7 @@ impl Fleet {
                         now,
                         &outs,
                         &mut events,
-                        &mut sojourns_ms,
+                        &mut sojourns,
                         &mut completed,
                         &mut queued_total,
                     );
@@ -556,7 +565,7 @@ impl Fleet {
                         now,
                         &outs,
                         &mut events,
-                        &mut sojourns_ms,
+                        &mut sojourns,
                         &mut completed,
                         &mut queued_total,
                     );
@@ -576,7 +585,7 @@ impl Fleet {
             "every recorded dispatch must be consumed by the replay"
         );
 
-        Ok(self.finish(pool, t_start, &baseline, &depth, &sojourns_ms, completed))
+        Ok(self.finish(pool, t_start, &baseline, &depth, &sojourns, completed))
     }
 
     /// Shared result assembly: settles trailing restores and folds the
@@ -589,7 +598,7 @@ impl Fleet {
         t_start: Nanos,
         baseline: &[Baseline],
         depth: &DepthTracker,
-        sojourns_ms: &[f64],
+        sojourns: &QuantileSketch,
         completed: usize,
     ) -> FleetResult {
         for s in &mut pool.slots {
@@ -650,7 +659,7 @@ impl Fleet {
         } else {
             per_container.iter().map(|c| c.utilization).sum::<f64>() / per_container.len() as f64
         };
-        let mean_ms = sojourns_ms.iter().sum::<f64>() / sojourns_ms.len().max(1) as f64;
+        let mean_ms = sojourns.mean_ms();
         let depth_pcts = depth.percentiles(&[50.0, 95.0, 99.0]);
         let (spawned, retired) = self
             .autoscaler
@@ -665,11 +674,7 @@ impl Fleet {
             completed,
             goodput_rps: throughput_rps(completed, span),
             mean_ms,
-            p99_ms: if sojourns_ms.is_empty() {
-                0.0
-            } else {
-                percentile(sojourns_ms, 99.0)
-            },
+            p99_ms: sojourns.quantile_ms(99.0),
             utilization,
             stats: FleetStats {
                 pool_size: pool.slots.len(),

@@ -58,13 +58,13 @@ pub enum ExecMode {
 /// True when the caller asked for the serial fallback (`--serial` on
 /// the command line, or `GH_SERIAL=1` in the environment) — the same
 /// convention as `gh_bench::harness::serial_requested`.
-pub(super) fn serial_requested() -> bool {
+pub(crate) fn serial_requested() -> bool {
     std::env::args().any(|a| a == "--serial") || std::env::var("GH_SERIAL").is_ok_and(|v| v != "0")
 }
 
 /// Worker count for [`ExecMode::Auto`]: `GH_THREADS=n` when set, else
 /// the host's available parallelism.
-pub(super) fn configured_threads() -> usize {
+pub(crate) fn configured_threads() -> usize {
     match std::env::var("GH_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -77,7 +77,7 @@ pub(super) fn configured_threads() -> usize {
 }
 
 /// One precomputed arrival: the coordinator's phase-1 routing decision.
-pub(super) struct Arrival {
+pub(crate) struct Arrival {
     /// Virtual arrival time at the router.
     pub at: Nanos,
     /// Request id (the serial loop's `next_id` sequence).
@@ -103,7 +103,7 @@ enum ShardEv {
 /// per slot, FIFO per queue). Each dispatch outcome is appended to the
 /// slot's `outs` vector in dispatch order, for the coordinator's
 /// deterministic replay.
-pub(super) fn drive_shard(
+pub(crate) fn drive_shard(
     slots: &mut [Slot],
     base: usize,
     plan: &[Arrival],

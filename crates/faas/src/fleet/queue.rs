@@ -5,11 +5,16 @@
 //! restoration completes"). The [`DepthTracker`] samples aggregate depth
 //! at every scheduling event so the fleet can report queue-depth
 //! percentiles — the early-warning signal the autoscaler acts on.
+//!
+//! Depth samples feed a fixed-size [`QuantileSketch`] rather than a
+//! per-event `Vec`, so tracker memory is constant in the request count
+//! (the 10⁶–10⁷-request cluster runs depend on this) and per-node
+//! trackers merge exactly into cluster-wide percentiles. Depths below
+//! the sketch's identity range (64) are exact order statistics.
 
 use std::collections::VecDeque;
 
-use gh_sim::stats::percentile_of_sorted;
-use gh_sim::Nanos;
+use gh_sim::{Nanos, QuantileSketch};
 
 /// A request waiting in a container's admission queue.
 #[derive(Clone, Debug)]
@@ -58,10 +63,10 @@ impl AdmissionQueue {
 }
 
 /// Records aggregate queue-depth samples at scheduling events and
-/// reports percentiles over them.
+/// reports percentiles over them, in constant memory.
 #[derive(Clone, Debug, Default)]
 pub struct DepthTracker {
-    samples: Vec<f64>,
+    sketch: QuantileSketch,
 }
 
 impl DepthTracker {
@@ -72,43 +77,39 @@ impl DepthTracker {
 
     /// Records one depth observation.
     pub fn record(&mut self, depth: usize) {
-        self.samples.push(depth as f64);
+        self.sketch.record(depth as u64);
     }
 
     /// Number of observations taken.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.sketch.len() as usize
     }
 
     /// True when no observations were taken.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.sketch.is_empty()
     }
 
     /// Depth percentile over all observations; 0 with no observations.
+    /// Exact for depths below 64, within 1.6% above.
     pub fn percentile(&self, p: f64) -> f64 {
-        self.percentiles(&[p])[0]
+        self.sketch.quantile(p) as f64
     }
 
-    /// Several depth percentiles in one pass (the samples are sorted
-    /// once, not once per query); zeros with no observations.
+    /// Several depth percentiles at once; zeros with no observations.
     pub fn percentiles(&self, ps: &[f64]) -> Vec<f64> {
-        if self.samples.is_empty() {
-            return vec![0.0; ps.len()];
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN depth"));
-        ps.iter()
-            .map(|&p| percentile_of_sorted(&sorted, p))
-            .collect()
+        ps.iter().map(|&p| self.percentile(p)).collect()
     }
 
-    /// Mean observed depth; 0 with no observations.
+    /// Mean observed depth (exact); 0 with no observations.
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        self.sketch.mean()
+    }
+
+    /// Folds another tracker's observations in — exact, so per-node
+    /// depth trackers merge into a cluster-wide one deterministically.
+    pub fn merge(&mut self, other: &DepthTracker) {
+        self.sketch.merge(&other.sketch);
     }
 }
 
@@ -149,6 +150,26 @@ mod tests {
         assert_eq!(d.percentile(100.0), 8.0);
         assert!(d.percentile(50.0) <= 2.0);
         assert!((d.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_single_tracker() {
+        let mut a = DepthTracker::new();
+        let mut b = DepthTracker::new();
+        let mut whole = DepthTracker::new();
+        for depth in [0usize, 3, 7, 1] {
+            a.record(depth);
+            whole.record(depth);
+        }
+        for depth in [2usize, 2, 9] {
+            b.record(depth);
+            whole.record(depth);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), whole.len());
+        assert_eq!(a.percentile(50.0), whole.percentile(50.0));
+        assert_eq!(a.percentile(99.0), whole.percentile(99.0));
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
     }
 
     #[test]

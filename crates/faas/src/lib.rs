@@ -27,16 +27,27 @@
 //!   admission queues with depth percentiles, and an autoscaler.
 //! - [`openloop`]: open-loop Poisson arrivals against a single
 //!   container — a fleet of one, preserved as the §4 limit harness.
+//! - [`trace`]: the trace-driven workload generator — thousands of
+//!   functions with Zipfian popularity, diurnal load envelopes and
+//!   bursty principals, all on seeded [`gh_sim::DetRng`] streams.
+//! - [`cluster`]: N simulated worker nodes, each an independent fleet
+//!   on its own event queue, behind a deterministic placement
+//!   front-end; nodes run host-parallel with results bit-identical to
+//!   the serial reference.
 
 pub mod client;
+pub mod cluster;
 pub mod container;
 pub mod fleet;
 pub mod openloop;
 pub mod platform;
 pub mod proxy;
 pub mod request;
+pub mod trace;
 
+pub use cluster::{run_cluster, ClusterConfig, ClusterResult, PlacePolicy};
 pub use container::{Container, InvokeOutcome};
 pub use fleet::{Fleet, FleetConfig, FleetResult, Pool, RoutePolicy};
 pub use platform::{Platform, PlatformConfig};
 pub use request::{Request, Response};
+pub use trace::{synthetic_catalog, TraceConfig, TraceEvent, TraceGen};

@@ -1,0 +1,188 @@
+//! Differential oracle: node-parallel cluster execution must be
+//! bit-identical to the serial reference.
+//!
+//! Serial mode (nodes run one after another on the caller's thread) is
+//! the ground truth; every node-parallel run — across seeds, placement
+//! policies, node counts and thread counts — must reproduce the exact
+//! same [`ClusterResult`]: every counter, every per-node load, every
+//! sketch-derived percentile, and the CSV-style rendering byte for
+//! byte. Repeat runs must also match, pinning seeded determinism of the
+//! whole trace → placement → node-timeline pipeline. Float fields are
+//! compared through `{:?}` (shortest round-trip form), which
+//! distinguishes any two different bit patterns.
+
+use gh_faas::cluster::{run_cluster_with, ClusterConfig, ClusterResult, PlacePolicy};
+use gh_faas::fleet::ExecMode;
+use gh_faas::trace::{synthetic_catalog, TraceConfig};
+use gh_functions::FunctionSpec;
+use gh_isolation::StrategyKind;
+use groundhog_core::GroundhogConfig;
+
+fn trace(requests: u64, seed: u64) -> TraceConfig {
+    TraceConfig {
+        principals: 8,
+        ..TraceConfig::new(20, requests, 2_500.0, seed)
+    }
+}
+
+fn run(
+    catalog: &[FunctionSpec],
+    trace_cfg: &TraceConfig,
+    policy: PlacePolicy,
+    nodes: usize,
+    seed: u64,
+    mode: ExecMode,
+) -> ClusterResult {
+    let mut ccfg = ClusterConfig::new(nodes, policy, StrategyKind::Gh, seed);
+    ccfg.slots_per_pool = 1;
+    run_cluster_with(trace_cfg, catalog, &ccfg, GroundhogConfig::gh(), mode).unwrap()
+}
+
+/// A CSV-style line covering every scalar field of the result, the way
+/// the clustersweep binary renders them. Byte equality here is the
+/// user-visible half of the oracle.
+fn csv_line(r: &ClusterResult) -> String {
+    format!(
+        "{},{},{},{},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{},{:?},{:?},{},{}",
+        r.nodes,
+        r.policy,
+        r.requests,
+        r.completed,
+        r.goodput_rps,
+        r.mean_ms,
+        r.p50_ms,
+        r.p95_ms,
+        r.p99_ms,
+        r.queue_mean,
+        r.queue_p99,
+        r.restore_total_ms,
+        r.restore_overlap_ratio,
+        r.lazy_faults,
+        r.utilization,
+        r.imbalance,
+        r.containers,
+        r.stats_bytes,
+    )
+}
+
+/// Full structural fingerprint: `{:?}` covers every field including the
+/// per-node loads, and round-trips f64 exactly.
+fn fingerprint(r: &ClusterResult) -> String {
+    format!("{r:?}")
+}
+
+fn assert_identical(label: &str, reference: &ClusterResult, other: &ClusterResult) {
+    assert_eq!(
+        fingerprint(reference),
+        fingerprint(other),
+        "{label}: result diverged from the serial reference"
+    );
+    assert_eq!(
+        csv_line(reference),
+        csv_line(other),
+        "{label}: CSV rendering diverged"
+    );
+}
+
+#[test]
+fn parallel_matches_serial_across_seeds_policies_and_node_counts() {
+    for &seed in &[7u64, 1234] {
+        let catalog = synthetic_catalog(20, seed);
+        let tc = trace(500, seed);
+        for policy in PlacePolicy::ALL {
+            for &nodes in &[2usize, 5] {
+                let serial = run(&catalog, &tc, policy, nodes, seed, ExecMode::Serial);
+                assert_eq!(serial.completed, 500, "oracle baseline must serve all");
+                for &threads in &[2usize, 8] {
+                    let par = run(
+                        &catalog,
+                        &tc,
+                        policy,
+                        nodes,
+                        seed,
+                        ExecMode::Parallel { threads },
+                    );
+                    assert_identical(
+                        &format!(
+                            "seed={seed} policy={} nodes={nodes} threads={threads}",
+                            policy.label()
+                        ),
+                        &serial,
+                        &par,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn repeat_runs_are_bit_identical() {
+    let catalog = synthetic_catalog(20, 42);
+    let tc = trace(400, 42);
+    let first = run(
+        &catalog,
+        &tc,
+        PlacePolicy::LeastLoaded,
+        3,
+        42,
+        ExecMode::Parallel { threads: 4 },
+    );
+    let second = run(
+        &catalog,
+        &tc,
+        PlacePolicy::LeastLoaded,
+        3,
+        42,
+        ExecMode::Parallel { threads: 4 },
+    );
+    assert_identical("repeat", &first, &second);
+}
+
+#[test]
+fn single_node_cluster_matches() {
+    let catalog = synthetic_catalog(20, 5);
+    let tc = trace(250, 5);
+    let serial = run(
+        &catalog,
+        &tc,
+        PlacePolicy::RoundRobin,
+        1,
+        5,
+        ExecMode::Serial,
+    );
+    let par = run(
+        &catalog,
+        &tc,
+        PlacePolicy::RoundRobin,
+        1,
+        5,
+        ExecMode::Parallel { threads: 8 },
+    );
+    assert_eq!(serial.completed, 250);
+    assert_identical("nodes=1", &serial, &par);
+}
+
+#[test]
+fn empty_run_is_mode_independent() {
+    let catalog = synthetic_catalog(20, 9);
+    let tc = trace(0, 9);
+    let serial = run(
+        &catalog,
+        &tc,
+        PlacePolicy::FunctionAffinity,
+        3,
+        9,
+        ExecMode::Serial,
+    );
+    let par = run(
+        &catalog,
+        &tc,
+        PlacePolicy::FunctionAffinity,
+        3,
+        9,
+        ExecMode::Parallel { threads: 4 },
+    );
+    assert_eq!(serial.completed, 0);
+    assert_identical("requests=0", &serial, &par);
+}

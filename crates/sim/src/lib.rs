@@ -20,11 +20,13 @@ pub mod cost;
 pub mod event;
 pub mod report;
 pub mod rng;
+pub mod sketch;
 pub mod stats;
 pub mod time;
 
 pub use clock::VirtualClock;
 pub use cost::{ChargeModel, CostModel, ScanShape};
 pub use rng::DetRng;
+pub use sketch::QuantileSketch;
 pub use stats::Summary;
 pub use time::Nanos;

@@ -1,0 +1,358 @@
+//! Fixed-size deterministic quantile sketch over integer samples.
+//!
+//! The fleet and cluster drivers report sojourn-time and queue-depth
+//! percentiles over millions of samples per run. Storing every sample
+//! (`Vec<f64>` + sort at the end) makes peak stats memory linear in the
+//! request count — at 10⁶–10⁷ requests that dominates the run. The
+//! [`QuantileSketch`] replaces that path with a log-linear histogram of
+//! **fixed** size (~30 KiB regardless of sample count):
+//!
+//! - values below [`SUBBUCKETS`] land in width-1 buckets (exact — queue
+//!   depths and sub-microsecond durations never quantize);
+//! - each higher power-of-two octave splits into [`SUBBUCKETS`] buckets,
+//!   bounding the relative quantization error by `1/SUBBUCKETS`
+//!   (≈ 1.6%) over the full `u64` range;
+//! - quantiles report the highest value contained in the selected
+//!   bucket, clamped into the exact `[min, max]`, so an all-equal
+//!   stream reports its quantiles exactly and `quantile` is monotone
+//!   in `q`;
+//! - the sum is tracked exactly (`u128`), so means never quantize.
+//!
+//! Merging is **exact**: bucket counts add elementwise, so
+//! `sketch(A) ∪ sketch(B) == sketch(A ++ B)` bit for bit, and merge is
+//! associative and commutative. That is what makes the sketch safe for
+//! deterministic parallel execution — per-shard sketches merged in any
+//! grouping yield the same bytes as the serial reference — which the
+//! merge-associativity tests below and the fleet/cluster differential
+//! oracles pin down.
+
+use crate::time::Nanos;
+
+/// Sub-buckets per octave (power of two). Relative quantization error
+/// of quantiles is at most `1/SUBBUCKETS`.
+pub const SUBBUCKETS: u64 = 64;
+/// log2 of [`SUBBUCKETS`].
+const SUB_BITS: u32 = SUBBUCKETS.trailing_zeros();
+/// Total buckets: one identity range plus `(64 - SUB_BITS)` split
+/// octaves covering the rest of the `u64` range.
+const BUCKETS: usize = ((64 - SUB_BITS as u64 + 1) * SUBBUCKETS) as usize;
+
+/// Bucket index of `v` (log-linear, HDR-histogram style).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUBBUCKETS {
+        v as usize
+    } else {
+        // Highest set bit h ≥ SUB_BITS; keep the top SUB_BITS+1 bits.
+        let h = 63 - v.leading_zeros();
+        let sub = (v >> (h - SUB_BITS)) - SUBBUCKETS;
+        ((h - SUB_BITS + 1) as u64 * SUBBUCKETS + sub) as usize
+    }
+}
+
+/// Highest value contained in bucket `i` (inclusive upper bound).
+#[inline]
+fn bucket_high(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUBBUCKETS {
+        return i;
+    }
+    let octave = i / SUBBUCKETS - 1; // 0 for values in [SUBBUCKETS, 2*SUBBUCKETS)
+    let sub = i % SUBBUCKETS;
+    let width = 1u64 << octave; // bucket width in this octave
+    (SUBBUCKETS + sub + 1)
+        .checked_mul(width)
+        .map_or(u64::MAX, |hi| hi - 1)
+}
+
+/// A fixed-memory quantile sketch over `u64` samples with exact merge.
+///
+/// # Examples
+///
+/// ```
+/// use gh_sim::sketch::QuantileSketch;
+///
+/// let mut s = QuantileSketch::new();
+/// for v in 1..=1000u64 {
+///     s.record(v);
+/// }
+/// assert_eq!(s.len(), 1000);
+/// let p99 = s.quantile(99.0);
+/// assert!((985..=1000).contains(&p99), "≤1.6% quantization: {p99}");
+/// assert_eq!(s.quantile(100.0), 1000, "max is exact");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuantileSketch {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records one duration sample in integer nanoseconds.
+    #[inline]
+    pub fn record_nanos(&mut self, v: Nanos) {
+        self.record(v.as_nanos());
+    }
+
+    /// Samples recorded.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum sample; 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum sample; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Mean interpreted as nanoseconds, in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean() / 1e6
+    }
+
+    /// The `q`-th percentile (`0 ≤ q ≤ 100`): the upper bound of the
+    /// bucket holding the `ceil(q/100·n)`-th smallest sample, clamped
+    /// into `[min, max]`. Exact for values below [`SUBBUCKETS`] and at
+    /// the extremes; otherwise an over-estimate by at most
+    /// `1/SUBBUCKETS`. Returns 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 100]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_high(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `quantile` interpreted as nanoseconds, in milliseconds.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile(q) as f64 / 1e6
+    }
+
+    /// Folds `other` in. Exact: the result equals the sketch of the
+    /// concatenated sample streams, so merging is associative and
+    /// commutative.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Heap memory held by one sketch — a constant, independent of how
+    /// many samples were recorded (the bounded-stats-memory guarantee
+    /// the cluster acceptance test asserts).
+    pub const fn memory_bytes() -> usize {
+        BUCKETS * core::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+    use crate::stats::percentile;
+
+    #[test]
+    fn identity_range_is_exact() {
+        let mut s = QuantileSketch::new();
+        for d in [0u64, 0, 1, 2, 4, 8, 63] {
+            s.record(d);
+        }
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(100.0), 63);
+        // 7 samples, p50 → target rank 4 → sorted 4th = 2.
+        assert_eq!(s.quantile(50.0), 2);
+        assert!((s.mean() - 78.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every bucket's inclusive upper bound maps back to itself, and
+        // the next value up maps to the following bucket.
+        for v in [0u64, 1, 63, 64, 65, 127, 128, 1 << 20, u64::MAX - 1] {
+            let b = bucket_of(v);
+            assert!(bucket_high(b) >= v, "v={v} b={b}");
+            assert_eq!(bucket_of(bucket_high(b)), b, "v={v}");
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_high(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut s = QuantileSketch::new();
+        let mut rng = DetRng::new(42);
+        let samples: Vec<u64> = (0..50_000)
+            .map(|_| 1_000 + rng.next_below(50_000_000))
+            .collect();
+        for &v in &samples {
+            s.record(v);
+        }
+        let exact: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+        for q in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            let approx = s.quantile(q) as f64;
+            let truth = percentile(&exact, q);
+            let rel = (approx - truth).abs() / truth;
+            assert!(rel < 2.0 / SUBBUCKETS as f64, "q={q}: {approx} vs {truth}");
+            assert!(
+                approx >= truth * (1.0 - 1e-9) - 1.0,
+                "upper-bound representative must not undershoot: q={q}"
+            );
+        }
+        assert_eq!(s.quantile(100.0), *samples.iter().max().unwrap());
+        assert_eq!(s.min(), *samples.iter().min().unwrap());
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let mut s = QuantileSketch::new();
+        let mut rng = DetRng::new(7);
+        for _ in 0..10_000 {
+            s.record(rng.next_below(1 << 40));
+        }
+        let mut prev = 0;
+        for q in 0..=100 {
+            let v = s.quantile(q as f64);
+            assert!(v >= prev, "q={q}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn all_equal_stream_is_exact() {
+        let mut s = QuantileSketch::new();
+        for _ in 0..1000 {
+            s.record(123_456_789);
+        }
+        for q in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(s.quantile(q), 123_456_789);
+        }
+        assert!((s.mean() - 123_456_789.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_is_exact_and_associative() {
+        let mut rng = DetRng::new(9);
+        let streams: Vec<Vec<u64>> = (0..3)
+            .map(|_| (0..5_000).map(|_| rng.next_below(1 << 35)).collect())
+            .collect();
+        let sketch_of = |vs: &[u64]| {
+            let mut s = QuantileSketch::new();
+            for &v in vs {
+                s.record(v);
+            }
+            s
+        };
+        let [a, b, c] = [
+            sketch_of(&streams[0]),
+            sketch_of(&streams[1]),
+            sketch_of(&streams[2]),
+        ];
+        // sketch(A) ∪ sketch(B) == sketch(A ++ B).
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut concat = streams[0].clone();
+        concat.extend_from_slice(&streams[1]);
+        assert_eq!(ab, sketch_of(&concat));
+        // (A ∪ B) ∪ C == A ∪ (B ∪ C) == (A ∪ C) ∪ B.
+        let mut left = ab.clone();
+        left.merge(&c);
+        let mut right = b.clone();
+        right.merge(&c);
+        let mut right2 = a.clone();
+        right2.merge(&right);
+        assert_eq!(left, right2);
+        let mut ac = a.clone();
+        ac.merge(&c);
+        ac.merge(&b);
+        assert_eq!(left, ac);
+        // Merging an empty sketch is the identity.
+        let mut id = a.clone();
+        id.merge(&QuantileSketch::new());
+        assert_eq!(id, a);
+    }
+
+    #[test]
+    fn empty_sketch_reports_zeros() {
+        let s = QuantileSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(99.0), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn memory_is_constant() {
+        assert_eq!(QuantileSketch::memory_bytes(), BUCKETS * 8);
+        // ~30 KiB: bounded, request-count independent.
+        assert!(QuantileSketch::memory_bytes() < 64 * 1024);
+    }
+}

@@ -87,10 +87,13 @@ fn pool_of_one_is_the_open_loop() {
     // line-for-line replication of the pre-fleet `open_loop_run`
     // algorithm (one container, arrivals queueing on its clock), driven
     // without the fleet's event queue — so a regression in the fleet's
-    // event loop cannot hide behind the wrapper.
+    // event loop cannot hide behind the wrapper. Sojourn stats flow
+    // through the same fixed-size `QuantileSketch` the fleet uses (the
+    // store-every-sample `Vec` path is gone), so mean/p99 equality
+    // checks both the timeline and the sketch arithmetic.
     use groundhog::faas::{Container, Request};
-    use groundhog::sim::stats::{percentile, throughput_rps};
-    use groundhog::sim::{DetRng, Nanos};
+    use groundhog::sim::stats::throughput_rps;
+    use groundhog::sim::{DetRng, Nanos, QuantileSketch};
 
     let spec = by_name("fannkuch (p)").unwrap();
     let (offered_rps, requests, seed) = (90.0, 100usize, 21u64);
@@ -101,7 +104,7 @@ fn pool_of_one_is_the_open_loop() {
     let t0 = container.now();
     let mut arrival = t0;
     let mut busy = Nanos::ZERO;
-    let mut sojourns_ms = Vec::with_capacity(requests);
+    let mut sojourns = QuantileSketch::new();
     for i in 0..requests {
         let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
         let gap_s = -u.ln() / offered_rps;
@@ -112,11 +115,11 @@ fn pool_of_one_is_the_open_loop() {
             .invoke(&Request::new(i as u64 + 1, "client", spec.input_kb))
             .unwrap();
         busy += out.invoker_latency + out.off_path;
-        sojourns_ms.push(((start - arrival) + out.invoker_latency).as_millis_f64());
+        sojourns.record_nanos((start - arrival) + out.invoker_latency);
     }
     let span = container.now() - t0;
-    let ref_mean = sojourns_ms.iter().sum::<f64>() / requests as f64;
-    let ref_p99 = percentile(&sojourns_ms, 99.0);
+    let ref_mean = sojourns.mean_ms();
+    let ref_p99 = sojourns.quantile_ms(99.0);
     let ref_goodput = throughput_rps(requests, span);
     let ref_util = (busy.as_secs_f64() / span.as_secs_f64()).min(1.0);
 
