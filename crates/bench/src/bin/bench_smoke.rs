@@ -310,6 +310,44 @@ fn collect() -> Vec<Metric> {
         value: cluster.par_ns,
         higher_is_better: false,
     });
+    // Gateway effectiveness: virtual-time (deterministic, machine-
+    // independent) ratios, so the cache speedup is gated without the
+    // single-core escape hatch. The rig itself asserts the cache-off
+    // oracle, bounded stats memory, and that predictive pre-warming
+    // does not lose the p99 race; the p99s land here as `info_`.
+    let gateway = gh_bench::gateway_scaling::run();
+    println!("\n== scaling_gateway — result cache + predictive pre-warm ==\n");
+    let gtable = gh_bench::gateway_scaling::render(&gateway);
+    println!("{}", gtable.render());
+    gh_bench::write_csv("scaling_gateway", &gtable);
+    println!(
+        "cache speedup at {:.0}% hit ratio: {:.2}x; prewarm p99 {:.2}ms vs reactive {:.2}ms\n",
+        gateway.hit_ratio * 100.0,
+        gateway.cache_speedup(),
+        gateway.prewarm_p99_ms,
+        gateway.reactive_p99_ms
+    );
+    out.push(Metric {
+        key: "gateway_cache_speedup",
+        value: gateway.cache_speedup().min(8.0),
+        higher_is_better: true,
+    });
+    out.push(Metric {
+        key: "info_gateway_hit_ratio",
+        value: gateway.hit_ratio,
+        higher_is_better: true,
+    });
+    out.push(Metric {
+        key: "info_gateway_prewarm_p99_ms",
+        value: gateway.prewarm_p99_ms,
+        higher_is_better: false,
+    });
+    out.push(Metric {
+        key: "info_gateway_reactive_p99_ms",
+        value: gateway.reactive_p99_ms,
+        higher_is_better: false,
+    });
+
     // Cores of the measuring host — records which environment the
     // `scaling_*_par` ratios in a baseline were taken on, and lets the
     // gate recognize a single-core runner (see `--check`).

@@ -10,6 +10,7 @@
 
 pub mod cluster_scaling;
 pub mod fleet_scaling;
+pub mod gateway_scaling;
 pub mod harness;
 pub mod micro_harness;
 pub mod scaling;

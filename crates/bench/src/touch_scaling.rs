@@ -26,6 +26,9 @@
 
 use std::time::Instant;
 
+/// Repetitions per measured variant (the minimum is reported).
+const BEST_OF_ITERS: u32 = 31;
+
 use gh_mem::{
     AddressSpace, FrameTable, RequestId, SpaceConfig, Taint, Touch, TouchBatch, VmaKind, Vpn,
 };
@@ -177,7 +180,12 @@ impl Rig {
     }
 }
 
-/// Best-of-`iters` wall-clock of `f`, nanoseconds.
+/// Best-of-`iters` wall-clock of `f`, nanoseconds. The iteration
+/// count is sized so each variant accumulates enough measured time
+/// that a single scheduler/steal blip on a small VM cannot own the
+/// minimum — the warm batch section is well under a millisecond per
+/// application, so best-of-5 was one bad tick away from a >10% swing
+/// in the gated ratio.
 fn best_of(iters: u32, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..iters {
@@ -202,12 +210,12 @@ pub fn run() -> TouchScalingReport {
     let mut seq = 1u64;
     loop_rig.apply_loop(seq);
     batch_rig.apply_batch(seq, &mut scratch);
-    let warm_loop_ns = best_of(5, || {
+    let warm_loop_ns = best_of(BEST_OF_ITERS, || {
         seq += 1;
         loop_rig.apply_loop(seq);
     });
     let mut bseq = seq;
-    let warm_batch_ns = best_of(5, || {
+    let warm_batch_ns = best_of(BEST_OF_ITERS, || {
         bseq += 1;
         batch_rig.apply_batch(bseq, &mut scratch);
     });
@@ -223,13 +231,13 @@ pub fn run() -> TouchScalingReport {
     // Armed cycle: `clear_refs` before every application (both sides pay
     // the same O(extents) clear; the writes then take SD-WP faults and
     // split the armed extents — the per-request Groundhog shape).
-    let armed_loop_ns = best_of(5, || {
+    let armed_loop_ns = best_of(BEST_OF_ITERS, || {
         seq += 1;
         loop_rig.space.clear_soft_dirty();
         loop_rig.apply_loop(seq);
     });
     let mut bseq2 = bseq;
-    let armed_batch_ns = best_of(5, || {
+    let armed_batch_ns = best_of(BEST_OF_ITERS, || {
         bseq2 += 1;
         batch_rig.space.clear_soft_dirty();
         batch_rig.apply_batch(bseq2, &mut scratch);

@@ -13,22 +13,23 @@
 use gh_functions::FunctionSpec;
 use gh_isolation::{StrategyError, StrategyKind};
 use gh_sim::stats::{throughput_rps, LatencyRecorder, Summary};
-use gh_sim::{DetRng, Nanos};
+use gh_sim::{DetRng, Nanos, QuantileSketch};
 use groundhog_core::GroundhogConfig;
 
 use crate::container::Container;
 use crate::platform::{Platform, PlatformConfig};
 use crate::request::Request;
 
-/// Latency measurements from a closed-loop run.
-#[derive(Clone, Debug, Default)]
+/// Latency measurements from a closed-loop run. All collectors are
+/// fixed-size sketches, so a run's stats memory is independent of `n`.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct LatencyRun {
     /// End-to-end latencies.
     pub e2e: LatencyRecorder,
     /// Invoker latencies.
     pub invoker: LatencyRecorder,
     /// Restore durations observed (off the critical path).
-    pub restores: Vec<Nanos>,
+    pub restores: QuantileSketch,
 }
 
 impl LatencyRun {
@@ -44,11 +45,7 @@ impl LatencyRun {
 
     /// Mean restore duration in ms (0 when no restores ran).
     pub fn restore_mean_ms(&self) -> f64 {
-        if self.restores.is_empty() {
-            0.0
-        } else {
-            Summary::of_nanos_ms(&self.restores).mean
-        }
+        self.restores.mean_ms()
     }
 }
 
@@ -75,7 +72,7 @@ pub fn closed_loop_latency(
         run.e2e.record(out.e2e);
         run.invoker.record(out.invoker);
         if !out.off_path.is_zero() {
-            run.restores.push(out.off_path);
+            run.restores.record_nanos(out.off_path);
         }
         // Low-load pacing: idle long enough that restoration (already
         // charged to the container's clock inside invoke) never delays

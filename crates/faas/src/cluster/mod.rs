@@ -37,9 +37,11 @@
 //! sketches (~30 KiB each) regardless of request count
 //! ([`ClusterResult::stats_bytes`]).
 
+pub mod front;
 pub mod place;
 
 use gh_functions::FunctionSpec;
+use gh_gateway::{GatewayConfig, GatewayStats};
 use gh_isolation::{StrategyError, StrategyKind};
 use gh_sim::event::EventQueue;
 use gh_sim::stats::throughput_rps;
@@ -49,6 +51,7 @@ use groundhog_core::GroundhogConfig;
 use crate::fleet::{par, DepthTracker, ExecMode, Pending, Pool, RoutePolicy, Router};
 use crate::trace::{TraceConfig, TraceGen};
 
+pub use front::{FrontDecision, GatewayFront};
 pub use place::{PlacePolicy, Placer};
 
 /// Cluster topology and per-node pool shape.
@@ -170,6 +173,7 @@ fn run_node(
     catalog: &[FunctionSpec],
     ccfg: &ClusterConfig,
     gh: &GroundhogConfig,
+    gcfg: Option<&GatewayConfig>,
 ) -> Result<NodeResult, StrategyError> {
     let nf = trace_cfg.functions as usize;
     assert!(
@@ -212,12 +216,23 @@ fn run_node(
         .map(|p| format!("user-{p}"))
         .collect();
 
-    // The node's trace slice: step the placer over *every* global
+    // The node's trace slice: fold *every* global event through the
+    // gateway front (if any), step the placer over every backend-bound
     // event (its cursors/loads depend on the full prefix), keep ours.
+    // Front and placer are both pure folds over the trace, so every
+    // node replays identical decision sequences.
+    let mut front = gcfg.map(GatewayFront::new);
     let mut gen = TraceGen::new(trace_cfg);
     let mut next_local = move || {
-        gen.by_ref()
-            .find(|ev| placer.place(ev.fn_id as usize) == node)
+        gen.by_ref().find(|ev| {
+            let backend = match &mut front {
+                None => true,
+                Some(f) => {
+                    f.decide(ev, catalog[ev.fn_id as usize].output_kb) == FrontDecision::Backend
+                }
+            };
+            backend && placer.place(ev.fn_id as usize) == node
+        })
     };
 
     let mut events: EventQueue<NodeEv> = EventQueue::new();
@@ -247,6 +262,8 @@ fn run_node(
                     principal: principals[a.principal as usize].clone(),
                     input_kb: pool.spec.input_kb,
                     arrival: a.at,
+                    payload_hash: a.payload_hash,
+                    idempotent: a.idempotent,
                 });
                 queued += 1;
                 depth.record(queued);
@@ -300,10 +317,24 @@ fn run_node(
     })
 }
 
+/// Front-side outcome of a gateway-wrapped run: requests that never
+/// reached a node, plus the hit latencies to fold into the sojourn
+/// sketch.
+struct FrontOutcome {
+    hits: u64,
+    hit_sojourns: QuantileSketch,
+}
+
 /// Merges per-node outcomes (already in node-index order) into the
-/// cluster result. Sketch merges are exact, so this is independent of
-/// how the nodes were executed.
-fn merge(nodes: Vec<NodeResult>, trace_cfg: &TraceConfig, ccfg: &ClusterConfig) -> ClusterResult {
+/// cluster result, folding in the gateway front's outcome when one ran.
+/// Sketch merges are exact, so this is independent of how the nodes
+/// were executed.
+fn merge(
+    nodes: Vec<NodeResult>,
+    trace_cfg: &TraceConfig,
+    ccfg: &ClusterConfig,
+    front: Option<&FrontOutcome>,
+) -> ClusterResult {
     let mut sojourns = QuantileSketch::new();
     let mut depth = DepthTracker::new();
     let mut completed = 0u64;
@@ -329,6 +360,13 @@ fn merge(nodes: Vec<NodeResult>, trace_cfg: &TraceConfig, ccfg: &ClusterConfig) 
             containers: n.containers,
             busy_ms: n.busy.as_millis_f64(),
         });
+    }
+    if let Some(f) = front {
+        // Cache hits are served requests with front-side sojourns; the
+        // span is untouched (hits never run on a node). With a disabled
+        // gateway both counts are zero and the merge is the identity.
+        completed += f.hits;
+        sojourns.merge(&f.hit_sojourns);
     }
     let span = span_end - trace_cfg.origin;
     let utilization = if span.is_zero() || containers == 0 {
@@ -385,6 +423,24 @@ pub fn run_cluster(
 /// the cluster differential oracle and the determinism CI job. The
 /// parallel path is bit-identical to serial: node timelines are pure
 /// functions of their inputs and the merge runs in node-index order.
+///
+/// ```
+/// use gh_faas::cluster::{run_cluster_with, ClusterConfig, PlacePolicy};
+/// use gh_faas::fleet::ExecMode;
+/// use gh_faas::trace::{synthetic_catalog, TraceConfig};
+/// use gh_isolation::StrategyKind;
+/// use groundhog_core::GroundhogConfig;
+///
+/// let catalog = synthetic_catalog(8, 7);
+/// let trace = TraceConfig::new(8, 200, 500.0, 7);
+/// let ccfg = ClusterConfig::new(2, PlacePolicy::LeastLoaded, StrategyKind::Gh, 7);
+/// let serial = run_cluster_with(&trace, &catalog, &ccfg, GroundhogConfig::gh(), ExecMode::Serial)?;
+/// let par = run_cluster_with(
+///     &trace, &catalog, &ccfg, GroundhogConfig::gh(), ExecMode::Parallel { threads: 2 },
+/// )?;
+/// assert_eq!(format!("{serial:?}"), format!("{par:?}"), "node-parallelism is invisible");
+/// # Ok::<(), gh_isolation::StrategyError>(())
+/// ```
 pub fn run_cluster_with(
     trace_cfg: &TraceConfig,
     catalog: &[FunctionSpec],
@@ -392,6 +448,21 @@ pub fn run_cluster_with(
     gh: GroundhogConfig,
     mode: ExecMode,
 ) -> Result<ClusterResult, StrategyError> {
+    let nodes = run_nodes(trace_cfg, catalog, ccfg, &gh, mode, None)?;
+    Ok(merge(nodes, trace_cfg, ccfg, None))
+}
+
+/// Runs every node timeline, serial or work-stealing parallel, and
+/// returns the results in node-index order. With `gcfg` set, each node
+/// replays the deterministic [`GatewayFront`] in front of placement.
+fn run_nodes(
+    trace_cfg: &TraceConfig,
+    catalog: &[FunctionSpec],
+    ccfg: &ClusterConfig,
+    gh: &GroundhogConfig,
+    mode: ExecMode,
+    gcfg: Option<&GatewayConfig>,
+) -> Result<Vec<NodeResult>, StrategyError> {
     let threads = match mode {
         ExecMode::Serial => 1,
         ExecMode::Parallel { threads } => threads,
@@ -414,7 +485,6 @@ pub fn run_cluster_with(
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let next = &next;
-                        let gh = &gh;
                         scope.spawn(move || {
                             let mut local = Vec::new();
                             loop {
@@ -422,7 +492,7 @@ pub fn run_cluster_with(
                                 if i >= n {
                                     break local;
                                 }
-                                local.push((i, run_node(i, trace_cfg, catalog, ccfg, gh)));
+                                local.push((i, run_node(i, trace_cfg, catalog, ccfg, gh, gcfg)));
                             }
                         })
                     })
@@ -443,10 +513,68 @@ pub fn run_cluster_with(
             .collect::<Result<Vec<_>, _>>()?
     } else {
         (0..n)
-            .map(|i| run_node(i, trace_cfg, catalog, ccfg, &gh))
+            .map(|i| run_node(i, trace_cfg, catalog, ccfg, gh, gcfg))
             .collect::<Result<Vec<_>, _>>()?
     };
-    Ok(merge(results, trace_cfg, ccfg))
+    Ok(results)
+}
+
+/// Outcome of a gateway-wrapped cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterGatewayResult {
+    /// The cluster outcome. `completed` counts cache hits served at the
+    /// front as well as node completions; rejected requests are
+    /// excluded (so `completed + gateway.rejected == requests`).
+    pub cluster: ClusterResult,
+    /// Front-side counters: cache traffic and rate-limit drops.
+    pub gateway: GatewayStats,
+}
+
+/// Runs the trace through the [`GatewayFront`] and the cluster.
+///
+/// The front is coordinator-pure (see [`front`]): the result cache uses
+/// arrival-reservation semantics, admission is per-principal rate
+/// limiting only (the in-flight ceiling is stripped), and the
+/// pre-warmer is ignored — cluster pools are fixed-size. Node
+/// parallelism and bit-identical serial/parallel results are preserved;
+/// with [`GatewayConfig::disabled`] the embedded [`ClusterResult`] is
+/// byte-identical to [`run_cluster_with`] on the same inputs.
+pub fn run_cluster_gateway(
+    trace_cfg: &TraceConfig,
+    catalog: &[FunctionSpec],
+    ccfg: &ClusterConfig,
+    gcfg: &GatewayConfig,
+    gh: GroundhogConfig,
+    mode: ExecMode,
+) -> Result<ClusterGatewayResult, StrategyError> {
+    // Coordinator stats pass: one pure fold over the trace, no pools.
+    let nf = trace_cfg.functions as usize;
+    assert!(
+        catalog.len() >= nf,
+        "catalog must cover every trace function"
+    );
+    let mut front = GatewayFront::new(gcfg);
+    let hit_cost = front.hit_cost();
+    let mut hit_sojourns = QuantileSketch::new();
+    for ev in TraceGen::new(trace_cfg) {
+        if front.decide(&ev, catalog[ev.fn_id as usize].output_kb) == FrontDecision::Hit {
+            hit_sojourns.record_nanos(hit_cost);
+        }
+    }
+    let outcome = FrontOutcome {
+        hits: front.hits,
+        hit_sojourns,
+    };
+    let nodes = run_nodes(trace_cfg, catalog, ccfg, &gh, mode, Some(gcfg))?;
+    let cluster = merge(nodes, trace_cfg, ccfg, Some(&outcome));
+    let mut gateway = GatewayStats {
+        served: cluster.completed,
+        rejected: front.rejected,
+        cache_peak_bytes: front.cache_peak_bytes,
+        ..GatewayStats::default()
+    };
+    gateway.absorb_cache(&front.cache_stats());
+    Ok(ClusterGatewayResult { cluster, gateway })
 }
 
 #[cfg(test)]

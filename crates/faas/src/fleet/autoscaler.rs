@@ -142,6 +142,8 @@ mod tests {
                 principal: "a".into(),
                 input_kb: 1,
                 arrival: Nanos::ZERO,
+                payload_hash: 0,
+                idempotent: false,
             });
         }
     }

@@ -170,6 +170,9 @@ pub struct FleetStats {
     pub snapshot_resident_bytes: u64,
     /// `snapshot_resident_bytes / pool_size`.
     pub snapshot_bytes_per_container: f64,
+    /// Bytes held by the run's statistics (the sojourn and queue-depth
+    /// sketches) — constant in the request count by construction.
+    pub stats_bytes: u64,
 }
 
 /// Outcome of one fleet run.
@@ -202,7 +205,7 @@ enum Event {
 
 /// Per-slot counter baseline captured at run start (busy, restore
 /// total, restore hidden, served, lazy faults, drained pages).
-type Baseline = (Nanos, Nanos, Nanos, u64, u64, u64);
+pub(crate) type Baseline = (Nanos, Nanos, Nanos, u64, u64, u64);
 
 /// Deferred pages this slot's background drain wrote back (GH only).
 fn drained(s: &Slot) -> u64 {
@@ -213,7 +216,7 @@ fn drained(s: &Slot) -> u64 {
 }
 
 /// Next inter-arrival gap of the Poisson arrival process.
-fn poisson_gap(offered_rps: f64, rng: &mut DetRng) -> Nanos {
+pub(crate) fn poisson_gap(offered_rps: f64, rng: &mut DetRng) -> Nanos {
     let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
     Nanos::from_millis_f64(-u.ln() / offered_rps * 1e3)
 }
@@ -222,9 +225,9 @@ fn poisson_gap(offered_rps: f64, rng: &mut DetRng) -> Nanos {
 /// borrows the pool per run so pools can be kept (e.g. by the platform)
 /// across runs.
 pub struct Fleet {
-    cfg: FleetConfig,
-    router: Router,
-    autoscaler: Option<Autoscaler>,
+    pub(crate) cfg: FleetConfig,
+    pub(crate) router: Router,
+    pub(crate) autoscaler: Option<Autoscaler>,
 }
 
 impl Fleet {
@@ -242,7 +245,7 @@ impl Fleet {
 
     /// The measurement span opens when the whole initial pool is warm
     /// (every container past Fig. 1 init + snapshot).
-    fn span_start(pool: &Pool) -> Nanos {
+    pub(crate) fn span_start(pool: &Pool) -> Nanos {
         pool.slots
             .iter()
             .map(|s| s.ready_at)
@@ -254,7 +257,7 @@ impl Fleet {
     /// deltas, so a pool reused across runs (Platform::run_fleet)
     /// never mixes one run's load figures into the next. Slots the
     /// autoscaler adds mid-run have implicit zero baselines.
-    fn baselines(pool: &Pool) -> Vec<Baseline> {
+    pub(crate) fn baselines(pool: &Pool) -> Vec<Baseline> {
         pool.slots
             .iter()
             .map(|s| {
@@ -274,6 +277,20 @@ impl Fleet {
     /// queues dry, in [`ExecMode::Auto`] (parallel when eligible — see
     /// the module docs — honoring `--serial`/`GH_SERIAL` and
     /// `GH_THREADS`).
+    ///
+    /// ```
+    /// use gh_faas::fleet::{Fleet, FleetConfig, Pool, RoutePolicy};
+    /// use gh_isolation::StrategyKind;
+    /// use groundhog_core::GroundhogConfig;
+    ///
+    /// let spec = gh_functions::catalog::by_name("fannkuch (p)").unwrap();
+    /// let cfg = FleetConfig::fixed(RoutePolicy::LeastLoaded, 200.0, 42);
+    /// let mut pool = Pool::build(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 2, 42)?;
+    /// let result = Fleet::new(cfg).run(&mut pool, 50)?;
+    /// assert_eq!(result.completed, 50);
+    /// assert!(result.goodput_rps > 0.0);
+    /// # Ok::<(), gh_isolation::StrategyError>(())
+    /// ```
     pub fn run(&mut self, pool: &mut Pool, requests: usize) -> Result<FleetResult, StrategyError> {
         self.run_with(pool, requests, ExecMode::Auto)
     }
@@ -378,6 +395,8 @@ impl Fleet {
                         principal,
                         input_kb,
                         arrival: now,
+                        payload_hash: 0,
+                        idempotent: false,
                     });
                     depth.record(pool.queued());
                     if generated < requests {
@@ -592,7 +611,7 @@ impl Fleet {
     /// pool's post-run state into a [`FleetResult`]. Both execution
     /// paths end here, so the report derivation is identical by
     /// construction.
-    fn finish(
+    pub(crate) fn finish(
         &self,
         pool: &mut Pool,
         t_start: Nanos,
@@ -693,6 +712,7 @@ impl Fleet {
                 snapshot_dedup_ratio: memory.dedup_ratio,
                 snapshot_resident_bytes: memory.resident_bytes,
                 snapshot_bytes_per_container: memory.resident_bytes_per_container,
+                stats_bytes: 2 * QuantileSketch::memory_bytes() as u64,
             },
         }
     }

@@ -128,6 +128,8 @@ pub(crate) fn drive_shard(
                     principal: a.principal.clone(),
                     input_kb,
                     arrival: a.at,
+                    payload_hash: 0,
+                    idempotent: false,
                 });
                 local
             }

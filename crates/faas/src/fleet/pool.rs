@@ -36,6 +36,16 @@ pub struct Dispatched {
     pub resp_at: Nanos,
     /// Virtual time the container is provably clean again.
     pub ready_at: Nanos,
+    /// Id of the request this dispatch served.
+    pub id: u64,
+    /// Payload hash carried from the [`Pending`](super::queue::Pending)
+    /// request — lets the gateway fill its result cache without a side
+    /// table.
+    pub payload_hash: u64,
+    /// Idempotency flag carried from the request.
+    pub idempotent: bool,
+    /// Response payload size, KiB (what a result cache stores).
+    pub output_kb: u64,
 }
 
 /// One pool slot: a container plus its scheduling state.
@@ -144,6 +154,10 @@ impl Slot {
             sojourn: (start - pending.arrival) + out.invoker_latency,
             resp_at: self.resp_at,
             ready_at: self.ready_at,
+            id: pending.id,
+            payload_hash: pending.payload_hash,
+            idempotent: pending.idempotent,
+            output_kb: out.response.output_kb,
         }))
     }
 
@@ -338,6 +352,8 @@ mod tests {
             principal: "alice".into(),
             input_kb: 1,
             arrival: at,
+            payload_hash: 0,
+            idempotent: false,
         });
     }
 

@@ -27,6 +27,13 @@ pub struct Pending {
     pub input_kb: u64,
     /// Virtual time the request arrived at the router.
     pub arrival: Nanos,
+    /// Canonical content hash of the request payload (0 when the
+    /// workload carries no payload identity). The gateway keys its
+    /// result cache on `(function, payload_hash)`.
+    pub payload_hash: u64,
+    /// Whether the request is idempotent — only idempotent responses
+    /// are eligible for result caching.
+    pub idempotent: bool,
 }
 
 /// A FIFO admission queue in front of one container.
@@ -123,6 +130,8 @@ mod tests {
             principal: "p".into(),
             input_kb: 1,
             arrival: Nanos::from_millis(at),
+            payload_hash: 0,
+            idempotent: false,
         }
     }
 

@@ -143,6 +143,8 @@ mod tests {
             principal: "a".into(),
             input_kb: 1,
             arrival: at,
+            payload_hash: 0,
+            idempotent: false,
         });
         let d = p.slots[idx].dispatch(at).unwrap().unwrap();
         (d.resp_at, d.ready_at)
@@ -239,6 +241,8 @@ mod tests {
                 principal: who.into(),
                 input_kb: 1,
                 arrival: t0,
+                payload_hash: 0,
+                idempotent: false,
             });
             p.slots[idx].dispatch(t0).unwrap().unwrap();
         }

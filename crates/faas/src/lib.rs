@@ -34,20 +34,30 @@
 //!   on its own event queue, behind a deterministic placement
 //!   front-end; nodes run host-parallel with results bit-identical to
 //!   the serial reference.
+//! - [`gateway`]: the [`gh_gateway`] policies (result cache, admission
+//!   control, predictive pre-warming) wired in front of a fleet as an
+//!   event-driven front-end; a disabled gateway is byte-identical to
+//!   the ungated fleet (the differential oracle), and the cluster gets
+//!   the same policies as a pure per-node fold ([`cluster::GatewayFront`]).
 
 pub mod client;
 pub mod cluster;
 pub mod container;
 pub mod fleet;
+pub mod gateway;
 pub mod openloop;
 pub mod platform;
 pub mod proxy;
 pub mod request;
 pub mod trace;
 
-pub use cluster::{run_cluster, ClusterConfig, ClusterResult, PlacePolicy};
+pub use cluster::{
+    run_cluster, run_cluster_gateway, ClusterConfig, ClusterGatewayResult, ClusterResult,
+    PlacePolicy,
+};
 pub use container::{Container, InvokeOutcome};
 pub use fleet::{Fleet, FleetConfig, FleetResult, Pool, RoutePolicy};
+pub use gateway::{run_gateway_fleet, GatewayFleet, GatewayFleetConfig, GatewayResult};
 pub use platform::{Platform, PlatformConfig};
 pub use request::{Request, Response};
 pub use trace::{synthetic_catalog, TraceConfig, TraceEvent, TraceGen};

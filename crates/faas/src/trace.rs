@@ -65,6 +65,12 @@ pub struct TraceConfig {
     /// Virtual time of the first possible arrival (set past the pool
     /// cold-start transient so measurements start warm).
     pub origin: Nanos,
+    /// Fraction of requests flagged idempotent (result-cache eligible).
+    pub idempotent_frac: f64,
+    /// Distinct payloads per function: each request draws its payload
+    /// uniformly from this universe, so a smaller universe means a
+    /// higher potential cache hit ratio.
+    pub payload_universe: u64,
     /// Seed; every internal stream derives from it.
     pub seed: u64,
 }
@@ -86,6 +92,8 @@ impl TraceConfig {
             mean_burst_len: 32.0,
             burst_rps_factor: 8.0,
             origin: Nanos::from_secs(10),
+            idempotent_frac: 0.25,
+            payload_universe: 64,
             seed,
         }
     }
@@ -103,6 +111,11 @@ pub struct TraceEvent {
     pub fn_id: u32,
     /// Principal index.
     pub principal: u32,
+    /// Canonical payload hash (well-mixed over the function's payload
+    /// universe) — what the gateway's result cache keys on.
+    pub payload_hash: u64,
+    /// Whether the request is idempotent (result-cache eligible).
+    pub idempotent: bool,
 }
 
 /// Burst state: a principal hammering one function.
@@ -122,6 +135,7 @@ pub struct TraceGen {
     fn_rng: DetRng,
     principal_rng: DetRng,
     burst_rng: DetRng,
+    payload_rng: DetRng,
     now: Nanos,
     emitted: u64,
     burst: Option<Burst>,
@@ -157,6 +171,7 @@ impl TraceGen {
             fn_rng: DetRng::new(seed ^ 0x7AC3_0003),
             principal_rng: DetRng::new(seed ^ 0x7AC3_0004),
             burst_rng: DetRng::new(seed ^ 0x7AC3_0005),
+            payload_rng: DetRng::new(seed ^ 0x7AC3_0006),
             now: cfg.origin,
             emitted: 0,
             burst: None,
@@ -233,11 +248,20 @@ impl Iterator for TraceGen {
             (fn_id, principal)
         };
         self.emitted += 1;
+        // Payload identity rides its own stream (after every other
+        // per-event draw), so traces generated before this stream
+        // existed keep their at/fn/principal sequences bit for bit.
+        let payload = self
+            .payload_rng
+            .next_below(self.cfg.payload_universe.max(1));
+        let idempotent = self.payload_rng.next_f64() < self.cfg.idempotent_frac;
         Some(TraceEvent {
             at: self.now,
             seq: self.emitted,
             fn_id,
             principal,
+            payload_hash: gh_gateway::cache::mix((fn_id as u64) << 32 | payload),
+            idempotent,
         })
     }
 }

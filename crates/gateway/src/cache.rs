@@ -1,0 +1,421 @@
+//! Content-addressed result cache with deterministic virtual-time
+//! expiry and an LRU byte budget.
+//!
+//! Idempotent requests are keyed by `(function, canonicalized payload)`
+//! — [`Payload`] sorts its key-value pairs before hashing, so two
+//! payloads that differ only in field order produce the same
+//! [`CacheKey`]. A hit short-circuits the request at the gateway; the
+//! container pool never sees it.
+//!
+//! Every decision is a pure function of the insert/lookup sequence and
+//! the *virtual* clock, never the host clock:
+//!
+//! - **TTL expiry** is exact-boundary: an entry inserted visible at `v`
+//!   with TTL `T` serves hits for `now ∈ [v, v+T)` and is expired *at*
+//!   `v+T` ([`ResultCache::lookup`] is strict, pinned by a unit test).
+//!   [`ResultCache::next_expiry`] exposes the earliest deadline so the
+//!   driving event loop can schedule expiry as an event on its
+//!   [`gh_sim::event::EventQueue`] and sweep with
+//!   [`ResultCache::expire_due`].
+//! - **LRU eviction** orders entries by a logical recency counter
+//!   (bumped on hit and insert), not wall time, so eviction order is
+//!   identical across serial and parallel drivers.
+
+use std::collections::{BTreeMap, HashMap};
+
+use gh_sim::Nanos;
+
+/// Fixed per-entry bookkeeping charge (key, indices, expiry slot) added
+/// to the payload bytes when accounting against the byte budget.
+pub const ENTRY_OVERHEAD_BYTES: u64 = 64;
+
+/// splitmix64 finalizer — the workspace's standard way to derive
+/// well-mixed synthetic hashes (payload ids, per-request salts) from
+/// small integers.
+#[inline]
+pub fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A request payload as the gateway sees it: named `u64` fields.
+///
+/// Construction canonicalizes — pairs are sorted by `(key, value)` — so
+/// the hash is independent of the order the caller listed the fields
+/// in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Payload {
+    pairs: Vec<(String, u64)>,
+}
+
+impl Payload {
+    /// Builds a canonicalized payload from `(field, value)` pairs.
+    pub fn new<K: Into<String>>(pairs: impl IntoIterator<Item = (K, u64)>) -> Payload {
+        let mut pairs: Vec<(String, u64)> = pairs.into_iter().map(|(k, v)| (k.into(), v)).collect();
+        pairs.sort();
+        Payload { pairs }
+    }
+
+    /// The canonical pairs, sorted.
+    pub fn pairs(&self) -> &[(String, u64)] {
+        &self.pairs
+    }
+
+    /// FNV-1a over the canonical encoding (length-prefixed field names,
+    /// little-endian values). Deterministic across platforms and runs.
+    pub fn hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for (k, v) in &self.pairs {
+            eat(&(k.len() as u64).to_le_bytes());
+            eat(k.as_bytes());
+            eat(&v.to_le_bytes());
+        }
+        h
+    }
+}
+
+/// The content address of a cacheable result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Function identity (fleet runs use 0; cluster runs use the trace
+    /// `fn_id`).
+    pub fn_id: u64,
+    /// Canonical payload hash ([`Payload::hash`] or a trace-synthesized
+    /// equivalent).
+    pub payload_hash: u64,
+}
+
+impl CacheKey {
+    /// Key of `payload` under function `fn_id`.
+    pub fn new(fn_id: u64, payload: &Payload) -> CacheKey {
+        CacheKey {
+            fn_id,
+            payload_hash: payload.hash(),
+        }
+    }
+}
+
+/// Result-cache knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Per-function TTL: an entry serves hits for `[visible, visible+ttl)`.
+    pub ttl: Nanos,
+    /// LRU byte budget over `output bytes + ENTRY_OVERHEAD_BYTES` per
+    /// entry. Inserting past the budget evicts least-recently-used
+    /// entries first.
+    pub byte_budget: u64,
+    /// Virtual-time cost charged to a request served from the cache
+    /// (hash + lookup + response serialization at the gateway).
+    pub hit_cost: Nanos,
+}
+
+impl CacheConfig {
+    /// A small general-purpose cache: 30s TTL, 4 MiB budget, 50µs hits.
+    pub fn default_for_ttl(ttl: Nanos) -> CacheConfig {
+        CacheConfig {
+            ttl,
+            byte_budget: 4 << 20,
+            hit_cost: Nanos::from_micros(50),
+        }
+    }
+}
+
+/// Cache outcome counters (all monotone).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Idempotent lookups that found nothing servable.
+    pub misses: u64,
+    /// Entries inserted (including replacements).
+    pub insertions: u64,
+    /// Entries evicted by the LRU byte budget.
+    pub evictions: u64,
+    /// Entries removed by TTL expiry.
+    pub expired: u64,
+}
+
+struct Entry {
+    recency: u64,
+    seq: u64,
+    visible_from: Nanos,
+    expires_at: Nanos,
+    bytes: u64,
+    output_kb: u64,
+}
+
+/// The content-addressed result cache. See the module docs for the
+/// determinism contract.
+pub struct ResultCache {
+    cfg: CacheConfig,
+    entries: HashMap<CacheKey, Entry>,
+    /// LRU index: logical recency → key.
+    by_recency: BTreeMap<u64, CacheKey>,
+    /// Expiry index: (deadline, insert seq) → key.
+    by_expiry: BTreeMap<(Nanos, u64), CacheKey>,
+    tick: u64,
+    seq: u64,
+    bytes: u64,
+    /// Outcome counters.
+    pub stats: CacheStats,
+}
+
+impl ResultCache {
+    /// An empty cache under `cfg`.
+    pub fn new(cfg: CacheConfig) -> ResultCache {
+        ResultCache {
+            cfg,
+            entries: HashMap::new(),
+            by_recency: BTreeMap::new(),
+            by_expiry: BTreeMap::new(),
+            tick: 0,
+            seq: 0,
+            bytes: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache runs under.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes currently charged against the budget — bounded by
+    /// `byte_budget` by construction, independent of request count.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn unlink(&mut self, key: &CacheKey) -> Option<Entry> {
+        let e = self.entries.remove(key)?;
+        self.by_recency.remove(&e.recency);
+        self.by_expiry.remove(&(e.expires_at, e.seq));
+        self.bytes -= e.bytes;
+        Some(e)
+    }
+
+    /// Looks `key` up at virtual time `now`. Serves entries with
+    /// `visible_from ≤ now < expires_at`; the upper bound is strict, so
+    /// a lookup at exactly the expiry deadline misses. A hit bumps the
+    /// entry's LRU recency and returns its output size (KiB).
+    pub fn lookup(&mut self, key: CacheKey, now: Nanos) -> Option<u64> {
+        let servable = self
+            .entries
+            .get(&key)
+            .is_some_and(|e| e.visible_from <= now && now < e.expires_at);
+        if !servable {
+            self.stats.misses += 1;
+            return None;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.entries.get_mut(&key).expect("checked above");
+        self.by_recency.remove(&e.recency);
+        e.recency = tick;
+        let out = e.output_kb;
+        self.by_recency.insert(tick, key);
+        self.stats.hits += 1;
+        Some(out)
+    }
+
+    /// Inserts (or replaces) the result for `key`: `output_kb` KiB
+    /// becoming visible at `visible_from` (the backend response time)
+    /// and expiring at `visible_from + ttl`. Evicts least-recently-used
+    /// entries until the byte budget holds; an entry larger than the
+    /// whole budget is not cached at all.
+    pub fn insert(&mut self, key: CacheKey, output_kb: u64, visible_from: Nanos) {
+        let bytes = output_kb * 1024 + ENTRY_OVERHEAD_BYTES;
+        if bytes > self.cfg.byte_budget {
+            return;
+        }
+        self.unlink(&key);
+        while self.bytes + bytes > self.cfg.byte_budget {
+            let (_, victim) = self
+                .by_recency
+                .iter()
+                .next()
+                .map(|(r, k)| (*r, *k))
+                .expect("over budget implies a resident entry");
+            self.unlink(&victim);
+            self.stats.evictions += 1;
+        }
+        self.tick += 1;
+        self.seq += 1;
+        let e = Entry {
+            recency: self.tick,
+            seq: self.seq,
+            visible_from,
+            expires_at: visible_from + self.cfg.ttl,
+            bytes,
+            output_kb,
+        };
+        self.by_recency.insert(e.recency, key);
+        self.by_expiry.insert((e.expires_at, e.seq), key);
+        self.bytes += bytes;
+        self.entries.insert(key, e);
+        self.stats.insertions += 1;
+    }
+
+    /// The earliest expiry deadline among live entries — what the
+    /// driving event loop schedules its next cache-expiry event at.
+    pub fn next_expiry(&self) -> Option<Nanos> {
+        self.by_expiry.keys().next().map(|&(at, _)| at)
+    }
+
+    /// Removes every entry whose deadline has passed (`expires_at ≤
+    /// now`), returning how many were swept.
+    pub fn expire_due(&mut self, now: Nanos) -> usize {
+        let mut swept = 0;
+        while let Some((&(at, _), &key)) = self.by_expiry.iter().next() {
+            if at > now {
+                break;
+            }
+            self.unlink(&key);
+            self.stats.expired += 1;
+            swept += 1;
+        }
+        swept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(ttl_ms: u64, budget: u64) -> ResultCache {
+        ResultCache::new(CacheConfig {
+            ttl: Nanos::from_millis(ttl_ms),
+            byte_budget: budget,
+            hit_cost: Nanos::from_micros(50),
+        })
+    }
+
+    #[test]
+    fn payload_hash_is_order_independent() {
+        let a = Payload::new([("user", 7u64), ("size", 3), ("op", 1)]);
+        let b = Payload::new([("op", 1u64), ("user", 7), ("size", 3)]);
+        assert_eq!(a, b, "canonicalization sorts the pairs");
+        assert_eq!(a.hash(), b.hash());
+        assert_eq!(CacheKey::new(4, &a), CacheKey::new(4, &b));
+    }
+
+    #[test]
+    fn payload_hash_separates_values_fields_and_functions() {
+        let a = Payload::new([("k", 1u64)]);
+        let b = Payload::new([("k", 2u64)]);
+        let c = Payload::new([("q", 1u64)]);
+        assert_ne!(a.hash(), b.hash(), "value matters");
+        assert_ne!(a.hash(), c.hash(), "field name matters");
+        assert_ne!(CacheKey::new(0, &a), CacheKey::new(1, &a), "fn matters");
+        // Length prefixing keeps ("ab",…) ≠ ("a",…) + ("b",…) style
+        // ambiguity out of the encoding.
+        let d = Payload::new([("ab", 1u64)]);
+        let e = Payload::new([("a", 1u64), ("b", 1)]);
+        assert_ne!(d.hash(), e.hash());
+    }
+
+    #[test]
+    fn ttl_boundary_is_exact() {
+        let mut c = cache(10, 1 << 20);
+        let key = CacheKey::new(0, &Payload::new([("k", 1u64)]));
+        let visible = Nanos::from_millis(100);
+        c.insert(key, 2, visible);
+        assert!(c.lookup(key, visible).is_some(), "servable at visibility");
+        let last = visible + Nanos::from_millis(10) - Nanos::from_nanos(1);
+        assert!(c.lookup(key, last).is_some(), "servable one tick before");
+        let deadline = visible + Nanos::from_millis(10);
+        assert!(
+            c.lookup(key, deadline).is_none(),
+            "expired at the exact deadline"
+        );
+        assert_eq!(c.next_expiry(), Some(deadline));
+        assert_eq!(c.expire_due(deadline), 1);
+        assert!(c.is_empty());
+        assert_eq!(c.stats.expired, 1);
+    }
+
+    #[test]
+    fn entries_are_invisible_before_their_fill_completes() {
+        let mut c = cache(50, 1 << 20);
+        let key = CacheKey::new(0, &Payload::new([("k", 9u64)]));
+        c.insert(key, 1, Nanos::from_millis(20));
+        assert!(
+            c.lookup(key, Nanos::from_millis(10)).is_none(),
+            "the backend response has not landed yet"
+        );
+        assert!(c.lookup(key, Nanos::from_millis(20)).is_some());
+    }
+
+    #[test]
+    fn lru_budget_evicts_least_recently_used() {
+        // Budget fits exactly two 1-KiB entries (1024 + 64 overhead each).
+        let mut c = cache(1_000, 2 * (1024 + ENTRY_OVERHEAD_BYTES));
+        let k = |i: u64| CacheKey {
+            fn_id: 0,
+            payload_hash: i,
+        };
+        let t = Nanos::from_millis(1);
+        c.insert(k(1), 1, t);
+        c.insert(k(2), 1, t);
+        // Touch k1 so k2 is the LRU victim.
+        assert!(c.lookup(k(1), Nanos::from_millis(2)).is_some());
+        c.insert(k(3), 1, t);
+        assert_eq!(c.stats.evictions, 1);
+        assert!(c.lookup(k(1), Nanos::from_millis(3)).is_some(), "kept");
+        assert!(c.lookup(k(2), Nanos::from_millis(3)).is_none(), "evicted");
+        assert!(c.lookup(k(3), Nanos::from_millis(3)).is_some(), "inserted");
+        assert!(c.bytes() <= 2 * (1024 + ENTRY_OVERHEAD_BYTES));
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        let mut c = cache(1_000, 100);
+        let key = CacheKey::new(0, &Payload::new([("k", 1u64)]));
+        c.insert(key, 1, Nanos::ZERO); // 1088 B > 100 B budget
+        assert!(c.is_empty());
+        assert_eq!(c.stats.insertions, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_reaccounts() {
+        let mut c = cache(10, 1 << 20);
+        let key = CacheKey::new(0, &Payload::new([("k", 1u64)]));
+        c.insert(key, 4, Nanos::from_millis(1));
+        let before = c.bytes();
+        c.insert(key, 2, Nanos::from_millis(5));
+        assert_eq!(c.len(), 1);
+        assert!(c.bytes() < before, "smaller result re-accounted");
+        // The replacement's TTL runs from its own visibility.
+        assert_eq!(c.next_expiry(), Some(Nanos::from_millis(15)));
+        assert_eq!(c.lookup(key, Nanos::from_millis(12)), Some(2));
+    }
+
+    #[test]
+    fn mix_spreads_small_integers() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            seen.insert(mix(i));
+        }
+        assert_eq!(seen.len(), 1000, "no collisions on small inputs");
+    }
+}

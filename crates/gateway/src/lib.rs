@@ -1,0 +1,203 @@
+//! Gateway front-end primitives for the Groundhog fleet and cluster
+//! simulations: content-addressed result caching, per-principal
+//! admission control, and predictive pre-warming.
+//!
+//! Groundhog (EuroSys '23) makes per-request isolation cheap at the
+//! container; what a production platform fronts those containers with
+//! is a gateway. This crate holds the three gateway policies as pure,
+//! deterministic state machines over the simulator's virtual clock:
+//!
+//! - [`cache::ResultCache`] — idempotent requests hashed over
+//!   `(function, canonicalized payload)` short-circuit on a hit within
+//!   a per-function TTL, under an LRU byte budget. Expiry is exact
+//!   virtual-time ([`cache::ResultCache::next_expiry`] feeds the
+//!   driving [`gh_sim::event::EventQueue`]).
+//! - [`admission::AdmissionControl`] — per-principal token buckets
+//!   refilled by elapsed virtual time plus a global concurrency
+//!   ceiling; rejected and deferred requests are counted separately
+//!   from served ones.
+//! - [`prewarm::Prewarmer`] — an EWMA of per-function inter-arrival
+//!   gaps, scaled by the trace's diurnal phase, projects the arrival
+//!   rate one container-init ahead and issues pre-restore hints so
+//!   warm slots beat the burst instead of trailing it like the
+//!   reactive autoscaler.
+//!
+//! Nothing here touches a pool directly: the crate depends only on
+//! `gh-sim` primitives, and `gh-faas` owns the event loops that wire
+//! these policies in front of its fleet and cluster (see
+//! `gh_faas::gateway` and `gh_faas::cluster`). That layering keeps the
+//! differential oracle honest — a [`GatewayConfig::disabled`] gateway
+//! run is byte-identical to the ungated fleet.
+//!
+//! # Example
+//!
+//! Build a gateway policy with the builder; leaving a knob unset
+//! disables that policy:
+//!
+//! ```
+//! use gh_gateway::admission::AdmissionConfig;
+//! use gh_gateway::cache::CacheConfig;
+//! use gh_gateway::GatewayConfig;
+//! use gh_sim::Nanos;
+//!
+//! let gcfg = GatewayConfig::builder()
+//!     .cache(CacheConfig::default_for_ttl(Nanos::from_secs(30)))
+//!     .admission(AdmissionConfig::per_principal(50.0, 10))
+//!     .build();
+//! assert!(gcfg.cache.is_some());
+//! assert!(gcfg.prewarm.is_none(), "pre-warming stays off unless set");
+//! assert!(!GatewayConfig::disabled().any_enabled());
+//! ```
+
+pub mod admission;
+pub mod cache;
+pub mod prewarm;
+
+use admission::AdmissionConfig;
+use cache::CacheConfig;
+use prewarm::PrewarmConfig;
+
+/// The full gateway policy: each knob is independent and optional.
+/// [`GatewayConfig::disabled`] (all `None`) is the differential-oracle
+/// baseline — a gateway that admits everything, caches nothing, and
+/// never pre-warms must behave byte-identically to no gateway at all.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GatewayConfig {
+    /// Content-addressed result cache; `None` disables caching.
+    pub cache: Option<CacheConfig>,
+    /// Token-bucket admission control; `None` admits everything.
+    pub admission: Option<AdmissionConfig>,
+    /// Predictive pre-warming; `None` leaves scaling to the pool.
+    pub prewarm: Option<PrewarmConfig>,
+}
+
+impl GatewayConfig {
+    /// The pass-through gateway: no cache, unlimited admission, no
+    /// pre-warming.
+    pub fn disabled() -> GatewayConfig {
+        GatewayConfig::default()
+    }
+
+    /// Starts building a gateway policy. See the [crate example](crate).
+    pub fn builder() -> GatewayBuilder {
+        GatewayBuilder {
+            cfg: GatewayConfig::default(),
+        }
+    }
+
+    /// True when any policy is active — `false` means the gateway is a
+    /// pure pass-through.
+    pub fn any_enabled(&self) -> bool {
+        self.cache.is_some() || self.admission.is_some() || self.prewarm.is_some()
+    }
+}
+
+/// Builder for [`GatewayConfig`]; every policy left unset stays off.
+#[derive(Clone, Copy, Debug)]
+pub struct GatewayBuilder {
+    cfg: GatewayConfig,
+}
+
+impl GatewayBuilder {
+    /// Enables the result cache.
+    pub fn cache(mut self, cache: CacheConfig) -> GatewayBuilder {
+        self.cfg.cache = Some(cache);
+        self
+    }
+
+    /// Enables admission control.
+    pub fn admission(mut self, admission: AdmissionConfig) -> GatewayBuilder {
+        self.cfg.admission = Some(admission);
+        self
+    }
+
+    /// Enables predictive pre-warming.
+    pub fn prewarm(mut self, prewarm: PrewarmConfig) -> GatewayBuilder {
+        self.cfg.prewarm = Some(prewarm);
+        self
+    }
+
+    /// Finishes the policy.
+    pub fn build(self) -> GatewayConfig {
+        self.cfg
+    }
+}
+
+/// What the gateway did across one run. Assembled by the driving loop
+/// (`gh_faas::gateway` / the cluster front-end); every field is a
+/// deterministic function of the request timeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Requests answered (backend completions + cache hits).
+    pub served: u64,
+    /// Requests answered straight from the result cache.
+    pub cache_hits: u64,
+    /// Idempotent lookups that missed.
+    pub cache_misses: u64,
+    /// Cache entries written.
+    pub cache_insertions: u64,
+    /// Cache entries evicted by the LRU byte budget.
+    pub cache_evictions: u64,
+    /// Cache entries removed by TTL expiry.
+    pub cache_expired: u64,
+    /// Requests shed by per-principal rate limiting.
+    pub rejected: u64,
+    /// Requests parked (at least once) by the concurrency ceiling.
+    pub deferred: u64,
+    /// Pre-restore hints issued by the pre-warmer.
+    pub prewarm_spawns: u64,
+    /// Peak bytes resident in the result cache.
+    pub cache_peak_bytes: u64,
+}
+
+impl GatewayStats {
+    /// Folds the cache's counters in (used by the cluster merge, which
+    /// accumulates node-pure partial stats in node-index order).
+    pub fn absorb_cache(&mut self, stats: &cache::CacheStats) {
+        self.cache_hits += stats.hits;
+        self.cache_misses += stats.misses;
+        self.cache_insertions += stats.insertions;
+        self.cache_evictions += stats.evictions;
+        self.cache_expired += stats.expired;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gh_sim::Nanos;
+
+    #[test]
+    fn disabled_config_enables_nothing() {
+        let g = GatewayConfig::disabled();
+        assert!(g.cache.is_none() && g.admission.is_none() && g.prewarm.is_none());
+        assert!(!g.any_enabled());
+    }
+
+    #[test]
+    fn builder_sets_exactly_what_was_asked() {
+        let g = GatewayConfig::builder()
+            .prewarm(PrewarmConfig::flat(Nanos::from_millis(500), 4))
+            .build();
+        assert!(g.prewarm.is_some());
+        assert!(g.cache.is_none());
+        assert!(g.admission.is_none());
+        assert!(g.any_enabled());
+    }
+
+    #[test]
+    fn stats_absorb_cache_accumulates() {
+        let mut s = GatewayStats::default();
+        let c = cache::CacheStats {
+            hits: 3,
+            misses: 2,
+            insertions: 2,
+            evictions: 1,
+            expired: 1,
+        };
+        s.absorb_cache(&c);
+        s.absorb_cache(&c);
+        assert_eq!(s.cache_hits, 6);
+        assert_eq!(s.cache_expired, 2);
+    }
+}

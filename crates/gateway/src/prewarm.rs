@@ -1,0 +1,239 @@
+//! Predictive pre-warmer: EWMA arrival-rate tracking plus the trace's
+//! diurnal phase, driving pre-restore hints ahead of load.
+//!
+//! The reactive autoscaler (PR 4) grows a pool only after queue depth
+//! has already built — every scale-up eats one cold start's worth of
+//! queueing before the new container helps. The pre-warmer instead
+//! projects the arrival rate a `horizon` ahead (chosen ≥ the container
+//! init time) and asks for capacity *now* so the slot is warm when the
+//! burst lands.
+//!
+//! The projection has two factors:
+//!
+//! 1. **EWMA inter-arrival gap** — [`Prewarmer::observe`] folds each
+//!    gap into an exponentially weighted mean; its reciprocal is the
+//!    current arrival rate. With fewer than two arrivals there is no
+//!    gap and therefore no estimate: a cold history never pre-warms
+//!    (pinned by a unit test).
+//! 2. **Diurnal phase ratio** — when the workload declares a diurnal
+//!    envelope (the same `1 + A·sin(2π(t−origin)/period)` the trace
+//!    generator thins against), the projected rate is scaled by
+//!    `envelope(t + horizon) / envelope(t)`, anticipating the upswing
+//!    instead of trailing it.
+//!
+//! Capacity wanted is then `ceil(rate × service_time / target_util)`,
+//! clamped to the container-memory budget `max_size`, with a cooldown
+//! between grow hints so one burst does not stampede the pool. All
+//! arithmetic is over virtual time and per-arrival state — replaying
+//! the same arrival timeline reproduces the same hint sequence exactly.
+
+use gh_sim::Nanos;
+
+/// Pre-warmer knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct PrewarmConfig {
+    /// EWMA weight of the newest inter-arrival gap (0 < alpha ≤ 1).
+    pub alpha: f64,
+    /// How far ahead to project the rate; at least the container init
+    /// time, or the warm slot arrives after the burst it was for.
+    pub horizon: Nanos,
+    /// Capacity planning target: wanted = ceil(rate·service/target).
+    pub target_util: f64,
+    /// Container-memory budget — never hint beyond this pool size.
+    pub max_size: usize,
+    /// Minimum virtual time between grow hints.
+    pub cooldown: Nanos,
+    /// Diurnal envelope amplitude `A` (0 disables phase scaling).
+    pub diurnal_amplitude: f64,
+    /// Diurnal envelope period; ignored when the amplitude is 0.
+    pub diurnal_period: Nanos,
+}
+
+impl PrewarmConfig {
+    /// A flat-workload config: no diurnal scaling, α=0.2, 70% target.
+    pub fn flat(horizon: Nanos, max_size: usize) -> PrewarmConfig {
+        PrewarmConfig {
+            alpha: 0.2,
+            horizon,
+            target_util: 0.7,
+            max_size,
+            cooldown: horizon,
+            diurnal_amplitude: 0.0,
+            diurnal_period: Nanos::from_secs(1),
+        }
+    }
+}
+
+/// Arrival-history state for one function's pool.
+pub struct Prewarmer {
+    cfg: PrewarmConfig,
+    /// Diurnal phase origin (the trace's `origin`).
+    origin: Nanos,
+    ewma_gap_secs: Option<f64>,
+    last_arrival: Option<Nanos>,
+    last_grow: Option<Nanos>,
+    /// Grow hints issued.
+    pub spawned: u64,
+}
+
+impl Prewarmer {
+    /// Fresh history under `cfg`; `origin` anchors the diurnal phase.
+    pub fn new(cfg: PrewarmConfig, origin: Nanos) -> Prewarmer {
+        Prewarmer {
+            cfg,
+            origin,
+            ewma_gap_secs: None,
+            last_arrival: None,
+            last_grow: None,
+            spawned: 0,
+        }
+    }
+
+    /// The configuration this pre-warmer runs under.
+    pub fn config(&self) -> &PrewarmConfig {
+        &self.cfg
+    }
+
+    /// Folds an arrival at virtual time `now` into the EWMA gap.
+    pub fn observe(&mut self, now: Nanos) {
+        if let Some(last) = self.last_arrival {
+            let gap = now.checked_sub(last).unwrap_or(Nanos::ZERO).as_secs_f64();
+            self.ewma_gap_secs = Some(match self.ewma_gap_secs {
+                Some(ewma) => self.cfg.alpha * gap + (1.0 - self.cfg.alpha) * ewma,
+                None => gap,
+            });
+        }
+        self.last_arrival = Some(now);
+    }
+
+    fn envelope(&self, t: Nanos) -> f64 {
+        let a = self.cfg.diurnal_amplitude;
+        if a == 0.0 {
+            return 1.0;
+        }
+        let period = self.cfg.diurnal_period.as_secs_f64().max(f64::MIN_POSITIVE);
+        let phase = (t.as_secs_f64() - self.origin.as_secs_f64()) / period;
+        (1.0 + a * (std::f64::consts::TAU * phase).sin()).max(0.0)
+    }
+
+    /// The arrival rate projected `horizon` ahead of `now`, or `None`
+    /// while the history is cold (fewer than two arrivals observed).
+    pub fn predicted_rps(&self, now: Nanos) -> Option<f64> {
+        let gap = self.ewma_gap_secs?;
+        let current = 1.0 / gap.max(1e-9);
+        let now_env = self.envelope(now).max(1e-6);
+        Some(current * self.envelope(now + self.cfg.horizon) / now_env)
+    }
+
+    /// Containers wanted at `now + horizon` for a mean service time of
+    /// `service_secs`, clamped to the memory budget. `None` while cold.
+    pub fn desired_capacity(&self, now: Nanos, service_secs: f64) -> Option<usize> {
+        let rps = self.predicted_rps(now)?;
+        let wanted = (rps * service_secs / self.cfg.target_util.max(1e-6)).ceil();
+        Some((wanted as usize).min(self.cfg.max_size))
+    }
+
+    /// Should the pool grow by one container right now? True when the
+    /// projected demand exceeds `active` capacity, the budget allows
+    /// it, and the cooldown has elapsed; issuing the hint arms the
+    /// cooldown and bumps [`Prewarmer::spawned`].
+    pub fn want_grow(&mut self, now: Nanos, active: usize, service_secs: f64) -> bool {
+        if active >= self.cfg.max_size {
+            return false;
+        }
+        if let Some(last) = self.last_grow {
+            if now.checked_sub(last).unwrap_or(Nanos::ZERO) < self.cfg.cooldown {
+                return false;
+            }
+        }
+        let Some(desired) = self.desired_capacity(now, service_secs) else {
+            return false;
+        };
+        if desired <= active {
+            return false;
+        }
+        self.last_grow = Some(now);
+        self.spawned += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warm_cfg() -> PrewarmConfig {
+        PrewarmConfig::flat(Nanos::from_millis(500), 8)
+    }
+
+    #[test]
+    fn cold_history_never_prewarms() {
+        let mut p = Prewarmer::new(warm_cfg(), Nanos::ZERO);
+        assert_eq!(p.predicted_rps(Nanos::from_secs(1)), None);
+        assert!(
+            !p.want_grow(Nanos::from_secs(1), 1, 0.1),
+            "no arrivals → no pre-warm"
+        );
+        // One arrival gives no gap either: still cold.
+        p.observe(Nanos::from_secs(1));
+        assert_eq!(p.predicted_rps(Nanos::from_secs(2)), None);
+        assert!(!p.want_grow(Nanos::from_secs(2), 1, 0.1));
+        assert_eq!(p.spawned, 0);
+    }
+
+    #[test]
+    fn steady_arrivals_estimate_the_rate() {
+        let mut p = Prewarmer::new(warm_cfg(), Nanos::ZERO);
+        // 10ms gaps → 100 rps.
+        for i in 0..50u64 {
+            p.observe(Nanos::from_millis(10 * i));
+        }
+        let rps = p.predicted_rps(Nanos::from_millis(500)).unwrap();
+        assert!((rps - 100.0).abs() < 1.0, "got {rps}");
+        // 100 rps × 100ms service / 0.7 target → 15 containers wanted.
+        assert_eq!(p.desired_capacity(Nanos::from_millis(500), 0.1), Some(8));
+        assert!(p.want_grow(Nanos::from_millis(500), 4, 0.1));
+        assert_eq!(p.spawned, 1);
+    }
+
+    #[test]
+    fn cooldown_spaces_grow_hints() {
+        let mut p = Prewarmer::new(warm_cfg(), Nanos::ZERO);
+        for i in 0..50u64 {
+            p.observe(Nanos::from_millis(10 * i));
+        }
+        let t = Nanos::from_millis(500);
+        assert!(p.want_grow(t, 1, 0.1));
+        assert!(!p.want_grow(t + Nanos::from_millis(100), 2, 0.1), "cooling");
+        assert!(p.want_grow(t + Nanos::from_millis(500), 2, 0.1));
+        assert_eq!(p.spawned, 2);
+    }
+
+    #[test]
+    fn budget_caps_growth() {
+        let mut p = Prewarmer::new(PrewarmConfig::flat(Nanos::from_millis(500), 2), Nanos::ZERO);
+        for i in 0..50u64 {
+            p.observe(Nanos::from_millis(10 * i));
+        }
+        assert!(!p.want_grow(Nanos::from_millis(500), 2, 0.1), "at budget");
+    }
+
+    #[test]
+    fn diurnal_phase_scales_the_projection() {
+        let cfg = PrewarmConfig {
+            diurnal_amplitude: 0.5,
+            diurnal_period: Nanos::from_secs(40),
+            horizon: Nanos::from_secs(10),
+            ..warm_cfg()
+        };
+        let mut p = Prewarmer::new(cfg, Nanos::ZERO);
+        for i in 0..50u64 {
+            p.observe(Nanos::from_millis(10 * i));
+        }
+        // At t=0 the envelope is 1.0; at t+10s (quarter period) it
+        // peaks at 1.5 → the projection anticipates a 1.5× upswing.
+        let flat = 100.0;
+        let rps = p.predicted_rps(Nanos::from_millis(490)).unwrap();
+        assert!(rps > flat * 1.3, "projection rides the upswing: {rps}");
+    }
+}

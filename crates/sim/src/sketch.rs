@@ -86,6 +86,7 @@ pub struct QuantileSketch {
     counts: Box<[u64; BUCKETS]>,
     count: u64,
     sum: u128,
+    sum_sq: u128,
     min: u64,
     max: u64,
 }
@@ -103,6 +104,7 @@ impl QuantileSketch {
             counts: Box::new([0; BUCKETS]),
             count: 0,
             sum: 0,
+            sum_sq: 0,
             min: u64::MAX,
             max: 0,
         }
@@ -114,6 +116,7 @@ impl QuantileSketch {
         self.counts[bucket_of(v)] += 1;
         self.count += 1;
         self.sum += v as u128;
+        self.sum_sq = self.sum_sq.saturating_add((v as u128) * (v as u128));
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -162,6 +165,24 @@ impl QuantileSketch {
         self.mean() / 1e6
     }
 
+    /// Exact population standard deviation (up to `f64` rounding in the
+    /// final subtraction); 0 when empty. Sums and squared sums are
+    /// carried in `u128`, so the merge stays exact.
+    pub fn std_dev(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mean = self.sum as f64 / n;
+        let var = (self.sum_sq as f64 / n - mean * mean).max(0.0);
+        var.sqrt()
+    }
+
+    /// `std_dev` interpreted as nanoseconds, in milliseconds.
+    pub fn std_dev_ms(&self) -> f64 {
+        self.std_dev() / 1e6
+    }
+
     /// The `q`-th percentile (`0 ≤ q ≤ 100`): the upper bound of the
     /// bucket holding the `ceil(q/100·n)`-th smallest sample, clamped
     /// into `[min, max]`. Exact for values below [`SUBBUCKETS`] and at
@@ -201,6 +222,7 @@ impl QuantileSketch {
         }
         self.count += other.count;
         self.sum += other.sum;
+        self.sum_sq = self.sum_sq.saturating_add(other.sum_sq);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }

@@ -5,6 +5,7 @@
 //! (abstract, §2), and sustained throughput. This module provides those
 //! aggregations over virtual-time samples.
 
+use crate::sketch::QuantileSketch;
 use crate::time::Nanos;
 
 /// Aggregate statistics over a set of samples.
@@ -124,11 +125,18 @@ pub fn relative(baseline: f64, measured: f64) -> f64 {
     measured / baseline
 }
 
-/// An append-only collector of latency samples with convenience accessors,
-/// used by clients and the invoker.
-#[derive(Clone, Debug, Default)]
+/// An append-only collector of latency samples with convenience
+/// accessors, used by clients and the invoker.
+///
+/// Backed by a [`QuantileSketch`], so memory is a fixed ~30 KiB however
+/// many samples are recorded (the bounded-stats-memory guarantee the
+/// fleet and cluster paths already carry). Means, std-devs and extremes
+/// are exact; percentiles quantize by at most 1/[`crate::sketch::SUBBUCKETS`]
+/// (≈ 1.6%). Two recorders compare equal iff they absorbed identical
+/// sample multisets — the equality the platform determinism tests pin.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LatencyRecorder {
-    samples: Vec<Nanos>,
+    sketch: QuantileSketch,
 }
 
 impl LatencyRecorder {
@@ -139,47 +147,39 @@ impl LatencyRecorder {
 
     /// Records one sample.
     pub fn record(&mut self, sample: Nanos) {
-        self.samples.push(sample);
+        self.sketch.record_nanos(sample);
     }
 
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.sketch.len() as usize
     }
 
     /// True if no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.sketch.is_empty()
     }
 
-    /// All samples, in arrival order.
-    pub fn samples(&self) -> &[Nanos] {
-        &self.samples
-    }
-
-    /// Samples in milliseconds.
-    pub fn samples_ms(&self) -> Vec<f64> {
-        self.samples.iter().map(|n| n.as_millis_f64()).collect()
-    }
-
-    /// Summary in milliseconds.
+    /// Summary in milliseconds (mean/σ/min/max exact; zeroed when
+    /// empty).
     pub fn summary_ms(&self) -> Summary {
-        Summary::of_nanos_ms(&self.samples)
+        Summary {
+            count: self.len(),
+            mean: self.sketch.mean_ms(),
+            std_dev: self.sketch.std_dev_ms(),
+            min: self.sketch.min() as f64 / 1e6,
+            max: self.sketch.max() as f64 / 1e6,
+        }
     }
 
-    /// Percentile in milliseconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the recorder is empty.
+    /// Percentile in milliseconds (sketch-quantized; 0 when empty).
     pub fn percentile_ms(&self, p: f64) -> f64 {
-        percentile(&self.samples_ms(), p)
+        self.sketch.quantile_ms(p)
     }
 
-    /// Drops the first `n` samples (warm-up exclusion, §5.3.4).
-    pub fn discard_warmup(&mut self, n: usize) {
-        let n = n.min(self.samples.len());
-        self.samples.drain(..n);
+    /// The underlying sketch, for exact merging into other collectors.
+    pub fn sketch(&self) -> &QuantileSketch {
+        &self.sketch
     }
 }
 
@@ -255,24 +255,44 @@ mod tests {
     }
 
     #[test]
-    fn recorder_warmup_and_summary() {
+    fn recorder_summary_and_percentiles() {
         let mut r = LatencyRecorder::new();
         for i in 1..=10u64 {
             r.record(Nanos::from_millis(i));
         }
-        r.discard_warmup(5);
-        assert_eq!(r.len(), 5);
+        assert_eq!(r.len(), 10);
         let s = r.summary_ms();
-        assert!((s.mean - 8.0).abs() < 1e-9);
-        assert!((r.percentile_ms(50.0) - 8.0).abs() < 1e-9);
+        assert!((s.mean - 5.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+        let exact = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert!((s.std_dev - exact.std_dev).abs() < 1e-6, "σ is exact");
+        let p50 = r.percentile_ms(50.0);
+        assert!((4.9..=5.2).contains(&p50), "sketch-quantized median: {p50}");
     }
 
     #[test]
-    fn recorder_warmup_clamps() {
-        let mut r = LatencyRecorder::new();
-        r.record(Nanos::from_millis(1));
-        r.discard_warmup(10);
+    fn recorder_equality_tracks_sample_multiset() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        // Same multiset, different order: equal.
+        for i in [3u64, 1, 2] {
+            a.record(Nanos::from_millis(i));
+        }
+        for i in [1u64, 2, 3] {
+            b.record(Nanos::from_millis(i));
+        }
+        assert_eq!(a, b);
+        b.record(Nanos::from_millis(4));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn recorder_empty_is_zeroed() {
+        let r = LatencyRecorder::new();
         assert!(r.is_empty());
+        assert_eq!(r.summary_ms(), Summary::of(&[]));
+        assert_eq!(r.percentile_ms(99.0), 0.0);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   FAASM, fresh-container).
 //! - [`faas`] — an OpenWhisk-like platform model (invoker, containers,
 //!   proxy, clients) and the event-driven fleet scheduler.
+//! - [`gateway`] — front-end policies: content-addressed result
+//!   caching, per-principal admission control, predictive pre-warming.
 //!
 //! # Quickstart
 //!
@@ -56,6 +58,7 @@
 
 pub use gh_faas as faas;
 pub use gh_functions as functions;
+pub use gh_gateway as gateway;
 pub use gh_isolation as isolation;
 pub use gh_mem as mem;
 pub use gh_proc as proc;

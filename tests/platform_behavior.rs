@@ -13,8 +13,7 @@ fn runs_are_deterministic() {
     let spec = by_name("hexiom (p)").unwrap();
     let a = closed_loop_latency(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 6, 42).unwrap();
     let b = closed_loop_latency(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 6, 42).unwrap();
-    assert_eq!(a.e2e.samples(), b.e2e.samples());
-    assert_eq!(a.invoker.samples(), b.invoker.samples());
+    assert_eq!(a, b, "full runs (e2e, invoker, restores) reproduce");
     let xa = peak_throughput(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 10, 7).unwrap();
     let xb = peak_throughput(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 10, 7).unwrap();
     assert_eq!(xa, xb);
@@ -26,7 +25,7 @@ fn seeds_vary_noise() {
     let spec = by_name("hexiom (p)").unwrap();
     let a = closed_loop_latency(&spec, StrategyKind::Base, GroundhogConfig::gh(), 6, 1).unwrap();
     let b = closed_loop_latency(&spec, StrategyKind::Base, GroundhogConfig::gh(), 6, 2).unwrap();
-    assert_ne!(a.e2e.samples(), b.e2e.samples());
+    assert_ne!(a.e2e, b.e2e);
 }
 
 /// E2E = controller path + invoker latency; the controller share matches
