@@ -348,6 +348,66 @@ fn collect() -> Vec<Metric> {
         higher_is_better: false,
     });
 
+    // Fault tolerance: goodput under 1% container death with bounded
+    // retries, as a fraction of the fault-free run over the same
+    // arrivals. Virtual-time quotient — deterministic and machine-
+    // independent, so it is gated without an escape hatch. The raw
+    // fault counters are published as `info_` (they are exact small
+    // integers; the ratio is the regression surface). 600 requests so
+    // several deaths land and the ratio averages over them instead of
+    // hinging on one recovery's queue spike.
+    let fault_pair = |faults: Option<gh_faas::fault::FaultConfig>| {
+        let mut pool =
+            gh_faas::fleet::Pool::build(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 2, 29)
+                .expect("pool");
+        // 120 r/s on the 2-slot pool leaves headroom, so the ratio
+        // measures the fault path's cost (backoff + recovery
+        // cold-start), not a saturation collapse.
+        let mut f =
+            gh_faas::fleet::Fleet::new(FleetConfig::fixed(RoutePolicy::RestoreAware, 120.0, 29));
+        if let Some(fc) = faults {
+            f = f.with_faults(fc);
+        }
+        f.run(&mut pool, 600).expect("fleet run")
+    };
+    let fault_free = fault_pair(None);
+    let faulty = {
+        let mut fc = gh_faas::fault::FaultConfig::deaths(29, 0.01);
+        fc.restore_failure_rate = 0.005;
+        fault_pair(Some(fc))
+    };
+    println!(
+        "fault smoke at 1% deaths: goodput {:.1}/{:.1} r/s, {} deaths, {} retries, \
+         {} duplicate executions, {} abandoned\n",
+        faulty.goodput_rps,
+        fault_free.goodput_rps,
+        faulty.stats.faults.deaths,
+        faulty.stats.faults.retries,
+        faulty.stats.faults.duplicates,
+        faulty.stats.faults.abandoned
+    );
+    out.push(Metric {
+        key: "fault_goodput_ratio_1pct",
+        value: faulty.goodput_rps / fault_free.goodput_rps,
+        higher_is_better: true,
+    });
+    for (key, v) in [
+        ("info_fault_deaths", faulty.stats.faults.deaths),
+        (
+            "info_fault_restore_failures",
+            faulty.stats.faults.restore_failures,
+        ),
+        ("info_fault_retries", faulty.stats.faults.retries),
+        ("info_fault_duplicates", faulty.stats.faults.duplicates),
+        ("info_fault_abandoned", faulty.stats.faults.abandoned),
+    ] {
+        out.push(Metric {
+            key,
+            value: v as f64,
+            higher_is_better: false,
+        });
+    }
+
     // Cores of the measuring host — records which environment the
     // `scaling_*_par` ratios in a baseline were taken on, and lets the
     // gate recognize a single-core runner (see `--check`).

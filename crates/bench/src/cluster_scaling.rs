@@ -55,6 +55,20 @@ pub fn requests() -> u64 {
         .unwrap_or(1_000_000)
 }
 
+/// Timing samples per mode (`GH_CLUSTER_ITERS` overrides; default 3).
+/// The gated speedup is min(serial)/min(parallel): a single-shot
+/// measurement of a ~50 s run on a noisy single-core host occasionally
+/// swings past the perf gate's 10% band (the touch rig hit the same
+/// problem and uses the same min-over-iters answer), while the
+/// minimum converges to the undisturbed cost.
+pub fn iters() -> u32 {
+    std::env::var("GH_CLUSTER_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
 /// Wall-clock of the two execution modes over the same run.
 pub struct ClusterScalingReport {
     /// Requests per measured run.
@@ -101,13 +115,35 @@ fn timed_run(requests: u64, mode: ExecMode) -> (f64, String, usize) {
     (ns, format!("{result:?}"), result.stats_bytes)
 }
 
+/// Best-of-`iters` wrapper around [`timed_run`]: minimum wall-clock
+/// over the samples, with repeat runs asserted bit-identical along the
+/// way (every sample is also a determinism check for free).
+fn timed_run_best(requests: u64, mode: ExecMode, iters: u32) -> (f64, String, usize) {
+    let mut best = f64::INFINITY;
+    let mut reference: Option<(String, usize)> = None;
+    for _ in 0..iters {
+        let (ns, fp, bytes) = timed_run(requests, mode);
+        best = best.min(ns);
+        match &reference {
+            Some((ref_fp, _)) => assert_eq!(
+                ref_fp, &fp,
+                "repeat cluster run diverged from its own first sample"
+            ),
+            None => reference = Some((fp, bytes)),
+        }
+    }
+    let (fp, bytes) = reference.expect("iters >= 1");
+    (best, fp, bytes)
+}
+
 /// Measures both modes, asserts result equality and request-count-
 /// independent stats memory.
 pub fn run() -> ClusterScalingReport {
     let requests = requests();
     let threads = threads();
-    let (serial_ns, serial_fp, stats_bytes) = timed_run(requests, ExecMode::Serial);
-    let (par_ns, par_fp, _) = timed_run(requests, ExecMode::Parallel { threads });
+    let iters = iters();
+    let (serial_ns, serial_fp, stats_bytes) = timed_run_best(requests, ExecMode::Serial, iters);
+    let (par_ns, par_fp, _) = timed_run_best(requests, ExecMode::Parallel { threads }, iters);
     assert_eq!(
         serial_fp, par_fp,
         "node-parallel cluster run diverged from the serial reference"

@@ -15,7 +15,12 @@
 //!   than at fill time makes the cache a pure function of the trace —
 //!   the price is a small optimistic bias (a hit may be served before
 //!   the filling request's backend response in real time), which is the
-//!   standard request-coalescing idealization.
+//!   standard request-coalescing idealization. Redeploy invalidation
+//!   ([`gh_gateway::cache::ResultCache::redeploy`]) is currently a
+//!   fleet-gateway feature; the front models a fixed deployment and
+//!   pins every key's generation to 0. (A redeploy schedule *is* a
+//!   pure function of time, so folding it in here would preserve
+//!   coordinator purity — it is scope, not a determinism limit.)
 //! - **Per-principal token buckets** exactly as in the fleet gateway.
 //!   The global concurrency ceiling ([`AdmissionConfig::max_in_flight`])
 //!   is **ignored**: deferral needs completion knowledge the
@@ -100,6 +105,7 @@ impl GatewayFront {
             if ev.idempotent {
                 let key = CacheKey {
                     fn_id: ev.fn_id as u64,
+                    generation: 0,
                     payload_hash: ev.payload_hash,
                 };
                 if cache.lookup(key, ev.at).is_some() {

@@ -48,8 +48,12 @@ use gh_sim::stats::throughput_rps;
 use gh_sim::{Nanos, QuantileSketch};
 use groundhog_core::GroundhogConfig;
 
+use crate::fault::{FaultConfig, FaultPlan, FaultStats};
 use crate::fleet::{par, DepthTracker, ExecMode, Pending, Pool, RoutePolicy, Router};
 use crate::trace::{TraceConfig, TraceGen};
+
+use std::cell::Cell;
+use std::rc::Rc;
 
 pub use front::{FrontDecision, GatewayFront};
 pub use place::{PlacePolicy, Placer};
@@ -70,6 +74,9 @@ pub struct ClusterConfig {
     /// Seed for deployment hashing and per-pool container seeds (the
     /// trace carries its own seed).
     pub seed: u64,
+    /// Fault injection, if armed (see [`ClusterConfig::with_faults`]).
+    /// `None` keeps the run byte-identical to the fault-free reference.
+    pub faults: Option<FaultConfig>,
 }
 
 impl ClusterConfig {
@@ -84,7 +91,15 @@ impl ClusterConfig {
             policy,
             kind,
             seed,
+            faults: None,
         }
+    }
+
+    /// Arms fault injection on every node. Inert configs (all rates
+    /// zero) are dropped so a disabled plan can never perturb the run.
+    pub fn with_faults(mut self, cfg: FaultConfig) -> ClusterConfig {
+        self.faults = cfg.is_active().then_some(cfg);
+        self
     }
 }
 
@@ -136,6 +151,11 @@ pub struct ClusterResult {
     pub imbalance: f64,
     /// Containers across all nodes.
     pub containers: u32,
+    /// Fault-injection accounting, summed across nodes (all zero on a
+    /// fault-free run). `node_losses` counts arrivals failed over to
+    /// another replica because their placed node was down; `abandoned`
+    /// includes requests dropped because every replica was down.
+    pub faults: FaultStats,
     /// Per-node breakdown, node-index order.
     pub per_node: Vec<NodeLoad>,
     /// Bytes of percentile-tracking state across all nodes — constant
@@ -154,13 +174,16 @@ struct NodeResult {
     busy: Nanos,
     containers: u32,
     span_end: Nanos,
+    faults: FaultStats,
 }
 
-/// Node-local events: a trace arrival reaching the node, or a
-/// container (pool, slot) finishing its restore.
+/// Node-local events: a trace arrival reaching the node, a container
+/// (pool, slot) finishing its restore, or a parked retry (token into
+/// the node's park table) coming due after its backoff.
 enum NodeEv {
     Arrival,
     Ready(u32, u32),
+    Retry(u32),
 }
 
 /// Runs node `node`'s entire timeline: re-generates the trace, filters
@@ -216,13 +239,27 @@ fn run_node(
         .map(|p| format!("user-{p}"))
         .collect();
 
+    // Fault plan, if armed. Draws are pure hashes of (seed, request,
+    // attempt) / (seed, node, window), so every node computes identical
+    // failover decisions and a node's own faults stay node-pure.
+    let plan = ccfg.faults.filter(|c| c.is_active()).map(FaultPlan::new);
+    let reroute = plan.map(|p| p.config().retry.reroute).unwrap_or(false);
+
     // The node's trace slice: fold *every* global event through the
     // gateway front (if any), step the placer over every backend-bound
     // event (its cursors/loads depend on the full prefix), keep ours.
     // Front and placer are both pure folds over the trace, so every
-    // node replays identical decision sequences.
+    // node replays identical decision sequences. Under node loss the
+    // fold also replays the failover scan: an arrival placed on a down
+    // node moves to the first up candidate in replica order (counted by
+    // the receiving node), or is dropped at the front when every
+    // replica is down (counted once, by node 0's replay).
     let mut front = gcfg.map(GatewayFront::new);
     let mut gen = TraceGen::new(trace_cfg);
+    let feed_plan = plan;
+    let failovers = Rc::new(Cell::new(0u64));
+    let all_down = Rc::new(Cell::new(0u64));
+    let (nl, ad) = (failovers.clone(), all_down.clone());
     let mut next_local = move || {
         gen.by_ref().find(|ev| {
             let backend = match &mut front {
@@ -231,7 +268,30 @@ fn run_node(
                     f.decide(ev, catalog[ev.fn_id as usize].output_kb) == FrontDecision::Backend
                 }
             };
-            backend && placer.place(ev.fn_id as usize) == node
+            if !backend {
+                return false;
+            }
+            let f = ev.fn_id as usize;
+            let target = placer.place(f);
+            let Some(pl) = &feed_plan else {
+                return target == node;
+            };
+            if !pl.node_down(target, ev.at) {
+                return target == node;
+            }
+            match placer.candidates(f).find(|&n| !pl.node_down(n, ev.at)) {
+                Some(n) if n == node => {
+                    nl.set(nl.get() + 1);
+                    true
+                }
+                Some(_) => false,
+                None => {
+                    if node == 0 {
+                        ad.set(ad.get() + 1);
+                    }
+                    false
+                }
+            }
         })
     };
 
@@ -244,6 +304,13 @@ fn run_node(
     let mut depth = DepthTracker::new();
     let mut completed = 0u64;
     let mut queued = 0usize;
+    // Park table for killed requests awaiting their backoff: token →
+    // (pending, pool, slot it died on). Retries stay on this node —
+    // rerouting moves them to another container in the same pool, never
+    // across nodes, so node timelines remain pure.
+    let mut parked: Vec<Option<(Pending, usize, usize)>> = Vec::new();
+    let mut parked_live = 0usize;
+    let mut fstats = FaultStats::default();
 
     while let Some((now, ev)) = events.pop() {
         let (pi, si) = match ev {
@@ -264,6 +331,7 @@ fn run_node(
                     arrival: a.at,
                     payload_hash: a.payload_hash,
                     idempotent: a.idempotent,
+                    attempt: 1,
                 });
                 queued += 1;
                 depth.record(queued);
@@ -274,18 +342,93 @@ fn run_node(
                 (pi, si)
             }
             NodeEv::Ready(pi, si) => (pi as usize, si as usize),
+            NodeEv::Retry(token) => {
+                let (p, pi, died_si) = parked[token as usize]
+                    .take()
+                    .expect("retry token fired twice");
+                parked_live -= 1;
+                let si = if reroute {
+                    routers[pi].route_avoiding(
+                        now,
+                        &p.principal,
+                        restore_cost[pi],
+                        &pools[pi].slots,
+                        Some(died_si),
+                    )
+                } else {
+                    died_si
+                };
+                pools[pi].slots[si].queue.push(p);
+                queued += 1;
+                depth.record(queued);
+                (pi, si)
+            }
         };
-        if let Some(d) = pools[pi].slots[si].dispatch(now)? {
-            sojourns.record_nanos(d.sojourn);
-            completed += 1;
-            queued -= 1;
-            events.schedule(d.ready_at, NodeEv::Ready(pi as u32, si as u32));
+        match &plan {
+            None => {
+                if let Some(d) = pools[pi].slots[si].dispatch(now)? {
+                    sojourns.record_nanos(d.sojourn);
+                    completed += 1;
+                    queued -= 1;
+                    events.schedule(d.ready_at, NodeEv::Ready(pi as u32, si as u32));
+                }
+            }
+            Some(pl) => {
+                let slot = &mut pools[pi].slots[si];
+                let head = if slot.idle_at(now) {
+                    slot.queue.peek().map(|p| (p.id, p.attempt))
+                } else {
+                    None
+                };
+                if let Some((id, attempt)) = head {
+                    if let Some(frac) = pl.death(id, attempt) {
+                        let (mut pending, ready) =
+                            slot.crash(now, frac).expect("idle slot with a queued head");
+                        queued -= 1;
+                        fstats.deaths += 1;
+                        if pl.death_after_commit(id, attempt) {
+                            fstats.duplicates += 1;
+                        }
+                        if attempt < pl.max_attempts() {
+                            fstats.retries += 1;
+                            pending.attempt += 1;
+                            let backoff_at = now + pl.backoff(attempt);
+                            let retry_at = if reroute {
+                                backoff_at
+                            } else {
+                                backoff_at.max(ready)
+                            };
+                            let token = parked.len() as u32;
+                            parked.push(Some((pending, pi, si)));
+                            parked_live += 1;
+                            events.schedule(retry_at, NodeEv::Retry(token));
+                        } else {
+                            fstats.abandoned += 1;
+                        }
+                        events.schedule(ready, NodeEv::Ready(pi as u32, si as u32));
+                    } else if let Some(d) = slot.dispatch(now)? {
+                        sojourns.record_nanos(d.sojourn);
+                        completed += 1;
+                        queued -= 1;
+                        let ready = if pl.restore_failure(id, attempt) {
+                            fstats.restore_failures += 1;
+                            slot.fail_restore()
+                        } else {
+                            d.ready_at
+                        };
+                        events.schedule(ready, NodeEv::Ready(pi as u32, si as u32));
+                    }
+                }
+            }
         }
         if matches!(ev, NodeEv::Ready(..)) {
             depth.record(queued);
         }
     }
     debug_assert_eq!(queued, 0, "queues must drain");
+    debug_assert_eq!(parked_live, 0, "every parked retry must fire");
+    fstats.node_losses = failovers.get();
+    fstats.abandoned += all_down.get();
 
     let mut restore_total = Nanos::ZERO;
     let mut restore_hidden = Nanos::ZERO;
@@ -314,6 +457,7 @@ fn run_node(
         busy,
         containers,
         span_end,
+        faults: fstats,
     })
 }
 
@@ -344,10 +488,12 @@ fn merge(
     let mut busy = Nanos::ZERO;
     let mut containers = 0u32;
     let mut span_end = trace_cfg.origin;
+    let mut faults = FaultStats::default();
     let mut per_node = Vec::with_capacity(nodes.len());
     for n in &nodes {
         sojourns.merge(&n.sojourns);
         depth.merge(&n.depth);
+        faults.merge(&n.faults);
         completed += n.completed;
         restore_total += n.restore_total;
         restore_hidden += n.restore_hidden;
@@ -402,6 +548,7 @@ fn merge(
         utilization,
         imbalance,
         containers,
+        faults,
         per_node,
         stats_bytes: nodes.len() * 2 * QuantileSketch::memory_bytes(),
     }
@@ -669,6 +816,89 @@ mod tests {
             ll.imbalance,
             aff.imbalance
         );
+    }
+
+    #[test]
+    fn faulty_cluster_accounts_and_matches_parallel() {
+        let catalog = synthetic_catalog(24, 11);
+        let trace = small_trace(500, 11);
+        let mut ccfg = ClusterConfig::new(3, PlacePolicy::RoundRobin, StrategyKind::Gh, 11)
+            .with_faults(FaultConfig::deaths(11, 0.05));
+        ccfg.slots_per_pool = 2;
+        let serial = run_cluster_with(
+            &trace,
+            &catalog,
+            &ccfg,
+            GroundhogConfig::gh(),
+            ExecMode::Serial,
+        )
+        .unwrap();
+        let par = run_cluster_with(
+            &trace,
+            &catalog,
+            &ccfg,
+            GroundhogConfig::gh(),
+            ExecMode::Parallel { threads: 3 },
+        )
+        .unwrap();
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{par:?}"),
+            "faults keep node-parallelism invisible"
+        );
+        assert!(serial.faults.deaths > 0, "5% deaths over 500 requests");
+        assert_eq!(
+            serial.faults.retries,
+            serial.faults.deaths - serial.faults.abandoned,
+            "every death either retries or abandons"
+        );
+        assert_eq!(serial.completed + serial.faults.abandoned, 500);
+    }
+
+    #[test]
+    fn node_loss_fails_over_to_up_replicas() {
+        let catalog = synthetic_catalog(24, 7);
+        let trace = small_trace(400, 7);
+        let mut fc = FaultConfig::none(7);
+        fc.node_loss_rate = 0.3;
+        fc.node_loss_window = gh_sim::Nanos::from_millis(20);
+        let ccfg =
+            ClusterConfig::new(4, PlacePolicy::RoundRobin, StrategyKind::Gh, 7).with_faults(fc);
+        let r = run_cluster_with(
+            &trace,
+            &catalog,
+            &ccfg,
+            GroundhogConfig::gh(),
+            ExecMode::Serial,
+        )
+        .unwrap();
+        assert!(r.faults.node_losses > 0, "outages reroute some arrivals");
+        assert_eq!(r.faults.deaths, 0, "only node loss was armed");
+        assert_eq!(
+            r.completed + r.faults.abandoned,
+            400,
+            "failover serves everything except all-replicas-down drops"
+        );
+    }
+
+    #[test]
+    fn inert_fault_config_is_not_armed_at_cluster_level() {
+        let plain = run(PlacePolicy::LeastLoaded, 2, 300, 17, ExecMode::Serial);
+        let catalog = synthetic_catalog(24, 17);
+        let trace = small_trace(300, 17);
+        let mut ccfg = ClusterConfig::new(2, PlacePolicy::LeastLoaded, StrategyKind::Gh, 17)
+            .with_faults(FaultConfig::none(17));
+        ccfg.slots_per_pool = 1;
+        let armed = run_cluster_with(
+            &trace,
+            &catalog,
+            &ccfg,
+            GroundhogConfig::gh(),
+            ExecMode::Serial,
+        )
+        .unwrap();
+        assert_eq!(format!("{plain:?}"), format!("{armed:?}"));
+        assert!(armed.faults.is_empty());
     }
 
     #[test]

@@ -109,6 +109,15 @@ impl Placer {
         (self.homes[f] as usize + k) % self.nodes
     }
 
+    /// The function's candidate nodes in deterministic failover order
+    /// (home replica first). The fault layer walks this list when the
+    /// placed node is inside an outage window; because the order is a
+    /// pure function of the deployment hash, every node replays the
+    /// same failover decision without coordination.
+    pub fn candidates(&self, f: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.replicas).map(move |k| self.replica(f, k))
+    }
+
     /// True when `node` is a candidate for any request to `f` — the
     /// node-local pool-construction predicate.
     pub fn hosts(&self, node: usize, f: usize) -> bool {
@@ -198,6 +207,17 @@ mod tests {
             for k in 0..3 {
                 assert!(hosted.contains(&p.replica(f, k)));
             }
+        }
+    }
+
+    #[test]
+    fn candidates_enumerate_replicas_home_first() {
+        let p = placer(PlacePolicy::RoundRobin, 6, 3);
+        for f in 0..16 {
+            let c: Vec<usize> = p.candidates(f).collect();
+            assert_eq!(c.len(), 3);
+            assert_eq!(c[0], p.replica(f, 0), "home replica leads");
+            assert!(c.iter().all(|&n| p.hosts(n, f)));
         }
     }
 

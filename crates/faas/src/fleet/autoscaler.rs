@@ -144,6 +144,7 @@ mod tests {
                 arrival: Nanos::ZERO,
                 payload_hash: 0,
                 idempotent: false,
+                attempt: 1,
             });
         }
     }

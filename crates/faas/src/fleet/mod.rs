@@ -64,6 +64,8 @@ use gh_sim::stats::throughput_rps;
 use gh_sim::{DetRng, Nanos, QuantileSketch};
 use groundhog_core::GroundhogConfig;
 
+use crate::fault::{FaultConfig, FaultPlan, FaultStats};
+
 pub use autoscaler::{AutoscaleConfig, Autoscaler, ScaleAction};
 pub use par::ExecMode;
 pub use pool::{Dispatched, Pool, PoolMemory, Slot};
@@ -173,6 +175,9 @@ pub struct FleetStats {
     /// Bytes held by the run's statistics (the sojourn and queue-depth
     /// sketches) — constant in the request count by construction.
     pub stats_bytes: u64,
+    /// Fault-injection accounting ([`crate::fault`]); all zero on a
+    /// fault-free run.
+    pub faults: FaultStats,
 }
 
 /// Outcome of one fleet run.
@@ -201,6 +206,9 @@ enum Event {
     Arrival,
     /// A container's restore completed; it is provably clean.
     Ready(usize),
+    /// A killed request's backoff elapsed; re-queue the parked retry at
+    /// this token (fault-injecting runs only).
+    Retry(usize),
 }
 
 /// Per-slot counter baseline captured at run start (busy, restore
@@ -228,6 +236,13 @@ pub struct Fleet {
     pub(crate) cfg: FleetConfig,
     pub(crate) router: Router,
     pub(crate) autoscaler: Option<Autoscaler>,
+    /// Fault plan, present only when injection is active — `None` keeps
+    /// every run on the exact fault-free code path (no extra events, no
+    /// extra draws), which is what the fault oracle's bit-identity arm
+    /// pins.
+    pub(crate) faults: Option<FaultPlan>,
+    /// Accounting from the most recent faulty run.
+    pub(crate) fault_stats: FaultStats,
 }
 
 impl Fleet {
@@ -240,7 +255,18 @@ impl Fleet {
             cfg,
             router,
             autoscaler,
+            faults: None,
+            fault_stats: FaultStats::default(),
         }
+    }
+
+    /// Arms fault injection. A config with all rates zero is treated as
+    /// absent, so a disabled plan cannot perturb the run even in
+    /// principle — the fault-free path is the same machine code either
+    /// way.
+    pub fn with_faults(mut self, cfg: FaultConfig) -> Fleet {
+        self.faults = cfg.is_active().then(|| FaultPlan::new(cfg));
+        self
     }
 
     /// The measurement span opens when the whole initial pool is warm
@@ -330,6 +356,14 @@ impl Fleet {
                 }
             }
         };
+        if self.faults.is_some() {
+            // Faulty runs take the dedicated serial loop: crash/retry
+            // events create arrival→readiness data dependences the
+            // shard/merge scheme cannot express. (Cluster runs still
+            // parallelize across *nodes* with faults on — see
+            // `crate::cluster` — because node timelines stay pure.)
+            return self.run_serial_faulty(pool, requests);
+        }
         let eligible = threads >= 2
             && self.cfg.policy == RoutePolicy::RoundRobin
             && self.autoscaler.is_none()
@@ -397,6 +431,7 @@ impl Fleet {
                         arrival: now,
                         payload_hash: 0,
                         idempotent: false,
+                        attempt: 1,
                     });
                     depth.record(pool.queued());
                     if generated < requests {
@@ -419,6 +454,7 @@ impl Fleet {
                     }
                     depth.record(pool.queued());
                 }
+                Event::Retry(_) => unreachable!("fault-free loop schedules no retries"),
             }
             if completed == requests && pool.queued() == 0 {
                 break;
@@ -427,6 +463,226 @@ impl Fleet {
         debug_assert_eq!(completed, requests, "all arrivals must be served");
 
         Ok(self.finish(pool, t_start, &baseline, &depth, &sojourns, completed))
+    }
+
+    /// The fault-injecting serial loop: the serial reference plus
+    /// crash / recovery / retry events. Entered only when a
+    /// [`FaultPlan`] is armed, so fault-free runs never pay for (or are
+    /// perturbed by) any of this.
+    ///
+    /// Fault semantics per attempt (all draws are pure functions of
+    /// `(fault seed, request id, attempt)` — see [`crate::fault`]):
+    ///
+    /// - **container death**: the head-of-queue request is killed
+    ///   partway through execution ([`Slot::crash`] charges the partial
+    ///   work plus a full re-init); if attempts remain, the request is
+    ///   parked and re-queued after an exponential backoff — on the
+    ///   same container (retry-after-restore) or re-routed away from it
+    ///   ([`RetryPolicy::reroute`](crate::fault::RetryPolicy)) — else
+    ///   it is abandoned;
+    /// - **restore failure**: the response is delivered but the
+    ///   off-path writeback aborts; the container cold-starts before
+    ///   its next admission ([`Slot::fail_restore`]).
+    fn run_serial_faulty(
+        &mut self,
+        pool: &mut Pool,
+        requests: usize,
+    ) -> Result<FleetResult, StrategyError> {
+        let plan = self.faults.expect("faulty loop requires an armed plan");
+        let reroute = plan.config().retry.reroute;
+        let input_kb = pool.spec.input_kb;
+        let t_start = Self::span_start(pool);
+        let offered_rps = self.cfg.offered_rps;
+        let baseline = Self::baselines(pool);
+        let restore_cost = Nanos::from_millis_f64(pool.spec.paper_restore_ms);
+        let mut arrival_rng = DetRng::new(self.cfg.seed ^ 0x09E4_100D);
+        let mut principal_rng = DetRng::new(self.cfg.seed ^ 0x7E4A_4175);
+        let mut events: EventQueue<Event> = EventQueue::new();
+        let mut next_arrival = t_start;
+        next_arrival += poisson_gap(offered_rps, &mut arrival_rng);
+        events.schedule(next_arrival, Event::Arrival);
+        let mut generated = 1usize;
+        let mut next_id = 1u64;
+
+        let mut depth = DepthTracker::new();
+        let mut sojourns = QuantileSketch::new();
+        let mut completed = 0usize;
+        // Killed requests waiting out their backoff, with the slot they
+        // died on; tokens index this table from `Event::Retry`.
+        let mut parked: Vec<Option<(Pending, usize)>> = Vec::new();
+        let mut parked_live = 0usize;
+        let mut stats = FaultStats::default();
+
+        while let Some((now, ev)) = events.pop() {
+            match ev {
+                Event::Arrival => {
+                    let id = next_id;
+                    next_id += 1;
+                    let principal = if self.cfg.principals <= 1 {
+                        "client".to_string()
+                    } else {
+                        format!(
+                            "user-{}",
+                            principal_rng.next_below(self.cfg.principals as u64)
+                        )
+                    };
+                    let idx = self
+                        .router
+                        .route(now, &principal, restore_cost, &pool.slots);
+                    pool.slots[idx].queue.push(Pending {
+                        id,
+                        principal,
+                        input_kb,
+                        arrival: now,
+                        payload_hash: 0,
+                        idempotent: false,
+                        attempt: 1,
+                    });
+                    depth.record(pool.queued());
+                    if generated < requests {
+                        next_arrival += poisson_gap(offered_rps, &mut arrival_rng);
+                        events.schedule(next_arrival, Event::Arrival);
+                        generated += 1;
+                    }
+                    Self::dispatch_faulty(
+                        &plan,
+                        pool,
+                        idx,
+                        now,
+                        &mut events,
+                        &mut sojourns,
+                        &mut completed,
+                        &mut parked,
+                        &mut parked_live,
+                        &mut stats,
+                    )?;
+                    self.autoscale(now, pool, &mut events)?;
+                }
+                Event::Ready(idx) => {
+                    Self::dispatch_faulty(
+                        &plan,
+                        pool,
+                        idx,
+                        now,
+                        &mut events,
+                        &mut sojourns,
+                        &mut completed,
+                        &mut parked,
+                        &mut parked_live,
+                        &mut stats,
+                    )?;
+                    depth.record(pool.queued());
+                }
+                Event::Retry(token) => {
+                    let (p, died_on) = parked[token].take().expect("retry token fires once");
+                    parked_live -= 1;
+                    let idx = if reroute {
+                        self.router.route_avoiding(
+                            now,
+                            &p.principal,
+                            restore_cost,
+                            &pool.slots,
+                            Some(died_on),
+                        )
+                    } else {
+                        died_on
+                    };
+                    pool.slots[idx].queue.push(p);
+                    depth.record(pool.queued());
+                    Self::dispatch_faulty(
+                        &plan,
+                        pool,
+                        idx,
+                        now,
+                        &mut events,
+                        &mut sojourns,
+                        &mut completed,
+                        &mut parked,
+                        &mut parked_live,
+                        &mut stats,
+                    )?;
+                }
+            }
+            if completed + stats.abandoned as usize == requests
+                && pool.queued() == 0
+                && parked_live == 0
+            {
+                break;
+            }
+        }
+        debug_assert_eq!(
+            completed + stats.abandoned as usize,
+            requests,
+            "every arrival is served or abandoned"
+        );
+        self.fault_stats = stats;
+        Ok(self.finish(pool, t_start, &baseline, &depth, &sojourns, completed))
+    }
+
+    /// One fault-aware dispatch attempt on `idx` at `now` — the faulty
+    /// loop's counterpart of `Slot::dispatch` + `Ready` scheduling.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_faulty(
+        plan: &FaultPlan,
+        pool: &mut Pool,
+        idx: usize,
+        now: Nanos,
+        events: &mut EventQueue<Event>,
+        sojourns: &mut QuantileSketch,
+        completed: &mut usize,
+        parked: &mut Vec<Option<(Pending, usize)>>,
+        parked_live: &mut usize,
+        stats: &mut FaultStats,
+    ) -> Result<(), StrategyError> {
+        let slot = &mut pool.slots[idx];
+        if !slot.idle_at(now) {
+            return Ok(());
+        }
+        let Some(head) = slot.queue.peek() else {
+            return Ok(());
+        };
+        let (id, attempt) = (head.id, head.attempt);
+        if let Some(frac) = plan.death(id, attempt) {
+            let (mut pending, ready) = slot.crash(now, frac).expect("idle slot with queued head");
+            stats.deaths += 1;
+            if plan.death_after_commit(id, attempt) {
+                // The crash landed after the attempt's effects applied:
+                // the retry (if any) re-executes committed work.
+                stats.duplicates += 1;
+            }
+            if attempt < plan.max_attempts() {
+                stats.retries += 1;
+                pending.attempt += 1;
+                let backoff_at = now + plan.backoff(attempt);
+                // Retry-after-restore waits for the recovery too; a
+                // rerouted retry only waits out the backoff.
+                let retry_at = if plan.config().retry.reroute {
+                    backoff_at
+                } else {
+                    backoff_at.max(ready)
+                };
+                let token = parked.len();
+                parked.push(Some((pending, idx)));
+                *parked_live += 1;
+                events.schedule(retry_at, Event::Retry(token));
+            } else {
+                stats.abandoned += 1;
+            }
+            events.schedule(ready, Event::Ready(idx));
+            return Ok(());
+        }
+        if let Some(d) = slot.dispatch(now)? {
+            sojourns.record_nanos(d.sojourn);
+            *completed += 1;
+            let ready = if plan.restore_failure(id, attempt) {
+                stats.restore_failures += 1;
+                slot.fail_restore()
+            } else {
+                d.ready_at
+            };
+            events.schedule(ready, Event::Ready(idx));
+        }
+        Ok(())
     }
 
     /// The sharded path: plan on the coordinator, fan container-local
@@ -590,6 +846,7 @@ impl Fleet {
                     );
                     depth.record(queued_total);
                 }
+                Event::Retry(_) => unreachable!("parallel runs are fault-free by eligibility"),
             }
             if completed == requests && queued_total == 0 {
                 break;
@@ -713,6 +970,7 @@ impl Fleet {
                 snapshot_resident_bytes: memory.resident_bytes,
                 snapshot_bytes_per_container: memory.resident_bytes_per_container,
                 stats_bytes: 2 * QuantileSketch::memory_bytes() as u64,
+                faults: self.fault_stats,
             },
         }
     }
@@ -885,6 +1143,64 @@ mod tests {
             small.mean_ms
         );
         assert!(large.stats.queue_p99 <= small.stats.queue_p99);
+    }
+
+    #[test]
+    fn faulty_fleet_retries_and_accounts() {
+        let spec = by_name("fannkuch (p)").unwrap();
+        let mut pool = Pool::build(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 2, 21).unwrap();
+        let fcfg = crate::fault::FaultConfig {
+            restore_failure_rate: 0.02,
+            ..crate::fault::FaultConfig::deaths(5, 0.08)
+        };
+        let r = Fleet::new(FleetConfig::fixed(RoutePolicy::RoundRobin, 60.0, 21))
+            .with_faults(fcfg)
+            .run(&mut pool, 300)
+            .unwrap();
+        let f = r.stats.faults;
+        assert!(f.deaths > 0, "8% death rate over 300 requests must fire");
+        assert_eq!(
+            f.retries,
+            f.deaths - f.abandoned,
+            "every death short of the attempt bound schedules a retry"
+        );
+        assert_eq!(r.completed + f.abandoned as usize, 300);
+        assert!(
+            r.stats.per_container.iter().map(|c| c.served).sum::<u64>() == r.completed as u64,
+            "served counts crashed attempts never"
+        );
+    }
+
+    #[test]
+    fn rerouting_retries_complete_too() {
+        let spec = by_name("fannkuch (p)").unwrap();
+        let mut pool = Pool::build(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 3, 9).unwrap();
+        let fcfg = crate::fault::FaultConfig {
+            retry: crate::fault::RetryPolicy::rerouting(),
+            ..crate::fault::FaultConfig::deaths(5, 0.1)
+        };
+        let r = Fleet::new(FleetConfig::fixed(RoutePolicy::LeastLoaded, 60.0, 9))
+            .with_faults(fcfg)
+            .run(&mut pool, 200)
+            .unwrap();
+        let f = r.stats.faults;
+        assert!(f.deaths > 0);
+        assert_eq!(r.completed + f.abandoned as usize, 200);
+    }
+
+    #[test]
+    fn inert_fault_config_is_not_armed() {
+        let spec = by_name("fannkuch (p)").unwrap();
+        let cfg = FleetConfig::fixed(RoutePolicy::RestoreAware, 90.0, 11);
+        let mut p1 = Pool::build(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 2, 11).unwrap();
+        let mut p2 = Pool::build(&spec, StrategyKind::Gh, GroundhogConfig::gh(), 2, 11).unwrap();
+        let plain = Fleet::new(cfg.clone()).run(&mut p1, 80).unwrap();
+        let gated = Fleet::new(cfg)
+            .with_faults(crate::fault::FaultConfig::none(5))
+            .run(&mut p2, 80)
+            .unwrap();
+        assert_eq!(format!("{plain:?}"), format!("{gated:?}"));
+        assert!(gated.stats.faults.is_empty());
     }
 
     #[test]

@@ -130,6 +130,7 @@ pub(crate) fn drive_shard(
                     arrival: a.at,
                     payload_hash: 0,
                     idempotent: false,
+                    attempt: 1,
                 });
                 local
             }

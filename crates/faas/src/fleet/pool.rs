@@ -25,7 +25,7 @@ use groundhog_core::GroundhogConfig;
 use crate::container::Container;
 use crate::request::Request;
 
-use super::queue::AdmissionQueue;
+use super::queue::{AdmissionQueue, Pending};
 
 /// What one dispatch produced, as the fleet's event loop sees it.
 #[derive(Clone, Copy, Debug)]
@@ -38,7 +38,7 @@ pub struct Dispatched {
     pub ready_at: Nanos,
     /// Id of the request this dispatch served.
     pub id: u64,
-    /// Payload hash carried from the [`Pending`](super::queue::Pending)
+    /// Payload hash carried from the [`Pending`]
     /// request — lets the gateway fill its result cache without a side
     /// table.
     pub payload_hash: u64,
@@ -166,6 +166,55 @@ impl Slot {
     pub fn settle(&mut self) {
         self.restore_hidden += self.pending_restore;
         self.pending_restore = Nanos::ZERO;
+    }
+
+    /// Fault injection: the container dies `frac` of the way through
+    /// executing the head-of-queue request. The request produces no
+    /// response; the container's timeline is charged the partial
+    /// execution plus a full re-initialization (its cold-start time)
+    /// before it can admit anything again. Returns the killed request
+    /// and the recovery-complete time, or `None` when the slot is not
+    /// idle or has nothing queued (same preconditions as
+    /// [`Slot::dispatch`]).
+    pub fn crash(&mut self, now: Nanos, frac: f64) -> Option<(Pending, Nanos)> {
+        if !self.idle_at(now) {
+            return None;
+        }
+        let pending = self.queue.pop()?;
+        // The previous restore completed before the crash; classify it
+        // exactly as a normal dispatch would.
+        if !self.pending_restore.is_zero() {
+            let hidden_end = pending.arrival.max(self.prev_resp_at).min(self.ready_at);
+            self.restore_hidden += hidden_end - self.prev_resp_at;
+            self.pending_restore = Nanos::ZERO;
+        }
+        self.container.kernel.clock.advance_to(now);
+        let nominal = Nanos::from_millis_f64(self.container.spec.base_invoker_ms);
+        let partial = nominal.scale(frac.clamp(0.0, 1.0));
+        let recovery = self.container.stats.init_time;
+        self.container.kernel.charge(partial + recovery);
+        let ready = self.container.now();
+        self.busy += partial + recovery;
+        self.resp_at = ready;
+        self.prev_resp_at = ready;
+        self.ready_at = ready;
+        Some((pending, ready))
+    }
+
+    /// Fault injection: the off-path snapshot writeback of the dispatch
+    /// that just completed aborts — the container must cold-start
+    /// before admitting anything else. Charges the re-initialization on
+    /// top of the (already charged) aborted restore and returns the new
+    /// readiness time. The aborted restore counts as exposed (it never
+    /// hid anything: the slot was down for the cold start anyway).
+    pub fn fail_restore(&mut self) -> Nanos {
+        let recovery = self.container.stats.init_time;
+        self.container.kernel.charge(recovery);
+        let ready = self.container.now();
+        self.busy += recovery;
+        self.pending_restore = Nanos::ZERO;
+        self.ready_at = ready;
+        ready
     }
 }
 
@@ -354,6 +403,7 @@ mod tests {
             arrival: at,
             payload_hash: 0,
             idempotent: false,
+            attempt: 1,
         });
     }
 
@@ -404,6 +454,39 @@ mod tests {
             p.slots[0].dispatch(d.ready_at).unwrap().is_some(),
             "clean again"
         );
+    }
+
+    #[test]
+    fn crash_kills_request_and_charges_recovery() {
+        let mut p = pool(StrategyKind::Gh, 1);
+        let t0 = p.slots[0].container.now();
+        enqueue(&mut p.slots[0], 1, t0);
+        let (killed, ready) = p.slots[0].crash(t0, 0.5).unwrap();
+        assert_eq!(killed.id, 1);
+        assert_eq!(p.slots[0].served, 0, "a crashed attempt serves nothing");
+        let init = p.slots[0].container.stats.init_time;
+        assert!(
+            ready >= t0 + init,
+            "recovery re-pays the full cold-start init"
+        );
+        assert!(!p.slots[0].idle_at(ready - Nanos::from_nanos(1)));
+        assert!(p.slots[0].idle_at(ready));
+        // The recovered container serves normally afterwards.
+        enqueue(&mut p.slots[0], 2, ready);
+        let d = p.slots[0].dispatch(ready).unwrap().unwrap();
+        assert_eq!(d.id, 2);
+    }
+
+    #[test]
+    fn fail_restore_extends_readiness_by_init() {
+        let mut p = pool(StrategyKind::Gh, 1);
+        let t0 = p.slots[0].container.now();
+        enqueue(&mut p.slots[0], 1, t0);
+        let d = p.slots[0].dispatch(t0).unwrap().unwrap();
+        let init = p.slots[0].container.stats.init_time;
+        let ready = p.slots[0].fail_restore();
+        assert_eq!(ready, d.ready_at + init);
+        assert_eq!(p.slots[0].ready_at, ready);
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub struct Pending {
     /// Whether the request is idempotent — only idempotent responses
     /// are eligible for result caching.
     pub idempotent: bool,
+    /// Execution attempt, 1-based. Attempts above 1 are retries after a
+    /// fault ([`crate::fault`]); the id stays stable across attempts so
+    /// fault draws and idempotence keys follow the request, not the
+    /// attempt.
+    pub attempt: u32,
 }
 
 /// A FIFO admission queue in front of one container.
@@ -56,6 +61,12 @@ impl AdmissionQueue {
     /// Removes the oldest waiting request.
     pub fn pop(&mut self) -> Option<Pending> {
         self.items.pop_front()
+    }
+
+    /// The oldest waiting request, without removing it — the fault
+    /// layer peeks here to decide whether the next dispatch crashes.
+    pub fn peek(&self) -> Option<&Pending> {
+        self.items.front()
     }
 
     /// Requests currently waiting.
@@ -132,6 +143,7 @@ mod tests {
             arrival: Nanos::from_millis(at),
             payload_hash: 0,
             idempotent: false,
+            attempt: 1,
         }
     }
 
@@ -141,6 +153,8 @@ mod tests {
         q.push(pending(1, 0));
         q.push(pending(2, 1));
         q.push(pending(3, 2));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek().unwrap().id, 1, "peek does not consume");
         assert_eq!(q.len(), 3);
         assert_eq!(q.pop().unwrap().id, 1);
         assert_eq!(q.pop().unwrap().id, 2);

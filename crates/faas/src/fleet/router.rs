@@ -84,7 +84,28 @@ impl Router {
         restore_cost: Nanos,
         slots: &[Slot],
     ) -> usize {
-        let candidates: Vec<usize> = (0..slots.len()).filter(|&i| !slots[i].retired).collect();
+        self.route_avoiding(now, principal, restore_cost, slots, None)
+    }
+
+    /// [`Router::route`], excluding `avoid` from the candidates — the
+    /// fault layer's retry-on-other-container policy re-routes a killed
+    /// request away from the container that just died. When `avoid` is
+    /// the only active slot it is used anyway (a pool of one has
+    /// nowhere else to go).
+    pub fn route_avoiding(
+        &mut self,
+        now: Nanos,
+        principal: &str,
+        restore_cost: Nanos,
+        slots: &[Slot],
+        avoid: Option<usize>,
+    ) -> usize {
+        let mut candidates: Vec<usize> = (0..slots.len()).filter(|&i| !slots[i].retired).collect();
+        if let Some(a) = avoid {
+            if candidates.len() > 1 {
+                candidates.retain(|&i| i != a);
+            }
+        }
         assert!(!candidates.is_empty(), "routing with no active containers");
         match self.policy {
             RoutePolicy::RoundRobin => {
@@ -145,6 +166,7 @@ mod tests {
             arrival: at,
             payload_hash: 0,
             idempotent: false,
+            attempt: 1,
         });
         let d = p.slots[idx].dispatch(at).unwrap().unwrap();
         (d.resp_at, d.ready_at)
@@ -243,6 +265,7 @@ mod tests {
                 arrival: t0,
                 payload_hash: 0,
                 idempotent: false,
+                attempt: 1,
             });
             p.slots[idx].dispatch(t0).unwrap().unwrap();
         }
@@ -256,6 +279,29 @@ mod tests {
         // A restore-blind round-robin ignores affinity entirely.
         let mut rr = Router::new(RoutePolicy::RoundRobin);
         assert_eq!(rr.route(both_done, "bob", cost, &p.slots), 0);
+    }
+
+    #[test]
+    fn route_avoiding_skips_the_faulted_slot() {
+        let p = pool(3);
+        let mut r = Router::new(RoutePolicy::LeastLoaded);
+        // Least-loaded on an idle pool picks slot 0; avoiding 0 moves on.
+        assert_eq!(r.route(Nanos::ZERO, "a", Nanos::ZERO, &p.slots), 0);
+        assert_eq!(
+            r.route_avoiding(Nanos::ZERO, "a", Nanos::ZERO, &p.slots, Some(0)),
+            1
+        );
+    }
+
+    #[test]
+    fn route_avoiding_falls_back_on_a_pool_of_one() {
+        let p = pool(1);
+        let mut r = Router::new(RoutePolicy::RoundRobin);
+        assert_eq!(
+            r.route_avoiding(Nanos::ZERO, "a", Nanos::ZERO, &p.slots, Some(0)),
+            0,
+            "nowhere else to go"
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@ use gh_sim::event::EventQueue;
 use gh_sim::{DetRng, Nanos, QuantileSketch};
 use groundhog_core::GroundhogConfig;
 
+use crate::fault::{FaultConfig, FaultPlan};
 use crate::fleet::{
     poisson_gap, DepthTracker, ExecMode, Fleet, FleetConfig, FleetResult, Pending, Pool,
     ScaleAction,
@@ -70,6 +71,16 @@ pub struct GatewayFleetConfig {
     pub diurnal_amplitude: f64,
     /// Period of the diurnal envelope.
     pub diurnal_period: Nanos,
+    /// Fault injection behind the gateway: container deaths release the
+    /// concurrency ceiling (draining defers) and are retried per the
+    /// plan's policy; a died attempt never fills the result cache.
+    /// `None` (or an inert config) keeps the loop byte-identical to the
+    /// fault-free reference.
+    pub faults: Option<FaultConfig>,
+    /// Virtual times at which the function is redeployed: each event
+    /// bumps the cache-key generation and drops every cached result of
+    /// the old deployment. Empty means never.
+    pub redeploys: Vec<Nanos>,
 }
 
 impl GatewayFleetConfig {
@@ -84,6 +95,8 @@ impl GatewayFleetConfig {
             hot_principal_frac: 0.0,
             diurnal_amplitude: 0.0,
             diurnal_period: Nanos::from_secs(120),
+            faults: None,
+            redeploys: Vec::new(),
         }
     }
 
@@ -119,6 +132,11 @@ enum Event {
     WarmReady(usize),
     /// A result-cache entry reached its TTL deadline.
     CacheExpire,
+    /// A killed request's backoff elapsed (token into the park table).
+    Retry(usize),
+    /// The function was redeployed: bump the cache generation and drop
+    /// the old deployment's cached results.
+    Redeploy,
 }
 
 /// Drives `requests` arrivals through a gateway in front of a fresh
@@ -142,6 +160,9 @@ pub fn run_gateway_fleet(
 pub struct GatewayFleet {
     fleet: Fleet,
     cfg: GatewayFleetConfig,
+    /// Current deployment generation, bumped by `Event::Redeploy`;
+    /// cache keys carry it so stale results can never be served.
+    generation: u64,
 }
 
 impl GatewayFleet {
@@ -157,9 +178,16 @@ impl GatewayFleet {
                 "a zero concurrency ceiling would defer every request forever"
             );
         }
+        let mut fleet = Fleet::new(cfg.fleet.clone());
+        if let Some(fc) = cfg.faults {
+            if fc.is_active() {
+                fleet.faults = Some(FaultPlan::new(fc));
+            }
+        }
         GatewayFleet {
-            fleet: Fleet::new(cfg.fleet.clone()),
+            fleet,
             cfg,
+            generation: 0,
         }
     }
 
@@ -206,6 +234,11 @@ impl GatewayFleet {
         let mut depth = DepthTracker::new();
         let mut sojourns = QuantileSketch::new();
         let mut defer: VecDeque<Pending> = VecDeque::new();
+        // Park table for killed requests awaiting their backoff: token
+        // → (pending, slot it died on). Only touched when faults are
+        // armed.
+        let mut parked: Vec<Option<(Pending, usize)>> = Vec::new();
+        let mut parked_live = 0usize;
         let mut served = 0usize;
         let mut hits = 0u64;
         let mut cache_peak = 0u64;
@@ -220,6 +253,15 @@ impl GatewayFleet {
                 fleet,
                 gateway: GatewayStats::default(),
             });
+        }
+
+        // Redeploys are scheduled up front (the schedule is part of the
+        // config, not the workload); an empty schedule adds no events
+        // and leaves the timeline untouched. Scheduling them before the
+        // first arrival means a redeploy tied with an arrival
+        // invalidates before the arrival's lookup.
+        for &at in &self.cfg.redeploys {
+            events.schedule(at, Event::Redeploy);
         }
 
         let mut next_arrival = t_start;
@@ -249,6 +291,7 @@ impl GatewayFleet {
                         if let Some(c) = cache.as_mut() {
                             let key = CacheKey {
                                 fn_id: 0,
+                                generation: self.generation,
                                 payload_hash,
                             };
                             if c.lookup(key, now).is_some() {
@@ -275,6 +318,7 @@ impl GatewayFleet {
                                 arrival: now,
                                 payload_hash,
                                 idempotent,
+                                attempt: 1,
                             }),
                             Decision::Admit => {
                                 let idx = self.enter_backend(
@@ -286,6 +330,7 @@ impl GatewayFleet {
                                         arrival: now,
                                         payload_hash,
                                         idempotent,
+                                        attempt: 1,
                                     },
                                     now,
                                     restore_cost,
@@ -315,6 +360,8 @@ impl GatewayFleet {
                                     &mut served,
                                     cache.as_mut(),
                                     &mut cache_peak,
+                                    &mut parked,
+                                    &mut parked_live,
                                 )?;
                                 self.scale(
                                     now,
@@ -323,7 +370,14 @@ impl GatewayFleet {
                                     prewarmer.as_mut(),
                                     service_secs,
                                 )?;
-                                if self.done(served, &admission, pool, &defer, requests) {
+                                if self.done(
+                                    served,
+                                    &admission,
+                                    pool,
+                                    &defer,
+                                    requests,
+                                    parked_live,
+                                ) {
                                     break;
                                 }
                                 continue;
@@ -370,6 +424,8 @@ impl GatewayFleet {
                                 &mut served,
                                 cache.as_mut(),
                                 &mut cache_peak,
+                                &mut parked,
+                                &mut parked_live,
                             )?;
                         }
                     }
@@ -382,6 +438,8 @@ impl GatewayFleet {
                         &mut served,
                         cache.as_mut(),
                         &mut cache_peak,
+                        &mut parked,
+                        &mut parked_live,
                     )?;
                     depth.record(pool.queued());
                 }
@@ -397,6 +455,8 @@ impl GatewayFleet {
                         &mut served,
                         cache.as_mut(),
                         &mut cache_peak,
+                        &mut parked,
+                        &mut parked_live,
                     )?;
                     depth.record(pool.queued());
                 }
@@ -405,17 +465,70 @@ impl GatewayFleet {
                         c.expire_due(now);
                     }
                 }
+                Event::Retry(token) => {
+                    // A killed request's backoff elapsed: re-enter the
+                    // backend. The retry was admitted on its first
+                    // attempt and keeps its admission (it re-begins the
+                    // ceiling it released when the crash's Ready edge
+                    // fired), but never re-pays the token bucket.
+                    let (p, died_idx) = parked[token].take().expect("retry token fired twice");
+                    parked_live -= 1;
+                    let reroute = self
+                        .fleet
+                        .faults
+                        .map(|pl| pl.config().retry.reroute)
+                        .unwrap_or(false);
+                    let idx = if reroute {
+                        self.fleet.router.route_avoiding(
+                            now,
+                            &p.principal,
+                            restore_cost,
+                            &pool.slots,
+                            Some(died_idx),
+                        )
+                    } else {
+                        died_idx
+                    };
+                    pool.slots[idx].queue.push(p);
+                    depth.record(pool.queued());
+                    if let Some(ac) = admission.as_mut() {
+                        ac.begin();
+                    }
+                    self.dispatch(
+                        pool,
+                        idx,
+                        now,
+                        &mut events,
+                        &mut sojourns,
+                        &mut served,
+                        cache.as_mut(),
+                        &mut cache_peak,
+                        &mut parked,
+                        &mut parked_live,
+                    )?;
+                }
+                Event::Redeploy => {
+                    // New code is live: results produced by the old
+                    // deployment must never be served again. Bumping
+                    // the generation makes stale entries unreachable
+                    // (even in-flight fills from old-code responses);
+                    // the sweep reclaims their bytes immediately.
+                    self.generation += 1;
+                    if let Some(c) = cache.as_mut() {
+                        c.redeploy(0);
+                    }
+                }
             }
-            if self.done(served, &admission, pool, &defer, requests) {
+            if self.done(served, &admission, pool, &defer, requests, parked_live) {
                 break;
             }
         }
 
         let rejected = admission.as_ref().map(|a| a.rejected).unwrap_or(0);
         debug_assert_eq!(
-            served as u64 + rejected,
+            served as u64 + rejected + self.fleet.fault_stats.abandoned,
             requests as u64,
-            "every arrival must be served or shed"
+            "every arrival must be served, shed, or abandoned"
         );
 
         let mut gw = GatewayStats {
@@ -506,7 +619,11 @@ impl GatewayFleet {
 
     /// Dispatches `idx` if it is clean and has queued work; records the
     /// sojourn, schedules the completion event, and fills the result
-    /// cache from idempotent responses.
+    /// cache from idempotent responses. With faults armed, the head may
+    /// instead die mid-request (no response, no cache fill; the Ready
+    /// edge still fires at recovery, releasing the ceiling and draining
+    /// defers) or fail its restore (the completion stands, readiness is
+    /// pushed out by a cold start).
     #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &mut self,
@@ -518,15 +635,62 @@ impl GatewayFleet {
         served: &mut usize,
         cache: Option<&mut ResultCache>,
         cache_peak: &mut u64,
+        parked: &mut Vec<Option<(Pending, usize)>>,
+        parked_live: &mut usize,
     ) -> Result<(), StrategyError> {
+        let plan = self.fleet.faults;
+        let head = match plan {
+            Some(_) if pool.slots[idx].idle_at(now) => {
+                pool.slots[idx].queue.peek().map(|p| (p.id, p.attempt))
+            }
+            _ => None,
+        };
+        if let (Some(pl), Some((id, attempt))) = (plan, head) {
+            if let Some(frac) = pl.death(id, attempt) {
+                let (mut pending, ready) = pool.slots[idx]
+                    .crash(now, frac)
+                    .expect("idle slot with a queued head");
+                let st = &mut self.fleet.fault_stats;
+                st.deaths += 1;
+                if pl.death_after_commit(id, attempt) {
+                    st.duplicates += 1;
+                }
+                if attempt < pl.max_attempts() {
+                    st.retries += 1;
+                    pending.attempt += 1;
+                    let backoff_at = now + pl.backoff(attempt);
+                    let retry_at = if pl.config().retry.reroute {
+                        backoff_at
+                    } else {
+                        backoff_at.max(ready)
+                    };
+                    let token = parked.len();
+                    parked.push(Some((pending, idx)));
+                    *parked_live += 1;
+                    events.schedule(retry_at, Event::Retry(token));
+                } else {
+                    st.abandoned += 1;
+                }
+                events.schedule(ready, Event::Ready(idx));
+                return Ok(());
+            }
+        }
         if let Some(d) = pool.slots[idx].dispatch(now)? {
             sojourns.record_nanos(d.sojourn);
             *served += 1;
-            events.schedule(d.ready_at, Event::Ready(idx));
+            let mut ready_at = d.ready_at;
+            if let (Some(pl), Some((id, attempt))) = (plan, head) {
+                if pl.restore_failure(id, attempt) {
+                    self.fleet.fault_stats.restore_failures += 1;
+                    ready_at = pool.slots[idx].fail_restore();
+                }
+            }
+            events.schedule(ready_at, Event::Ready(idx));
             if d.idempotent {
                 if let Some(c) = cache {
                     let key = CacheKey {
                         fn_id: 0,
+                        generation: self.generation,
                         payload_hash: d.payload_hash,
                     };
                     // The fill becomes visible when the response leaves
@@ -580,8 +744,9 @@ impl GatewayFleet {
         Ok(())
     }
 
-    /// The run is over when every arrival is resolved (served or shed)
-    /// and nothing waits in a queue or the defer buffer.
+    /// The run is over when every arrival is resolved (served, shed, or
+    /// abandoned after its retry budget) and nothing waits in a queue,
+    /// the defer buffer, or the retry park table.
     fn done(
         &self,
         served: usize,
@@ -589,9 +754,14 @@ impl GatewayFleet {
         pool: &Pool,
         defer: &VecDeque<Pending>,
         requests: usize,
+        parked_live: usize,
     ) -> bool {
         let rejected = admission.as_ref().map(|a| a.rejected).unwrap_or(0) as usize;
-        served + rejected == requests && pool.queued() == 0 && defer.is_empty()
+        let abandoned = self.fleet.fault_stats.abandoned as usize;
+        served + rejected + abandoned == requests
+            && pool.queued() == 0
+            && defer.is_empty()
+            && parked_live == 0
     }
 }
 

@@ -39,10 +39,19 @@
 //!   event-driven front-end; a disabled gateway is byte-identical to
 //!   the ungated fleet (the differential oracle), and the cluster gets
 //!   the same policies as a pure per-node fold ([`cluster::GatewayFront`]).
+//! - [`fault`]: seeded deterministic fault injection — container death
+//!   mid-request, restore failure, node loss — as pure hash draws, so
+//!   fault-free runs stay byte-identical and node-parallel runs stay
+//!   deterministic; bounded-attempt exponential-backoff retries.
+//! - [`workflow`]: static DAG chains where a function's response
+//!   enqueues downstream invocations, with idempotent retries keyed by
+//!   `(workflow, hop)`, an AFT-style read-atomic KV shim, and
+//!   Groundhog's taint tracking extended across hops.
 
 pub mod client;
 pub mod cluster;
 pub mod container;
+pub mod fault;
 pub mod fleet;
 pub mod gateway;
 pub mod openloop;
@@ -50,14 +59,17 @@ pub mod platform;
 pub mod proxy;
 pub mod request;
 pub mod trace;
+pub mod workflow;
 
 pub use cluster::{
     run_cluster, run_cluster_gateway, ClusterConfig, ClusterGatewayResult, ClusterResult,
     PlacePolicy,
 };
 pub use container::{Container, InvokeOutcome};
+pub use fault::{FaultConfig, FaultPlan, FaultStats, RetryPolicy};
 pub use fleet::{Fleet, FleetConfig, FleetResult, Pool, RoutePolicy};
 pub use gateway::{run_gateway_fleet, GatewayFleet, GatewayFleetConfig, GatewayResult};
 pub use platform::{Platform, PlatformConfig};
 pub use request::{Request, Response};
 pub use trace::{synthetic_catalog, TraceConfig, TraceEvent, TraceGen};
+pub use workflow::{run_workflows, WorkflowConfig, WorkflowResult};

@@ -152,6 +152,27 @@ impl Platform {
         Fleet::new(cfg).run(&mut self.pools[id.0], requests)
     }
 
+    /// [`Platform::run_fleet`] with fault injection armed: container
+    /// deaths, restore failures and retries per `faults`. The fault
+    /// plan reuses the fleet run's own seed, so the same platform state
+    /// yields the same fault schedule. An inert config degenerates to
+    /// exactly [`Platform::run_fleet`].
+    pub fn run_fleet_faulty(
+        &mut self,
+        id: PoolId,
+        policy: RoutePolicy,
+        offered_rps: f64,
+        requests: usize,
+        faults: crate::fault::FaultConfig,
+    ) -> Result<FleetResult, StrategyError> {
+        let seed = self.rng.next_u64();
+        let cfg = FleetConfig::fixed(policy, offered_rps, seed);
+        let faults = crate::fault::FaultConfig { seed, ..faults };
+        Fleet::new(cfg)
+            .with_faults(faults)
+            .run(&mut self.pools[id.0], requests)
+    }
+
     /// Fresh unique request id.
     pub fn fresh_request_id(&mut self) -> u64 {
         let id = self.next_request;
@@ -280,6 +301,23 @@ mod tests {
             p.pool(id).slots.iter().map(|s| s.served).sum::<u64>(),
             120,
             "both runs served by the same pool"
+        );
+    }
+
+    #[test]
+    fn faulty_fleet_run_injects_and_accounts() {
+        let mut p = Platform::new(PlatformConfig::default());
+        let spec = by_name("fannkuch (p)").unwrap();
+        let id = p.deploy_pool(&spec, StrategyKind::Gh, 2).unwrap();
+        let faults = crate::fault::FaultConfig::deaths(0, 0.1);
+        let r = p
+            .run_fleet_faulty(id, RoutePolicy::RoundRobin, 60.0, 200, faults)
+            .unwrap();
+        assert!(r.stats.faults.deaths > 0, "10% deaths over 200 requests");
+        assert_eq!(
+            r.completed as u64 + r.stats.faults.abandoned,
+            200,
+            "every request completes or is abandoned"
         );
     }
 

@@ -349,6 +349,24 @@ pub fn synthetic_catalog(n: u32, seed: u64) -> Vec<FunctionSpec> {
         .collect()
 }
 
+/// Deterministic redeploy schedule for gateway runs: `count` instants
+/// spread over the trace's expected span (requests / base rate) after
+/// its origin, each jittered inside its slot by the trace seed's
+/// `0x7AC3_0007` stream. A pure function of `(cfg, count)`, so every
+/// replay — serial, parallel, repeat — sees the identical redeploy
+/// timeline (`gh_faas::gateway` bumps its cache generation at each
+/// instant).
+pub fn redeploy_schedule(cfg: &TraceConfig, count: usize) -> Vec<Nanos> {
+    let mut rng = DetRng::new(cfg.seed ^ 0x7AC3_0007);
+    let span_s = cfg.requests as f64 / cfg.base_rps;
+    (0..count)
+        .map(|i| {
+            let slot = (i as f64 + rng.range_f64(0.25, 0.75)) / count.max(1) as f64;
+            cfg.origin + Nanos::from_millis_f64(span_s * slot * 1e3)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +383,23 @@ mod tests {
         assert_eq!(a, b, "same config must yield byte-identical traces");
         let other = gen(&TraceConfig::new(100, 5_000, 500.0, 43));
         assert_ne!(a, other, "different seeds must diverge");
+    }
+
+    #[test]
+    fn redeploy_schedule_is_pure_ordered_and_in_span() {
+        let cfg = TraceConfig::new(16, 10_000, 1_000.0, 99);
+        let a = redeploy_schedule(&cfg, 4);
+        let b = redeploy_schedule(&cfg, 4);
+        assert_eq!(a, b, "schedule must be a pure function of the config");
+        assert_eq!(a.len(), 4);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "strictly ordered");
+        let span_end = cfg.origin + Nanos::from_secs(10);
+        assert!(a.iter().all(|&t| t >= cfg.origin && t <= span_end));
+        assert_ne!(
+            redeploy_schedule(&TraceConfig::new(16, 10_000, 1_000.0, 100), 4),
+            a,
+            "different seeds shift the schedule"
+        );
     }
 
     #[test]

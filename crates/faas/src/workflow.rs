@@ -1,0 +1,403 @@
+//! Stateful workflow chains: responses enqueue downstream invocations.
+//!
+//! Groundhog isolates *requests*; real FaaS applications compose them
+//! into chains (the paper's motivating apps — ML inference pipelines,
+//! image processing — are multi-stage). This module runs static DAG
+//! chains (one function per hop, declared up front) over real
+//! [`Container`]s and layers on the two pieces of state the fault layer
+//! needs to prove crash-equivalence against:
+//!
+//! - **Idempotent commits** keyed by `(workflow, hop)`: every hop
+//!   commits exactly one versioned write to the shared KV shim. A
+//!   retried hop whose earlier attempt crashed *after* its commit
+//!   ([`crate::fault::FaultPlan::death_after_commit`]) re-derives the
+//!   identical value and its re-commit is suppressed by
+//!   [`VersionedKv::commit`] — never double-applied.
+//! - **Read-atomic snapshot reads** (AFT-style): each workflow pins the
+//!   KV version at its first hop; every hop of that workflow reads
+//!   through the pinned snapshot ([`VersionedKv::read_at`]). Retries
+//!   therefore observe exactly the state the crashed attempt observed,
+//!   which is what makes hop values pure functions of
+//!   `(workflow, hop, input, pinned reads)` and the whole run
+//!   crash-equivalent: a faulty run with zero abandoned workflows ends
+//!   in the same final KV state and per-workflow outputs as the
+//!   crash-free run (`tests/fault_oracle.rs`).
+//!
+//! Taint tracking extends across hops: after each invoke the hop's
+//! container is asked for pages still tainted by the request
+//! (`gh_mem::Space::tainted_pages`). Under `Base` the function's dirty
+//! pages survive into the next invocation — a tainted page flowing
+//! into the downstream payload — and are counted in
+//! [`WorkflowResult::tainted_handoffs`]; under `Gh` the rollback wipes
+//! them and the count stays zero (the cross-hop version of the
+//! container-level isolation tests).
+
+use std::collections::{BTreeMap, HashSet};
+
+use gh_functions::FunctionSpec;
+use gh_isolation::{StrategyError, StrategyKind};
+use gh_mem::RequestId;
+use groundhog_core::GroundhogConfig;
+
+use crate::container::Container;
+use crate::fault::{FaultConfig, FaultPlan, FaultStats};
+use crate::request::Request;
+
+/// splitmix64 finalizer (same bijective mix as the fault streams);
+/// duplicated so hop values do not depend on the fault module's seed
+/// discipline.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The key every workflow's final hop aggregates into — shared state,
+/// so read-atomicity is actually load-bearing (later workflows read
+/// earlier workflows' commits through their pinned snapshots).
+pub const AGG_KEY: u64 = 0;
+
+/// Per-workflow scratch key (odd, so it never collides with
+/// [`AGG_KEY`]).
+fn wf_key(workflow: u64) -> u64 {
+    mix(0x3A93_0000 ^ workflow) | 1
+}
+
+/// Versioned read-atomic KV shim shared across workflow hops.
+///
+/// Writes append `(commit_version, value)` pairs per key; reads go
+/// through an explicit snapshot version so a workflow's hops all see
+/// the same state regardless of interleaved commits or retries.
+/// Commits are idempotent per `(workflow, hop)` — the second commit of
+/// a retried hop is dropped and counted, not applied.
+#[derive(Clone, Debug, Default)]
+pub struct VersionedKv {
+    /// key → append-only `(commit_version, value)` history, version
+    /// ascending.
+    versions: BTreeMap<u64, Vec<(u64, u64)>>,
+    /// Monotone commit counter; a snapshot is just its current value.
+    commit_seq: u64,
+    /// `(workflow, hop)` pairs whose commit already applied.
+    applied: HashSet<(u64, u32)>,
+    /// Re-commits dropped by idempotence (duplicate executions whose
+    /// first attempt committed before crashing).
+    pub duplicates_suppressed: u64,
+}
+
+impl VersionedKv {
+    /// Empty store.
+    pub fn new() -> VersionedKv {
+        VersionedKv::default()
+    }
+
+    /// The current version — pin this at workflow start and pass it to
+    /// every [`VersionedKv::read_at`] of that workflow.
+    pub fn snapshot(&self) -> u64 {
+        self.commit_seq
+    }
+
+    /// Latest value of `key` visible at snapshot `version`.
+    pub fn read_at(&self, key: u64, version: u64) -> Option<u64> {
+        self.versions
+            .get(&key)?
+            .iter()
+            .rev()
+            .find(|&&(v, _)| v <= version)
+            .map(|&(_, value)| value)
+    }
+
+    /// Latest committed value of `key`.
+    pub fn latest(&self, key: u64) -> Option<u64> {
+        self.versions.get(&key)?.last().map(|&(_, value)| value)
+    }
+
+    /// Idempotent commit: applies `value` under `key` unless
+    /// `(workflow, hop)` already committed, in which case the write is
+    /// suppressed and counted. Returns whether the write applied.
+    pub fn commit(&mut self, workflow: u64, hop: u32, key: u64, value: u64) -> bool {
+        if !self.applied.insert((workflow, hop)) {
+            self.duplicates_suppressed += 1;
+            return false;
+        }
+        self.commit_seq += 1;
+        self.versions
+            .entry(key)
+            .or_default()
+            .push((self.commit_seq, value));
+        true
+    }
+
+    /// Total versions ever applied. Equal across a crash-free run and
+    /// a faulty run with no abandonment — any double-apply would show
+    /// up as extra versions here.
+    pub fn total_versions(&self) -> u64 {
+        self.versions.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Order-stable fingerprint of the *final* state (latest value per
+    /// key, folded in key order). The crash-equivalence oracle compares
+    /// this across faulty and crash-free runs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for (&key, history) in &self.versions {
+            let &(_, value) = history.last().expect("non-empty history");
+            h = mix(h ^ key).wrapping_add(mix(value));
+        }
+        h
+    }
+}
+
+/// Workflow-run configuration. The chain itself (one [`FunctionSpec`]
+/// per hop) is passed to [`run_workflows`] alongside this.
+#[derive(Clone, Debug)]
+pub struct WorkflowConfig {
+    /// Number of workflow instances to run through the chain.
+    pub workflows: u64,
+    /// Isolation strategy for every hop container.
+    pub kind: StrategyKind,
+    /// Seed for container cold-starts and hop inputs.
+    pub seed: u64,
+    /// Optional fault schedule (container death per hop attempt).
+    pub faults: Option<FaultConfig>,
+}
+
+impl WorkflowConfig {
+    /// Fault-free config under `kind`.
+    pub fn new(workflows: u64, kind: StrategyKind, seed: u64) -> WorkflowConfig {
+        WorkflowConfig {
+            workflows,
+            kind,
+            seed,
+            faults: None,
+        }
+    }
+
+    /// Arms fault injection; an inert config (all rates zero) is
+    /// dropped so the run stays on the exact fault-free path.
+    pub fn with_faults(mut self, cfg: FaultConfig) -> WorkflowConfig {
+        self.faults = cfg.is_active().then_some(cfg);
+        self
+    }
+}
+
+/// What a workflow run produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkflowResult {
+    /// Workflow instances started.
+    pub workflows: u64,
+    /// Instances that ran every hop to completion.
+    pub completed: u64,
+    /// Final-hop output per workflow (`None` for abandoned instances).
+    pub outputs: Vec<Option<u64>>,
+    /// Fingerprint of the final KV state ([`VersionedKv::fingerprint`]).
+    pub kv_fingerprint: u64,
+    /// Total KV versions applied ([`VersionedKv::total_versions`]).
+    pub kv_versions: u64,
+    /// Retried re-commits absorbed by idempotence — these are the
+    /// would-be double-applies; `kv_versions` proves none landed.
+    pub duplicates_suppressed: u64,
+    /// Hops whose response carried request-tainted pages into the next
+    /// hop's payload (zero under `Gh`, positive under `Base`).
+    pub tainted_handoffs: u64,
+    /// Fault accounting for the run.
+    pub faults: FaultStats,
+}
+
+/// Runs `cfg.workflows` instances of the static chain `chain` (hop `h`
+/// executes on a dedicated warm container of `chain[h]`), with
+/// idempotent commits and pinned snapshot reads against a shared
+/// [`VersionedKv`]. Returns per-workflow outputs plus the state
+/// fingerprints the crash-equivalence oracle compares.
+pub fn run_workflows(
+    chain: &[FunctionSpec],
+    gh: GroundhogConfig,
+    cfg: &WorkflowConfig,
+) -> Result<WorkflowResult, StrategyError> {
+    assert!(!chain.is_empty(), "a chain needs at least one hop");
+    let plan = cfg.faults.filter(|c| c.is_active()).map(FaultPlan::new);
+    let mut containers: Vec<Container> = Vec::with_capacity(chain.len());
+    for (h, spec) in chain.iter().enumerate() {
+        containers.push(Container::cold_start(
+            spec,
+            cfg.kind,
+            gh.clone(),
+            mix(cfg.seed ^ 0x3077_F10E ^ h as u64),
+        )?);
+    }
+    let hops = chain.len() as u64;
+    let mut kv = VersionedKv::new();
+    let mut outputs: Vec<Option<u64>> = Vec::with_capacity(cfg.workflows as usize);
+    let mut completed = 0u64;
+    let mut tainted_handoffs = 0u64;
+    let mut faults = FaultStats::default();
+    // Container-side request ids must be unique per invoke (taint
+    // tracking is per request), so they come off a running counter.
+    // Fault draws instead key on a *stable* per-(workflow, hop) id so
+    // the schedule does not depend on how many attempts ran before.
+    let mut invoke_seq = 1u64;
+    for w in 0..cfg.workflows {
+        let pinned = kv.snapshot();
+        let mut input = mix(cfg.seed ^ 0x1297_07AD ^ w);
+        let mut alive = true;
+        let mut last = 0u64;
+        for hop in 0..chain.len() {
+            let fault_id = w * hops + hop as u64 + 1;
+            let key = if hop + 1 == chain.len() {
+                AGG_KEY
+            } else {
+                wf_key(w)
+            };
+            // The hop value is a pure function of (workflow, hop,
+            // input, pinned reads): retries recompute it bit-for-bit.
+            let agg_seen = kv.read_at(AGG_KEY, pinned).unwrap_or(0);
+            let value = mix(input ^ mix((w << 8) ^ hop as u64) ^ agg_seen);
+            let mut attempt = 1u32;
+            loop {
+                let rid = invoke_seq;
+                invoke_seq += 1;
+                let principal = format!("wf-{w}");
+                let req = Request::new(rid, &principal, chain[hop].input_kb);
+                containers[hop].invoke(&req)?;
+                let tainted = {
+                    let c = &containers[hop];
+                    let proc = c.kernel.process(c.fproc.pid).expect("function process");
+                    !proc
+                        .mem
+                        .tainted_pages(RequestId(rid), c.kernel.frames())
+                        .is_empty()
+                };
+                if let Some(pl) = &plan {
+                    if pl.death(fault_id, attempt).is_some() {
+                        faults.deaths += 1;
+                        if pl.death_after_commit(fault_id, attempt) {
+                            // The commit raced ahead of the crash:
+                            // state applied, response lost. The retry
+                            // will re-derive `value` and be absorbed.
+                            faults.duplicates += 1;
+                            kv.commit(w, hop as u32, key, value);
+                        }
+                        if attempt < pl.max_attempts() {
+                            faults.retries += 1;
+                            attempt += 1;
+                            continue;
+                        }
+                        faults.abandoned += 1;
+                        alive = false;
+                        break;
+                    }
+                }
+                if tainted && hop + 1 < chain.len() {
+                    tainted_handoffs += 1;
+                }
+                kv.commit(w, hop as u32, key, value);
+                last = value;
+                break;
+            }
+            if !alive {
+                break;
+            }
+            input = value;
+        }
+        if alive {
+            completed += 1;
+            outputs.push(Some(last));
+        } else {
+            outputs.push(None);
+        }
+    }
+    Ok(WorkflowResult {
+        workflows: cfg.workflows,
+        completed,
+        outputs,
+        kv_fingerprint: kv.fingerprint(),
+        kv_versions: kv.total_versions(),
+        duplicates_suppressed: kv.duplicates_suppressed,
+        tainted_handoffs,
+        faults,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::RetryPolicy;
+    use gh_functions::catalog::by_name;
+
+    fn chain(names: &[&str]) -> Vec<FunctionSpec> {
+        names.iter().map(|n| by_name(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn kv_reads_are_pinned_to_the_snapshot() {
+        let mut kv = VersionedKv::new();
+        kv.commit(0, 0, AGG_KEY, 10);
+        let pinned = kv.snapshot();
+        kv.commit(1, 0, AGG_KEY, 20);
+        // The pinned reader still sees 10; an unpinned one sees 20.
+        assert_eq!(kv.read_at(AGG_KEY, pinned), Some(10));
+        assert_eq!(kv.latest(AGG_KEY), Some(20));
+        assert_eq!(kv.read_at(AGG_KEY, kv.snapshot()), Some(20));
+    }
+
+    #[test]
+    fn kv_commit_is_idempotent_per_workflow_hop() {
+        let mut kv = VersionedKv::new();
+        assert!(kv.commit(7, 2, AGG_KEY, 1));
+        assert!(!kv.commit(7, 2, AGG_KEY, 1), "retried hop re-commit");
+        assert_eq!(kv.total_versions(), 1, "never double-applied");
+        assert_eq!(kv.duplicates_suppressed, 1);
+        // A different hop of the same workflow is a fresh commit.
+        assert!(kv.commit(7, 3, AGG_KEY, 2));
+    }
+
+    #[test]
+    fn chains_complete_and_commit_once_per_hop() {
+        let specs = chain(&["get-time (n)", "float (p)"]);
+        let cfg = WorkflowConfig::new(12, StrategyKind::Gh, 0xC4A1);
+        let r = run_workflows(&specs, GroundhogConfig::gh(), &cfg).unwrap();
+        assert_eq!(r.completed, 12);
+        assert!(r.outputs.iter().all(|o| o.is_some()));
+        assert_eq!(r.kv_versions, 12 * 2, "one commit per (workflow, hop)");
+        assert_eq!(r.duplicates_suppressed, 0);
+        assert_eq!(r.tainted_handoffs, 0, "Gh wipes taint between hops");
+        assert!(r.faults.is_empty());
+    }
+
+    #[test]
+    fn crashes_with_retries_are_state_equivalent_to_crash_free() {
+        let specs = chain(&["get-time (n)", "float (p)"]);
+        let clean_cfg = WorkflowConfig::new(30, StrategyKind::Gh, 0xB0B);
+        let clean = run_workflows(&specs, GroundhogConfig::gh(), &clean_cfg).unwrap();
+        let mut fc = FaultConfig::deaths(0xD1E, 0.10);
+        fc.retry = RetryPolicy {
+            max_attempts: 6,
+            ..RetryPolicy::bounded()
+        };
+        let faulty_cfg = clean_cfg.clone().with_faults(fc);
+        let faulty = run_workflows(&specs, GroundhogConfig::gh(), &faulty_cfg).unwrap();
+        assert!(faulty.faults.deaths > 0, "faults actually fired");
+        assert_eq!(faulty.faults.abandoned, 0, "6 attempts never exhaust");
+        assert_eq!(faulty.completed, 30);
+        // Crash-equivalence: same outputs, same final KV state, and the
+        // version count proves no retried commit double-applied.
+        assert_eq!(faulty.outputs, clean.outputs);
+        assert_eq!(faulty.kv_fingerprint, clean.kv_fingerprint);
+        assert_eq!(faulty.kv_versions, clean.kv_versions);
+        assert_eq!(
+            faulty.duplicates_suppressed, faulty.faults.duplicates,
+            "every post-commit death's retry was absorbed"
+        );
+    }
+
+    #[test]
+    fn base_leaks_tainted_pages_across_hops() {
+        let specs = chain(&["telco (p)", "float (p)"]);
+        let cfg = WorkflowConfig::new(6, StrategyKind::Base, 0x7A1);
+        let r = run_workflows(&specs, GroundhogConfig::gh(), &cfg).unwrap();
+        assert!(
+            r.tainted_handoffs > 0,
+            "Base leaves request pages dirty at the handoff"
+        );
+    }
+}

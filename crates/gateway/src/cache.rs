@@ -90,16 +90,22 @@ pub struct CacheKey {
     /// Function identity (fleet runs use 0; cluster runs use the trace
     /// `fn_id`).
     pub fn_id: u64,
+    /// Deployment generation of the function. A redeploy bumps the
+    /// driving loop's generation counter, so results produced by the
+    /// old code become unreachable even before
+    /// [`ResultCache::redeploy`] sweeps them.
+    pub generation: u64,
     /// Canonical payload hash ([`Payload::hash`] or a trace-synthesized
     /// equivalent).
     pub payload_hash: u64,
 }
 
 impl CacheKey {
-    /// Key of `payload` under function `fn_id`.
+    /// Key of `payload` under function `fn_id`, generation 0.
     pub fn new(fn_id: u64, payload: &Payload) -> CacheKey {
         CacheKey {
             fn_id,
+            generation: 0,
             payload_hash: payload.hash(),
         }
     }
@@ -143,6 +149,8 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries removed by TTL expiry.
     pub expired: u64,
+    /// Entries dropped because their function was redeployed.
+    pub invalidated: u64,
 }
 
 struct Entry {
@@ -282,6 +290,25 @@ impl ResultCache {
         self.by_expiry.keys().next().map(|&(at, _)| at)
     }
 
+    /// Drops every entry belonging to `fn_id`, across all generations —
+    /// a redeploy makes cached results stale regardless of TTL. The
+    /// caller bumps its generation counter as well, so in-flight fills
+    /// from the old deployment land under unreachable keys. Returns how
+    /// many entries were invalidated.
+    pub fn redeploy(&mut self, fn_id: u64) -> usize {
+        let victims: Vec<CacheKey> = self
+            .entries
+            .keys()
+            .filter(|k| k.fn_id == fn_id)
+            .copied()
+            .collect();
+        for key in &victims {
+            self.unlink(key);
+        }
+        self.stats.invalidated += victims.len() as u64;
+        victims.len()
+    }
+
     /// Removes every entry whose deadline has passed (`expires_at ≤
     /// now`), returning how many were swept.
     pub fn expire_due(&mut self, now: Nanos) -> usize {
@@ -372,6 +399,7 @@ mod tests {
         let mut c = cache(1_000, 2 * (1024 + ENTRY_OVERHEAD_BYTES));
         let k = |i: u64| CacheKey {
             fn_id: 0,
+            generation: 0,
             payload_hash: i,
         };
         let t = Nanos::from_millis(1);
@@ -408,6 +436,57 @@ mod tests {
         // The replacement's TTL runs from its own visibility.
         assert_eq!(c.next_expiry(), Some(Nanos::from_millis(15)));
         assert_eq!(c.lookup(key, Nanos::from_millis(12)), Some(2));
+    }
+
+    #[test]
+    fn redeploy_drops_only_the_functions_entries() {
+        let mut c = cache(1_000, 1 << 20);
+        let key = |f: u64, p: u64| CacheKey {
+            fn_id: f,
+            generation: 0,
+            payload_hash: p,
+        };
+        let t = Nanos::from_millis(1);
+        c.insert(key(0, 1), 1, t);
+        c.insert(key(0, 2), 1, t);
+        c.insert(key(1, 3), 1, t);
+        assert_eq!(c.redeploy(0), 2);
+        assert_eq!(c.stats.invalidated, 2);
+        assert!(c.lookup(key(0, 1), t).is_none(), "fn 0 invalidated");
+        assert!(c.lookup(key(1, 3), t).is_some(), "fn 1 untouched");
+        // The expiry index is consistent: only fn 1's deadline remains.
+        assert_eq!(c.next_expiry(), Some(t + Nanos::from_millis(1_000)));
+    }
+
+    #[test]
+    fn generation_bump_hides_entries_even_inside_their_ttl() {
+        // The TTL/generation interaction: an entry is servable for its
+        // whole TTL window *only under the generation it was filled
+        // at*. After a redeploy the driving loop looks up (and fills)
+        // generation g+1 keys, so an un-swept old-generation entry can
+        // never produce a hit, no matter how fresh its TTL is.
+        let mut c = cache(1_000, 1 << 20);
+        let old = CacheKey {
+            fn_id: 0,
+            generation: 0,
+            payload_hash: 42,
+        };
+        let new = CacheKey {
+            generation: 1,
+            ..old
+        };
+        let t = Nanos::from_millis(1);
+        c.insert(old, 1, t);
+        assert!(c.lookup(old, t).is_some(), "inside TTL, same generation");
+        assert!(
+            c.lookup(new, t).is_none(),
+            "inside TTL, bumped generation misses"
+        );
+        // The new generation fills independently; both coexist until
+        // redeploy() or TTL sweeps the stale one.
+        c.insert(new, 1, t);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.redeploy(0), 2, "redeploy sweeps all generations");
     }
 
     #[test]

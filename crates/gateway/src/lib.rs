@@ -140,6 +140,8 @@ pub struct GatewayStats {
     pub cache_evictions: u64,
     /// Cache entries removed by TTL expiry.
     pub cache_expired: u64,
+    /// Cache entries dropped by function redeploys.
+    pub cache_invalidated: u64,
     /// Requests shed by per-principal rate limiting.
     pub rejected: u64,
     /// Requests parked (at least once) by the concurrency ceiling.
@@ -159,6 +161,7 @@ impl GatewayStats {
         self.cache_insertions += stats.insertions;
         self.cache_evictions += stats.evictions;
         self.cache_expired += stats.expired;
+        self.cache_invalidated += stats.invalidated;
     }
 }
 
@@ -194,10 +197,12 @@ mod tests {
             insertions: 2,
             evictions: 1,
             expired: 1,
+            invalidated: 1,
         };
         s.absorb_cache(&c);
         s.absorb_cache(&c);
         assert_eq!(s.cache_hits, 6);
         assert_eq!(s.cache_expired, 2);
+        assert_eq!(s.cache_invalidated, 2);
     }
 }
