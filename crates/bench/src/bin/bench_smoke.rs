@@ -408,6 +408,71 @@ fn collect() -> Vec<Metric> {
         });
     }
 
+    // DAG recovery overhead: completed-workflows-per-hop-executed of a
+    // faulty migrating DAG run at 1% container death + 10% node loss,
+    // as a fraction of the crash-free run over the same workload. Every
+    // crash re-executes a hop, so the ratio is (hops_clean /
+    // hops_faulty) when both complete everything — a pure virtual-time
+    // quotient, deterministic and machine-independent, gated without an
+    // escape hatch. The ledger counters ride along as `info_`.
+    let dag_pair = |faults: Option<gh_faas::fault::FaultConfig>| {
+        let catalog = gh_faas::trace::synthetic_catalog(10, 67);
+        let mut cfg = gh_faas::workflow::migrate::MigrateConfig::new(4, 200, 67);
+        if let Some(fc) = faults {
+            cfg = cfg.with_faults(fc);
+        }
+        gh_faas::workflow::migrate::run_migrating_dags(&catalog, &cfg)
+    };
+    let dag_clean = dag_pair(None);
+    let dag_faulty = {
+        let mut fc = gh_faas::fault::FaultConfig::deaths(67, 0.01);
+        fc.node_loss_rate = 0.1;
+        fc.node_loss_window = gh_sim::Nanos::from_millis(40);
+        fc.retry = gh_faas::fault::RetryPolicy {
+            max_attempts: 10,
+            ..gh_faas::fault::RetryPolicy::bounded()
+        };
+        dag_pair(Some(fc))
+    };
+    assert_eq!(
+        dag_faulty.kv_fingerprint, dag_clean.kv_fingerprint,
+        "faulty DAG run must converge to the crash-free KV state"
+    );
+    let goodput = |r: &gh_faas::workflow::migrate::MigrateResult| {
+        r.completed as f64 / (r.hops_executed as f64).max(1.0)
+    };
+    println!(
+        "dag smoke at 1% deaths + 10% node loss: {}/{} hops, {} orphaned, \
+         {} migrations, {} duplicates absorbed, {} abandoned\n",
+        dag_faulty.hops_executed,
+        dag_clean.hops_executed,
+        dag_faulty.faults.orphaned_hops,
+        dag_faulty.faults.migrations,
+        dag_faulty.duplicates_suppressed,
+        dag_faulty.faults.abandoned
+    );
+    out.push(Metric {
+        key: "dag_goodput_ratio_1pct",
+        value: goodput(&dag_faulty) / goodput(&dag_clean),
+        higher_is_better: true,
+    });
+    for (key, v) in [
+        ("info_dag_hops_faulty", dag_faulty.hops_executed),
+        ("info_dag_orphaned_hops", dag_faulty.faults.orphaned_hops),
+        ("info_dag_migrations", dag_faulty.faults.migrations),
+        (
+            "info_dag_duplicates_absorbed",
+            dag_faulty.duplicates_suppressed,
+        ),
+        ("info_dag_abandoned", dag_faulty.faults.abandoned),
+    ] {
+        out.push(Metric {
+            key,
+            value: v as f64,
+            higher_is_better: false,
+        });
+    }
+
     // Cores of the measuring host — records which environment the
     // `scaling_*_par` ratios in a baseline were taken on, and lets the
     // gate recognize a single-core runner (see `--check`).

@@ -37,6 +37,20 @@ const SEED: u64 = 42;
 /// busy without unbounded queueing.
 const OFFERED_RPS: f64 = 4000.0;
 
+/// Timing samples per mode (`GH_FLEET_ITERS` overrides; default 3).
+/// The gated speedup is min(serial)/min(parallel): a single-shot
+/// measurement on a noisy single-core host occasionally swings past
+/// the perf gate's 10% band, while the minimum converges to the
+/// undisturbed cost (same treatment as `cluster_scaling::iters`).
+/// Every extra sample doubles as a free repeat-determinism assert.
+pub fn iters() -> u32 {
+    std::env::var("GH_FLEET_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
 /// Wall-clock of the two execution modes over the same run.
 pub struct FleetScalingReport {
     /// Requests per measured run.
@@ -70,10 +84,31 @@ fn timed_run(mode: ExecMode) -> (f64, String) {
     (ns, format!("{result:?}"))
 }
 
+/// Best-of-`iters` wrapper around [`timed_run`]: minimum wall-clock
+/// over the samples, with repeat runs asserted bit-identical along the
+/// way (every sample is also a determinism check for free).
+fn timed_run_best(mode: ExecMode, iters: u32) -> (f64, String) {
+    let mut best = f64::INFINITY;
+    let mut reference: Option<String> = None;
+    for _ in 0..iters {
+        let (ns, fp) = timed_run(mode);
+        best = best.min(ns);
+        match &reference {
+            Some(ref_fp) => assert_eq!(
+                ref_fp, &fp,
+                "repeat fleet run diverged from its own first sample"
+            ),
+            None => reference = Some(fp),
+        }
+    }
+    (best, reference.expect("iters >= 1"))
+}
+
 /// Measures both modes and asserts result equality.
 pub fn run() -> FleetScalingReport {
-    let (serial_ns, serial_fp) = timed_run(ExecMode::Serial);
-    let (par_ns, par_fp) = timed_run(ExecMode::Parallel { threads: THREADS });
+    let iters = iters();
+    let (serial_ns, serial_fp) = timed_run_best(ExecMode::Serial, iters);
+    let (par_ns, par_fp) = timed_run_best(ExecMode::Parallel { threads: THREADS }, iters);
     assert_eq!(
         serial_fp, par_fp,
         "parallel fleet run diverged from the serial reference"

@@ -58,6 +58,36 @@ pub fn requests() -> usize {
         .unwrap_or(2_000)
 }
 
+/// Samples per cell (`GH_GATEWAY_ITERS` overrides; default 3). The
+/// numbers are virtual-time, so unlike the wall-clock rigs there is no
+/// noise to minimize away — every repeat must be *bit-identical* to
+/// the first, and the extra samples exist purely as free determinism
+/// asserts (the same `GH_*_ITERS` treatment as the wall-clock rigs,
+/// with the min degenerating to the common value).
+pub fn iters() -> u32 {
+    std::env::var("GH_GATEWAY_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1)
+}
+
+/// Runs `cell` `iters` times, asserting every repeat bit-identical to
+/// the first, and returns the first result.
+fn repeat_identical(label: &str, iters: u32, cell: impl Fn() -> GatewayResult) -> GatewayResult {
+    let first = cell();
+    let fp = format!("{:?},{:?}", first.fleet, first.gateway);
+    for i in 1..iters {
+        let again = cell();
+        assert_eq!(
+            fp,
+            format!("{:?},{:?}", again.fleet, again.gateway),
+            "{label}: repeat {i} diverged from the first sample"
+        );
+    }
+    first
+}
+
 /// Virtual-time outcomes of both scenarios.
 pub struct GatewayScalingReport {
     /// Requests per measured run.
@@ -163,17 +193,24 @@ fn run_prewarm_cell(predictive: bool, requests: usize) -> GatewayResult {
 /// memory, and that the predictive side does not lose the p99 race.
 pub fn run() -> GatewayScalingReport {
     let requests = requests();
+    let iters = iters();
     let spec = by_name("fannkuch (p)").expect("catalog");
 
     // Cache scenario + in-rig oracle: the disabled cell must replay the
-    // ungated fleet bit for bit.
-    let cached = run_cache_cell(
-        GatewayConfig::builder()
-            .cache(CacheConfig::default_for_ttl(Nanos::from_secs(60)))
-            .build(),
-        requests,
-    );
-    let ungated = run_cache_cell(GatewayConfig::disabled(), requests);
+    // ungated fleet bit for bit. Both cells run `iters` times with
+    // repeats asserted bit-identical, so the gated speedup quotient is
+    // backed by a determinism check on each operand.
+    let cached = repeat_identical("cached", iters, || {
+        run_cache_cell(
+            GatewayConfig::builder()
+                .cache(CacheConfig::default_for_ttl(Nanos::from_secs(60)))
+                .build(),
+            requests,
+        )
+    });
+    let ungated = repeat_identical("ungated", iters, || {
+        run_cache_cell(GatewayConfig::disabled(), requests)
+    });
     let reference = run_ungated_reference(
         &spec,
         StrategyKind::Gh,

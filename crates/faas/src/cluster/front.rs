@@ -16,11 +16,14 @@
 //!   the price is a small optimistic bias (a hit may be served before
 //!   the filling request's backend response in real time), which is the
 //!   standard request-coalescing idealization. Redeploy invalidation
-//!   ([`gh_gateway::cache::ResultCache::redeploy`]) is currently a
-//!   fleet-gateway feature; the front models a fixed deployment and
-//!   pins every key's generation to 0. (A redeploy schedule *is* a
-//!   pure function of time, so folding it in here would preserve
-//!   coordinator purity — it is scope, not a determinism limit.)
+//!   ([`gh_gateway::cache::ResultCache::redeploy`]) folds in the same
+//!   way: a redeploy schedule is a pure function of time, so
+//!   [`GatewayFront::with_redeploys`] replays it against the trace
+//!   clock — each due `(instant, fn)` entry bumps the function's
+//!   generation and drops its cached entries — and every node observes
+//!   the identical invalidation sequence. [`GatewayFront::new`] is the
+//!   empty-schedule special case (generation pinned to 0, bit-for-bit
+//!   the old behavior).
 //! - **Per-principal token buckets** exactly as in the fleet gateway.
 //!   The global concurrency ceiling ([`AdmissionConfig::max_in_flight`])
 //!   is **ignored**: deferral needs completion knowledge the
@@ -61,6 +64,12 @@ pub enum FrontDecision {
 pub struct GatewayFront {
     cache: Option<ResultCache>,
     admission: Option<AdmissionCfgBuckets>,
+    /// Time-ordered `(instant, fn)` redeploy schedule being folded in.
+    redeploys: Vec<(Nanos, u32)>,
+    /// Next unapplied schedule entry.
+    next_redeploy: usize,
+    /// Current code generation per function (0 until redeployed).
+    generation: HashMap<u64, u64>,
     /// Arrivals served from the cache.
     pub hits: u64,
     /// Arrivals dropped by rate limiting.
@@ -80,6 +89,20 @@ impl GatewayFront {
     /// Builds the front. The in-flight ceiling, if configured, is
     /// dropped (see the module docs); the pre-warmer is ignored.
     pub fn new(cfg: &GatewayConfig) -> GatewayFront {
+        GatewayFront::with_redeploys(cfg, &[])
+    }
+
+    /// Builds the front with a redeploy schedule folded into the cache:
+    /// when the trace clock passes an entry, that function's generation
+    /// bumps and its cached results drop (old-generation keys miss even
+    /// inside their TTL). The schedule must be time-ordered; being a
+    /// pure function of the trace clock, every node replays it
+    /// identically, so coordinator purity is preserved.
+    pub fn with_redeploys(cfg: &GatewayConfig, schedule: &[(Nanos, u32)]) -> GatewayFront {
+        debug_assert!(
+            schedule.windows(2).all(|w| w[0].0 <= w[1].0),
+            "redeploy schedule must be time-ordered"
+        );
         GatewayFront {
             cache: cfg.cache.map(ResultCache::new),
             admission: cfg.admission.map(|a| AdmissionCfgBuckets {
@@ -89,6 +112,9 @@ impl GatewayFront {
                 },
                 buckets: HashMap::new(),
             }),
+            redeploys: schedule.to_vec(),
+            next_redeploy: 0,
+            generation: HashMap::new(),
             hits: 0,
             rejected: 0,
             cache_peak_bytes: 0,
@@ -100,12 +126,28 @@ impl GatewayFront {
     /// response size (used for cache byte accounting when the event
     /// reserves an entry).
     pub fn decide(&mut self, ev: &TraceEvent, output_kb: u64) -> FrontDecision {
+        // Apply redeploys that are due by this event's arrival: bump
+        // the function's generation and drop its cached entries.
+        while let Some(&(at, f)) = self.redeploys.get(self.next_redeploy) {
+            if at > ev.at {
+                break;
+            }
+            self.next_redeploy += 1;
+            *self.generation.entry(f as u64).or_insert(0) += 1;
+            if let Some(cache) = &mut self.cache {
+                cache.redeploy(f as u64);
+            }
+        }
         if let Some(cache) = &mut self.cache {
             cache.expire_due(ev.at);
             if ev.idempotent {
                 let key = CacheKey {
                     fn_id: ev.fn_id as u64,
-                    generation: 0,
+                    generation: self
+                        .generation
+                        .get(&(ev.fn_id as u64))
+                        .copied()
+                        .unwrap_or(0),
                     payload_hash: ev.payload_hash,
                 };
                 if cache.lookup(key, ev.at).is_some() {
@@ -199,6 +241,42 @@ mod tests {
             assert_eq!(f.decide(&e, 4), FrontDecision::Backend);
         }
         assert_eq!(f.hits, 0);
+    }
+
+    #[test]
+    fn redeploys_invalidate_inside_the_ttl_and_fold_purely() {
+        let cfg = GatewayConfig::builder()
+            .cache(CacheConfig::default_for_ttl(Nanos::from_secs(60)))
+            .build();
+        let schedule = [(Nanos::from_secs(5), 3u32)];
+        let mut f = GatewayFront::with_redeploys(&cfg, &schedule);
+        let first = ev(0, Nanos::from_secs(1), 3, 0, 42, true);
+        assert_eq!(f.decide(&first, 4), FrontDecision::Backend);
+        let warm = ev(1, Nanos::from_secs(2), 3, 0, 42, true);
+        assert_eq!(f.decide(&warm, 4), FrontDecision::Hit);
+        // Past the redeploy instant the generation has bumped: the same
+        // key misses well inside its TTL and re-reserves.
+        let stale = ev(2, Nanos::from_secs(6), 3, 0, 42, true);
+        assert_eq!(f.decide(&stale, 4), FrontDecision::Backend);
+        let refill = ev(3, Nanos::from_secs(7), 3, 0, 42, true);
+        assert_eq!(f.decide(&refill, 4), FrontDecision::Hit);
+        // A function not in the schedule is untouched.
+        let other = ev(4, Nanos::from_secs(8), 1, 0, 9, true);
+        assert_eq!(f.decide(&other, 4), FrontDecision::Backend);
+        assert_eq!(f.decide(&ev(5, Nanos::from_secs(9), 1, 0, 9, true), 4), {
+            FrontDecision::Hit
+        });
+        assert!(f.cache_stats().invalidated > 0);
+        // The fold is pure: replaying the same stream traverses the
+        // identical decision sequence.
+        let mut g = GatewayFront::with_redeploys(&cfg, &schedule);
+        for (i, e) in [first, warm, stale, refill, other].iter().enumerate() {
+            let want = match i {
+                1 | 3 => FrontDecision::Hit,
+                _ => FrontDecision::Backend,
+            };
+            assert_eq!(g.decide(e, 4), want);
+        }
     }
 
     #[test]

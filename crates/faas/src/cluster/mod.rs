@@ -36,9 +36,24 @@
 //! Stats memory is sketch-bounded: each node carries two fixed-size
 //! sketches (~30 KiB each) regardless of request count
 //! ([`ClusterResult::stats_bytes`]).
+//!
+//! # Failure-aware autoscaling
+//!
+//! [`scale`] adds a pure virtual-time controller over the node count:
+//! armed via [`ClusterConfig::with_autoscale`], every node folds the
+//! same [`NodeScaler`] over the full backend-bound arrival stream
+//! (exactly like the placer), growing the active set under queue
+//! pressure or observed loss and cordoning + draining the top node in
+//! quiet windows. Because the fold reads only the trace prefix and the
+//! deterministic fault schedule, autoscaled placement remains
+//! coordinator-pure and host-parallel runs stay bit-identical to
+//! serial. Redeploy schedules fold into the gateway front the same way
+//! ([`ClusterConfig::with_redeploys`]): generation bumps invalidate
+//! cached results at pure points of the trace clock.
 
 pub mod front;
 pub mod place;
+pub mod scale;
 
 use gh_functions::FunctionSpec;
 use gh_gateway::{GatewayConfig, GatewayStats};
@@ -57,6 +72,7 @@ use std::rc::Rc;
 
 pub use front::{FrontDecision, GatewayFront};
 pub use place::{PlacePolicy, Placer};
+pub use scale::{NodeScaleConfig, NodeScaler, ScaleStats};
 
 /// Cluster topology and per-node pool shape.
 #[derive(Clone, Debug)]
@@ -77,6 +93,17 @@ pub struct ClusterConfig {
     /// Fault injection, if armed (see [`ClusterConfig::with_faults`]).
     /// `None` keeps the run byte-identical to the fault-free reference.
     pub faults: Option<FaultConfig>,
+    /// Failure-aware node autoscaling, if armed. Each node folds the
+    /// same [`NodeScaler`] over the full backend-bound arrival stream
+    /// (like the placer), so the active set is coordinator-pure; `None`
+    /// keeps placement byte-identical to the unscaled reference.
+    pub autoscale: Option<NodeScaleConfig>,
+    /// Time-ordered `(instant, fn)` redeploy schedule folded into the
+    /// gateway front's result cache (generation bumps drop cached
+    /// results; see [`GatewayFront::with_redeploys`]). Ignored without
+    /// a gateway; empty keeps the front byte-identical to
+    /// [`GatewayFront::new`].
+    pub redeploys: Vec<(Nanos, u32)>,
 }
 
 impl ClusterConfig {
@@ -92,6 +119,8 @@ impl ClusterConfig {
             kind,
             seed,
             faults: None,
+            autoscale: None,
+            redeploys: Vec::new(),
         }
     }
 
@@ -99,6 +128,19 @@ impl ClusterConfig {
     /// zero) are dropped so a disabled plan can never perturb the run.
     pub fn with_faults(mut self, cfg: FaultConfig) -> ClusterConfig {
         self.faults = cfg.is_active().then_some(cfg);
+        self
+    }
+
+    /// Arms the failure-aware autoscaler on the placement fold.
+    pub fn with_autoscale(mut self, cfg: NodeScaleConfig) -> ClusterConfig {
+        self.autoscale = Some(cfg);
+        self
+    }
+
+    /// Sets the redeploy schedule the gateway front folds into its
+    /// result cache (must be time-ordered).
+    pub fn with_redeploys(mut self, schedule: Vec<(Nanos, u32)>) -> ClusterConfig {
+        self.redeploys = schedule;
         self
     }
 }
@@ -156,6 +198,10 @@ pub struct ClusterResult {
     /// another replica because their placed node was down; `abandoned`
     /// includes requests dropped because every replica was down.
     pub faults: FaultStats,
+    /// Autoscaler counters, when [`ClusterConfig::autoscale`] is armed.
+    /// Every node computes the identical fold, so this is node 0's copy
+    /// (not a sum).
+    pub scale: Option<ScaleStats>,
     /// Per-node breakdown, node-index order.
     pub per_node: Vec<NodeLoad>,
     /// Bytes of percentile-tracking state across all nodes — constant
@@ -175,6 +221,7 @@ struct NodeResult {
     containers: u32,
     span_end: Nanos,
     faults: FaultStats,
+    scale: Option<ScaleStats>,
 }
 
 /// Node-local events: a trace arrival reaching the node, a container
@@ -254,12 +301,22 @@ fn run_node(
     // node moves to the first up candidate in replica order (counted by
     // the receiving node), or is dropped at the front when every
     // replica is down (counted once, by node 0's replay).
-    let mut front = gcfg.map(GatewayFront::new);
+    let mut front = gcfg.map(|g| GatewayFront::with_redeploys(g, &ccfg.redeploys));
     let mut gen = TraceGen::new(trace_cfg);
     let feed_plan = plan;
     let failovers = Rc::new(Cell::new(0u64));
     let all_down = Rc::new(Cell::new(0u64));
     let (nl, ad) = (failovers.clone(), all_down.clone());
+    // Autoscaler, if armed: folded over every backend-bound arrival
+    // (like the placer), so each node replays the identical active-set
+    // history. Stats are exported through a cell because the fold lives
+    // inside the closure; every node's copy is identical, merge keeps
+    // node 0's.
+    let mut scaler = ccfg
+        .autoscale
+        .map(|sc| NodeScaler::new(sc, ccfg.nodes, trace_cfg.origin));
+    let scale_out = Rc::new(Cell::new(None::<ScaleStats>));
+    let scale_cell = scale_out.clone();
     let mut next_local = move || {
         gen.by_ref().find(|ev| {
             let backend = match &mut front {
@@ -272,14 +329,55 @@ fn run_node(
                 return false;
             }
             let f = ev.fn_id as usize;
-            let target = placer.place(f);
+            let base = placer.place(f);
+            // The scaler observes the placed node's load (and whether it
+            // was lost) and may redirect away from a cordoned node.
+            let target = match &mut scaler {
+                None => base,
+                Some(s) => {
+                    let lost = feed_plan
+                        .as_ref()
+                        .map(|pl| pl.node_down(base, ev.at))
+                        .unwrap_or(false);
+                    let cost = Nanos::from_millis_f64(catalog[f].base_e2e_ms);
+                    s.observe(ev.at, base, cost, lost);
+                    let t = if s.placeable(base) {
+                        base
+                    } else {
+                        match placer.candidates(f).find(|&n| s.placeable(n)) {
+                            Some(c) => {
+                                s.note_redirect();
+                                c
+                            }
+                            None => base,
+                        }
+                    };
+                    scale_cell.set(Some(s.stats()));
+                    t
+                }
+            };
             let Some(pl) = &feed_plan else {
                 return target == node;
             };
             if !pl.node_down(target, ev.at) {
                 return target == node;
             }
-            match placer.candidates(f).find(|&n| !pl.node_down(n, ev.at)) {
+            // Failover scan: first up replica, preferring nodes the
+            // scaler still places on (a cordoned node is a last resort,
+            // not a dead one).
+            let up: Vec<usize> = placer
+                .candidates(f)
+                .filter(|&n| !pl.node_down(n, ev.at))
+                .collect();
+            let pick = match &scaler {
+                Some(s) => up
+                    .iter()
+                    .copied()
+                    .find(|&n| s.placeable(n))
+                    .or_else(|| up.first().copied()),
+                None => up.first().copied(),
+            };
+            match pick {
                 Some(n) if n == node => {
                     nl.set(nl.get() + 1);
                     true
@@ -458,6 +556,7 @@ fn run_node(
         containers,
         span_end,
         faults: fstats,
+        scale: scale_out.get(),
     })
 }
 
@@ -549,6 +648,7 @@ fn merge(
         imbalance,
         containers,
         faults,
+        scale: nodes.first().and_then(|n| n.scale),
         per_node,
         stats_bytes: nodes.len() * 2 * QuantileSketch::memory_bytes(),
     }
@@ -700,7 +800,7 @@ pub fn run_cluster_gateway(
         catalog.len() >= nf,
         "catalog must cover every trace function"
     );
-    let mut front = GatewayFront::new(gcfg);
+    let mut front = GatewayFront::with_redeploys(gcfg, &ccfg.redeploys);
     let hit_cost = front.hit_cost();
     let mut hit_sojourns = QuantileSketch::new();
     for ev in TraceGen::new(trace_cfg) {
@@ -899,6 +999,52 @@ mod tests {
         .unwrap();
         assert_eq!(format!("{plain:?}"), format!("{armed:?}"));
         assert!(armed.faults.is_empty());
+    }
+
+    #[test]
+    fn autoscaled_faulty_cluster_matches_parallel_and_reports_scale() {
+        let catalog = synthetic_catalog(24, 19);
+        let trace = small_trace(600, 19);
+        let mut fc = FaultConfig::deaths(19, 0.03);
+        fc.node_loss_rate = 0.2;
+        fc.node_loss_window = gh_sim::Nanos::from_millis(20);
+        let ccfg = ClusterConfig::new(4, PlacePolicy::RoundRobin, StrategyKind::Gh, 19)
+            .with_faults(fc)
+            .with_autoscale(NodeScaleConfig::balanced(2));
+        let serial = run_cluster_with(
+            &trace,
+            &catalog,
+            &ccfg,
+            GroundhogConfig::gh(),
+            ExecMode::Serial,
+        )
+        .unwrap();
+        let par = run_cluster_with(
+            &trace,
+            &catalog,
+            &ccfg,
+            GroundhogConfig::gh(),
+            ExecMode::Parallel { threads: 4 },
+        )
+        .unwrap();
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{par:?}"),
+            "autoscaling keeps node-parallelism invisible"
+        );
+        let s = serial.scale.expect("scaler armed");
+        assert!(s.windows > 0, "the fold must observe windows");
+        assert!(s.peak_active >= s.min_active);
+        assert!(s.final_active >= 2 && s.final_active <= 4);
+        assert_eq!(serial.completed + serial.faults.abandoned, 600);
+    }
+
+    #[test]
+    fn unarmed_autoscaler_is_invisible() {
+        let plain = run(PlacePolicy::RoundRobin, 3, 300, 23, ExecMode::Serial);
+        assert!(plain.scale.is_none(), "no scaler, no stats");
+        // `run` never arms autoscaling, so this doubles as the
+        // byte-identity baseline used by tests/cluster_oracle.rs.
     }
 
     #[test]

@@ -249,6 +249,19 @@ pub struct FaultStats {
     pub duplicates: u64,
     /// Requests dropped after exhausting `max_attempts`.
     pub abandoned: u64,
+    /// In-flight workflow hops re-dispatched to a *different* node
+    /// after their executing node was lost (cross-node migration,
+    /// carrying only the workflow's KV snapshot version).
+    pub migrations: u64,
+    /// In-flight hops whose executing node died under them — each is
+    /// either migrated, retried in place, or (attempts exhausted)
+    /// abandoned with its workflow.
+    pub orphaned_hops: u64,
+    /// Orphaned hops whose commit had already landed before the node
+    /// was lost — the re-dispatched execution is a duplicate and its
+    /// re-commit is suppressed by the KV's idempotence (this counter
+    /// must equal the KV-side `duplicates_suppressed` delta).
+    pub duplicate_commits_absorbed: u64,
 }
 
 impl FaultStats {
@@ -265,6 +278,9 @@ impl FaultStats {
         self.retries += other.retries;
         self.duplicates += other.duplicates;
         self.abandoned += other.abandoned;
+        self.migrations += other.migrations;
+        self.orphaned_hops += other.orphaned_hops;
+        self.duplicate_commits_absorbed += other.duplicate_commits_absorbed;
     }
 }
 

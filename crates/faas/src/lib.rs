@@ -43,10 +43,13 @@
 //!   mid-request, restore failure, node loss — as pure hash draws, so
 //!   fault-free runs stay byte-identical and node-parallel runs stay
 //!   deterministic; bounded-attempt exponential-backoff retries.
-//! - [`workflow`]: static DAG chains where a function's response
-//!   enqueues downstream invocations, with idempotent retries keyed by
-//!   `(workflow, hop)`, an AFT-style read-atomic KV shim, and
-//!   Groundhog's taint tracking extended across hops.
+//! - [`workflow`]: workflow composition over the platform — static
+//!   chains and dynamic DAGs (fan-out / fan-in / conditional edges)
+//!   with idempotent commits keyed by `(workflow, hop path)`, an
+//!   AFT-style read-atomic KV shim, Groundhog's taint tracking
+//!   extended across hops, crash-exact recovery under fault
+//!   injection, and cross-node migration of in-flight hops behind a
+//!   failure-aware autoscaler ([`cluster::scale`]).
 
 pub mod client;
 pub mod cluster;
@@ -61,6 +64,7 @@ pub mod request;
 pub mod trace;
 pub mod workflow;
 
+pub use cluster::scale::{NodeScaleConfig, NodeScaler, ScaleStats};
 pub use cluster::{
     run_cluster, run_cluster_gateway, ClusterConfig, ClusterGatewayResult, ClusterResult,
     PlacePolicy,
@@ -72,4 +76,6 @@ pub use gateway::{run_gateway_fleet, GatewayFleet, GatewayFleetConfig, GatewayRe
 pub use platform::{Platform, PlatformConfig};
 pub use request::{Request, Response};
 pub use trace::{synthetic_catalog, TraceConfig, TraceEvent, TraceGen};
+pub use workflow::dag::{random_dag_spec, run_dag_workflows, DagNode, DagOp, DagResult, DagSpec};
+pub use workflow::migrate::{run_migrating_dags, MigrateConfig, MigrateResult};
 pub use workflow::{run_workflows, WorkflowConfig, WorkflowResult};

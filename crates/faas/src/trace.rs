@@ -367,6 +367,61 @@ pub fn redeploy_schedule(cfg: &TraceConfig, count: usize) -> Vec<Nanos> {
         .collect()
 }
 
+/// Deterministic redeploy schedule for *cluster* runs: like
+/// [`redeploy_schedule`], but each instant also carries the function
+/// being redeployed (drawn uniformly over the trace's function
+/// population on the dedicated `0x7AC3_0009` stream). A pure function
+/// of `(cfg, count)`, so every node's replay of the
+/// [`crate::cluster::GatewayFront`] fold sees the identical
+/// invalidation timeline.
+pub fn cluster_redeploy_schedule(cfg: &TraceConfig, count: usize) -> Vec<(Nanos, u32)> {
+    let mut rng = DetRng::new(cfg.seed ^ 0x7AC3_0009);
+    let span_s = cfg.requests as f64 / cfg.base_rps;
+    (0..count)
+        .map(|i| {
+            let slot = (i as f64 + rng.range_f64(0.25, 0.75)) / count.max(1) as f64;
+            let at = cfg.origin + Nanos::from_millis_f64(span_s * slot * 1e3);
+            (at, rng.next_below(cfg.functions as u64) as u32)
+        })
+        .collect()
+}
+
+/// One workflow arrival in a DAG-shaped workload: instance `workflow`
+/// enters the cluster at `at`, with `shape_seed` feeding
+/// [`crate::workflow::dag::random_dag_spec`] so each instance gets its
+/// own (deterministic) DAG shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DagArrival {
+    /// Workflow instance index (0-based).
+    pub workflow: u64,
+    /// Arrival time of the workflow's first hop.
+    pub at: Nanos,
+    /// Seed of the instance's DAG shape.
+    pub shape_seed: u64,
+}
+
+/// DAG-shaped workload stream: `workflows` Poisson arrivals at
+/// `arrival_rps`, each carrying a per-instance shape seed, all on the
+/// dedicated `0x7AC3_0008` stream. A pure function of its arguments —
+/// the migration sim ([`crate::workflow::migrate`]) replays it for the
+/// crash-equivalence and determinism oracles.
+pub fn dag_workload(workflows: u64, arrival_rps: f64, seed: u64) -> Vec<DagArrival> {
+    assert!(arrival_rps > 0.0, "workflow arrival rate must be positive");
+    let mut rng = DetRng::new(seed ^ 0x7AC3_0008);
+    let mut now = Nanos::ZERO;
+    (0..workflows)
+        .map(|workflow| {
+            let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+            now += Nanos::from_millis_f64(-u.ln() / arrival_rps * 1e3);
+            DagArrival {
+                workflow,
+                at: now,
+                shape_seed: rng.next_u64(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +455,34 @@ mod tests {
             a,
             "different seeds shift the schedule"
         );
+    }
+
+    #[test]
+    fn cluster_redeploy_schedule_is_pure_and_targets_trace_functions() {
+        let cfg = TraceConfig::new(16, 10_000, 1_000.0, 99);
+        let a = cluster_redeploy_schedule(&cfg, 5);
+        assert_eq!(a, cluster_redeploy_schedule(&cfg, 5), "pure in the config");
+        assert_eq!(a.len(), 5);
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0), "strictly ordered");
+        assert!(a.iter().all(|&(t, f)| t >= cfg.origin && f < 16));
+        assert_ne!(
+            cluster_redeploy_schedule(&TraceConfig::new(16, 10_000, 1_000.0, 100), 5),
+            a
+        );
+    }
+
+    #[test]
+    fn dag_workload_is_pure_ordered_and_seed_sensitive() {
+        let a = dag_workload(200, 150.0, 7);
+        assert_eq!(a, dag_workload(200, 150.0, 7), "pure in the arguments");
+        assert_eq!(a.len(), 200);
+        assert!(a.windows(2).all(|w| w[0].at < w[1].at), "strictly ordered");
+        assert!(a.iter().enumerate().all(|(i, d)| d.workflow == i as u64));
+        let b = dag_workload(200, 150.0, 8);
+        assert_ne!(a, b, "different seeds shift arrivals and shapes");
+        // Shape seeds are well spread (no accidental stream reuse).
+        let distinct: std::collections::HashSet<u64> = a.iter().map(|d| d.shape_seed).collect();
+        assert_eq!(distinct.len(), 200);
     }
 
     #[test]

@@ -1,27 +1,37 @@
-//! Stateful workflow chains: responses enqueue downstream invocations.
+//! Stateful workflows: responses enqueue downstream invocations.
 //!
 //! Groundhog isolates *requests*; real FaaS applications compose them
-//! into chains (the paper's motivating apps — ML inference pipelines,
-//! image processing — are multi-stage). This module runs static DAG
-//! chains (one function per hop, declared up front) over real
-//! [`Container`]s and layers on the two pieces of state the fault layer
-//! needs to prove crash-equivalence against:
+//! into chains and DAGs (the paper's motivating apps — ML inference
+//! pipelines, image processing — are multi-stage). This module runs
+//! workflow instances over real [`Container`]s and layers on the two
+//! pieces of state the fault layer needs to prove crash-equivalence
+//! against:
 //!
-//! - **Idempotent commits** keyed by `(workflow, hop)`: every hop
+//! - **Idempotent commits** keyed by `(workflow, hop_path)`: every hop
 //!   commits exactly one versioned write to the shared KV shim. A
 //!   retried hop whose earlier attempt crashed *after* its commit
 //!   ([`crate::fault::FaultPlan::death_after_commit`]) re-derives the
 //!   identical value and its re-commit is suppressed by
-//!   [`VersionedKv::commit`] — never double-applied.
+//!   [`VersionedKv::commit`] — never double-applied. For chains the
+//!   hop path is just the hop index; DAGs encode `(node, branch)` in
+//!   it ([`dag::hop_path`]).
 //! - **Read-atomic snapshot reads** (AFT-style): each workflow pins the
 //!   KV version at its first hop; every hop of that workflow reads
 //!   through the pinned snapshot ([`VersionedKv::read_at`]). Retries
 //!   therefore observe exactly the state the crashed attempt observed,
 //!   which is what makes hop values pure functions of
-//!   `(workflow, hop, input, pinned reads)` and the whole run
+//!   `(workflow, hop_path, input, pinned reads)` and the whole run
 //!   crash-equivalent: a faulty run with zero abandoned workflows ends
 //!   in the same final KV state and per-workflow outputs as the
-//!   crash-free run (`tests/fault_oracle.rs`).
+//!   crash-free run (`tests/fault_oracle.rs`, `tests/dag_oracle.rs`).
+//!
+//! The submodules extend the chain runner kept here:
+//!
+//! - [`dag`]: dynamic DAGs — fan-out, deterministic fan-in merges, and
+//!   conditional edges — committed hop-by-hop to the same KV;
+//! - [`migrate`]: cross-node workflow migration — in-flight hops
+//!   re-dispatched along [`crate::cluster::Placer`] replica order when
+//!   their node is lost, carrying only the KV snapshot version.
 //!
 //! Taint tracking extends across hops: after each invoke the hop's
 //! container is asked for pages still tainted by the request
@@ -31,6 +41,9 @@
 //! [`WorkflowResult::tainted_handoffs`]; under `Gh` the rollback wipes
 //! them and the count stays zero (the cross-hop version of the
 //! container-level isolation tests).
+
+pub mod dag;
+pub mod migrate;
 
 use std::collections::{BTreeMap, HashSet};
 
@@ -69,8 +82,8 @@ fn wf_key(workflow: u64) -> u64 {
 /// Writes append `(commit_version, value)` pairs per key; reads go
 /// through an explicit snapshot version so a workflow's hops all see
 /// the same state regardless of interleaved commits or retries.
-/// Commits are idempotent per `(workflow, hop)` — the second commit of
-/// a retried hop is dropped and counted, not applied.
+/// Commits are idempotent per `(workflow, hop_path)` — the second
+/// commit of a retried hop is dropped and counted, not applied.
 #[derive(Clone, Debug, Default)]
 pub struct VersionedKv {
     /// key → append-only `(commit_version, value)` history, version
@@ -78,8 +91,8 @@ pub struct VersionedKv {
     versions: BTreeMap<u64, Vec<(u64, u64)>>,
     /// Monotone commit counter; a snapshot is just its current value.
     commit_seq: u64,
-    /// `(workflow, hop)` pairs whose commit already applied.
-    applied: HashSet<(u64, u32)>,
+    /// `(workflow, hop_path)` pairs whose commit already applied.
+    applied: HashSet<(u64, u64)>,
     /// Re-commits dropped by idempotence (duplicate executions whose
     /// first attempt committed before crashing).
     pub duplicates_suppressed: u64,
@@ -113,9 +126,11 @@ impl VersionedKv {
     }
 
     /// Idempotent commit: applies `value` under `key` unless
-    /// `(workflow, hop)` already committed, in which case the write is
-    /// suppressed and counted. Returns whether the write applied.
-    pub fn commit(&mut self, workflow: u64, hop: u32, key: u64, value: u64) -> bool {
+    /// `(workflow, hop_path)` already committed, in which case the
+    /// write is suppressed and counted. Returns whether the write
+    /// applied. Chains pass the hop index as the path; DAG hops encode
+    /// `(node, branch)` via [`dag::hop_path`].
+    pub fn commit(&mut self, workflow: u64, hop: u64, key: u64, value: u64) -> bool {
         if !self.applied.insert((workflow, hop)) {
             self.duplicates_suppressed += 1;
             return false;
@@ -275,7 +290,7 @@ pub fn run_workflows(
                             // state applied, response lost. The retry
                             // will re-derive `value` and be absorbed.
                             faults.duplicates += 1;
-                            kv.commit(w, hop as u32, key, value);
+                            kv.commit(w, hop as u64, key, value);
                         }
                         if attempt < pl.max_attempts() {
                             faults.retries += 1;
@@ -290,7 +305,7 @@ pub fn run_workflows(
                 if tainted && hop + 1 < chain.len() {
                     tainted_handoffs += 1;
                 }
-                kv.commit(w, hop as u32, key, value);
+                kv.commit(w, hop as u64, key, value);
                 last = value;
                 break;
             }

@@ -12,10 +12,13 @@
 //! distinguishes any two different bit patterns.
 
 use gh_faas::cluster::{run_cluster_with, ClusterConfig, ClusterResult, PlacePolicy};
+use gh_faas::fault::{FaultConfig, RetryPolicy};
 use gh_faas::fleet::ExecMode;
 use gh_faas::trace::{synthetic_catalog, TraceConfig};
+use gh_faas::NodeScaleConfig;
 use gh_functions::FunctionSpec;
 use gh_isolation::StrategyKind;
+use gh_sim::Nanos;
 use groundhog_core::GroundhogConfig;
 
 fn trace(requests: u64, seed: u64) -> TraceConfig {
@@ -39,11 +42,25 @@ fn run(
 }
 
 /// A CSV-style line covering every scalar field of the result, the way
-/// the clustersweep binary renders them. Byte equality here is the
-/// user-visible half of the oracle.
+/// the clustersweep binary renders them (autoscaler counters included).
+/// Byte equality here is the user-visible half of the oracle.
 fn csv_line(r: &ClusterResult) -> String {
+    let scale = r
+        .scale
+        .map(|s| {
+            format!(
+                "{},{},{},{},{},{}",
+                s.grows,
+                s.drains_started,
+                s.drains_completed,
+                s.redirects,
+                s.windows,
+                s.final_active
+            )
+        })
+        .unwrap_or_else(|| "-".into());
     format!(
-        "{},{},{},{},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{},{:?},{:?},{},{}",
+        "{},{},{},{},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{:?},{},{:?},{:?},{},{},{}",
         r.nodes,
         r.policy,
         r.requests,
@@ -62,6 +79,7 @@ fn csv_line(r: &ClusterResult) -> String {
         r.imbalance,
         r.containers,
         r.stats_bytes,
+        scale,
     )
 }
 
@@ -161,6 +179,64 @@ fn single_node_cluster_matches() {
     );
     assert_eq!(serial.completed, 250);
     assert_identical("nodes=1", &serial, &par);
+}
+
+#[test]
+fn autoscaled_faulty_cluster_is_mode_independent_and_repeatable() {
+    // The full stack at once: faults (deaths + node loss) and the
+    // failure-aware autoscaler, node-parallel vs serial vs repeat.
+    let catalog = synthetic_catalog(20, 31);
+    let tc = trace(500, 31);
+    let mut fc = FaultConfig::deaths(31, 0.04);
+    fc.node_loss_rate = 0.25;
+    fc.node_loss_window = Nanos::from_millis(20);
+    fc.retry = RetryPolicy {
+        max_attempts: 6,
+        ..RetryPolicy::bounded()
+    };
+    let mut ccfg = ClusterConfig::new(4, PlacePolicy::RoundRobin, StrategyKind::Gh, 31)
+        .with_faults(fc)
+        .with_autoscale(NodeScaleConfig::balanced(2));
+    ccfg.slots_per_pool = 1;
+    let go = |mode| run_cluster_with(&tc, &catalog, &ccfg, GroundhogConfig::gh(), mode).unwrap();
+    let serial = go(ExecMode::Serial);
+    assert!(serial.scale.is_some(), "scaler must report");
+    assert!(serial.faults.node_losses > 0 || serial.faults.deaths > 0);
+    for &threads in &[2usize, 4] {
+        let par = go(ExecMode::Parallel { threads });
+        assert_identical(&format!("autoscaled threads={threads}"), &serial, &par);
+    }
+    let repeat = go(ExecMode::Serial);
+    assert_identical("autoscaled repeat", &serial, &repeat);
+}
+
+#[test]
+fn unarmed_autoscaler_keeps_the_run_byte_identical() {
+    let catalog = synthetic_catalog(20, 13);
+    let tc = trace(300, 13);
+    let plain = run(
+        &catalog,
+        &tc,
+        PlacePolicy::LeastLoaded,
+        3,
+        13,
+        ExecMode::Serial,
+    );
+    // Explicitly constructing the config with `autoscale: None` and an
+    // empty redeploy schedule must be the plain run, byte for byte.
+    let mut ccfg = ClusterConfig::new(3, PlacePolicy::LeastLoaded, StrategyKind::Gh, 13)
+        .with_redeploys(Vec::new());
+    ccfg.slots_per_pool = 1;
+    let unarmed = run_cluster_with(
+        &tc,
+        &catalog,
+        &ccfg,
+        GroundhogConfig::gh(),
+        ExecMode::Serial,
+    )
+    .unwrap();
+    assert_identical("unarmed autoscaler", &plain, &unarmed);
+    assert!(plain.scale.is_none());
 }
 
 #[test]

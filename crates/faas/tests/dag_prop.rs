@@ -1,0 +1,127 @@
+//! Property tests for DAG crash recovery, hand-rolled on [`DetRng`]
+//! (no external proptest crate): each case draws a random DAG shape,
+//! death rate, and retry policy from a seeded stream and checks the
+//! recovery invariants. Failures print the offending draw, which —
+//! everything being a pure function of the case seed — IS the shrunk
+//! reproduction.
+//!
+//! Invariants per case:
+//!
+//! - **Commit idempotence.** Every suppressed re-commit is a
+//!   post-commit death: `duplicates_suppressed == faults.duplicates`
+//!   whenever no workflow was abandoned (an abandoned workflow may die
+//!   before its re-commit, leaving a dangling duplicate count is still
+//!   exact — the equality is asserted unconditionally on the KV side).
+//! - **Crash-equivalence.** With zero abandonment the faulty run's
+//!   outputs, KV fingerprint, and applied version count equal the
+//!   crash-free run's.
+//! - **Topological replay purity.** The applied-commit order fold
+//!   (`replay_hash`) is a pure function of `(seed, spec)` — identical
+//!   across the crash-free run, the faulty run, and a repeat.
+
+use gh_faas::fault::{FaultConfig, RetryPolicy};
+use gh_faas::workflow::dag::{random_dag_spec, run_dag_workflows};
+use gh_faas::workflow::WorkflowConfig;
+use gh_functions::catalog::by_name;
+use gh_functions::FunctionSpec;
+use gh_isolation::StrategyKind;
+use gh_sim::DetRng;
+use groundhog_core::GroundhogConfig;
+
+fn funcs() -> Vec<FunctionSpec> {
+    ["get-time (n)", "float (p)"]
+        .iter()
+        .map(|n| by_name(n).unwrap())
+        .collect()
+}
+
+const CASES: u64 = 12;
+
+#[test]
+fn random_dags_under_random_crash_schedules_recover_exactly() {
+    let fs = funcs();
+    let mut rng = DetRng::new(0xD46_9206);
+    for case in 0..CASES {
+        let shape_seed = rng.next_u64();
+        let width = 2 + rng.next_below(3) as u32; // 2..=4
+        let death_rate = 0.02 + rng.next_f64() * 0.13; // 2%..15%
+        let reroute = rng.next_below(2) == 1;
+        let spec = random_dag_spec(shape_seed, fs.len(), width);
+        let run_seed = rng.next_u64();
+        let tag = format!(
+            "case={case} shape_seed={shape_seed:#x} width={width} \
+             death_rate={death_rate:.3} reroute={reroute} run_seed={run_seed:#x}"
+        );
+
+        let cfg = WorkflowConfig::new(6, StrategyKind::Gh, run_seed);
+        let clean = run_dag_workflows(&spec, &fs, GroundhogConfig::gh(), &cfg).unwrap();
+        assert_eq!(clean.completed, 6, "{tag}: crash-free run must complete");
+
+        let mut fc = FaultConfig::deaths(run_seed ^ 0xFA, death_rate);
+        fc.retry = RetryPolicy {
+            max_attempts: 12,
+            reroute,
+            ..RetryPolicy::bounded()
+        };
+        let fcfg = cfg.clone().with_faults(fc);
+        let faulty = run_dag_workflows(&spec, &fs, GroundhogConfig::gh(), &fcfg).unwrap();
+
+        // Commit idempotence: the KV-side suppression count is exactly
+        // the post-commit deaths the fault layer injected.
+        assert_eq!(
+            faulty.duplicates_suppressed, faulty.faults.duplicates,
+            "{tag}: idempotence ledger out of balance"
+        );
+        assert_eq!(
+            faulty.completed + faulty.faults.abandoned,
+            faulty.workflows,
+            "{tag}: workflows must complete or abandon"
+        );
+        if faulty.faults.abandoned == 0 {
+            assert_eq!(faulty.outputs, clean.outputs, "{tag}: outputs diverged");
+            assert_eq!(
+                faulty.kv_fingerprint, clean.kv_fingerprint,
+                "{tag}: KV state diverged"
+            );
+            assert_eq!(
+                faulty.kv_versions, clean.kv_versions,
+                "{tag}: double-applied commit"
+            );
+            assert_eq!(
+                faulty.replay_hash, clean.replay_hash,
+                "{tag}: replay order is not pure in (seed, spec)"
+            );
+        }
+
+        // Replay purity: the faulty run repeats bit-identically.
+        let again = run_dag_workflows(&spec, &fs, GroundhogConfig::gh(), &fcfg).unwrap();
+        assert_eq!(
+            format!("{faulty:?}"),
+            format!("{again:?}"),
+            "{tag}: faulty repeat diverged"
+        );
+    }
+}
+
+#[test]
+fn replay_order_is_pure_in_seed_and_spec_and_sensitive_to_both() {
+    let fs = funcs();
+    let mut rng = DetRng::new(0x9E9_7A7);
+    let mut hashes = Vec::new();
+    for _ in 0..8 {
+        let shape_seed = rng.next_u64();
+        let run_seed = rng.next_u64();
+        let spec = random_dag_spec(shape_seed, fs.len(), 3);
+        let cfg = WorkflowConfig::new(4, StrategyKind::Gh, run_seed);
+        let a = run_dag_workflows(&spec, &fs, GroundhogConfig::gh(), &cfg).unwrap();
+        let b = run_dag_workflows(&spec, &fs, GroundhogConfig::gh(), &cfg).unwrap();
+        assert_eq!(a.replay_hash, b.replay_hash, "same (seed, spec) must agree");
+        hashes.push(a.replay_hash);
+    }
+    hashes.sort_unstable();
+    hashes.dedup();
+    assert!(
+        hashes.len() > 1,
+        "different (seed, spec) draws must produce different replay orders"
+    );
+}

@@ -22,6 +22,7 @@
 use gh_faas::cluster::{run_cluster_gateway, run_cluster_with, ClusterConfig, PlacePolicy};
 use gh_faas::fleet::{AutoscaleConfig, ExecMode, FleetConfig, FleetResult, RoutePolicy};
 use gh_faas::gateway::{run_gateway_fleet, run_ungated_reference, GatewayFleetConfig};
+use gh_faas::trace::cluster_redeploy_schedule;
 use gh_faas::trace::{synthetic_catalog, TraceConfig};
 use gh_gateway::admission::AdmissionConfig;
 use gh_gateway::cache::CacheConfig;
@@ -227,6 +228,93 @@ fn disabled_cluster_gateway_embeds_the_plain_cluster_result() {
             );
         }
     }
+}
+
+#[test]
+fn cluster_redeploys_invalidate_the_front_cache_deterministically() {
+    let catalog = synthetic_catalog(20, 47);
+    let trace = cluster_trace(600, 47);
+    let schedule = cluster_redeploy_schedule(&trace, 6);
+    assert!(!schedule.is_empty());
+    let gw = enabled_gateway();
+    let base = {
+        let mut ccfg = ClusterConfig::new(3, PlacePolicy::RoundRobin, StrategyKind::Gh, 47);
+        ccfg.slots_per_pool = 1;
+        ccfg
+    };
+    let plain = run_cluster_gateway(
+        &trace,
+        &catalog,
+        &base,
+        &gw,
+        GroundhogConfig::gh(),
+        ExecMode::Serial,
+    )
+    .unwrap();
+    let redeploying = base.clone().with_redeploys(schedule.clone());
+    let serial = run_cluster_gateway(
+        &trace,
+        &catalog,
+        &redeploying,
+        &gw,
+        GroundhogConfig::gh(),
+        ExecMode::Serial,
+    )
+    .unwrap();
+    assert!(
+        serial.gateway.cache_invalidated > 0,
+        "the schedule must actually drop cached results"
+    );
+    assert!(
+        serial.gateway.cache_hits < plain.gateway.cache_hits,
+        "invalidation must cost hits relative to the fixed deployment"
+    );
+    assert_eq!(
+        serial.cluster.completed + serial.gateway.rejected,
+        trace.requests,
+        "arrivals still partition into served and shed"
+    );
+    // The redeploy fold is coordinator-pure: node-parallel execution
+    // and repeats stay byte-identical.
+    let par = run_cluster_gateway(
+        &trace,
+        &catalog,
+        &redeploying,
+        &gw,
+        GroundhogConfig::gh(),
+        ExecMode::Parallel { threads: 3 },
+    )
+    .unwrap();
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{par:?}"),
+        "redeploy fold must not break node purity"
+    );
+    let repeat = run_cluster_gateway(
+        &trace,
+        &catalog,
+        &redeploying,
+        &gw,
+        GroundhogConfig::gh(),
+        ExecMode::Serial,
+    )
+    .unwrap();
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{repeat:?}"),
+        "repeat diverged"
+    );
+    // An empty schedule is the identity.
+    let empty = run_cluster_gateway(
+        &trace,
+        &catalog,
+        &base.clone().with_redeploys(Vec::new()),
+        &gw,
+        GroundhogConfig::gh(),
+        ExecMode::Serial,
+    )
+    .unwrap();
+    assert_eq!(format!("{plain:?}"), format!("{empty:?}"));
 }
 
 #[test]
